@@ -1,0 +1,255 @@
+//! Transform-based fast ring multiplication (eqs. (6)–(8) of the paper):
+//!
+//! ```text
+//! filter/data transform:    g̃ = Tg·g,   x̃ = Tx·x     (m-tuples)
+//! component-wise product:   z̃ = g̃ ∘ x̃
+//! reconstruction transform: z  = Tz·z̃
+//! ```
+//!
+//! A fast algorithm is exactly a rank-`m` CP decomposition of the indexing
+//! tensor `M`; `m` is its number of real-valued multiplications.
+
+use crate::mat::Mat;
+use crate::signperm::SignPerm;
+use crate::tensor3::Tensor3;
+
+/// A `(Tg, Tx, Tz)` triple implementing a bilinear product with `m` real
+/// multiplications.
+///
+/// # Examples
+///
+/// ```
+/// use ringcnn_algebra::fast::FastAlgorithm;
+/// use ringcnn_algebra::mat::Mat;
+/// // Karatsuba-style 3-multiplication complex product.
+/// let alg = FastAlgorithm::new(
+///     Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]),
+///     Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]),
+///     Mat::from_rows(&[&[1.0, -1.0, 0.0], &[-1.0, -1.0, 1.0]]),
+/// );
+/// let z = alg.multiply(&[1.0, 2.0], &[3.0, 4.0]);
+/// assert_eq!(z, vec![-5.0, 10.0]); // (1+2i)(3+4i)
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct FastAlgorithm {
+    tg: Mat,
+    tx: Mat,
+    tz: Mat,
+}
+
+impl FastAlgorithm {
+    /// Creates a fast algorithm from its three transform matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent (`Tg: m×n`, `Tx: m×n`,
+    /// `Tz: n×m`).
+    pub fn new(tg: Mat, tx: Mat, tz: Mat) -> Self {
+        assert_eq!(tg.rows(), tx.rows(), "Tg and Tx must have equal m");
+        assert_eq!(tz.cols(), tg.rows(), "Tz columns must equal m");
+        Self { tg, tx, tz }
+    }
+
+    /// The trivial algorithm for a proper ring: one multiplication per
+    /// non-zero of `M` (`m = n²` in general, `m = n` for diagonal rings).
+    pub fn trivial(sp: &SignPerm) -> Self {
+        let n = sp.n();
+        let m = sp.indexing_tensor();
+        let mut rows_g: Vec<Vec<f64>> = Vec::new();
+        let mut rows_x: Vec<Vec<f64>> = Vec::new();
+        let mut cols_z: Vec<(usize, f64)> = Vec::new();
+        for i in 0..n {
+            for k in 0..n {
+                for j in 0..n {
+                    let v = m.get(i, k, j);
+                    if v != 0.0 {
+                        let mut g = vec![0.0; n];
+                        g[k] = 1.0;
+                        let mut x = vec![0.0; n];
+                        x[j] = 1.0;
+                        rows_g.push(g);
+                        rows_x.push(x);
+                        cols_z.push((i, v));
+                    }
+                }
+            }
+        }
+        let mm = rows_g.len();
+        let mut tg = Mat::zeros(mm, n);
+        let mut tx = Mat::zeros(mm, n);
+        let mut tz = Mat::zeros(n, mm);
+        for (r, (g, x)) in rows_g.iter().zip(&rows_x).enumerate() {
+            for c in 0..n {
+                tg[(r, c)] = g[c];
+                tx[(r, c)] = x[c];
+            }
+            let (i, v) = cols_z[r];
+            tz[(i, r)] = v;
+        }
+        Self { tg, tx, tz }
+    }
+
+    /// Builds the minimal algorithm for a ring whose isomorphic matrix is
+    /// diagonalized by `T` (Appendix A): `G = T⁻¹·diag(T·g)·T`, giving
+    /// `Tg = Tx = T` and `Tz = T⁻¹` with `m = n`.
+    ///
+    /// Returns `None` when `T` is singular.
+    pub fn from_diagonalizer(t: &Mat) -> Option<Self> {
+        let tinv = t.inverse()?;
+        Some(Self { tg: t.clone(), tx: t.clone(), tz: tinv })
+    }
+
+    /// Number of real multiplications `m`.
+    pub fn m(&self) -> usize {
+        self.tg.rows()
+    }
+
+    /// Ring dimension `n` this algorithm produces.
+    pub fn n(&self) -> usize {
+        self.tz.rows()
+    }
+
+    /// The filter transform `Tg`.
+    pub fn tg(&self) -> &Mat {
+        &self.tg
+    }
+
+    /// The data transform `Tx`.
+    pub fn tx(&self) -> &Mat {
+        &self.tx
+    }
+
+    /// The reconstruction transform `Tz`.
+    pub fn tz(&self) -> &Mat {
+        &self.tz
+    }
+
+    /// Executes the three-step fast multiplication on `f64` tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if input lengths disagree with the transform shapes.
+    pub fn multiply(&self, g: &[f64], x: &[f64]) -> Vec<f64> {
+        let gt = self.tg.matvec(g);
+        let xt = self.tx.matvec(x);
+        let prod: Vec<f64> = gt.iter().zip(&xt).map(|(a, b)| a * b).collect();
+        self.tz.matvec(&prod)
+    }
+
+    /// Reconstructs the indexing tensor this algorithm computes.
+    pub fn tensor(&self) -> Tensor3 {
+        Tensor3::from_cp(&self.tz, &self.tg, &self.tx)
+    }
+
+    /// Verifies that this algorithm computes exactly the ring of `sp`
+    /// (within `tol` on the indexing tensor).
+    pub fn verifies(&self, sp: &SignPerm, tol: f64) -> bool {
+        self.tensor().distance(&sp.indexing_tensor()) <= tol
+    }
+
+    /// Bit growth of the data transform: extra input bits needed by the
+    /// component-wise multipliers after applying `Tx` to `w`-bit data
+    /// (`wx = w + growth`). Computed as `ceil(log2(max_row_abs_sum))`,
+    /// the worst-case magnitude amplification of any output component.
+    pub fn data_bit_growth(&self) -> u32 {
+        bit_growth(&self.tx)
+    }
+
+    /// Bit growth of the filter transform (`wg = w + growth`).
+    pub fn filter_bit_growth(&self) -> u32 {
+        bit_growth(&self.tg)
+    }
+
+    /// Whether all transform coefficients are "simple" (0, ±1, or ±2^-k),
+    /// i.e. implementable with adders and shifts only.
+    pub fn has_adder_only_transforms(&self) -> bool {
+        [&self.tg, &self.tx, &self.tz].iter().all(|m| {
+            m.as_slice().iter().all(|&v| {
+                if v == 0.0 {
+                    return true;
+                }
+                let a = v.abs();
+                // ±1, ±0.5, ±0.25, ... (and ±2, ±4 for completeness)
+                let l = a.log2();
+                (l - l.round()).abs() < 1e-9
+            })
+        })
+    }
+}
+
+/// `ceil(log2(max_i Σ_j |T_ij|))`, clamped at zero: the number of extra
+/// integer bits a transform adds to its input operands.
+pub fn bit_growth(t: &Mat) -> u32 {
+    let mut max_sum: f64 = 0.0;
+    for r in 0..t.rows() {
+        let s: f64 = t.row(r).iter().map(|v| v.abs()).sum();
+        max_sum = max_sum.max(s);
+    }
+    if max_sum <= 1.0 {
+        0
+    } else {
+        max_sum.log2().ceil() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transforms::hadamard;
+
+    fn rh2_sp() -> SignPerm {
+        SignPerm::new(vec![1, 1, 1, 1], vec![0, 1, 1, 0]).unwrap()
+    }
+
+    #[test]
+    fn trivial_algorithm_reproduces_ring() {
+        let sp = rh2_sp();
+        let alg = FastAlgorithm::trivial(&sp);
+        assert_eq!(alg.m(), 4);
+        assert!(alg.verifies(&sp, 1e-12));
+    }
+
+    #[test]
+    fn hadamard_diagonalizer_gives_minimal_rh2() {
+        let sp = rh2_sp();
+        let alg = FastAlgorithm::from_diagonalizer(&hadamard(2)).unwrap();
+        assert_eq!(alg.m(), 2);
+        assert!(alg.verifies(&sp, 1e-12), "tensor distance too large");
+        // Check an actual product: (g0,g1)·(x0,x1) with G=[[g0,g1],[g1,g0]].
+        let z = alg.multiply(&[2.0, 3.0], &[5.0, 7.0]);
+        assert!((z[0] - (2.0 * 5.0 + 3.0 * 7.0)).abs() < 1e-12);
+        assert!((z[1] - (3.0 * 5.0 + 2.0 * 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_growth_of_hadamard() {
+        assert_eq!(bit_growth(&hadamard(2)), 1);
+        assert_eq!(bit_growth(&hadamard(4)), 2);
+        assert_eq!(bit_growth(&hadamard(8)), 3);
+        assert_eq!(bit_growth(&Mat::identity(4)), 0);
+    }
+
+    #[test]
+    fn adder_only_detection() {
+        let alg = FastAlgorithm::from_diagonalizer(&hadamard(4)).unwrap();
+        assert!(alg.has_adder_only_transforms());
+        let messy = FastAlgorithm::new(
+            Mat::from_rows(&[&[0.3, 0.0], &[0.0, 1.0]]),
+            Mat::identity(2),
+            Mat::identity(2),
+        );
+        assert!(!messy.has_adder_only_transforms());
+    }
+
+    #[test]
+    fn karatsuba_complex_has_three_mults() {
+        let alg = FastAlgorithm::new(
+            Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]),
+            Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]),
+            Mat::from_rows(&[&[1.0, -1.0, 0.0], &[-1.0, -1.0, 1.0]]),
+        );
+        assert_eq!(alg.m(), 3);
+        let sp = SignPerm::new(vec![1, -1, 1, 1], vec![0, 1, 1, 0]).unwrap();
+        assert!(alg.verifies(&sp, 1e-12));
+    }
+}

@@ -1,0 +1,367 @@
+//! Generic-rank estimation for indexing tensors via CP alternating least
+//! squares.
+//!
+//! The paper uses the randomized CP-ARLS algorithm [6] in MATLAB to
+//! evaluate `grank(M(S'; P))` during the ring search (§III-C, condition
+//! (C3)). We reproduce the methodology with a deterministic-seeded CP-ALS
+//! with random restarts: the smallest rank at which the relative residual
+//! collapses is the estimated tensor rank, which equals the minimum number
+//! of real multiplications of any bilinear algorithm (Appendix A and [46]).
+
+use crate::mat::Mat;
+use crate::tensor3::Tensor3;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A fitted rank-`m` CP decomposition of an indexing tensor.
+#[derive(Clone, Debug)]
+pub struct CpFit {
+    /// Reconstruction factor, `n_i × m` (plays the role of `Tz`).
+    pub tz: Mat,
+    /// Filter factor, `m × n_k` (plays the role of `Tg`).
+    pub tg: Mat,
+    /// Data factor, `m × n_j` (plays the role of `Tx`).
+    pub tx: Mat,
+    /// Relative Frobenius residual `‖M − M̂‖ / ‖M‖`.
+    pub relative_residual: f64,
+}
+
+/// Options for [`estimate_rank`] and [`cp_als`].
+#[derive(Clone, Copy, Debug)]
+pub struct CpOptions {
+    /// ALS sweeps per restart.
+    pub iterations: usize,
+    /// Independent random restarts per rank.
+    pub restarts: usize,
+    /// Relative residual below which a rank is accepted.
+    pub tolerance: f64,
+    /// RNG seed (restart `i` uses `seed + i`).
+    pub seed: u64,
+}
+
+impl Default for CpOptions {
+    fn default() -> Self {
+        Self { iterations: 400, restarts: 24, tolerance: 1e-6, seed: 7 }
+    }
+}
+
+/// Result of a rank sweep.
+#[derive(Clone, Debug)]
+pub struct RankEstimate {
+    /// Smallest rank whose best fit met the tolerance.
+    pub rank: usize,
+    /// Best fit found at that rank.
+    pub fit: CpFit,
+    /// Best relative residual observed at every rank tried (starting from
+    /// the lower bound).
+    pub residuals: Vec<(usize, f64)>,
+}
+
+/// Fits a single rank-`rank` CP decomposition (best of `opts.restarts`).
+pub fn cp_als(t: &Tensor3, rank: usize, opts: &CpOptions) -> CpFit {
+    let norm = t.frobenius().max(1e-300);
+    let mut best: Option<CpFit> = None;
+    for restart in 0..opts.restarts {
+        let mut rng = ChaCha8Rng::seed_from_u64(opts.seed.wrapping_add(restart as u64));
+        let fit = cp_als_once(t, rank, opts.iterations, norm, &mut rng);
+        if best.as_ref().is_none_or(|b| fit.relative_residual < b.relative_residual) {
+            best = Some(fit);
+        }
+        if best.as_ref().is_some_and(|b| b.relative_residual < opts.tolerance) {
+            break;
+        }
+    }
+    best.expect("restarts >= 1")
+}
+
+/// Estimates the tensor rank (= generic rank of the bilinear form) by
+/// sweeping ranks from the mode-rank lower bound upward until the fit
+/// residual collapses below `opts.tolerance`.
+///
+/// `max_rank` caps the sweep; if no rank fits, the estimate reports
+/// `max_rank` with the best fit found there (callers should treat that as
+/// "rank > max_rank - 1").
+pub fn estimate_rank(t: &Tensor3, max_rank: usize, opts: &CpOptions) -> RankEstimate {
+    let lower = mode_rank_lower_bound(t);
+    let mut residuals = Vec::new();
+    let mut last_fit: Option<CpFit> = None;
+    for rank in lower..=max_rank {
+        let fit = cp_als(t, rank, opts);
+        residuals.push((rank, fit.relative_residual));
+        let done = fit.relative_residual < opts.tolerance;
+        last_fit = Some(fit);
+        if done {
+            return RankEstimate { rank, fit: last_fit.unwrap(), residuals };
+        }
+    }
+    RankEstimate {
+        rank: max_rank,
+        fit: last_fit.expect("max_rank >= lower bound"),
+        residuals,
+    }
+}
+
+/// Max over mode unfoldings of the matrix rank — a cheap lower bound for
+/// the tensor rank.
+pub fn mode_rank_lower_bound(t: &Tensor3) -> usize {
+    let tol = 1e-9;
+    t.unfold_i()
+        .rank(tol)
+        .max(t.unfold_k().rank(tol))
+        .max(t.unfold_j().rank(tol))
+        .max(1)
+}
+
+fn cp_als_once(
+    t: &Tensor3,
+    rank: usize,
+    iterations: usize,
+    norm: f64,
+    rng: &mut ChaCha8Rng,
+) -> CpFit {
+    let (ni, nk, nj) = t.shape();
+    let mut a = random_factor(ni, rank, rng); // tz-like, ni × r
+    let mut b = random_factor(rank, nk, rng); // tg-like, r × nk
+    let mut c = random_factor(rank, nj, rng); // tx-like, r × nj
+
+    let mi = t.unfold_i(); // ni × nk·nj, column = k·nj + j
+    let mk = t.unfold_k(); // nk × ni·nj, column = i·nj + j
+    let mj = t.unfold_j(); // nj × ni·nk, column = i·nk + k
+
+    let mut prev_res = f64::INFINITY;
+    for _ in 0..iterations {
+        // --- update A (ni × r): Mi ≈ A · Z, Z[r, k·nj+j] = B[r,k]·C[r,j]
+        let gram = hadamard_gram(&gram_rows(&b), &gram_rows(&c), rank);
+        let rhs = mi_times_zt(&mi, &b, &c, rank); // ni × r
+        solve_factor_rows(&gram, &rhs, &mut a);
+
+        // --- update B (r × nk): Mk ≈ Bᵗ · W, W[r, i·nj+j] = A[i,r]·C[r,j]
+        let gram = hadamard_gram(&gram_cols(&a), &gram_rows(&c), rank);
+        let rhs = mk_times_wt(&mk, &a, &c, rank); // nk × r
+        solve_factor_cols(&gram, &rhs, &mut b);
+
+        // --- update C (r × nj): Mj ≈ Cᵗ · V, V[r, i·nk+k] = A[i,r]·B[r,k]
+        let gram = hadamard_gram(&gram_cols(&a), &gram_rows(&b), rank);
+        let rhs = mj_times_vt(&mj, &a, &b, rank); // nj × r
+        solve_factor_cols(&gram, &rhs, &mut c);
+
+        let res = Tensor3::from_cp(&a, &b, &c).distance(t) / norm;
+        let converged = (prev_res - res).abs() < 1e-14;
+        prev_res = res;
+        if converged {
+            break;
+        }
+    }
+    let relative_residual = Tensor3::from_cp(&a, &b, &c).distance(t) / norm;
+    CpFit { tz: a, tg: b, tx: c, relative_residual }
+}
+
+fn random_factor(rows: usize, cols: usize, rng: &mut ChaCha8Rng) -> Mat {
+    let mut m = Mat::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            m[(i, j)] = rng.gen_range(-1.0..1.0);
+        }
+    }
+    m
+}
+
+/// Gram matrix of the *rows* of an `r × n` factor: `r × r`.
+fn gram_rows(f: &Mat) -> Mat {
+    f.matmul(&f.transposed())
+}
+
+/// Gram matrix of the *columns* of an `n × r` factor: `r × r`.
+fn gram_cols(f: &Mat) -> Mat {
+    f.transposed().matmul(f)
+}
+
+/// Hadamard (elementwise) product of two `r × r` Grams plus a tiny ridge.
+fn hadamard_gram(a: &Mat, b: &Mat, rank: usize) -> Mat {
+    let mut g = Mat::zeros(rank, rank);
+    for i in 0..rank {
+        for j in 0..rank {
+            g[(i, j)] = a[(i, j)] * b[(i, j)];
+        }
+        g[(i, i)] += 1e-10;
+    }
+    g
+}
+
+/// `Mi · Zᵗ` where `Z[r, k·nj+j] = B[r,k]·C[r,j]`; result `ni × r`.
+fn mi_times_zt(mi: &Mat, b: &Mat, c: &Mat, rank: usize) -> Mat {
+    let ni = mi.rows();
+    let nk = b.cols();
+    let nj = c.cols();
+    let mut out = Mat::zeros(ni, rank);
+    for i in 0..ni {
+        for r in 0..rank {
+            let mut acc = 0.0;
+            for k in 0..nk {
+                let brk = b[(r, k)];
+                if brk == 0.0 {
+                    continue;
+                }
+                for j in 0..nj {
+                    acc += mi[(i, k * nj + j)] * brk * c[(r, j)];
+                }
+            }
+            out[(i, r)] = acc;
+        }
+    }
+    out
+}
+
+/// `Mk · Wᵗ` where `W[r, i·nj+j] = A[i,r]·C[r,j]`; result `nk × r`.
+fn mk_times_wt(mk: &Mat, a: &Mat, c: &Mat, rank: usize) -> Mat {
+    let nk = mk.rows();
+    let ni = a.rows();
+    let nj = c.cols();
+    let mut out = Mat::zeros(nk, rank);
+    for k in 0..nk {
+        for r in 0..rank {
+            let mut acc = 0.0;
+            for i in 0..ni {
+                let air = a[(i, r)];
+                if air == 0.0 {
+                    continue;
+                }
+                for j in 0..nj {
+                    acc += mk[(k, i * nj + j)] * air * c[(r, j)];
+                }
+            }
+            out[(k, r)] = acc;
+        }
+    }
+    out
+}
+
+/// `Mj · Vᵗ` where `V[r, i·nk+k] = A[i,r]·B[r,k]`; result `nj × r`.
+fn mj_times_vt(mj: &Mat, a: &Mat, b: &Mat, rank: usize) -> Mat {
+    let nj = mj.rows();
+    let ni = a.rows();
+    let nk = b.cols();
+    let mut out = Mat::zeros(nj, rank);
+    for j in 0..nj {
+        for r in 0..rank {
+            let mut acc = 0.0;
+            for i in 0..ni {
+                let air = a[(i, r)];
+                if air == 0.0 {
+                    continue;
+                }
+                for k in 0..nk {
+                    acc += mj[(j, i * nk + k)] * air * b[(r, k)];
+                }
+            }
+            out[(j, r)] = acc;
+        }
+    }
+    out
+}
+
+/// Solves `rows(X) · G = RHS` row-by-row for a factor stored `n × r`
+/// (updates `A`: each row of A solves `G·aᵗ = rhsᵗ`).
+fn solve_factor_rows(gram: &Mat, rhs: &Mat, a: &mut Mat) {
+    let rank = gram.rows();
+    for i in 0..a.rows() {
+        let b: Vec<f64> = (0..rank).map(|r| rhs[(i, r)]).collect();
+        if let Some(x) = gram.solve(&b) {
+            for r in 0..rank {
+                a[(i, r)] = x[r];
+            }
+        }
+    }
+}
+
+/// Solves for a factor stored `r × n` (updates `B`: each column k of B
+/// solves `G·b = rhs_k`).
+fn solve_factor_cols(gram: &Mat, rhs: &Mat, b: &mut Mat) {
+    let rank = gram.rows();
+    for k in 0..rhs.rows() {
+        let v: Vec<f64> = (0..rank).map(|r| rhs[(k, r)]).collect();
+        if let Some(x) = gram.solve(&v) {
+            for r in 0..rank {
+                b[(r, k)] = x[r];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signperm::SignPerm;
+
+    fn complex_sp() -> SignPerm {
+        SignPerm::new(vec![1, -1, 1, 1], vec![0, 1, 1, 0]).unwrap()
+    }
+
+    fn rh2_sp() -> SignPerm {
+        SignPerm::new(vec![1, 1, 1, 1], vec![0, 1, 1, 0]).unwrap()
+    }
+
+    fn circulant4_sp() -> SignPerm {
+        let mut perm = vec![0u8; 16];
+        for i in 0..4 {
+            for j in 0..4 {
+                perm[i * 4 + j] = ((i + 4 - j) % 4) as u8;
+            }
+        }
+        SignPerm::new(vec![1; 16], perm).unwrap()
+    }
+
+    fn xor4_sp() -> SignPerm {
+        let mut perm = vec![0u8; 16];
+        for i in 0..4 {
+            for j in 0..4 {
+                perm[i * 4 + j] = (i ^ j) as u8;
+            }
+        }
+        SignPerm::new(vec![1; 16], perm).unwrap()
+    }
+
+    #[test]
+    fn rh2_has_rank_two() {
+        let est = estimate_rank(&rh2_sp().indexing_tensor(), 4, &CpOptions::default());
+        assert_eq!(est.rank, 2);
+    }
+
+    #[test]
+    fn complex_has_rank_three() {
+        // The classic result: complex multiplication needs 3 real mults.
+        let est = estimate_rank(&complex_sp().indexing_tensor(), 4, &CpOptions::default());
+        assert_eq!(est.rank, 3);
+    }
+
+    #[test]
+    fn xor4_has_rank_four() {
+        let est = estimate_rank(&xor4_sp().indexing_tensor(), 6, &CpOptions::default());
+        assert_eq!(est.rank, 4);
+    }
+
+    #[test]
+    fn circulant4_has_rank_five() {
+        // Winograd: length-4 real cyclic convolution needs 2·4−3 = 5 mults.
+        let est = estimate_rank(&circulant4_sp().indexing_tensor(), 8, &CpOptions::default());
+        assert_eq!(est.rank, 5);
+    }
+
+    #[test]
+    fn mode_rank_bound_is_sane() {
+        assert_eq!(mode_rank_lower_bound(&complex_sp().indexing_tensor()), 2);
+        assert_eq!(mode_rank_lower_bound(&circulant4_sp().indexing_tensor()), 4);
+    }
+
+    #[test]
+    fn cp_fit_yields_working_fast_algorithm() {
+        let sp = complex_sp();
+        let fit = cp_als(&sp.indexing_tensor(), 3, &CpOptions::default());
+        assert!(fit.relative_residual < 1e-6, "residual {}", fit.relative_residual);
+        let alg = crate::fast::FastAlgorithm::new(fit.tg, fit.tx, fit.tz);
+        let z = alg.multiply(&[1.0, 2.0], &[3.0, 4.0]);
+        assert!((z[0] + 5.0).abs() < 1e-4, "z0 = {}", z[0]);
+        assert!((z[1] - 10.0).abs() < 1e-4, "z1 = {}", z[1]);
+    }
+}

@@ -1,0 +1,69 @@
+//! # ringcnn-algebra
+//!
+//! Ring algebra for neural networks, reproducing §III of *"RingCNN:
+//! Exploiting Algebraically-Sparse Ring Tensors for Energy-Efficient
+//! CNN-Based Computational Imaging"* (ISCA 2021).
+//!
+//! A **ring** here is the set of real `n`-tuples with component-wise
+//! addition and a bilinear multiplication `z_i = Σ_jk M_ikj g_k x_j`
+//! determined by an indexing tensor `M ∈ {−1,0,1}^{n×n×n}`. Proper rings
+//! have signed-Latin-square structure `G_ij = S_ij·g_{P_ij}` and give
+//! CNNs an `n×` weight-storage reduction with fully regular computation.
+//!
+//! The crate provides:
+//!
+//! - [`ring::Ring`] / [`ring::RingKind`] — every variant of the paper's
+//!   Table I (`RI`, `RH`, `C`, `H`, `RO4`, `RH4-I/II`, `RO4-I/II`), plus
+//!   the real field and `n = 8` extensions.
+//! - [`fast::FastAlgorithm`] — transform-based fast multiplication
+//!   (`Tg`, `Tx`, `Tz`), bit-growth analysis for fixed point.
+//! - [`grank`] — CP-ALS generic-rank estimation (the CP-ARLS methodology
+//!   of §III-C).
+//! - [`search`] — the exhaustive proper-ring search under conditions
+//!   (C1)–(C3).
+//! - [`relu`] — component-wise ReLU and the **directional ReLU**
+//!   `fH(y) = H·fcw(H·y)` with forward/backward passes.
+//! - [`complexity`] — the Table-I hardware-resource model
+//!   (`wx × wg` multiplier complexity).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ringcnn_algebra::prelude::*;
+//!
+//! // The paper's proposed ring: component-wise products…
+//! let ring = Ring::from_kind(RingKind::Ri(4));
+//! let mut z = [0.0f32; 4];
+//! ring.mac_f32(&[1.0, 2.0, 3.0, 4.0], &[0.5, 0.5, 0.5, 0.5], &mut z);
+//! assert_eq!(z, [0.5, 1.0, 1.5, 2.0]);
+//!
+//! // …mixed across components only at the non-linearity.
+//! let fh = DirectionalRelu::fh(4);
+//! fh.forward(&mut z);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod complexity;
+pub mod fast;
+pub mod grank;
+pub mod mat;
+pub mod relu;
+pub mod ring;
+pub mod search;
+pub mod signperm;
+pub mod tensor3;
+pub mod transforms;
+pub mod variants;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::complexity::{analyze, table_one, RingComplexity};
+    pub use crate::fast::FastAlgorithm;
+    pub use crate::mat::Mat;
+    pub use crate::relu::{DirectionalRelu, Nonlinearity};
+    pub use crate::ring::{Ring, RingKind};
+    pub use crate::signperm::SignPerm;
+    pub use crate::tensor3::Tensor3;
+    pub use crate::transforms::{fwht_f32, hadamard, householder_o4};
+}

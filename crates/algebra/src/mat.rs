@@ -1,0 +1,425 @@
+//! Small dense `f64` matrices used for algebra analysis.
+//!
+//! Ring dimensions in this crate are tiny (n ≤ 8, fast-algorithm sizes
+//! m ≤ 16), so a simple row-major heap matrix is entirely adequate. This
+//! module intentionally implements only what the algebra layer needs:
+//! products, transposes, rank, inversion of small well-conditioned systems,
+//! and approximate comparison.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Tolerance used for rank decisions and approximate equality.
+pub const EPS: f64 = 1e-9;
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use ringcnn_algebra::mat::Mat;
+/// let h = Mat::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]);
+/// let hh = h.matmul(&h);
+/// assert!(hh.approx_eq(&Mat::identity(2).scaled(2.0), 1e-12));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "inconsistent row lengths");
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match shape");
+        Self { rows, cols, data }
+    }
+
+    /// Builds a diagonal matrix from the given entries.
+    pub fn diag(entries: &[f64]) -> Self {
+        let n = entries.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &e) in entries.iter().enumerate() {
+            m[(i, i)] = e;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the row-major backing buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// A single row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Mat) -> Mat {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "vector length must match columns");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let mut acc = 0.0;
+            for j in 0..self.cols {
+                acc += self[(i, j)] * v[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Copy scaled by `s`.
+    pub fn scaled(&self, s: f64) -> Mat {
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v *= s;
+        }
+        out
+    }
+
+    /// Elementwise sum `self + rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&self, rhs: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let mut out = self.clone();
+        for (o, r) in out.data.iter_mut().zip(&rhs.data) {
+            *o += r;
+        }
+        out
+    }
+
+    /// Elementwise difference `self - rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub(&self, rhs: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let mut out = self.clone();
+        for (o, r) in out.data.iter_mut().zip(&rhs.data) {
+            *o -= r;
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// Numerical rank via Gaussian elimination with partial pivoting.
+    ///
+    /// Entries below `tol` (relative to the largest entry) are treated as
+    /// zero. Suitable for the small, well-scaled matrices in this crate.
+    pub fn rank(&self, tol: f64) -> usize {
+        let mut a = self.clone();
+        let scale = self.max_abs().max(1.0);
+        let tol = tol * scale;
+        let mut rank = 0;
+        let mut row = 0;
+        for col in 0..a.cols {
+            // Find pivot.
+            let mut pivot = row;
+            for r in row..a.rows {
+                if a[(r, col)].abs() > a[(pivot, col)].abs() {
+                    pivot = r;
+                }
+            }
+            if pivot >= a.rows || a[(pivot, col)].abs() <= tol {
+                continue;
+            }
+            a.swap_rows(row, pivot);
+            let inv = 1.0 / a[(row, col)];
+            for r in (row + 1)..a.rows {
+                let f = a[(r, col)] * inv;
+                if f == 0.0 {
+                    continue;
+                }
+                for c in col..a.cols {
+                    let v = a[(row, c)];
+                    a[(r, c)] -= f * v;
+                }
+            }
+            rank += 1;
+            row += 1;
+            if row == a.rows {
+                break;
+            }
+        }
+        rank
+    }
+
+    /// Solves `self * x = b` for square, non-singular `self`.
+    ///
+    /// Returns `None` when the system is singular at tolerance [`EPS`].
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows);
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut x: Vec<f64> = b.to_vec();
+        for col in 0..n {
+            let mut pivot = col;
+            for r in col..n {
+                if a[(r, col)].abs() > a[(pivot, col)].abs() {
+                    pivot = r;
+                }
+            }
+            if a[(pivot, col)].abs() <= EPS * a.max_abs().max(1.0) {
+                return None;
+            }
+            a.swap_rows(col, pivot);
+            x.swap(col, pivot);
+            let inv = 1.0 / a[(col, col)];
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let f = a[(r, col)] * inv;
+                if f == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    let v = a[(col, c)];
+                    a[(r, c)] -= f * v;
+                }
+                x[r] -= f * x[col];
+            }
+        }
+        for i in 0..n {
+            x[i] /= a[(i, i)];
+        }
+        Some(x)
+    }
+
+    /// Inverse of a square non-singular matrix, or `None` when singular.
+    pub fn inverse(&self) -> Option<Mat> {
+        assert_eq!(self.rows, self.cols, "inverse requires a square matrix");
+        let n = self.rows;
+        let mut out = Mat::zeros(n, n);
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                out[(i, j)] = col[i];
+            }
+        }
+        Some(out)
+    }
+
+    /// Approximate elementwise equality within absolute tolerance `tol`.
+    pub fn approx_eq(&self, rhs: &Mat, tol: f64) -> bool {
+        if (self.rows, self.cols) != (rhs.rows, rhs.cols) {
+            return false;
+        }
+        self.data.iter().zip(&rhs.data).all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  [")?;
+            for c in 0..self.cols {
+                write!(f, "{:8.4}{}", self[(r, c)], if c + 1 < self.cols { ", " } else { "" })?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Mat::identity(2);
+        assert!(a.matmul(&i).approx_eq(&a, 0.0));
+        assert!(i.matmul(&a).approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Mat::from_rows(&[&[1.0, -2.0, 0.5], &[0.0, 3.0, 1.0]]);
+        let v = [2.0, 1.0, -1.0];
+        let got = a.matvec(&v);
+        assert_eq!(got, vec![1.0 * 2.0 - 2.0 - 0.5, 3.0 - 1.0]);
+    }
+
+    #[test]
+    fn rank_of_singular_matrix() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(a.rank(EPS), 1);
+        let b = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert_eq!(b.rank(EPS), 2);
+        assert_eq!(Mat::zeros(3, 3).rank(EPS), 0);
+    }
+
+    #[test]
+    fn rank_of_rectangular_matrix() {
+        let a = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        assert_eq!(a.rank(EPS), 2);
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = [5.0, 10.0];
+        let x = a.solve(&b).expect("non-singular");
+        let back = a.matvec(&x);
+        assert!((back[0] - b[0]).abs() < 1e-12);
+        assert!((back[1] - b[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(a.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Mat::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = a.inverse().expect("invertible");
+        assert!(a.matmul(&inv).approx_eq(&Mat::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert!(a.transposed().transposed().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn diag_builds_diagonal() {
+        let d = Mat::diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+        assert_eq!(d.rank(EPS), 3);
+    }
+}

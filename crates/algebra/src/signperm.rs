@@ -1,0 +1,462 @@
+//! The `(S, P)` representation of a proper ring multiplication.
+//!
+//! Under the paper's *exclusive sub-product distribution* assumption, the
+//! isomorphic matrix of a ring element `g` has entries
+//! `G_ij = S_ij · g_{P_ij}` where `S ∈ {±1}^{n×n}` and `P` is a Latin
+//! square (eq. (9)). Conditions (C1) and (C2) of §III-C constrain `(S, P)`
+//! so that the ring has a unity and a commutative (hence, with commuting
+//! `E_k`, associative) multiplication. This module implements the
+//! representation, the structural predicates, and derived objects
+//! (isomorphic matrix `G`, indexing tensor `M`, basis matrices `E_k`).
+
+use crate::mat::{Mat, EPS};
+use crate::tensor3::Tensor3;
+
+/// Sign matrix `S` and permutation-index matrix `P` of a proper ring.
+///
+/// # Examples
+///
+/// ```
+/// use ringcnn_algebra::signperm::SignPerm;
+/// // The complex field: G = [[g0, -g1], [g1, g0]].
+/// let sp = SignPerm::new(vec![1, -1, 1, 1], vec![0, 1, 1, 0]).unwrap();
+/// assert!(sp.is_latin_square());
+/// assert!(sp.satisfies_c1());
+/// assert!(sp.satisfies_c2());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SignPerm {
+    n: usize,
+    /// Row-major `n×n`, entries in `{-1, +1}`.
+    signs: Vec<i8>,
+    /// Row-major `n×n`, entries in `0..n`.
+    perm: Vec<u8>,
+}
+
+/// Error produced when an `(S, P)` pair is malformed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvalidSignPermError(String);
+
+impl std::fmt::Display for InvalidSignPermError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid sign/permutation pair: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidSignPermError {}
+
+impl SignPerm {
+    /// Creates a pair from row-major buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the buffers are not square of equal size,
+    /// signs are not ±1, or permutation indices are out of range.
+    pub fn new(signs: Vec<i8>, perm: Vec<u8>) -> Result<Self, InvalidSignPermError> {
+        let len = signs.len();
+        if len != perm.len() {
+            return Err(InvalidSignPermError("S and P sizes differ".into()));
+        }
+        let n = (len as f64).sqrt() as usize;
+        if n * n != len || n == 0 {
+            return Err(InvalidSignPermError(format!("buffer length {len} is not a square")));
+        }
+        if signs.iter().any(|s| *s != 1 && *s != -1) {
+            return Err(InvalidSignPermError("signs must be ±1".into()));
+        }
+        if perm.iter().any(|p| *p as usize >= n) {
+            return Err(InvalidSignPermError("permutation index out of range".into()));
+        }
+        Ok(Self { n, signs, perm })
+    }
+
+    /// Ring dimension `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sign entry `S_ij`.
+    pub fn sign(&self, i: usize, j: usize) -> i8 {
+        self.signs[i * self.n + j]
+    }
+
+    /// Permutation entry `P_ij`.
+    pub fn perm(&self, i: usize, j: usize) -> usize {
+        self.perm[i * self.n + j] as usize
+    }
+
+    /// Whether every row and column of `P` is a permutation of `0..n`.
+    pub fn is_latin_square(&self) -> bool {
+        let n = self.n;
+        for i in 0..n {
+            let mut seen_row = vec![false; n];
+            let mut seen_col = vec![false; n];
+            for j in 0..n {
+                let r = self.perm(i, j);
+                let c = self.perm(j, i);
+                if seen_row[r] || seen_col[c] {
+                    return false;
+                }
+                seen_row[r] = true;
+                seen_col[c] = true;
+            }
+        }
+        true
+    }
+
+    /// Condition (C1): first column of `G` is `(g_0, …, g_{n−1})^t` with
+    /// positive signs and the diagonal is `g_0` (so the unity is
+    /// `1 = (1, 0, …, 0)^t` and its isomorphic matrix is the identity).
+    pub fn satisfies_c1(&self) -> bool {
+        for i in 0..self.n {
+            if self.perm(i, 0) != i || self.sign(i, 0) != 1 {
+                return false;
+            }
+            if self.perm(i, i) != 0 || self.sign(i, i) != 1 {
+                return false;
+            }
+        }
+        // E_0 must be exactly the identity: P_ij == 0 only on the diagonal.
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j && self.perm(i, j) == 0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Condition (C2), cyclic mapping: if `P_ij = j'` then `P_ij' = j` and
+    /// `S_ij = S_ij'`. Equivalent to commutativity of the multiplication
+    /// (given (C1) and the exclusive sub-product distribution).
+    pub fn satisfies_c2(&self) -> bool {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let jp = self.perm(i, j);
+                if self.perm(i, jp) != j || self.sign(i, j) != self.sign(i, jp) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Isomorphic matrix `G(g)` with `G_ij = S_ij · g_{P_ij}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g.len() != n`.
+    pub fn isomorphic_matrix(&self, g: &[f64]) -> Mat {
+        assert_eq!(g.len(), self.n);
+        let mut m = Mat::zeros(self.n, self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                m[(i, j)] = f64::from(self.sign(i, j)) * g[self.perm(i, j)];
+            }
+        }
+        m
+    }
+
+    /// Indexing tensor `M` with `M_ikj = S_ij · [P_ij = k]`.
+    pub fn indexing_tensor(&self) -> Tensor3 {
+        let n = self.n;
+        let mut t = Tensor3::zeros(n, n, n);
+        for i in 0..n {
+            for j in 0..n {
+                t.set(i, self.perm(i, j), j, f64::from(self.sign(i, j)));
+            }
+        }
+        t
+    }
+
+    /// Basis matrix `E_k` (the isomorphic matrix of the standard basis
+    /// vector `e_k`), per Lemma B.2: `(E_k)_ij = M_ikj`.
+    pub fn basis_matrix(&self, k: usize) -> Mat {
+        let n = self.n;
+        let mut e = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if self.perm(i, j) == k {
+                    e[(i, j)] = f64::from(self.sign(i, j));
+                }
+            }
+        }
+        e
+    }
+
+    /// Whether all basis matrices commute pairwise, condition (iii) of
+    /// Theorem B.3. Together with (C1)/(C2) this implies associativity.
+    pub fn basis_matrices_commute(&self) -> bool {
+        let es: Vec<Mat> = (0..self.n).map(|k| self.basis_matrix(k)).collect();
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                let ab = es[a].matmul(&es[b]);
+                let ba = es[b].matmul(&es[a]);
+                if !ab.approx_eq(&ba, EPS) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Direct check of multiplication associativity on random elements:
+    /// verifies `C = A·B` for `c = a·b` (Lemma B.1) on the basis, which is
+    /// necessary and sufficient for bilinear products.
+    pub fn is_associative(&self) -> bool {
+        // Check (e_a · e_b) · e_c == e_a · (e_b · e_c) on all basis triples.
+        let n = self.n;
+        let mul = |a: &[f64], b: &[f64]| -> Vec<f64> {
+            self.isomorphic_matrix(a).matvec(b)
+        };
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    let (mut ea, mut eb, mut ec) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+                    ea[a] = 1.0;
+                    eb[b] = 1.0;
+                    ec[c] = 1.0;
+                    let left = mul(&mul(&ea, &eb), &ec);
+                    let right = mul(&ea, &mul(&eb, &ec));
+                    if left
+                        .iter()
+                        .zip(&right)
+                        .any(|(l, r)| (l - r).abs() > EPS)
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Direct check of multiplication commutativity on the basis.
+    pub fn is_commutative(&self) -> bool {
+        let n = self.n;
+        for a in 0..n {
+            for b in 0..n {
+                let (mut ea, mut eb) = (vec![0.0; n], vec![0.0; n]);
+                ea[a] = 1.0;
+                eb[b] = 1.0;
+                let ab = self.isomorphic_matrix(&ea).matvec(&eb);
+                let ba = self.isomorphic_matrix(&eb).matvec(&ea);
+                if ab.iter().zip(&ba).any(|(l, r)| (l - r).abs() > EPS) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies a component relabeling `π` and sign change `d ∈ {±1}^n`
+    /// (the ring isomorphism `φ(x)_i = d_i · x_{π^{-1}(i)}`), returning the
+    /// transformed `(S', P')`.
+    ///
+    /// Two `(S, P)` pairs related this way define isomorphic rings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` is not a permutation of `0..n` that fixes 0 or `d[0]`
+    /// is not `+1` (the unity must map to the unity).
+    pub fn relabeled(&self, pi: &[usize], d: &[i8]) -> SignPerm {
+        let n = self.n;
+        assert_eq!(pi.len(), n);
+        assert_eq!(d.len(), n);
+        assert_eq!(pi[0], 0, "relabeling must fix the unity component");
+        assert_eq!(d[0], 1, "unity sign must stay positive");
+        let mut inv = vec![0usize; n];
+        for (i, &p) in pi.iter().enumerate() {
+            inv[p] = i;
+        }
+        let mut signs = vec![0i8; n * n];
+        let mut perm = vec![0u8; n * n];
+        // z = g·x with components z_i = S_ij g_{P_ij} x_j. Under φ the new
+        // multiplication has P'_{π(i) π(j)} = π(P_ij) and
+        // S'_{π(i) π(j)} = d_{π(i)} · d_{π(j)} · d_{π(P_ij)} · S_ij.
+        for i in 0..n {
+            for j in 0..n {
+                let (oi, oj) = (inv[i], inv[j]);
+                let k = self.perm(oi, oj);
+                perm[i * n + j] = pi[k] as u8;
+                signs[i * n + j] = d[i] * d[j] * d[pi[k]] * self.sign(oi, oj);
+            }
+        }
+        SignPerm { n, signs, perm }
+    }
+
+    /// Canonical key over all relabelings/sign changes; equal keys mean
+    /// isomorphic rings (within the signed-permutation isomorphism group).
+    pub fn canonical_key(&self) -> Vec<i16> {
+        let n = self.n;
+        let mut best: Option<Vec<i16>> = None;
+        let perms = permutations_fixing_zero(n);
+        for pi in &perms {
+            // Enumerate sign vectors with d[0] = +1.
+            for mask in 0..(1usize << (n - 1)) {
+                let mut d = vec![1i8; n];
+                for b in 0..(n - 1) {
+                    if mask >> b & 1 == 1 {
+                        d[b + 1] = -1;
+                    }
+                }
+                let cand = self.relabeled(pi, &d);
+                let key: Vec<i16> = cand
+                    .perm
+                    .iter()
+                    .zip(&cand.signs)
+                    .map(|(p, s)| i16::from(*p) * 2 + i16::from((*s + 1) / 2))
+                    .collect();
+                if best.as_ref().is_none_or(|b| key < *b) {
+                    best = Some(key);
+                }
+            }
+        }
+        best.expect("at least the identity relabeling exists")
+    }
+}
+
+/// All permutations of `0..n` that fix 0.
+pub fn permutations_fixing_zero(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<usize> = (0..n).collect();
+    permute_rec(&mut cur, 1, &mut out);
+    out
+}
+
+fn permute_rec(cur: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k >= cur.len() {
+        out.push(cur.clone());
+        return;
+    }
+    for i in k..cur.len() {
+        cur.swap(k, i);
+        permute_rec(cur, k + 1, out);
+        cur.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complex() -> SignPerm {
+        SignPerm::new(vec![1, -1, 1, 1], vec![0, 1, 1, 0]).unwrap()
+    }
+
+    fn rh2() -> SignPerm {
+        SignPerm::new(vec![1, 1, 1, 1], vec![0, 1, 1, 0]).unwrap()
+    }
+
+    fn circulant4() -> SignPerm {
+        let mut perm = vec![0u8; 16];
+        for i in 0..4 {
+            for j in 0..4 {
+                perm[i * 4 + j] = ((i + 4 - j) % 4) as u8;
+            }
+        }
+        SignPerm::new(vec![1; 16], perm).unwrap()
+    }
+
+    fn xor4() -> SignPerm {
+        let mut perm = vec![0u8; 16];
+        for i in 0..4 {
+            for j in 0..4 {
+                perm[i * 4 + j] = (i ^ j) as u8;
+            }
+        }
+        SignPerm::new(vec![1; 16], perm).unwrap()
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(SignPerm::new(vec![1, 2, 1, 1], vec![0, 1, 1, 0]).is_err());
+        assert!(SignPerm::new(vec![1, 1, 1], vec![0, 1, 1]).is_err());
+        assert!(SignPerm::new(vec![1, 1, 1, 1], vec![0, 7, 1, 0]).is_err());
+        assert!(SignPerm::new(vec![1, 1], vec![0, 1, 1, 0]).is_err());
+    }
+
+    #[test]
+    fn complex_satisfies_conditions() {
+        let c = complex();
+        assert!(c.is_latin_square());
+        assert!(c.satisfies_c1());
+        assert!(c.satisfies_c2());
+        assert!(c.is_commutative());
+        assert!(c.is_associative());
+        assert!(c.basis_matrices_commute());
+    }
+
+    #[test]
+    fn complex_isomorphic_matrix_is_rotation() {
+        let g = [3.0, 4.0];
+        let m = complex().isomorphic_matrix(&g);
+        let expect = Mat::from_rows(&[&[3.0, -4.0], &[4.0, 3.0]]);
+        assert!(m.approx_eq(&expect, 0.0));
+    }
+
+    #[test]
+    fn xor4_and_circulant4_are_proper() {
+        for sp in [xor4(), circulant4()] {
+            assert!(sp.is_latin_square());
+            assert!(sp.satisfies_c1());
+            assert!(sp.satisfies_c2());
+            assert!(sp.is_associative());
+        }
+    }
+
+    #[test]
+    fn xor4_not_isomorphic_to_circulant4() {
+        assert_ne!(xor4().canonical_key(), circulant4().canonical_key());
+    }
+
+    #[test]
+    fn complex_not_isomorphic_to_rh2() {
+        assert_ne!(complex().canonical_key(), rh2().canonical_key());
+    }
+
+    #[test]
+    fn relabeling_preserves_canonical_key() {
+        let base = circulant4();
+        let key = base.canonical_key();
+        let relabeled = base.relabeled(&[0, 2, 1, 3], &[1, -1, 1, -1]);
+        assert_eq!(relabeled.canonical_key(), key);
+        // And the relabeled ring is still a proper ring.
+        assert!(relabeled.is_latin_square());
+        assert!(relabeled.is_associative());
+    }
+
+    #[test]
+    fn indexing_tensor_matches_isomorphic_matrix() {
+        let sp = circulant4();
+        let g = [1.0, -2.0, 0.5, 3.0];
+        let x = [0.3, 1.1, -0.7, 2.0];
+        let via_g = sp.isomorphic_matrix(&g).matvec(&x);
+        let via_m = sp.indexing_tensor().bilinear(&g, &x);
+        for (a, b) in via_g.iter().zip(&via_m) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn basis_matrix_of_unity_is_identity() {
+        for sp in [complex(), rh2(), xor4(), circulant4()] {
+            assert!(sp.basis_matrix(0).approx_eq(&Mat::identity(sp.n()), 0.0));
+        }
+    }
+
+    #[test]
+    fn a_noncommutative_sign_pattern_fails_c2() {
+        // Flip one sign of RH2 asymmetrically: G = [[g0, g1], [-g1, g0]] is
+        // still a valid bilinear product but row 1 sign pairing breaks.
+        let sp = SignPerm::new(vec![1, 1, -1, 1], vec![0, 1, 1, 0]).unwrap();
+        assert!(!sp.satisfies_c1() || !sp.satisfies_c2() || !sp.is_commutative());
+    }
+
+    #[test]
+    fn permutations_fixing_zero_count() {
+        assert_eq!(permutations_fixing_zero(4).len(), 6);
+        assert_eq!(permutations_fixing_zero(2).len(), 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! The 3-way indexing tensor `M` of a bilinear ring multiplication.
+//!
+//! Equation (3) of the paper relates ring components by
+//! `z_i = Σ_j Σ_k M_ikj · g_k · x_j`. `M` has entries in `{-1, 0, 1}` and
+//! fully determines the ring multiplication; its tensor (CP) rank lower-
+//! bounds the number of real multiplications of any bilinear fast
+//! algorithm (the *generic rank*, `grank`).
+
+use crate::mat::Mat;
+
+/// Dense `n_i × n_k × n_j` third-order tensor over `f64`.
+///
+/// Index order follows the paper's `M_ikj`: output component `i`, weight
+/// component `k`, input component `j`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor3 {
+    ni: usize,
+    nk: usize,
+    nj: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor3 {
+    /// Creates a zero tensor of the given shape.
+    pub fn zeros(ni: usize, nk: usize, nj: usize) -> Self {
+        Self { ni, nk, nj, data: vec![0.0; ni * nk * nj] }
+    }
+
+    /// Shape as `(n_i, n_k, n_j)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.ni, self.nk, self.nj)
+    }
+
+    /// Entry accessor `M_ikj`.
+    pub fn get(&self, i: usize, k: usize, j: usize) -> f64 {
+        self.data[(i * self.nk + k) * self.nj + j]
+    }
+
+    /// Mutable entry accessor `M_ikj`.
+    pub fn set(&mut self, i: usize, k: usize, j: usize, v: f64) {
+        self.data[(i * self.nk + k) * self.nj + j] = v;
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|v| **v != 0.0).count()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Mode-0 unfolding: an `n_i × (n_k·n_j)` matrix with `(k, j)` as the
+    /// flattened column index (`k` major).
+    pub fn unfold_i(&self) -> Mat {
+        let mut m = Mat::zeros(self.ni, self.nk * self.nj);
+        for i in 0..self.ni {
+            for k in 0..self.nk {
+                for j in 0..self.nj {
+                    m[(i, k * self.nj + j)] = self.get(i, k, j);
+                }
+            }
+        }
+        m
+    }
+
+    /// Mode-1 unfolding: `n_k × (n_i·n_j)` (`i` major).
+    pub fn unfold_k(&self) -> Mat {
+        let mut m = Mat::zeros(self.nk, self.ni * self.nj);
+        for i in 0..self.ni {
+            for k in 0..self.nk {
+                for j in 0..self.nj {
+                    m[(k, i * self.nj + j)] = self.get(i, k, j);
+                }
+            }
+        }
+        m
+    }
+
+    /// Mode-2 unfolding: `n_j × (n_i·n_k)` (`i` major).
+    pub fn unfold_j(&self) -> Mat {
+        let mut m = Mat::zeros(self.nj, self.ni * self.nk);
+        for i in 0..self.ni {
+            for k in 0..self.nk {
+                for j in 0..self.nj {
+                    m[(j, i * self.nk + k)] = self.get(i, k, j);
+                }
+            }
+        }
+        m
+    }
+
+    /// Evaluates the bilinear form: `z_i = Σ_jk M_ikj g_k x_j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g.len() != n_k` or `x.len() != n_j`.
+    pub fn bilinear(&self, g: &[f64], x: &[f64]) -> Vec<f64> {
+        assert_eq!(g.len(), self.nk);
+        assert_eq!(x.len(), self.nj);
+        let mut z = vec![0.0; self.ni];
+        for i in 0..self.ni {
+            let mut acc = 0.0;
+            for k in 0..self.nk {
+                if g[k] == 0.0 {
+                    continue;
+                }
+                for j in 0..self.nj {
+                    let m = self.get(i, k, j);
+                    if m != 0.0 {
+                        acc += m * g[k] * x[j];
+                    }
+                }
+            }
+            z[i] = acc;
+        }
+        z
+    }
+
+    /// Reconstructs the tensor from a CP decomposition
+    /// `M_ikj ≈ Σ_r tz[i][r] · tg[r][k] · tx[r][j]`.
+    ///
+    /// The factor layout matches the fast-algorithm convention:
+    /// `tz` is `n_i × m`, `tg` and `tx` are `m × n_k` / `m × n_j`.
+    pub fn from_cp(tz: &Mat, tg: &Mat, tx: &Mat) -> Self {
+        let m = tg.rows();
+        assert_eq!(tx.rows(), m, "tg/tx rank mismatch");
+        assert_eq!(tz.cols(), m, "tz rank mismatch");
+        let (ni, nk, nj) = (tz.rows(), tg.cols(), tx.cols());
+        let mut t = Self::zeros(ni, nk, nj);
+        for i in 0..ni {
+            for k in 0..nk {
+                for j in 0..nj {
+                    let mut acc = 0.0;
+                    for r in 0..m {
+                        acc += tz[(i, r)] * tg[(r, k)] * tx[(r, j)];
+                    }
+                    t.set(i, k, j, acc);
+                }
+            }
+        }
+        t
+    }
+
+    /// Frobenius distance to another tensor of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn distance(&self, rhs: &Tensor3) -> f64 {
+        assert_eq!(self.shape(), rhs.shape());
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complex_tensor() -> Tensor3 {
+        // z0 = g0 x0 - g1 x1 ; z1 = g0 x1 + g1 x0
+        let mut m = Tensor3::zeros(2, 2, 2);
+        m.set(0, 0, 0, 1.0);
+        m.set(0, 1, 1, -1.0);
+        m.set(1, 0, 1, 1.0);
+        m.set(1, 1, 0, 1.0);
+        m
+    }
+
+    #[test]
+    fn bilinear_matches_complex_product() {
+        let m = complex_tensor();
+        // (1 + 2i)(3 + 4i) = 3 + 4i + 6i + 8i^2 = -5 + 10i
+        let z = m.bilinear(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(z, vec![-5.0, 10.0]);
+    }
+
+    #[test]
+    fn unfoldings_have_consistent_energy() {
+        let m = complex_tensor();
+        let f = m.frobenius();
+        assert!((m.unfold_i().frobenius() - f).abs() < 1e-12);
+        assert!((m.unfold_k().frobenius() - f).abs() < 1e-12);
+        assert!((m.unfold_j().frobenius() - f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nnz_counts_entries() {
+        assert_eq!(complex_tensor().nnz(), 4);
+    }
+
+    #[test]
+    fn cp_roundtrip_for_karatsuba_complex() {
+        // The classic 3-multiplication complex algorithm as a CP
+        // decomposition; must reconstruct the complex tensor exactly.
+        let tg = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let tx = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let tz = Mat::from_rows(&[&[1.0, -1.0, 0.0], &[-1.0, -1.0, 1.0]]);
+        let rec = Tensor3::from_cp(&tz, &tg, &tx);
+        assert!(rec.distance(&complex_tensor()) < 1e-12);
+    }
+}

@@ -1,0 +1,354 @@
+//! Concrete constructors for every ring variant of the paper's Table I.
+//!
+//! - `RI_n`: diagonal (component-wise) multiplication, identity transforms.
+//! - `RH_n`: `G_ij = g_{i⊕j}` (dyadic convolution), diagonalized by the
+//!   Hadamard transform; the HadaNet-alike ring.
+//! - `C`: the complex field with the 3-multiplication Karatsuba algorithm.
+//! - `H`: quaternions (non-commutative; Howell–Lafon lower bound m = 8,
+//!   we attach the trivial 16-mult algorithm and expose the bound
+//!   separately in [`crate::complexity`]).
+//! - `RO4`: diagonalized by the reflected Householder matrix `O`.
+//! - `RH4-I`: circular convolution (the CirCNN-alike ring) with the
+//!   5-multiplication Winograd/CRT algorithm for `x⁴ − 1`.
+//! - `RH4-II`, `RO4-I`, `RO4-II`: the remaining minimum-grank sign twists
+//!   of the cyclic permutation class found by the exhaustive search of
+//!   §III-C (see [`crate::search`]); they are sign-diagonal conjugates of
+//!   the circulant ring, so their fast algorithms are the conjugated CRT
+//!   algorithm (still adder-only coefficients).
+
+use crate::fast::FastAlgorithm;
+use crate::mat::Mat;
+use crate::ring::{Ring, RingKind};
+use crate::signperm::SignPerm;
+use crate::transforms::{hadamard, householder_o4};
+
+/// Builds the ring for `kind`. Used by [`Ring::from_kind`].
+pub fn build(kind: RingKind) -> Ring {
+    match kind {
+        RingKind::Ri(n) => ri(n),
+        RingKind::Rh(n) => rh(n),
+        RingKind::Complex => complex(),
+        RingKind::Quaternion => quaternion(),
+        RingKind::Ro4 => ro4(),
+        RingKind::Rh4I => cyclic_coboundary(kind, [1, 1, 1, 1]),
+        RingKind::Rh4II => cyclic_coboundary(kind, [1, 1, -1, 1]),
+        RingKind::Ro4I => cyclic_coboundary(kind, [1, 1, -1, -1]),
+        RingKind::Ro4II => cyclic_coboundary(kind, [1, 1, 1, -1]),
+    }
+}
+
+/// The component-wise ring `RI_n` (any `n ≥ 1`; `n = 1` is the real field).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ri(n: usize) -> Ring {
+    assert!(n >= 1, "ring dimension must be positive");
+    Ring::diagonal(RingKind::Ri(n), n)
+}
+
+/// The Hadamard ring `RH_n` (`n` a power of two ≥ 2): `G_ij = g_{i⊕j}`.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or `n < 2`.
+pub fn rh(n: usize) -> Ring {
+    assert!(n >= 2 && n.is_power_of_two(), "RH requires a power-of-two n ≥ 2, got {n}");
+    let mut signs = vec![1i8; n * n];
+    let mut perm = vec![0u8; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            perm[i * n + j] = (i ^ j) as u8;
+        }
+    }
+    let sp = SignPerm::new(std::mem::take(&mut signs), perm).expect("valid RH structure");
+    let h = hadamard(n);
+    let fast = FastAlgorithm::new(h.clone(), h.clone(), h.scaled(1.0 / n as f64));
+    Ring::from_sign_perm(RingKind::Rh(n), sp, fast)
+}
+
+/// The complex field `C` as a 2-tuple ring with the 3-mult Karatsuba
+/// algorithm: `m1 = g0·x0`, `m2 = g1·x1`, `m3 = (g0+g1)(x0+x1)`,
+/// `z0 = m1 − m2`, `z1 = m3 − m1 − m2`.
+pub fn complex() -> Ring {
+    let sp = SignPerm::new(vec![1, -1, 1, 1], vec![0, 1, 1, 0]).expect("valid C structure");
+    let tg = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+    let tx = tg.clone();
+    let tz = Mat::from_rows(&[&[1.0, -1.0, 0.0], &[-1.0, -1.0, 1.0]]);
+    Ring::from_sign_perm(RingKind::Complex, sp, FastAlgorithm::new(tg, tx, tz))
+}
+
+/// The quaternions `H` (non-commutative).
+///
+/// `G` follows the Hamilton product; the permutation is the XOR table with
+/// the quaternionic sign pattern. The attached bilinear algorithm is the
+/// trivial 16-multiplication expansion; the Howell–Lafon optimum (m = 8)
+/// is reported as the theoretical bound in [`crate::complexity`].
+pub fn quaternion() -> Ring {
+    #[rustfmt::skip]
+    let signs: Vec<i8> = vec![
+        1, -1, -1, -1,
+        1,  1, -1,  1,
+        1,  1,  1, -1,
+        1, -1,  1,  1,
+    ];
+    let mut perm = vec![0u8; 16];
+    for i in 0..4 {
+        for j in 0..4 {
+            perm[i * 4 + j] = (i ^ j) as u8;
+        }
+    }
+    let sp = SignPerm::new(signs, perm).expect("valid H structure");
+    let fast = FastAlgorithm::trivial(&sp);
+    Ring::from_sign_perm(RingKind::Quaternion, sp, fast)
+}
+
+/// The Householder-diagonalized grank-4 ring `RO4`:
+/// `G = ¼·Oᵗ·diag(O·g)·O` with `O = 2L1(I − 2vv^t)`.
+pub fn ro4() -> Ring {
+    let o = householder_o4();
+    let ot4 = o.transposed().scaled(0.25);
+    // Extract (S, P) from the linear map g ↦ G(g) on the basis.
+    let g_map = |l: usize| -> Mat {
+        let mut e = vec![0.0; 4];
+        e[l] = 1.0;
+        ot4.matmul(&Mat::diag(&o.matvec(&e))).matmul(&o)
+    };
+    let sp = extract_sign_perm(4, g_map).expect("RO4 must have signed-permutation structure");
+    let fast = FastAlgorithm::new(o.clone(), o.clone(), ot4);
+    Ring::from_sign_perm(RingKind::Ro4, sp, fast)
+}
+
+/// A cyclic-class (circulant permutation) ring twisted by the coboundary
+/// of `d ∈ {±1}⁴` (with `d[0] = 1`): `S_ij = d_i·d_j·d_{(i−j) mod 4}`.
+///
+/// `d = (1,1,1,1)` is the plain circulant ring `RH4-I` (CirCNN-alike).
+/// All coboundary twists share the minimum grank 5 and inherit the CRT
+/// fast algorithm of `x⁴ − 1` conjugated by `diag(d)`.
+fn cyclic_coboundary(kind: RingKind, d: [i8; 4]) -> Ring {
+    assert_eq!(d[0], 1, "unity sign must be positive");
+    let n = 4usize;
+    let mut signs = vec![0i8; n * n];
+    let mut perm = vec![0u8; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let k = (i + n - j) % n;
+            perm[i * n + j] = k as u8;
+            signs[i * n + j] = d[i] * d[j] * d[k];
+        }
+    }
+    let sp = SignPerm::new(signs, perm).expect("valid cyclic structure");
+    let (tg, tx, tz) = circulant4_crt();
+    let dm = Mat::diag(&[f64::from(d[0]), f64::from(d[1]), f64::from(d[2]), f64::from(d[3])]);
+    // G'(g') = D·G(D·g')·D  ⇒  Tg' = Tg·D, Tx' = Tx·D, Tz' = D·Tz.
+    let fast = FastAlgorithm::new(tg.matmul(&dm), tx.matmul(&dm), dm.matmul(&tz));
+    Ring::from_sign_perm(kind, sp, fast)
+}
+
+/// The 5-multiplication Winograd/CRT algorithm for length-4 real cyclic
+/// convolution (`x⁴ − 1 = (x−1)(x+1)(x²+1)`; 2·4 − 3 = 5 products):
+///
+/// ```text
+/// P1 = (g0+g1+g2+g3)(x0+x1+x2+x3)          — residue mod (x−1)
+/// P2 = (g0−g1+g2−g3)(x0−x1+x2−x3)          — residue mod (x+1)
+/// P3 = (g0−g2)(x0−x2), P4 = (g1−g3)(x1−x3),
+/// P5 = (g0+g1−g2−g3)(x0+x1−x2−x3)          — Karatsuba mod (x²+1)
+/// z0 = P1/4 + P2/4 + (P3−P4)/2
+/// z1 = P1/4 − P2/4 + (P5−P3−P4)/2
+/// z2 = P1/4 + P2/4 − (P3−P4)/2
+/// z3 = P1/4 − P2/4 − (P5−P3−P4)/2
+/// ```
+fn circulant4_crt() -> (Mat, Mat, Mat) {
+    let t = Mat::from_rows(&[
+        &[1.0, 1.0, 1.0, 1.0],
+        &[1.0, -1.0, 1.0, -1.0],
+        &[1.0, 0.0, -1.0, 0.0],
+        &[0.0, 1.0, 0.0, -1.0],
+        &[1.0, 1.0, -1.0, -1.0],
+    ]);
+    let q = 0.25;
+    let h = 0.5;
+    let tz = Mat::from_rows(&[
+        &[q, q, h, -h, 0.0],
+        &[q, -q, -h, -h, h],
+        &[q, q, -h, h, 0.0],
+        &[q, -q, h, h, -h],
+    ]);
+    (t.clone(), t, tz)
+}
+
+/// Extracts the `(S, P)` structure of a linear weight-to-matrix map by
+/// evaluating it on the standard basis. Returns `None` when the map is not
+/// a signed permutation in the weights (i.e. some entry depends on more
+/// than one weight component or has a non-±1 coefficient).
+fn extract_sign_perm(n: usize, g_map: impl Fn(usize) -> Mat) -> Option<SignPerm> {
+    let mats: Vec<Mat> = (0..n).map(g_map).collect();
+    let mut signs = vec![0i8; n * n];
+    let mut perm = vec![0u8; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut found = None;
+            for (l, m) in mats.iter().enumerate() {
+                let v = m[(i, j)];
+                if v.abs() > 1e-9 {
+                    if found.is_some() || (v.abs() - 1.0).abs() > 1e-9 {
+                        return None;
+                    }
+                    found = Some((l, if v > 0.0 { 1i8 } else { -1i8 }));
+                }
+            }
+            let (l, s) = found?;
+            perm[i * n + j] = l as u8;
+            signs[i * n + j] = s;
+        }
+    }
+    SignPerm::new(signs, perm).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grank::{estimate_rank, CpOptions};
+
+    #[test]
+    fn rh2_multiplication_is_symmetric_toeplitz() {
+        let r = rh(2);
+        let g = [2.0, 3.0];
+        let gm = r.isomorphic_matrix(&g);
+        assert_eq!(gm[(0, 0)], 2.0);
+        assert_eq!(gm[(0, 1)], 3.0);
+        assert_eq!(gm[(1, 0)], 3.0);
+        assert_eq!(gm[(1, 1)], 2.0);
+    }
+
+    #[test]
+    fn quaternion_matches_hamilton_product() {
+        let h = quaternion();
+        // i·j = k:  (0,1,0,0)·(0,0,1,0) = (0,0,0,1)
+        let z = h.mul_f64(&[0.0, 1.0, 0.0, 0.0], &[0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(z, vec![0.0, 0.0, 0.0, 1.0]);
+        // j·i = −k (non-commutative)
+        let z = h.mul_f64(&[0.0, 0.0, 1.0, 0.0], &[0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(z, vec![0.0, 0.0, 0.0, -1.0]);
+        // i² = −1
+        let z = h.mul_f64(&[0.0, 1.0, 0.0, 0.0], &[0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(z, vec![-1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn quaternion_is_associative_but_not_commutative() {
+        let sp = quaternion().sign_perm().unwrap().clone();
+        assert!(sp.is_associative());
+        assert!(!sp.is_commutative());
+        assert!(!sp.satisfies_c2());
+    }
+
+    #[test]
+    fn circulant_matches_cyclic_convolution() {
+        let r = build(RingKind::Rh4I);
+        let g = [1.0, 2.0, 3.0, 4.0];
+        let x = [5.0, 6.0, 7.0, 8.0];
+        let direct = r.mul_f64(&g, &x);
+        // z_i = Σ_j g_{(i−j) mod 4} x_j
+        for i in 0..4 {
+            let mut want = 0.0;
+            for j in 0..4 {
+                want += g[(i + 4 - j) % 4] * x[j];
+            }
+            assert!((direct[i] - want).abs() < 1e-12, "i={i}");
+        }
+        let fast = r.mul_fast_f64(&g, &x);
+        for i in 0..4 {
+            assert!((direct[i] - fast[i]).abs() < 1e-9, "fast i={i}");
+        }
+    }
+
+    #[test]
+    fn circulant_fast_algorithm_uses_five_mults() {
+        assert_eq!(build(RingKind::Rh4I).fast().m(), 5);
+        assert_eq!(build(RingKind::Rh4II).fast().m(), 5);
+        assert_eq!(build(RingKind::Ro4I).fast().m(), 5);
+        assert_eq!(build(RingKind::Ro4II).fast().m(), 5);
+    }
+
+    #[test]
+    fn minimal_fast_algorithms_for_diagonalizable_rings() {
+        assert_eq!(ri(4).fast().m(), 4);
+        assert_eq!(rh(4).fast().m(), 4);
+        assert_eq!(ro4().fast().m(), 4);
+        assert_eq!(rh(8).fast().m(), 8);
+        assert_eq!(complex().fast().m(), 3);
+    }
+
+    #[test]
+    fn ro4_has_signed_xor_structure() {
+        let r = ro4();
+        let sp = r.sign_perm().expect("proper ring");
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(sp.perm(i, j), i ^ j, "RO4 permutation must be XOR at ({i},{j})");
+            }
+        }
+        // Not the all-plus pattern (otherwise it would be RH4).
+        let any_negative =
+            (0..4).any(|i| (0..4).any(|j| sp.sign(i, j) < 0));
+        assert!(any_negative);
+        assert!(sp.satisfies_c1());
+        assert!(sp.satisfies_c2());
+        assert!(sp.is_associative());
+    }
+
+    #[test]
+    fn cyclic_twists_are_proper_and_distinct() {
+        let kinds = [RingKind::Rh4I, RingKind::Rh4II, RingKind::Ro4I, RingKind::Ro4II];
+        let mut patterns = Vec::new();
+        for kind in kinds {
+            let r = build(kind);
+            let sp = r.sign_perm().unwrap();
+            assert!(sp.satisfies_c1(), "{kind:?} C1");
+            assert!(sp.satisfies_c2(), "{kind:?} C2");
+            assert!(sp.is_associative(), "{kind:?} associativity");
+            let pat: Vec<i8> = (0..4)
+                .flat_map(|i| (0..4).map(move |j| (i, j)))
+                .map(|(i, j)| sp.sign(i, j))
+                .collect();
+            assert!(!patterns.contains(&pat), "{kind:?} duplicates another variant");
+            patterns.push(pat);
+        }
+    }
+
+    #[test]
+    fn grank_of_ro4_is_four() {
+        let r = ro4();
+        let est = estimate_rank(&r.indexing_tensor(), 6, &CpOptions::default());
+        assert_eq!(est.rank, 4);
+    }
+
+    #[test]
+    fn grank_of_cyclic_twists_is_five() {
+        for kind in [RingKind::Rh4II, RingKind::Ro4I, RingKind::Ro4II] {
+            let r = build(kind);
+            let est = estimate_rank(&r.indexing_tensor(), 8, &CpOptions::default());
+            assert_eq!(est.rank, 5, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn adder_only_transforms_where_paper_claims() {
+        for kind in [
+            RingKind::Ri(2),
+            RingKind::Rh(2),
+            RingKind::Complex,
+            RingKind::Ri(4),
+            RingKind::Rh(4),
+            RingKind::Ro4,
+            RingKind::Rh4I,
+            RingKind::Rh4II,
+            RingKind::Ro4I,
+            RingKind::Ro4II,
+        ] {
+            let r = build(kind);
+            assert!(r.fast().has_adder_only_transforms(), "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks for ring multiplication: direct bilinear
+//! MAC vs transform-based fast algorithm, per ring variant.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ringcnn_algebra::prelude::*;
+use std::time::Duration;
+
+fn bench_ring_mac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_mac_f32");
+    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    for kind in [
+        RingKind::Ri(1),
+        RingKind::Ri(2),
+        RingKind::Rh(2),
+        RingKind::Complex,
+        RingKind::Ri(4),
+        RingKind::Rh(4),
+        RingKind::Rh4I,
+        RingKind::Quaternion,
+    ] {
+        let ring = Ring::from_kind(kind);
+        let n = ring.n();
+        let g: Vec<f32> = (0..n).map(|i| i as f32 * 0.3 - 0.2).collect();
+        let x: Vec<f32> = (0..n).map(|i| i as f32 * -0.1 + 0.5).collect();
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut acc = vec![0.0f32; n];
+                for _ in 0..64 {
+                    ring.mac_f32(black_box(&g), black_box(&x), &mut acc);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fast_vs_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fast_vs_direct_f64");
+    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    for kind in [RingKind::Rh(4), RingKind::Rh4I] {
+        let ring = Ring::from_kind(kind);
+        let n = ring.n();
+        let g: Vec<f64> = (0..n).map(|i| i as f64 * 0.3 - 0.2).collect();
+        let x: Vec<f64> = (0..n).map(|i| i as f64 * -0.1 + 0.5).collect();
+        group.bench_function(format!("{}-direct", kind.label()), |b| {
+            b.iter(|| ring.mul_f64(black_box(&g), black_box(&x)))
+        });
+        group.bench_function(format!("{}-fast", kind.label()), |b| {
+            b.iter(|| ring.mul_fast_f64(black_box(&g), black_box(&x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_directional_relu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("directional_relu");
+    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    for n in [2usize, 4, 8] {
+        let f = DirectionalRelu::fh(n);
+        let data: Vec<f32> = (0..n).map(|i| i as f32 - 1.3).collect();
+        group.bench_function(format!("fh_n{n}"), |b| {
+            b.iter(|| {
+                let mut y = data.clone();
+                f.forward(&mut y);
+                y
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring_mac, bench_fast_vs_direct, bench_directional_relu);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! eRingCNN simulator validation (§V): runs quantized scenario models on
+//! the cycle-approximate simulator, checks bit-exactness against the
+//! quantization reference, and reports cycles, utilization, throughput,
+//! energy, and memory footprints for each configuration.
+
+use ringcnn::prelude::*;
+use ringcnn_bench::{f2, flags, print_table, save_json};
+use ringcnn_esim::prelude::*;
+use ringcnn_hw::prelude::{AcceleratorConfig, TechParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Entry {
+    accelerator: String,
+    scenario: String,
+    bit_exact: bool,
+    cycles: u64,
+    utilization: f64,
+    fps_equivalent_1080p: f64,
+    nj_per_output_pixel: f64,
+    weight_kb: f64,
+    weights_fit: bool,
+}
+
+fn main() {
+    let fl = flags();
+    let scale = fl.scale;
+    let t = TechParams::tsmc40();
+    let image = 32usize;
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (accel, alg) in [
+        (AcceleratorConfig::ecnn(), Algebra::real()),
+        (AcceleratorConfig::eringcnn_n2(), Algebra::ri_fh(2)),
+        (AcceleratorConfig::eringcnn_n4(), Algebra::ri_fh(4)),
+    ] {
+        for scenario in [Scenario::Denoise { sigma: 25.0 }, Scenario::Sr4] {
+            let mut model = build_model(scenario, ThroughputTarget::Uhd30, &alg, 55);
+            let _ = train_model(&mut model, scenario, &scale, 5);
+            let calib = training_pairs(scenario, &scale);
+            let qm = QuantizedModel::quantize(&mut model, &calib.inputs, QuantOptions::default());
+            let input = match scenario {
+                Scenario::Denoise { sigma } => {
+                    add_gaussian_noise(&dataset(DatasetProfile::Set5, image, 1), sigma, 1)
+                }
+                Scenario::Sr4 => downsample(&dataset(DatasetProfile::Set5, image, 1), 4),
+            };
+            let reference = qm.forward(&input);
+            let (out, report) = simulate(&qm, &input, &accel, &t);
+            let bit_exact = out.as_slice() == reference.as_slice();
+            // Scale the per-inference cycle count to a Full-HD frame.
+            let in_pixels = (input.shape().h * input.shape().w) as f64;
+            let frame_scale = 1920.0 * 1080.0 / in_pixels;
+            let fps_1080 = 1.0 / (report.seconds * frame_scale);
+            rows.push(vec![
+                accel.name.clone(),
+                scenario.label(),
+                bit_exact.to_string(),
+                report.cycles.to_string(),
+                f2(report.utilization),
+                f2(fps_1080),
+                f2(report.nj_per_output_pixel),
+                f2(report.memory.weight_bytes as f64 / 1024.0),
+                report.weights_fit.to_string(),
+            ]);
+            json.push(Entry {
+                accelerator: accel.name.clone(),
+                scenario: scenario.label(),
+                bit_exact,
+                cycles: report.cycles,
+                utilization: report.utilization,
+                fps_equivalent_1080p: fps_1080,
+                nj_per_output_pixel: report.nj_per_output_pixel,
+                weight_kb: report.memory.weight_bytes as f64 / 1024.0,
+                weights_fit: report.weights_fit,
+            });
+            assert!(bit_exact, "simulator must be bit-exact");
+        }
+    }
+    print_table(
+        "eRingCNN simulator validation",
+        &[
+            "accelerator",
+            "scenario",
+            "bit-exact",
+            "cycles",
+            "utilization",
+            "fps @1080p-equivalent",
+            "nJ/out-pixel",
+            "weights (KB)",
+            "fits SRAM",
+        ],
+        &rows,
+    );
+    save_json(&fl, "esim_validation", &json);
+}

@@ -1,0 +1,67 @@
+//! Fig. 9: PSNR comparison of ring variants on the denoising model
+//! (DnERNet-PU) and the ×4 SR model (SR4ERNet).
+//!
+//! Shape targets: `RI` with `fcw` is worst (no information mixing);
+//! `(RI, fH)` is best and beats `(RI4, fO4)`; among `fcw` rings the
+//! grank-4 `RO4` beats `RH4` and `RO4-I` beats the CirCNN-alike `RH4-I`.
+
+use ringcnn::prelude::*;
+use ringcnn_algebra::relu::Nonlinearity;
+use ringcnn_bench::{f2, flags, print_table, save_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Entry {
+    scenario: String,
+    algebra: String,
+    psnr_db: f64,
+    mults_per_pixel: f64,
+}
+
+fn algebras(standard: bool) -> Vec<(String, Algebra)> {
+    let mut v = vec![
+        ("RI2+fcw".into(), Algebra::with_fcw(RingKind::Ri(2))),
+        ("RH2".into(), Algebra::with_fcw(RingKind::Rh(2))),
+        ("C".into(), Algebra::with_fcw(RingKind::Complex)),
+        ("(RI2,fH)".into(), Algebra::ri_fh(2)),
+        ("RI4+fcw".into(), Algebra::with_fcw(RingKind::Ri(4))),
+        ("RH4".into(), Algebra::with_fcw(RingKind::Rh(4))),
+        ("RO4".into(), Algebra::with_fcw(RingKind::Ro4)),
+        ("RH4-I".into(), Algebra::with_fcw(RingKind::Rh4I)),
+        ("(RI4,fH)".into(), Algebra::ri_fh(4)),
+    ];
+    if standard {
+        v.push(("H".into(), Algebra::with_fcw(RingKind::Quaternion)));
+        v.push(("RH4-II".into(), Algebra::with_fcw(RingKind::Rh4II)));
+        v.push(("RO4-I".into(), Algebra::with_fcw(RingKind::Ro4I)));
+        v.push(("RO4-II".into(), Algebra::with_fcw(RingKind::Ro4II)));
+        v.push(("(RI4,fO4)".into(), Algebra::new(RingKind::Ri(4), Nonlinearity::DirectionalO4)));
+    }
+    v
+}
+
+fn main() {
+    let fl = flags();
+    let mut json = Vec::new();
+    for scenario in [Scenario::Denoise { sigma: 25.0 }, Scenario::Sr4] {
+        let mut rows = Vec::new();
+        for (i, (label, alg)) in algebras(fl.standard).iter().enumerate() {
+            let mut model =
+                build_model(scenario, ThroughputTarget::Uhd30, alg, 100 + i as u64);
+            let r = run_quality(label.clone(), &mut model, scenario, &fl.scale, 7);
+            rows.push(vec![label.clone(), f2(r.psnr_db), format!("{:.0}", r.mults_per_pixel)]);
+            json.push(Entry {
+                scenario: scenario.label(),
+                algebra: label.clone(),
+                psnr_db: r.psnr_db,
+                mults_per_pixel: r.mults_per_pixel,
+            });
+        }
+        print_table(
+            &format!("Fig. 9 — PSNR of ring variants, {}", scenario.label()),
+            &["algebra", "PSNR (dB)", "mults/pixel"],
+            &rows,
+        );
+    }
+    save_json(&fl, "fig09_ring_quality", &json);
+}

@@ -1,0 +1,84 @@
+//! Fig. 11: algebraically-sparse RingCNN vs unstructured magnitude
+//! pruning at 2×/4×/8× compression (plus the dense 1× baseline), on
+//! denoising and SR.
+//!
+//! Protocol follows the paper: pruned models are pre-trained, pruned,
+//! then fine-tuned with extra epochs; the 1× baseline and RingCNNs get
+//! the same extra budget for fairness.
+
+use ringcnn::prelude::*;
+use ringcnn_bench::{f2, flags, print_table, save_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Entry {
+    scenario: String,
+    method: String,
+    compression: f64,
+    psnr_db: f64,
+}
+
+fn main() {
+    let fl = flags();
+    let scale = fl.scale;
+    let extra = ExperimentScale { steps: scale.steps / 2, ..scale };
+    let mut json = Vec::new();
+    for scenario in [Scenario::Denoise { sigma: 25.0 }, Scenario::Sr4] {
+        let mut rows = Vec::new();
+        // 1× real baseline (with the fairness extra budget).
+        let mut base = build_model(scenario, ThroughputTarget::Uhd30, &Algebra::real(), 11);
+        let _ = train_model(&mut base, scenario, &scale, 1);
+        let _ = train_model(&mut base, scenario, &extra, 2);
+        let p = evaluate_model(&mut base, scenario, &scale);
+        rows.push(vec!["real (1x)".into(), "1".into(), f2(p)]);
+        json.push(Entry {
+            scenario: scenario.label(),
+            method: "real".into(),
+            compression: 1.0,
+            psnr_db: p,
+        });
+        for compression in [2.0f64, 4.0, 8.0] {
+            // Unstructured pruning: pre-train, prune, fine-tune.
+            let mut pruned =
+                build_model(scenario, ThroughputTarget::Uhd30, &Algebra::real(), 11);
+            let _ = train_model(&mut pruned, scenario, &scale, 1);
+            let _ = global_magnitude_prune(&mut pruned, compression);
+            let _ = train_model(&mut pruned, scenario, &extra, 2);
+            let p_pruned = evaluate_model(&mut pruned, scenario, &scale);
+            // RingCNN at the same compression: n = compression.
+            let n = compression as usize;
+            let mut ring =
+                build_model(scenario, ThroughputTarget::Uhd30, &Algebra::ri_fh(n), 11);
+            let _ = train_model(&mut ring, scenario, &scale, 1);
+            let _ = train_model(&mut ring, scenario, &extra, 2);
+            let p_ring = evaluate_model(&mut ring, scenario, &scale);
+            rows.push(vec![
+                format!("pruning {compression}x"),
+                format!("{compression}"),
+                f2(p_pruned),
+            ]);
+            rows.push(vec![format!("(RI{n},fH)"), format!("{compression}"), f2(p_ring)]);
+            json.push(Entry {
+                scenario: scenario.label(),
+                method: "pruning".into(),
+                compression,
+                psnr_db: p_pruned,
+            });
+            json.push(Entry {
+                scenario: scenario.label(),
+                method: format!("(RI{n},fH)"),
+                compression,
+                psnr_db: p_ring,
+            });
+        }
+        print_table(
+            &format!("Fig. 11 — RingCNN vs unstructured pruning, {}", scenario.label()),
+            &["method", "compression", "PSNR (dB)"],
+            &rows,
+        );
+    }
+    println!(
+        "Shape target: (RI,fH) ≥ pruning at each compression; n=2 can even beat 1x."
+    );
+    save_json(&fl, "fig11_pruning", &json);
+}

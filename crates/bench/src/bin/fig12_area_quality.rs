@@ -1,0 +1,58 @@
+//! Fig. 12: synthesis-level area efficiency versus PSNR for 8-bit
+//! fixed-point FRCONV engines of every ring. Area efficiencies come from
+//! the gate-level engine model; PSNR from training each ring's SR4ERNet
+//! and quantizing it to 8 bits.
+
+use ringcnn::prelude::*;
+use ringcnn_algebra::relu::Nonlinearity;
+use ringcnn_bench::{f2, flags, print_table, save_json};
+use ringcnn_hw::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Entry {
+    ring: String,
+    area_efficiency: f64,
+    psnr_8bit: f64,
+}
+
+fn main() {
+    let fl = flags();
+    let scale = fl.scale;
+    let scenario = Scenario::Sr4;
+    let engines = fig12_engines(8);
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for e in &engines {
+        // Skip the real baseline in the quality sweep (efficiency 1.0).
+        let alg = match (e.ring, e.nonlinearity) {
+            (k, Nonlinearity::DirectionalH) => Algebra::new(k, Nonlinearity::DirectionalH),
+            (k, _) if k.n() == 1 => Algebra::real(),
+            (k, _) => Algebra::with_fcw(k),
+        };
+        let mut model = build_model(scenario, ThroughputTarget::Uhd30, &alg, 81);
+        let _ = train_model(&mut model, scenario, &scale, 19);
+        let calib = training_pairs(scenario, &scale);
+        let qm = QuantizedModel::quantize(&mut model, &calib.inputs, QuantOptions::default());
+        let profiles = eval_profiles(scenario);
+        let mut total = 0.0;
+        for p in &profiles {
+            let pairs = eval_pairs(scenario, *p, &scale);
+            total += psnr(&qm.forward(&pairs.inputs), &pairs.targets);
+        }
+        let q_psnr = total / profiles.len() as f64;
+        let label = format!("{} ({})", e.ring.label(), e.nonlinearity.label());
+        rows.push(vec![label.clone(), f2(e.area_efficiency), f2(q_psnr)]);
+        json.push(Entry { ring: label, area_efficiency: e.area_efficiency, psnr_8bit: q_psnr });
+    }
+    print_table(
+        "Fig. 12 — Engine area efficiency vs 8-bit PSNR (SR×4)",
+        &["engine", "area efficiency (vs real)", "PSNR (dB)"],
+        &rows,
+    );
+    println!(
+        "Shape target: (RI,fH) sits top-right — the smallest area AND the best\n\
+         quality at each n (paper: ~1.8×/1.5× area over RH4-I/RH4 with ~0.1 dB gain)."
+    );
+    save_json(&fl, "fig12_area_quality", &json);
+}

@@ -1,0 +1,35 @@
+//! Fig. 14: area and power efficiency of eRingCNN relative to eCNN, at
+//! the engine level and the whole-accelerator level.
+
+use ringcnn_bench::{f2, flags, print_table, save_json};
+use ringcnn_hw::prelude::*;
+
+fn main() {
+    let fl = flags();
+    let t = TechParams::tsmc40();
+    let paper = [
+        ("eRingCNN-n2", 2.08, 2.00, 1.64, 1.85),
+        ("eRingCNN-n4", 3.77, 3.84, 2.36, 3.12),
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (cfg, p) in
+        [AcceleratorConfig::eringcnn_n2(), AcceleratorConfig::eringcnn_n4()].iter().zip(paper)
+    {
+        let e = efficiency_vs_ecnn(cfg, &t);
+        rows.push(vec![
+            e.name.clone(),
+            format!("{} ({})", f2(e.engine_area), f2(p.1)),
+            format!("{} ({})", f2(e.engine_energy), f2(p.2)),
+            format!("{} ({})", f2(e.chip_area), f2(p.3)),
+            format!("{} ({})", f2(e.chip_energy), f2(p.4)),
+        ]);
+        json.push(e);
+    }
+    print_table(
+        "Fig. 14 — Efficiency vs eCNN: model (paper)",
+        &["design", "engine area ×", "engine energy ×", "chip area ×", "chip energy ×"],
+        &rows,
+    );
+    save_json(&fl, "fig14_efficiency", &json);
+}

@@ -1,0 +1,122 @@
+//! Table IV: PSNR of the RingCNN models on eRingCNN versus classical and
+//! advanced baselines, at the HD30 and UHD30 throughput targets.
+//!
+//! Baselines: classical (blur/bicubic, standing in for CBM3D/bicubic),
+//! VDSR, FFDNet-like, SRResNet, and the real-valued eCNN models; ours:
+//! `(RI2, fH)` and `(RI4, fH)`.
+
+use ringcnn::prelude::*;
+use ringcnn_bench::{f2, flags, print_table, save_json};
+use ringcnn_nn::models::{ffdnet::ffdnet, srresnet};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Entry {
+    scenario: String,
+    target: String,
+    method: String,
+    psnr_db: f64,
+}
+
+fn main() {
+    let fl = flags();
+    let scale = fl.scale;
+    let mut json = Vec::new();
+    for scenario in [Scenario::Denoise { sigma: 25.0 }, Scenario::Sr4] {
+        for target in [ThroughputTarget::Hd30, ThroughputTarget::Uhd30] {
+            let mut rows = Vec::new();
+            // Classical baseline.
+            let classical = classical_baseline(scenario, &scale);
+            let classical_name = match scenario {
+                Scenario::Denoise { .. } => "blur (CBM3D stand-in)",
+                Scenario::Sr4 => "bicubic",
+            };
+            rows.push(vec![classical_name.to_string(), f2(classical)]);
+            json.push(Entry {
+                scenario: scenario.label(),
+                target: target.label().into(),
+                method: classical_name.into(),
+                psnr_db: classical,
+            });
+            // Advanced baselines + our models.
+            let mut models: Vec<(String, Sequential)> = Vec::new();
+            match scenario {
+                Scenario::Denoise { .. } => {
+                    models.push((
+                        "FFDNet-like".into(),
+                        ffdnet(&Algebra::real(), 5, target.ernet_config().width, 1, 61),
+                    ));
+                }
+                Scenario::Sr4 => {
+                    models.push((
+                        // VDSR-class: shallow residual SR baseline (the
+                        // original runs at HR resolution; ours is the
+                        // depth-matched analogue at LR + shuffle).
+                        "VDSR-class (shallow)".into(),
+                        ringcnn::scenarios::with_bicubic_skip(
+                            srresnet::srresnet(
+                                &Algebra::real(),
+                                srresnet::SrResNetConfig {
+                                    blocks: 1,
+                                    channels: target.ernet_config().width,
+                                    depthwise: false,
+                                },
+                                1,
+                                62,
+                            ),
+                            4,
+                        ),
+                    ));
+                    models.push((
+                        "SRResNet-like".into(),
+                        ringcnn::scenarios::with_bicubic_skip(
+                            srresnet::srresnet(
+                                &Algebra::real(),
+                                srresnet::SrResNetConfig {
+                                    blocks: 3,
+                                    channels: target.ernet_config().width,
+                                    depthwise: false,
+                                },
+                                1,
+                                63,
+                            ),
+                            4,
+                        ),
+                    ));
+                }
+            }
+            models.push((
+                "eCNN (real ERNet)".into(),
+                build_model(scenario, target, &Algebra::real(), 64),
+            ));
+            models.push((
+                "eRingCNN-n2 (RI2,fH)".into(),
+                build_model(scenario, target, &Algebra::ri_fh(2), 64),
+            ));
+            models.push((
+                "eRingCNN-n4 (RI4,fH)".into(),
+                build_model(scenario, target, &Algebra::ri_fh(4), 64),
+            ));
+            for (label, mut model) in models {
+                let r = run_quality(label.clone(), &mut model, scenario, &scale, 13);
+                rows.push(vec![label.clone(), f2(r.psnr_db)]);
+                json.push(Entry {
+                    scenario: scenario.label(),
+                    target: target.label().into(),
+                    method: label,
+                    psnr_db: r.psnr_db,
+                });
+            }
+            print_table(
+                &format!("Table IV — PSNR, {} @ {}", scenario.label(), target.label()),
+                &["method", "PSNR (dB)"],
+                &rows,
+            );
+        }
+    }
+    println!(
+        "Shape targets: all CNNs ≫ classical; eRingCNN-n2 ≈ eCNN (±0.05 dB);\n\
+         eRingCNN-n4 within ~0.2 dB of eCNN."
+    );
+    save_json(&fl, "table4_psnr", &json);
+}

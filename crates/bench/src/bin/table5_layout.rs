@@ -1,0 +1,52 @@
+//! Table V: design configurations and layout performance of eRingCNN
+//! (model predictions; paper values quoted for comparison).
+
+use ringcnn_bench::{f2, flags, print_table, save_json};
+use ringcnn_hw::prelude::*;
+
+fn main() {
+    let fl = flags();
+    let t = TechParams::tsmc40();
+    let configs = [
+        (AcceleratorConfig::ecnn(), Some((55.23, 6.94))),
+        (AcceleratorConfig::eringcnn_n2(), Some((33.73, 3.76))),
+        (AcceleratorConfig::eringcnn_n4(), Some((23.36, 2.22))),
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (cfg, paper) in configs {
+        let r = layout_report(&cfg, &t);
+        let (pa, pp) = paper.unwrap_or((f64::NAN, f64::NAN));
+        rows.push(vec![
+            r.name.clone(),
+            cfg.physical_multipliers().to_string(),
+            format!("{:.0}", cfg.weight_mem_kb),
+            format!("{:.0}", cfg.clock_hz / 1e6),
+            f2(r.area_mm2),
+            f2(pa),
+            f2(r.power_w),
+            f2(pp),
+            f2(r.tops_equivalent),
+            f2(r.tops_per_watt),
+        ]);
+        json.push(r);
+    }
+    print_table(
+        "Table V — Design configurations and layout performance",
+        &[
+            "design",
+            "MACs",
+            "weight mem (KB)",
+            "clock (MHz)",
+            "area mm² (model)",
+            "area mm² (paper)",
+            "power W (model)",
+            "power W (paper)",
+            "equiv. TOPS",
+            "equiv. TOPS/W",
+        ],
+        &rows,
+    );
+    println!("DRAM bandwidth for 4K UHD 30 fps: {:.2} GB/s (paper: 1.93 GB/s)", dram_bandwidth_gbs(0.7));
+    save_json(&fl, "table5_layout", &json);
+}

@@ -1,0 +1,56 @@
+//! Table VI: area and power breakdowns of the eRingCNN configurations
+//! (model predictions), including the directional-ReLU share of the
+//! 3×3 engine (paper: 3.4% at n = 2, 8.9% at n = 4).
+
+use ringcnn_algebra::relu::Nonlinearity;
+use ringcnn_algebra::ring::{Ring, RingKind};
+use ringcnn_bench::{f2, flags, print_table, save_json};
+use ringcnn_hw::prelude::*;
+
+fn main() {
+    let fl = flags();
+    let t = TechParams::tsmc40();
+    let mut json = Vec::new();
+    for cfg in [AcceleratorConfig::eringcnn_n2(), AcceleratorConfig::eringcnn_n4()] {
+        let r = layout_report(&cfg, &t);
+        let rows: Vec<Vec<String>> = r
+            .breakdown
+            .iter()
+            .map(|b| {
+                vec![
+                    b.component.clone(),
+                    f2(b.area_mm2),
+                    f2(100.0 * b.area_mm2 / r.area_mm2),
+                    f2(b.power_w),
+                    f2(100.0 * b.power_w / r.power_w),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Table VI — breakdown, {}", r.name),
+            &["component", "area mm²", "area %", "power W", "power %"],
+            &rows,
+        );
+        json.push(r);
+    }
+    // Directional-ReLU share of the 3×3 engine.
+    let mut rows = Vec::new();
+    for (n, paper) in [(2usize, 3.4), (4usize, 8.9)] {
+        let with = estimate_engine(
+            &Ring::from_kind(RingKind::Ri(n)),
+            Nonlinearity::DirectionalH,
+            8,
+            &t,
+        );
+        let without =
+            estimate_engine(&Ring::from_kind(RingKind::Ri(n)), Nonlinearity::None, 8, &t);
+        let frac = 100.0 * (1.0 - without.area_mm2 / with.area_mm2);
+        rows.push(vec![format!("n={n}"), f2(frac), f2(paper)]);
+    }
+    print_table(
+        "Directional-ReLU share of the RCONV-3×3 engine area",
+        &["config", "model %", "paper %"],
+        &rows,
+    );
+    save_json(&fl, "table6_breakdown", &json);
+}

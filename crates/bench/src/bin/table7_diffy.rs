@@ -1,0 +1,34 @@
+//! Table VII: comparison with Diffy for computational imaging at the
+//! FFDNet-level Full-HD 20 fps operating point (167 MHz).
+
+use ringcnn_bench::{f2, flags, print_table, save_json};
+use ringcnn_hw::competitors::published;
+use ringcnn_hw::prelude::*;
+
+fn main() {
+    let fl = flags();
+    let rows_data = table7(&TechParams::tsmc40());
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                f2(r.power_w),
+                f2(r.nj_per_pixel),
+                f2(r.efficiency_vs_diffy),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table VII — vs Diffy (FFDNet-level, Full-HD 20 fps, 167 MHz)",
+        &["design", "power (W)", "nJ/pixel", "energy efficiency vs Diffy"],
+        &rows,
+    );
+    println!(
+        "Paper: n2 = {:.2}x, n4 = {:.2}x over Diffy (the n2 row anchors the Diffy\n\
+         energy; the independently reproduced quantity is the n4/n2 ratio).",
+        published::VS_DIFFY.0,
+        published::VS_DIFFY.1
+    );
+    save_json(&fl, "table7_diffy", &rows_data);
+}

@@ -1,0 +1,188 @@
+//! Fast ring convolution — FRCONV, eq. (12) of the paper:
+//!
+//! ```text
+//! z[p,q,co] = Tz( Σ_{s,t,ci} g̃[s,t,ci,co] ∘ x̃[p−s,q−t,ci] )
+//! ```
+//!
+//! Transforms are amortized: `Tg` is applied once per weight tuple, `Tx`
+//! once per input feature tuple, and `Tz` once per output feature tuple —
+//! not once per MAC. The component-wise products in the transformed
+//! domain dominate, using `m` real multiplications per ring MAC instead
+//! of `n²`. For `RI` the transforms are identities and FRCONV coincides
+//! with RCONV (Fig. 5(c)).
+
+use ringcnn_algebra::ring::Ring;
+use ringcnn_tensor::prelude::*;
+
+/// Executes FRCONV for `ring` on an `[N, ci_t·n, H, W]` input.
+///
+/// `ring_weights` uses the [`ringcnn_nn::layers::ring_conv::RingConv2d`]
+/// layout `[co_t][ci_t][ky][kx][component]`; `bias` has `co_t·n` entries.
+///
+/// # Panics
+///
+/// Panics on inconsistent shapes.
+pub fn frconv_forward(
+    ring: &Ring,
+    input: &Tensor,
+    ring_weights: &[f32],
+    ci_t: usize,
+    co_t: usize,
+    k: usize,
+    bias: &[f32],
+) -> Tensor {
+    let n = ring.n();
+    let m = ring.fast().m();
+    let s = input.shape();
+    assert_eq!(s.c, ci_t * n, "input channels mismatch");
+    assert_eq!(ring_weights.len(), co_t * ci_t * k * k * n, "weight length mismatch");
+    assert_eq!(bias.len(), co_t * n, "bias length mismatch");
+
+    let tg = ring.fast().tg();
+    let tx = ring.fast().tx();
+    let tz = ring.fast().tz();
+
+    // --- Data transform: x̃ [N, ci_t·m, H, W], applied once per tuple.
+    let mut xt = Tensor::zeros(Shape4::new(s.n, ci_t * m, s.h, s.w));
+    let mut tup = vec![0.0f64; n];
+    for b in 0..s.n {
+        for ct in 0..ci_t {
+            for p in 0..s.plane() {
+                for l in 0..n {
+                    tup[l] = f64::from(input.plane(b, ct * n + l)[p]);
+                }
+                let t = tx.matvec(&tup);
+                for (r, v) in t.iter().enumerate() {
+                    xt.plane_mut(b, ct * m + r)[p] = *v as f32;
+                }
+            }
+        }
+    }
+
+    // --- Filter transform: g̃ [co_t][ci_t][ky][kx][m], once per weight.
+    let mut gt = vec![0.0f32; co_t * ci_t * k * k * m];
+    for w_idx in 0..co_t * ci_t * k * k {
+        for l in 0..n {
+            tup[l] = f64::from(ring_weights[w_idx * n + l]);
+        }
+        let t = tg.matvec(&tup);
+        for (r, v) in t.iter().enumerate() {
+            gt[w_idx * m + r] = *v as f32;
+        }
+    }
+
+    // --- Component-wise products accumulated in the transformed domain:
+    //     z̃[co_t·m] — a grouped convolution with m groups per tuple.
+    let pad = (k / 2) as isize;
+    let (h, w) = (s.h as isize, s.w as isize);
+    let mut zt = Tensor::zeros(Shape4::new(s.n, co_t * m, s.h, s.w));
+    for b in 0..s.n {
+        for cot in 0..co_t {
+            for cit in 0..ci_t {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let w_idx = (((cot * ci_t) + cit) * k + ky) * k + kx;
+                        let dy = ky as isize - pad;
+                        let dx = kx as isize - pad;
+                        for r in 0..m {
+                            let gv = gt[w_idx * m + r];
+                            if gv == 0.0 {
+                                continue;
+                            }
+                            let src = xt.plane(b, cit * m + r);
+                            let dst = zt.plane_mut(b, cot * m + r);
+                            let y0 = 0.max(-dy);
+                            let y1 = h.min(h - dy);
+                            let x0 = 0.max(-dx);
+                            let x1 = w.min(w - dx);
+                            for y in y0..y1 {
+                                let ro = (y * w) as usize;
+                                let ri = (y + dy) * w + dx;
+                                for x in x0..x1 {
+                                    dst[ro + x as usize] += gv * src[(ri + x) as usize];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Reconstruction transform + bias: once per output tuple.
+    let mut out = Tensor::zeros(Shape4::new(s.n, co_t * n, s.h, s.w));
+    let mut mtup = vec![0.0f64; m];
+    for b in 0..s.n {
+        for cot in 0..co_t {
+            for p in 0..s.plane() {
+                for r in 0..m {
+                    mtup[r] = f64::from(zt.plane(b, cot * m + r)[p]);
+                }
+                let z = tz.matvec(&mtup);
+                for l in 0..n {
+                    out.plane_mut(b, cot * n + l)[p] = z[l] as f32 + bias[cot * n + l];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Real multiplications per pixel of an FRCONV layer
+/// (`co_t·ci_t·k²·m`), the quantity the fast algorithm minimizes.
+pub fn frconv_mults_per_pixel(ring: &Ring, ci_t: usize, co_t: usize, k: usize) -> f64 {
+    (co_t * ci_t * k * k * ring.fast().m()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringcnn_algebra::ring::RingKind;
+    use ringcnn_nn::layer::Layer;
+    use ringcnn_nn::layers::ring_conv::RingConv2d;
+
+    #[test]
+    fn frconv_matches_rconv_for_all_rings() {
+        for kind in [
+            RingKind::Ri(2),
+            RingKind::Rh(2),
+            RingKind::Complex,
+            RingKind::Ri(4),
+            RingKind::Rh(4),
+            RingKind::Ro4,
+            RingKind::Rh4I,
+            RingKind::Rh4II,
+            RingKind::Ro4I,
+            RingKind::Ro4II,
+        ] {
+            let ring = Ring::from_kind(kind);
+            let n = ring.n();
+            let (ci_t, co_t, k) = (2usize, 2usize, 3usize);
+            let mut layer = RingConv2d::new(ring.clone(), ci_t * n, co_t * n, k, 5);
+            for (i, b) in layer.bias_mut().iter_mut().enumerate() {
+                *b = 0.05 * i as f32 - 0.1;
+            }
+            let x = Tensor::random_uniform(Shape4::new(1, ci_t * n, 5, 5), -1.0, 1.0, 6);
+            let reference = layer.forward(&x, false);
+            let fast = frconv_forward(
+                &ring,
+                &x,
+                layer.ring_weights(),
+                ci_t,
+                co_t,
+                k,
+                layer.bias(),
+            );
+            let mse = reference.mse(&fast);
+            assert!(mse < 1e-8, "{kind:?}: FRCONV deviates from RCONV, mse {mse}");
+        }
+    }
+
+    #[test]
+    fn frconv_mult_count() {
+        let ri4 = Ring::from_kind(RingKind::Ri(4));
+        assert_eq!(frconv_mults_per_pixel(&ri4, 2, 2, 3), 144.0);
+        let circ = Ring::from_kind(RingKind::Rh4I);
+        assert_eq!(frconv_mults_per_pixel(&circ, 2, 2, 3), 180.0);
+    }
+}

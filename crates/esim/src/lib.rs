@@ -1,0 +1,25 @@
+//! # ringcnn-esim
+//!
+//! Cycle-approximate, **bit-accurate** simulator of the eRingCNN
+//! accelerator (§V of the paper): the RCONV engine tile datapath with the
+//! fused on-the-fly directional ReLU ([`engine`]), the memory system of
+//! the block-based inference flow ([`memory`]), and whole-model
+//! simulation with cycle/energy/bandwidth reporting ([`sim`]).
+//!
+//! The simulator's integer arithmetic is cross-checked to be bit-exact
+//! against the `ringcnn-quant` reference pipeline in every test run.
+
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod engine;
+pub mod memory;
+pub mod sim;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::blocks::{receptive_halo, simulate_blocked, BlockedReport};
+    pub use crate::engine::{run_conv_tiled, EngineGeometry, EnginePass};
+    pub use crate::memory::{weight_bytes, MemoryReport};
+    pub use crate::sim::{simulate, SimReport};
+}

@@ -1,0 +1,105 @@
+//! Technology parameters of the analytical 40 nm cost model.
+//!
+//! The paper evaluates eRingCNN with a TSMC 40 nm Synopsys flow; we model
+//! area/power bottom-up from gate counts (the paper's own Table-I
+//! methodology: multiplier circuit complexity ∝ `wx·wg`) with per-unit
+//! constants calibrated once against the *published eCNN backbone
+//! numbers* (MICRO'19 [21]: 55.23 mm², 6.94 W, 72.8%/94.0% of area/power
+//! in convolutions, 81920 8-bit MACs at 250 MHz). Everything reported for
+//! eRingCNN is then a model *prediction*, compared against the paper in
+//! EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-unit cost constants for a process node.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TechParams {
+    /// Multiplier area per bit-product, µm² per (bit × bit).
+    pub mult_area_per_bit2: f64,
+    /// Multiplier power per bit-product at the reference clock, µW.
+    pub mult_power_per_bit2: f64,
+    /// Adder area per bit, µm².
+    pub adder_area_per_bit: f64,
+    /// Adder power per bit, µW.
+    pub adder_power_per_bit: f64,
+    /// Pipeline register area per bit, µm².
+    pub reg_area_per_bit: f64,
+    /// Pipeline register power per bit, µW.
+    pub reg_power_per_bit: f64,
+    /// Barrel-shifter area per bit (≈ a few muxes), µm².
+    pub shifter_area_per_bit: f64,
+    /// Barrel-shifter power per bit, µW.
+    pub shifter_power_per_bit: f64,
+    /// SRAM macro area per KB, mm².
+    pub sram_area_per_kb: f64,
+    /// Fixed area of the non-conv subsystem (block buffers, inference
+    /// datapath, I/O, control), mm².
+    pub fixed_area_mm2: f64,
+    /// Fixed power of the non-conv subsystem, W.
+    pub fixed_power_w: f64,
+    /// Reference clock, Hz.
+    pub clock_hz: f64,
+    /// Multiplier on the raw adder/shifter/register cost of the
+    /// directional-ReLU unit covering its rounding, saturation and
+    /// control logic (calibrated to the Table VI breakdown).
+    pub drelu_logic_factor: f64,
+}
+
+impl TechParams {
+    /// The calibrated 40 nm parameters (see module docs).
+    pub fn tsmc40() -> Self {
+        Self {
+            mult_area_per_bit2: 4.6,
+            mult_power_per_bit2: 0.75,
+            adder_area_per_bit: 4.0,
+            adder_power_per_bit: 0.66,
+            reg_area_per_bit: 4.2,
+            reg_power_per_bit: 0.65,
+            shifter_area_per_bit: 3.0,
+            shifter_power_per_bit: 0.30,
+            sram_area_per_kb: 3.46e-3,
+            fixed_area_mm2: 11.0,
+            fixed_power_w: 0.51,
+            clock_hz: 250.0e6,
+            drelu_logic_factor: 2.5,
+        }
+    }
+
+    /// Area of one pipelined 8-bit-class MAC: multiplier (`wx × wg`),
+    /// accumulator adder and pipeline register of `acc_bits`, in µm².
+    pub fn mac_area(&self, wx: u32, wg: u32, acc_bits: u32) -> f64 {
+        self.mult_area_per_bit2 * f64::from(wx) * f64::from(wg)
+            + self.adder_area_per_bit * f64::from(acc_bits)
+            + self.reg_area_per_bit * f64::from(acc_bits)
+    }
+
+    /// Power of one MAC at the reference clock, µW.
+    pub fn mac_power(&self, wx: u32, wg: u32, acc_bits: u32) -> f64 {
+        self.mult_power_per_bit2 * f64::from(wx) * f64::from(wg)
+            + self.adder_power_per_bit * f64::from(acc_bits)
+            + self.reg_power_per_bit * f64::from(acc_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reproduces_ecnn_mac_cost() {
+        // eCNN: 40.2 mm² of convolution for 81920 MACs → ~490 µm²/MAC,
+        // 6.52 W → ~80 µW/MAC.
+        let t = TechParams::tsmc40();
+        let area = t.mac_area(8, 8, 24);
+        let power = t.mac_power(8, 8, 24);
+        assert!((area - 490.0).abs() < 25.0, "area/MAC {area}");
+        assert!((power - 79.6).abs() < 5.0, "power/MAC {power}");
+    }
+
+    #[test]
+    fn wider_operands_cost_more() {
+        let t = TechParams::tsmc40();
+        assert!(t.mac_area(10, 10, 24) > t.mac_area(8, 8, 24));
+        assert!(t.mac_power(10, 8, 24) > t.mac_power(8, 8, 24));
+    }
+}

@@ -1,0 +1,233 @@
+//! Degradation models: additive white Gaussian noise (denoising task) and
+//! bicubic-style rescaling (super-resolution task).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ringcnn_tensor::prelude::*;
+
+/// Adds white Gaussian noise of standard deviation `sigma_255` (expressed
+/// on the 0–255 scale, as in the denoising literature) to a `[0,1]` image
+/// tensor. Output is clamped back to `[0, 1]`.
+pub fn add_gaussian_noise(clean: &Tensor, sigma_255: f64, seed: u64) -> Tensor {
+    let sigma = (sigma_255 / 255.0) as f32;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = clean.clone();
+    for v in out.as_mut_slice() {
+        // Box–Muller.
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let g = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+        *v = (*v + sigma * g).clamp(0.0, 1.0);
+    }
+    out
+}
+
+/// Cubic (Catmull–Rom) interpolation kernel with `a = −0.5`, the standard
+/// "bicubic" used by the SR literature.
+fn cubic(t: f32) -> f32 {
+    let a = -0.5f32;
+    let t = t.abs();
+    if t <= 1.0 {
+        (a + 2.0) * t * t * t - (a + 3.0) * t * t + 1.0
+    } else if t < 2.0 {
+        a * t * t * t - 5.0 * a * t * t + 8.0 * a * t - 4.0 * a
+    } else {
+        0.0
+    }
+}
+
+/// Bicubic resize of every plane to `(new_h, new_w)` with edge clamping.
+pub fn resize_bicubic(input: &Tensor, new_h: usize, new_w: usize) -> Tensor {
+    let s = input.shape();
+    let mut out = Tensor::zeros(Shape4::new(s.n, s.c, new_h, new_w));
+    let sy = s.h as f32 / new_h as f32;
+    let sx = s.w as f32 / new_w as f32;
+    for b in 0..s.n {
+        for c in 0..s.c {
+            let src = input.plane(b, c);
+            let dst = out.plane_mut(b, c);
+            for y in 0..new_h {
+                // Sample at pixel centers.
+                let fy = (y as f32 + 0.5) * sy - 0.5;
+                let y0 = fy.floor() as isize;
+                let ty = fy - y0 as f32;
+                for x in 0..new_w {
+                    let fx = (x as f32 + 0.5) * sx - 0.5;
+                    let x0 = fx.floor() as isize;
+                    let tx = fx - x0 as f32;
+                    let mut acc = 0.0f32;
+                    let mut wsum = 0.0f32;
+                    for dy in -1..3isize {
+                        let wy = cubic(dy as f32 - ty);
+                        if wy == 0.0 {
+                            continue;
+                        }
+                        let yy = (y0 + dy).clamp(0, s.h as isize - 1) as usize;
+                        for dx in -1..3isize {
+                            let wx = cubic(dx as f32 - tx);
+                            if wx == 0.0 {
+                                continue;
+                            }
+                            let xx = (x0 + dx).clamp(0, s.w as isize - 1) as usize;
+                            acc += wy * wx * src[yy * s.w + xx];
+                            wsum += wy * wx;
+                        }
+                    }
+                    dst[y * new_w + x] = acc / wsum.max(1e-9);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Bicubic ×`factor` downsampling (the paper's SR low-resolution input
+/// generation), preceded by a small box prefilter to limit aliasing.
+///
+/// # Panics
+///
+/// Panics if the spatial size is not divisible by `factor`.
+pub fn downsample(input: &Tensor, factor: usize) -> Tensor {
+    let s = input.shape();
+    assert_eq!(s.h % factor, 0, "height {} not divisible by {factor}", s.h);
+    assert_eq!(s.w % factor, 0, "width {} not divisible by {factor}", s.w);
+    // Box prefilter at the target scale, then bicubic resampling.
+    let mut pre = Tensor::zeros(s);
+    for b in 0..s.n {
+        for c in 0..s.c {
+            let src = input.plane(b, c);
+            let dst = pre.plane_mut(b, c);
+            let half = (factor / 2) as isize;
+            for y in 0..s.h as isize {
+                for x in 0..s.w as isize {
+                    let mut acc = 0.0;
+                    let mut cnt = 0.0;
+                    for dy in -half..=half {
+                        for dx in -half..=half {
+                            let yy = (y + dy).clamp(0, s.h as isize - 1) as usize;
+                            let xx = (x + dx).clamp(0, s.w as isize - 1) as usize;
+                            acc += src[yy * s.w + xx];
+                            cnt += 1.0;
+                        }
+                    }
+                    dst[(y as usize) * s.w + x as usize] = acc / cnt;
+                }
+            }
+        }
+    }
+    resize_bicubic(&pre, s.h / factor, s.w / factor)
+}
+
+/// Bicubic ×`factor` upsampling (the classical interpolation baseline and
+/// the VDSR input).
+pub fn upsample(input: &Tensor, factor: usize) -> Tensor {
+    let s = input.shape();
+    resize_bicubic(input, s.h * factor, s.w * factor)
+}
+
+/// Adjoint (transpose) of [`resize_bicubic`]: scatters a gradient on the
+/// resized grid back onto the source grid. Needed to backpropagate
+/// through bicubic skip connections.
+pub fn resize_bicubic_adjoint(dout: &Tensor, src_h: usize, src_w: usize) -> Tensor {
+    let s = dout.shape();
+    let mut out = Tensor::zeros(Shape4::new(s.n, s.c, src_h, src_w));
+    let sy = src_h as f32 / s.h as f32;
+    let sx = src_w as f32 / s.w as f32;
+    for b in 0..s.n {
+        for c in 0..s.c {
+            let grad = dout.plane(b, c);
+            let dst = out.plane_mut(b, c);
+            for y in 0..s.h {
+                let fy = (y as f32 + 0.5) * sy - 0.5;
+                let y0 = fy.floor() as isize;
+                let ty = fy - y0 as f32;
+                for x in 0..s.w {
+                    let fx = (x as f32 + 0.5) * sx - 0.5;
+                    let x0 = fx.floor() as isize;
+                    let tx = fx - x0 as f32;
+                    // Recompute the forward weights and scatter.
+                    let mut wsum = 0.0f32;
+                    let mut taps = [(0usize, 0.0f32); 16];
+                    let mut count = 0;
+                    for dy in -1..3isize {
+                        let wy = cubic(dy as f32 - ty);
+                        if wy == 0.0 {
+                            continue;
+                        }
+                        let yy = (y0 + dy).clamp(0, src_h as isize - 1) as usize;
+                        for dx in -1..3isize {
+                            let wx = cubic(dx as f32 - tx);
+                            if wx == 0.0 {
+                                continue;
+                            }
+                            let xx = (x0 + dx).clamp(0, src_w as isize - 1) as usize;
+                            taps[count] = (yy * src_w + xx, wy * wx);
+                            wsum += wy * wx;
+                            count += 1;
+                        }
+                    }
+                    let g = grad[y * s.w + x] / wsum.max(1e-9);
+                    for &(idx, w) in &taps[..count] {
+                        dst[idx] += w * g;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_has_requested_magnitude() {
+        let clean = Tensor::full(Shape4::new(1, 1, 64, 64), 0.5);
+        let noisy = add_gaussian_noise(&clean, 25.0, 1);
+        let rmse = (noisy.mse(&clean)).sqrt();
+        assert!((rmse - 25.0 / 255.0).abs() < 0.01, "rmse {rmse}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let clean = Tensor::full(Shape4::new(1, 1, 8, 8), 0.5);
+        assert_eq!(add_gaussian_noise(&clean, 15.0, 3), add_gaussian_noise(&clean, 15.0, 3));
+        assert_ne!(add_gaussian_noise(&clean, 15.0, 3), add_gaussian_noise(&clean, 15.0, 4));
+    }
+
+    #[test]
+    fn resize_preserves_constant_images() {
+        let c = Tensor::full(Shape4::new(1, 1, 8, 8), 0.7);
+        let up = resize_bicubic(&c, 16, 16);
+        for v in up.as_slice() {
+            assert!((v - 0.7).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn down_then_up_approximates_smooth_images() {
+        // A smooth gradient survives ×4 down/up with small error.
+        let s = Shape4::new(1, 1, 16, 16);
+        let mut img = Tensor::zeros(s);
+        for y in 0..16 {
+            for x in 0..16 {
+                *img.at_mut(0, 0, y, x) = (x as f32 + y as f32) / 30.0;
+            }
+        }
+        let lr = downsample(&img, 4);
+        assert_eq!(lr.shape(), Shape4::new(1, 1, 4, 4));
+        let rec = upsample(&lr, 4);
+        assert!(rec.mse(&img) < 1e-3, "mse {}", rec.mse(&img));
+    }
+
+    #[test]
+    fn cubic_kernel_partition_of_unity() {
+        // Σ cubic(t + k) = 1 for any phase t.
+        for t in [0.0f32, 0.25, 0.5, 0.9] {
+            let sum: f32 = (-2..3).map(|k| cubic(t + k as f32)).sum();
+            assert!((sum - 1.0).abs() < 1e-5, "phase {t}: {sum}");
+        }
+    }
+}

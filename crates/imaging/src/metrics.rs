@@ -1,0 +1,125 @@
+//! Image quality metrics: PSNR (the paper's headline metric) and a
+//! single-scale SSIM.
+
+use ringcnn_tensor::prelude::*;
+
+/// PSNR in dB between two `[0,1]` images/batches.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn psnr(a: &Tensor, b: &Tensor) -> f64 {
+    let mse = a.mse(b);
+    psnr_from_mse(mse)
+}
+
+/// PSNR in dB from an MSE on the `[0,1]` scale. Returns `inf` for zero
+/// MSE.
+pub fn psnr_from_mse(mse: f64) -> f64 {
+    if mse <= 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (1.0 / mse).log10()
+}
+
+/// Mean single-scale SSIM over all planes, using an 8×8 uniform window
+/// (a simplified variant of Wang et al.'s 11×11 Gaussian; adequate for
+/// relative comparisons).
+///
+/// # Panics
+///
+/// Panics if shapes differ or the images are smaller than the window.
+pub fn ssim(a: &Tensor, b: &Tensor) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    let s = a.shape();
+    let win = 8usize.min(s.h).min(s.w);
+    assert!(win >= 2, "images too small for SSIM");
+    let c1 = (0.01f64).powi(2);
+    let c2 = (0.03f64).powi(2);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let pa = a.plane(n, c);
+            let pb = b.plane(n, c);
+            for y in (0..=(s.h - win)).step_by(win) {
+                for x in (0..=(s.w - win)).step_by(win) {
+                    let stats = window_stats(pa, pb, s.w, y, x, win);
+                    let (ma, mb, va, vb, cov) = stats;
+                    let val = ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
+                        / ((ma * ma + mb * mb + c1) * (va + vb + c2));
+                    total += val;
+                    count += 1;
+                }
+            }
+        }
+    }
+    total / count.max(1) as f64
+}
+
+fn window_stats(
+    pa: &[f32],
+    pb: &[f32],
+    stride: usize,
+    y0: usize,
+    x0: usize,
+    win: usize,
+) -> (f64, f64, f64, f64, f64) {
+    let n = (win * win) as f64;
+    let (mut sa, mut sb) = (0.0f64, 0.0f64);
+    for y in y0..y0 + win {
+        for x in x0..x0 + win {
+            sa += f64::from(pa[y * stride + x]);
+            sb += f64::from(pb[y * stride + x]);
+        }
+    }
+    let (ma, mb) = (sa / n, sb / n);
+    let (mut va, mut vb, mut cov) = (0.0f64, 0.0f64, 0.0f64);
+    for y in y0..y0 + win {
+        for x in x0..x0 + win {
+            let da = f64::from(pa[y * stride + x]) - ma;
+            let db = f64::from(pb[y * stride + x]) - mb;
+            va += da * da;
+            vb += db * db;
+            cov += da * db;
+        }
+    }
+    (ma, mb, va / n, vb / n, cov / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psnr_of_identical_is_infinite() {
+        let t = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 1);
+        assert!(psnr(&t, &t).is_infinite());
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // MSE of 0.01 → 20 dB.
+        assert!((psnr_from_mse(0.01) - 20.0).abs() < 1e-12);
+        // sigma 25/255 noise ≈ 20.17 dB against clean.
+        let mse = (25.0f64 / 255.0).powi(2);
+        assert!((psnr_from_mse(mse) - 20.17).abs() < 0.05);
+    }
+
+    #[test]
+    fn psnr_orders_by_noise_level() {
+        let clean = crate::synthetic::generate(crate::synthetic::PatternKind::ValueNoise, 32, 32, 5);
+        let n10 = crate::degrade::add_gaussian_noise(&clean, 10.0, 1);
+        let n50 = crate::degrade::add_gaussian_noise(&clean, 50.0, 1);
+        assert!(psnr(&clean, &n10) > psnr(&clean, &n50));
+    }
+
+    #[test]
+    fn ssim_bounds() {
+        let a = Tensor::random_uniform(Shape4::new(1, 1, 16, 16), 0.0, 1.0, 2);
+        assert!((ssim(&a, &a) - 1.0).abs() < 1e-9);
+        let b = crate::degrade::add_gaussian_noise(&a, 80.0, 3);
+        let v = ssim(&a, &b);
+        assert!(v < 1.0 && v > -1.0);
+    }
+}

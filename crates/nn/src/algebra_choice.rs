@@ -1,0 +1,111 @@
+//! The algebra a model is built over: a ring plus the ring non-linearity.
+//!
+//! This is the knob of Fig. 5 — any real-valued model structure can be
+//! re-instantiated over a different `(ring, non-linearity)` pair, which is
+//! exactly how RingCNN models are "converted" from real CNNs (§IV-A).
+
+use crate::layer::Layer;
+use crate::layers::activation::activation_for;
+use crate::layers::conv::Conv2d;
+use crate::layers::ring_conv::RingConv2d;
+use ringcnn_algebra::relu::Nonlinearity;
+use ringcnn_algebra::ring::{Ring, RingKind};
+
+/// A `(ring, non-linearity)` pair, e.g. the paper's proposed `(RI, fH)`.
+#[derive(Clone, Debug)]
+pub struct Algebra {
+    ring: Ring,
+    nonlinearity: Nonlinearity,
+}
+
+impl Algebra {
+    /// Builds an algebra from a ring kind and non-linearity.
+    pub fn new(kind: RingKind, nonlinearity: Nonlinearity) -> Self {
+        Self { ring: Ring::from_kind(kind), nonlinearity }
+    }
+
+    /// The real field with the ordinary ReLU (the baseline CNN algebra).
+    pub fn real() -> Self {
+        Self::new(RingKind::Ri(1), Nonlinearity::ComponentWise)
+    }
+
+    /// The paper's proposed algebra `(RI, fH)` over `n`-tuples.
+    pub fn ri_fh(n: usize) -> Self {
+        Self::new(RingKind::Ri(n), Nonlinearity::DirectionalH)
+    }
+
+    /// A conventional component-wise-ReLU ring (e.g. `RH`, `C`, `H`).
+    pub fn with_fcw(kind: RingKind) -> Self {
+        Self::new(kind, Nonlinearity::ComponentWise)
+    }
+
+    /// The ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// The non-linearity.
+    pub fn nonlinearity(&self) -> Nonlinearity {
+        self.nonlinearity
+    }
+
+    /// Tuple dimension `n`.
+    pub fn n(&self) -> usize {
+        self.ring.n()
+    }
+
+    /// Short display label, e.g. `(RI4, fH)`.
+    pub fn label(&self) -> String {
+        format!("({}, {})", self.ring.kind(), self.nonlinearity.label())
+    }
+
+    /// Builds the convolution layer for this algebra (`Conv2d` for the
+    /// real field, [`RingConv2d`] otherwise).
+    ///
+    /// `ci`/`co` are real channel counts. Layers whose channel counts are
+    /// not multiples of `n` (the image-boundary head/tail convolutions)
+    /// fall back to real-valued convolution, mirroring the accelerator
+    /// whose I/O stages operate on raw image channels (§V).
+    pub fn conv(&self, ci: usize, co: usize, k: usize, seed: u64) -> Box<dyn Layer> {
+        let n = self.ring.n();
+        if n == 1 || ci % n != 0 || co % n != 0 {
+            Box::new(Conv2d::new(ci, co, k, seed))
+        } else {
+            Box::new(RingConv2d::new(self.ring.clone(), ci, co, k, seed))
+        }
+    }
+
+    /// Builds the activation layer for this algebra (`None` when the
+    /// non-linearity is [`Nonlinearity::None`]).
+    pub fn activation(&self) -> Option<Box<dyn Layer>> {
+        activation_for(&self.ring, self.nonlinearity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_algebra_builds_plain_conv() {
+        let a = Algebra::real();
+        let mut conv = a.conv(3, 8, 3, 1);
+        assert!(conv.as_any_mut().downcast_mut::<Conv2d>().is_some());
+        assert_eq!(a.label(), "(R (real), fcw)");
+    }
+
+    #[test]
+    fn ring_algebra_builds_ring_conv() {
+        let a = Algebra::ri_fh(4);
+        let mut conv = a.conv(8, 8, 3, 1);
+        assert!(conv.as_any_mut().downcast_mut::<RingConv2d>().is_some());
+        assert_eq!(a.label(), "(RI4, fH)");
+        assert_eq!(a.activation().unwrap().name(), "drelu[n=4]");
+    }
+
+    #[test]
+    fn fcw_ring_uses_plain_relu() {
+        let a = Algebra::with_fcw(RingKind::Rh(4));
+        assert_eq!(a.activation().unwrap().name(), "relu");
+    }
+}

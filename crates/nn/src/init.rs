@@ -1,0 +1,20 @@
+//! Weight initialization helpers.
+
+/// He/Kaiming standard deviation for a layer with the given fan-in
+/// (`√(2/fan_in)`), appropriate for ReLU-family activations.
+pub fn he_std(fan_in: usize) -> f32 {
+    (2.0 / fan_in.max(1) as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::he_std;
+
+    #[test]
+    fn he_std_decreases_with_fan_in() {
+        assert!(he_std(9) > he_std(36));
+        assert!((he_std(2) - 1.0).abs() < 1e-6);
+        // Degenerate fan-in clamps instead of dividing by zero.
+        assert!(he_std(0).is_finite());
+    }
+}

@@ -1,0 +1,119 @@
+//! The [`Layer`] trait: forward/backward computation with internally
+//! owned parameters and gradients.
+//!
+//! The framework is deliberately simple — a layer caches whatever it needs
+//! during `forward(…, train = true)` and consumes those caches in
+//! `backward`. Optimizers visit parameters through
+//! [`Layer::visit_params`], which yields `(params, grads)` slice pairs in
+//! a stable order.
+
+use ringcnn_tensor::prelude::*;
+use std::any::Any;
+
+/// Mutable view of one parameter group and its gradient accumulator.
+pub struct ParamGroup<'a> {
+    /// Parameter values.
+    pub values: &'a mut [f32],
+    /// Gradient accumulator (same length).
+    pub grads: &'a mut [f32],
+}
+
+/// A differentiable network layer.
+///
+/// Layers own their parameters and gradient buffers. `forward` with
+/// `train = true` must cache activations needed by `backward`; with
+/// `train = false` caches may be skipped (inference mode).
+pub trait Layer: Send {
+    /// Short human-readable layer descriptor (e.g. `conv3x3(16->32)`).
+    fn name(&self) -> String;
+
+    /// Computes the layer output.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Consumes cached activations, accumulates parameter gradients, and
+    /// returns the gradient w.r.t. the input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called without a prior training-mode
+    /// forward pass.
+    fn backward(&mut self, dout: &Tensor) -> Tensor;
+
+    /// Visits every `(values, grads)` parameter group in a stable order.
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamGroup<'_>));
+
+    /// Sets all gradient accumulators to zero.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |g: ParamGroup<'_>| {
+            for v in g.grads.iter_mut() {
+                *v = 0.0;
+            }
+        });
+    }
+
+    /// Number of stored real-valued parameters.
+    fn num_params(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |g: ParamGroup<'_>| count += g.values.len());
+        count
+    }
+
+    /// Real multiplications per output pixel when executed with the
+    /// layer's fast algorithm (used for the computation-efficiency axes
+    /// of Fig. 1 and Fig. C-1). Zero for parameter-free layers.
+    fn mults_per_pixel(&self) -> f64 {
+        0.0
+    }
+
+    /// Output channel count given the input channel count.
+    fn out_channels(&self, in_channels: usize) -> usize {
+        in_channels
+    }
+
+    /// Spatial scale factor of the layer (2 for ×2 pixel shuffle, ½ for
+    /// unshuffle, 1 otherwise) — numerator/denominator pair.
+    fn spatial_scale(&self) -> (usize, usize) {
+        (1, 1)
+    }
+
+    /// Downcasting support (used by pruning and model surgery).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy {
+        w: Vec<f32>,
+        g: Vec<f32>,
+    }
+
+    impl Layer for Dummy {
+        fn name(&self) -> String {
+            "dummy".into()
+        }
+        fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+            input.clone()
+        }
+        fn backward(&mut self, dout: &Tensor) -> Tensor {
+            dout.clone()
+        }
+        fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamGroup<'_>)) {
+            visitor(ParamGroup { values: &mut self.w, grads: &mut self.g });
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn default_helpers_work() {
+        let mut d = Dummy { w: vec![1.0; 5], g: vec![2.0; 5] };
+        assert_eq!(d.num_params(), 5);
+        d.zero_grads();
+        assert!(d.g.iter().all(|v| *v == 0.0));
+        assert_eq!(d.mults_per_pixel(), 0.0);
+        assert_eq!(d.out_channels(7), 7);
+    }
+}

@@ -1,0 +1,249 @@
+//! Activation layers: component-wise ReLU and the tuple-wise directional
+//! ReLU (`fH` / `fO4`) applied across channel groups.
+
+use crate::layer::{Layer, ParamGroup};
+use ringcnn_algebra::relu::{DirectionalRelu, Nonlinearity};
+use ringcnn_algebra::ring::Ring;
+
+use ringcnn_tensor::tensor::Tensor as T;
+
+/// Plain component-wise ReLU on every element (real networks and the
+/// `fcw` rings).
+#[derive(Default)]
+pub struct Relu {
+    cached_input: Option<T>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self { cached_input: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> String {
+        "relu".into()
+    }
+
+    fn forward(&mut self, input: &T, train: bool) -> T {
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        let mut out = input.clone();
+        out.map_inplace(|v| v.max(0.0));
+        out
+    }
+
+    fn backward(&mut self, dout: &T) -> T {
+        let input = self.cached_input.take().expect("backward without training forward");
+        let mut d = dout.clone();
+        for (g, x) in d.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            if *x <= 0.0 {
+                *g = 0.0;
+            }
+        }
+        d
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(ParamGroup<'_>)) {}
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Tuple-wise directional ReLU: channels are grouped into `n`-tuples and
+/// `f(y) = U·fcw(V·y)` is applied to each tuple at every pixel (§III-E).
+pub struct DirectionalReluLayer {
+    f: DirectionalRelu,
+    n: usize,
+    cached_hidden: Option<T>,
+}
+
+impl DirectionalReluLayer {
+    /// Creates a directional ReLU from an explicit instance.
+    pub fn new(f: DirectionalRelu) -> Self {
+        let n = f.n();
+        Self { f, n, cached_hidden: None }
+    }
+
+    /// `fH` over `n`-tuples.
+    pub fn fh(n: usize) -> Self {
+        Self::new(DirectionalRelu::fh(n))
+    }
+
+    /// `fO4` over 4-tuples.
+    pub fn fo4() -> Self {
+        Self::new(DirectionalRelu::fo4())
+    }
+
+    /// Tuple length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+impl Layer for DirectionalReluLayer {
+    fn name(&self) -> String {
+        format!("drelu[n={}]", self.n)
+    }
+
+    fn forward(&mut self, input: &T, train: bool) -> T {
+        let s = input.shape();
+        assert_eq!(s.c % self.n, 0, "channels {} not a multiple of tuple size {}", s.c, self.n);
+        let tuples = s.c / self.n;
+        let plane = s.plane();
+        let mut out = input.clone();
+        let mut hidden = if train { Some(T::zeros(s)) } else { None };
+        let mut y = vec![0.0f32; self.n];
+        let mut h = vec![0.0f32; self.n];
+        for b in 0..s.n {
+            for t in 0..tuples {
+                for p in 0..plane {
+                    for l in 0..self.n {
+                        y[l] = out.plane(b, t * self.n + l)[p];
+                    }
+                    if let Some(hid) = hidden.as_mut() {
+                        self.f.forward_with_hidden(&mut y, &mut h);
+                        for l in 0..self.n {
+                            hid.plane_mut(b, t * self.n + l)[p] = h[l];
+                        }
+                    } else {
+                        self.f.forward(&mut y);
+                    }
+                    for l in 0..self.n {
+                        out.plane_mut(b, t * self.n + l)[p] = y[l];
+                    }
+                }
+            }
+        }
+        if let Some(hid) = hidden {
+            self.cached_hidden = Some(hid);
+        }
+        out
+    }
+
+    fn backward(&mut self, dout: &T) -> T {
+        let hidden = self.cached_hidden.take().expect("backward without training forward");
+        let s = dout.shape();
+        let tuples = s.c / self.n;
+        let plane = s.plane();
+        let mut din = dout.clone();
+        let mut d = vec![0.0f32; self.n];
+        let mut h = vec![0.0f32; self.n];
+        for b in 0..s.n {
+            for t in 0..tuples {
+                for p in 0..plane {
+                    for l in 0..self.n {
+                        d[l] = din.plane(b, t * self.n + l)[p];
+                        h[l] = hidden.plane(b, t * self.n + l)[p];
+                    }
+                    self.f.backward(&h, &mut d);
+                    for l in 0..self.n {
+                        din.plane_mut(b, t * self.n + l)[p] = d[l];
+                    }
+                }
+            }
+        }
+        din
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(ParamGroup<'_>)) {}
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Builds the activation layer matching a ring + non-linearity choice
+/// (the `f` box of Fig. 5(b)).
+///
+/// # Panics
+///
+/// Panics when `DirectionalO4` is requested for `n ≠ 4`.
+pub fn activation_for(ring: &Ring, nl: Nonlinearity) -> Option<Box<dyn Layer>> {
+    match nl {
+        Nonlinearity::None => None,
+        Nonlinearity::ComponentWise => Some(Box::new(Relu::new())),
+        Nonlinearity::DirectionalH => Some(Box::new(DirectionalReluLayer::fh(ring.n()))),
+        Nonlinearity::DirectionalO4 => {
+            assert_eq!(ring.n(), 4, "fO4 requires 4-tuples");
+            Some(Box::new(DirectionalReluLayer::fo4()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringcnn_algebra::ring::RingKind;
+    use ringcnn_tensor::shape::Shape4;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut r = Relu::new();
+        let x = T::from_vec(Shape4::new(1, 1, 1, 4), vec![-1.0, 2.0, -3.0, 4.0]);
+        let y = r.forward(&x, true);
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+        let d = r.backward(&T::full(Shape4::new(1, 1, 1, 4), 1.0));
+        assert_eq!(d.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn drelu_mixes_channels_within_tuple_only() {
+        let mut l = DirectionalReluLayer::fh(2);
+        let x = T::from_vec(
+            Shape4::new(1, 4, 1, 1),
+            vec![1.0, -3.0, /* tuple 2 */ 0.5, 0.25],
+        );
+        let y = l.forward(&x, false);
+        // Tuple 0: H(1,-3) = (-2, 4) → (0,4) → H → (4,-4)
+        assert_eq!(y.at(0, 0, 0, 0), 4.0);
+        assert_eq!(y.at(0, 1, 0, 0), -4.0);
+        // Tuple 1: H(0.5,0.25) = (0.75, 0.25) → same → H → (1.0, 0.5)
+        assert!((y.at(0, 2, 0, 0) - 1.0).abs() < 1e-6);
+        assert!((y.at(0, 3, 0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn drelu_gradcheck() {
+        let mut l = DirectionalReluLayer::fh(4);
+        let x = T::random_uniform(Shape4::new(1, 4, 2, 2), -1.0, 1.0, 31);
+        let dout = T::random_uniform(Shape4::new(1, 4, 2, 2), -1.0, 1.0, 32);
+        let _ = l.forward(&x, true);
+        let dx = l.backward(&dout);
+        let eps = 1e-3f32;
+        for (c, y0, x0) in [(0usize, 0usize, 1usize), (2, 1, 0), (3, 1, 1)] {
+            let mut xp = x.clone();
+            *xp.at_mut(0, c, y0, x0) += eps;
+            let mut xm = x.clone();
+            *xm.at_mut(0, c, y0, x0) -= eps;
+            let f = |t: &T, l: &mut DirectionalReluLayer| -> f32 {
+                l.forward(t, false)
+                    .as_slice()
+                    .iter()
+                    .zip(dout.as_slice())
+                    .map(|(a, b)| a * b)
+                    .sum()
+            };
+            let fd = (f(&xp, &mut l) - f(&xm, &mut l)) / (2.0 * eps);
+            let an = dx.at(0, c, y0, x0);
+            assert!((fd - an).abs() < 2e-2, "({c},{y0},{x0}): fd {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn activation_factory() {
+        let ring = Ring::from_kind(RingKind::Ri(4));
+        assert!(activation_for(&ring, Nonlinearity::None).is_none());
+        assert_eq!(
+            activation_for(&ring, Nonlinearity::ComponentWise).unwrap().name(),
+            "relu"
+        );
+        assert_eq!(
+            activation_for(&ring, Nonlinearity::DirectionalH).unwrap().name(),
+            "drelu[n=4]"
+        );
+    }
+}

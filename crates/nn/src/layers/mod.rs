@@ -1,0 +1,9 @@
+//! Layer implementations.
+
+pub mod activation;
+pub mod conv;
+pub mod dense;
+pub mod ring_conv;
+pub mod shuffle;
+pub mod structure;
+pub mod upsample;

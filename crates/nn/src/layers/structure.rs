@@ -1,0 +1,261 @@
+//! Structural layers: [`Sequential`] composition and [`Residual`] blocks
+//! (skip connections).
+
+use crate::layer::{Layer, ParamGroup};
+use ringcnn_tensor::tensor::Tensor as T;
+
+/// A chain of layers applied in order. `Sequential` is itself a [`Layer`],
+/// so blocks nest arbitrarily.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn with(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Appends an optional layer (skipped when `None`).
+    #[must_use]
+    pub fn with_opt(mut self, layer: Option<Box<dyn Layer>>) -> Self {
+        if let Some(l) = layer {
+            self.layers.push(l);
+        }
+        self
+    }
+
+    /// Appends a layer in place.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of direct child layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Direct child access (for pruning/model surgery).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Runs a closure on every layer in the tree (depth-first), including
+    /// the children of nested [`Sequential`]s and [`Residual`]s.
+    pub fn for_each_layer_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        for l in &mut self.layers {
+            visit_layer(l.as_mut(), f);
+        }
+    }
+}
+
+fn visit_layer(layer: &mut dyn Layer, f: &mut dyn FnMut(&mut dyn Layer)) {
+    // Recurse into known structural layers first.
+    if let Some(seq) = layer.as_any_mut().downcast_mut::<Sequential>() {
+        for l in &mut seq.layers {
+            visit_layer(l.as_mut(), f);
+        }
+        return;
+    }
+    if let Some(res) = layer.as_any_mut().downcast_mut::<Residual>() {
+        res.body.for_each_layer_mut(f);
+        return;
+    }
+    if let Some(ur) =
+        layer.as_any_mut().downcast_mut::<crate::layers::upsample::UpsampleResidual>()
+    {
+        ur.body_mut().for_each_layer_mut(f);
+        return;
+    }
+    f(layer);
+}
+
+impl Layer for Sequential {
+    fn name(&self) -> String {
+        format!("sequential[{}]", self.layers.len())
+    }
+
+    fn forward(&mut self, input: &T, train: bool) -> T {
+        let mut x = input.clone();
+        for l in &mut self.layers {
+            x = l.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, dout: &T) -> T {
+        let mut d = dout.clone();
+        for l in self.layers.iter_mut().rev() {
+            d = l.backward(&d);
+        }
+        d
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamGroup<'_>)) {
+        for l in &mut self.layers {
+            l.visit_params(visitor);
+        }
+    }
+
+    fn mults_per_pixel(&self) -> f64 {
+        // NOTE: this naive sum ignores spatial rescaling inside the chain;
+        // model builders provide exact accounting via `complexity::count`.
+        self.layers.iter().map(|l| l.mults_per_pixel()).sum()
+    }
+
+    fn out_channels(&self, in_channels: usize) -> usize {
+        self.layers.iter().fold(in_channels, |c, l| l.out_channels(c))
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Residual block: `out = x + body(x)` (shapes must match).
+pub struct Residual {
+    body: Sequential,
+}
+
+impl Residual {
+    /// Wraps a body in a skip connection.
+    pub fn new(body: Sequential) -> Self {
+        Self { body }
+    }
+
+    /// The wrapped body.
+    pub fn body_mut(&mut self) -> &mut Sequential {
+        &mut self.body
+    }
+}
+
+impl Layer for Residual {
+    fn name(&self) -> String {
+        format!("residual({})", self.body.name())
+    }
+
+    fn forward(&mut self, input: &T, train: bool) -> T {
+        let mut out = self.body.forward(input, train);
+        out.add_assign(input);
+        out
+    }
+
+    fn backward(&mut self, dout: &T) -> T {
+        let mut d = self.body.backward(dout);
+        d.add_assign(dout);
+        d
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamGroup<'_>)) {
+        self.body.visit_params(visitor);
+    }
+
+    fn mults_per_pixel(&self) -> f64 {
+        self.body.mults_per_pixel()
+    }
+
+    fn out_channels(&self, in_channels: usize) -> usize {
+        let co = self.body.out_channels(in_channels);
+        assert_eq!(co, in_channels, "residual body must preserve channels");
+        co
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::activation::Relu;
+    use crate::layers::conv::Conv2d;
+    use ringcnn_tensor::prelude::*;
+
+    #[test]
+    fn sequential_chains_forward() {
+        let mut m = Sequential::new()
+            .with(Box::new(Conv2d::new(2, 4, 3, 1)))
+            .with(Box::new(Relu::new()))
+            .with(Box::new(Conv2d::new(4, 2, 3, 2)));
+        let x = T::random_uniform(Shape4::new(1, 2, 4, 4), -1.0, 1.0, 9);
+        let y = m.forward(&x, false);
+        assert_eq!(y.shape(), x.shape());
+        assert_eq!(m.out_channels(2), 2);
+    }
+
+    #[test]
+    fn residual_adds_skip() {
+        let mut r = Residual::new(Sequential::new()); // empty body: out = 2x
+        let x = T::from_vec(Shape4::new(1, 1, 1, 2), vec![1.0, 2.0]);
+        let y = r.forward(&x, false);
+        assert_eq!(y.as_slice(), &[2.0, 4.0]);
+        let d = r.backward(&T::full(Shape4::new(1, 1, 1, 2), 1.0));
+        assert_eq!(d.as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn sequential_backward_gradcheck() {
+        let mut m = Sequential::new()
+            .with(Box::new(Conv2d::new(2, 3, 3, 4)))
+            .with(Box::new(Relu::new()))
+            .with(Box::new(Conv2d::new(3, 2, 3, 5)));
+        let x = T::random_uniform(Shape4::new(1, 2, 4, 4), -1.0, 1.0, 10);
+        let dout = T::random_uniform(Shape4::new(1, 2, 4, 4), -1.0, 1.0, 11);
+        let _ = m.forward(&x, true);
+        let dx = m.backward(&dout);
+        let eps = 1e-2f32;
+        let mut xp = x.clone();
+        *xp.at_mut(0, 0, 1, 1) += eps;
+        let mut xm = x.clone();
+        *xm.at_mut(0, 0, 1, 1) -= eps;
+        let f = |t: &T, m: &mut Sequential| -> f32 {
+            m.forward(t, false)
+                .as_slice()
+                .iter()
+                .zip(dout.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let fd = (f(&xp, &mut m) - f(&xm, &mut m)) / (2.0 * eps);
+        assert!((fd - dx.at(0, 0, 1, 1)).abs() < 2e-2);
+    }
+
+    #[test]
+    fn for_each_layer_recurses_into_residuals() {
+        let mut m = Sequential::new()
+            .with(Box::new(Conv2d::new(2, 2, 3, 1)))
+            .with(Box::new(Residual::new(
+                Sequential::new().with(Box::new(Conv2d::new(2, 2, 3, 2))),
+            )));
+        let mut names = Vec::new();
+        m.for_each_layer_mut(&mut |l| names.push(l.name()));
+        assert_eq!(names.len(), 2);
+        assert!(names.iter().all(|n| n.starts_with("conv3x3")));
+    }
+
+    #[test]
+    fn for_each_layer_recurses_into_upsample_residuals() {
+        // Regression: pruning must reach convolutions inside the bicubic
+        // global-skip wrapper used by SR models.
+        use crate::layers::upsample::UpsampleResidual;
+        let body = Sequential::new().with(Box::new(Conv2d::new(16, 16, 3, 1)));
+        let mut m = Sequential::new().with(Box::new(UpsampleResidual::new(body, 1)));
+        let mut names = Vec::new();
+        m.for_each_layer_mut(&mut |l| names.push(l.name()));
+        assert_eq!(names, vec!["conv3x3(16->16)".to_string()]);
+    }
+}

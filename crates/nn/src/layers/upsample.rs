@@ -1,0 +1,159 @@
+//! Bicubic global-skip wrapper for super-resolution models:
+//! `out = body(x) + bicubic↑(x)`.
+//!
+//! The network then only learns the residual above classical
+//! interpolation, which makes small-scale training start from the
+//! bicubic baseline instead of random output.
+
+use crate::layer::{Layer, ParamGroup};
+use crate::layers::structure::Sequential;
+use ringcnn_imaging::degrade::{resize_bicubic_adjoint, upsample};
+use ringcnn_tensor::tensor::Tensor;
+
+/// `body(x) + bicubic_upsample(x, factor)`.
+pub struct UpsampleResidual {
+    body: Sequential,
+    factor: usize,
+    cached_in_hw: Option<(usize, usize)>,
+}
+
+impl UpsampleResidual {
+    /// Wraps `body` (which must scale resolution by `factor`).
+    pub fn new(body: Sequential, factor: usize) -> Self {
+        Self { body, factor, cached_in_hw: None }
+    }
+
+    /// The wrapped body.
+    pub fn body_mut(&mut self) -> &mut Sequential {
+        &mut self.body
+    }
+
+    /// The upsampling factor.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+}
+
+impl Layer for UpsampleResidual {
+    fn name(&self) -> String {
+        format!("upsample_residual(x{})", self.factor)
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            let s = input.shape();
+            self.cached_in_hw = Some((s.h, s.w));
+        }
+        let mut out = self.body.forward(input, train);
+        out.add_assign(&upsample(input, self.factor));
+        out
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let (h, w) = self.cached_in_hw.take().expect("backward without training forward");
+        let mut din = self.body.backward(dout);
+        din.add_assign(&resize_bicubic_adjoint(dout, h, w));
+        din
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamGroup<'_>)) {
+        self.body.visit_params(visitor);
+    }
+
+    fn mults_per_pixel(&self) -> f64 {
+        self.body.mults_per_pixel()
+    }
+
+    fn out_channels(&self, in_channels: usize) -> usize {
+        self.body.out_channels(in_channels)
+    }
+
+    fn spatial_scale(&self) -> (usize, usize) {
+        (self.factor, 1)
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Scales the weights of a conv layer (real or ring) in place — used to
+/// give residual branches a near-identity initialization.
+pub fn scale_conv_weights(layer: &mut dyn Layer, factor: f32) {
+    if let Some(c) = layer.as_any_mut().downcast_mut::<crate::layers::conv::Conv2d>() {
+        for w in c.weights_mut().data.iter_mut() {
+            *w *= factor;
+        }
+    } else if let Some(rc) =
+        layer.as_any_mut().downcast_mut::<crate::layers::ring_conv::RingConv2d>()
+    {
+        for w in rc.ring_weights_mut().iter_mut() {
+            *w *= factor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra_choice::Algebra;
+    use crate::layers::shuffle::PixelShuffle;
+    use ringcnn_tensor::prelude::*;
+
+    fn up4_body() -> Sequential {
+        let alg = Algebra::real();
+        Sequential::new()
+            .with(alg.conv(1, 16, 3, 1))
+            .with(Box::new(PixelShuffle::new(4)))
+    }
+
+    #[test]
+    fn output_includes_bicubic_skip() {
+        let mut m = UpsampleResidual::new(up4_body(), 4);
+        let x = Tensor::random_uniform(Shape4::new(1, 1, 4, 4), 0.0, 1.0, 1);
+        let y = m.forward(&x, false);
+        assert_eq!(y.shape(), Shape4::new(1, 1, 16, 16));
+        // Zero body → output is exactly bicubic.
+        let mut zero_body = up4_body();
+        zero_body.for_each_layer_mut(&mut |l| scale_conv_weights(l, 0.0));
+        let mut m0 = UpsampleResidual::new(zero_body, 4);
+        let y0 = m0.forward(&x, false);
+        assert!(y0.mse(&upsample(&x, 4)) < 1e-12);
+    }
+
+    #[test]
+    fn backward_gradcheck_through_skip() {
+        let mut m = UpsampleResidual::new(up4_body(), 4);
+        let x = Tensor::random_uniform(Shape4::new(1, 1, 4, 4), 0.0, 1.0, 2);
+        let dout = Tensor::random_uniform(Shape4::new(1, 1, 16, 16), -1.0, 1.0, 3);
+        let _ = m.forward(&x, true);
+        let dx = m.backward(&dout);
+        let eps = 1e-2f32;
+        let mut xp = x.clone();
+        *xp.at_mut(0, 0, 1, 2) += eps;
+        let mut xm = x.clone();
+        *xm.at_mut(0, 0, 1, 2) -= eps;
+        let f = |t: &Tensor, m: &mut UpsampleResidual| -> f32 {
+            m.forward(t, false)
+                .as_slice()
+                .iter()
+                .zip(dout.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let fd = (f(&xp, &mut m) - f(&xm, &mut m)) / (2.0 * eps);
+        assert!((fd - dx.at(0, 0, 1, 2)).abs() < 3e-2, "fd {fd} vs {}", dx.at(0, 0, 1, 2));
+    }
+
+    #[test]
+    fn scale_conv_weights_hits_ring_convs() {
+        let alg = Algebra::ri_fh(2);
+        let mut conv = alg.conv(2, 2, 3, 4);
+        scale_conv_weights(conv.as_mut(), 0.0);
+        let rc = conv
+            .as_any_mut()
+            .downcast_mut::<crate::layers::ring_conv::RingConv2d>()
+            .unwrap();
+        assert!(rc.ring_weights().iter().all(|w| *w == 0.0));
+    }
+}

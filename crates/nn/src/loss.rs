@@ -1,0 +1,134 @@
+//! Training losses: mean-squared error, L1, and softmax cross-entropy
+//! (for the Appendix-C recognition study).
+
+use ringcnn_tensor::tensor::Tensor;
+
+/// Mean-squared error and its gradient w.r.t. the prediction.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> (f64, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "shape mismatch");
+    let count = pred.as_slice().len().max(1) as f64;
+    let mut grad = pred.clone();
+    grad.sub_assign(target);
+    let loss: f64 = grad.as_slice().iter().map(|d| f64::from(*d) * f64::from(*d)).sum::<f64>()
+        / count;
+    grad.scale((2.0 / count) as f32);
+    (loss, grad)
+}
+
+/// Mean absolute error and its (sub)gradient.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn l1_loss(pred: &Tensor, target: &Tensor) -> (f64, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "shape mismatch");
+    let count = pred.as_slice().len().max(1) as f64;
+    let mut grad = pred.clone();
+    grad.sub_assign(target);
+    let loss: f64 =
+        grad.as_slice().iter().map(|d| f64::from(d.abs())).sum::<f64>() / count;
+    grad.map_inplace(|d| d.signum() / count as f32);
+    (loss, grad)
+}
+
+/// Softmax cross-entropy over `[N, C, 1, 1]` logits with integer labels.
+///
+/// Returns `(mean loss, gradient, correct_count)`.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.shape().n` or logits are not
+/// `[N, C, 1, 1]`.
+pub fn cross_entropy_loss(logits: &Tensor, labels: &[usize]) -> (f64, Tensor, usize) {
+    let s = logits.shape();
+    assert_eq!((s.h, s.w), (1, 1), "logits must be [N, C, 1, 1]");
+    assert_eq!(labels.len(), s.n, "one label per batch item");
+    let mut grad = Tensor::zeros(s);
+    let mut loss = 0.0f64;
+    let mut correct = 0usize;
+    for b in 0..s.n {
+        let row: Vec<f32> = (0..s.c).map(|c| logits.at(b, c, 0, 0)).collect();
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, v| m.max(*v));
+        let exps: Vec<f64> = row.iter().map(|v| f64::from(v - max).exp()).collect();
+        let z: f64 = exps.iter().sum();
+        let label = labels[b];
+        assert!(label < s.c, "label out of range");
+        loss -= (exps[label] / z).ln();
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        if argmax == label {
+            correct += 1;
+        }
+        for c in 0..s.c {
+            let p = (exps[c] / z) as f32;
+            *grad.at_mut(b, c, 0, 0) =
+                (p - if c == label { 1.0 } else { 0.0 }) / s.n as f32;
+        }
+    }
+    (loss / s.n as f64, grad, correct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringcnn_tensor::prelude::*;
+
+    #[test]
+    fn mse_zero_for_equal() {
+        let t = Tensor::random_uniform(Shape4::new(1, 2, 3, 3), 0.0, 1.0, 1);
+        let (l, g) = mse_loss(&t, &t);
+        assert_eq!(l, 0.0);
+        assert!(g.as_slice().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let p = Tensor::from_vec(Shape4::new(1, 1, 1, 2), vec![0.5, -0.3]);
+        let t = Tensor::from_vec(Shape4::new(1, 1, 1, 2), vec![0.1, 0.4]);
+        let (_, g) = mse_loss(&p, &t);
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            let mut pp = p.clone();
+            pp.as_mut_slice()[i] += eps;
+            let mut pm = p.clone();
+            pm.as_mut_slice()[i] -= eps;
+            let fd = (mse_loss(&pp, &t).0 - mse_loss(&pm, &t).0) / (2.0 * f64::from(eps));
+            assert!((fd - f64::from(g.as_slice()[i])).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn l1_loss_value() {
+        let p = Tensor::from_vec(Shape4::new(1, 1, 1, 2), vec![1.0, -1.0]);
+        let t = Tensor::zeros(Shape4::new(1, 1, 1, 2));
+        let (l, g) = l1_loss(&p, &t);
+        assert!((l - 1.0).abs() < 1e-9);
+        assert_eq!(g.as_slice(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn cross_entropy_prefers_correct_class() {
+        let logits = Tensor::from_vec(Shape4::new(1, 3, 1, 1), vec![5.0, 0.0, 0.0]);
+        let (l_good, _, c_good) = cross_entropy_loss(&logits, &[0]);
+        let (l_bad, _, c_bad) = cross_entropy_loss(&logits, &[2]);
+        assert!(l_good < l_bad);
+        assert_eq!(c_good, 1);
+        assert_eq!(c_bad, 0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero_per_item() {
+        let logits = Tensor::from_vec(Shape4::new(1, 4, 1, 1), vec![0.3, -0.7, 1.1, 0.0]);
+        let (_, g, _) = cross_entropy_loss(&logits, &[1]);
+        let sum: f32 = g.as_slice().iter().sum();
+        assert!(sum.abs() < 1e-6);
+    }
+}

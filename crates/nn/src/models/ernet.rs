@@ -1,0 +1,162 @@
+//! ERNet-style models: the compact residual CNNs of the eCNN backbone
+//! [21], used as the real-valued base structures of the paper's quality
+//! evaluations (Fig. 9, Table IV).
+//!
+//! Configuration follows the paper's notation: ERModule count `B`, base
+//! pumping ratio `R` (channel expansion inside a module), and additional
+//! pumping layer count `N`. Exact eCNN internals are not public in the
+//! RingCNN text; this is a faithful-in-spirit reconstruction (residual
+//! modules with channel pumping, pixel-unshuffled denoising input,
+//! pixel-shuffle SR upsampling) — see DESIGN.md §3.
+
+use crate::algebra_choice::Algebra;
+use crate::layers::shuffle::{PixelShuffle, PixelUnshuffle};
+use crate::layers::structure::{Residual, Sequential};
+
+/// ERNet configuration: `B` modules, pumping ratio `R`, `N` extra pumping
+/// layers, and the base channel width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ErNetConfig {
+    /// Number of ERModules (`B`).
+    pub b: usize,
+    /// Base pumping ratio (`R`): channel expansion inside a module.
+    pub r: usize,
+    /// Additional pumping layers per module (`N`).
+    pub n_extra: usize,
+    /// Base channel width (real channels; must divide by the algebra's n).
+    pub width: usize,
+}
+
+impl ErNetConfig {
+    /// Paper-style label, e.g. `B2R2N0`.
+    pub fn label(&self) -> String {
+        format!("B{}R{}N{}", self.b, self.r, self.n_extra)
+    }
+
+    /// A small config suitable for CPU experiments.
+    pub fn tiny() -> Self {
+        Self { b: 2, r: 2, n_extra: 0, width: 8 }
+    }
+}
+
+/// One ERModule: a residual block with channel pumping
+/// `C → R·C → … → R·C → C` and the algebra's non-linearity between
+/// convolutions.
+pub fn ermodule(alg: &Algebra, width: usize, r: usize, n_extra: usize, seed: u64) -> Residual {
+    let pumped = width * r;
+    let mut body = Sequential::new()
+        .with(alg.conv(width, pumped, 3, seed))
+        .with_opt(alg.activation());
+    for i in 0..n_extra {
+        body = body
+            .with(alg.conv(pumped, pumped, 3, seed.wrapping_add(1000 + i as u64)))
+            .with_opt(alg.activation());
+    }
+    body = body.with(alg.conv(pumped, width, 3, seed.wrapping_add(1)));
+    Residual::new(body)
+}
+
+/// Denoising ERNet with pixel-unshuffle (the paper's `DnERNet-PU`):
+/// residual noise prediction over a 2×2-unshuffled feature space.
+///
+/// Input/output: `[N, channels, H, W]` with `H, W` even.
+pub fn dn_ernet_pu(alg: &Algebra, cfg: ErNetConfig, channels: usize, seed: u64) -> Sequential {
+    let c = cfg.width;
+    let mut body = Sequential::new()
+        .with(Box::new(PixelUnshuffle::new(2)))
+        .with(alg.conv(channels * 4, c, 3, seed))
+        .with_opt(alg.activation());
+    for i in 0..cfg.b {
+        body = body.with(Box::new(ermodule(alg, c, cfg.r, cfg.n_extra, seed + 10 * (i as u64 + 1))));
+    }
+    // Small-weight tail so the global residual starts near the identity.
+    let mut tail = alg.conv(c, channels * 4, 3, seed + 2);
+    crate::layers::upsample::scale_conv_weights(tail.as_mut(), 0.1);
+    body = body.with(tail).with(Box::new(PixelShuffle::new(2)));
+    // Global residual: the network predicts the negated noise.
+    Sequential::new().with(Box::new(Residual::new(body)))
+}
+
+/// Four-times super-resolution ERNet (the paper's `SR4ERNet`):
+/// feature extraction, `B` ERModules inside a long skip, then two ×2
+/// pixel-shuffle upsampling stages.
+///
+/// Input `[N, channels, H, W]` → output `[N, channels, 4H, 4W]`.
+pub fn sr4_ernet(alg: &Algebra, cfg: ErNetConfig, channels: usize, seed: u64) -> Sequential {
+    let c = cfg.width;
+    let mut trunk = Sequential::new();
+    for i in 0..cfg.b {
+        trunk =
+            trunk.with(Box::new(ermodule(alg, c, cfg.r, cfg.n_extra, seed + 10 * (i as u64 + 1))));
+    }
+    let mut trunk_tail = alg.conv(c, c, 3, seed + 3);
+    crate::layers::upsample::scale_conv_weights(trunk_tail.as_mut(), 0.1);
+    trunk = trunk.with(trunk_tail);
+    let mut tail = alg.conv(c, channels, 3, seed + 6);
+    crate::layers::upsample::scale_conv_weights(tail.as_mut(), 0.1);
+    Sequential::new()
+        .with(alg.conv(channels, c, 3, seed))
+        .with_opt(alg.activation())
+        .with(Box::new(Residual::new(trunk)))
+        // ×2 stage 1
+        .with(alg.conv(c, 4 * c, 3, seed + 4))
+        .with(Box::new(PixelShuffle::new(2)))
+        .with_opt(alg.activation())
+        // ×2 stage 2
+        .with(alg.conv(c, 4 * c, 3, seed + 5))
+        .with(Box::new(PixelShuffle::new(2)))
+        .with_opt(alg.activation())
+        .with(tail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use ringcnn_tensor::prelude::*;
+
+    #[test]
+    fn dn_ernet_preserves_shape() {
+        for alg in [Algebra::real(), Algebra::ri_fh(2), Algebra::ri_fh(4)] {
+            let mut m = dn_ernet_pu(&alg, ErNetConfig::tiny(), 1, 7);
+            let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 1);
+            let y = m.forward(&x, false);
+            assert_eq!(y.shape(), x.shape(), "{}", alg.label());
+        }
+    }
+
+    #[test]
+    fn sr4_ernet_upscales_four_times() {
+        let alg = Algebra::ri_fh(4);
+        let mut m = sr4_ernet(&alg, ErNetConfig::tiny(), 1, 9);
+        let x = Tensor::random_uniform(Shape4::new(1, 1, 5, 6), 0.0, 1.0, 2);
+        let y = m.forward(&x, false);
+        assert_eq!(y.shape(), Shape4::new(1, 1, 20, 24));
+    }
+
+    #[test]
+    fn ring_model_has_n_times_fewer_weights() {
+        let cfg = ErNetConfig::tiny();
+        let mut real = dn_ernet_pu(&Algebra::real(), cfg, 1, 7);
+        let mut ring = dn_ernet_pu(&Algebra::ri_fh(4), cfg, 1, 7);
+        let real_params = real.num_params() as f64;
+        let ring_params = ring.num_params() as f64;
+        // Biases are not compressed, so the ratio is slightly below n.
+        assert!(real_params / ring_params > 3.0, "ratio {}", real_params / ring_params);
+    }
+
+    #[test]
+    fn ernet_trains_backward_without_panic() {
+        let alg = Algebra::ri_fh(2);
+        let mut m = dn_ernet_pu(&alg, ErNetConfig::tiny(), 1, 3);
+        let x = Tensor::random_uniform(Shape4::new(2, 1, 8, 8), 0.0, 1.0, 3);
+        let y = m.forward(&x, true);
+        let d = m.backward(&y);
+        assert_eq!(d.shape(), x.shape());
+    }
+
+    #[test]
+    fn config_label() {
+        assert_eq!(ErNetConfig { b: 17, r: 3, n_extra: 1, width: 32 }.label(), "B17R3N1");
+    }
+}

@@ -1,0 +1,58 @@
+//! FFDNet [50] miniature: pixel-unshuffled denoising with a plain conv
+//! stack and a tunable noise-level input map. The advanced denoising
+//! baseline of Table IV.
+
+use crate::algebra_choice::Algebra;
+use crate::layer::Layer;
+use crate::layers::shuffle::{PixelShuffle, PixelUnshuffle};
+use crate::layers::structure::Sequential;
+use ringcnn_tensor::prelude::*;
+
+/// Builds an FFDNet-style denoiser (depth `d`, width `c`).
+///
+/// The original conditions on a noise-level map; our reproduction trains
+/// one model per noise level (the paper's evaluation also fixes σ per
+/// scenario), so the map input is dropped — documented in DESIGN.md.
+pub fn ffdnet(alg: &Algebra, depth: usize, c: usize, channels_io: usize, seed: u64) -> Sequential {
+    assert!(depth >= 2, "FFDNet needs at least head and tail convolutions");
+    let cin = channels_io * 4;
+    let mut m = Sequential::new()
+        .with(Box::new(PixelUnshuffle::new(2)))
+        .with(alg.conv(cin, c, 3, seed))
+        .with_opt(alg.activation());
+    for i in 0..depth.saturating_sub(2) {
+        m = m.with(alg.conv(c, c, 3, seed + i as u64 + 1)).with_opt(alg.activation());
+    }
+    m.with(alg.conv(c, cin, 3, seed + 77)).with(Box::new(PixelShuffle::new(2)))
+}
+
+/// Convenience inference wrapper that checks the even-size requirement.
+///
+/// # Panics
+///
+/// Panics if the input height/width are odd.
+pub fn denoise(model: &mut Sequential, noisy: &Tensor) -> Tensor {
+    let s = noisy.shape();
+    assert!(s.h % 2 == 0 && s.w % 2 == 0, "FFDNet-style models need even spatial sizes");
+    model.forward(noisy, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ffdnet_preserves_shape() {
+        let mut m = ffdnet(&Algebra::ri_fh(2), 4, 8, 1, 3);
+        let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 1);
+        assert_eq!(denoise(&mut m, &x).shape(), x.shape());
+    }
+
+    #[test]
+    #[should_panic(expected = "even spatial sizes")]
+    fn rejects_odd_sizes() {
+        let mut m = ffdnet(&Algebra::real(), 3, 8, 1, 3);
+        let x = Tensor::zeros(Shape4::new(1, 1, 7, 8));
+        let _ = denoise(&mut m, &x);
+    }
+}

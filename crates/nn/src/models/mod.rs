@@ -1,0 +1,8 @@
+//! Model zoo: ERNet-style imaging networks, SRResNet/VDSR/FFDNet
+//! baselines, and the ResNet-mini classifier of Appendix C.
+
+pub mod ernet;
+pub mod ffdnet;
+pub mod resnet;
+pub mod srresnet;
+pub mod vdsr;

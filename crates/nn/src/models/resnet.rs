@@ -1,0 +1,93 @@
+//! Miniature ResNet classifier for the Appendix-C recognition study
+//! (ResNet-56 on CIFAR-100 in the paper; a width/depth-scaled stand-in on
+//! the synthetic pattern dataset here — see DESIGN.md §3).
+//!
+//! Downsampling uses pixel-unshuffle + 1×1 channel projection instead of
+//! strided convolution (our conv substrate is stride-1 only); this keeps
+//! the residual topology and parameter scaling of the original.
+
+use crate::algebra_choice::Algebra;
+use crate::layers::dense::{Dense, GlobalAvgPool};
+use crate::layers::shuffle::PixelUnshuffle;
+use crate::layers::structure::{Residual, Sequential};
+
+/// ResNet-mini configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ResNetConfig {
+    /// Residual blocks per stage.
+    pub blocks_per_stage: usize,
+    /// Channel widths per stage (each stage halves the resolution).
+    pub stage_channels: [usize; 2],
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl ResNetConfig {
+    /// Tiny default: 2 stages of 2 blocks (8/16 channels), 10 classes.
+    pub fn tiny() -> Self {
+        Self { blocks_per_stage: 2, stage_channels: [8, 16], classes: 10 }
+    }
+}
+
+/// Builds the classifier. Input `[N, channels_in, H, W]` (H, W divisible
+/// by 2), output logits `[N, classes, 1, 1]`.
+pub fn resnet_mini(alg: &Algebra, cfg: ResNetConfig, channels_in: usize, seed: u64) -> Sequential {
+    let c0 = cfg.stage_channels[0];
+    let c1 = cfg.stage_channels[1];
+    let mut m = Sequential::new()
+        .with(alg.conv(channels_in, c0, 3, seed))
+        .with_opt(alg.activation());
+    for i in 0..cfg.blocks_per_stage {
+        m = m.with(Box::new(basic_block(alg, c0, seed + 10 + i as u64)));
+    }
+    // Stage transition: ×½ resolution, c0·4 → c1 channels.
+    m = m
+        .with(Box::new(PixelUnshuffle::new(2)))
+        .with(alg.conv(c0 * 4, c1, 1, seed + 50))
+        .with_opt(alg.activation());
+    for i in 0..cfg.blocks_per_stage {
+        m = m.with(Box::new(basic_block(alg, c1, seed + 60 + i as u64)));
+    }
+    m.with(Box::new(GlobalAvgPool::new()))
+        .with(Box::new(Dense::new(c1, cfg.classes, seed + 99)))
+}
+
+fn basic_block(alg: &Algebra, c: usize, seed: u64) -> Residual {
+    Residual::new(
+        Sequential::new()
+            .with(alg.conv(c, c, 3, seed))
+            .with_opt(alg.activation())
+            .with(alg.conv(c, c, 3, seed + 1)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use ringcnn_tensor::prelude::*;
+
+    #[test]
+    fn logits_shape() {
+        let mut m = resnet_mini(&Algebra::real(), ResNetConfig::tiny(), 3, 5);
+        let x = Tensor::random_uniform(Shape4::new(2, 3, 8, 8), 0.0, 1.0, 1);
+        let y = m.forward(&x, false);
+        assert_eq!(y.shape(), Shape4::new(2, 10, 1, 1));
+    }
+
+    #[test]
+    fn ring_variant_runs_forward_and_backward() {
+        let mut m = resnet_mini(&Algebra::ri_fh(4), ResNetConfig::tiny(), 4, 6);
+        let x = Tensor::random_uniform(Shape4::new(1, 4, 8, 8), 0.0, 1.0, 2);
+        let y = m.forward(&x, true);
+        let d = m.backward(&y);
+        assert_eq!(d.shape(), x.shape());
+    }
+
+    #[test]
+    fn ring_classifier_compresses_weights() {
+        let mut real = resnet_mini(&Algebra::real(), ResNetConfig::tiny(), 4, 5);
+        let mut ring = resnet_mini(&Algebra::ri_fh(2), ResNetConfig::tiny(), 4, 5);
+        assert!(real.num_params() as f64 / ring.num_params() as f64 > 1.6);
+    }
+}

@@ -1,0 +1,54 @@
+//! VDSR [26] miniature: a plain conv–ReLU stack with a global residual,
+//! operating on a pre-upscaled input. The "old-fashioned" SR baseline of
+//! Fig. 1 and Table IV.
+
+use crate::algebra_choice::Algebra;
+use crate::layers::structure::{Residual, Sequential};
+
+/// Builds a VDSR-style network (depth `d` conv layers, `c` channels).
+///
+/// Input and output share the same shape; for ×4 SR, feed a bicubic
+/// (or similar) pre-upscaled image.
+pub fn vdsr(alg: &Algebra, depth: usize, c: usize, channels_io: usize, seed: u64) -> Sequential {
+    assert!(depth >= 2, "VDSR needs at least head and tail convolutions");
+    let mut body = Sequential::new()
+        .with(alg.conv(channels_io, c, 3, seed))
+        .with_opt(alg.activation());
+    for i in 0..depth.saturating_sub(2) {
+        body = body
+            .with(alg.conv(c, c, 3, seed + i as u64 + 1))
+            .with_opt(alg.activation());
+    }
+    body = body.with(alg.conv(c, channels_io, 3, seed + 99));
+    Sequential::new().with(Box::new(Residual::new(body)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use ringcnn_tensor::prelude::*;
+
+    #[test]
+    fn vdsr_preserves_shape() {
+        let mut m = vdsr(&Algebra::real(), 4, 8, 1, 3);
+        let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 1);
+        assert_eq!(m.forward(&x, false).shape(), x.shape());
+    }
+
+    #[test]
+    fn identity_initialization_bias_is_residual() {
+        // With a global residual, a zero-weight body is the identity —
+        // check the output stays close to the input at init.
+        let mut m = vdsr(&Algebra::real(), 3, 8, 1, 5);
+        let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 2);
+        let y = m.forward(&x, false);
+        assert!(y.mse(&x) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least head and tail")]
+    fn rejects_too_shallow() {
+        let _ = vdsr(&Algebra::real(), 1, 8, 1, 3);
+    }
+}

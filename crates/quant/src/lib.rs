@@ -1,0 +1,23 @@
+//! # ringcnn-quant
+//!
+//! Dynamic fixed-point quantization for RingCNN models (§IV-C of the
+//! paper): per-layer Q-formats, **component-wise Q-formats** for the
+//! directional ReLU, and a bit-accurate integer inference pipeline with
+//! both the paper's **on-the-fly** directional-ReLU execution (Fig. 8)
+//! and the conventional MAC-based baseline it improves upon.
+//!
+//! The [`quantized::QuantizedModel`] produced here is also the reference
+//! the `ringcnn-esim` accelerator simulator must match bit-exactly.
+
+#![warn(missing_docs)]
+
+pub mod qformat;
+pub mod qtensor;
+pub mod quantized;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::qformat::{requant_shift, QFormat};
+    pub use crate::qtensor::{expand_formats, group_max_abs, QTensor};
+    pub use crate::quantized::{DReluMode, QLayer, QuantOptions, QuantizedModel};
+}

@@ -1,0 +1,129 @@
+//! Dynamic fixed-point Q-formats (§IV-C, after the ARM Q-format
+//! convention [1]): a signed `bits`-bit integer with `frac` fractional
+//! bits, chosen per layer (and per tuple component for the directional
+//! ReLU) from observed dynamic ranges.
+
+use serde::{Deserialize, Serialize};
+
+/// A signed fixed-point format: value = `q · 2^(−frac)` with `q` stored in
+/// `bits` bits (two's complement).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QFormat {
+    /// Total storage bits (including sign).
+    pub bits: u32,
+    /// Fractional bits (may be negative for very large ranges).
+    pub frac: i32,
+}
+
+impl QFormat {
+    /// Chooses the format with the most fractional bits that still
+    /// represents `max_abs` without saturation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 2`.
+    pub fn fit(max_abs: f64, bits: u32) -> Self {
+        assert!(bits >= 2, "need at least sign + one magnitude bit");
+        let max_abs = max_abs.max(1e-12);
+        // Integer bits needed so that max_abs < 2^int_bits.
+        let int_bits = max_abs.log2().floor() as i32 + 1;
+        QFormat { bits, frac: bits as i32 - 1 - int_bits }
+    }
+
+    /// Largest representable magnitude.
+    pub fn max_value(&self) -> f64 {
+        let qmax = (1i64 << (self.bits - 1)) - 1;
+        qmax as f64 * self.scale()
+    }
+
+    /// The quantization step `2^(−frac)`.
+    pub fn scale(&self) -> f64 {
+        2.0f64.powi(-self.frac)
+    }
+
+    /// Quantizes a real value to the stored integer (round-to-nearest,
+    /// saturating).
+    pub fn quantize(&self, v: f64) -> i64 {
+        let qmax = (1i64 << (self.bits - 1)) - 1;
+        let qmin = -(1i64 << (self.bits - 1));
+        let q = (v * 2.0f64.powi(self.frac)).round() as i64;
+        q.clamp(qmin, qmax)
+    }
+
+    /// Reconstructs the real value of a stored integer.
+    pub fn dequantize(&self, q: i64) -> f64 {
+        q as f64 * self.scale()
+    }
+
+    /// Saturates an already-scaled integer into this format's range.
+    pub fn saturate(&self, q: i64) -> i64 {
+        let qmax = (1i64 << (self.bits - 1)) - 1;
+        let qmin = -(1i64 << (self.bits - 1));
+        q.clamp(qmin, qmax)
+    }
+}
+
+/// Shifts a fixed-point integer from `from_frac` to `to_frac` fractional
+/// bits with round-to-nearest on right shifts (the hardware requantizer).
+#[inline]
+pub fn requant_shift(q: i64, from_frac: i32, to_frac: i32) -> i64 {
+    let s = from_frac - to_frac;
+    if s > 0 {
+        // Right shift with rounding (round half up).
+        (q + (1i64 << (s - 1))) >> s
+    } else if s < 0 {
+        q << (-s)
+    } else {
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_small_values_maximizes_precision() {
+        // Values in (−1, 1): 8-bit Q0.7.
+        let f = QFormat::fit(0.9, 8);
+        assert_eq!(f.frac, 7);
+        assert!(f.max_value() > 0.9);
+    }
+
+    #[test]
+    fn fit_larger_ranges() {
+        let f = QFormat::fit(5.0, 8);
+        assert_eq!(f.frac, 4); // 3 int bits: |v| < 8
+        let f = QFormat::fit(127.0, 8);
+        assert_eq!(f.frac, 0);
+        let f = QFormat::fit(1.0, 8);
+        assert_eq!(f.frac, 6); // 1.0 needs int bit
+    }
+
+    #[test]
+    fn quantize_roundtrip_error_within_half_step() {
+        let f = QFormat::fit(1.5, 8);
+        for v in [-1.49, -0.7, 0.0, 0.31, 1.49] {
+            let q = f.quantize(v);
+            let back = f.dequantize(q);
+            assert!((back - v).abs() <= f.scale() / 2.0 + 1e-12, "v={v} back={back}");
+        }
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let f = QFormat::fit(1.0, 8);
+        assert_eq!(f.quantize(100.0), 127);
+        assert_eq!(f.quantize(-100.0), -128);
+    }
+
+    #[test]
+    fn requant_shift_rounds() {
+        // 5 with 2 frac bits (1.25) → 1 frac bit: 1.5 → q=3 (round half up).
+        assert_eq!(requant_shift(5, 2, 1), 3);
+        assert_eq!(requant_shift(4, 2, 1), 2);
+        assert_eq!(requant_shift(-5, 2, 1), -2); // −1.25 → −1.0 (half up)
+        assert_eq!(requant_shift(3, 1, 3), 12); // left shift exact
+        assert_eq!(requant_shift(7, 2, 2), 7);
+    }
+}

@@ -1,0 +1,876 @@
+//! Bit-accurate quantized inference of RingCNN models (§IV-C).
+//!
+//! A float model ([`Sequential`] of convolutions, activations, shuffles,
+//! residual blocks) is calibrated on sample data and lowered onto an
+//! integer pipeline:
+//!
+//! - weights quantized to 8-bit with a per-layer Q-format;
+//! - features quantized to 8-bit with per-layer Q-formats — or, for
+//!   models with the directional ReLU, **component-wise Q-formats** (one
+//!   per tuple component, the paper's fix for the diverging per-component
+//!   dynamic ranges);
+//! - convolution accumulators kept wide and fed to the directional-ReLU
+//!   unit **on the fly** (Fig. 8), avoiding the intermediate quantization
+//!   of MAC-based execution — the ablation mode
+//!   [`DReluMode::MacBased`] reproduces the conventional pipeline and its
+//!   PSNR penalty.
+
+use crate::qformat::{requant_shift, QFormat};
+use crate::qtensor::{expand_formats, group_max_abs, QTensor};
+use ringcnn_algebra::transforms::fwht_i64;
+use ringcnn_nn::layer::Layer;
+use ringcnn_nn::layers::activation::{DirectionalReluLayer, Relu};
+use ringcnn_nn::layers::conv::Conv2d;
+use ringcnn_nn::layers::ring_conv::RingConv2d;
+use ringcnn_nn::layers::shuffle::{PixelShuffle, PixelUnshuffle};
+use ringcnn_nn::layers::structure::{Residual, Sequential};
+use ringcnn_nn::layers::upsample::UpsampleResidual;
+use ringcnn_tensor::prelude::*;
+
+/// Quantization options.
+#[derive(Clone, Copy, Debug)]
+pub struct QuantOptions {
+    /// Weight bits (paper: 8).
+    pub weight_bits: u32,
+    /// Feature bits (paper: 8).
+    pub feature_bits: u32,
+    /// Component-wise feature Q-formats (one per tuple component) instead
+    /// of a single per-layer format (§IV-C).
+    pub component_wise: bool,
+    /// On-the-fly directional ReLU on full-precision accumulators
+    /// (Fig. 8) instead of the MAC-based path with intermediate
+    /// quantization.
+    pub on_the_fly_drelu: bool,
+}
+
+impl Default for QuantOptions {
+    fn default() -> Self {
+        Self { weight_bits: 8, feature_bits: 8, component_wise: true, on_the_fly_drelu: true }
+    }
+}
+
+/// Directional-ReLU execution mode in the integer pipeline.
+#[derive(Clone, Debug)]
+pub enum DReluMode {
+    /// Fig. 8: align accumulator components (left shifts), butterfly
+    /// Hadamard, ReLU, butterfly Hadamard, requantize once to the output
+    /// component formats.
+    OnTheFly,
+    /// Conventional MAC execution: the transform operates on requantized
+    /// 8-bit features, adding two extra quantization points (`mid` after
+    /// the first transform).
+    MacBased {
+        /// Format after the first Hadamard transform.
+        mid: QFormat,
+    },
+}
+
+/// One quantized layer.
+#[derive(Clone, Debug)]
+pub enum QLayer {
+    /// Integer convolution (possibly the expansion of a ring conv).
+    Conv(QConv),
+    /// Component-wise ReLU on 8-bit features.
+    Relu,
+    /// Directional ReLU over `n`-tuples.
+    DRelu(QDRelu),
+    /// Depth-to-space.
+    Shuffle(usize),
+    /// Space-to-depth.
+    Unshuffle(usize),
+    /// Skip connection with saturating aligned addition.
+    Residual(Box<QResidual>),
+    /// SR global skip: body output plus bicubic-upsampled input (the
+    /// skip path runs in a dedicated fixed-point interpolator modeled by
+    /// quantizing the bicubic result at the output format).
+    UpsampleResidual(Box<QUpsampleResidual>),
+}
+
+/// Quantized bicubic-skip wrapper.
+#[derive(Clone, Debug)]
+pub struct QUpsampleResidual {
+    body: Vec<QLayer>,
+    factor: usize,
+    out_formats: Vec<QFormat>,
+}
+
+/// Quantized convolution: expanded real weights in 8-bit, wide
+/// accumulator, optional output requantization.
+#[derive(Clone, Debug)]
+pub struct QConv {
+    co: usize,
+    ci: usize,
+    k: usize,
+    weights: Vec<i64>,
+    w_format: QFormat,
+    /// Bias at the accumulator scale of each output channel.
+    bias: Vec<i64>,
+    /// `Some(formats)`: requantize the accumulator to 8-bit features.
+    /// `None`: hand the accumulator straight to a directional ReLU.
+    requant: Option<Vec<QFormat>>,
+    /// When the incoming features carry mixed per-channel formats that
+    /// this (dense) convolution would combine in one accumulator, they
+    /// are first aligned to this single format — the hardware's format
+    /// aligner in front of dense stages.
+    align_input: Option<QFormat>,
+}
+
+/// Quantized directional ReLU.
+#[derive(Clone, Debug)]
+pub struct QDRelu {
+    n: usize,
+    mode: DReluMode,
+    /// Output component formats (expanded per channel at run time).
+    out_formats: Vec<QFormat>,
+}
+
+/// Quantized residual block.
+#[derive(Clone, Debug)]
+pub struct QResidual {
+    body: Vec<QLayer>,
+    out_formats: Vec<QFormat>,
+}
+
+impl QConv {
+    /// Output channels.
+    pub fn co(&self) -> usize {
+        self.co
+    }
+
+    /// Input channels.
+    pub fn ci(&self) -> usize {
+        self.ci
+    }
+
+    /// Kernel size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Quantized (expanded real) weights, `[co][ci][ky][kx]`.
+    pub fn weights(&self) -> &[i64] {
+        &self.weights
+    }
+
+    /// Weight Q-format.
+    pub fn w_format(&self) -> QFormat {
+        self.w_format
+    }
+
+    /// Output requantization formats (`None` = accumulator pass-through).
+    pub fn requant(&self) -> Option<&[QFormat]> {
+        self.requant.as_deref()
+    }
+
+    /// Input alignment format, if any.
+    pub fn align_input(&self) -> Option<QFormat> {
+        self.align_input
+    }
+
+    /// Integer bias of channel `co` at the given accumulator frac.
+    pub fn bias_int(&self, co: usize, acc_frac: i32) -> i64 {
+        bias_at(self, co, acc_frac)
+    }
+}
+
+impl QDRelu {
+    /// Tuple size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Execution mode.
+    pub fn mode(&self) -> &DReluMode {
+        &self.mode
+    }
+
+    /// Output component formats.
+    pub fn out_formats(&self) -> &[QFormat] {
+        &self.out_formats
+    }
+}
+
+impl QResidual {
+    /// Body layers.
+    pub fn body(&self) -> &[QLayer] {
+        &self.body
+    }
+
+    /// Output formats.
+    pub fn out_formats(&self) -> &[QFormat] {
+        &self.out_formats
+    }
+}
+
+impl QUpsampleResidual {
+    /// Body layers.
+    pub fn body(&self) -> &[QLayer] {
+        &self.body
+    }
+
+    /// Upsampling factor.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Output formats.
+    pub fn out_formats(&self) -> &[QFormat] {
+        &self.out_formats
+    }
+}
+
+/// Executes a single quantized layer (public for the accelerator
+/// simulator, which cross-checks its own datapath against this
+/// reference).
+pub fn execute_layer(layer: &QLayer, q: QTensor) -> QTensor {
+    run_layer(layer, q)
+}
+
+/// A fully quantized model: integer layers plus the input image format.
+#[derive(Clone, Debug)]
+pub struct QuantizedModel {
+    input_format: QFormat,
+    layers: Vec<QLayer>,
+    opts: QuantOptions,
+}
+
+impl QuantizedModel {
+    /// Calibrates `model` on `calibration` inputs and lowers it to the
+    /// integer pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model contains layer types outside the supported
+    /// imaging set (conv / ring conv / ReLU / directional ReLU / shuffle /
+    /// residual).
+    pub fn quantize(model: &mut Sequential, calibration: &Tensor, opts: QuantOptions) -> Self {
+        let input_format =
+            QFormat::fit(group_max_abs(calibration, 1)[0], opts.feature_bits);
+        let x = calibration.clone();
+        let (layers, _out) = build_chain(model.layers_mut(), x, &opts);
+        Self { input_format, layers, opts }
+    }
+
+    /// Bit-accurate integer inference; input is quantized with the
+    /// calibrated image format and the output dequantized to floats.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let formats = vec![self.input_format; input.shape().c];
+        let q = QTensor::quantize(input, formats);
+        self.forward_q(q).dequantize()
+    }
+
+    /// Integer-in/integer-out inference (used by the accelerator
+    /// simulator for bit-exact cross-checking).
+    pub fn forward_q(&self, input: QTensor) -> QTensor {
+        run_chain(&self.layers, input)
+    }
+
+    /// The calibrated input format.
+    pub fn input_format(&self) -> QFormat {
+        self.input_format
+    }
+
+    /// The quantized layers (read-only view for the simulator).
+    pub fn layers(&self) -> &[QLayer] {
+        &self.layers
+    }
+
+    /// Quantization options used.
+    pub fn options(&self) -> QuantOptions {
+        self.opts
+    }
+}
+
+// ---------------------------------------------------------------------
+// Builder: walk the float model, collect ranges, emit QLayers.
+// ---------------------------------------------------------------------
+
+fn build_chain(
+    layers: &mut [Box<dyn Layer>],
+    x: Tensor,
+    opts: &QuantOptions,
+) -> (Vec<QLayer>, Tensor) {
+    let (chain, out, _groups) = build_chain_grouped(layers, x, opts, 1);
+    (chain, out)
+}
+
+/// Sentinel for "per-channel formats with no tuple grouping" (after a
+/// pixel shuffle of grouped features).
+const UNGROUPED: usize = usize::MAX;
+
+fn build_chain_grouped(
+    layers: &mut [Box<dyn Layer>],
+    mut x: Tensor,
+    opts: &QuantOptions,
+    mut cur_groups: usize,
+) -> (Vec<QLayer>, Tensor, usize) {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < layers.len() {
+        // Peek: conv followed by a directional ReLU in on-the-fly mode
+        // keeps its accumulator.
+        let next_is_drelu = layers
+            .get_mut(i + 1)
+            .map(|l| l.as_any_mut().downcast_ref::<DirectionalReluLayer>().is_some())
+            .unwrap_or(false);
+        let keep_acc = next_is_drelu && opts.on_the_fly_drelu;
+        let layer = layers[i].as_mut();
+
+        if let Some(conv) = layer.as_any_mut().downcast_mut::<Conv2d>() {
+            // A dense real conv combines all input channels: mixed
+            // per-channel formats must be aligned first.
+            let align = if cur_groups != 1 {
+                Some(QFormat::fit(group_max_abs(&x, 1)[0], opts.feature_bits))
+            } else {
+                None
+            };
+            let y = conv.forward(&x, false);
+            let q = lower_conv(
+                conv.weights().data.clone(),
+                conv.co(),
+                conv.ci(),
+                conv.k(),
+                conv.bias(),
+                &y,
+                1,
+                keep_acc,
+                align,
+                opts,
+            );
+            out.push(QLayer::Conv(q));
+            x = y;
+            cur_groups = if keep_acc { 1 } else { 1 };
+        } else if let Some(rconv) = layer.as_any_mut().downcast_mut::<RingConv2d>() {
+            let expanded = rconv.expand_real_weights();
+            let n = rconv.ring().n();
+            let groups = if opts.component_wise { n } else { 1 };
+            // A diagonal ring keeps components separate, so grouped input
+            // formats of matching period stay consistent; anything else
+            // mixes components and needs alignment.
+            let compatible = cur_groups == 1
+                || (rconv.ring().is_diagonal() && cur_groups == n);
+            let align = if compatible {
+                None
+            } else {
+                Some(QFormat::fit(group_max_abs(&x, 1)[0], opts.feature_bits))
+            };
+            let y = rconv.forward(&x, false);
+            let q = lower_conv(
+                expanded.data,
+                rconv.co(),
+                rconv.ci(),
+                rconv.k(),
+                rconv.bias(),
+                &y,
+                groups,
+                keep_acc,
+                align,
+                opts,
+            );
+            out.push(QLayer::Conv(q));
+            x = y;
+            cur_groups = if keep_acc { 1 } else { groups };
+        } else if layer.as_any_mut().downcast_ref::<Relu>().is_some() {
+            x.map_inplace(|v| v.max(0.0));
+            out.push(QLayer::Relu);
+        } else if let Some(dr) = layer.as_any_mut().downcast_mut::<DirectionalReluLayer>() {
+            let n = dr.n();
+            let y = dr.forward(&x, false);
+            let groups = if opts.component_wise { n } else { 1 };
+            let out_formats: Vec<QFormat> = group_max_abs(&y, groups)
+                .iter()
+                .map(|m| QFormat::fit(*m, opts.feature_bits))
+                .collect();
+            let mode = if opts.on_the_fly_drelu {
+                DReluMode::OnTheFly
+            } else {
+                // Calibrate the post-first-transform range.
+                let mid_max = hadamard_intermediate_max(&x, n);
+                DReluMode::MacBased { mid: QFormat::fit(mid_max, opts.feature_bits) }
+            };
+            out.push(QLayer::DRelu(QDRelu { n, mode, out_formats }));
+            x = y;
+            cur_groups = groups;
+        } else if let Some(ps) = layer.as_any_mut().downcast_mut::<PixelShuffle>() {
+            let r = r_of_shuffle(ps.name());
+            out.push(QLayer::Shuffle(r));
+            x = ps.forward(&x, false);
+            cur_groups = if cur_groups == 1 { 1 } else { UNGROUPED };
+        } else if let Some(pu) = layer.as_any_mut().downcast_mut::<PixelUnshuffle>() {
+            let r = r_of_shuffle(pu.name());
+            out.push(QLayer::Unshuffle(r));
+            x = pu.forward(&x, false);
+            cur_groups = if cur_groups == 1 { 1 } else { UNGROUPED };
+        } else if let Some(ur) = layer.as_any_mut().downcast_mut::<UpsampleResidual>() {
+            let factor = ur.factor();
+            let (body, body_out, _g) =
+                build_chain_grouped(ur.body_mut().layers_mut(), x.clone(), opts, cur_groups);
+            let mut sum = body_out;
+            sum.add_assign(&ringcnn_imaging::degrade::upsample(&x, factor));
+            let f = QFormat::fit(group_max_abs(&sum, 1)[0], opts.feature_bits);
+            out.push(QLayer::UpsampleResidual(Box::new(QUpsampleResidual {
+                body,
+                factor,
+                out_formats: vec![f],
+            })));
+            x = sum;
+            cur_groups = 1;
+        } else if let Some(res) = layer.as_any_mut().downcast_mut::<Residual>() {
+            let (body, body_out, _g) =
+                build_chain_grouped(res.body_mut().layers_mut(), x.clone(), opts, cur_groups);
+            let mut sum = body_out;
+            sum.add_assign(&x);
+            let f = QFormat::fit(group_max_abs(&sum, 1)[0], opts.feature_bits);
+            out.push(QLayer::Residual(Box::new(QResidual { body, out_formats: vec![f] })));
+            x = sum;
+            cur_groups = 1;
+        } else {
+            panic!("unsupported layer in quantized pipeline: {}", layer.name());
+        }
+        i += 1;
+    }
+    (out, x, cur_groups)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lower_conv(
+    float_weights: Vec<f32>,
+    co: usize,
+    ci: usize,
+    k: usize,
+    bias: &[f32],
+    float_out: &Tensor,
+    groups: usize,
+    keep_acc: bool,
+    align_input: Option<QFormat>,
+    opts: &QuantOptions,
+) -> QConv {
+    let wmax = float_weights.iter().fold(0.0f64, |m, v| m.max(f64::from(v.abs())));
+    let w_format = QFormat::fit(wmax, opts.weight_bits);
+    let weights: Vec<i64> =
+        float_weights.iter().map(|v| w_format.quantize(f64::from(*v))).collect();
+    // Accumulator fracs are resolved at run time from the input formats;
+    // store placeholders here and fix them lazily (input-format dependent).
+    let requant = if keep_acc {
+        None
+    } else {
+        let formats: Vec<QFormat> = group_max_abs(float_out, groups)
+            .iter()
+            .map(|m| QFormat::fit(*m, opts.feature_bits))
+            .collect();
+        Some(expand_formats(&formats, co))
+    };
+    QConv {
+        co,
+        ci,
+        k,
+        weights,
+        w_format,
+        // Bias is stored as raw f64 bits because its fixed-point scale
+        // depends on the run-time accumulator format; see `bias_at`.
+        bias: bias.iter().map(|b| f64::from(*b).to_bits() as i64).collect(),
+        requant,
+        align_input,
+    }
+}
+
+fn hadamard_intermediate_max(x: &Tensor, n: usize) -> f64 {
+    let s = x.shape();
+    let tuples = s.c / n;
+    let mut maxv = 0.0f64;
+    let mut buf = vec![0.0f32; n];
+    for b in 0..s.n {
+        for t in 0..tuples {
+            for p in 0..s.plane() {
+                for l in 0..n {
+                    buf[l] = x.plane(b, t * n + l)[p];
+                }
+                ringcnn_algebra::transforms::fwht_f32(&mut buf);
+                for v in &buf {
+                    maxv = maxv.max(f64::from(v.abs()));
+                }
+            }
+        }
+    }
+    maxv
+}
+
+fn r_of_shuffle(name: String) -> usize {
+    // Names are "pixel_shuffle(x2)" / "pixel_unshuffle(x2)".
+    name.rsplit("(x")
+        .next()
+        .and_then(|s| s.trim_end_matches(')').parse().ok())
+        .expect("shuffle factor in layer name")
+}
+
+// ---------------------------------------------------------------------
+// Integer execution.
+// ---------------------------------------------------------------------
+
+fn run_chain(layers: &[QLayer], mut q: QTensor) -> QTensor {
+    for l in layers {
+        q = run_layer(l, q);
+    }
+    q
+}
+
+fn run_layer(layer: &QLayer, q: QTensor) -> QTensor {
+    match layer {
+        QLayer::Conv(c) => run_conv(c, &q),
+        QLayer::Relu => {
+            let formats = q.formats().to_vec();
+            let data = q.data().iter().map(|v| (*v).max(0)).collect();
+            QTensor::from_raw(q.shape(), data, formats)
+        }
+        QLayer::DRelu(d) => run_drelu(d, &q),
+        QLayer::Shuffle(r) => run_shuffle(&q, *r),
+        QLayer::Unshuffle(r) => run_unshuffle(&q, *r),
+        QLayer::Residual(res) => {
+            let body_out = run_chain(&res.body, q.clone());
+            let formats = expand_formats(&res.out_formats, q.shape().c);
+            body_out.add_saturating(&q, formats)
+        }
+        QLayer::UpsampleResidual(ur) => {
+            let body_out = run_chain(&ur.body, q.clone());
+            // Fixed-point interpolator: bicubic on the dequantized input,
+            // re-quantized at the output format (deterministic).
+            let skip_f =
+                ringcnn_imaging::degrade::upsample(&q.dequantize(), ur.factor);
+            let formats = expand_formats(&ur.out_formats, body_out.shape().c);
+            let skip_q = QTensor::quantize(&skip_f, formats.clone());
+            body_out.add_saturating(&skip_q, formats)
+        }
+    }
+}
+
+fn run_conv(c: &QConv, q: &QTensor) -> QTensor {
+    let aligned;
+    let q = if let Some(f) = c.align_input {
+        aligned = q.requantized(vec![f; q.shape().c]);
+        &aligned
+    } else {
+        q
+    };
+    let s = q.shape();
+    assert_eq!(s.c, c.ci, "quantized conv channel mismatch");
+    // Resolve accumulator fracs from the input formats and validate that
+    // every output channel accumulates a consistent scale.
+    let mut acc_frac = vec![i32::MIN; c.co];
+    for co in 0..c.co {
+        for ci in 0..c.ci {
+            let any_nonzero = (0..c.k * c.k)
+                .any(|t| c.weights[(co * c.ci + ci) * c.k * c.k + t] != 0);
+            if !any_nonzero {
+                continue;
+            }
+            let f = c.w_format.frac + q.format_of(ci).frac;
+            if acc_frac[co] == i32::MIN {
+                acc_frac[co] = f;
+            } else {
+                assert_eq!(
+                    acc_frac[co], f,
+                    "inconsistent accumulator scale for output channel {co}: \
+                     component-wise formats require component-aligned rings"
+                );
+            }
+        }
+        if acc_frac[co] == i32::MIN {
+            // All-zero filter; any scale works.
+            acc_frac[co] = c.w_format.frac + q.format_of(0).frac;
+        }
+    }
+    let pad = (c.k / 2) as isize;
+    let (h, w) = (s.h as isize, s.w as isize);
+    let out_shape = s.with_channels(c.co);
+    let mut data = vec![0i64; out_shape.len()];
+    for b in 0..s.n {
+        for co in 0..c.co {
+            let bias = bias_at(c, co, acc_frac[co]);
+            let base = out_shape.index(b, co, 0, 0);
+            for v in data[base..base + out_shape.plane()].iter_mut() {
+                *v = bias;
+            }
+            for ci in 0..c.ci {
+                let in_plane = q.plane(b, ci);
+                for ky in 0..c.k {
+                    for kx in 0..c.k {
+                        let wv = c.weights[((co * c.ci + ci) * c.k + ky) * c.k + kx];
+                        if wv == 0 {
+                            continue;
+                        }
+                        let dy = ky as isize - pad;
+                        let dx = kx as isize - pad;
+                        let y0 = 0.max(-dy);
+                        let y1 = h.min(h - dy);
+                        let x0 = 0.max(-dx);
+                        let x1 = w.min(w - dx);
+                        for y in y0..y1 {
+                            let row_o = base + (y * w) as usize;
+                            let row_i = (y + dy) * w + dx;
+                            for x in x0..x1 {
+                                data[row_o + x as usize] +=
+                                    wv * in_plane[(row_i + x) as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let formats: Vec<QFormat> =
+        acc_frac.iter().map(|f| QFormat { bits: 32, frac: *f }).collect();
+    let acc = QTensor::from_raw(out_shape, data, formats);
+    match &c.requant {
+        Some(fmts) => acc.requantized(fmts.clone()),
+        None => acc,
+    }
+}
+
+/// Bias values are stored as f64 bits (scale depends on the run-time
+/// accumulator frac); decode and quantize here.
+fn bias_at(c: &QConv, co: usize, acc_frac: i32) -> i64 {
+    let raw = f64::from_bits(c.bias[co] as u64);
+    (raw * 2.0f64.powi(acc_frac)).round() as i64
+}
+
+fn run_drelu(d: &QDRelu, q: &QTensor) -> QTensor {
+    let s = q.shape();
+    let n = d.n;
+    assert_eq!(s.c % n, 0, "channels not a multiple of tuple size");
+    let tuples = s.c / n;
+    let out_formats = expand_formats(&d.out_formats, s.c);
+    let mut out = vec![0i64; s.len()];
+    let mut y = vec![0i64; n];
+    match &d.mode {
+        DReluMode::OnTheFly => {
+            for b in 0..s.n {
+                for t in 0..tuples {
+                    // Align components to the finest (max) frac: Fig. 8's
+                    // left-shifters with s_i = max frac − frac_i.
+                    let max_frac =
+                        (0..n).map(|l| q.format_of(t * n + l).frac).max().unwrap();
+                    for p in 0..s.plane() {
+                        for l in 0..n {
+                            let f = q.format_of(t * n + l).frac;
+                            y[l] = q.plane(b, t * n + l)[p] << (max_frac - f);
+                        }
+                        fwht_i64(&mut y);
+                        for v in y.iter_mut() {
+                            *v = (*v).max(0);
+                        }
+                        fwht_i64(&mut y);
+                        for l in 0..n {
+                            let fo = out_formats[t * n + l];
+                            let v = requant_shift(y[l], max_frac, fo.frac);
+                            out[s.index(b, t * n + l, 0, 0) + p] = fo.saturate(v);
+                        }
+                    }
+                }
+            }
+        }
+        DReluMode::MacBased { mid } => {
+            // Conventional pipeline: the input is already 8-bit (the conv
+            // requantized); transform, requantize to 8-bit `mid`, ReLU,
+            // transform, requantize to the output formats.
+            for b in 0..s.n {
+                for t in 0..tuples {
+                    let max_frac =
+                        (0..n).map(|l| q.format_of(t * n + l).frac).max().unwrap();
+                    for p in 0..s.plane() {
+                        for l in 0..n {
+                            let f = q.format_of(t * n + l).frac;
+                            y[l] = q.plane(b, t * n + l)[p] << (max_frac - f);
+                        }
+                        fwht_i64(&mut y);
+                        for v in y.iter_mut() {
+                            // Extra quantization point #1.
+                            *v = mid.saturate(requant_shift(*v, max_frac, mid.frac)).max(0);
+                        }
+                        fwht_i64(&mut y);
+                        for l in 0..n {
+                            let fo = out_formats[t * n + l];
+                            let v = requant_shift(y[l], mid.frac, fo.frac);
+                            out[s.index(b, t * n + l, 0, 0) + p] = fo.saturate(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    QTensor::from_raw(s, out, out_formats)
+}
+
+fn run_shuffle(q: &QTensor, r: usize) -> QTensor {
+    let s = q.shape();
+    let out_shape = Shape4::new(s.n, s.c / (r * r), s.h * r, s.w * r);
+    let mut data = vec![0i64; out_shape.len()];
+    let mut formats = vec![q.format_of(0); out_shape.c];
+    for oc in 0..out_shape.c {
+        // The r² source channels of one output channel may have distinct
+        // formats only if a grouped format crosses the shuffle — take the
+        // coarsest and requantize exactly below.
+        let coarsest = (0..r * r)
+            .map(|k| q.format_of(oc * r * r + k))
+            .min_by_key(|f| f.frac)
+            .unwrap();
+        formats[oc] = coarsest;
+    }
+    for b in 0..s.n {
+        for oc in 0..out_shape.c {
+            let fo = formats[oc];
+            for y in 0..s.h {
+                for x in 0..s.w {
+                    for ry in 0..r {
+                        for rx in 0..r {
+                            let ic = oc * r * r + ry * r + rx;
+                            let v = requant_shift(
+                                q.plane(b, ic)[y * s.w + x],
+                                q.format_of(ic).frac,
+                                fo.frac,
+                            );
+                            data[out_shape.index(b, oc, y * r + ry, x * r + rx)] =
+                                fo.saturate(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    QTensor::from_raw(out_shape, data, formats)
+}
+
+fn run_unshuffle(q: &QTensor, r: usize) -> QTensor {
+    let s = q.shape();
+    let out_shape = Shape4::new(s.n, s.c * r * r, s.h / r, s.w / r);
+    let mut data = vec![0i64; out_shape.len()];
+    let mut formats = vec![q.format_of(0); out_shape.c];
+    for oc in 0..out_shape.c {
+        formats[oc] = q.format_of(oc / (r * r));
+    }
+    for b in 0..s.n {
+        for c in 0..s.c {
+            for y in 0..out_shape.h {
+                for x in 0..out_shape.w {
+                    for ry in 0..r {
+                        for rx in 0..r {
+                            let oc = c * r * r + ry * r + rx;
+                            data[out_shape.index(b, oc, y, x)] =
+                                q.plane(b, c)[(y * r + ry) * s.w + (x * r + rx)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    QTensor::from_raw(out_shape, data, formats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringcnn_imaging::prelude::*;
+    use ringcnn_nn::prelude::*;
+
+    fn trained_tiny_denoiser(alg: &Algebra) -> (Sequential, Tensor, Tensor) {
+        let set = denoising_set(DatasetProfile::Train, 12, 12, 25.0);
+        let c = 8;
+        let mut model = Sequential::new()
+            .with(alg.conv(1, c, 3, 3))
+            .with_opt(alg.activation())
+            .with(alg.conv(c, c, 3, 4))
+            .with_opt(alg.activation())
+            .with(alg.conv(c, 1, 3, 5));
+        let cfg = TrainConfig { steps: 120, batch: 4, lr: 3e-3, decay_after: 0.7, seed: 1 };
+        let _ = train_regression(&mut model, &set.inputs, &set.targets, &cfg);
+        (model, set.inputs, set.targets)
+    }
+
+    #[test]
+    fn quantized_matches_float_closely() {
+        let alg = Algebra::ri_fh(4);
+        let (mut model, inputs, _t) = trained_tiny_denoiser(&alg);
+        let float_out = model.forward(&inputs, false);
+        let qm = QuantizedModel::quantize(&mut model, &inputs, QuantOptions::default());
+        let q_out = qm.forward(&inputs);
+        let p = psnr(&float_out, &q_out);
+        assert!(p > 30.0, "quantized output should track float output, PSNR {p}");
+    }
+
+    #[test]
+    fn component_wise_formats_beat_single_format_for_fh() {
+        // §IV-C: with the directional ReLU, per-component formats avoid
+        // the saturation losses of a single Q-format.
+        let alg = Algebra::ri_fh(4);
+        let (mut model, inputs, targets) = trained_tiny_denoiser(&alg);
+        let qm_cw = QuantizedModel::quantize(&mut model, &inputs, QuantOptions::default());
+        let qm_single = QuantizedModel::quantize(
+            &mut model,
+            &inputs,
+            QuantOptions { component_wise: false, ..QuantOptions::default() },
+        );
+        let p_cw = psnr(&qm_cw.forward(&inputs), &targets);
+        let p_single = psnr(&qm_single.forward(&inputs), &targets);
+        assert!(
+            p_cw + 0.05 >= p_single,
+            "component-wise ({p_cw:.2} dB) should not lose to single format ({p_single:.2} dB)"
+        );
+    }
+
+    #[test]
+    fn on_the_fly_beats_mac_based_drelu() {
+        // The paper reports up to 0.2 dB loss for quantize-before-
+        // transform; our pipeline must show the same ordering.
+        let alg = Algebra::ri_fh(4);
+        let (mut model, inputs, targets) = trained_tiny_denoiser(&alg);
+        let otf = QuantizedModel::quantize(&mut model, &inputs, QuantOptions::default());
+        let mac = QuantizedModel::quantize(
+            &mut model,
+            &inputs,
+            QuantOptions { on_the_fly_drelu: false, ..QuantOptions::default() },
+        );
+        let p_otf = psnr(&otf.forward(&inputs), &targets);
+        let p_mac = psnr(&mac.forward(&inputs), &targets);
+        assert!(
+            p_otf + 0.02 >= p_mac,
+            "on-the-fly ({p_otf:.2} dB) should not lose to MAC-based ({p_mac:.2} dB)"
+        );
+    }
+
+    #[test]
+    fn quantized_model_handles_shuffles_and_residuals() {
+        let alg = Algebra::ri_fh(2);
+        let set = denoising_set(DatasetProfile::Set5, 8, 4, 15.0);
+        let mut model = ringcnn_nn::models::ernet::dn_ernet_pu(
+            &alg,
+            ringcnn_nn::models::ernet::ErNetConfig::tiny(),
+            1,
+            9,
+        );
+        let float_out = model.forward(&set.inputs, false);
+        let qm = QuantizedModel::quantize(&mut model, &set.inputs, QuantOptions::default());
+        let q_out = qm.forward(&set.inputs);
+        assert_eq!(q_out.shape(), float_out.shape());
+        let p = psnr(&float_out, &q_out);
+        assert!(p > 25.0, "PSNR float-vs-quant {p}");
+    }
+
+    #[test]
+    fn integer_pipeline_is_deterministic() {
+        let alg = Algebra::ri_fh(2);
+        let (mut model, inputs, _t) = trained_tiny_denoiser(&alg);
+        let qm = QuantizedModel::quantize(&mut model, &inputs, QuantOptions::default());
+        let a = qm.forward(&inputs);
+        let b = qm.forward(&inputs);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn real_model_quantizes_too() {
+        let alg = Algebra::real();
+        let (mut model, inputs, _t) = trained_tiny_denoiser(&alg);
+        let float_out = model.forward(&inputs, false);
+        let qm = QuantizedModel::quantize(&mut model, &inputs, QuantOptions::default());
+        let p = psnr(&float_out, &qm.forward(&inputs));
+        assert!(p > 30.0, "real-model quantization PSNR {p}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Shapes for 4-D feature tensors in NCHW layout.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of a 4-D tensor: batch `n`, channels `c`, height `h`, width `w`.
+///
+/// # Examples
+///
+/// ```
+/// use ringcnn_tensor::shape::Shape4;
+/// let s = Shape4::new(2, 16, 8, 8);
+/// assert_eq!(s.len(), 2 * 16 * 8 * 8);
+/// assert_eq!(s.index(1, 3, 2, 5), ((1 * 16 + 3) * 8 + 2) * 8 + 5);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape4 {
+    /// Batch size.
+    pub n: usize,
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl Shape4 {
+    /// Creates a shape.
+    pub fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self { n, c, h, w }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Whether the shape contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index of `(n, c, y, x)`.
+    #[inline]
+    pub fn index(&self, n: usize, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && y < self.h && x < self.w);
+        ((n * self.c + c) * self.h + y) * self.w + x
+    }
+
+    /// Number of elements in one image plane (`h·w`).
+    pub fn plane(&self) -> usize {
+        self.h * self.w
+    }
+
+    /// Shape with a different channel count.
+    pub fn with_channels(&self, c: usize) -> Shape4 {
+        Shape4 { c, ..*self }
+    }
+}
+
+impl std::fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}, {}, {}]", self.n, self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_row_major_nchw() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.index(0, 0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 0, 1), 1);
+        assert_eq!(s.index(0, 0, 1, 0), 5);
+        assert_eq!(s.index(0, 1, 0, 0), 20);
+        assert_eq!(s.index(1, 0, 0, 0), 60);
+        assert_eq!(s.len(), 120);
+    }
+
+    #[test]
+    fn with_channels_keeps_spatial() {
+        let s = Shape4::new(1, 3, 4, 5).with_channels(8);
+        assert_eq!(s, Shape4::new(1, 8, 4, 5));
+    }
+}

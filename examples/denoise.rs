@@ -1,0 +1,42 @@
+//! Train a ring-tensor denoiser end to end and compare algebras.
+//!
+//! Trains three DnERNet-PU models — real-valued, (RI2, fH), (RI4, fH) —
+//! on the same synthetic data and prints PSNR, weight counts, and
+//! multiplication counts. Pass `--standard` for a longer run.
+//!
+//! ```sh
+//! cargo run --release --example denoise
+//! ```
+
+use ringcnn::prelude::*;
+
+fn main() {
+    let standard = std::env::args().any(|a| a == "--standard");
+    let scale =
+        if standard { ExperimentScale::standard() } else { ExperimentScale::quick() };
+    let scenario = Scenario::Denoise { sigma: 25.0 };
+    println!("Training denoisers (σ = 25) at {:?} scale…\n", scale.steps);
+
+    let noisy_psnr = {
+        let pairs = eval_pairs(scenario, DatasetProfile::Set5, &scale);
+        psnr(&pairs.inputs, &pairs.targets)
+    };
+    println!("noisy input: {noisy_psnr:.2} dB\n");
+
+    for (label, algebra) in [
+        ("real (eCNN)", Algebra::real()),
+        ("(RI2, fH)", Algebra::ri_fh(2)),
+        ("(RI4, fH)", Algebra::ri_fh(4)),
+    ] {
+        let mut model = build_model(scenario, ThroughputTarget::Uhd30, &algebra, 42);
+        let result = run_quality(label, &mut model, scenario, &scale, 7);
+        println!(
+            "{label:>12}: {:.2} dB | {:>6} weights | {:>6.0} mults/px",
+            result.psnr_db, result.params, result.mults_per_pixel
+        );
+    }
+    println!(
+        "\nExpected shape (matches the paper): all models denoise well; the ring\n\
+         models use ~n× fewer weights and multiplications at similar PSNR."
+    );
+}

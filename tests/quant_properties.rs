@@ -1,0 +1,110 @@
+//! Property-based tests of the fixed-point layer: Q-format roundtrips,
+//! requantization bounds, and quantized-model fidelity.
+
+use proptest::prelude::*;
+use ringcnn::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantize/dequantize error is at most half a step (plus saturation
+    /// only outside the fitted range).
+    #[test]
+    fn qformat_roundtrip_error_bounded(v in -100.0f64..100.0, bits in 4u32..16) {
+        let f = QFormat::fit(100.0, bits);
+        let back = f.dequantize(f.quantize(v));
+        prop_assert!((back - v).abs() <= f.scale() / 2.0 + 1e-12);
+    }
+
+    /// `fit` never saturates values within the fitted range.
+    #[test]
+    fn fit_covers_range(max_abs in 0.01f64..1000.0) {
+        let f = QFormat::fit(max_abs, 8);
+        prop_assert!(f.max_value() >= max_abs * (1.0 - 1.0/64.0),
+            "max_abs {max_abs} not covered by {f:?} (max {})", f.max_value());
+    }
+
+    /// Requantization to a coarser format then back never moves a value
+    /// by more than one coarse step.
+    #[test]
+    fn requant_bounded(q in -10_000i64..10_000, from in 0i32..12, dfrac in 1i32..8) {
+        let to = from - dfrac; // coarser
+        let r = requant_shift(q, from, to);
+        let back = requant_shift(r, to, from);
+        prop_assert!((back - q).abs() <= 1 << dfrac);
+    }
+
+    /// Saturating addition is commutative and bounded by the format.
+    #[test]
+    fn saturating_add_commutes(a in -120i64..120, b in -120i64..120) {
+        let f = QFormat { bits: 8, frac: 6 };
+        let shape = Shape4::new(1, 1, 1, 1);
+        let qa = QTensor::from_raw(shape, vec![a], vec![f]);
+        let qb = QTensor::from_raw(shape, vec![b], vec![f]);
+        let ab = qa.add_saturating(&qb, vec![f]);
+        let ba = qb.add_saturating(&qa, vec![f]);
+        prop_assert_eq!(ab.data()[0], ba.data()[0]);
+        prop_assert!(ab.data()[0] <= 127 && ab.data()[0] >= -128);
+    }
+}
+
+/// An 8-bit quantized model tracks its float model within a few dB on
+/// random (untrained) weights — the quantization plumbing itself cannot
+/// destroy the signal.
+#[test]
+fn quantized_model_tracks_float_on_random_weights() {
+    for alg in [Algebra::real(), Algebra::ri_fh(2), Algebra::ri_fh(4)] {
+        let mut model = Sequential::new()
+            .with(alg.conv(1, 8, 3, 3))
+            .with_opt(alg.activation())
+            .with(alg.conv(8, 8, 3, 4))
+            .with_opt(alg.activation())
+            .with(alg.conv(8, 1, 3, 5));
+        let x = Tensor::random_uniform(Shape4::new(2, 1, 12, 12), 0.0, 1.0, 9);
+        let float_out = model.forward(&x, false);
+        let qm = QuantizedModel::quantize(&mut model, &x, QuantOptions::default());
+        let q_out = qm.forward(&x);
+        // Random (untrained) weights are a worst case for dynamic-range
+        // fitting — the directional ReLU amplifies by up to n per layer —
+        // so the bound here is loose; trained-model fidelity is asserted
+        // at > 30 dB in ringcnn-quant's own tests.
+        let p = psnr(&float_out, &q_out);
+        assert!(p > 20.0, "{}: quantized deviates too much ({p:.1} dB)", alg.label());
+    }
+}
+
+/// Component-wise Q-formats must match or beat the single-format mode on
+/// a model with strongly asymmetric component scales.
+#[test]
+fn component_formats_handle_asymmetric_scales() {
+    let alg = Algebra::ri_fh(4);
+    let mut model = Sequential::new()
+        .with(alg.conv(4, 4, 3, 3))
+        .with_opt(alg.activation())
+        .with(alg.conv(4, 4, 3, 4));
+    // Blow up one component's scale via the weights.
+    if let Some(rc) = model.layers_mut()[0]
+        .as_any_mut()
+        .downcast_mut::<ringcnn_nn::layers::ring_conv::RingConv2d>()
+    {
+        for (i, w) in rc.ring_weights_mut().iter_mut().enumerate() {
+            if i % 4 == 0 {
+                *w *= 12.0;
+            }
+        }
+    }
+    let x = Tensor::random_uniform(Shape4::new(2, 4, 10, 10), 0.0, 1.0, 11);
+    let float_out = model.forward(&x, false);
+    let cw = QuantizedModel::quantize(&mut model, &x, QuantOptions::default());
+    let single = QuantizedModel::quantize(
+        &mut model,
+        &x,
+        QuantOptions { component_wise: false, ..QuantOptions::default() },
+    );
+    let p_cw = psnr(&float_out, &cw.forward(&x));
+    let p_single = psnr(&float_out, &single.forward(&x));
+    assert!(
+        p_cw >= p_single - 0.1,
+        "component-wise ({p_cw:.2}) must not lose to single ({p_single:.2})"
+    );
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of the ring algebra: the ring axioms, fast
+//! algorithms, FRCONV/RCONV equivalence, and gradient correctness, over
+//! randomized inputs.
+
+use proptest::prelude::*;
+use ringcnn::prelude::*;
+use ringcnn_nn::layers::ring_conv::RingConv2d;
+
+fn all_kinds() -> Vec<RingKind> {
+    let mut v = RingKind::table_one();
+    v.push(RingKind::Ri(1));
+    v.push(RingKind::Ri(8));
+    v.push(RingKind::Rh(8));
+    v
+}
+
+fn tuple_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-3.0f64..3.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Distributivity: g·(x + y) = g·x + g·y for every ring.
+    #[test]
+    fn multiplication_distributes(seed in 0u64..1000) {
+        for kind in all_kinds() {
+            let ring = Ring::from_kind(kind);
+            let n = ring.n();
+            let mk = |off: u64| -> Vec<f64> {
+                (0..n).map(|i| ((seed + off) as f64 * 0.37 + i as f64 * 0.91).sin()).collect()
+            };
+            let (g, x, y) = (mk(1), mk(2), mk(3));
+            let xy: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+            let lhs = ring.mul_f64(&g, &xy);
+            let gx = ring.mul_f64(&g, &x);
+            let gy = ring.mul_f64(&g, &y);
+            for i in 0..n {
+                prop_assert!((lhs[i] - gx[i] - gy[i]).abs() < 1e-9, "{kind:?}");
+            }
+        }
+    }
+
+    /// Associativity on random triples for every ring (including the
+    /// non-commutative quaternions).
+    #[test]
+    fn multiplication_associates(a in tuple_strategy(4), b in tuple_strategy(4), c in tuple_strategy(4)) {
+        for kind in [RingKind::Ri(4), RingKind::Rh(4), RingKind::Ro4, RingKind::Rh4I,
+                     RingKind::Rh4II, RingKind::Ro4I, RingKind::Ro4II, RingKind::Quaternion] {
+            let ring = Ring::from_kind(kind);
+            let ab_c = ring.mul_f64(&ring.mul_f64(&a, &b), &c);
+            let a_bc = ring.mul_f64(&a, &ring.mul_f64(&b, &c));
+            for i in 0..4 {
+                prop_assert!((ab_c[i] - a_bc[i]).abs() < 1e-6, "{kind:?}: {ab_c:?} vs {a_bc:?}");
+            }
+        }
+    }
+
+    /// The fast algorithm computes exactly the direct product.
+    #[test]
+    fn fast_equals_direct(seed in 0u64..10_000) {
+        for kind in all_kinds() {
+            let ring = Ring::from_kind(kind);
+            let n = ring.n();
+            let g: Vec<f64> = (0..n).map(|i| ((seed * 31 + i as u64) as f64 * 0.123).sin()).collect();
+            let x: Vec<f64> = (0..n).map(|i| ((seed * 17 + i as u64) as f64 * 0.456).cos()).collect();
+            let direct = ring.mul_f64(&g, &x);
+            let fast = ring.mul_fast_f64(&g, &x);
+            for i in 0..n {
+                prop_assert!((direct[i] - fast[i]).abs() < 1e-6, "{kind:?}");
+            }
+        }
+    }
+
+    /// Commutativity for all commutative rings (everything but H).
+    #[test]
+    fn commutative_rings_commute(a in tuple_strategy(4), b in tuple_strategy(4)) {
+        for kind in [RingKind::Rh(4), RingKind::Ro4, RingKind::Rh4I, RingKind::Ri(4)] {
+            let ring = Ring::from_kind(kind);
+            let ab = ring.mul_f64(&a, &b);
+            let ba = ring.mul_f64(&b, &a);
+            for i in 0..4 {
+                prop_assert!((ab[i] - ba[i]).abs() < 1e-9, "{kind:?}");
+            }
+        }
+    }
+
+    /// The directional ReLU is positively homogeneous:
+    /// fH(t·y) = t·fH(y) for t > 0.
+    #[test]
+    fn directional_relu_homogeneous(y in tuple_strategy(4), t in 0.1f64..4.0) {
+        let f = DirectionalRelu::fh(4);
+        let mut a: Vec<f32> = y.iter().map(|v| *v as f32).collect();
+        let mut b: Vec<f32> = y.iter().map(|v| (*v * t) as f32).collect();
+        f.forward(&mut a);
+        f.forward(&mut b);
+        for i in 0..4 {
+            prop_assert!((f64::from(b[i]) - t * f64::from(a[i])).abs() < 1e-2 * t.max(1.0));
+        }
+    }
+
+    /// FRCONV equals RCONV on random weights/inputs for every ring.
+    #[test]
+    fn frconv_equals_rconv(seed in 0u64..500) {
+        for kind in [RingKind::Ri(2), RingKind::Complex, RingKind::Rh(4), RingKind::Ro4I] {
+            let ring = Ring::from_kind(kind);
+            let n = ring.n();
+            let mut layer = RingConv2d::new(ring.clone(), n, 2 * n, 3, seed);
+            for (i, b) in layer.bias_mut().iter_mut().enumerate() {
+                *b = (i as f32) * 0.01;
+            }
+            let x = Tensor::random_uniform(Shape4::new(1, n, 4, 4), -1.0, 1.0, seed + 1);
+            let want = ringcnn_nn::layer::Layer::forward(&mut layer, &x, false);
+            let got = frconv_forward(&ring, &x, layer.ring_weights(), 1, 2, 3, layer.bias());
+            prop_assert!(want.mse(&got) < 1e-8, "{kind:?} mse {}", want.mse(&got));
+        }
+    }
+}
+
+/// A full multiplication table check: the isomorphic matrix of a product
+/// is the product of isomorphic matrices (Lemma B.1), for every ring.
+#[test]
+fn isomorphic_matrices_multiply() {
+    for kind in all_kinds() {
+        let ring = Ring::from_kind(kind);
+        let n = ring.n();
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3 + 0.7).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9 - 0.2).cos()).collect();
+        let c = ring.mul_f64(&a, &b);
+        let ma = ring.isomorphic_matrix(&a);
+        let mb = ring.isomorphic_matrix(&b);
+        let mc = ring.isomorphic_matrix(&c);
+        assert!(
+            ma.matmul(&mb).approx_eq(&mc, 1e-9),
+            "{kind:?}: C != A·B"
+        );
+    }
+}
