@@ -31,11 +31,17 @@ pub struct Flags {
 /// Parses the common flags from `std::env::args`.
 pub fn flags() -> Flags {
     let args: Vec<String> = std::env::args().collect();
-    let standard = args.iter().any(|a| a == "--standard");
+    flags_from(&args)
+}
+
+/// Parses the common flags from an explicit argument list (the first
+/// element is conventionally the program name and is never a flag match).
+pub fn flags_from(args: &[String]) -> Flags {
+    let standard = args.iter().skip(1).any(|a| a == "--standard");
     Flags {
         scale: if standard { ExperimentScale::standard() } else { ExperimentScale::quick() },
         standard,
-        json: args.iter().any(|a| a == "--json"),
+        json: args.iter().skip(1).any(|a| a == "--json"),
     }
 }
 

@@ -1,0 +1,87 @@
+//! Tests of the shared experiment-bin CLI: the `Flags` parser and an
+//! end-to-end smoke run of one reproduction bin (`table1_rings`) in quick
+//! mode with `--json`, validating that the emitted file is well-formed
+//! JSON with the expected shape.
+
+use ringcnn_bench::flags_from;
+
+fn args(list: &[&str]) -> Vec<String> {
+    std::iter::once("bin-name")
+        .chain(list.iter().copied())
+        .map(String::from)
+        .collect()
+}
+
+#[test]
+fn default_is_quick_scale_without_json() {
+    let fl = flags_from(&args(&[]));
+    assert!(!fl.standard);
+    assert!(!fl.json);
+    let quick = ringcnn::prelude::ExperimentScale::quick();
+    assert_eq!(fl.scale.steps, quick.steps);
+    assert_eq!(fl.scale.train_count, quick.train_count);
+}
+
+#[test]
+fn standard_flag_selects_standard_scale() {
+    let fl = flags_from(&args(&["--standard"]));
+    assert!(fl.standard);
+    assert!(!fl.json);
+    let standard = ringcnn::prelude::ExperimentScale::standard();
+    assert_eq!(fl.scale.steps, standard.steps);
+    assert!(fl.scale.steps > ringcnn::prelude::ExperimentScale::quick().steps);
+}
+
+#[test]
+fn json_flag_is_independent_of_scale() {
+    let fl = flags_from(&args(&["--json"]));
+    assert!(fl.json);
+    assert!(!fl.standard);
+    let both = flags_from(&args(&["--standard", "--json"]));
+    assert!(both.json);
+    assert!(both.standard);
+}
+
+#[test]
+fn program_name_is_not_parsed_as_a_flag() {
+    // A bin literally named `--json` must not switch modes on its own.
+    let fl = flags_from(&["--json".to_string()]);
+    assert!(!fl.json);
+}
+
+#[test]
+fn table1_rings_quick_json_smoke() {
+    // Run the real bin end-to-end in a scratch directory and validate the
+    // JSON artifact it writes under `results/`.
+    let exe = env!("CARGO_BIN_EXE_table1_rings");
+    let dir = std::env::temp_dir().join(format!("ringcnn-bench-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let out = std::process::Command::new(exe)
+        .arg("--json")
+        .current_dir(&dir)
+        .output()
+        .expect("run table1_rings");
+    assert!(
+        out.status.success(),
+        "table1_rings failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table I"), "missing table title in output");
+    assert!(stdout.contains("| ring |"), "missing markdown header row");
+
+    let path = dir.join("results").join("table1_rings.json");
+    let text = std::fs::read_to_string(&path).expect("JSON artifact written");
+    let value: serde::Value = serde_json::from_str(&text).expect("artifact is valid JSON");
+    match &value {
+        serde::Value::Array(rows) => {
+            assert!(!rows.is_empty(), "Table I must have rows");
+            let first = &rows[0];
+            for key in ["label", "n", "dof", "grank"] {
+                assert!(first.field(key).is_ok(), "row missing `{key}`: {first:?}");
+            }
+        }
+        other => panic!("expected a JSON array of ring rows, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -31,7 +31,7 @@ pub struct ExperimentScale {
 impl ExperimentScale {
     /// Seconds-scale runs for tests and smoke checks.
     pub fn quick() -> Self {
-        Self { patch: 16, train_count: 24, test_count: 4, steps: 150, batch: 4, lr: 3e-3 }
+        Self { patch: 16, train_count: 64, test_count: 4, steps: 150, batch: 4, lr: 3e-3 }
     }
 
     /// The default experiment scale (minutes per model on CPU) — the

@@ -92,8 +92,10 @@ pub fn sr4_ernet(alg: &Algebra, cfg: ErNetConfig, channels: usize, seed: u64) ->
     let mut trunk_tail = alg.conv(c, c, 3, seed + 3);
     crate::layers::upsample::scale_conv_weights(trunk_tail.as_mut(), 0.1);
     trunk = trunk.with(trunk_tail);
+    // Zero-init the output tail so the model starts exactly at the
+    // bicubic-skip baseline (the tail still receives nonzero gradients).
     let mut tail = alg.conv(c, channels, 3, seed + 6);
-    crate::layers::upsample::scale_conv_weights(tail.as_mut(), 0.1);
+    crate::layers::upsample::scale_conv_weights(tail.as_mut(), 0.0);
     Sequential::new()
         .with(alg.conv(channels, c, 3, seed))
         .with_opt(alg.activation())

@@ -1,0 +1,190 @@
+//! Offline stand-in for `criterion`: same macro/builder surface
+//! (`criterion_group!`, `criterion_main!`, benchmark groups, `Bencher::
+//! iter`) with a simple wall-clock measurement loop and a one-line text
+//! report per benchmark. No statistics, plots, or baselines — enough to
+//! run and eyeball the workspace's benches offline.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self.warm_up_time, self.measurement_time, self.sample_size, &mut f);
+        println!("{:<40} {report}", id.into());
+        self
+    }
+
+    /// Sets the sample count for subsequent `bench_function` calls.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+}
+
+/// A named group of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Measures one closure under this group's settings.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self.warm_up_time, self.measurement_time, self.sample_size, &mut f);
+        println!("{}/{:<32} {report}", self.name, id.into());
+        self
+    }
+
+    /// Ends the group (marker for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    f: &mut F,
+) -> String {
+    // Warm-up & calibration: find an iteration count that takes roughly
+    // measurement/samples per sample.
+    let mut iters = 1u64;
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < warm_up {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter = b.elapsed.max(Duration::from_nanos(1)) / iters as u32;
+        iters = iters.saturating_mul(2).min(1 << 20);
+    }
+    let budget_per_sample = measurement / samples.max(1) as u32;
+    let iters_per_sample =
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..samples.max(1) {
+        let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per = b.elapsed / iters_per_sample as u32;
+        best = best.min(per);
+        total += b.elapsed;
+    }
+    let mean = total / (samples.max(1) as u32 * iters_per_sample as u32).max(1);
+    format!("mean {:>12?}  best {:>12?}  ({} iters/sample)", mean, best, iters_per_sample)
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_without_panicking() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for `rand_chacha`. The ChaCha keystream itself is a
+//! faithful implementation (quarter-round for quarter-round), seeded from
+//! a 32-byte key with a zero nonce; it is deterministic per seed but not
+//! guaranteed word-for-word identical to upstream `rand_chacha`'s stream
+//! layout. Everything in this workspace only needs seeded determinism.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha block function with `R` double-rounds (so `ChaChaCore<4>` is
+/// ChaCha8, `<6>` ChaCha12, `<10>` ChaCha20).
+#[derive(Clone, Debug)]
+pub struct ChaChaCore<const R: usize> {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    buf_pos: usize,
+}
+
+impl<const R: usize> ChaChaCore<R> {
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    fn new(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        Self { key, counter: 0, buf: [0; 16], buf_pos: 16 }
+    }
+
+    #[inline]
+    fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&Self::SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let initial = state;
+        for _ in 0..R {
+            // Column round.
+            Self::quarter_round(&mut state, 0, 4, 8, 12);
+            Self::quarter_round(&mut state, 1, 5, 9, 13);
+            Self::quarter_round(&mut state, 2, 6, 10, 14);
+            Self::quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            Self::quarter_round(&mut state, 0, 5, 10, 15);
+            Self::quarter_round(&mut state, 1, 6, 11, 12);
+            Self::quarter_round(&mut state, 2, 7, 8, 13);
+            Self::quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (s, init) in state.iter_mut().zip(initial) {
+            *s = s.wrapping_add(init);
+        }
+        self.buf = state;
+        self.buf_pos = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl<const R: usize> RngCore for ChaChaCore<R> {
+    fn next_u32(&mut self) -> u32 {
+        if self.buf_pos >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.buf_pos];
+        self.buf_pos += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl<const R: usize> SeedableRng for ChaChaCore<R> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self::new(seed)
+    }
+}
+
+/// ChaCha with 8 rounds (4 double-rounds).
+pub type ChaCha8Rng = ChaChaCore<4>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaCore<6>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaCore<10>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn chacha20_keystream_matches_rfc8439_block1() {
+        // RFC 8439 §2.3.2 test vector: key 00 01 02 … 1f, counter 1,
+        // nonce 0. Our nonce is fixed at zero and the counter starts at
+        // 0, so block index 1 of our stream uses counter=1, nonce=0 —
+        // comparable to the RFC vector only in construction, not bytes
+        // (the RFC uses a non-zero nonce). Instead, check the first
+        // block against a locally computed ChaCha20(key=0, nonce=0)
+        // reference value published in multiple implementations:
+        // 76 b8 e0 ad a0 f1 3d 90 …
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        let w0 = rng.next_u32();
+        assert_eq!(w0.to_le_bytes(), [0x76, 0xb8, 0xe0, 0xad]);
+    }
+
+    #[test]
+    fn gen_range_works_through_traits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            let v: f32 = rng.gen_range(0.3..1.0);
+            assert!((0.3..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Offline stand-in for `rayon`: the `par_iter`/`into_par_iter` entry
+//! points resolve to plain sequential `std` iterators, so all downstream
+//! adapters (`map`, `collect`, …) are the standard `Iterator` methods.
+//! Semantics are identical to real rayon for the pure map/collect
+//! pipelines this workspace runs — just single-threaded. Replace with
+//! the real crate (same call sites, no code changes) for parallelism.
+
+/// Sequential re-interpretation of `rayon::prelude`.
+pub mod prelude {
+    /// `into_par_iter()` for any owned iterable (ranges, `Vec`, …).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Returns the sequential iterator standing in for the parallel one.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` / `par_iter_mut()` on slices (and `Vec` via deref).
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_serial() {
+        let v = [1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let squares: Vec<usize> = (0..4usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9]);
+    }
+}
