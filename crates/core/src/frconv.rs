@@ -10,6 +10,13 @@
 //! domain dominate, using `m` real multiplications per ring MAC instead
 //! of `n²`. For `RI` the transforms are identities and FRCONV coincides
 //! with RCONV (Fig. 5(c)).
+//!
+//! This module is the *reference* implementation, kept deliberately
+//! close to eq. (12) for auditability. The production inference engine —
+//! same math, im2col component convolutions, weight transform amortized
+//! across forwards — is [`ringcnn_nn::layers::fast_ring_conv::FastRingConv`],
+//! selected on model hot paths via
+//! [`ringcnn_nn::backend::ConvBackend::Transform`].
 
 use ringcnn_algebra::ring::Ring;
 use ringcnn_tensor::prelude::*;
@@ -175,6 +182,27 @@ mod tests {
             );
             let mse = reference.mse(&fast);
             assert!(mse < 1e-8, "{kind:?}: FRCONV deviates from RCONV, mse {mse}");
+        }
+    }
+
+    #[test]
+    fn fast_ring_conv_engine_matches_frconv_reference() {
+        // The production transform-domain engine and this reference
+        // implementation are independent realizations of eq. (12); they
+        // must agree on every Table-I ring.
+        use ringcnn_nn::layers::fast_ring_conv::FastRingConv;
+        for kind in RingKind::table_one() {
+            let ring = Ring::from_kind(kind);
+            let n = ring.n();
+            let (ci_t, co_t, k) = (2usize, 1usize, 3usize);
+            let layer = RingConv2d::new(ring.clone(), ci_t * n, co_t * n, k, 29);
+            let x = Tensor::random_uniform(Shape4::new(1, ci_t * n, 4, 6), -1.0, 1.0, 30);
+            let reference =
+                frconv_forward(&ring, &x, layer.ring_weights(), ci_t, co_t, k, layer.bias());
+            let engine = FastRingConv::new(&ring, layer.ring_weights(), ci_t, co_t, k, layer.bias())
+                .forward(&x);
+            let mse = reference.mse(&engine);
+            assert!(mse < 1e-10, "{kind:?}: engine deviates from reference, mse {mse}");
         }
     }
 

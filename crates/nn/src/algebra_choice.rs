@@ -4,6 +4,7 @@
 //! re-instantiated over a different `(ring, non-linearity)` pair, which is
 //! exactly how RingCNN models are "converted" from real CNNs (§IV-A).
 
+use crate::backend::ConvBackend;
 use crate::layer::Layer;
 use crate::layers::activation::activation_for;
 use crate::layers::conv::Conv2d;
@@ -16,12 +17,29 @@ use ringcnn_algebra::ring::{Ring, RingKind};
 pub struct Algebra {
     ring: Ring,
     nonlinearity: Nonlinearity,
+    /// Convolution backend for layers built by this algebra; `None`
+    /// means automatic per-ring selection ([`ConvBackend::auto_for`]).
+    backend: Option<ConvBackend>,
 }
 
 impl Algebra {
     /// Builds an algebra from a ring kind and non-linearity.
     pub fn new(kind: RingKind, nonlinearity: Nonlinearity) -> Self {
-        Self { ring: Ring::from_kind(kind), nonlinearity }
+        Self { ring: Ring::from_kind(kind), nonlinearity, backend: None }
+    }
+
+    /// Pins the convolution backend for every layer this algebra builds
+    /// (overriding the automatic per-ring selection).
+    #[must_use]
+    pub fn with_backend(mut self, backend: ConvBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// The effective convolution backend for this algebra's ring convs:
+    /// the pinned one, or the automatic per-ring choice.
+    pub fn conv_backend(&self) -> ConvBackend {
+        self.backend.unwrap_or_else(|| ConvBackend::auto_for(&self.ring))
     }
 
     /// The real field with the ordinary ReLU (the baseline CNN algebra).
@@ -68,11 +86,13 @@ impl Algebra {
     /// whose I/O stages operate on raw image channels (§V).
     pub fn conv(&self, ci: usize, co: usize, k: usize, seed: u64) -> Box<dyn Layer> {
         let n = self.ring.n();
-        if n == 1 || ci % n != 0 || co % n != 0 {
+        let mut layer: Box<dyn Layer> = if n == 1 || ci % n != 0 || co % n != 0 {
             Box::new(Conv2d::new(ci, co, k, seed))
         } else {
             Box::new(RingConv2d::new(self.ring.clone(), ci, co, k, seed))
-        }
+        };
+        layer.set_conv_backend(self.conv_backend());
+        layer
     }
 
     /// Builds the activation layer for this algebra (`None` when the
@@ -107,5 +127,23 @@ mod tests {
     fn fcw_ring_uses_plain_relu() {
         let a = Algebra::with_fcw(RingKind::Rh(4));
         assert_eq!(a.activation().unwrap().name(), "relu");
+    }
+
+    #[test]
+    fn conv_layers_inherit_auto_backend() {
+        // Proper ring with m < n² → transform engine.
+        let a = Algebra::with_fcw(RingKind::Rh(4));
+        assert_eq!(a.conv_backend(), ConvBackend::Transform);
+        let mut conv = a.conv(8, 8, 3, 1);
+        let rc = conv.as_any_mut().downcast_mut::<RingConv2d>().unwrap();
+        assert_eq!(rc.backend(), ConvBackend::Transform);
+        // Diagonal ring → im2col.
+        let a = Algebra::ri_fh(4);
+        assert_eq!(a.conv_backend(), ConvBackend::Im2col);
+        // Pinned backend overrides auto selection and reaches the layer.
+        let a = Algebra::with_fcw(RingKind::Rh(4)).with_backend(ConvBackend::Naive);
+        let mut conv = a.conv(8, 8, 3, 1);
+        let rc = conv.as_any_mut().downcast_mut::<RingConv2d>().unwrap();
+        assert_eq!(rc.backend(), ConvBackend::Naive);
     }
 }

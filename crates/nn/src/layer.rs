@@ -7,6 +7,7 @@
 //! [`Layer::visit_params`], which yields `(params, grads)` slice pairs in
 //! a stable order.
 
+use crate::backend::ConvBackend;
 use ringcnn_tensor::prelude::*;
 use std::any::Any;
 
@@ -75,6 +76,11 @@ pub trait Layer: Send {
     fn spatial_scale(&self) -> (usize, usize) {
         (1, 1)
     }
+
+    /// Selects the convolution execution backend for inference forwards
+    /// (see [`ConvBackend`]). Structural layers propagate to their
+    /// children; layers without convolutions ignore it (default no-op).
+    fn set_conv_backend(&mut self, _backend: ConvBackend) {}
 
     /// Downcasting support (used by pruning and model surgery).
     fn as_any_mut(&mut self) -> &mut dyn Any;

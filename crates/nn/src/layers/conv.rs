@@ -1,5 +1,6 @@
 //! Real-valued convolution layer (the baseline arithmetic of Fig. 5(a)).
 
+use crate::backend::ConvBackend;
 use crate::init::he_std;
 use crate::layer::{Layer, ParamGroup};
 use ringcnn_tensor::prelude::*;
@@ -26,6 +27,8 @@ pub struct Conv2d {
     cached_input: Option<T>,
     /// Mask for pruned weights (1 = keep); `None` when dense.
     mask: Option<Vec<f32>>,
+    /// Forward kernel selection; both kernels are bit-for-bit identical.
+    backend: ConvBackend,
 }
 
 impl Conv2d {
@@ -42,7 +45,20 @@ impl Conv2d {
             weights,
             cached_input: None,
             mask: None,
+            backend: ConvBackend::Naive,
         }
+    }
+
+    /// The active convolution backend.
+    pub fn backend(&self) -> ConvBackend {
+        self.backend
+    }
+
+    /// Selects the forward kernel ([`ConvBackend::Transform`] degenerates
+    /// to im2col for a real convolution: the real field's transforms are
+    /// identities). Both kernels produce bit-identical outputs.
+    pub fn set_backend(&mut self, backend: ConvBackend) {
+        self.backend = backend;
     }
 
     /// Input channel count.
@@ -116,9 +132,17 @@ impl Layer for Conv2d {
 
     fn forward(&mut self, input: &T, train: bool) -> T {
         if train {
+            // Training always flows through the naive reference kernel
+            // (same contract as RingConv2d; backward uses it too).
             self.cached_input = Some(input.clone());
+            return conv2d_forward(input, &self.weights, &self.bias);
         }
-        conv2d_forward(input, &self.weights, &self.bias)
+        match self.backend {
+            ConvBackend::Naive => conv2d_forward(input, &self.weights, &self.bias),
+            ConvBackend::Im2col | ConvBackend::Transform => {
+                conv2d_forward_im2col(input, &self.weights, &self.bias)
+            }
+        }
     }
 
     fn backward(&mut self, dout: &T) -> T {
@@ -154,6 +178,10 @@ impl Layer for Conv2d {
         self.weights.co
     }
 
+    fn set_conv_backend(&mut self, backend: ConvBackend) {
+        self.set_backend(backend);
+    }
+
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
@@ -169,6 +197,7 @@ pub struct DepthwiseConv2d {
     bias: Vec<f32>,
     dbias: Vec<f32>,
     cached_input: Option<T>,
+    backend: ConvBackend,
 }
 
 impl DepthwiseConv2d {
@@ -184,7 +213,20 @@ impl DepthwiseConv2d {
             bias: vec![0.0; channels],
             dbias: vec![0.0; channels],
             cached_input: None,
+            backend: ConvBackend::Naive,
         }
+    }
+
+    /// Builds the block-diagonal lowering of the per-channel filters.
+    fn block_diagonal_weights(&self) -> ConvWeights {
+        let mut w = ConvWeights::zeros(self.channels, self.channels, self.k);
+        for c in 0..self.channels {
+            for t in 0..self.k * self.k {
+                let idx = w.index(c, c, t / self.k, t % self.k);
+                w.data[idx] = self.weights[c * self.k * self.k + t];
+            }
+        }
+        w
     }
 }
 
@@ -195,30 +237,24 @@ impl Layer for DepthwiseConv2d {
 
     fn forward(&mut self, input: &T, train: bool) -> T {
         assert_eq!(input.shape().c, self.channels, "channel mismatch");
-        if train {
-            self.cached_input = Some(input.clone());
-        }
         // Lower onto a grouped conv by building a block-diagonal weight —
         // simple and reuses the tested kernels; channels are tiny here.
-        let mut w = ConvWeights::zeros(self.channels, self.channels, self.k);
-        for c in 0..self.channels {
-            for t in 0..self.k * self.k {
-                let idx = w.index(c, c, t / self.k, t % self.k);
-                w.data[idx] = self.weights[c * self.k * self.k + t];
+        let w = self.block_diagonal_weights();
+        if train {
+            self.cached_input = Some(input.clone());
+            return conv2d_forward(input, &w, &self.bias);
+        }
+        match self.backend {
+            ConvBackend::Naive => conv2d_forward(input, &w, &self.bias),
+            ConvBackend::Im2col | ConvBackend::Transform => {
+                conv2d_forward_im2col(input, &w, &self.bias)
             }
         }
-        conv2d_forward(input, &w, &self.bias)
     }
 
     fn backward(&mut self, dout: &T) -> T {
         let input = self.cached_input.take().expect("backward without training forward");
-        let mut w = ConvWeights::zeros(self.channels, self.channels, self.k);
-        for c in 0..self.channels {
-            for t in 0..self.k * self.k {
-                let idx = w.index(c, c, t / self.k, t % self.k);
-                w.data[idx] = self.weights[c * self.k * self.k + t];
-            }
-        }
+        let w = self.block_diagonal_weights();
         let (dw, db) = conv2d_backward_weight(&input, dout, self.k);
         for c in 0..self.channels {
             for t in 0..self.k * self.k {
@@ -242,6 +278,10 @@ impl Layer for DepthwiseConv2d {
     fn out_channels(&self, in_channels: usize) -> usize {
         assert_eq!(in_channels, self.channels);
         self.channels
+    }
+
+    fn set_conv_backend(&mut self, backend: ConvBackend) {
+        self.backend = backend;
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
@@ -309,6 +349,26 @@ mod tests {
         let y2 = dw.forward(&x2, false);
         assert_eq!(y.plane(0, 0), y2.plane(0, 0));
         assert_ne!(y.plane(0, 1), y2.plane(0, 1));
+    }
+
+    #[test]
+    fn backends_are_bit_identical() {
+        let x = T::random_uniform(Shape4::new(1, 3, 6, 5), -1.0, 1.0, 12);
+        let mut conv = Conv2d::new(3, 4, 3, 13);
+        let naive = conv.forward(&x, false);
+        for backend in [ConvBackend::Im2col, ConvBackend::Transform] {
+            conv.set_backend(backend);
+            assert_eq!(conv.forward(&x, false).as_slice(), naive.as_slice(), "{backend}");
+        }
+    }
+
+    #[test]
+    fn depthwise_backends_are_bit_identical() {
+        let x = T::random_uniform(Shape4::new(1, 3, 5, 4), -1.0, 1.0, 14);
+        let mut dw = DepthwiseConv2d::new(3, 3, 15);
+        let naive = dw.forward(&x, false);
+        dw.set_conv_backend(ConvBackend::Im2col);
+        assert_eq!(dw.forward(&x, false).as_slice(), naive.as_slice());
     }
 
     #[test]

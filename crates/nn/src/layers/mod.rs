@@ -3,6 +3,7 @@
 pub mod activation;
 pub mod conv;
 pub mod dense;
+pub mod fast_ring_conv;
 pub mod ring_conv;
 pub mod shuffle;
 pub mod structure;

@@ -9,8 +9,10 @@
 //! equivalent to ring-domain backprop (property-tested against the
 //! ring-form gradients of §IV-B).
 
+use crate::backend::ConvBackend;
 use crate::init::he_std;
 use crate::layer::{Layer, ParamGroup};
+use crate::layers::fast_ring_conv::FastRingConv;
 use ringcnn_algebra::ring::Ring;
 use ringcnn_tensor::prelude::*;
 use ringcnn_tensor::tensor::Tensor as T;
@@ -44,6 +46,14 @@ pub struct RingConv2d {
     bias: Vec<f32>,
     dbias: Vec<f32>,
     cached_input: Option<T>,
+    /// Inference kernel selection; training always lowers naively.
+    backend: ConvBackend,
+    /// Cached transform-domain plan (weights already through `Tg`);
+    /// invalidated whenever weights or bias may change.
+    plan: Option<FastRingConv>,
+    /// Cached isomorphic real-weight expansion for the Naive/Im2col
+    /// inference paths; invalidated alongside `plan`.
+    expanded: Option<ConvWeights>,
 }
 
 impl RingConv2d {
@@ -76,7 +86,24 @@ impl RingConv2d {
             bias: vec![0.0; co],
             dbias: vec![0.0; co],
             cached_input: None,
+            backend: ConvBackend::Naive,
+            plan: None,
+            expanded: None,
         }
+    }
+
+    /// The active inference backend.
+    pub fn backend(&self) -> ConvBackend {
+        self.backend
+    }
+
+    /// Selects the inference kernel: naive isomorphic expansion, im2col
+    /// expansion, or the transform-domain [`FastRingConv`] engine.
+    /// Training forwards/backwards always use the naive lowering.
+    pub fn set_backend(&mut self, backend: ConvBackend) {
+        self.backend = backend;
+        self.plan = None;
+        self.expanded = None;
     }
 
     /// The ring algebra of this layer.
@@ -109,8 +136,11 @@ impl RingConv2d {
         &self.weights
     }
 
-    /// Mutable flat ring-weight access.
+    /// Mutable flat ring-weight access (drops the cached inference
+    /// kernels).
     pub fn ring_weights_mut(&mut self) -> &mut [f32] {
+        self.plan = None;
+        self.expanded = None;
         &mut self.weights
     }
 
@@ -119,8 +149,9 @@ impl RingConv2d {
         &self.bias
     }
 
-    /// Mutable bias access.
+    /// Mutable bias access (drops any cached transform plan).
     pub fn bias_mut(&mut self) -> &mut [f32] {
+        self.plan = None;
         &mut self.bias
     }
 
@@ -194,10 +225,43 @@ impl Layer for RingConv2d {
     fn forward(&mut self, input: &T, train: bool) -> T {
         assert_eq!(input.shape().c, self.ci(), "channel mismatch in {}", self.name());
         if train {
+            // Training lowers onto the naive isomorphic expansion so the
+            // forward pass matches `backward` exactly; weights are about
+            // to change, so drop the cached inference kernels.
             self.cached_input = Some(input.clone());
+            self.plan = None;
+            self.expanded = None;
+            let w = self.expand_real_weights();
+            return conv2d_forward(input, &w, &self.bias);
         }
-        let w = self.expand_real_weights();
-        conv2d_forward(input, &w, &self.bias)
+        match self.backend {
+            ConvBackend::Naive | ConvBackend::Im2col => {
+                if self.expanded.is_none() {
+                    self.expanded = Some(self.expand_real_weights());
+                }
+                let w = self.expanded.as_ref().expect("expansion just built");
+                if self.backend == ConvBackend::Naive {
+                    conv2d_forward(input, w, &self.bias)
+                } else {
+                    conv2d_forward_im2col(input, w, &self.bias)
+                }
+            }
+            ConvBackend::Transform => {
+                // Pre-transform the weights once (g̃ = Tg·g); repeated
+                // inference forwards reuse the plan.
+                if self.plan.is_none() {
+                    self.plan = Some(FastRingConv::new(
+                        &self.ring,
+                        &self.weights,
+                        self.ci_t,
+                        self.co_t,
+                        self.k,
+                        &self.bias,
+                    ));
+                }
+                self.plan.as_ref().expect("plan just built").forward(input)
+            }
+        }
     }
 
     fn backward(&mut self, dout: &T) -> T {
@@ -212,6 +276,9 @@ impl Layer for RingConv2d {
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamGroup<'_>)) {
+        // Visitors (optimizers, quantizers) may mutate the parameters.
+        self.plan = None;
+        self.expanded = None;
         visitor(ParamGroup { values: &mut self.weights, grads: &mut self.dweights });
         visitor(ParamGroup { values: &mut self.bias, grads: &mut self.dbias });
     }
@@ -224,6 +291,10 @@ impl Layer for RingConv2d {
     fn out_channels(&self, in_channels: usize) -> usize {
         assert_eq!(in_channels, self.ci(), "channel mismatch in {}", self.name());
         self.co()
+    }
+
+    fn set_conv_backend(&mut self, backend: ConvBackend) {
+        self.set_backend(backend);
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
@@ -348,6 +419,25 @@ mod tests {
         for c in 0..4 {
             assert!((f64::from(dx.at(0, c, 0, 0)) - want[c]).abs() < 1e-5, "component {c}");
         }
+    }
+
+    #[test]
+    fn backends_agree_and_plan_tracks_weight_edits() {
+        let mut rc = ringconv(RingKind::Rh(4), 8, 8);
+        let x = T::random_uniform(Shape4::new(1, 8, 5, 5), -1.0, 1.0, 31);
+        let naive = rc.forward(&x, false);
+        rc.set_backend(ConvBackend::Im2col);
+        assert!(naive.mse(&rc.forward(&x, false)) < 1e-12);
+        rc.set_backend(ConvBackend::Transform);
+        assert!(naive.mse(&rc.forward(&x, false)) < 1e-10);
+        // Mutating a weight must invalidate the cached plan: the
+        // transform output has to follow the naive output, not go stale.
+        rc.ring_weights_mut()[0] += 0.5;
+        rc.set_backend(ConvBackend::Naive);
+        let naive2 = rc.forward(&x, false);
+        assert!(naive2.mse(&naive) > 1e-8, "weight edit must change the output");
+        rc.set_backend(ConvBackend::Transform);
+        assert!(naive2.mse(&rc.forward(&x, false)) < 1e-10, "stale plan after weight edit");
     }
 
     #[test]

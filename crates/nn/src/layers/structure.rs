@@ -1,6 +1,7 @@
 //! Structural layers: [`Sequential`] composition and [`Residual`] blocks
 //! (skip connections).
 
+use crate::backend::ConvBackend;
 use crate::layer::{Layer, ParamGroup};
 use ringcnn_tensor::tensor::Tensor as T;
 
@@ -120,6 +121,12 @@ impl Layer for Sequential {
         self.layers.iter().fold(in_channels, |c, l| l.out_channels(c))
     }
 
+    fn set_conv_backend(&mut self, backend: ConvBackend) {
+        for l in &mut self.layers {
+            l.set_conv_backend(backend);
+        }
+    }
+
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
@@ -171,6 +178,10 @@ impl Layer for Residual {
         let co = self.body.out_channels(in_channels);
         assert_eq!(co, in_channels, "residual body must preserve channels");
         co
+    }
+
+    fn set_conv_backend(&mut self, backend: ConvBackend) {
+        self.body.set_conv_backend(backend);
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {

@@ -5,6 +5,7 @@
 //! interpolation, which makes small-scale training start from the
 //! bicubic baseline instead of random output.
 
+use crate::backend::ConvBackend;
 use crate::layer::{Layer, ParamGroup};
 use crate::layers::structure::Sequential;
 use ringcnn_imaging::degrade::{resize_bicubic_adjoint, upsample};
@@ -70,6 +71,10 @@ impl Layer for UpsampleResidual {
 
     fn spatial_scale(&self) -> (usize, usize) {
         (self.factor, 1)
+    }
+
+    fn set_conv_backend(&mut self, backend: ConvBackend) {
+        self.body.set_conv_backend(backend);
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod algebra_choice;
+pub mod backend;
 pub mod complexity;
 pub mod init;
 pub mod layer;
@@ -39,8 +40,10 @@ pub mod train;
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::algebra_choice::Algebra;
+    pub use crate::backend::ConvBackend;
     pub use crate::complexity::{gmults_per_frame, mults_per_input_pixel};
     pub use crate::layer::Layer;
+    pub use crate::layers::fast_ring_conv::FastRingConv;
     pub use crate::layers::activation::{DirectionalReluLayer, Relu};
     pub use crate::layers::conv::{Conv2d, DepthwiseConv2d};
     pub use crate::layers::dense::{Dense, GlobalAvgPool};

@@ -49,10 +49,12 @@ impl SrResNetConfig {
 
 fn conv3x3(alg: &Algebra, cfg: &SrResNetConfig, ci: usize, co: usize, seed: u64) -> Sequential {
     if cfg.depthwise {
-        // DWC lowering: depth-wise 3×3 then point-wise 1×1.
-        Sequential::new()
-            .with(Box::new(DepthwiseConv2d::new(ci, 3, seed)))
-            .with(alg.conv(ci, co, 1, seed.wrapping_add(500)))
+        // DWC lowering: depth-wise 3×3 then point-wise 1×1. The depth-wise
+        // layer is built directly (not through the algebra), so it inherits
+        // the algebra's conv backend explicitly.
+        let mut dw = Box::new(DepthwiseConv2d::new(ci, 3, seed));
+        crate::layer::Layer::set_conv_backend(dw.as_mut(), alg.conv_backend());
+        Sequential::new().with(dw).with(alg.conv(ci, co, 1, seed.wrapping_add(500)))
     } else {
         Sequential::new().with(alg.conv(ci, co, 3, seed))
     }

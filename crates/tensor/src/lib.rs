@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod conv;
+pub mod im2col;
 pub mod shape;
 pub mod tensor;
 
@@ -30,6 +31,7 @@ pub mod prelude {
     pub use crate::conv::{
         conv2d_backward_input, conv2d_backward_weight, conv2d_forward, ConvWeights,
     };
+    pub use crate::im2col::{conv2d_forward_im2col, im2col_pack};
     pub use crate::shape::Shape4;
     pub use crate::tensor::Tensor;
 }
