@@ -65,7 +65,9 @@ pub fn analyze(ring: &Ring, w: u32) -> RingComplexity {
     let grank = known_grank(kind);
     // Rank of G at a generic weight tuple (transcendental-ish entries so
     // no structured cancellation can occur).
-    let g: Vec<f64> = (0..n).map(|i| (1.7 * (i as f64 + 1.0)).sin() * 1.3 + 0.11).collect();
+    let g: Vec<f64> = (0..n)
+        .map(|i| (1.7 * (i as f64 + 1.0)).sin() * 1.3 + 0.11)
+        .collect();
     let rank_g = ring.isomorphic_matrix(&g).rank(1e-9);
     // For the quaternions the attached algorithm is the trivial 16-mult
     // expansion; the complexity row uses the theoretical m = grank with
@@ -74,7 +76,11 @@ pub fn analyze(ring: &Ring, w: u32) -> RingComplexity {
         (grank, w + 1, w + 1)
     } else {
         let fast = ring.fast();
-        (fast.m(), w + fast.data_bit_growth(), w + fast.filter_bit_growth())
+        (
+            fast.m(),
+            w + fast.data_bit_growth(),
+            w + fast.filter_bit_growth(),
+        )
     };
     let real_cost = (n * n) as f64 * f64::from(w) * f64::from(w);
     RingComplexity {
@@ -126,7 +132,11 @@ mod tests {
         // Paper: "RH4 and RO4 merely achieve 2.6× efficiency which is
         // 1.6× worse than RI4".
         let rh4 = row(RingKind::Rh(4));
-        assert!((rh4.multiplier_efficiency - 2.56).abs() < 1e-9, "{}", rh4.multiplier_efficiency);
+        assert!(
+            (rh4.multiplier_efficiency - 2.56).abs() < 1e-9,
+            "{}",
+            rh4.multiplier_efficiency
+        );
         let ro4 = row(RingKind::Ro4);
         assert!((ro4.multiplier_efficiency - 2.56).abs() < 1e-9);
         let ri4 = row(RingKind::Ri(4));
@@ -163,7 +173,11 @@ mod tests {
     #[test]
     fn weight_storage_efficiency_is_n_for_all() {
         for r in table_one() {
-            assert!((r.weight_efficiency - r.n as f64).abs() < 1e-12, "{}", r.label);
+            assert!(
+                (r.weight_efficiency - r.n as f64).abs() < 1e-12,
+                "{}",
+                r.label
+            );
             assert_eq!(r.dof, r.n);
             assert_eq!(r.rank_g, r.n, "{} should have full-rank G", r.label);
         }

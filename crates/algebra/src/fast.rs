@@ -96,7 +96,11 @@ impl FastAlgorithm {
     /// Returns `None` when `T` is singular.
     pub fn from_diagonalizer(t: &Mat) -> Option<Self> {
         let tinv = t.inverse()?;
-        Some(Self { tg: t.clone(), tx: t.clone(), tz: tinv })
+        Some(Self {
+            tg: t.clone(),
+            tx: t.clone(),
+            tz: tinv,
+        })
     }
 
     /// Number of real multiplications `m`.

@@ -42,7 +42,12 @@ pub struct CpOptions {
 
 impl Default for CpOptions {
     fn default() -> Self {
-        Self { iterations: 400, restarts: 24, tolerance: 1e-6, seed: 7 }
+        Self {
+            iterations: 400,
+            restarts: 24,
+            tolerance: 1e-6,
+            seed: 7,
+        }
     }
 }
 
@@ -65,10 +70,16 @@ pub fn cp_als(t: &Tensor3, rank: usize, opts: &CpOptions) -> CpFit {
     for restart in 0..opts.restarts {
         let mut rng = ChaCha8Rng::seed_from_u64(opts.seed.wrapping_add(restart as u64));
         let fit = cp_als_once(t, rank, opts.iterations, norm, &mut rng);
-        if best.as_ref().is_none_or(|b| fit.relative_residual < b.relative_residual) {
+        if best
+            .as_ref()
+            .is_none_or(|b| fit.relative_residual < b.relative_residual)
+        {
             best = Some(fit);
         }
-        if best.as_ref().is_some_and(|b| b.relative_residual < opts.tolerance) {
+        if best
+            .as_ref()
+            .is_some_and(|b| b.relative_residual < opts.tolerance)
+        {
             break;
         }
     }
@@ -92,7 +103,11 @@ pub fn estimate_rank(t: &Tensor3, max_rank: usize, opts: &CpOptions) -> RankEsti
         let done = fit.relative_residual < opts.tolerance;
         last_fit = Some(fit);
         if done {
-            return RankEstimate { rank, fit: last_fit.unwrap(), residuals };
+            return RankEstimate {
+                rank,
+                fit: last_fit.unwrap(),
+                residuals,
+            };
         }
     }
     RankEstimate {
@@ -154,7 +169,12 @@ fn cp_als_once(
         }
     }
     let relative_residual = Tensor3::from_cp(&a, &b, &c).distance(t) / norm;
-    CpFit { tz: a, tg: b, tx: c, relative_residual }
+    CpFit {
+        tz: a,
+        tg: b,
+        tx: c,
+        relative_residual,
+    }
 }
 
 fn random_factor(rows: usize, cols: usize, rng: &mut ChaCha8Rng) -> Mat {
@@ -358,7 +378,11 @@ mod tests {
     fn cp_fit_yields_working_fast_algorithm() {
         let sp = complex_sp();
         let fit = cp_als(&sp.indexing_tensor(), 3, &CpOptions::default());
-        assert!(fit.relative_residual < 1e-6, "residual {}", fit.relative_residual);
+        assert!(
+            fit.relative_residual < 1e-6,
+            "residual {}",
+            fit.relative_residual
+        );
         let alg = crate::fast::FastAlgorithm::new(fit.tg, fit.tx, fit.tz);
         let z = alg.multiply(&[1.0, 2.0], &[3.0, 4.0]);
         assert!((z[0] + 5.0).abs() < 1e-4, "z0 = {}", z[0]);

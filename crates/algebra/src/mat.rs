@@ -32,7 +32,11 @@ pub struct Mat {
 impl Mat {
     /// Creates a zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -57,7 +61,11 @@ impl Mat {
             assert_eq!(r.len(), cols, "inconsistent row lengths");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major buffer.
@@ -304,7 +312,10 @@ impl Mat {
         if (self.rows, self.cols) != (rhs.rows, rhs.cols) {
             return false;
         }
-        self.data.iter().zip(&rhs.data).all(|(a, b)| (a - b).abs() <= tol)
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .all(|(a, b)| (a - b).abs() <= tol)
     }
 
     fn swap_rows(&mut self, a: usize, b: usize) {
@@ -337,7 +348,12 @@ impl fmt::Debug for Mat {
         for r in 0..self.rows {
             write!(f, "  [")?;
             for c in 0..self.cols {
-                write!(f, "{:8.4}{}", self[(r, c)], if c + 1 < self.cols { ", " } else { "" })?;
+                write!(
+                    f,
+                    "{:8.4}{}",
+                    self[(r, c)],
+                    if c + 1 < self.cols { ", " } else { "" }
+                )?;
             }
             writeln!(f, "]")?;
         }

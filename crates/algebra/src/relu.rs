@@ -93,7 +93,14 @@ impl DirectionalRelu {
             let h = hadamard(n);
             u.approx_eq(&h, 0.0) && v.approx_eq(&h, 0.0)
         };
-        Self { u32s: to32(&u), v32s: to32(&v), u, v, n, hadamard_fast }
+        Self {
+            u32s: to32(&u),
+            v32s: to32(&v),
+            u,
+            v,
+            n,
+            hadamard_fast,
+        }
     }
 
     /// The paper's `fH`: `U = V = H` (Hadamard), eq. (10).

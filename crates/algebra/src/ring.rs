@@ -141,23 +141,50 @@ impl Ring {
                 for j in 0..n {
                     let v = tensor.get(i, k, j);
                     if v != 0.0 {
-                        terms.push(MacTerm { i: i as u8, k: k as u8, j: j as u8, c: v as f32 });
+                        terms.push(MacTerm {
+                            i: i as u8,
+                            k: k as u8,
+                            j: j as u8,
+                            c: v as f32,
+                        });
                     }
                 }
             }
         }
-        debug_assert!(fast.verifies(&sp, 1e-6), "fast algorithm mismatch for {kind:?}");
-        Ring { kind, n, sign_perm: Some(sp), terms, fast, diagonal: false }
+        debug_assert!(
+            fast.verifies(&sp, 1e-6),
+            "fast algorithm mismatch for {kind:?}"
+        );
+        Ring {
+            kind,
+            n,
+            sign_perm: Some(sp),
+            terms,
+            fast,
+            diagonal: false,
+        }
     }
 
     /// Internal constructor for diagonal rings.
     pub(crate) fn diagonal(kind: RingKind, n: usize) -> Ring {
         let terms = (0..n)
-            .map(|i| MacTerm { i: i as u8, k: i as u8, j: i as u8, c: 1.0 })
+            .map(|i| MacTerm {
+                i: i as u8,
+                k: i as u8,
+                j: i as u8,
+                c: 1.0,
+            })
             .collect();
         let id = Mat::identity(n);
         let fast = FastAlgorithm::new(id.clone(), id.clone(), id);
-        Ring { kind, n, sign_perm: None, terms, fast, diagonal: true }
+        Ring {
+            kind,
+            n,
+            sign_perm: None,
+            terms,
+            fast,
+            diagonal: true,
+        }
     }
 
     /// The identifying kind.
@@ -328,7 +355,10 @@ impl Ring {
     ///
     /// Panics if the ring does not have symmetric `G`.
     pub fn grad_input_ring_form(&self, g: &[f64], dz: &[f64]) -> Vec<f64> {
-        assert!(self.has_symmetric_g(), "ring-form input gradient requires symmetric G");
+        assert!(
+            self.has_symmetric_g(),
+            "ring-form input gradient requires symmetric G"
+        );
         self.mul_f64(g, dz)
     }
 
@@ -349,7 +379,12 @@ impl Ring {
     /// Verifies algebraic soundness: the fast algorithm matches `M`, and
     /// (for proper rings) unity/commutativity/associativity as claimed.
     pub fn self_check(&self) -> Result<(), String> {
-        if !self.fast.tensor().distance(&self.indexing_tensor()).is_finite() {
+        if !self
+            .fast
+            .tensor()
+            .distance(&self.indexing_tensor())
+            .is_finite()
+        {
             return Err("fast tensor not finite".into());
         }
         if self.fast.tensor().distance(&self.indexing_tensor()) > 1e-6 {
@@ -431,16 +466,26 @@ mod tests {
             ring.mac_backward_f32(&g, &x, &dz, &mut dg, &mut dx);
             // dx must equal Gᵗ·dz.
             let gm = ring.isomorphic_matrix(&g.iter().map(|v| f64::from(*v)).collect::<Vec<_>>());
-            let want_dx = gm.transposed().matvec(&dz.iter().map(|v| f64::from(*v)).collect::<Vec<_>>());
+            let want_dx = gm
+                .transposed()
+                .matvec(&dz.iter().map(|v| f64::from(*v)).collect::<Vec<_>>());
             for i in 0..n {
-                assert!((f64::from(dx[i]) - want_dx[i]).abs() < 1e-5, "{kind:?} dx[{i}]");
+                assert!(
+                    (f64::from(dx[i]) - want_dx[i]).abs() < 1e-5,
+                    "{kind:?} dx[{i}]"
+                );
             }
         }
     }
 
     #[test]
     fn ring_form_gradient_matches_expansion_for_symmetric_rings() {
-        for kind in [RingKind::Ri(4), RingKind::Rh(4), RingKind::Ro4, RingKind::Rh(2)] {
+        for kind in [
+            RingKind::Ri(4),
+            RingKind::Rh(4),
+            RingKind::Ro4,
+            RingKind::Rh(2),
+        ] {
             let ring = Ring::from_kind(kind);
             assert!(ring.has_symmetric_g(), "{kind:?} should have symmetric G");
             let n = ring.n();
@@ -477,7 +522,10 @@ mod tests {
             let direct = ring.mul_f64(&g, &x);
             let fast = ring.mul_fast_f64(&g, &x);
             for i in 0..n {
-                assert!((direct[i] - fast[i]).abs() < 1e-6, "{kind:?} comp {i}: {direct:?} vs {fast:?}");
+                assert!(
+                    (direct[i] - fast[i]).abs() < 1e-6,
+                    "{kind:?} comp {i}: {direct:?} vs {fast:?}"
+                );
             }
         }
     }

@@ -32,7 +32,12 @@ pub struct SearchOptions {
 impl Default for SearchOptions {
     fn default() -> Self {
         Self {
-            cp: CpOptions { iterations: 250, restarts: 12, tolerance: 1e-5, seed: 11 },
+            cp: CpOptions {
+                iterations: 250,
+                restarts: 12,
+                tolerance: 1e-5,
+                seed: 11,
+            },
             max_rank: 8,
         }
     }
@@ -67,7 +72,10 @@ pub struct PermClassReport {
 impl PermClassReport {
     /// The variants achieving the minimum grank (condition (C3)).
     pub fn minimal_variants(&self) -> Vec<&FoundRing> {
-        self.variants.iter().filter(|v| v.grank == self.min_grank).collect()
+        self.variants
+            .iter()
+            .filter(|v| v.grank == self.min_grank)
+            .collect()
     }
 }
 
@@ -120,7 +128,10 @@ pub fn search_proper_rings(n: usize, opts: &SearchOptions) -> SearchReport {
     for perm in classes {
         reports.push(analyze_perm_class(n, &perm, opts));
     }
-    SearchReport { n, classes: reports }
+    SearchReport {
+        n,
+        classes: reports,
+    }
 }
 
 /// Enumerates all `n×n` Latin squares whose rows are involutions with
@@ -299,10 +310,19 @@ fn analyze_perm_class(n: usize, perm: &[u8], opts: &SearchOptions) -> PermClassR
             continue;
         }
         let est = estimate_rank(&sp.indexing_tensor(), opts.max_rank, &opts.cp);
-        variants.push(FoundRing { sign_perm: sp, grank: est.rank, associative });
+        variants.push(FoundRing {
+            sign_perm: sp,
+            grank: est.rank,
+            associative,
+        });
     }
     let min_grank = variants.iter().map(|v| v.grank).min().unwrap_or(0);
-    PermClassReport { perm: perm.to_vec(), num_sign_patterns: num_patterns, variants, min_grank }
+    PermClassReport {
+        perm: perm.to_vec(),
+        num_sign_patterns: num_patterns,
+        variants,
+        min_grank,
+    }
 }
 
 /// Canonical key of `(S, P)` under relabelings only (no sign
@@ -354,7 +374,11 @@ mod tests {
         let sqs = enumerate_involution_latin_squares(4);
         // Three raw squares (Z4 appears with relabelings), two classes.
         let classes = dedup_perm_classes(4, sqs);
-        assert_eq!(classes.len(), 2, "paper: two non-isomorphic permutations for n=4");
+        assert_eq!(
+            classes.len(),
+            2,
+            "paper: two non-isomorphic permutations for n=4"
+        );
     }
 
     #[test]

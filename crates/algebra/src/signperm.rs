@@ -59,13 +59,17 @@ impl SignPerm {
         }
         let n = (len as f64).sqrt() as usize;
         if n * n != len || n == 0 {
-            return Err(InvalidSignPermError(format!("buffer length {len} is not a square")));
+            return Err(InvalidSignPermError(format!(
+                "buffer length {len} is not a square"
+            )));
         }
         if signs.iter().any(|s| *s != 1 && *s != -1) {
             return Err(InvalidSignPermError("signs must be ±1".into()));
         }
         if perm.iter().any(|p| *p as usize >= n) {
-            return Err(InvalidSignPermError("permutation index out of range".into()));
+            return Err(InvalidSignPermError(
+                "permutation index out of range".into(),
+            ));
         }
         Ok(Self { n, signs, perm })
     }
@@ -207,9 +211,7 @@ impl SignPerm {
     pub fn is_associative(&self) -> bool {
         // Check (e_a · e_b) · e_c == e_a · (e_b · e_c) on all basis triples.
         let n = self.n;
-        let mul = |a: &[f64], b: &[f64]| -> Vec<f64> {
-            self.isomorphic_matrix(a).matvec(b)
-        };
+        let mul = |a: &[f64], b: &[f64]| -> Vec<f64> { self.isomorphic_matrix(a).matvec(b) };
         for a in 0..n {
             for b in 0..n {
                 for c in 0..n {
@@ -219,11 +221,7 @@ impl SignPerm {
                     ec[c] = 1.0;
                     let left = mul(&mul(&ea, &eb), &ec);
                     let right = mul(&ea, &mul(&eb, &ec));
-                    if left
-                        .iter()
-                        .zip(&right)
-                        .any(|(l, r)| (l - r).abs() > EPS)
-                    {
+                    if left.iter().zip(&right).any(|(l, r)| (l - r).abs() > EPS) {
                         return false;
                     }
                 }

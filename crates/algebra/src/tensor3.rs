@@ -23,7 +23,12 @@ pub struct Tensor3 {
 impl Tensor3 {
     /// Creates a zero tensor of the given shape.
     pub fn zeros(ni: usize, nk: usize, nj: usize) -> Self {
-        Self { ni, nk, nj, data: vec![0.0; ni * nk * nj] }
+        Self {
+            ni,
+            nk,
+            nj,
+            data: vec![0.0; ni * nk * nj],
+        }
     }
 
     /// Shape as `(n_i, n_k, n_j)`.

@@ -20,7 +20,10 @@ use crate::mat::Mat;
 /// assert!(h.matmul(&h).approx_eq(&ringcnn_algebra::mat::Mat::identity(4).scaled(4.0), 1e-12));
 /// ```
 pub fn hadamard(n: usize) -> Mat {
-    assert!(n.is_power_of_two(), "Hadamard order must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "Hadamard order must be a power of two, got {n}"
+    );
     let mut h = Mat::zeros(n, n);
     for i in 0..n {
         for k in 0..n {
@@ -67,7 +70,10 @@ pub fn householder_o4() -> Mat {
 /// Panics if `data.len()` is not a power of two.
 pub fn fwht_f32(data: &mut [f32]) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FWHT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FWHT length must be a power of two, got {n}"
+    );
     let mut h = 1;
     while h < n {
         let mut i = 0;
@@ -92,7 +98,10 @@ pub fn fwht_f32(data: &mut [f32]) {
 /// Panics if `data.len()` is not a power of two.
 pub fn fwht_i64(data: &mut [i64]) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FWHT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FWHT length must be a power of two, got {n}"
+    );
     let mut h = 1;
     while h < n {
         let mut i = 0;
@@ -119,7 +128,10 @@ mod tests {
             let h = hadamard(n);
             assert!(h.approx_eq(&h.transposed(), 0.0), "H{n} symmetric");
             let hh = h.matmul(&h);
-            assert!(hh.approx_eq(&Mat::identity(n).scaled(n as f64), 1e-12), "H{n}·H{n} = nI");
+            assert!(
+                hh.approx_eq(&Mat::identity(n).scaled(n as f64), 1e-12),
+                "H{n}·H{n} = nI"
+            );
         }
     }
 
@@ -134,7 +146,11 @@ mod tests {
         let o = householder_o4();
         for i in 0..4 {
             for j in 0..4 {
-                assert!((o[(i, j)].abs() - 1.0).abs() < 1e-12, "entry ({i},{j}) = {}", o[(i, j)]);
+                assert!(
+                    (o[(i, j)].abs() - 1.0).abs() < 1e-12,
+                    "entry ({i},{j}) = {}",
+                    o[(i, j)]
+                );
             }
         }
     }

@@ -53,7 +53,10 @@ pub fn ri(n: usize) -> Ring {
 ///
 /// Panics if `n` is not a power of two or `n < 2`.
 pub fn rh(n: usize) -> Ring {
-    assert!(n >= 2 && n.is_power_of_two(), "RH requires a power-of-two n ≥ 2, got {n}");
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "RH requires a power-of-two n ≥ 2, got {n}"
+    );
     let mut signs = vec![1i8; n * n];
     let mut perm = vec![0u8; n * n];
     for i in 0..n {
@@ -139,7 +142,12 @@ fn cyclic_coboundary(kind: RingKind, d: [i8; 4]) -> Ring {
     }
     let sp = SignPerm::new(signs, perm).expect("valid cyclic structure");
     let (tg, tx, tz) = circulant4_crt();
-    let dm = Mat::diag(&[f64::from(d[0]), f64::from(d[1]), f64::from(d[2]), f64::from(d[3])]);
+    let dm = Mat::diag(&[
+        f64::from(d[0]),
+        f64::from(d[1]),
+        f64::from(d[2]),
+        f64::from(d[3]),
+    ]);
     // G'(g') = D·G(D·g')·D  ⇒  Tg' = Tg·D, Tx' = Tx·D, Tz' = D·Tz.
     let fast = FastAlgorithm::new(tg.matmul(&dm), tx.matmul(&dm), dm.matmul(&tz));
     Ring::from_sign_perm(kind, sp, fast)
@@ -286,12 +294,15 @@ mod tests {
         let sp = r.sign_perm().expect("proper ring");
         for i in 0..4 {
             for j in 0..4 {
-                assert_eq!(sp.perm(i, j), i ^ j, "RO4 permutation must be XOR at ({i},{j})");
+                assert_eq!(
+                    sp.perm(i, j),
+                    i ^ j,
+                    "RO4 permutation must be XOR at ({i},{j})"
+                );
             }
         }
         // Not the all-plus pattern (otherwise it would be RH4).
-        let any_negative =
-            (0..4).any(|i| (0..4).any(|j| sp.sign(i, j) < 0));
+        let any_negative = (0..4).any(|i| (0..4).any(|j| sp.sign(i, j) < 0));
         assert!(any_negative);
         assert!(sp.satisfies_c1());
         assert!(sp.satisfies_c2());
@@ -300,7 +311,12 @@ mod tests {
 
     #[test]
     fn cyclic_twists_are_proper_and_distinct() {
-        let kinds = [RingKind::Rh4I, RingKind::Rh4II, RingKind::Ro4I, RingKind::Ro4II];
+        let kinds = [
+            RingKind::Rh4I,
+            RingKind::Rh4II,
+            RingKind::Ro4I,
+            RingKind::Ro4II,
+        ];
         let mut patterns = Vec::new();
         for kind in kinds {
             let r = build(kind);
@@ -312,7 +328,10 @@ mod tests {
                 .flat_map(|i| (0..4).map(move |j| (i, j)))
                 .map(|(i, j)| sp.sign(i, j))
                 .collect();
-            assert!(!patterns.contains(&pat), "{kind:?} duplicates another variant");
+            assert!(
+                !patterns.contains(&pat),
+                "{kind:?} duplicates another variant"
+            );
             patterns.push(pat);
         }
     }

@@ -3,15 +3,18 @@
 //! quantized integer pipeline and the accelerator simulator.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use ringcnn::prelude::*;
 use ringcnn_esim::prelude::simulate;
 use ringcnn_hw::prelude::{AcceleratorConfig, TechParams};
 use ringcnn_nn::layers::ring_conv::RingConv2d;
+use std::time::Duration;
 
 fn bench_conv_forward(c: &mut Criterion) {
     let mut group = c.benchmark_group("conv_forward_16ch_16px");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     let x = Tensor::random_uniform(Shape4::new(1, 16, 16, 16), -1.0, 1.0, 1);
     for (label, alg) in [
         ("real", Algebra::real()),
@@ -27,11 +30,16 @@ fn bench_conv_forward(c: &mut Criterion) {
 
 fn bench_frconv_vs_rconv(c: &mut Criterion) {
     let mut group = c.benchmark_group("frconv_vs_rconv");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     let ring = Ring::from_kind(RingKind::Rh4I);
     let mut layer = RingConv2d::new(ring.clone(), 16, 16, 3, 9);
     let x = Tensor::random_uniform(Shape4::new(1, 16, 16, 16), -1.0, 1.0, 2);
-    group.bench_function("rconv_expanded", |b| b.iter(|| layer.forward(black_box(&x), false)));
+    group.bench_function("rconv_expanded", |b| {
+        b.iter(|| layer.forward(black_box(&x), false))
+    });
     let weights = layer.ring_weights().to_vec();
     let bias = layer.bias().to_vec();
     group.bench_function("frconv", |b| {
@@ -42,7 +50,10 @@ fn bench_frconv_vs_rconv(c: &mut Criterion) {
 
 fn bench_quant_and_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("quant_and_sim");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     let alg = Algebra::ri_fh(4);
     let mut model = ringcnn_nn::models::ernet::dn_ernet_pu(
         &alg,
@@ -52,7 +63,9 @@ fn bench_quant_and_sim(c: &mut Criterion) {
     );
     let calib = Tensor::random_uniform(Shape4::new(1, 1, 16, 16), 0.0, 1.0, 9);
     let qm = QuantizedModel::quantize(&mut model, &calib, QuantOptions::default());
-    group.bench_function("quantized_forward", |b| b.iter(|| qm.forward(black_box(&calib))));
+    group.bench_function("quantized_forward", |b| {
+        b.iter(|| qm.forward(black_box(&calib)))
+    });
     let accel = AcceleratorConfig::eringcnn_n4();
     let t = TechParams::tsmc40();
     group.bench_function("esim_simulate", |b| {
@@ -61,5 +74,10 @@ fn bench_quant_and_sim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_conv_forward, bench_frconv_vs_rconv, bench_quant_and_sim);
+criterion_group!(
+    benches,
+    bench_conv_forward,
+    bench_frconv_vs_rconv,
+    bench_quant_and_sim
+);
 criterion_main!(benches);

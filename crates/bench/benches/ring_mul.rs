@@ -7,7 +7,10 @@ use std::time::Duration;
 
 fn bench_ring_mac(c: &mut Criterion) {
     let mut group = c.benchmark_group("ring_mac_f32");
-    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     for kind in [
         RingKind::Ri(1),
         RingKind::Ri(2),
@@ -37,7 +40,10 @@ fn bench_ring_mac(c: &mut Criterion) {
 
 fn bench_fast_vs_direct(c: &mut Criterion) {
     let mut group = c.benchmark_group("fast_vs_direct_f64");
-    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     for kind in [RingKind::Rh(4), RingKind::Rh4I] {
         let ring = Ring::from_kind(kind);
         let n = ring.n();
@@ -55,7 +61,10 @@ fn bench_fast_vs_direct(c: &mut Criterion) {
 
 fn bench_directional_relu(c: &mut Criterion) {
     let mut group = c.benchmark_group("directional_relu");
-    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     for n in [2usize, 4, 8] {
         let f = DirectionalRelu::fh(n);
         let data: Vec<f32> = (0..n).map(|i| i as f32 - 1.3).collect();
@@ -70,5 +79,10 @@ fn bench_directional_relu(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ring_mac, bench_fast_vs_direct, bench_directional_relu);
+criterion_group!(
+    benches,
+    bench_ring_mac,
+    bench_fast_vs_direct,
+    bench_directional_relu
+);
 criterion_main!(benches);

@@ -1,0 +1,279 @@
+//! Machine-readable perf snapshot: measures the conv-backend and
+//! tiled-inference hot paths at several pool sizes and writes a
+//! committed-schema `BENCH_<pr>.json` report (see `ringcnn_bench::perf`
+//! for the schema and the regression-gate semantics).
+//!
+//! The pool size is fixed per process (the `rayon` shim reads
+//! `RINGCNN_THREADS` once), so the driver re-executes itself as a child
+//! per thread count:
+//!
+//! ```text
+//! bench_json [--out PATH] [--pr N] [--threads 1,4] [--iters N]
+//! bench_json --measure-child --iters N   # internal, one pool size
+//! ```
+
+use ringcnn::prelude::*;
+use ringcnn_bench::perf::{BenchEntry, BenchReport, SCHEMA};
+use ringcnn_bench::{f2, print_table};
+use ringcnn_nn::runtime::{BatchRunner, TileConfig};
+
+/// Stable id scheme: `workload/ring/backend/t<threads>`.
+fn id(workload: &str, ring: &str, backend: &str, threads: usize) -> String {
+    format!("{workload}/{ring}/{backend}/t{threads}")
+}
+
+fn entry(
+    workload: &str,
+    group: &str,
+    ring: &str,
+    backend: &str,
+    threads: usize,
+    ms: f64,
+) -> BenchEntry {
+    BenchEntry {
+        id: id(workload, ring, backend, threads),
+        group: group.into(),
+        ring: ring.into(),
+        backend: backend.into(),
+        threads,
+        ms,
+    }
+}
+
+/// The measurement set for one pool size (runs inside the child).
+fn measure_all(iters: usize) -> Vec<BenchEntry> {
+    let threads = ringcnn_nn::runtime::num_threads();
+    let mut entries = Vec::new();
+    let x = Tensor::random_uniform(Shape4::new(1, 64, 32, 32), -1.0, 1.0, 1);
+
+    // The serial calibration workload the gate divides by: measured in
+    // every child so per-process machine load cancels out.
+    let ms = ringcnn_bench::perf::measure_ms(iters, || {
+        std::hint::black_box(ringcnn_bench::perf::calibration_workload());
+    });
+    entries.push(entry(
+        "calibration",
+        "calibration",
+        "serial",
+        "scalar",
+        threads,
+        ms,
+    ));
+
+    // Dense real convolution: naive vs im2col.
+    for backend in [ConvBackend::Naive, ConvBackend::Im2col] {
+        let mut layer = Conv2d::new(64, 64, 3, 9);
+        layer.set_backend(backend);
+        let ms = ringcnn_bench::perf::measure_ms(iters, || {
+            std::hint::black_box(layer.forward_infer(&x));
+        });
+        entries.push(entry(
+            "conv3x3_64ch_32px",
+            "conv_backend",
+            "real",
+            backend.label(),
+            threads,
+            ms,
+        ));
+    }
+
+    // Ring convolutions: every backend on the Table-I acceptance rings.
+    for (label, kind) in [
+        ("ri4", RingKind::Ri(4)),
+        ("rh4", RingKind::Rh(4)),
+        ("rh4i", RingKind::Rh4I),
+    ] {
+        for backend in ConvBackend::all() {
+            let mut layer = RingConv2d::new(Ring::from_kind(kind), 64, 64, 3, 7);
+            layer.set_backend(backend);
+            layer.prepare_inference(); // Plan build is a one-time cost.
+            let ms = ringcnn_bench::perf::measure_ms(iters, || {
+                std::hint::black_box(layer.forward_infer(&x));
+            });
+            entries.push(entry(
+                "conv3x3_64ch_32px",
+                "conv_backend",
+                label,
+                backend.label(),
+                threads,
+                ms,
+            ));
+        }
+    }
+
+    // Tiled inference: the acceptance workload — a 64-channel 3×3
+    // transform-path model (VDSR body over RH4), tile-parallel vs
+    // whole-image on a 96×96 frame.
+    let alg = Algebra::with_fcw(RingKind::Rh(4));
+    let mut model = ringcnn_nn::models::vdsr::vdsr(&alg, 4, 64, 1, 11);
+    let runner = BatchRunner::new(&mut model).with_tile(TileConfig::with_tile(32));
+    let frame = Tensor::random_uniform(Shape4::new(1, 1, 96, 96), 0.0, 1.0, 13);
+    let ms = ringcnn_bench::perf::measure_ms(iters, || {
+        std::hint::black_box(runner.run(&frame));
+    });
+    entries.push(entry(
+        "tiled_vdsr64_96px",
+        "tiled_inference",
+        "rh4",
+        "tiled",
+        threads,
+        ms,
+    ));
+    let ms = ringcnn_bench::perf::measure_ms(iters, || {
+        std::hint::black_box(runner.run_whole(&frame));
+    });
+    entries.push(entry(
+        "tiled_vdsr64_96px",
+        "tiled_inference",
+        "rh4",
+        "whole",
+        threads,
+        ms,
+    ));
+
+    // Batch runner: four independent 48×48 frames across the pool.
+    let frames: Vec<Tensor> = (0..4)
+        .map(|i| Tensor::random_uniform(Shape4::new(1, 1, 48, 48), 0.0, 1.0, 20 + i))
+        .collect();
+    let ms = ringcnn_bench::perf::measure_ms(iters, || {
+        std::hint::black_box(runner.run_batch(&frames));
+    });
+    entries.push(entry(
+        "batch4_vdsr64_48px",
+        "batch",
+        "rh4",
+        "batch",
+        threads,
+        ms,
+    ));
+
+    entries
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters: usize = arg_value(&args, "--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+
+    if args.iter().any(|a| a == "--measure-child") {
+        for e in measure_all(iters) {
+            println!("{}", serde_json::to_string(&e).expect("entry serializes"));
+        }
+        return;
+    }
+
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "results/BENCH_current.json".into());
+    let pr: usize = arg_value(&args, "--pr")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let threads_list: Vec<usize> = arg_value(&args, "--threads")
+        .unwrap_or_else(|| "1,4".into())
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect();
+
+    let exe = std::env::current_exe().expect("own path");
+    let mut entries = Vec::new();
+    for &threads in &threads_list {
+        eprintln!("measuring with RINGCNN_THREADS={threads} …");
+        let output = std::process::Command::new(&exe)
+            .args(["--measure-child", "--iters", &iters.to_string()])
+            .env("RINGCNN_THREADS", threads.to_string())
+            .output()
+            .expect("child bench run");
+        assert!(
+            output.status.success(),
+            "child bench (threads={threads}) failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        for line in String::from_utf8_lossy(&output.stdout).lines() {
+            let line = line.trim();
+            if line.starts_with('{') {
+                let e: BenchEntry = serde_json::from_str(line).expect("entry parses");
+                entries.push(e);
+            }
+        }
+    }
+
+    let report = BenchReport {
+        schema: SCHEMA.into(),
+        pr,
+        threads_available: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        // Workload prefix: the gate appends `/t<threads>` to pick the
+        // per-child-process divisor.
+        calibration_id: "calibration/serial/scalar".into(),
+        entries,
+    };
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&report).expect("report serializes"),
+    )
+    .expect("write report");
+    println!("wrote {out} ({} entries)", report.entries.len());
+
+    // Human summary: per workload/ring/backend, ms at each pool size and
+    // the multi-thread speedup.
+    let mut rows = Vec::new();
+    let mut seen = Vec::new();
+    for e in &report.entries {
+        let key = (e.group.clone(), e.ring.clone(), e.backend.clone(), {
+            let mut w = e.id.clone();
+            w.truncate(e.id.find('/').unwrap_or(e.id.len()));
+            w
+        });
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key.clone());
+        let (group, ring, backend, workload) = key;
+        let ms_at = |t: usize| {
+            report
+                .entry(&id(&workload, &ring, &backend, t))
+                .map(|e| e.ms)
+        };
+        let t0 = threads_list.first().copied().unwrap_or(1);
+        let tn = threads_list.last().copied().unwrap_or(1);
+        let (Some(a), Some(b)) = (ms_at(t0), ms_at(tn)) else {
+            continue;
+        };
+        rows.push(vec![
+            workload,
+            group,
+            ring,
+            backend,
+            f2(a),
+            f2(b),
+            if b > 0.0 {
+                format!("{:.2}×", a / b)
+            } else {
+                "—".into()
+            },
+        ]);
+    }
+    print_table(
+        "Bench snapshot",
+        &[
+            "workload",
+            "group",
+            "ring",
+            "backend",
+            &format!("ms (t{})", threads_list.first().copied().unwrap_or(1)),
+            &format!("ms (t{})", threads_list.last().copied().unwrap_or(1)),
+            "speedup",
+        ],
+        &rows,
+    );
+}

@@ -22,19 +22,28 @@ fn wrap(body: Sequential) -> Sequential {
 fn main() {
     let fl = flags();
     let scale = fl.scale;
-    let extra = ExperimentScale { steps: scale.steps / 2, ..scale };
+    let extra = ExperimentScale {
+        steps: scale.steps / 2,
+        ..scale
+    };
     let cfg = SrResNetConfig::tiny();
     let scenario = Scenario::Sr4;
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut json = Vec::new();
-    let record =
-        |label: &str, model: &mut Sequential, rows: &mut Vec<Vec<String>>, json: &mut Vec<Entry>| {
-            let psnr = evaluate_model(model, scenario, &scale);
-            // GMults for one Full-HD *input* frame (LR side of the SR task).
-            let g = gmults_per_frame(model, 1920, 1080);
-            rows.push(vec![label.to_string(), f3(g), f2(psnr)]);
-            json.push(Entry { method: label.into(), gmults_per_hd_frame: g, psnr_db: psnr });
-        };
+    let record = |label: &str,
+                  model: &mut Sequential,
+                  rows: &mut Vec<Vec<String>>,
+                  json: &mut Vec<Entry>| {
+        let psnr = evaluate_model(model, scenario, &scale);
+        // GMults for one Full-HD *input* frame (LR side of the SR task).
+        let g = gmults_per_frame(model, 1920, 1080);
+        rows.push(vec![label.to_string(), f3(g), f2(psnr)]);
+        json.push(Entry {
+            method: label.into(),
+            gmults_per_hd_frame: g,
+            psnr_db: psnr,
+        });
+    };
 
     // Dense SRResNet baseline.
     let mut base = wrap(srresnet(&Algebra::real(), cfg, 1, 51));
@@ -48,7 +57,12 @@ fn main() {
         let _ = train_model(&mut m, scenario, &scale, 3);
         let _ = global_magnitude_prune(&mut m, compression);
         let _ = train_model(&mut m, scenario, &extra, 4);
-        record(&format!("weight pruning {compression}x"), &mut m, &mut rows, &mut json);
+        record(
+            &format!("weight pruning {compression}x"),
+            &mut m,
+            &mut rows,
+            &mut json,
+        );
     }
 
     // Depth-wise convolution variant.
@@ -74,7 +88,12 @@ fn main() {
         let mut ring = wrap(srresnet(&Algebra::ri_fh(n), cfg, 1, 51));
         let _ = train_model(&mut ring, scenario, &scale, 3);
         let _ = train_model(&mut ring, scenario, &extra, 4);
-        record(&format!("RingCNN (RI{n},fH)"), &mut ring, &mut rows, &mut json);
+        record(
+            &format!("RingCNN (RI{n},fH)"),
+            &mut ring,
+            &mut rows,
+            &mut json,
+        );
     }
 
     print_table(

@@ -35,7 +35,10 @@ fn algebras(standard: bool) -> Vec<(String, Algebra)> {
         v.push(("RH4-II".into(), Algebra::with_fcw(RingKind::Rh4II)));
         v.push(("RO4-I".into(), Algebra::with_fcw(RingKind::Ro4I)));
         v.push(("RO4-II".into(), Algebra::with_fcw(RingKind::Ro4II)));
-        v.push(("(RI4,fO4)".into(), Algebra::new(RingKind::Ri(4), Nonlinearity::DirectionalO4)));
+        v.push((
+            "(RI4,fO4)".into(),
+            Algebra::new(RingKind::Ri(4), Nonlinearity::DirectionalO4),
+        ));
     }
     v
 }
@@ -46,10 +49,13 @@ fn main() {
     for scenario in [Scenario::Denoise { sigma: 25.0 }, Scenario::Sr4] {
         let mut rows = Vec::new();
         for (i, (label, alg)) in algebras(fl.standard).iter().enumerate() {
-            let mut model =
-                build_model(scenario, ThroughputTarget::Uhd30, alg, 100 + i as u64);
+            let mut model = build_model(scenario, ThroughputTarget::Uhd30, alg, 100 + i as u64);
             let r = run_quality(label.clone(), &mut model, scenario, &fl.scale, 7);
-            rows.push(vec![label.clone(), f2(r.psnr_db), format!("{:.0}", r.mults_per_pixel)]);
+            rows.push(vec![
+                label.clone(),
+                f2(r.psnr_db),
+                format!("{:.0}", r.mults_per_pixel),
+            ]);
             json.push(Entry {
                 scenario: scenario.label(),
                 algebra: label.clone(),

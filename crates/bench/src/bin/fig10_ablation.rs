@@ -17,8 +17,24 @@ struct Entry {
 fn main() {
     let fl = flags();
     let configs = [
-        ("B2R2N0-w8", ErNetConfig { b: 2, r: 2, n_extra: 0, width: 8 }),
-        ("B3R2N0-w16", ErNetConfig { b: 3, r: 2, n_extra: 0, width: 16 }),
+        (
+            "B2R2N0-w8",
+            ErNetConfig {
+                b: 2,
+                r: 2,
+                n_extra: 0,
+                width: 8,
+            },
+        ),
+        (
+            "B3R2N0-w16",
+            ErNetConfig {
+                b: 3,
+                r: 2,
+                n_extra: 0,
+                width: 16,
+            },
+        ),
     ];
     let n = 4usize;
     let mut json = Vec::new();

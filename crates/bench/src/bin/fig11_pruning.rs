@@ -21,7 +21,10 @@ struct Entry {
 fn main() {
     let fl = flags();
     let scale = fl.scale;
-    let extra = ExperimentScale { steps: scale.steps / 2, ..scale };
+    let extra = ExperimentScale {
+        steps: scale.steps / 2,
+        ..scale
+    };
     let mut json = Vec::new();
     for scenario in [Scenario::Denoise { sigma: 25.0 }, Scenario::Sr4] {
         let mut rows = Vec::new();
@@ -39,16 +42,14 @@ fn main() {
         });
         for compression in [2.0f64, 4.0, 8.0] {
             // Unstructured pruning: pre-train, prune, fine-tune.
-            let mut pruned =
-                build_model(scenario, ThroughputTarget::Uhd30, &Algebra::real(), 11);
+            let mut pruned = build_model(scenario, ThroughputTarget::Uhd30, &Algebra::real(), 11);
             let _ = train_model(&mut pruned, scenario, &scale, 1);
             let _ = global_magnitude_prune(&mut pruned, compression);
             let _ = train_model(&mut pruned, scenario, &extra, 2);
             let p_pruned = evaluate_model(&mut pruned, scenario, &scale);
             // RingCNN at the same compression: n = compression.
             let n = compression as usize;
-            let mut ring =
-                build_model(scenario, ThroughputTarget::Uhd30, &Algebra::ri_fh(n), 11);
+            let mut ring = build_model(scenario, ThroughputTarget::Uhd30, &Algebra::ri_fh(n), 11);
             let _ = train_model(&mut ring, scenario, &scale, 1);
             let _ = train_model(&mut ring, scenario, &extra, 2);
             let p_ring = evaluate_model(&mut ring, scenario, &scale);
@@ -57,7 +58,11 @@ fn main() {
                 format!("{compression}"),
                 f2(p_pruned),
             ]);
-            rows.push(vec![format!("(RI{n},fH)"), format!("{compression}"), f2(p_ring)]);
+            rows.push(vec![
+                format!("(RI{n},fH)"),
+                format!("{compression}"),
+                f2(p_ring),
+            ]);
             json.push(Entry {
                 scenario: scenario.label(),
                 method: "pruning".into(),
@@ -72,13 +77,14 @@ fn main() {
             });
         }
         print_table(
-            &format!("Fig. 11 — RingCNN vs unstructured pruning, {}", scenario.label()),
+            &format!(
+                "Fig. 11 — RingCNN vs unstructured pruning, {}",
+                scenario.label()
+            ),
             &["method", "compression", "PSNR (dB)"],
             &rows,
         );
     }
-    println!(
-        "Shape target: (RI,fH) ≥ pruning at each compression; n=2 can even beat 1x."
-    );
+    println!("Shape target: (RI,fH) ≥ pruning at each compression; n=2 can even beat 1x.");
     save_json(&fl, "fig11_pruning", &json);
 }

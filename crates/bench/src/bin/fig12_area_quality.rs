@@ -43,7 +43,11 @@ fn main() {
         let q_psnr = total / profiles.len() as f64;
         let label = format!("{} ({})", e.ring.label(), e.nonlinearity.label());
         rows.push(vec![label.clone(), f2(e.area_efficiency), f2(q_psnr)]);
-        json.push(Entry { ring: label, area_efficiency: e.area_efficiency, psnr_8bit: q_psnr });
+        json.push(Entry {
+            ring: label,
+            area_efficiency: e.area_efficiency,
+            psnr_8bit: q_psnr,
+        });
     }
     print_table(
         "Fig. 12 — Engine area efficiency vs 8-bit PSNR (SR×4)",

@@ -67,13 +67,19 @@ fn main() {
                 &mut model,
                 scenario,
                 &scale,
-                QuantOptions { component_wise: false, ..QuantOptions::default() },
+                QuantOptions {
+                    component_wise: false,
+                    ..QuantOptions::default()
+                },
             );
             let mac = quant_eval(
                 &mut model,
                 scenario,
                 &scale,
-                QuantOptions { on_the_fly_drelu: false, ..QuantOptions::default() },
+                QuantOptions {
+                    on_the_fly_drelu: false,
+                    ..QuantOptions::default()
+                },
             );
             rows.push(vec![
                 label.clone(),

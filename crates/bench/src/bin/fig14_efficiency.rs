@@ -13,8 +13,12 @@ fn main() {
     ];
     let mut rows = Vec::new();
     let mut json = Vec::new();
-    for (cfg, p) in
-        [AcceleratorConfig::eringcnn_n2(), AcceleratorConfig::eringcnn_n4()].iter().zip(paper)
+    for (cfg, p) in [
+        AcceleratorConfig::eringcnn_n2(),
+        AcceleratorConfig::eringcnn_n4(),
+    ]
+    .iter()
+    .zip(paper)
     {
         let e = efficiency_vs_ecnn(cfg, &t);
         rows.push(vec![
@@ -28,7 +32,13 @@ fn main() {
     }
     print_table(
         "Fig. 14 — Efficiency vs eCNN: model (paper)",
-        &["design", "engine area ×", "engine energy ×", "chip area ×", "chip energy ×"],
+        &[
+            "design",
+            "engine area ×",
+            "engine energy ×",
+            "chip area ×",
+            "chip energy ×",
+        ],
         &rows,
     );
     save_json(&fl, "fig14_efficiency", &json);

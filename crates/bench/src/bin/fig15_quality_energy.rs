@@ -21,9 +21,33 @@ fn main() {
     let scale = fl.scale;
     let t = TechParams::tsmc40();
     let model_cfgs = [
-        ("B1-w8", ErNetConfig { b: 1, r: 2, n_extra: 0, width: 8 }),
-        ("B2-w8", ErNetConfig { b: 2, r: 2, n_extra: 0, width: 8 }),
-        ("B3-w16", ErNetConfig { b: 3, r: 2, n_extra: 0, width: 16 }),
+        (
+            "B1-w8",
+            ErNetConfig {
+                b: 1,
+                r: 2,
+                n_extra: 0,
+                width: 8,
+            },
+        ),
+        (
+            "B2-w8",
+            ErNetConfig {
+                b: 2,
+                r: 2,
+                n_extra: 0,
+                width: 8,
+            },
+        ),
+        (
+            "B3-w16",
+            ErNetConfig {
+                b: 3,
+                r: 2,
+                n_extra: 0,
+                width: 16,
+            },
+        ),
     ];
     let accels = [
         (AcceleratorConfig::ecnn(), Algebra::real()),
@@ -69,7 +93,14 @@ fn main() {
             &["accelerator", "model", "nJ/pixel", "PSNR (dB)"],
             &rows,
         );
-        save_json(&fl, &format!("fig15_quality_energy_{}", scenario.label().replace(['(', ')', '=', '×', 'σ'], "_")), &json);
+        save_json(
+            &fl,
+            &format!(
+                "fig15_quality_energy_{}",
+                scenario.label().replace(['(', ')', '=', '×', 'σ'], "_")
+            ),
+            &json,
+        );
     }
     println!(
         "Shape targets: eRingCNN curves dominate eCNN; eRingCNN-n4 is preferred\n\

@@ -24,7 +24,14 @@ fn main() {
         .collect();
     print_table(
         "Design-space sweep: eRingCNN vs ring dimension (250 MHz)",
-        &["config", "area mm²", "power W", "equiv. TOPS", "TOPS/W", "non-conv overhead %"],
+        &[
+            "config",
+            "area mm²",
+            "power W",
+            "equiv. TOPS",
+            "TOPS/W",
+            "non-conv overhead %",
+        ],
         &rows,
     );
     println!(

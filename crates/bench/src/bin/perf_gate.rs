@@ -1,0 +1,81 @@
+//! CI perf-regression gate: compares a fresh `bench_json` report against
+//! the newest committed `BENCH_<n>.json` baseline and fails (exit 1)
+//! when any tracked hot path regresses beyond tolerance.
+//!
+//! ```text
+//! perf_gate --fresh results/BENCH_current.json [--baseline-dir .]
+//!           [--tolerance 0.2]
+//! ```
+//!
+//! Times are calibration-normalized before comparison (see
+//! `ringcnn_bench::perf`), so a baseline committed from a different
+//! machine still gates meaningfully. With no baseline on disk the gate
+//! prints a skip notice and exits 0 — the bootstrap path.
+//! `PERF_GATE_TOLERANCE` overrides the default 20% tolerance.
+
+use ringcnn_bench::perf::{compare, find_baseline, BenchReport, DEFAULT_TOLERANCE};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(fresh_path) = arg_value(&args, "--fresh") else {
+        eprintln!("usage: perf_gate --fresh <BENCH json> [--baseline-dir <dir>] [--tolerance <f>]");
+        return ExitCode::FAILURE;
+    };
+    let baseline_dir = arg_value(&args, "--baseline-dir").unwrap_or_else(|| ".".into());
+    let tolerance: f64 = arg_value(&args, "--tolerance")
+        .or_else(|| std::env::var("PERF_GATE_TOLERANCE").ok())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TOLERANCE);
+
+    let fresh_text = match std::fs::read_to_string(&fresh_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read fresh report {fresh_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fresh: BenchReport = match serde_json::from_str(&fresh_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf_gate: fresh report {fresh_path} does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let baseline = find_baseline(Path::new(&baseline_dir), Some(Path::new(&fresh_path)));
+    match &baseline {
+        Some((path, report)) => {
+            println!("baseline: {} (pr {})", path.display(), report.pr)
+        }
+        None => println!("baseline: none found under {baseline_dir}"),
+    }
+
+    let outcome = compare(&fresh, baseline.as_ref().map(|(_, r)| r), tolerance);
+    if let Some(reason) = &outcome.skipped {
+        println!("perf gate SKIPPED: {reason}");
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "perf gate checked {} tracked paths at {:.0}% tolerance",
+        outcome.checked,
+        tolerance * 100.0
+    );
+    if outcome.passed() {
+        println!("perf gate PASSED");
+        ExitCode::SUCCESS
+    } else {
+        for f in &outcome.failures {
+            eprintln!("REGRESSION: {f}");
+        }
+        eprintln!("perf gate FAILED ({} regressions)", outcome.failures.len());
+        ExitCode::FAILURE
+    }
+}

@@ -27,8 +27,16 @@ fn main() {
     print_table(
         "Table I — Properties of ring algebras (8-bit features/weights)",
         &[
-            "ring", "n", "DoF", "rank(G)", "grank(M)", "m (impl.)", "weight eff.",
-            "mult eff.", "wx×wg", "8-bit mult-complexity eff.",
+            "ring",
+            "n",
+            "DoF",
+            "rank(G)",
+            "grank(M)",
+            "m (impl.)",
+            "weight eff.",
+            "mult eff.",
+            "wx×wg",
+            "8-bit mult-complexity eff.",
         ],
         &rows,
     );

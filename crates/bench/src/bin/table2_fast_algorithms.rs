@@ -41,11 +41,7 @@ fn main() {
     let mut json = Vec::new();
     for kind in RingKind::table_one() {
         let ring = Ring::from_kind(kind);
-        let verified = ring
-            .fast()
-            .tensor()
-            .distance(&ring.indexing_tensor())
-            < 1e-6;
+        let verified = ring.fast().tensor().distance(&ring.indexing_tensor()) < 1e-6;
         let row = Row {
             ring: kind.label(),
             n: ring.n(),
@@ -66,7 +62,14 @@ fn main() {
     }
     print_table(
         "Table II — Isomorphic G and fast algorithms",
-        &["ring", "n", "m", "adder-only transforms", "verified", "G rows (S_ij g_Pij)"],
+        &[
+            "ring",
+            "n",
+            "m",
+            "adder-only transforms",
+            "verified",
+            "G rows (S_ij g_Pij)",
+        ],
         &rows,
     );
     save_json(&fl, "table2_fast_algorithms", &json);

@@ -34,7 +34,10 @@ fn main() {
             "ours: --standard".into(),
             format!("synthetic Train ({} patches)", standard.train_count),
             format!("{0}×{0}", standard.patch),
-            format!("{} steps, Adam lr={}, decay@70%", standard.steps, standard.lr),
+            format!(
+                "{} steps, Adam lr={}, decay@70%",
+                standard.steps, standard.lr
+            ),
             "float32 + 8-bit PTQ".into(),
         ],
     ];

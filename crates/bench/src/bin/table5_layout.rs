@@ -47,6 +47,9 @@ fn main() {
         ],
         &rows,
     );
-    println!("DRAM bandwidth for 4K UHD 30 fps: {:.2} GB/s (paper: 1.93 GB/s)", dram_bandwidth_gbs(0.7));
+    println!(
+        "DRAM bandwidth for 4K UHD 30 fps: {:.2} GB/s (paper: 1.93 GB/s)",
+        dram_bandwidth_gbs(0.7)
+    );
     save_json(&fl, "table5_layout", &json);
 }

@@ -11,7 +11,10 @@ fn main() {
     let fl = flags();
     let t = TechParams::tsmc40();
     let mut json = Vec::new();
-    for cfg in [AcceleratorConfig::eringcnn_n2(), AcceleratorConfig::eringcnn_n4()] {
+    for cfg in [
+        AcceleratorConfig::eringcnn_n2(),
+        AcceleratorConfig::eringcnn_n4(),
+    ] {
         let r = layout_report(&cfg, &t);
         let rows: Vec<Vec<String>> = r
             .breakdown
@@ -42,8 +45,7 @@ fn main() {
             8,
             &t,
         );
-        let without =
-            estimate_engine(&Ring::from_kind(RingKind::Ri(n)), Nonlinearity::None, 8, &t);
+        let without = estimate_engine(&Ring::from_kind(RingKind::Ri(n)), Nonlinearity::None, 8, &t);
         let frac = 100.0 * (1.0 - without.area_mm2 / with.area_mm2);
         rows.push(vec![format!("n={n}"), f2(frac), f2(paper)]);
     }

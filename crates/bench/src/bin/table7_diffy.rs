@@ -21,7 +21,12 @@ fn main() {
         .collect();
     print_table(
         "Table VII — vs Diffy (FFDNet-level, Full-HD 20 fps, 167 MHz)",
-        &["design", "power (W)", "nJ/pixel", "energy efficiency vs Diffy"],
+        &[
+            "design",
+            "power (W)",
+            "nJ/pixel",
+            "energy efficiency vs Diffy",
+        ],
         &rows,
     );
     println!(

@@ -25,7 +25,13 @@ fn main() {
         .collect();
     print_table(
         "Table VIII — sparsity-accelerator comparison (synthesis level)",
-        &["design", "sparsity approach", "compression", "equiv. TOPS/W", "provenance"],
+        &[
+            "design",
+            "sparsity approach",
+            "compression",
+            "equiv. TOPS/W",
+            "provenance",
+        ],
         &rows,
     );
     println!(

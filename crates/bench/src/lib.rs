@@ -13,6 +13,8 @@
 
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use ringcnn::prelude::ExperimentScale;
 use serde::Serialize;
 use std::path::PathBuf;
@@ -39,7 +41,11 @@ pub fn flags() -> Flags {
 pub fn flags_from(args: &[String]) -> Flags {
     let standard = args.iter().skip(1).any(|a| a == "--standard");
     Flags {
-        scale: if standard { ExperimentScale::standard() } else { ExperimentScale::quick() },
+        scale: if standard {
+            ExperimentScale::standard()
+        } else {
+            ExperimentScale::quick()
+        },
         standard,
         json: args.iter().skip(1).any(|a| a == "--json"),
     }
@@ -49,7 +55,10 @@ pub fn flags_from(args: &[String]) -> Flags {
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }

@@ -1,0 +1,397 @@
+//! The machine-readable perf trajectory: `BENCH_<pr>.json` schema,
+//! wall-clock measurement helpers, and the CI regression gate.
+//!
+//! # Schema (`ringcnn-bench-json/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "ringcnn-bench-json/v1",
+//!   "pr": 3,
+//!   "threads_available": 4,
+//!   "calibration_id": "calibration/serial/scalar",
+//!   "entries": [
+//!     { "id": "conv3x3_64ch_32px/rh4/transform/t4",
+//!       "group": "conv_backend", "ring": "rh4",
+//!       "backend": "transform", "threads": 4, "ms": 1.43 }
+//!   ]
+//! }
+//! ```
+//!
+//! Entry ids are stable `workload/ring/backend/t<threads>` paths; a new
+//! PR may add ids but must keep existing ones so the trajectory stays
+//! comparable. `BENCH_<pr>.json` files are committed at the repo root,
+//! one per PR that touches a hot path.
+//!
+//! # Gate semantics
+//!
+//! Absolute milliseconds are not comparable across machines (the
+//! committed baseline may come from a different host than CI) or even
+//! across the per-thread-count child processes of one `bench_json` run
+//! (load shifts between them), so the gate compares
+//! **calibration-normalized** times: every entry is divided by the
+//! [`calibration_workload`] entry measured *in the same child process*
+//! (`calibration_id` is the workload prefix; the `t<threads>` suffix
+//! selects the per-process divisor). The calibration workload is serial
+//! by construction, so normalization cancels machine speed and load but
+//! not the parallelism under test. A tracked path fails when its
+//! normalized time grows by more than `tolerance` (default 20%) over
+//! the newest committed baseline. With no baseline on disk the gate
+//! skips cleanly (exit 0) — the bootstrap path for the first benched
+//! PR.
+
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Current schema identifier.
+pub const SCHEMA: &str = "ringcnn-bench-json/v1";
+
+/// Default regression tolerance (fraction of the baseline).
+pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// One measured hot path.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Stable id: `workload/ring/backend/t<threads>`.
+    pub id: String,
+    /// Workload family (`conv_backend`, `tiled_inference`, `batch`).
+    pub group: String,
+    /// Ring label (`real`, `ri4`, `rh4`, `rh4i`, …).
+    pub ring: String,
+    /// Backend label (`naive`, `im2col`, `transform`, `tiled`, `whole`).
+    pub backend: String,
+    /// Pool size the measurement ran with.
+    pub threads: usize,
+    /// Best-of-N wall-clock milliseconds per iteration ([`measure_ms`]).
+    pub ms: f64,
+}
+
+/// A full bench report (`BENCH_<pr>.json`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema identifier ([`SCHEMA`]).
+    pub schema: String,
+    /// PR index this report snapshots.
+    pub pr: usize,
+    /// `available_parallelism` of the measuring host.
+    pub threads_available: usize,
+    /// Workload prefix of the per-process calibration entries
+    /// (`<prefix>/t<threads>`) used to normalize away machine speed.
+    pub calibration_id: String,
+    /// The measurements.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Looks up an entry by id.
+    pub fn entry(&self, id: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Calibration-normalized time of an entry (`ms / calibration ms`),
+    /// the machine-independent quantity the gate compares.
+    ///
+    /// `calibration_id` names a workload *prefix*; the divisor is the
+    /// calibration entry measured **in the same child process** (same
+    /// `t<threads>` suffix) as the entry, so per-process machine load
+    /// cancels. The calibration workload itself must be serial by
+    /// construction, so normalizing does not cancel the parallelism the
+    /// multi-thread entries are tracking.
+    pub fn normalized(&self, id: &str) -> Option<f64> {
+        let entry = self.entry(id)?;
+        let calib = self
+            .entry(&format!("{}/t{}", self.calibration_id, entry.threads))?
+            .ms;
+        if calib <= 0.0 {
+            return None;
+        }
+        Some(entry.ms / calib)
+    }
+
+    /// Whether every thread count in the report has its calibration
+    /// entry (the precondition for [`Self::normalized`]).
+    pub fn has_calibration(&self) -> bool {
+        self.entries.iter().all(|e| {
+            self.entry(&format!("{}/t{}", self.calibration_id, e.threads))
+                .is_some()
+        })
+    }
+}
+
+/// A serial-by-construction calibration workload: a scalar FMA sweep
+/// that never touches the thread pool, so its time tracks per-process
+/// machine speed (and contention) without tracking pool size.
+pub fn calibration_workload() -> f32 {
+    let mut buf = vec![0.0f32; 1 << 16];
+    for (i, v) in buf.iter_mut().enumerate() {
+        *v = (i as f32).sin();
+    }
+    let mut acc = 1.0f32;
+    for _ in 0..64 {
+        for v in &buf {
+            acc = acc.mul_add(0.999_9, *v);
+        }
+    }
+    std::hint::black_box(acc)
+}
+
+/// Best-of-N wall-clock milliseconds of `f` (after one untimed warmup
+/// run): at least `iters` samples *and* at least [`MIN_MEASURE_MS`] of
+/// total sampling, whichever takes longer (capped at 1000 samples).
+///
+/// The gate compares minima rather than medians because
+/// scheduler/noisy-neighbor interference is strictly additive: the
+/// fastest observed run is the most reproducible estimate of the true
+/// cost. The time floor matters for sub-millisecond workloads — without
+/// it their entire sample window can fall inside one interference burst
+/// and even the minimum comes out inflated; spreading samples across
+/// the floor lets the minimum find a clean window.
+pub fn measure_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    f(); // Warmup: populate caches/plans outside the timed region.
+    let started = Instant::now();
+    let mut best = f64::INFINITY;
+    let mut samples = 0usize;
+    while samples < iters.max(1)
+        || (started.elapsed().as_secs_f64() * 1e3 < MIN_MEASURE_MS && samples < 1000)
+    {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        samples += 1;
+    }
+    best
+}
+
+/// Minimum total sampling time per measurement (see [`measure_ms`]).
+pub const MIN_MEASURE_MS: f64 = 250.0;
+
+/// What the regression gate concluded.
+#[derive(Clone, Debug, Default)]
+pub struct GateOutcome {
+    /// `Some(reason)` when the gate did not compare anything (no
+    /// baseline, missing calibration) — a clean skip, not a failure.
+    pub skipped: Option<String>,
+    /// Number of entry ids compared.
+    pub checked: usize,
+    /// Human-readable descriptions of regressions beyond tolerance.
+    pub failures: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Whether CI should pass.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares a fresh report against a baseline (normalized times, see the
+/// module docs). `None` baseline skips cleanly.
+pub fn compare(fresh: &BenchReport, baseline: Option<&BenchReport>, tolerance: f64) -> GateOutcome {
+    let mut outcome = GateOutcome::default();
+    let Some(base) = baseline else {
+        outcome.skipped = Some("no baseline BENCH_*.json found — skipping (bootstrap)".into());
+        return outcome;
+    };
+    if !fresh.has_calibration() {
+        outcome.skipped = Some(format!(
+            "fresh report lacks calibration entries `{}/t*`",
+            fresh.calibration_id
+        ));
+        return outcome;
+    }
+    if !base.has_calibration() {
+        outcome.skipped = Some(format!(
+            "baseline lacks calibration entries `{}/t*`",
+            base.calibration_id
+        ));
+        return outcome;
+    }
+    for entry in &fresh.entries {
+        let (Some(fresh_norm), Some(base_norm)) =
+            (fresh.normalized(&entry.id), base.normalized(&entry.id))
+        else {
+            continue; // Id not tracked in the baseline (new workload).
+        };
+        outcome.checked += 1;
+        if base_norm > 0.0 && fresh_norm > base_norm * (1.0 + tolerance) {
+            outcome.failures.push(format!(
+                "{}: normalized {:.3} vs baseline {:.3} (+{:.0}%, tolerance {:.0}%)",
+                entry.id,
+                fresh_norm,
+                base_norm,
+                (fresh_norm / base_norm - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    // Tracked ids must never silently disappear: a regression could
+    // otherwise be hidden by deleting its measurement from bench_json.
+    for entry in &base.entries {
+        if fresh.entry(&entry.id).is_none() {
+            outcome.failures.push(format!(
+                "{}: tracked in baseline (pr {}) but missing from the fresh report",
+                entry.id, base.pr
+            ));
+        }
+    }
+    outcome
+}
+
+/// Finds the newest committed baseline: the `BENCH_<n>.json` with the
+/// largest `n` in `dir` (excluding `exclude`, typically the fresh
+/// report's own path).
+pub fn find_baseline(dir: &Path, exclude: Option<&Path>) -> Option<(PathBuf, BenchReport)> {
+    let mut best: Option<(usize, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let path = entry.path();
+        if exclude.is_some_and(|e| same_file(e, &path)) {
+            continue;
+        }
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(n) = name
+            .strip_prefix("BENCH_")
+            .and_then(|r| r.strip_suffix(".json"))
+            .and_then(|r| r.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(bn, _)| n > *bn) {
+            best = Some((n, path));
+        }
+    }
+    let (_, path) = best?;
+    let text = std::fs::read_to_string(&path).ok()?;
+    let report: BenchReport = serde_json::from_str(&text).ok()?;
+    Some((path, report))
+}
+
+/// Whether two paths name the same file (canonicalized when possible).
+fn same_file(a: &Path, b: &Path) -> bool {
+    match (a.canonicalize(), b.canonicalize()) {
+        (Ok(ca), Ok(cb)) => ca == cb,
+        _ => a == b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(pr: usize, scale: f64, transform_ms: f64) -> BenchReport {
+        let cal = |threads: usize, ms: f64| BenchEntry {
+            id: format!("cal/serial/scalar/t{threads}"),
+            group: "calibration".into(),
+            ring: "serial".into(),
+            backend: "scalar".into(),
+            threads,
+            ms,
+        };
+        BenchReport {
+            schema: SCHEMA.into(),
+            pr,
+            threads_available: 4,
+            calibration_id: "cal/serial/scalar".into(),
+            entries: vec![
+                cal(1, 2.0 * scale),
+                cal(4, 2.0 * scale),
+                BenchEntry {
+                    id: "conv/rh4/transform/t4".into(),
+                    group: "conv_backend".into(),
+                    ring: "rh4".into(),
+                    backend: "transform".into(),
+                    threads: 4,
+                    ms: transform_ms * scale,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn no_baseline_skips_cleanly() {
+        let outcome = compare(&report(3, 1.0, 1.0), None, DEFAULT_TOLERANCE);
+        assert!(outcome.passed());
+        assert!(outcome.skipped.is_some());
+        assert_eq!(outcome.checked, 0);
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = report(3, 1.0, 1.0);
+        let fresh = report(4, 1.0, 1.15); // +15% < 20%
+        let outcome = compare(&fresh, Some(&base), DEFAULT_TOLERANCE);
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+        assert_eq!(outcome.checked, 3);
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let base = report(3, 1.0, 1.0);
+        let fresh = report(4, 1.0, 1.5); // +50%
+        let outcome = compare(&fresh, Some(&base), DEFAULT_TOLERANCE);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.failures.len(), 1);
+        assert!(outcome.failures[0].contains("conv/rh4/transform/t4"));
+    }
+
+    #[test]
+    fn machine_speed_is_normalized_away() {
+        // A 3× slower machine scales every entry uniformly: no failure.
+        let base = report(3, 1.0, 1.0);
+        let fresh = report(4, 3.0, 1.0);
+        let outcome = compare(&fresh, Some(&base), DEFAULT_TOLERANCE);
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+    }
+
+    #[test]
+    fn dropped_tracked_id_fails() {
+        // Removing a tracked measurement must not silently pass the gate.
+        let base = report(3, 1.0, 1.0);
+        let mut fresh = report(4, 1.0, 1.0);
+        fresh.entries.retain(|e| e.id != "conv/rh4/transform/t4");
+        let outcome = compare(&fresh, Some(&base), DEFAULT_TOLERANCE);
+        assert!(!outcome.passed());
+        assert!(outcome.failures[0].contains("missing from the fresh report"));
+    }
+
+    #[test]
+    fn missing_calibration_skips() {
+        let mut fresh = report(4, 1.0, 1.0);
+        fresh.calibration_id = "nope".into();
+        let outcome = compare(&fresh, Some(&report(3, 1.0, 1.0)), DEFAULT_TOLERANCE);
+        assert!(outcome.passed());
+        assert!(outcome.skipped.is_some());
+    }
+
+    #[test]
+    fn baseline_discovery_picks_highest_index_and_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("ringcnn_gate_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for pr in [2usize, 3] {
+            let r = report(pr, 1.0, 1.0);
+            std::fs::write(
+                dir.join(format!("BENCH_{pr}.json")),
+                serde_json::to_string_pretty(&r).unwrap(),
+            )
+            .unwrap();
+        }
+        std::fs::write(dir.join("BENCH_bogus.json"), "{}").unwrap();
+        let (path, report) = find_baseline(&dir, None).expect("baseline found");
+        assert!(path.ends_with("BENCH_3.json"));
+        assert_eq!(report.pr, 3);
+        // Excluding the newest falls back to the previous one.
+        let (path2, report2) = find_baseline(&dir, Some(&path)).expect("fallback found");
+        assert!(path2.ends_with("BENCH_2.json"));
+        assert_eq!(report2.pr, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn measure_ms_is_positive_and_finite() {
+        let ms = measure_ms(3, || {
+            std::hint::black_box((0..1000).sum::<usize>());
+        });
+        assert!(ms.is_finite() && ms >= 0.0);
+    }
+}

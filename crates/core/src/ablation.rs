@@ -48,7 +48,11 @@ impl Fig10Variant {
 
     /// All three in presentation order.
     pub fn all() -> [Fig10Variant; 3] {
-        [Fig10Variant::Rh, Fig10Variant::RhTrainedOnTransformed, Fig10Variant::RiFh]
+        [
+            Fig10Variant::Rh,
+            Fig10Variant::RhTrainedOnTransformed,
+            Fig10Variant::RiFh,
+        ]
     }
 }
 
@@ -67,8 +71,18 @@ impl TupleMix {
         let n = m.rows();
         assert_eq!(m.cols(), n, "mix matrix must be square");
         let m32: Vec<f32> = m.as_slice().iter().map(|v| *v as f32).collect();
-        let mt: Vec<f32> = m.transposed().as_slice().iter().map(|v| *v as f32).collect();
-        Self { m, m32, mt32: mt, n }
+        let mt: Vec<f32> = m
+            .transposed()
+            .as_slice()
+            .iter()
+            .map(|v| *v as f32)
+            .collect();
+        Self {
+            m,
+            m32,
+            mt32: mt,
+            n,
+        }
     }
 
     /// The Hadamard data transform `Tx = H`.
@@ -88,7 +102,12 @@ impl TupleMix {
 
     fn apply(&self, x: &Tensor, mat: &[f32]) -> Tensor {
         let s = x.shape();
-        assert_eq!(s.c % self.n, 0, "channels must group into {}-tuples", self.n);
+        assert_eq!(
+            s.c % self.n,
+            0,
+            "channels must group into {}-tuples",
+            self.n
+        );
         let tuples = s.c / self.n;
         let mut out = x.clone();
         let mut buf = vec![0.0f32; self.n];
@@ -122,6 +141,10 @@ impl Layer for TupleMix {
         self.apply(input, &self.m32)
     }
 
+    fn forward_infer(&self, input: &Tensor) -> Tensor {
+        self.apply(input, &self.m32)
+    }
+
     fn backward(&mut self, dout: &Tensor) -> Tensor {
         self.apply(dout, &self.mt32)
     }
@@ -136,12 +159,9 @@ impl Layer for TupleMix {
 /// Builds the SR4ERNet-shaped model for one Fig. 10 variant.
 pub fn fig10_model(variant: Fig10Variant, n: usize, cfg: ErNetConfig, seed: u64) -> Sequential {
     match variant {
-        Fig10Variant::Rh => ringcnn_nn::models::ernet::sr4_ernet(
-            &Algebra::with_fcw(RingKind::Rh(n)),
-            cfg,
-            1,
-            seed,
-        ),
+        Fig10Variant::Rh => {
+            ringcnn_nn::models::ernet::sr4_ernet(&Algebra::with_fcw(RingKind::Rh(n)), cfg, 1, seed)
+        }
         Fig10Variant::RiFh => {
             ringcnn_nn::models::ernet::sr4_ernet(&Algebra::ri_fh(n), cfg, 1, seed)
         }
@@ -165,13 +185,19 @@ fn sr4_equivalent_form(n: usize, cfg: ErNetConfig, seed: u64) -> Sequential {
             .with(Box::new(TupleMix::hadamard_inverse(n)));
         Box::new(chain)
     };
-    let act = || -> Option<Box<dyn Layer>> { Some(Box::new(ringcnn_nn::layers::activation::Relu::new())) };
+    let act = || -> Option<Box<dyn Layer>> {
+        Some(Box::new(ringcnn_nn::layers::activation::Relu::new()))
+    };
     let c = cfg.width;
     let ermodule = |s: u64| -> Box<dyn Layer> {
         let pumped = c * cfg.r;
-        let mut body = Sequential::new().with(conv(c, pumped, 3, s)).with_opt(act());
+        let mut body = Sequential::new()
+            .with(conv(c, pumped, 3, s))
+            .with_opt(act());
         for i in 0..cfg.n_extra {
-            body = body.with(conv(pumped, pumped, 3, s + 1000 + i as u64)).with_opt(act());
+            body = body
+                .with(conv(pumped, pumped, 3, s + 1000 + i as u64))
+                .with_opt(act());
         }
         body = body.with(conv(pumped, c, 3, s + 1));
         Box::new(Residual::new(body))
@@ -221,7 +247,10 @@ mod tests {
         let ri = Ring::from_kind(RingKind::Ri(n));
         let mut ri_conv = RingConv2d::new(ri, 2, 2, 1, 9);
         let h = hadamard(n);
-        let g = [f64::from(rh_conv.ring_weights()[0]), f64::from(rh_conv.ring_weights()[1])];
+        let g = [
+            f64::from(rh_conv.ring_weights()[0]),
+            f64::from(rh_conv.ring_weights()[1]),
+        ];
         let gt = h.matvec(&g);
         ri_conv.ring_weights_mut()[0] = gt[0] as f32;
         ri_conv.ring_weights_mut()[1] = gt[1] as f32;
@@ -247,7 +276,12 @@ mod tests {
 
     #[test]
     fn variants_backprop() {
-        let mut m = fig10_model(Fig10Variant::RhTrainedOnTransformed, 2, ErNetConfig::tiny(), 5);
+        let mut m = fig10_model(
+            Fig10Variant::RhTrainedOnTransformed,
+            2,
+            ErNetConfig::tiny(),
+            5,
+        );
         let x = Tensor::random_uniform(Shape4::new(1, 1, 4, 4), 0.0, 1.0, 2);
         let y = m.forward(&x, true);
         let _ = m.backward(&y);

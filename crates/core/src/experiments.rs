@@ -31,13 +31,27 @@ pub struct ExperimentScale {
 impl ExperimentScale {
     /// Seconds-scale runs for tests and smoke checks.
     pub fn quick() -> Self {
-        Self { patch: 16, train_count: 64, test_count: 4, steps: 150, batch: 4, lr: 3e-3 }
+        Self {
+            patch: 16,
+            train_count: 64,
+            test_count: 4,
+            steps: 150,
+            batch: 4,
+            lr: 3e-3,
+        }
     }
 
     /// The default experiment scale (minutes per model on CPU) — the
     /// analogue of the paper's lightweight training setting.
     pub fn standard() -> Self {
-        Self { patch: 24, train_count: 64, test_count: 8, steps: 700, batch: 8, lr: 3e-3 }
+        Self {
+            patch: 24,
+            train_count: 64,
+            test_count: 8,
+            steps: 700,
+            batch: 8,
+            lr: 3e-3,
+        }
     }
 
     fn train_config(&self, seed: u64) -> TrainConfig {
@@ -79,7 +93,11 @@ pub fn training_pairs(scenario: Scenario, scale: &ExperimentScale) -> PairedSet 
 pub fn eval_profiles(scenario: Scenario) -> Vec<DatasetProfile> {
     match scenario {
         Scenario::Denoise { .. } => {
-            vec![DatasetProfile::Set5, DatasetProfile::Set14, DatasetProfile::Bsd]
+            vec![
+                DatasetProfile::Set5,
+                DatasetProfile::Set14,
+                DatasetProfile::Bsd,
+            ]
         }
         Scenario::Sr4 => vec![
             DatasetProfile::Set5,
@@ -91,11 +109,13 @@ pub fn eval_profiles(scenario: Scenario) -> Vec<DatasetProfile> {
 }
 
 /// Builds evaluation pairs for one profile.
-pub fn eval_pairs(scenario: Scenario, profile: DatasetProfile, scale: &ExperimentScale) -> PairedSet {
+pub fn eval_pairs(
+    scenario: Scenario,
+    profile: DatasetProfile,
+    scale: &ExperimentScale,
+) -> PairedSet {
     match scenario {
-        Scenario::Denoise { sigma } => {
-            denoising_set(profile, scale.patch, scale.test_count, sigma)
-        }
+        Scenario::Denoise { sigma } => denoising_set(profile, scale.patch, scale.test_count, sigma),
         Scenario::Sr4 => sr4_set(profile, scale.patch, scale.test_count),
     }
 }
@@ -108,7 +128,12 @@ pub fn train_model(
     seed: u64,
 ) -> TrainReport {
     let pairs = training_pairs(scenario, scale);
-    train_regression(model, &pairs.inputs, &pairs.targets, &scale.train_config(seed))
+    train_regression(
+        model,
+        &pairs.inputs,
+        &pairs.targets,
+        &scale.train_config(seed),
+    )
 }
 
 /// Average PSNR of a model over the scenario's evaluation profiles.
@@ -228,13 +253,20 @@ mod tests {
     #[test]
     fn quality_result_reports_complexity() {
         let alg = Algebra::ri_fh(4);
-        let mut model =
-            build_model(Scenario::Denoise { sigma: 15.0 }, ThroughputTarget::Uhd30, &alg, 7);
+        let mut model = build_model(
+            Scenario::Denoise { sigma: 15.0 },
+            ThroughputTarget::Uhd30,
+            &alg,
+            7,
+        );
         let r = run_quality(
             "x",
             &mut model,
             Scenario::Denoise { sigma: 15.0 },
-            &ExperimentScale { steps: 5, ..ExperimentScale::quick() },
+            &ExperimentScale {
+                steps: 5,
+                ..ExperimentScale::quick()
+            },
             3,
         );
         assert!(r.mults_per_pixel > 0.0);

@@ -42,7 +42,11 @@ pub fn frconv_forward(
     let m = ring.fast().m();
     let s = input.shape();
     assert_eq!(s.c, ci_t * n, "input channels mismatch");
-    assert_eq!(ring_weights.len(), co_t * ci_t * k * k * n, "weight length mismatch");
+    assert_eq!(
+        ring_weights.len(),
+        co_t * ci_t * k * k * n,
+        "weight length mismatch"
+    );
     assert_eq!(bias.len(), co_t * n, "bias length mismatch");
 
     let tg = ring.fast().tg();
@@ -171,17 +175,12 @@ mod tests {
             }
             let x = Tensor::random_uniform(Shape4::new(1, ci_t * n, 5, 5), -1.0, 1.0, 6);
             let reference = layer.forward(&x, false);
-            let fast = frconv_forward(
-                &ring,
-                &x,
-                layer.ring_weights(),
-                ci_t,
-                co_t,
-                k,
-                layer.bias(),
-            );
+            let fast = frconv_forward(&ring, &x, layer.ring_weights(), ci_t, co_t, k, layer.bias());
             let mse = reference.mse(&fast);
-            assert!(mse < 1e-8, "{kind:?}: FRCONV deviates from RCONV, mse {mse}");
+            assert!(
+                mse < 1e-8,
+                "{kind:?}: FRCONV deviates from RCONV, mse {mse}"
+            );
         }
     }
 
@@ -199,10 +198,14 @@ mod tests {
             let x = Tensor::random_uniform(Shape4::new(1, ci_t * n, 4, 6), -1.0, 1.0, 30);
             let reference =
                 frconv_forward(&ring, &x, layer.ring_weights(), ci_t, co_t, k, layer.bias());
-            let engine = FastRingConv::new(&ring, layer.ring_weights(), ci_t, co_t, k, layer.bias())
-                .forward(&x);
+            let engine =
+                FastRingConv::new(&ring, layer.ring_weights(), ci_t, co_t, k, layer.bias())
+                    .forward(&x);
             let mse = reference.mse(&engine);
-            assert!(mse < 1e-10, "{kind:?}: engine deviates from reference, mse {mse}");
+            assert!(
+                mse < 1e-10,
+                "{kind:?}: engine deviates from reference, mse {mse}"
+            );
         }
     }
 

@@ -54,9 +54,7 @@ pub mod prelude {
         training_pairs, ExperimentScale, QualityResult,
     };
     pub use crate::frconv::{frconv_forward, frconv_mults_per_pixel};
-    pub use crate::pruning::{
-        global_magnitude_prune, model_density, structured_filter_prune,
-    };
+    pub use crate::pruning::{global_magnitude_prune, model_density, structured_filter_prune};
     pub use crate::scenarios::{build_model, Scenario, ThroughputTarget};
     pub use ringcnn_algebra::prelude::*;
     pub use ringcnn_imaging::prelude::*;

@@ -34,7 +34,11 @@ pub fn global_magnitude_prune(model: &mut Sequential, compression: f64) -> usize
     let keep = ((mags.len() as f64 / compression).round() as usize).min(mags.len());
     let prune_count = mags.len() - keep;
     mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let threshold = if prune_count == 0 { -1.0 } else { mags[prune_count - 1] };
+    let threshold = if prune_count == 0 {
+        -1.0
+    } else {
+        mags[prune_count - 1]
+    };
     // Pass 2: install masks.
     let mut pruned = 0usize;
     model.for_each_layer_mut(&mut |l| {
@@ -76,7 +80,11 @@ pub fn structured_filter_prune(model: &mut Sequential, fraction: f64) -> usize {
     let remove = (scores.len() as f64 * fraction).round() as usize;
     let mut sorted = scores.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let threshold = if remove == 0 { -1.0 } else { sorted[remove - 1] };
+    let threshold = if remove == 0 {
+        -1.0
+    } else {
+        sorted[remove - 1]
+    };
     // Pass 2: zero the filters under the threshold.
     let mut removed = 0usize;
     model.for_each_layer_mut(&mut |l| {
@@ -104,7 +112,12 @@ fn filter_norms(conv: &mut Conv2d) -> Vec<f32> {
     let (co, ci, k) = (conv.co(), conv.ci(), conv.k());
     let per = ci * k * k;
     (0..co)
-        .map(|f| conv.weights().data[f * per..(f + 1) * per].iter().map(|w| w.abs()).sum())
+        .map(|f| {
+            conv.weights().data[f * per..(f + 1) * per]
+                .iter()
+                .map(|w| w.abs())
+                .sum()
+        })
         .collect()
 }
 
@@ -162,7 +175,13 @@ mod tests {
         let mut m = model();
         let _ = global_magnitude_prune(&mut m, 2.0);
         let xs = Tensor::random_uniform(Shape4::new(4, 2, 6, 6), 0.0, 1.0, 3);
-        let cfg = TrainConfig { steps: 30, batch: 2, lr: 1e-2, decay_after: 0.9, seed: 1 };
+        let cfg = TrainConfig {
+            steps: 30,
+            batch: 2,
+            lr: 1e-2,
+            decay_after: 0.9,
+            seed: 1,
+        };
         let _ = train_regression(&mut m, &xs, &xs, &cfg);
         let d = model_density(&mut m);
         assert!((d - 0.5).abs() < 0.02, "density after fine-tune {d}");

@@ -62,8 +62,18 @@ impl ThroughputTarget {
     /// compute per pixel, hence the shallower model).
     pub fn ernet_config(&self) -> ErNetConfig {
         match self {
-            ThroughputTarget::Hd30 => ErNetConfig { b: 3, r: 2, n_extra: 0, width: 16 },
-            ThroughputTarget::Uhd30 => ErNetConfig { b: 1, r: 2, n_extra: 0, width: 8 },
+            ThroughputTarget::Hd30 => ErNetConfig {
+                b: 3,
+                r: 2,
+                n_extra: 0,
+                width: 16,
+            },
+            ThroughputTarget::Uhd30 => ErNetConfig {
+                b: 1,
+                r: 2,
+                n_extra: 0,
+                width: 8,
+            },
         }
     }
 }
@@ -88,8 +98,9 @@ pub fn build_model(
 
 /// Wraps an ×`factor` upscaling body with a bicubic global skip.
 pub fn with_bicubic_skip(body: Sequential, factor: usize) -> Sequential {
-    Sequential::new()
-        .with(Box::new(ringcnn_nn::layers::upsample::UpsampleResidual::new(body, factor)))
+    Sequential::new().with(Box::new(
+        ringcnn_nn::layers::upsample::UpsampleResidual::new(body, factor),
+    ))
 }
 
 #[cfg(test)]
@@ -110,8 +121,12 @@ mod tests {
     #[test]
     fn scenario_models_run() {
         let alg = Algebra::ri_fh(2);
-        let mut dn =
-            build_model(Scenario::Denoise { sigma: 25.0 }, ThroughputTarget::Uhd30, &alg, 2);
+        let mut dn = build_model(
+            Scenario::Denoise { sigma: 25.0 },
+            ThroughputTarget::Uhd30,
+            &alg,
+            2,
+        );
         let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 1);
         assert_eq!(dn.forward(&x, false).shape(), x.shape());
         let mut sr = build_model(Scenario::Sr4, ThroughputTarget::Uhd30, &alg, 2);
@@ -122,6 +137,9 @@ mod tests {
     fn labels() {
         assert_eq!(Scenario::Sr4.label(), "SR×4");
         assert_eq!(ThroughputTarget::Hd30.label(), "HD30");
-        assert!(ThroughputTarget::Uhd30.pixels_per_second() > ThroughputTarget::Hd30.pixels_per_second());
+        assert!(
+            ThroughputTarget::Uhd30.pixels_per_second()
+                > ThroughputTarget::Hd30.pixels_per_second()
+        );
     }
 }

@@ -102,7 +102,10 @@ pub fn simulate_blocked(
     let s = input.shape();
     assert_eq!(s.n, 1, "block-based flow processes one frame at a time");
     assert!(block % 4 == 0, "block size must be a multiple of 4");
-    assert!(s.h % block == 0 && s.w % block == 0, "blocks must tile the frame");
+    assert!(
+        s.h % block == 0 && s.w % block == 0,
+        "blocks must tile the frame"
+    );
     // Halo must keep pixel-shuffle parity.
     let halo = halo.next_multiple_of(4);
 
@@ -126,12 +129,25 @@ pub fn simulate_blocked(
     for by in (0..s.h).step_by(block) {
         for bx in (0..s.w).step_by(block) {
             blocks += 1;
-            let ext = extract_block(input, by as isize - halo as isize, bx as isize - halo as isize, block + 2 * halo, 0);
+            let ext = extract_block(
+                input,
+                by as isize - halo as isize,
+                bx as isize - halo as isize,
+                block + 2 * halo,
+                0,
+            );
             dram_input_bytes += (ext.shape().len()) as u64;
             // Run through the engine-accounted path.
             let q = QTensor::quantize(&ext, vec![qm.input_format(); ext.shape().c]);
             let mut max_ch = ext.shape().c as u64;
-            let qout = crate::sim::run_layers_public(qm.layers(), q, &geom, accel.n, &mut pass, &mut max_ch);
+            let qout = crate::sim::run_layers_public(
+                qm.layers(),
+                q,
+                &geom,
+                accel.n,
+                &mut pass,
+                &mut max_ch,
+            );
             let block_out = qout.dequantize();
             // Crop the center and stitch.
             let oy = halo * scale_num / scale_den;
@@ -140,8 +156,12 @@ pub fn simulate_blocked(
             for c in 0..out_shape.c {
                 for y in 0..ob {
                     for x in 0..ob {
-                        *out.at_mut(0, c, by * scale_num / scale_den + y, bx * scale_num / scale_den + x) =
-                            block_out.at(0, c, oy + y, ox + x);
+                        *out.at_mut(
+                            0,
+                            c,
+                            by * scale_num / scale_den + y,
+                            bx * scale_num / scale_den + x,
+                        ) = block_out.at(0, c, oy + y, ox + x);
                     }
                 }
             }

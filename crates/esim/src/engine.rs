@@ -26,7 +26,11 @@ pub struct EngineGeometry {
 
 impl Default for EngineGeometry {
     fn default() -> Self {
-        Self { lanes: 32, tile_h: 4, tile_w: 2 }
+        Self {
+            lanes: 32,
+            tile_h: 4,
+            tile_w: 2,
+        }
     }
 }
 
@@ -168,8 +172,10 @@ pub fn run_conv_tiled(
     pass.physical_mults = pass.cycles * per_cycle;
     pass.equivalent_mults = pass.physical_mults * n as u64;
 
-    let formats: Vec<QFormat> =
-        acc_frac.iter().map(|f| QFormat { bits: 32, frac: *f }).collect();
+    let formats: Vec<QFormat> = acc_frac
+        .iter()
+        .map(|f| QFormat { bits: 32, frac: *f })
+        .collect();
     let out = QTensor::from_raw(out_shape, acc, formats);
     let out = match conv.requant() {
         Some(f) => out.requantized(f.to_vec()),
@@ -181,8 +187,8 @@ pub fn run_conv_tiled(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ringcnn_tensor::prelude::*;
     use ringcnn_nn::prelude::*;
+    use ringcnn_tensor::prelude::*;
 
     fn quantized_conv_model(alg: &Algebra) -> (QuantizedModel, Tensor) {
         let mut model = Sequential::new()
@@ -201,7 +207,8 @@ mod tests {
             let q0 = QTensor::quantize(&calib, vec![qm.input_format(); 4]);
             // First layer must be a conv.
             if let ringcnn_quant::quantized::QLayer::Conv(c) = &qm.layers()[0] {
-                let reference = ringcnn_quant::quantized::execute_layer(&qm.layers()[0], q0.clone());
+                let reference =
+                    ringcnn_quant::quantized::execute_layer(&qm.layers()[0], q0.clone());
                 let (tiled, pass) = run_conv_tiled(c, &q0, &EngineGeometry::default(), alg.n());
                 assert_eq!(tiled, reference, "{}", alg.label());
                 assert!(pass.cycles > 0);

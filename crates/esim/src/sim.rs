@@ -53,7 +53,14 @@ pub fn simulate(
     let q = QTensor::quantize(input, vec![qm.input_format(); input.shape().c]);
     let mut pass_total = EnginePass::default();
     let mut max_channels = input.shape().c as u64;
-    let out = run_layers(qm.layers(), q, &geom, accel.n, &mut pass_total, &mut max_channels);
+    let out = run_layers(
+        qm.layers(),
+        q,
+        &geom,
+        accel.n,
+        &mut pass_total,
+        &mut max_channels,
+    );
 
     let report = layout_report(accel, tech);
     let seconds = pass_total.cycles as f64 / accel.clock_hz;
@@ -122,8 +129,7 @@ fn run_layers(
             }
             QLayer::Residual(r) => {
                 let body = run_layers(r.body(), q.clone(), geom, n, pass, max_channels);
-                let formats =
-                    ringcnn_quant::qtensor::expand_formats(r.out_formats(), q.shape().c);
+                let formats = ringcnn_quant::qtensor::expand_formats(r.out_formats(), q.shape().c);
                 body.add_saturating(&q, formats)
             }
             QLayer::UpsampleResidual(_) => {
@@ -132,12 +138,9 @@ fn run_layers(
                 // engine cycles), but run the body through the engine.
                 if let QLayer::UpsampleResidual(r) = layer {
                     let body = run_layers(r.body(), q.clone(), geom, n, pass, max_channels);
-                    let skip_f =
-                        ringcnn_imaging::degrade::upsample(&q.dequantize(), r.factor());
-                    let formats = ringcnn_quant::qtensor::expand_formats(
-                        r.out_formats(),
-                        body.shape().c,
-                    );
+                    let skip_f = ringcnn_imaging::degrade::upsample(&q.dequantize(), r.factor());
+                    let formats =
+                        ringcnn_quant::qtensor::expand_formats(r.out_formats(), body.shape().c);
                     let skip_q = QTensor::quantize(&skip_f, formats.clone());
                     body.add_saturating(&skip_q, formats)
                 } else {
@@ -207,8 +210,12 @@ mod tests {
     #[test]
     fn weights_fit_check_works() {
         let (qm, calib) = setup(&Algebra::ri_fh(2));
-        let (_, report) =
-            simulate(&qm, &calib, &AcceleratorConfig::eringcnn_n2(), &TechParams::tsmc40());
+        let (_, report) = simulate(
+            &qm,
+            &calib,
+            &AcceleratorConfig::eringcnn_n2(),
+            &TechParams::tsmc40(),
+        );
         assert!(report.weights_fit, "tiny model must fit 960 KB");
         assert!(report.memory.weight_bytes > 0);
     }

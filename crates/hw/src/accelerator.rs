@@ -212,17 +212,41 @@ mod tests {
         // Paper Table V: n2 = 33.73 mm² / 3.76 W; n4 = 23.36 mm² / 2.22 W.
         let n2 = layout_report(&AcceleratorConfig::eringcnn_n2(), &t());
         let n4 = layout_report(&AcceleratorConfig::eringcnn_n4(), &t());
-        assert!((n2.area_mm2 - 33.73).abs() / 33.73 < 0.10, "n2 area {}", n2.area_mm2);
-        assert!((n2.power_w - 3.76).abs() / 3.76 < 0.10, "n2 power {}", n2.power_w);
-        assert!((n4.area_mm2 - 23.36).abs() / 23.36 < 0.10, "n4 area {}", n4.area_mm2);
-        assert!((n4.power_w - 2.22).abs() / 2.22 < 0.12, "n4 power {}", n4.power_w);
+        assert!(
+            (n2.area_mm2 - 33.73).abs() / 33.73 < 0.10,
+            "n2 area {}",
+            n2.area_mm2
+        );
+        assert!(
+            (n2.power_w - 3.76).abs() / 3.76 < 0.10,
+            "n2 power {}",
+            n2.power_w
+        );
+        assert!(
+            (n4.area_mm2 - 23.36).abs() / 23.36 < 0.10,
+            "n4 area {}",
+            n4.area_mm2
+        );
+        assert!(
+            (n4.power_w - 2.22).abs() / 2.22 < 0.12,
+            "n4 power {}",
+            n4.power_w
+        );
     }
 
     #[test]
     fn ecnn_matches_published_numbers() {
         let e = layout_report(&AcceleratorConfig::ecnn(), &t());
-        assert!((e.area_mm2 - 55.23).abs() / 55.23 < 0.10, "area {}", e.area_mm2);
-        assert!((e.power_w - 6.94).abs() / 6.94 < 0.10, "power {}", e.power_w);
+        assert!(
+            (e.area_mm2 - 55.23).abs() / 55.23 < 0.10,
+            "area {}",
+            e.area_mm2
+        );
+        assert!(
+            (e.power_w - 6.94).abs() / 6.94 < 0.10,
+            "power {}",
+            e.power_w
+        );
         assert!((e.tops_equivalent - 40.96).abs() < 0.1);
     }
 
@@ -232,10 +256,26 @@ mod tests {
         //        n4 engines 3.77×/3.84×, chip 2.36×/3.12×.
         let n2 = efficiency_vs_ecnn(&AcceleratorConfig::eringcnn_n2(), &t());
         let n4 = efficiency_vs_ecnn(&AcceleratorConfig::eringcnn_n4(), &t());
-        assert!((1.85..=2.25).contains(&n2.engine_area), "n2 engine area {}", n2.engine_area);
-        assert!((1.8..=2.2).contains(&n2.engine_energy), "n2 engine energy {}", n2.engine_energy);
-        assert!((3.4..=4.1).contains(&n4.engine_area), "n4 engine area {}", n4.engine_area);
-        assert!((3.4..=4.2).contains(&n4.engine_energy), "n4 engine energy {}", n4.engine_energy);
+        assert!(
+            (1.85..=2.25).contains(&n2.engine_area),
+            "n2 engine area {}",
+            n2.engine_area
+        );
+        assert!(
+            (1.8..=2.2).contains(&n2.engine_energy),
+            "n2 engine energy {}",
+            n2.engine_energy
+        );
+        assert!(
+            (3.4..=4.1).contains(&n4.engine_area),
+            "n4 engine area {}",
+            n4.engine_area
+        );
+        assert!(
+            (3.4..=4.2).contains(&n4.engine_energy),
+            "n4 engine energy {}",
+            n4.engine_energy
+        );
         // Whole-chip gains are smaller than engine gains (fixed overheads).
         assert!(n2.chip_area < n2.engine_area);
         assert!(n2.chip_energy < n2.engine_energy);
@@ -248,8 +288,14 @@ mod tests {
     #[test]
     fn physical_multiplier_counts() {
         assert_eq!(AcceleratorConfig::ecnn().physical_multipliers(), 81920);
-        assert_eq!(AcceleratorConfig::eringcnn_n2().physical_multipliers(), 40960);
-        assert_eq!(AcceleratorConfig::eringcnn_n4().physical_multipliers(), 20480);
+        assert_eq!(
+            AcceleratorConfig::eringcnn_n2().physical_multipliers(),
+            40960
+        );
+        assert_eq!(
+            AcceleratorConfig::eringcnn_n4().physical_multipliers(),
+            20480
+        );
     }
 
     #[test]
@@ -285,8 +331,14 @@ mod tests {
             - with(RingKind::Ri(4), Nonlinearity::None)
                 / with(RingKind::Ri(4), Nonlinearity::DirectionalH);
         assert!(n4_frac > n2_frac, "n4 {n4_frac} vs n2 {n2_frac}");
-        assert!((0.01..=0.07).contains(&n2_frac), "n2 drelu fraction {n2_frac}");
-        assert!((0.04..=0.14).contains(&n4_frac), "n4 drelu fraction {n4_frac}");
+        assert!(
+            (0.01..=0.07).contains(&n2_frac),
+            "n2 drelu fraction {n2_frac}"
+        );
+        assert!(
+            (0.04..=0.14).contains(&n4_frac),
+            "n4 drelu fraction {n4_frac}"
+        );
     }
 
     #[test]

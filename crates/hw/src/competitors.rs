@@ -78,7 +78,10 @@ pub fn table8(t: &TechParams) -> Vec<SparsityAcceleratorRow> {
             provenance: "MICRO'17 [13], as cited in RingCNN §VI-C".into(),
         },
     ];
-    for cfg in [AcceleratorConfig::eringcnn_n2(), AcceleratorConfig::eringcnn_n4()] {
+    for cfg in [
+        AcceleratorConfig::eringcnn_n2(),
+        AcceleratorConfig::eringcnn_n4(),
+    ] {
         // Synthesis-level comparison: conv engines dominate; use engine
         // power as the synthesis proxy (the paper compares synthesis
         // results because competitors only report those).
@@ -194,7 +197,10 @@ mod tests {
         let n4 = rows.iter().find(|r| r.name.contains("n4")).unwrap();
         let ratio = n4.efficiency_vs_diffy / n2.efficiency_vs_diffy;
         let want = published::VS_DIFFY.1 / published::VS_DIFFY.0;
-        assert!((ratio / want - 1.0).abs() < 0.15, "ratio {ratio} vs paper {want}");
+        assert!(
+            (ratio / want - 1.0).abs() < 0.15,
+            "ratio {ratio} vs paper {want}"
+        );
         // The n2 row is the anchor by construction.
         assert!((n2.efficiency_vs_diffy - published::VS_DIFFY.0).abs() < 1e-9);
     }

@@ -63,7 +63,10 @@ pub fn quality_energy_curve(
 /// Scales a configuration's clock (Table VII runs at 167 MHz); power in
 /// this model scales linearly with frequency.
 pub fn at_clock(cfg: &AcceleratorConfig, clock_hz: f64) -> AcceleratorConfig {
-    AcceleratorConfig { clock_hz, ..cfg.clone() }
+    AcceleratorConfig {
+        clock_hz,
+        ..cfg.clone()
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +123,10 @@ mod tests {
         // affordable model is ~82k equivalent mults/pixel.
         let cfg = AcceleratorConfig::eringcnn_n4();
         let p = operating_point(&cfg, 82_000.0, &t());
-        assert!(p.pixels_per_second > 3840.0 * 2160.0 * 30.0, "{}", p.pixels_per_second);
+        assert!(
+            p.pixels_per_second > 3840.0 * 2160.0 * 30.0,
+            "{}",
+            p.pixels_per_second
+        );
     }
 }

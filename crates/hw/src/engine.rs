@@ -59,8 +59,7 @@ pub fn estimate_engine(
     //  - Tg once per weight load (negligible at inference, excluded).
     let tx_adds = adds_of(ring.fast().tx().as_slice(), m, n);
     let tz_adds = adds_of(ring.fast().tz().as_slice(), n, m);
-    let transform_adders =
-        (tuples * ENGINE_TILE_PIXELS) as f64 * (tx_adds + tz_adds) as f64;
+    let transform_adders = (tuples * ENGINE_TILE_PIXELS) as f64 * (tx_adds + tz_adds) as f64;
     area += transform_adders * t.adder_area_per_bit * f64::from(wx.max(ACC_BITS));
     power += transform_adders * t.adder_power_per_bit * f64::from(wx.max(ACC_BITS));
 
@@ -69,7 +68,11 @@ pub fn estimate_engine(
     // shifters, pipeline registers between the three stages, and n
     // saturating rounders — internal width up to 33 bits (ACC + log2 n
     // butterfly growth + 5 bits of Q-format alignment).
-    if matches!(nonlinearity, Nonlinearity::DirectionalH | Nonlinearity::DirectionalO4) && n > 1 {
+    if matches!(
+        nonlinearity,
+        Nonlinearity::DirectionalH | Nonlinearity::DirectionalO4
+    ) && n > 1
+    {
         let units = (tuples * ENGINE_TILE_PIXELS) as f64;
         let butterfly_adders = (2 * n) as f64 * (n as f64).log2().ceil();
         let wb = f64::from(ACC_BITS) + (n as f64).log2() + 5.0;
@@ -113,7 +116,12 @@ fn adds_of(mat: &[f64], rows: usize, cols: usize) -> usize {
 /// the real engine.
 pub fn fig12_engines(w: u32) -> Vec<EngineEstimate> {
     let t = TechParams::tsmc40();
-    let real = estimate_engine(&Ring::from_kind(RingKind::Ri(1)), Nonlinearity::ComponentWise, w, &t);
+    let real = estimate_engine(
+        &Ring::from_kind(RingKind::Ri(1)),
+        Nonlinearity::ComponentWise,
+        w,
+        &t,
+    );
     let mut out = Vec::new();
     let mut push = |kind: RingKind, nl: Nonlinearity| {
         let mut e = estimate_engine(&Ring::from_kind(kind), nl, w, &t);
@@ -152,7 +160,12 @@ mod tests {
         // §VI-A / Fig. 12: (RI, fH) provides the smallest area among the
         // same-n rings despite the directional-ReLU block.
         let ri4 = eff(RingKind::Ri(4), Nonlinearity::DirectionalH);
-        for kind in [RingKind::Rh(4), RingKind::Ro4, RingKind::Rh4I, RingKind::Rh4II] {
+        for kind in [
+            RingKind::Rh(4),
+            RingKind::Ro4,
+            RingKind::Rh4I,
+            RingKind::Rh4II,
+        ] {
             assert!(
                 ri4 > eff(kind, Nonlinearity::ComponentWise),
                 "(RI4,fH) must beat {kind:?}"
@@ -181,21 +194,39 @@ mod tests {
         let rh4 = eff(RingKind::Rh(4), Nonlinearity::ComponentWise);
         let vs_circnn = ri4 / rh4i;
         let vs_hadanet = ri4 / rh4;
-        assert!((1.4..=2.2).contains(&vs_circnn), "vs CirCNN-alike {vs_circnn}");
-        assert!((1.2..=1.9).contains(&vs_hadanet), "vs HadaNet-alike {vs_hadanet}");
+        assert!(
+            (1.4..=2.2).contains(&vs_circnn),
+            "vs CirCNN-alike {vs_circnn}"
+        );
+        assert!(
+            (1.2..=1.9).contains(&vs_hadanet),
+            "vs HadaNet-alike {vs_hadanet}"
+        );
     }
 
     #[test]
     fn multiplier_counts_scale_with_m() {
         let t = TechParams::tsmc40();
-        let real =
-            estimate_engine(&Ring::from_kind(RingKind::Ri(1)), Nonlinearity::ComponentWise, 8, &t);
+        let real = estimate_engine(
+            &Ring::from_kind(RingKind::Ri(1)),
+            Nonlinearity::ComponentWise,
+            8,
+            &t,
+        );
         assert_eq!(real.multipliers, 32 * 32 * 9 * 8);
-        let ri4 =
-            estimate_engine(&Ring::from_kind(RingKind::Ri(4)), Nonlinearity::DirectionalH, 8, &t);
+        let ri4 = estimate_engine(
+            &Ring::from_kind(RingKind::Ri(4)),
+            Nonlinearity::DirectionalH,
+            8,
+            &t,
+        );
         assert_eq!(ri4.multipliers, real.multipliers / 4);
-        let circ =
-            estimate_engine(&Ring::from_kind(RingKind::Rh4I), Nonlinearity::ComponentWise, 8, &t);
+        let circ = estimate_engine(
+            &Ring::from_kind(RingKind::Rh4I),
+            Nonlinearity::ComponentWise,
+            8,
+            &t,
+        );
         assert_eq!(circ.multipliers, 8 * 8 * 5 * 9 * 8);
     }
 

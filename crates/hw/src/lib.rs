@@ -27,8 +27,8 @@ pub mod sweep;
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::accelerator::{
-        dram_bandwidth_gbs, efficiency_vs_ecnn, layout_report, AcceleratorConfig,
-        EfficiencyVsEcnn, LayoutReport,
+        dram_bandwidth_gbs, efficiency_vs_ecnn, layout_report, AcceleratorConfig, EfficiencyVsEcnn,
+        LayoutReport,
     };
     pub use crate::competitors::{table7, table8, DiffyComparisonRow, SparsityAcceleratorRow};
     pub use crate::energy::{at_clock, operating_point, quality_energy_curve, EnergyPoint};

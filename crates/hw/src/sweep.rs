@@ -33,9 +33,15 @@ pub struct SweepPoint {
 /// (weight memory scales as `1/n` from the eCNN 1280 KB with the paper's
 /// 1.5× no-compression margin).
 pub fn config_for(n: usize, clock_hz: f64) -> AcceleratorConfig {
-    assert!(n.is_power_of_two() && n <= 32, "n must be a power of two ≤ 32");
+    assert!(
+        n.is_power_of_two() && n <= 32,
+        "n must be a power of two ≤ 32"
+    );
     if n == 1 {
-        return AcceleratorConfig { clock_hz, ..AcceleratorConfig::ecnn() };
+        return AcceleratorConfig {
+            clock_hz,
+            ..AcceleratorConfig::ecnn()
+        };
     }
     AcceleratorConfig {
         name: format!("eRingCNN-n{n}"),

@@ -193,8 +193,14 @@ mod tests {
     #[test]
     fn noise_is_deterministic_per_seed() {
         let clean = Tensor::full(Shape4::new(1, 1, 8, 8), 0.5);
-        assert_eq!(add_gaussian_noise(&clean, 15.0, 3), add_gaussian_noise(&clean, 15.0, 3));
-        assert_ne!(add_gaussian_noise(&clean, 15.0, 3), add_gaussian_noise(&clean, 15.0, 4));
+        assert_eq!(
+            add_gaussian_noise(&clean, 15.0, 3),
+            add_gaussian_noise(&clean, 15.0, 3)
+        );
+        assert_ne!(
+            add_gaussian_noise(&clean, 15.0, 3),
+            add_gaussian_noise(&clean, 15.0, 4)
+        );
     }
 
     #[test]

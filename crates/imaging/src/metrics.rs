@@ -108,7 +108,8 @@ mod tests {
 
     #[test]
     fn psnr_orders_by_noise_level() {
-        let clean = crate::synthetic::generate(crate::synthetic::PatternKind::ValueNoise, 32, 32, 5);
+        let clean =
+            crate::synthetic::generate(crate::synthetic::PatternKind::ValueNoise, 32, 32, 5);
         let n10 = crate::degrade::add_gaussian_noise(&clean, 10.0, 1);
         let n50 = crate::degrade::add_gaussian_noise(&clean, 50.0, 1);
         assert!(psnr(&clean, &n10) > psnr(&clean, &n50));

@@ -132,9 +132,8 @@ fn gradient(img: &mut [f32], h: usize, w: usize, rng: &mut ChaCha8Rng) {
         for x in 0..w {
             let dx = (x as f32 - cx) * scale;
             let dy = (y as f32 - cy) * scale;
-            img[y * w + x] += gx * x as f32 * scale
-                + gy * y as f32 * scale
-                + radial * (dx * dx + dy * dy).sqrt();
+            img[y * w + x] +=
+                gx * x as f32 * scale + gy * y as f32 * scale + radial * (dx * dx + dy * dy).sqrt();
         }
     }
 }
@@ -207,10 +206,11 @@ impl DatasetProfile {
         let all = PatternKind::all();
         match self {
             // Urban is edge/checker heavy; others cycle through all kinds.
-            DatasetProfile::Urban => {
-                [PatternKind::Edges, PatternKind::Checker, PatternKind::OrientedTexture]
-                    [index % 3]
-            }
+            DatasetProfile::Urban => [
+                PatternKind::Edges,
+                PatternKind::Checker,
+                PatternKind::OrientedTexture,
+            ][index % 3],
             _ => all[index % all.len()],
         }
     }
@@ -219,7 +219,14 @@ impl DatasetProfile {
 /// Generates a stacked `[count, 1, size, size]` dataset for a profile.
 pub fn dataset(profile: DatasetProfile, size: usize, count: usize) -> Tensor {
     let items: Vec<Tensor> = (0..count)
-        .map(|i| generate(profile.kind_for(i), size, size, profile.seed() + i as u64 * 7919))
+        .map(|i| {
+            generate(
+                profile.kind_for(i),
+                size,
+                size,
+                profile.seed() + i as u64 * 7919,
+            )
+        })
         .collect();
     Tensor::stack_batches(&items)
 }
@@ -233,7 +240,10 @@ mod tests {
         for kind in PatternKind::all() {
             let img = generate(kind, 16, 16, 3);
             let lo = img.as_slice().iter().fold(f32::INFINITY, |m, v| m.min(*v));
-            let hi = img.as_slice().iter().fold(f32::NEG_INFINITY, |m, v| m.max(*v));
+            let hi = img
+                .as_slice()
+                .iter()
+                .fold(f32::NEG_INFINITY, |m, v| m.max(*v));
             assert!(lo >= 0.0 && hi <= 1.0, "{kind:?} range [{lo}, {hi}]");
             assert!(hi - lo > 0.5, "{kind:?} should use the dynamic range");
         }
@@ -265,7 +275,11 @@ mod tests {
     fn images_within_dataset_differ() {
         let d = dataset(DatasetProfile::Train, 8, 10);
         for i in 1..10 {
-            assert_ne!(d.batch_item(0), d.batch_item(i), "item {i} duplicates item 0");
+            assert_ne!(
+                d.batch_item(0),
+                d.batch_item(i),
+                "item {i} duplicates item 0"
+            );
         }
     }
 }

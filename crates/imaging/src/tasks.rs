@@ -20,7 +20,10 @@ pub struct PairedSet {
 pub fn denoising_set(profile: DatasetProfile, size: usize, count: usize, sigma: f64) -> PairedSet {
     let clean = dataset(profile, size, count);
     let noisy = add_gaussian_noise(&clean, sigma, profile.seed() ^ 0xD0D0);
-    PairedSet { inputs: noisy, targets: clean }
+    PairedSet {
+        inputs: noisy,
+        targets: clean,
+    }
 }
 
 /// Builds a ×4 super-resolution set: `inputs` are bicubic-downsampled,
@@ -33,7 +36,10 @@ pub fn sr4_set(profile: DatasetProfile, size: usize, count: usize) -> PairedSet 
     assert_eq!(size % 4, 0, "HR size must divide by 4");
     let hr = dataset(profile, size, count);
     let lr = downsample(&hr, 4);
-    PairedSet { inputs: lr, targets: hr }
+    PairedSet {
+        inputs: lr,
+        targets: hr,
+    }
 }
 
 /// A labelled classification set of procedural patterns (the CIFAR-100

@@ -25,7 +25,11 @@ pub struct Algebra {
 impl Algebra {
     /// Builds an algebra from a ring kind and non-linearity.
     pub fn new(kind: RingKind, nonlinearity: Nonlinearity) -> Self {
-        Self { ring: Ring::from_kind(kind), nonlinearity, backend: None }
+        Self {
+            ring: Ring::from_kind(kind),
+            nonlinearity,
+            backend: None,
+        }
     }
 
     /// Pins the convolution backend for every layer this algebra builds
@@ -39,7 +43,8 @@ impl Algebra {
     /// The effective convolution backend for this algebra's ring convs:
     /// the pinned one, or the automatic per-ring choice.
     pub fn conv_backend(&self) -> ConvBackend {
-        self.backend.unwrap_or_else(|| ConvBackend::auto_for(&self.ring))
+        self.backend
+            .unwrap_or_else(|| ConvBackend::auto_for(&self.ring))
     }
 
     /// The real field with the ordinary ReLU (the baseline CNN algebra).

@@ -78,7 +78,11 @@ impl ConvBackend {
 
     /// All three backends, in documentation order.
     pub fn all() -> [ConvBackend; 3] {
-        [ConvBackend::Naive, ConvBackend::Im2col, ConvBackend::Transform]
+        [
+            ConvBackend::Naive,
+            ConvBackend::Im2col,
+            ConvBackend::Transform,
+        ]
     }
 
     /// Short lowercase label (bench/report identifier).
@@ -105,8 +109,16 @@ mod tests {
     #[test]
     fn auto_selection_per_ring() {
         // Diagonal / real: no transform to exploit.
-        for kind in [RingKind::Ri(1), RingKind::Ri(2), RingKind::Ri(4), RingKind::Ri(8)] {
-            assert_eq!(ConvBackend::auto_for(&Ring::from_kind(kind)), ConvBackend::Im2col);
+        for kind in [
+            RingKind::Ri(1),
+            RingKind::Ri(2),
+            RingKind::Ri(4),
+            RingKind::Ri(8),
+        ] {
+            assert_eq!(
+                ConvBackend::auto_for(&Ring::from_kind(kind)),
+                ConvBackend::Im2col
+            );
         }
         // Proper rings with m < n²: transform engine.
         for kind in [

@@ -2,7 +2,6 @@
 //! input pixel*, correctly weighting layers that run at rescaled
 //! resolutions (after pixel shuffle/unshuffle).
 
-
 use crate::layers::structure::Sequential;
 
 /// Counts the real multiplications each input pixel of the network costs,
@@ -66,7 +65,10 @@ mod tests {
         let mut a = Sequential::new().with(real.conv(8, 8, 3, 1));
         let mut b = Sequential::new().with(ring.conv(8, 8, 3, 1));
         let ratio = mults_per_input_pixel(&mut a) / mults_per_input_pixel(&mut b);
-        assert!((ratio - 4.0).abs() < 1e-9, "RI4 gives 4x fewer mults, got {ratio}");
+        assert!(
+            (ratio - 4.0).abs() < 1e-9,
+            "RI4 gives 4x fewer mults, got {ratio}"
+        );
     }
 
     #[test]

@@ -24,12 +24,41 @@ pub struct ParamGroup<'a> {
 /// Layers own their parameters and gradient buffers. `forward` with
 /// `train = true` must cache activations needed by `backward`; with
 /// `train = false` caches may be skipped (inference mode).
-pub trait Layer: Send {
+///
+/// Layers are `Sync` so one prepared model can serve concurrent
+/// inference forwards: [`Layer::forward_infer`] runs through `&self` and
+/// is what the tile-parallel runtime (`crate::runtime`) fans out across
+/// the thread pool.
+pub trait Layer: Send + Sync {
     /// Short human-readable layer descriptor (e.g. `conv3x3(16->32)`).
     fn name(&self) -> String;
 
     /// Computes the layer output.
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Inference forward through shared state: computes exactly
+    /// `forward(input, false)` without mutating the layer, so many
+    /// threads can run it on the same model concurrently.
+    ///
+    /// Layers with cached inference kernels (e.g. the transform-domain
+    /// plan of a ring convolution) use the cache when present and
+    /// otherwise rebuild it *locally per call* — correct but slower.
+    /// Call [`Layer::prepare_inference`] once before fanning out to pay
+    /// the build exactly once.
+    fn forward_infer(&self, input: &Tensor) -> Tensor;
+
+    /// Pre-builds every cached inference kernel (transform plans, weight
+    /// expansions) so subsequent [`Layer::forward_infer`] calls never
+    /// rebuild state. Default: nothing to prepare.
+    fn prepare_inference(&mut self) {}
+
+    /// Spatial radius this layer reads around each output pixel, in this
+    /// layer's *own input* resolution (`⌊k/2⌋` for a `k×k` convolution,
+    /// 0 for pointwise layers). The runtime composes these through
+    /// shuffles into a whole-model receptive radius.
+    fn kernel_radius(&self) -> usize {
+        0
+    }
 
     /// Consumes cached activations, accumulates parameter gradients, and
     /// returns the gradient w.r.t. the input.
@@ -102,11 +131,17 @@ mod tests {
         fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
             input.clone()
         }
+        fn forward_infer(&self, input: &Tensor) -> Tensor {
+            input.clone()
+        }
         fn backward(&mut self, dout: &Tensor) -> Tensor {
             dout.clone()
         }
         fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamGroup<'_>)) {
-            visitor(ParamGroup { values: &mut self.w, grads: &mut self.g });
+            visitor(ParamGroup {
+                values: &mut self.w,
+                grads: &mut self.g,
+            });
         }
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
@@ -115,7 +150,10 @@ mod tests {
 
     #[test]
     fn default_helpers_work() {
-        let mut d = Dummy { w: vec![1.0; 5], g: vec![2.0; 5] };
+        let mut d = Dummy {
+            w: vec![1.0; 5],
+            g: vec![2.0; 5],
+        };
         assert_eq!(d.num_params(), 5);
         d.zero_grads();
         assert!(d.g.iter().all(|v| *v == 0.0));

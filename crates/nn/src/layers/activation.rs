@@ -30,13 +30,20 @@ impl Layer for Relu {
         if train {
             self.cached_input = Some(input.clone());
         }
+        self.forward_infer(input)
+    }
+
+    fn forward_infer(&self, input: &T) -> T {
         let mut out = input.clone();
         out.map_inplace(|v| v.max(0.0));
         out
     }
 
     fn backward(&mut self, dout: &T) -> T {
-        let input = self.cached_input.take().expect("backward without training forward");
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward without training forward");
         let mut d = dout.clone();
         for (g, x) in d.as_mut_slice().iter_mut().zip(input.as_slice()) {
             if *x <= 0.0 {
@@ -65,7 +72,11 @@ impl DirectionalReluLayer {
     /// Creates a directional ReLU from an explicit instance.
     pub fn new(f: DirectionalRelu) -> Self {
         let n = f.n();
-        Self { f, n, cached_hidden: None }
+        Self {
+            f,
+            n,
+            cached_hidden: None,
+        }
     }
 
     /// `fH` over `n`-tuples.
@@ -90,12 +101,21 @@ impl Layer for DirectionalReluLayer {
     }
 
     fn forward(&mut self, input: &T, train: bool) -> T {
+        if !train {
+            return self.forward_infer(input);
+        }
         let s = input.shape();
-        assert_eq!(s.c % self.n, 0, "channels {} not a multiple of tuple size {}", s.c, self.n);
+        assert_eq!(
+            s.c % self.n,
+            0,
+            "channels {} not a multiple of tuple size {}",
+            s.c,
+            self.n
+        );
         let tuples = s.c / self.n;
         let plane = s.plane();
         let mut out = input.clone();
-        let mut hidden = if train { Some(T::zeros(s)) } else { None };
+        let mut hidden = T::zeros(s);
         let mut y = vec![0.0f32; self.n];
         let mut h = vec![0.0f32; self.n];
         for b in 0..s.n {
@@ -104,28 +124,52 @@ impl Layer for DirectionalReluLayer {
                     for l in 0..self.n {
                         y[l] = out.plane(b, t * self.n + l)[p];
                     }
-                    if let Some(hid) = hidden.as_mut() {
-                        self.f.forward_with_hidden(&mut y, &mut h);
-                        for l in 0..self.n {
-                            hid.plane_mut(b, t * self.n + l)[p] = h[l];
-                        }
-                    } else {
-                        self.f.forward(&mut y);
+                    self.f.forward_with_hidden(&mut y, &mut h);
+                    for l in 0..self.n {
+                        hidden.plane_mut(b, t * self.n + l)[p] = h[l];
+                        out.plane_mut(b, t * self.n + l)[p] = y[l];
                     }
+                }
+            }
+        }
+        self.cached_hidden = Some(hidden);
+        out
+    }
+
+    fn forward_infer(&self, input: &T) -> T {
+        let s = input.shape();
+        assert_eq!(
+            s.c % self.n,
+            0,
+            "channels {} not a multiple of tuple size {}",
+            s.c,
+            self.n
+        );
+        let tuples = s.c / self.n;
+        let plane = s.plane();
+        let mut out = input.clone();
+        let mut y = vec![0.0f32; self.n];
+        for b in 0..s.n {
+            for t in 0..tuples {
+                for p in 0..plane {
+                    for l in 0..self.n {
+                        y[l] = out.plane(b, t * self.n + l)[p];
+                    }
+                    self.f.forward(&mut y);
                     for l in 0..self.n {
                         out.plane_mut(b, t * self.n + l)[p] = y[l];
                     }
                 }
             }
         }
-        if let Some(hid) = hidden {
-            self.cached_hidden = Some(hid);
-        }
         out
     }
 
     fn backward(&mut self, dout: &T) -> T {
-        let hidden = self.cached_hidden.take().expect("backward without training forward");
+        let hidden = self
+            .cached_hidden
+            .take()
+            .expect("backward without training forward");
         let s = dout.shape();
         let tuples = s.c / self.n;
         let plane = s.plane();
@@ -238,11 +282,15 @@ mod tests {
         let ring = Ring::from_kind(RingKind::Ri(4));
         assert!(activation_for(&ring, Nonlinearity::None).is_none());
         assert_eq!(
-            activation_for(&ring, Nonlinearity::ComponentWise).unwrap().name(),
+            activation_for(&ring, Nonlinearity::ComponentWise)
+                .unwrap()
+                .name(),
             "relu"
         );
         assert_eq!(
-            activation_for(&ring, Nonlinearity::DirectionalH).unwrap().name(),
+            activation_for(&ring, Nonlinearity::DirectionalH)
+                .unwrap()
+                .name(),
             "drelu[n=4]"
         );
     }

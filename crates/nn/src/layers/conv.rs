@@ -127,7 +127,12 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn name(&self) -> String {
-        format!("conv{k}x{k}({ci}->{co})", k = self.weights.k, ci = self.weights.ci, co = self.weights.co)
+        format!(
+            "conv{k}x{k}({ci}->{co})",
+            k = self.weights.k,
+            ci = self.weights.ci,
+            co = self.weights.co
+        )
     }
 
     fn forward(&mut self, input: &T, train: bool) -> T {
@@ -137,6 +142,10 @@ impl Layer for Conv2d {
             self.cached_input = Some(input.clone());
             return conv2d_forward(input, &self.weights, &self.bias);
         }
+        self.forward_infer(input)
+    }
+
+    fn forward_infer(&self, input: &T) -> T {
         match self.backend {
             ConvBackend::Naive => conv2d_forward(input, &self.weights, &self.bias),
             ConvBackend::Im2col | ConvBackend::Transform => {
@@ -145,8 +154,15 @@ impl Layer for Conv2d {
         }
     }
 
+    fn kernel_radius(&self) -> usize {
+        self.weights.k / 2
+    }
+
     fn backward(&mut self, dout: &T) -> T {
-        let input = self.cached_input.take().expect("backward without training forward");
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward without training forward");
         let (mut dw, db) = conv2d_backward_weight(&input, dout, self.weights.k);
         if let Some(mask) = &self.mask {
             for (g, m) in dw.data.iter_mut().zip(mask) {
@@ -163,8 +179,14 @@ impl Layer for Conv2d {
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamGroup<'_>)) {
-        visitor(ParamGroup { values: &mut self.weights.data, grads: &mut self.dweights.data });
-        visitor(ParamGroup { values: &mut self.bias, grads: &mut self.dbias });
+        visitor(ParamGroup {
+            values: &mut self.weights.data,
+            grads: &mut self.dweights.data,
+        });
+        visitor(ParamGroup {
+            values: &mut self.bias,
+            grads: &mut self.dbias,
+        });
     }
 
     fn mults_per_pixel(&self) -> f64 {
@@ -174,7 +196,12 @@ impl Layer for Conv2d {
     }
 
     fn out_channels(&self, in_channels: usize) -> usize {
-        assert_eq!(in_channels, self.weights.ci, "channel mismatch in {}", self.name());
+        assert_eq!(
+            in_channels,
+            self.weights.ci,
+            "channel mismatch in {}",
+            self.name()
+        );
         self.weights.co
     }
 
@@ -236,14 +263,19 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn forward(&mut self, input: &T, train: bool) -> T {
+        if train {
+            assert_eq!(input.shape().c, self.channels, "channel mismatch");
+            self.cached_input = Some(input.clone());
+            return conv2d_forward(input, &self.block_diagonal_weights(), &self.bias);
+        }
+        self.forward_infer(input)
+    }
+
+    fn forward_infer(&self, input: &T) -> T {
         assert_eq!(input.shape().c, self.channels, "channel mismatch");
         // Lower onto a grouped conv by building a block-diagonal weight —
         // simple and reuses the tested kernels; channels are tiny here.
         let w = self.block_diagonal_weights();
-        if train {
-            self.cached_input = Some(input.clone());
-            return conv2d_forward(input, &w, &self.bias);
-        }
         match self.backend {
             ConvBackend::Naive => conv2d_forward(input, &w, &self.bias),
             ConvBackend::Im2col | ConvBackend::Transform => {
@@ -252,8 +284,15 @@ impl Layer for DepthwiseConv2d {
         }
     }
 
+    fn kernel_radius(&self) -> usize {
+        self.k / 2
+    }
+
     fn backward(&mut self, dout: &T) -> T {
-        let input = self.cached_input.take().expect("backward without training forward");
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward without training forward");
         let w = self.block_diagonal_weights();
         let (dw, db) = conv2d_backward_weight(&input, dout, self.k);
         for c in 0..self.channels {
@@ -267,8 +306,14 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamGroup<'_>)) {
-        visitor(ParamGroup { values: &mut self.weights, grads: &mut self.dweights });
-        visitor(ParamGroup { values: &mut self.bias, grads: &mut self.dbias });
+        visitor(ParamGroup {
+            values: &mut self.weights,
+            grads: &mut self.dweights,
+        });
+        visitor(ParamGroup {
+            values: &mut self.bias,
+            grads: &mut self.dbias,
+        });
     }
 
     fn mults_per_pixel(&self) -> f64 {
@@ -358,7 +403,11 @@ mod tests {
         let naive = conv.forward(&x, false);
         for backend in [ConvBackend::Im2col, ConvBackend::Transform] {
             conv.set_backend(backend);
-            assert_eq!(conv.forward(&x, false).as_slice(), naive.as_slice(), "{backend}");
+            assert_eq!(
+                conv.forward(&x, false).as_slice(),
+                naive.as_slice(),
+                "{backend}"
+            );
         }
     }
 

@@ -26,10 +26,14 @@ impl Layer for GlobalAvgPool {
     }
 
     fn forward(&mut self, input: &T, train: bool) -> T {
-        let s = input.shape();
         if train {
-            self.cached_shape = Some(s);
+            self.cached_shape = Some(input.shape());
         }
+        self.forward_infer(input)
+    }
+
+    fn forward_infer(&self, input: &T) -> T {
+        let s = input.shape();
         let mut out = T::zeros(Shape4::new(s.n, s.c, 1, 1));
         let inv = 1.0 / s.plane() as f32;
         for b in 0..s.n {
@@ -41,7 +45,10 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, dout: &T) -> T {
-        let s = self.cached_shape.take().expect("backward without training forward");
+        let s = self
+            .cached_shape
+            .take()
+            .expect("backward without training forward");
         let mut din = T::zeros(s);
         let inv = 1.0 / s.plane() as f32;
         for b in 0..s.n {
@@ -96,11 +103,20 @@ impl Layer for Dense {
     }
 
     fn forward(&mut self, input: &T, train: bool) -> T {
-        let s = input.shape();
-        assert_eq!((s.c, s.h, s.w), (self.ci, 1, 1), "dense expects [N,{},1,1]", self.ci);
         if train {
             self.cached_input = Some(input.clone());
         }
+        self.forward_infer(input)
+    }
+
+    fn forward_infer(&self, input: &T) -> T {
+        let s = input.shape();
+        assert_eq!(
+            (s.c, s.h, s.w),
+            (self.ci, 1, 1),
+            "dense expects [N,{},1,1]",
+            self.ci
+        );
         let mut out = T::zeros(Shape4::new(s.n, self.co, 1, 1));
         for b in 0..s.n {
             for o in 0..self.co {
@@ -115,7 +131,10 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, dout: &T) -> T {
-        let input = self.cached_input.take().expect("backward without training forward");
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward without training forward");
         let s = input.shape();
         let mut din = T::zeros(s);
         for b in 0..s.n {
@@ -132,8 +151,14 @@ impl Layer for Dense {
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamGroup<'_>)) {
-        visitor(ParamGroup { values: &mut self.weights, grads: &mut self.dweights });
-        visitor(ParamGroup { values: &mut self.bias, grads: &mut self.dbias });
+        visitor(ParamGroup {
+            values: &mut self.weights,
+            grads: &mut self.dweights,
+        });
+        visitor(ParamGroup {
+            values: &mut self.bias,
+            grads: &mut self.dbias,
+        });
     }
 
     fn mults_per_pixel(&self) -> f64 {
@@ -157,7 +182,10 @@ mod tests {
     #[test]
     fn pool_averages_planes() {
         let mut p = GlobalAvgPool::new();
-        let x = T::from_vec(Shape4::new(1, 2, 2, 2), vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
+        let x = T::from_vec(
+            Shape4::new(1, 2, 2, 2),
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+        );
         let y = p.forward(&x, true);
         assert_eq!(y.as_slice(), &[2.5, 10.0]);
         let d = p.backward(&T::from_vec(Shape4::new(1, 2, 1, 1), vec![4.0, 8.0]));

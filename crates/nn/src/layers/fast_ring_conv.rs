@@ -62,7 +62,11 @@ impl FastRingConv {
     ) -> Self {
         let n = ring.n();
         let m = ring.fast().m();
-        assert_eq!(ring_weights.len(), co_t * ci_t * k * k * n, "ring weight length mismatch");
+        assert_eq!(
+            ring_weights.len(),
+            co_t * ci_t * k * k * n,
+            "ring weight length mismatch"
+        );
         assert_eq!(bias.len(), co_t * n, "bias length mismatch");
         let (tgm, txm, tzm) = (ring.fast().tg(), ring.fast().tx(), ring.fast().tz());
 
@@ -95,7 +99,17 @@ impl FastRingConv {
             }
         }
 
-        Self { n, m, ci_t, co_t, k, tx, tz, comp_weights, bias: bias.to_vec() }
+        Self {
+            n,
+            m,
+            ci_t,
+            co_t,
+            k,
+            tx,
+            tz,
+            comp_weights,
+            bias: bias.to_vec(),
+        }
     }
 
     /// Number of real multiplications per ring MAC (`m`).
@@ -190,7 +204,12 @@ mod tests {
 
     #[test]
     fn plan_matches_naive_lowering() {
-        for kind in [RingKind::Rh(2), RingKind::Complex, RingKind::Rh(4), RingKind::Rh4I] {
+        for kind in [
+            RingKind::Rh(2),
+            RingKind::Complex,
+            RingKind::Rh(4),
+            RingKind::Rh4I,
+        ] {
             let ring = Ring::from_kind(kind);
             let n = ring.n();
             let mut layer = RingConv2d::new(ring.clone(), 2 * n, 2 * n, 3, 17);
@@ -199,8 +218,7 @@ mod tests {
             }
             let x = Tensor::random_uniform(Shape4::new(2, 2 * n, 5, 4), -1.0, 1.0, 18);
             let reference = layer.forward(&x, false);
-            let plan =
-                FastRingConv::new(&ring, layer.ring_weights(), 2, 2, 3, layer.bias());
+            let plan = FastRingConv::new(&ring, layer.ring_weights(), 2, 2, 3, layer.bias());
             let fast = plan.forward(&x);
             let mse = reference.mse(&fast);
             assert!(mse < 1e-10, "{kind:?}: plan deviates, mse {mse}");

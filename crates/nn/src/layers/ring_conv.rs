@@ -67,8 +67,16 @@ impl RingConv2d {
     /// Panics if `ci` or `co` is not a multiple of `ring.n()`.
     pub fn new(ring: Ring, ci: usize, co: usize, k: usize, seed: u64) -> Self {
         let n = ring.n();
-        assert_eq!(ci % n, 0, "input channels {ci} not a multiple of ring dimension {n}");
-        assert_eq!(co % n, 0, "output channels {co} not a multiple of ring dimension {n}");
+        assert_eq!(
+            ci % n,
+            0,
+            "input channels {ci} not a multiple of ring dimension {n}"
+        );
+        assert_eq!(
+            co % n,
+            0,
+            "output channels {co} not a multiple of ring dimension {n}"
+        );
         let (ci_t, co_t) = (ci / n, co / n);
         // Fan-in per real output channel of the expanded conv is ci·k²;
         // each ring weight appears in n expanded positions, so the same
@@ -223,7 +231,12 @@ impl Layer for RingConv2d {
     }
 
     fn forward(&mut self, input: &T, train: bool) -> T {
-        assert_eq!(input.shape().c, self.ci(), "channel mismatch in {}", self.name());
+        assert_eq!(
+            input.shape().c,
+            self.ci(),
+            "channel mismatch in {}",
+            self.name()
+        );
         if train {
             // Training lowers onto the naive isomorphic expansion so the
             // forward pass matches `backward` exactly; weights are about
@@ -234,12 +247,32 @@ impl Layer for RingConv2d {
             let w = self.expand_real_weights();
             return conv2d_forward(input, &w, &self.bias);
         }
+        // Build the cached kernels through the exclusive borrow, then run
+        // the same shared-state path the parallel runtime uses.
+        self.prepare_inference();
+        self.forward_infer(input)
+    }
+
+    fn forward_infer(&self, input: &T) -> T {
+        assert_eq!(
+            input.shape().c,
+            self.ci(),
+            "channel mismatch in {}",
+            self.name()
+        );
         match self.backend {
             ConvBackend::Naive | ConvBackend::Im2col => {
-                if self.expanded.is_none() {
-                    self.expanded = Some(self.expand_real_weights());
-                }
-                let w = self.expanded.as_ref().expect("expansion just built");
+                // Use the cached expansion when `prepare_inference` built
+                // it; otherwise expand locally — never through `&self`, so
+                // concurrent tile workers cannot race a rebuild.
+                let local;
+                let w = match &self.expanded {
+                    Some(w) => w,
+                    None => {
+                        local = self.expand_real_weights();
+                        &local
+                    }
+                };
                 if self.backend == ConvBackend::Naive {
                     conv2d_forward(input, w, &self.bias)
                 } else {
@@ -247,8 +280,39 @@ impl Layer for RingConv2d {
                 }
             }
             ConvBackend::Transform => {
-                // Pre-transform the weights once (g̃ = Tg·g); repeated
-                // inference forwards reuse the plan.
+                let local;
+                let plan = match &self.plan {
+                    Some(p) => p,
+                    None => {
+                        local = FastRingConv::new(
+                            &self.ring,
+                            &self.weights,
+                            self.ci_t,
+                            self.co_t,
+                            self.k,
+                            &self.bias,
+                        );
+                        &local
+                    }
+                };
+                plan.forward(input)
+            }
+        }
+    }
+
+    fn prepare_inference(&mut self) {
+        // Pre-build the kernel the active backend needs so the shared
+        // `forward_infer` path never rebuilds per call. Weight-mutation
+        // paths (`ring_weights_mut`, `bias_mut`, `visit_params`, training
+        // forward) all drop these caches, so a pre-built plan can never
+        // go stale.
+        match self.backend {
+            ConvBackend::Naive | ConvBackend::Im2col => {
+                if self.expanded.is_none() {
+                    self.expanded = Some(self.expand_real_weights());
+                }
+            }
+            ConvBackend::Transform => {
                 if self.plan.is_none() {
                     self.plan = Some(FastRingConv::new(
                         &self.ring,
@@ -259,13 +323,19 @@ impl Layer for RingConv2d {
                         &self.bias,
                     ));
                 }
-                self.plan.as_ref().expect("plan just built").forward(input)
             }
         }
     }
 
+    fn kernel_radius(&self) -> usize {
+        self.k / 2
+    }
+
     fn backward(&mut self, dout: &T) -> T {
-        let input = self.cached_input.take().expect("backward without training forward");
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward without training forward");
         let w = self.expand_real_weights();
         let (dw, db) = conv2d_backward_weight(&input, dout, self.k);
         self.contract_weight_grad(&dw);
@@ -279,8 +349,14 @@ impl Layer for RingConv2d {
         // Visitors (optimizers, quantizers) may mutate the parameters.
         self.plan = None;
         self.expanded = None;
-        visitor(ParamGroup { values: &mut self.weights, grads: &mut self.dweights });
-        visitor(ParamGroup { values: &mut self.bias, grads: &mut self.dbias });
+        visitor(ParamGroup {
+            values: &mut self.weights,
+            grads: &mut self.dweights,
+        });
+        visitor(ParamGroup {
+            values: &mut self.bias,
+            grads: &mut self.dbias,
+        });
     }
 
     fn mults_per_pixel(&self) -> f64 {
@@ -289,7 +365,12 @@ impl Layer for RingConv2d {
     }
 
     fn out_channels(&self, in_channels: usize) -> usize {
-        assert_eq!(in_channels, self.ci(), "channel mismatch in {}", self.name());
+        assert_eq!(
+            in_channels,
+            self.ci(),
+            "channel mismatch in {}",
+            self.name()
+        );
         self.co()
     }
 
@@ -352,7 +433,12 @@ mod tests {
 
     #[test]
     fn gradcheck_ring_weights() {
-        for kind in [RingKind::Ri(2), RingKind::Rh(2), RingKind::Complex, RingKind::Rh4I] {
+        for kind in [
+            RingKind::Ri(2),
+            RingKind::Rh(2),
+            RingKind::Complex,
+            RingKind::Rh4I,
+        ] {
             let mut rc = ringconv(kind, 4, 4);
             let x = T::random_uniform(Shape4::new(1, 4, 4, 4), -1.0, 1.0, 5);
             let dout = T::random_uniform(Shape4::new(1, 4, 4, 4), -1.0, 1.0, 6);
@@ -367,7 +453,11 @@ mod tests {
                     rc.ring_weights_mut()[probe] += delta;
                     let y = rc.forward(&x, false);
                     rc.ring_weights_mut()[probe] -= delta;
-                    y.as_slice().iter().zip(dout.as_slice()).map(|(a, b)| a * b).sum()
+                    y.as_slice()
+                        .iter()
+                        .zip(dout.as_slice())
+                        .map(|(a, b)| a * b)
+                        .sum()
                 };
                 let fd = (loss(eps, &mut rc) - loss(-eps, &mut rc)) / (2.0 * eps);
                 assert!(
@@ -417,7 +507,10 @@ mod tests {
         let dzv: Vec<f64> = (0..4).map(|c| f64::from(dz.at(0, c, 0, 0))).collect();
         let want = ring.grad_input_ring_form(&g, &dzv);
         for c in 0..4 {
-            assert!((f64::from(dx.at(0, c, 0, 0)) - want[c]).abs() < 1e-5, "component {c}");
+            assert!(
+                (f64::from(dx.at(0, c, 0, 0)) - want[c]).abs() < 1e-5,
+                "component {c}"
+            );
         }
     }
 
@@ -435,9 +528,15 @@ mod tests {
         rc.ring_weights_mut()[0] += 0.5;
         rc.set_backend(ConvBackend::Naive);
         let naive2 = rc.forward(&x, false);
-        assert!(naive2.mse(&naive) > 1e-8, "weight edit must change the output");
+        assert!(
+            naive2.mse(&naive) > 1e-8,
+            "weight edit must change the output"
+        );
         rc.set_backend(ConvBackend::Transform);
-        assert!(naive2.mse(&rc.forward(&x, false)) < 1e-10, "stale plan after weight edit");
+        assert!(
+            naive2.mse(&rc.forward(&x, false)) < 1e-10,
+            "stale plan after weight edit"
+        );
     }
 
     #[test]

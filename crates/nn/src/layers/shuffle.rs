@@ -55,6 +55,10 @@ impl Layer for PixelUnshuffle {
         Self::apply(input, self.r)
     }
 
+    fn forward_infer(&self, input: &T) -> T {
+        Self::apply(input, self.r)
+    }
+
     fn backward(&mut self, dout: &T) -> T {
         PixelShuffle::apply(dout, self.r)
     }
@@ -93,7 +97,13 @@ impl PixelShuffle {
     /// Pure function version.
     pub fn apply(input: &T, r: usize) -> T {
         let s = input.shape();
-        assert_eq!(s.c % (r * r), 0, "channels {} not divisible by r²={}", s.c, r * r);
+        assert_eq!(
+            s.c % (r * r),
+            0,
+            "channels {} not divisible by r²={}",
+            s.c,
+            r * r
+        );
         let out_shape = Shape4::new(s.n, s.c / (r * r), s.h * r, s.w * r);
         let mut out = T::zeros(out_shape);
         for b in 0..s.n {
@@ -120,6 +130,10 @@ impl Layer for PixelShuffle {
     }
 
     fn forward(&mut self, input: &T, _train: bool) -> T {
+        Self::apply(input, self.r)
+    }
+
+    fn forward_infer(&self, input: &T) -> T {
         Self::apply(input, self.r)
     }
 

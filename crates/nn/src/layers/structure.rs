@@ -54,6 +54,11 @@ impl Sequential {
         &mut self.layers
     }
 
+    /// Immutable child access (for the inference runtime's model walk).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
     /// Runs a closure on every layer in the tree (depth-first), including
     /// the children of nested [`Sequential`]s and [`Residual`]s.
     pub fn for_each_layer_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
@@ -75,8 +80,9 @@ fn visit_layer(layer: &mut dyn Layer, f: &mut dyn FnMut(&mut dyn Layer)) {
         res.body.for_each_layer_mut(f);
         return;
     }
-    if let Some(ur) =
-        layer.as_any_mut().downcast_mut::<crate::layers::upsample::UpsampleResidual>()
+    if let Some(ur) = layer
+        .as_any_mut()
+        .downcast_mut::<crate::layers::upsample::UpsampleResidual>()
     {
         ur.body_mut().for_each_layer_mut(f);
         return;
@@ -95,6 +101,20 @@ impl Layer for Sequential {
             x = l.forward(&x, train);
         }
         x
+    }
+
+    fn forward_infer(&self, input: &T) -> T {
+        let mut x = input.clone();
+        for l in &self.layers {
+            x = l.forward_infer(&x);
+        }
+        x
+    }
+
+    fn prepare_inference(&mut self) {
+        for l in &mut self.layers {
+            l.prepare_inference();
+        }
     }
 
     fn backward(&mut self, dout: &T) -> T {
@@ -118,7 +138,9 @@ impl Layer for Sequential {
     }
 
     fn out_channels(&self, in_channels: usize) -> usize {
-        self.layers.iter().fold(in_channels, |c, l| l.out_channels(c))
+        self.layers
+            .iter()
+            .fold(in_channels, |c, l| l.out_channels(c))
     }
 
     fn set_conv_backend(&mut self, backend: ConvBackend) {
@@ -147,6 +169,11 @@ impl Residual {
     pub fn body_mut(&mut self) -> &mut Sequential {
         &mut self.body
     }
+
+    /// Immutable body access (for the inference runtime's model walk).
+    pub fn body(&self) -> &Sequential {
+        &self.body
+    }
 }
 
 impl Layer for Residual {
@@ -158,6 +185,16 @@ impl Layer for Residual {
         let mut out = self.body.forward(input, train);
         out.add_assign(input);
         out
+    }
+
+    fn forward_infer(&self, input: &T) -> T {
+        let mut out = self.body.forward_infer(input);
+        out.add_assign(input);
+        out
+    }
+
+    fn prepare_inference(&mut self) {
+        self.body.prepare_inference();
     }
 
     fn backward(&mut self, dout: &T) -> T {

@@ -21,12 +21,21 @@ pub struct UpsampleResidual {
 impl UpsampleResidual {
     /// Wraps `body` (which must scale resolution by `factor`).
     pub fn new(body: Sequential, factor: usize) -> Self {
-        Self { body, factor, cached_in_hw: None }
+        Self {
+            body,
+            factor,
+            cached_in_hw: None,
+        }
     }
 
     /// The wrapped body.
     pub fn body_mut(&mut self) -> &mut Sequential {
         &mut self.body
+    }
+
+    /// Immutable body access (for the inference runtime's model walk).
+    pub fn body(&self) -> &Sequential {
+        &self.body
     }
 
     /// The upsampling factor.
@@ -50,8 +59,21 @@ impl Layer for UpsampleResidual {
         out
     }
 
+    fn forward_infer(&self, input: &Tensor) -> Tensor {
+        let mut out = self.body.forward_infer(input);
+        out.add_assign(&upsample(input, self.factor));
+        out
+    }
+
+    fn prepare_inference(&mut self) {
+        self.body.prepare_inference();
+    }
+
     fn backward(&mut self, dout: &Tensor) -> Tensor {
-        let (h, w) = self.cached_in_hw.take().expect("backward without training forward");
+        let (h, w) = self
+            .cached_in_hw
+            .take()
+            .expect("backward without training forward");
         let mut din = self.body.backward(dout);
         din.add_assign(&resize_bicubic_adjoint(dout, h, w));
         din
@@ -85,12 +107,16 @@ impl Layer for UpsampleResidual {
 /// Scales the weights of a conv layer (real or ring) in place — used to
 /// give residual branches a near-identity initialization.
 pub fn scale_conv_weights(layer: &mut dyn Layer, factor: f32) {
-    if let Some(c) = layer.as_any_mut().downcast_mut::<crate::layers::conv::Conv2d>() {
+    if let Some(c) = layer
+        .as_any_mut()
+        .downcast_mut::<crate::layers::conv::Conv2d>()
+    {
         for w in c.weights_mut().data.iter_mut() {
             *w *= factor;
         }
-    } else if let Some(rc) =
-        layer.as_any_mut().downcast_mut::<crate::layers::ring_conv::RingConv2d>()
+    } else if let Some(rc) = layer
+        .as_any_mut()
+        .downcast_mut::<crate::layers::ring_conv::RingConv2d>()
     {
         for w in rc.ring_weights_mut().iter_mut() {
             *w *= factor;
@@ -147,7 +173,11 @@ mod tests {
                 .sum()
         };
         let fd = (f(&xp, &mut m) - f(&xm, &mut m)) / (2.0 * eps);
-        assert!((fd - dx.at(0, 0, 1, 2)).abs() < 3e-2, "fd {fd} vs {}", dx.at(0, 0, 1, 2));
+        assert!(
+            (fd - dx.at(0, 0, 1, 2)).abs() < 3e-2,
+            "fd {fd} vs {}",
+            dx.at(0, 0, 1, 2)
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod layers;
 pub mod loss;
 pub mod models;
 pub mod optim;
+pub mod runtime;
 pub mod serialize;
 pub mod train;
 
@@ -43,16 +44,17 @@ pub mod prelude {
     pub use crate::backend::ConvBackend;
     pub use crate::complexity::{gmults_per_frame, mults_per_input_pixel};
     pub use crate::layer::Layer;
-    pub use crate::layers::fast_ring_conv::FastRingConv;
     pub use crate::layers::activation::{DirectionalReluLayer, Relu};
     pub use crate::layers::conv::{Conv2d, DepthwiseConv2d};
     pub use crate::layers::dense::{Dense, GlobalAvgPool};
+    pub use crate::layers::fast_ring_conv::FastRingConv;
     pub use crate::layers::ring_conv::RingConv2d;
     pub use crate::layers::shuffle::{PixelShuffle, PixelUnshuffle};
     pub use crate::layers::structure::{Residual, Sequential};
     pub use crate::layers::upsample::{scale_conv_weights, UpsampleResidual};
     pub use crate::loss::{cross_entropy_loss, l1_loss, mse_loss};
     pub use crate::optim::{Adam, Sgd};
+    pub use crate::runtime::{model_topology, tiled_forward, BatchRunner, ModelTopo, TileConfig};
     pub use crate::serialize::{load_params, save_params, ModelParams};
     pub use crate::train::{
         accuracy, predict, train_classifier, train_regression, TrainConfig, TrainReport,

@@ -13,7 +13,11 @@ pub fn mse_loss(pred: &Tensor, target: &Tensor) -> (f64, Tensor) {
     let count = pred.as_slice().len().max(1) as f64;
     let mut grad = pred.clone();
     grad.sub_assign(target);
-    let loss: f64 = grad.as_slice().iter().map(|d| f64::from(*d) * f64::from(*d)).sum::<f64>()
+    let loss: f64 = grad
+        .as_slice()
+        .iter()
+        .map(|d| f64::from(*d) * f64::from(*d))
+        .sum::<f64>()
         / count;
     grad.scale((2.0 / count) as f32);
     (loss, grad)
@@ -29,8 +33,12 @@ pub fn l1_loss(pred: &Tensor, target: &Tensor) -> (f64, Tensor) {
     let count = pred.as_slice().len().max(1) as f64;
     let mut grad = pred.clone();
     grad.sub_assign(target);
-    let loss: f64 =
-        grad.as_slice().iter().map(|d| f64::from(d.abs())).sum::<f64>() / count;
+    let loss: f64 = grad
+        .as_slice()
+        .iter()
+        .map(|d| f64::from(d.abs()))
+        .sum::<f64>()
+        / count;
     grad.map_inplace(|d| d.signum() / count as f32);
     (loss, grad)
 }
@@ -69,8 +77,7 @@ pub fn cross_entropy_loss(logits: &Tensor, labels: &[usize]) -> (f64, Tensor, us
         }
         for c in 0..s.c {
             let p = (exps[c] / z) as f32;
-            *grad.at_mut(b, c, 0, 0) =
-                (p - if c == label { 1.0 } else { 0.0 }) / s.n as f32;
+            *grad.at_mut(b, c, 0, 0) = (p - if c == label { 1.0 } else { 0.0 }) / s.n as f32;
         }
     }
     (loss / s.n as f64, grad, correct)

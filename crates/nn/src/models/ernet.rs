@@ -35,7 +35,12 @@ impl ErNetConfig {
 
     /// A small config suitable for CPU experiments.
     pub fn tiny() -> Self {
-        Self { b: 2, r: 2, n_extra: 0, width: 8 }
+        Self {
+            b: 2,
+            r: 2,
+            n_extra: 0,
+            width: 8,
+        }
     }
 }
 
@@ -67,7 +72,13 @@ pub fn dn_ernet_pu(alg: &Algebra, cfg: ErNetConfig, channels: usize, seed: u64) 
         .with(alg.conv(channels * 4, c, 3, seed))
         .with_opt(alg.activation());
     for i in 0..cfg.b {
-        body = body.with(Box::new(ermodule(alg, c, cfg.r, cfg.n_extra, seed + 10 * (i as u64 + 1))));
+        body = body.with(Box::new(ermodule(
+            alg,
+            c,
+            cfg.r,
+            cfg.n_extra,
+            seed + 10 * (i as u64 + 1),
+        )));
     }
     // Small-weight tail so the global residual starts near the identity.
     let mut tail = alg.conv(c, channels * 4, 3, seed + 2);
@@ -86,8 +97,13 @@ pub fn sr4_ernet(alg: &Algebra, cfg: ErNetConfig, channels: usize, seed: u64) ->
     let c = cfg.width;
     let mut trunk = Sequential::new();
     for i in 0..cfg.b {
-        trunk =
-            trunk.with(Box::new(ermodule(alg, c, cfg.r, cfg.n_extra, seed + 10 * (i as u64 + 1))));
+        trunk = trunk.with(Box::new(ermodule(
+            alg,
+            c,
+            cfg.r,
+            cfg.n_extra,
+            seed + 10 * (i as u64 + 1),
+        )));
     }
     let mut trunk_tail = alg.conv(c, c, 3, seed + 3);
     crate::layers::upsample::scale_conv_weights(trunk_tail.as_mut(), 0.1);
@@ -144,7 +160,11 @@ mod tests {
         let real_params = real.num_params() as f64;
         let ring_params = ring.num_params() as f64;
         // Biases are not compressed, so the ratio is slightly below n.
-        assert!(real_params / ring_params > 3.0, "ratio {}", real_params / ring_params);
+        assert!(
+            real_params / ring_params > 3.0,
+            "ratio {}",
+            real_params / ring_params
+        );
     }
 
     #[test]
@@ -159,6 +179,15 @@ mod tests {
 
     #[test]
     fn config_label() {
-        assert_eq!(ErNetConfig { b: 17, r: 3, n_extra: 1, width: 32 }.label(), "B17R3N1");
+        assert_eq!(
+            ErNetConfig {
+                b: 17,
+                r: 3,
+                n_extra: 1,
+                width: 32
+            }
+            .label(),
+            "B17R3N1"
+        );
     }
 }

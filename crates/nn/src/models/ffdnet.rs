@@ -14,16 +14,22 @@ use ringcnn_tensor::prelude::*;
 /// one model per noise level (the paper's evaluation also fixes σ per
 /// scenario), so the map input is dropped — documented in DESIGN.md.
 pub fn ffdnet(alg: &Algebra, depth: usize, c: usize, channels_io: usize, seed: u64) -> Sequential {
-    assert!(depth >= 2, "FFDNet needs at least head and tail convolutions");
+    assert!(
+        depth >= 2,
+        "FFDNet needs at least head and tail convolutions"
+    );
     let cin = channels_io * 4;
     let mut m = Sequential::new()
         .with(Box::new(PixelUnshuffle::new(2)))
         .with(alg.conv(cin, c, 3, seed))
         .with_opt(alg.activation());
     for i in 0..depth.saturating_sub(2) {
-        m = m.with(alg.conv(c, c, 3, seed + i as u64 + 1)).with_opt(alg.activation());
+        m = m
+            .with(alg.conv(c, c, 3, seed + i as u64 + 1))
+            .with_opt(alg.activation());
     }
-    m.with(alg.conv(c, cin, 3, seed + 77)).with(Box::new(PixelShuffle::new(2)))
+    m.with(alg.conv(c, cin, 3, seed + 77))
+        .with(Box::new(PixelShuffle::new(2)))
 }
 
 /// Convenience inference wrapper that checks the even-size requirement.
@@ -33,7 +39,10 @@ pub fn ffdnet(alg: &Algebra, depth: usize, c: usize, channels_io: usize, seed: u
 /// Panics if the input height/width are odd.
 pub fn denoise(model: &mut Sequential, noisy: &Tensor) -> Tensor {
     let s = noisy.shape();
-    assert!(s.h % 2 == 0 && s.w % 2 == 0, "FFDNet-style models need even spatial sizes");
+    assert!(
+        s.h % 2 == 0 && s.w % 2 == 0,
+        "FFDNet-style models need even spatial sizes"
+    );
     model.forward(noisy, false)
 }
 

@@ -25,7 +25,11 @@ pub struct ResNetConfig {
 impl ResNetConfig {
     /// Tiny default: 2 stages of 2 blocks (8/16 channels), 10 classes.
     pub fn tiny() -> Self {
-        Self { blocks_per_stage: 2, stage_channels: [8, 16], classes: 10 }
+        Self {
+            blocks_per_stage: 2,
+            stage_channels: [8, 16],
+            classes: 10,
+        }
     }
 }
 

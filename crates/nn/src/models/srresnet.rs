@@ -22,7 +22,11 @@ pub struct SrResNetConfig {
 impl SrResNetConfig {
     /// Small CPU-friendly default (blocks=3, channels=16, dense).
     pub fn tiny() -> Self {
-        Self { blocks: 3, channels: 16, depthwise: false }
+        Self {
+            blocks: 3,
+            channels: 16,
+            depthwise: false,
+        }
     }
 
     /// Depth-reduced variant (shrinks `blocks`, keeps channels).
@@ -54,7 +58,9 @@ fn conv3x3(alg: &Algebra, cfg: &SrResNetConfig, ci: usize, co: usize, seed: u64)
         // the algebra's conv backend explicitly.
         let mut dw = Box::new(DepthwiseConv2d::new(ci, 3, seed));
         crate::layer::Layer::set_conv_backend(dw.as_mut(), alg.conv_backend());
-        Sequential::new().with(dw).with(alg.conv(ci, co, 1, seed.wrapping_add(500)))
+        Sequential::new()
+            .with(dw)
+            .with(alg.conv(ci, co, 1, seed.wrapping_add(500)))
     } else {
         Sequential::new().with(alg.conv(ci, co, 3, seed))
     }
@@ -105,7 +111,12 @@ mod tests {
     #[test]
     fn depthwise_variant_has_fewer_mults() {
         let mut dense = srresnet(&Algebra::real(), SrResNetConfig::tiny(), 1, 5);
-        let mut dwc = srresnet(&Algebra::real(), SrResNetConfig::tiny().with_depthwise(), 1, 5);
+        let mut dwc = srresnet(
+            &Algebra::real(),
+            SrResNetConfig::tiny().with_depthwise(),
+            1,
+            5,
+        );
         assert!(dwc.mults_per_pixel() < dense.mults_per_pixel());
         // Still runs.
         let x = Tensor::random_uniform(Shape4::new(1, 1, 4, 4), 0.0, 1.0, 2);

@@ -45,12 +45,20 @@ mod tests {
         m.for_each_layer_mut(&mut |l| crate::layers::upsample::scale_conv_weights(l, 0.0));
         let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 2);
         let y = m.forward(&x, false);
-        assert!(y.mse(&x) < 1e-10, "zero body must be identity, mse {}", y.mse(&x));
+        assert!(
+            y.mse(&x) < 1e-10,
+            "zero body must be identity, mse {}",
+            y.mse(&x)
+        );
         // And the randomly-initialized body is a bounded perturbation of
         // the identity (loose: random init is a worst case).
         let mut m = vdsr(&Algebra::real(), 3, 8, 1, 5);
         let y = m.forward(&x, false);
-        assert!(y.mse(&x) < 10.0, "random-init residual too large, mse {}", y.mse(&x));
+        assert!(
+            y.mse(&x) < 10.0,
+            "random-init residual too large, mse {}",
+            y.mse(&x)
+        );
     }
 
     #[test]

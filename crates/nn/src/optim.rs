@@ -21,7 +21,15 @@ pub struct Adam {
 impl Adam {
     /// Creates Adam with standard betas (0.9, 0.999).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Applies one update step using the gradients currently accumulated
@@ -41,7 +49,11 @@ impl Adam {
             }
             let m = &mut m_all[idx];
             let v = &mut v_all[idx];
-            assert_eq!(m.len(), group.values.len(), "model structure changed under Adam");
+            assert_eq!(
+                m.len(),
+                group.values.len(),
+                "model structure changed under Adam"
+            );
             for i in 0..group.values.len() {
                 let g = group.grads[i];
                 m[i] = b1 * m[i] + (1.0 - b1) * g;
@@ -66,7 +78,11 @@ pub struct Sgd {
 impl Sgd {
     /// Creates SGD; `momentum = 0` disables the velocity term.
     pub fn new(lr: f32, momentum: f32) -> Self {
-        Self { lr, momentum, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     /// Applies one update step.
@@ -106,11 +122,17 @@ mod tests {
         fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
             input.clone()
         }
+        fn forward_infer(&self, input: &Tensor) -> Tensor {
+            input.clone()
+        }
         fn backward(&mut self, dout: &Tensor) -> Tensor {
             dout.clone()
         }
         fn visit_params(&mut self, visitor: &mut dyn FnMut(ParamGroup<'_>)) {
-            visitor(ParamGroup { values: &mut self.w, grads: &mut self.g });
+            visitor(ParamGroup {
+                values: &mut self.w,
+                grads: &mut self.g,
+            });
         }
         fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
             self
@@ -119,7 +141,10 @@ mod tests {
 
     /// Minimizes f(w) = ½‖w‖² whose gradient is w itself.
     fn run(optimizer: &mut dyn FnMut(&mut Quad), steps: usize) -> f32 {
-        let mut layer = Quad { w: vec![1.0, -2.0, 3.0], g: vec![0.0; 3] };
+        let mut layer = Quad {
+            w: vec![1.0, -2.0, 3.0],
+            g: vec![0.0; 3],
+        };
         for _ in 0..steps {
             layer.g.copy_from_slice(&layer.w);
             optimizer(&mut layer);
@@ -144,7 +169,10 @@ mod tests {
     #[test]
     fn adam_state_is_per_parameter() {
         let mut adam = Adam::new(0.01);
-        let mut layer = Quad { w: vec![1.0, 1.0], g: vec![1.0, 0.0] };
+        let mut layer = Quad {
+            w: vec![1.0, 1.0],
+            g: vec![1.0, 0.0],
+        };
         adam.step(&mut layer);
         // Only the first parameter should move (second has zero grad).
         assert!(layer.w[0] < 1.0);

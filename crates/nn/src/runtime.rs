@@ -1,0 +1,466 @@
+//! The multi-threaded inference runtime: tile-parallel forwards and
+//! batch execution over a prepared, shared model.
+//!
+//! This is the CPU realization of the paper's block-based inference flow
+//! (§V): the input image is split into core tiles, every tile is
+//! extended by a halo of at least the model's receptive-field radius,
+//! the halo-extended tiles run through the network *concurrently* on the
+//! thread pool, and the core regions are stitched back together. With a
+//! sufficient halo the stitched output is **bit-identical** to the
+//! whole-image pass for the dense kernels and within float rounding for
+//! the transform engine — the determinism suite in
+//! `tests/runtime_parallel.rs` enforces it.
+//!
+//! Threading model: [`BatchRunner::new`] takes the model exclusively
+//! once, pre-builds every cached inference kernel
+//! ([`Layer::prepare_inference`] — transform plans, weight expansions),
+//! and then shares the model immutably across tile/frame workers via
+//! [`Layer::forward_infer`]. Workers never mutate the model, so no plan
+//! rebuild can race. The pool size comes from `RINGCNN_THREADS`
+//! (see the `rayon` shim; 1 = fully sequential).
+
+use crate::layer::Layer;
+use crate::layers::structure::{Residual, Sequential};
+use crate::layers::upsample::UpsampleResidual;
+use rayon::prelude::*;
+use ringcnn_tensor::prelude::*;
+use ringcnn_tensor::tile::{tile_grid, Window};
+
+/// Greatest common divisor (positive inputs).
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Least common multiple (positive inputs).
+fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+/// Spatial facts the tiled runtime needs about a model, derived by
+/// walking its layer tree once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelTopo {
+    /// Receptive-field radius in input pixels: the minimum halo for
+    /// bit-exact tile stitching.
+    pub radius: usize,
+    /// Tile sizes and offsets must be multiples of this (the resolution
+    /// granularity imposed by pixel-unshuffle stages).
+    pub granularity: usize,
+    /// Output pixels per input pixel as a reduced `(num, den)` fraction
+    /// (`(4, 1)` for ×4 SR, `(1, 1)` for denoisers).
+    pub scale: (usize, usize),
+}
+
+/// Walk state: input pixels per current-resolution pixel, as a reduced
+/// fraction `num/den`.
+struct TopoWalk {
+    ipp_num: usize,
+    ipp_den: usize,
+    radius: f64,
+    granularity: usize,
+}
+
+impl TopoWalk {
+    fn ipp(&self) -> f64 {
+        self.ipp_num as f64 / self.ipp_den as f64
+    }
+
+    fn apply_scale(&mut self, (num, den): (usize, usize)) {
+        // A layer scaling resolution by num/den divides input-pixels-per-
+        // feature-pixel by num/den.
+        self.ipp_num *= den;
+        self.ipp_den *= num;
+        let g = gcd(self.ipp_num, self.ipp_den);
+        self.ipp_num /= g;
+        self.ipp_den /= g;
+        // A tile of t input pixels spans t·den/num feature pixels at the
+        // new resolution; reduced, that needs num' | t.
+        self.granularity = lcm(self.granularity, self.ipp_num);
+    }
+
+    fn visit(&mut self, layer: &mut dyn Layer) {
+        if let Some(seq) = layer.as_any_mut().downcast_mut::<Sequential>() {
+            for l in seq.layers_mut() {
+                self.visit(l.as_mut());
+            }
+            return;
+        }
+        if let Some(res) = layer.as_any_mut().downcast_mut::<Residual>() {
+            // The skip path is pointwise; only the body reads neighbors.
+            for l in res.body_mut().layers_mut() {
+                self.visit(l.as_mut());
+            }
+            return;
+        }
+        if let Some(ur) = layer.as_any_mut().downcast_mut::<UpsampleResidual>() {
+            // The bicubic skip reaches 2 source pixels (cf. the esim
+            // receptive_halo walk); the body carries the scale change.
+            self.radius += 2.0 * self.ipp();
+            for l in ur.body_mut().layers_mut() {
+                self.visit(l.as_mut());
+            }
+            return;
+        }
+        self.radius += layer.kernel_radius() as f64 * self.ipp();
+        self.apply_scale(layer.spatial_scale());
+    }
+}
+
+/// Derives the [`ModelTopo`] of a model by walking its layer tree
+/// (mutable access is needed only for downcasting; nothing is changed).
+pub fn model_topology(model: &mut Sequential) -> ModelTopo {
+    let mut walk = TopoWalk {
+        ipp_num: 1,
+        ipp_den: 1,
+        radius: 0.0,
+        granularity: 1,
+    };
+    for l in model.layers_mut() {
+        walk.visit(l.as_mut());
+    }
+    ModelTopo {
+        radius: walk.radius.ceil() as usize,
+        granularity: walk.granularity,
+        // Output pixels per input pixel = 1 / ipp.
+        scale: (walk.ipp_den, walk.ipp_num),
+    }
+}
+
+/// Tile-partitioning knobs for [`BatchRunner::run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileConfig {
+    /// Core tile size in input pixels (rounded up to the model's
+    /// granularity; edge tiles shrink).
+    pub tile: usize,
+    /// Halo width in input pixels; `None` selects the model's receptive
+    /// radius rounded up to the granularity — the smallest exact halo.
+    pub halo: Option<usize>,
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        // 64-pixel cores: the paper's block-based flow operates at
+        // 16–64; larger cores amortize the halo recompute overhead
+        // (overhead ≈ (1 + 2h/t)² − 1) while still exposing enough tiles
+        // for the pool.
+        Self {
+            tile: 64,
+            halo: None,
+        }
+    }
+}
+
+impl TileConfig {
+    /// A config with an explicit core tile size.
+    pub fn with_tile(tile: usize) -> Self {
+        Self { tile, halo: None }
+    }
+
+    /// Pins the halo width (must be ≥ the model's receptive radius for
+    /// exact stitching; smaller values trade accuracy for speed).
+    #[must_use]
+    pub fn with_halo(mut self, halo: usize) -> Self {
+        self.halo = Some(halo);
+        self
+    }
+}
+
+/// A prepared model shared across the thread pool: tile-parallel single
+/// frames and parallel batches, with every cached inference kernel
+/// (transform plans, weight expansions) built exactly once up front.
+///
+/// # Examples
+///
+/// ```
+/// use ringcnn_nn::prelude::*;
+/// use ringcnn_nn::runtime::{BatchRunner, TileConfig};
+/// use ringcnn_algebra::ring::RingKind;
+/// use ringcnn_tensor::prelude::*;
+///
+/// let alg = Algebra::with_fcw(RingKind::Rh(4));
+/// let mut model = ringcnn_nn::models::vdsr::vdsr(&alg, 3, 8, 1, 7);
+/// let runner = BatchRunner::new(&mut model);
+/// let x = Tensor::random_uniform(Shape4::new(1, 1, 32, 32), 0.0, 1.0, 1);
+/// let tiled = runner.with_tile(TileConfig::with_tile(16)).run(&x);
+/// assert_eq!(tiled.shape(), x.shape());
+/// ```
+pub struct BatchRunner<'m> {
+    model: &'m Sequential,
+    topo: ModelTopo,
+    tile: TileConfig,
+}
+
+impl<'m> BatchRunner<'m> {
+    /// Prepares the model for shared inference: pre-builds cached
+    /// kernels and derives the tiling topology. The exclusive borrow
+    /// happens here, once; everything after runs through `&self`.
+    pub fn new(model: &'m mut Sequential) -> Self {
+        model.prepare_inference();
+        let topo = model_topology(model);
+        Self {
+            model,
+            topo,
+            tile: TileConfig::default(),
+        }
+    }
+
+    /// Sets the tile configuration (builder style).
+    #[must_use]
+    pub fn with_tile(mut self, tile: TileConfig) -> Self {
+        self.tile = tile;
+        self
+    }
+
+    /// The derived model topology.
+    pub fn topo(&self) -> ModelTopo {
+        self.topo
+    }
+
+    /// The effective halo width (configured or auto-derived).
+    pub fn halo(&self) -> usize {
+        self.tile
+            .halo
+            .unwrap_or_else(|| self.topo.radius.next_multiple_of(self.topo.granularity))
+    }
+
+    /// Whole-image inference forward (no tiling; the baseline the tiled
+    /// path is compared against).
+    pub fn run_whole(&self, input: &Tensor) -> Tensor {
+        self.model.forward_infer(input)
+    }
+
+    /// Tile-parallel inference: splits every batch item into
+    /// halo-extended tiles, runs all tiles across the thread pool, and
+    /// stitches the cores. Falls back to [`Self::run_whole`] when the
+    /// image yields a single tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input height/width are not multiples of the model's
+    /// granularity (pixel-unshuffle parity).
+    pub fn run(&self, input: &Tensor) -> Tensor {
+        let s = input.shape();
+        let g = self.topo.granularity;
+        assert!(
+            s.h % g == 0 && s.w % g == 0,
+            "input {s} not aligned to the model granularity {g}"
+        );
+        let tile = self.tile.tile.next_multiple_of(g).max(g);
+        let halo = self.halo();
+        assert!(
+            halo % g == 0,
+            "halo {halo} not aligned to the model granularity {g}"
+        );
+        let grid = tile_grid(s.h, s.w, tile);
+        if grid.len() == 1 {
+            return self.run_whole(input);
+        }
+        let (sn, sd) = self.topo.scale;
+        let out_c = self.model.out_channels(s.c);
+        let mut out = Tensor::zeros(Shape4::new(s.n, out_c, s.h * sn / sd, s.w * sn / sd));
+
+        // Halo windows are clipped at the true image border (never
+        // zero-extended past it): a tile edge that coincides with the
+        // image edge gets the *per-layer* zero padding of whole-image
+        // inference, which is what makes border pixels exact too — the
+        // improvement over the block flow in `ringcnn_esim::blocks`,
+        // whose fixed-size zero halos make border pixels approximate.
+        let extended = |core: &Window| -> Window {
+            let y0 = (core.y0 - halo as isize).max(0);
+            let x0 = (core.x0 - halo as isize).max(0);
+            let y1 = (core.y0 + core.h as isize + halo as isize).min(s.h as isize);
+            let x1 = (core.x0 + core.w as isize + halo as isize).min(s.w as isize);
+            Window::new(y0, x0, (y1 - y0) as usize, (x1 - x0) as usize)
+        };
+
+        // One task per (batch item, tile); all tasks fan out at once.
+        let tasks: Vec<(usize, Window)> = (0..s.n)
+            .flat_map(|n| grid.iter().map(move |w| (n, *w)))
+            .collect();
+        let results: Vec<Tensor> = tasks
+            .par_iter()
+            .map(|&(n, core)| {
+                let ext = extended(&core);
+                let tile_out = self.model.forward_infer(&input.extract_window(n, ext));
+                // Guard the topology walk against models that are not
+                // spatially uniform (e.g. global pooling + dense heads):
+                // their output does not scale with the tile, which the
+                // walk cannot see — fail with the real reason instead of
+                // a stitching bounds panic.
+                let t = tile_out.shape();
+                assert_eq!(
+                    (t.h, t.w),
+                    (ext.h * sn / sd, ext.w * sn / sd),
+                    "model is not tileable: a {}×{} tile produced a {}×{} output \
+                     (expected scale {}/{}); spatially non-uniform layers such as \
+                     global pooling cannot run block-based inference",
+                    ext.h,
+                    ext.w,
+                    t.h,
+                    t.w,
+                    sn,
+                    sd
+                );
+                tile_out
+            })
+            .collect();
+
+        for ((n, core), tile_out) in tasks.into_iter().zip(results) {
+            // Crop the core at output scale and stitch.
+            let ext = extended(&core);
+            let src = Window::new(
+                ((core.y0 - ext.y0) as usize * sn / sd) as isize,
+                ((core.x0 - ext.x0) as usize * sn / sd) as isize,
+                core.h * sn / sd,
+                core.w * sn / sd,
+            );
+            out.paste_window(
+                n,
+                core.y0 as usize * sn / sd,
+                core.x0 as usize * sn / sd,
+                &tile_out,
+                src,
+            );
+        }
+        out
+    }
+
+    /// Runs a batch of independent frames across the pool (one task per
+    /// frame, whole-image each): the plan-reuse path for streams of
+    /// small frames where tiling would not pay off.
+    pub fn run_batch(&self, frames: &[Tensor]) -> Vec<Tensor> {
+        frames
+            .par_iter()
+            .map(|f| self.model.forward_infer(f))
+            .collect()
+    }
+}
+
+/// One-shot convenience: prepares `model`, then runs a tile-parallel
+/// forward with `cfg`.
+pub fn tiled_forward(model: &mut Sequential, input: &Tensor, cfg: TileConfig) -> Tensor {
+    BatchRunner::new(model).with_tile(cfg).run(input)
+}
+
+/// The number of threads the inference pool runs (1 = sequential; set
+/// `RINGCNN_THREADS` before the first parallel call to control it).
+pub fn num_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra_choice::Algebra;
+    use crate::models::ffdnet::ffdnet;
+    use crate::models::srresnet::{srresnet, SrResNetConfig};
+    use crate::models::vdsr::vdsr;
+    use ringcnn_algebra::ring::RingKind;
+
+    #[test]
+    fn topology_of_plain_conv_stack() {
+        // VDSR depth 3: three 3×3 convs at full resolution → radius 3.
+        let mut m = vdsr(&Algebra::real(), 3, 8, 1, 1);
+        let topo = model_topology(&mut m);
+        assert_eq!(
+            topo,
+            ModelTopo {
+                radius: 3,
+                granularity: 1,
+                scale: (1, 1)
+            }
+        );
+    }
+
+    #[test]
+    fn topology_tracks_unshuffle_resolution() {
+        // FFDNet depth 3: unshuffle(2), three 3×3 convs at half
+        // resolution (radius 2 input px each), shuffle(2) → radius 6,
+        // granularity 2, scale 1.
+        let mut m = ffdnet(&Algebra::real(), 3, 8, 1, 1);
+        let topo = model_topology(&mut m);
+        assert_eq!(
+            topo,
+            ModelTopo {
+                radius: 6,
+                granularity: 2,
+                scale: (1, 1)
+            }
+        );
+    }
+
+    #[test]
+    fn topology_of_sr_model_reports_scale() {
+        let mut m = srresnet(
+            &Algebra::real(),
+            SrResNetConfig::tiny().with_blocks(1),
+            1,
+            1,
+        );
+        let topo = model_topology(&mut m);
+        assert_eq!(topo.scale, (4, 1), "×4 SR model");
+        assert!(topo.radius > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "model is not tileable")]
+    fn non_tileable_model_fails_with_clear_message() {
+        // Classification heads (global pooling + dense) are spatially
+        // non-uniform: the topology walk cannot represent them, so the
+        // runner must fail with the real reason, not a stitching panic.
+        use crate::models::resnet::{resnet_mini, ResNetConfig};
+        let mut m = resnet_mini(&Algebra::real(), ResNetConfig::tiny(), 1, 3);
+        let x = Tensor::random_uniform(Shape4::new(1, 1, 16, 16), 0.0, 1.0, 4);
+        let _ = tiled_forward(&mut m, &x, TileConfig::with_tile(8));
+    }
+
+    #[test]
+    fn tiled_forward_matches_whole_image() {
+        let alg = Algebra::with_fcw(RingKind::Rh(4));
+        let mut m = vdsr(&alg, 3, 8, 1, 5);
+        let x = Tensor::random_uniform(Shape4::new(2, 1, 24, 20), 0.0, 1.0, 6);
+        let runner = BatchRunner::new(&mut m).with_tile(TileConfig::with_tile(8));
+        let whole = runner.run_whole(&x);
+        let tiled = runner.run(&x);
+        let max = whole
+            .as_slice()
+            .iter()
+            .zip(tiled.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max <= 1e-6, "tiled vs whole deviates by {max}");
+    }
+
+    #[test]
+    fn run_batch_matches_individual_forwards() {
+        let mut m = vdsr(&Algebra::real(), 3, 8, 1, 9);
+        let frames: Vec<Tensor> = (0..5)
+            .map(|i| Tensor::random_uniform(Shape4::new(1, 1, 10, 10), 0.0, 1.0, 50 + i))
+            .collect();
+        let runner = BatchRunner::new(&mut m);
+        let batched = runner.run_batch(&frames);
+        for (f, b) in frames.iter().zip(&batched) {
+            assert_eq!(runner.run_whole(f).as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn single_tile_image_falls_back_to_whole() {
+        let mut m = vdsr(&Algebra::real(), 3, 8, 1, 11);
+        let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 12);
+        let runner = BatchRunner::new(&mut m); // default 64-px tiles
+        assert_eq!(runner.run(&x).as_slice(), runner.run_whole(&x).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity")]
+    fn rejects_misaligned_input() {
+        let mut m = ffdnet(&Algebra::real(), 3, 8, 1, 13);
+        let x = Tensor::zeros(Shape4::new(1, 1, 9, 8)); // odd height
+        let _ = tiled_forward(&mut m, &x, TileConfig::with_tile(4));
+    }
+}

@@ -29,7 +29,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { steps: 300, batch: 4, lr: 2e-3, decay_after: 0.7, seed: 0 }
+        Self {
+            steps: 300,
+            batch: 4,
+            lr: 2e-3,
+            decay_after: 0.7,
+            seed: 0,
+        }
     }
 }
 
@@ -55,7 +61,11 @@ pub fn train_regression(
     targets: &Tensor,
     cfg: &TrainConfig,
 ) -> TrainReport {
-    assert_eq!(inputs.shape().n, targets.shape().n, "paired datasets required");
+    assert_eq!(
+        inputs.shape().n,
+        targets.shape().n,
+        "paired datasets required"
+    );
     let count = inputs.shape().n;
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut adam = Adam::new(cfg.lr);
@@ -143,7 +153,13 @@ mod tests {
         let alg = Algebra::real();
         let mut model = Sequential::new().with(alg.conv(1, 1, 3, 42));
         let xs = Tensor::random_uniform(Shape4::new(8, 1, 6, 6), 0.0, 1.0, 1);
-        let cfg = TrainConfig { steps: 200, batch: 4, lr: 5e-2, decay_after: 0.8, seed: 2 };
+        let cfg = TrainConfig {
+            steps: 200,
+            batch: 4,
+            lr: 5e-2,
+            decay_after: 0.8,
+            seed: 2,
+        };
         let report = train_regression(&mut model, &xs, &xs, &cfg);
         assert!(
             report.final_loss < report.losses[0] * 0.1,
@@ -158,7 +174,13 @@ mod tests {
         let alg = Algebra::ri_fh(2);
         let mut model = Sequential::new().with(alg.conv(2, 2, 3, 42));
         let xs = Tensor::random_uniform(Shape4::new(8, 2, 6, 6), 0.0, 1.0, 3);
-        let cfg = TrainConfig { steps: 200, batch: 4, lr: 5e-2, decay_after: 0.8, seed: 4 };
+        let cfg = TrainConfig {
+            steps: 200,
+            batch: 4,
+            lr: 5e-2,
+            decay_after: 0.8,
+            seed: 4,
+        };
         let report = train_regression(&mut model, &xs, &xs, &cfg);
         assert!(report.final_loss < report.losses[0] * 0.2);
     }
@@ -176,14 +198,26 @@ mod tests {
         let dark = Tensor::random_uniform(Shape4::new(8, 1, 4, 4), 0.0, 0.3, 6);
         let xs = Tensor::stack_batches(&[bright, dark]);
         let labels: Vec<usize> = (0..16).map(|i| usize::from(i >= 8)).collect();
-        let cfg = TrainConfig { steps: 150, batch: 8, lr: 2e-2, decay_after: 0.8, seed: 7 };
+        let cfg = TrainConfig {
+            steps: 150,
+            batch: 8,
+            lr: 2e-2,
+            decay_after: 0.8,
+            seed: 7,
+        };
         let _ = train_classifier(&mut model, &xs, &labels, &cfg);
         assert!(accuracy(&mut model, &xs, &labels) > 0.9);
     }
 
     #[test]
     fn schedule_decays() {
-        let cfg = TrainConfig { steps: 100, decay_after: 0.5, lr: 1.0, batch: 1, seed: 0 };
+        let cfg = TrainConfig {
+            steps: 100,
+            decay_after: 0.5,
+            lr: 1.0,
+            batch: 1,
+            seed: 0,
+        };
         assert_eq!(schedule(&cfg, 10), 1.0);
         assert!((schedule(&cfg, 60) - 0.1).abs() < 1e-6);
     }

@@ -27,7 +27,10 @@ impl QFormat {
         let max_abs = max_abs.max(1e-12);
         // Integer bits needed so that max_abs < 2^int_bits.
         let int_bits = max_abs.log2().floor() as i32 + 1;
-        QFormat { bits, frac: bits as i32 - 1 - int_bits }
+        QFormat {
+            bits,
+            frac: bits as i32 - 1 - int_bits,
+        }
     }
 
     /// Largest representable magnitude.
@@ -106,7 +109,10 @@ mod tests {
         for v in [-1.49, -0.7, 0.0, 0.31, 1.49] {
             let q = f.quantize(v);
             let back = f.dequantize(q);
-            assert!((back - v).abs() <= f.scale() / 2.0 + 1e-12, "v={v} back={back}");
+            assert!(
+                (back - v).abs() <= f.scale() / 2.0 + 1e-12,
+                "v={v} back={back}"
+            );
         }
     }
 

@@ -37,7 +37,11 @@ impl QTensor {
                 }
             }
         }
-        Self { shape: s, data, formats }
+        Self {
+            shape: s,
+            data,
+            formats,
+        }
     }
 
     /// Builds from raw integer data (already in the given formats).
@@ -48,7 +52,11 @@ impl QTensor {
     pub fn from_raw(shape: Shape4, data: Vec<i64>, formats: Vec<QFormat>) -> Self {
         assert_eq!(data.len(), shape.len());
         assert_eq!(formats.len(), shape.c);
-        Self { shape, data, formats }
+        Self {
+            shape,
+            data,
+            formats,
+        }
     }
 
     /// Shape.
@@ -111,7 +119,11 @@ impl QTensor {
                 }
             }
         }
-        QTensor { shape: s, data, formats }
+        QTensor {
+            shape: s,
+            data,
+            formats,
+        }
     }
 
     /// Saturating aligned addition (for residual skips): both operands are
@@ -137,17 +149,34 @@ impl QTensor {
                 }
             }
         }
-        QTensor { shape: s, data, formats: out_formats }
+        QTensor {
+            shape: s,
+            data,
+            formats: out_formats,
+        }
     }
 
     /// Applies a channel permutation `new_c → old_c` producing a reshaped
     /// tensor (used by pixel shuffle/unshuffle, which are exact in fixed
     /// point). The caller provides the output shape and, for each output
     /// element, the source flat index.
-    pub fn permuted(&self, shape: Shape4, formats: Vec<QFormat>, map: impl Fn(usize) -> usize) -> QTensor {
-        assert_eq!(shape.len(), self.data.len(), "permutation must preserve size");
+    pub fn permuted(
+        &self,
+        shape: Shape4,
+        formats: Vec<QFormat>,
+        map: impl Fn(usize) -> usize,
+    ) -> QTensor {
+        assert_eq!(
+            shape.len(),
+            self.data.len(),
+            "permutation must preserve size"
+        );
         let data: Vec<i64> = (0..shape.len()).map(|i| self.data[map(i)]).collect();
-        QTensor { shape, data, formats }
+        QTensor {
+            shape,
+            data,
+            formats,
+        }
     }
 }
 
@@ -171,7 +200,9 @@ pub fn group_max_abs(t: &Tensor, groups: usize) -> Vec<f64> {
 /// Expands per-group formats into per-channel formats (`channel c` gets
 /// `formats[c % groups]`).
 pub fn expand_formats(group_formats: &[QFormat], channels: usize) -> Vec<QFormat> {
-    (0..channels).map(|c| group_formats[c % group_formats.len()]).collect()
+    (0..channels)
+        .map(|c| group_formats[c % group_formats.len()])
+        .collect()
 }
 
 #[cfg(test)]
@@ -234,7 +265,10 @@ mod tests {
     fn group_stats_split_components() {
         let t = Tensor::from_vec(Shape4::new(1, 4, 1, 1), vec![0.1, 5.0, 0.2, 6.0]);
         let m = group_max_abs(&t, 2);
-        assert!((m[0] - 0.2).abs() < 1e-6 && (m[1] - 6.0).abs() < 1e-6, "{m:?}");
+        assert!(
+            (m[0] - 0.2).abs() < 1e-6 && (m[1] - 6.0).abs() < 1e-6,
+            "{m:?}"
+        );
         let m1 = group_max_abs(&t, 1);
         assert!((m1[0] - 6.0).abs() < 1e-6);
     }

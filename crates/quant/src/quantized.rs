@@ -45,7 +45,12 @@ pub struct QuantOptions {
 
 impl Default for QuantOptions {
     fn default() -> Self {
-        Self { weight_bits: 8, feature_bits: 8, component_wise: true, on_the_fly_drelu: true }
+        Self {
+            weight_bits: 8,
+            feature_bits: 8,
+            component_wise: true,
+            on_the_fly_drelu: true,
+        }
     }
 }
 
@@ -244,11 +249,14 @@ impl QuantizedModel {
     /// imaging set (conv / ring conv / ReLU / directional ReLU / shuffle /
     /// residual).
     pub fn quantize(model: &mut Sequential, calibration: &Tensor, opts: QuantOptions) -> Self {
-        let input_format =
-            QFormat::fit(group_max_abs(calibration, 1)[0], opts.feature_bits);
+        let input_format = QFormat::fit(group_max_abs(calibration, 1)[0], opts.feature_bits);
         let x = calibration.clone();
         let (layers, _out) = build_chain(model.layers_mut(), x, &opts);
-        Self { input_format, layers, opts }
+        Self {
+            input_format,
+            layers,
+            opts,
+        }
     }
 
     /// Bit-accurate integer inference; input is quantized with the
@@ -311,7 +319,11 @@ fn build_chain_grouped(
         // keeps its accumulator.
         let next_is_drelu = layers
             .get_mut(i + 1)
-            .map(|l| l.as_any_mut().downcast_ref::<DirectionalReluLayer>().is_some())
+            .map(|l| {
+                l.as_any_mut()
+                    .downcast_ref::<DirectionalReluLayer>()
+                    .is_some()
+            })
             .unwrap_or(false);
         let keep_acc = next_is_drelu && opts.on_the_fly_drelu;
         let layer = layers[i].as_mut();
@@ -349,8 +361,7 @@ fn build_chain_grouped(
             // A diagonal ring keeps components separate, so grouped input
             // formats of matching period stay consistent; anything else
             // mixes components and needs alignment.
-            let compatible = cur_groups == 1
-                || (rconv.ring().is_diagonal() && cur_groups == n);
+            let compatible = cur_groups == 1 || (rconv.ring().is_diagonal() && cur_groups == n);
             let align = if compatible {
                 None
             } else {
@@ -388,9 +399,15 @@ fn build_chain_grouped(
             } else {
                 // Calibrate the post-first-transform range.
                 let mid_max = hadamard_intermediate_max(&x, n);
-                DReluMode::MacBased { mid: QFormat::fit(mid_max, opts.feature_bits) }
+                DReluMode::MacBased {
+                    mid: QFormat::fit(mid_max, opts.feature_bits),
+                }
             };
-            out.push(QLayer::DRelu(QDRelu { n, mode, out_formats }));
+            out.push(QLayer::DRelu(QDRelu {
+                n,
+                mode,
+                out_formats,
+            }));
             x = y;
             cur_groups = groups;
         } else if let Some(ps) = layer.as_any_mut().downcast_mut::<PixelShuffle>() {
@@ -423,7 +440,10 @@ fn build_chain_grouped(
             let mut sum = body_out;
             sum.add_assign(&x);
             let f = QFormat::fit(group_max_abs(&sum, 1)[0], opts.feature_bits);
-            out.push(QLayer::Residual(Box::new(QResidual { body, out_formats: vec![f] })));
+            out.push(QLayer::Residual(Box::new(QResidual {
+                body,
+                out_formats: vec![f],
+            })));
             x = sum;
             cur_groups = 1;
         } else {
@@ -447,10 +467,14 @@ fn lower_conv(
     align_input: Option<QFormat>,
     opts: &QuantOptions,
 ) -> QConv {
-    let wmax = float_weights.iter().fold(0.0f64, |m, v| m.max(f64::from(v.abs())));
+    let wmax = float_weights
+        .iter()
+        .fold(0.0f64, |m, v| m.max(f64::from(v.abs())));
     let w_format = QFormat::fit(wmax, opts.weight_bits);
-    let weights: Vec<i64> =
-        float_weights.iter().map(|v| w_format.quantize(f64::from(*v))).collect();
+    let weights: Vec<i64> = float_weights
+        .iter()
+        .map(|v| w_format.quantize(f64::from(*v)))
+        .collect();
     // Accumulator fracs are resolved at run time from the input formats;
     // store placeholders here and fix them lazily (input-format dependent).
     let requant = if keep_acc {
@@ -470,7 +494,10 @@ fn lower_conv(
         w_format,
         // Bias is stored as raw f64 bits because its fixed-point scale
         // depends on the run-time accumulator format; see `bias_at`.
-        bias: bias.iter().map(|b| f64::from(*b).to_bits() as i64).collect(),
+        bias: bias
+            .iter()
+            .map(|b| f64::from(*b).to_bits() as i64)
+            .collect(),
         requant,
         align_input,
     }
@@ -536,8 +563,7 @@ fn run_layer(layer: &QLayer, q: QTensor) -> QTensor {
             let body_out = run_chain(&ur.body, q.clone());
             // Fixed-point interpolator: bicubic on the dequantized input,
             // re-quantized at the output format (deterministic).
-            let skip_f =
-                ringcnn_imaging::degrade::upsample(&q.dequantize(), ur.factor);
+            let skip_f = ringcnn_imaging::degrade::upsample(&q.dequantize(), ur.factor);
             let formats = expand_formats(&ur.out_formats, body_out.shape().c);
             let skip_q = QTensor::quantize(&skip_f, formats.clone());
             body_out.add_saturating(&skip_q, formats)
@@ -560,8 +586,8 @@ fn run_conv(c: &QConv, q: &QTensor) -> QTensor {
     let mut acc_frac = vec![i32::MIN; c.co];
     for co in 0..c.co {
         for ci in 0..c.ci {
-            let any_nonzero = (0..c.k * c.k)
-                .any(|t| c.weights[(co * c.ci + ci) * c.k * c.k + t] != 0);
+            let any_nonzero =
+                (0..c.k * c.k).any(|t| c.weights[(co * c.ci + ci) * c.k * c.k + t] != 0);
             if !any_nonzero {
                 continue;
             }
@@ -610,8 +636,7 @@ fn run_conv(c: &QConv, q: &QTensor) -> QTensor {
                             let row_o = base + (y * w) as usize;
                             let row_i = (y + dy) * w + dx;
                             for x in x0..x1 {
-                                data[row_o + x as usize] +=
-                                    wv * in_plane[(row_i + x) as usize];
+                                data[row_o + x as usize] += wv * in_plane[(row_i + x) as usize];
                             }
                         }
                     }
@@ -619,8 +644,10 @@ fn run_conv(c: &QConv, q: &QTensor) -> QTensor {
             }
         }
     }
-    let formats: Vec<QFormat> =
-        acc_frac.iter().map(|f| QFormat { bits: 32, frac: *f }).collect();
+    let formats: Vec<QFormat> = acc_frac
+        .iter()
+        .map(|f| QFormat { bits: 32, frac: *f })
+        .collect();
     let acc = QTensor::from_raw(out_shape, data, formats);
     match &c.requant {
         Some(fmts) => acc.requantized(fmts.clone()),
@@ -649,8 +676,7 @@ fn run_drelu(d: &QDRelu, q: &QTensor) -> QTensor {
                 for t in 0..tuples {
                     // Align components to the finest (max) frac: Fig. 8's
                     // left-shifters with s_i = max frac − frac_i.
-                    let max_frac =
-                        (0..n).map(|l| q.format_of(t * n + l).frac).max().unwrap();
+                    let max_frac = (0..n).map(|l| q.format_of(t * n + l).frac).max().unwrap();
                     for p in 0..s.plane() {
                         for l in 0..n {
                             let f = q.format_of(t * n + l).frac;
@@ -676,8 +702,7 @@ fn run_drelu(d: &QDRelu, q: &QTensor) -> QTensor {
             // transform, requantize to the output formats.
             for b in 0..s.n {
                 for t in 0..tuples {
-                    let max_frac =
-                        (0..n).map(|l| q.format_of(t * n + l).frac).max().unwrap();
+                    let max_frac = (0..n).map(|l| q.format_of(t * n + l).frac).max().unwrap();
                     for p in 0..s.plane() {
                         for l in 0..n {
                             let f = q.format_of(t * n + l).frac;
@@ -730,8 +755,7 @@ fn run_shuffle(q: &QTensor, r: usize) -> QTensor {
                                 q.format_of(ic).frac,
                                 fo.frac,
                             );
-                            data[out_shape.index(b, oc, y * r + ry, x * r + rx)] =
-                                fo.saturate(v);
+                            data[out_shape.index(b, oc, y * r + ry, x * r + rx)] = fo.saturate(v);
                         }
                     }
                 }
@@ -782,7 +806,13 @@ mod tests {
             .with(alg.conv(c, c, 3, 4))
             .with_opt(alg.activation())
             .with(alg.conv(c, 1, 3, 5));
-        let cfg = TrainConfig { steps: 120, batch: 4, lr: 3e-3, decay_after: 0.7, seed: 1 };
+        let cfg = TrainConfig {
+            steps: 120,
+            batch: 4,
+            lr: 3e-3,
+            decay_after: 0.7,
+            seed: 1,
+        };
         let _ = train_regression(&mut model, &set.inputs, &set.targets, &cfg);
         (model, set.inputs, set.targets)
     }
@@ -798,7 +828,10 @@ mod tests {
         // 8-bit fidelity of a lightly-trained (RI4, fH) model varies with
         // the training/init stream (measured ~25–32 dB across seeds);
         // the floor flags a broken pipeline, not a lucky stream.
-        assert!(p > 24.0, "quantized output should track float output, PSNR {p}");
+        assert!(
+            p > 24.0,
+            "quantized output should track float output, PSNR {p}"
+        );
     }
 
     #[test]
@@ -811,7 +844,10 @@ mod tests {
         let qm_single = QuantizedModel::quantize(
             &mut model,
             &inputs,
-            QuantOptions { component_wise: false, ..QuantOptions::default() },
+            QuantOptions {
+                component_wise: false,
+                ..QuantOptions::default()
+            },
         );
         let p_cw = psnr(&qm_cw.forward(&inputs), &targets);
         let p_single = psnr(&qm_single.forward(&inputs), &targets);
@@ -831,7 +867,10 @@ mod tests {
         let mac = QuantizedModel::quantize(
             &mut model,
             &inputs,
-            QuantOptions { on_the_fly_drelu: false, ..QuantOptions::default() },
+            QuantOptions {
+                on_the_fly_drelu: false,
+                ..QuantOptions::default()
+            },
         );
         let p_otf = psnr(&otf.forward(&inputs), &targets);
         let p_mac = psnr(&mac.forward(&inputs), &targets);

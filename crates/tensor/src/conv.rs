@@ -6,7 +6,6 @@
 //! CNNs of the paper (spatial resolution is changed only by pixel
 //! shuffle/unshuffle, never by strides).
 
-
 use crate::tensor::Tensor;
 use rayon::prelude::*;
 
@@ -26,7 +25,12 @@ pub struct ConvWeights {
 impl ConvWeights {
     /// Zero-initialized weights.
     pub fn zeros(co: usize, ci: usize, k: usize) -> Self {
-        Self { co, ci, k, data: vec![0.0; co * ci * k * k] }
+        Self {
+            co,
+            ci,
+            k,
+            data: vec![0.0; co * ci * k * k],
+        }
     }
 
     /// Flat index of `(co, ci, ky, kx)`.
@@ -57,15 +61,19 @@ impl ConvWeights {
 pub fn conv2d_forward(input: &Tensor, w: &ConvWeights, bias: &[f32]) -> Tensor {
     let s = input.shape();
     assert_eq!(s.c, w.ci, "input channels mismatch");
-    assert!(bias.is_empty() || bias.len() == w.co, "bias length mismatch");
+    assert!(
+        bias.is_empty() || bias.len() == w.co,
+        "bias length mismatch"
+    );
     let out_shape = s.with_channels(w.co);
     let mut out = Tensor::zeros(out_shape);
     let pad = (w.k / 2) as isize;
     let (h, wd) = (s.h as isize, s.w as isize);
 
     // Parallel over (batch, output channel) planes.
-    let planes: Vec<(usize, usize)> =
-        (0..s.n).flat_map(|n| (0..w.co).map(move |co| (n, co))).collect();
+    let planes: Vec<(usize, usize)> = (0..s.n)
+        .flat_map(|n| (0..w.co).map(move |co| (n, co)))
+        .collect();
     let results: Vec<Vec<f32>> = planes
         .par_iter()
         .map(|&(n, co)| {
@@ -128,8 +136,9 @@ pub fn conv2d_backward_input(dout: &Tensor, w: &ConvWeights) -> Tensor {
     let mut dinput = Tensor::zeros(in_shape);
     let pad = (w.k / 2) as isize;
     let (h, wd) = (s.h as isize, s.w as isize);
-    let planes: Vec<(usize, usize)> =
-        (0..s.n).flat_map(|n| (0..w.ci).map(move |ci| (n, ci))).collect();
+    let planes: Vec<(usize, usize)> = (0..s.n)
+        .flat_map(|n| (0..w.ci).map(move |ci| (n, ci)))
+        .collect();
     let results: Vec<Vec<f32>> = planes
         .par_iter()
         .map(|&(n, ci)| {
@@ -160,14 +169,14 @@ pub fn conv2d_backward_input(dout: &Tensor, w: &ConvWeights) -> Tensor {
 }
 
 /// Gradient w.r.t. the weights and bias.
-pub fn conv2d_backward_weight(
-    input: &Tensor,
-    dout: &Tensor,
-    k: usize,
-) -> (ConvWeights, Vec<f32>) {
+pub fn conv2d_backward_weight(input: &Tensor, dout: &Tensor, k: usize) -> (ConvWeights, Vec<f32>) {
     let si = input.shape();
     let so = dout.shape();
-    assert_eq!((si.n, si.h, si.w), (so.n, so.h, so.w), "spatial/batch mismatch");
+    assert_eq!(
+        (si.n, si.h, si.w),
+        (so.n, so.h, so.w),
+        "spatial/batch mismatch"
+    );
     let pad = (k / 2) as isize;
     let (h, wd) = (si.h as isize, si.w as isize);
     let mut dw = ConvWeights::zeros(so.c, si.c, k);
@@ -196,8 +205,8 @@ pub fn conv2d_backward_weight(
                                 let row_d = (y * wd) as usize;
                                 let row_i = (y + dy) * wd + dx;
                                 for x in x0..x1 {
-                                    acc += dplane[row_d + x as usize]
-                                        * iplane[(row_i + x) as usize];
+                                    acc +=
+                                        dplane[row_d + x as usize] * iplane[(row_i + x) as usize];
                                 }
                             }
                             dwslice[(ci * k + ky) * k + kx] += acc;
@@ -221,11 +230,7 @@ mod tests {
     use super::*;
     use crate::shape::Shape4;
 
-    fn manual_conv(
-        input: &Tensor,
-        w: &ConvWeights,
-        bias: &[f32],
-    ) -> Tensor {
+    fn manual_conv(input: &Tensor, w: &ConvWeights, bias: &[f32]) -> Tensor {
         let s = input.shape();
         let mut out = Tensor::zeros(s.with_channels(w.co));
         let pad = (w.k / 2) as isize;
@@ -243,8 +248,7 @@ mod tests {
                                     {
                                         continue;
                                     }
-                                    acc += w.data
-                                        [w.index(co, ci, ky as usize, kx as usize)]
+                                    acc += w.data[w.index(co, ci, ky as usize, kx as usize)]
                                         * input.at(n, ci, yy as usize, xx as usize);
                                 }
                             }
@@ -287,10 +291,7 @@ mod tests {
 
     #[test]
     fn one_by_one_conv_is_channel_mix() {
-        let input = Tensor::from_vec(
-            Shape4::new(1, 2, 1, 2),
-            vec![1.0, 2.0, /* c1 */ 3.0, 4.0],
-        );
+        let input = Tensor::from_vec(Shape4::new(1, 2, 1, 2), vec![1.0, 2.0, /* c1 */ 3.0, 4.0]);
         let mut w = ConvWeights::zeros(1, 2, 1);
         w.data[0] = 10.0;
         w.data[1] = 100.0;
@@ -332,7 +333,10 @@ mod tests {
                 .sum();
             let fd = (lp - lm) / (2.0 * eps);
             let an = dinput.at(n, c, y, x);
-            assert!((fd - an).abs() < 1e-2, "probe {probe:?}: fd {fd} vs analytic {an}");
+            assert!(
+                (fd - an).abs() < 1e-2,
+                "probe {probe:?}: fd {fd} vs analytic {an}"
+            );
         }
     }
 
@@ -364,7 +368,11 @@ mod tests {
                 .map(|(a, b)| a * b)
                 .sum();
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((fd - dw.data[probe]).abs() < 2e-2, "w[{probe}]: {fd} vs {}", dw.data[probe]);
+            assert!(
+                (fd - dw.data[probe]).abs() < 2e-2,
+                "w[{probe}]: {fd} vs {}",
+                dw.data[probe]
+            );
         }
         // Bias gradient is the plane sum of dout per channel.
         for co in 0..2 {

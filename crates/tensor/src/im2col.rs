@@ -9,6 +9,14 @@
 //! prefetcher wants — and output rows (`(batch, co)` planes) run
 //! rayon-parallel.
 //!
+//! The packing kernel is *window-aware*: [`im2col_pack_window`] packs an
+//! arbitrary [`Window`] of the source plane (the tile views of the
+//! block-based runtime) directly from the parent tensor, treating the
+//! window boundary exactly like an image boundary (zero padding). The
+//! whole-image entry point [`im2col_pack`] is the full-window special
+//! case of the same code path, so the tile kernel is exercised by every
+//! dense convolution in the workspace.
+//!
 //! The accumulation order per output element is identical to the naive
 //! kernel (taps in `(ci, ky, kx)` order, zero taps skipped, bias first),
 //! so the two kernels agree **bit for bit**, not just within a tolerance.
@@ -17,6 +25,7 @@
 
 use crate::conv::ConvWeights;
 use crate::tensor::Tensor;
+use crate::tile::Window;
 use rayon::prelude::*;
 
 /// Packs one batch item into a patch matrix of shape `(ci·k²) × (H·W)`,
@@ -28,9 +37,25 @@ use rayon::prelude::*;
 /// Panics if `n` is out of range for the tensor's batch dimension.
 pub fn im2col_pack(input: &Tensor, n: usize, k: usize) -> Vec<f32> {
     let s = input.shape();
-    let plane = s.plane();
+    im2col_pack_window(input, n, k, Window::full(s.h, s.w))
+}
+
+/// Packs a `window` of one batch item into a patch matrix of shape
+/// `(ci·k²) × (window.h · window.w)`, reading directly from the parent
+/// tensor. Samples outside the window — including window rows/columns
+/// that fall outside the parent image — read as zero, so the result is
+/// bit-identical to `im2col_pack(&input.extract_window(n, window), 0, k)`
+/// without materializing the tile.
+///
+/// # Panics
+///
+/// Panics if `n` is out of range for the tensor's batch dimension.
+pub fn im2col_pack_window(input: &Tensor, n: usize, k: usize, window: Window) -> Vec<f32> {
+    let s = input.shape();
+    let plane = window.h * window.w;
     let pad = (k / 2) as isize;
-    let (h, w) = (s.h as isize, s.w as isize);
+    let (ph, pw) = (s.h as isize, s.w as isize);
+    let (wh, ww) = (window.h as isize, window.w as isize);
     let mut col = vec![0.0f32; s.c * k * k * plane];
     for ci in 0..s.c {
         let src = input.plane(n, ci);
@@ -40,10 +65,13 @@ pub fn im2col_pack(input: &Tensor, n: usize, k: usize) -> Vec<f32> {
                 let dst = &mut col[r * plane..(r + 1) * plane];
                 let dy = ky as isize - pad;
                 let dx = kx as isize - pad;
-                let y0 = 0.max(-dy);
-                let y1 = h.min(h - dy);
-                let x0 = 0.max(-dx);
-                let x1 = w.min(w - dx);
+                // Output rows where the shifted sample is both inside the
+                // window (window boundary = zero padding) and inside the
+                // parent image (halo windows reach out of frame).
+                let y0 = 0.max(-dy).max(-(window.y0 + dy));
+                let y1 = wh.min(wh - dy).min(ph - window.y0 - dy);
+                let x0 = 0.max(-dx).max(-(window.x0 + dx));
+                let x1 = ww.min(ww - dx).min(pw - window.x0 - dx);
                 // Entirely out-of-frame tap (padding exceeds the map on
                 // this axis): the whole row stays zero. Guard before the
                 // usize casts below, which would wrap on x1 < x0.
@@ -51,13 +79,12 @@ pub fn im2col_pack(input: &Tensor, n: usize, k: usize) -> Vec<f32> {
                     continue;
                 }
                 for y in y0..y1 {
-                    let row_out = (y * w) as usize;
+                    let row_out = (y * ww) as usize;
                     // Signed until x0 is added: can be transiently negative
                     // when dx < 0 (same convention as the naive kernel).
-                    let row_in = (y + dy) * w + dx;
-                    dst[row_out + x0 as usize..row_out + x1 as usize].copy_from_slice(
-                        &src[(row_in + x0) as usize..(row_in + x1) as usize],
-                    );
+                    let row_in = (window.y0 + y + dy) * pw + window.x0 + dx;
+                    dst[row_out + x0 as usize..row_out + x1 as usize]
+                        .copy_from_slice(&src[(row_in + x0) as usize..(row_in + x1) as usize]);
                 }
             }
         }
@@ -80,35 +107,82 @@ pub fn im2col_pack(input: &Tensor, n: usize, k: usize) -> Vec<f32> {
 pub fn conv2d_forward_im2col(input: &Tensor, w: &ConvWeights, bias: &[f32]) -> Tensor {
     let s = input.shape();
     assert_eq!(s.c, w.ci, "input channels mismatch");
-    assert!(bias.is_empty() || bias.len() == w.co, "bias length mismatch");
+    assert!(
+        bias.is_empty() || bias.len() == w.co,
+        "bias length mismatch"
+    );
     let mut out = Tensor::zeros(s.with_channels(w.co));
     let plane = s.plane();
-    let ckk = w.ci * w.k * w.k;
     for n in 0..s.n {
         let col = im2col_pack(input, n, w.k);
-        // Parallel over output rows of the product (one (n, co) plane each).
-        let results: Vec<Vec<f32>> = (0..w.co)
-            .into_par_iter()
-            .map(|co| {
-                let mut acc = vec![if bias.is_empty() { 0.0 } else { bias[co] }; plane];
-                let wrow = &w.data[co * ckk..(co + 1) * ckk];
-                for (r, &wv) in wrow.iter().enumerate() {
-                    if wv == 0.0 {
-                        continue;
-                    }
-                    let src = &col[r * plane..(r + 1) * plane];
-                    for (a, v) in acc.iter_mut().zip(src) {
-                        *a += wv * *v;
-                    }
-                }
-                acc
-            })
-            .collect();
+        let results = product_rows(&col, plane, w, bias);
         for (co, acc) in results.into_iter().enumerate() {
             out.plane_mut(n, co).copy_from_slice(&acc);
         }
     }
     out
+}
+
+/// Forward convolution of a tile view: convolves `window` of batch item
+/// `n` as if the window were a standalone zero-padded image (the
+/// semantics of the block-based inference flow), returning a
+/// `[1, co, window.h, window.w]` tensor. Bit-identical to
+/// `conv2d_forward_im2col(&input.extract_window(n, window), …)` without
+/// materializing the tile.
+///
+/// The tiled runtime (`ringcnn_nn::runtime`) currently extracts tiles
+/// and runs whole-tile kernels (the `Layer` API is tensor-in/tensor-out);
+/// this entry point is the building block for a fused first-layer tile
+/// path that skips the extraction copy, and the direct conv-level
+/// equivalence check of the window packing above.
+///
+/// # Panics
+///
+/// Panics if channel counts disagree or `bias.len() != co`.
+pub fn conv2d_forward_im2col_window(
+    input: &Tensor,
+    n: usize,
+    window: Window,
+    w: &ConvWeights,
+    bias: &[f32],
+) -> Tensor {
+    let s = input.shape();
+    assert_eq!(s.c, w.ci, "input channels mismatch");
+    assert!(
+        bias.is_empty() || bias.len() == w.co,
+        "bias length mismatch"
+    );
+    let plane = window.h * window.w;
+    let mut out = Tensor::zeros(crate::shape::Shape4::new(1, w.co, window.h, window.w));
+    let col = im2col_pack_window(input, n, w.k, window);
+    let results = product_rows(&col, plane, w, bias);
+    for (co, acc) in results.into_iter().enumerate() {
+        out.plane_mut(0, co).copy_from_slice(&acc);
+    }
+    out
+}
+
+/// The row-times-matrix product over a packed patch matrix: one output
+/// plane per `co`, parallel across output rows.
+fn product_rows(col: &[f32], plane: usize, w: &ConvWeights, bias: &[f32]) -> Vec<Vec<f32>> {
+    let ckk = w.ci * w.k * w.k;
+    (0..w.co)
+        .into_par_iter()
+        .map(|co| {
+            let mut acc = vec![if bias.is_empty() { 0.0 } else { bias[co] }; plane];
+            let wrow = &w.data[co * ckk..(co + 1) * ckk];
+            for (r, &wv) in wrow.iter().enumerate() {
+                if wv == 0.0 {
+                    continue;
+                }
+                let src = &col[r * plane..(r + 1) * plane];
+                for (a, v) in acc.iter_mut().zip(src) {
+                    *a += wv * *v;
+                }
+            }
+            acc
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -131,15 +205,22 @@ mod tests {
 
     #[test]
     fn matches_naive_bit_for_bit() {
-        for (co, ci, k, h, wd) in
-            [(4, 3, 3, 6, 5), (2, 2, 1, 4, 7), (3, 1, 5, 7, 4), (1, 4, 3, 1, 9)]
-        {
+        for (co, ci, k, h, wd) in [
+            (4, 3, 3, 6, 5),
+            (2, 2, 1, 4, 7),
+            (3, 1, 5, 7, 4),
+            (1, 4, 3, 1, 9),
+        ] {
             let input = Tensor::random_uniform(Shape4::new(2, ci, h, wd), -1.0, 1.0, 3);
             let w = pseudo_weights(co, ci, k);
             let bias: Vec<f32> = (0..co).map(|i| 0.1 * i as f32 - 0.2).collect();
             let naive = conv2d_forward(&input, &w, &bias);
             let fast = conv2d_forward_im2col(&input, &w, &bias);
-            assert_eq!(naive.as_slice(), fast.as_slice(), "co={co} ci={ci} k={k} {h}x{wd}");
+            assert_eq!(
+                naive.as_slice(),
+                fast.as_slice(),
+                "co={co} ci={ci} k={k} {h}x{wd}"
+            );
         }
     }
 
@@ -177,5 +258,44 @@ mod tests {
         assert_eq!(&col[0..4], &[0.0, 0.0, 0.0, 1.0]);
         // Bottom-right tap (ky = kx = 2) reads src[y+1][x+1]: only (0, 0).
         assert_eq!(&col[8 * 4..9 * 4], &[1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn window_pack_matches_extracted_tile_pack() {
+        let input = Tensor::random_uniform(Shape4::new(2, 3, 9, 7), -1.0, 1.0, 21);
+        for k in [1usize, 3, 5] {
+            for win in [
+                Window::new(2, 1, 4, 5),    // interior
+                Window::new(-2, -1, 6, 5),  // over the top-left corner
+                Window::new(5, 3, 6, 6),    // over the bottom-right corner
+                Window::new(-1, -1, 11, 9), // superset of the whole image
+                Window::new(9, 7, 3, 3),    // entirely out of frame
+            ] {
+                let direct = im2col_pack_window(&input, 1, k, win);
+                let via_tile = im2col_pack(&input.extract_window(1, win), 0, k);
+                assert_eq!(direct, via_tile, "k={k} win={win:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_conv_matches_conv_of_extracted_tile() {
+        let input = Tensor::random_uniform(Shape4::new(1, 3, 8, 8), -1.0, 1.0, 23);
+        let w = pseudo_weights(4, 3, 3);
+        let bias = [0.1, -0.2, 0.05, 0.0];
+        let win = Window::new(-1, 3, 6, 7);
+        let direct = conv2d_forward_im2col_window(&input, 0, win, &w, &bias);
+        let via_tile = conv2d_forward_im2col(&input.extract_window(0, win), &w, &bias);
+        assert_eq!(direct.as_slice(), via_tile.as_slice());
+    }
+
+    #[test]
+    fn full_window_is_the_whole_image_kernel() {
+        let input = Tensor::random_uniform(Shape4::new(1, 2, 5, 6), -1.0, 1.0, 25);
+        let w = pseudo_weights(2, 2, 3);
+        let win = Window::full(5, 6);
+        let windowed = conv2d_forward_im2col_window(&input, 0, win, &w, &[]);
+        let whole = conv2d_forward_im2col(&input, &w, &[]);
+        assert_eq!(windowed.as_slice(), whole.as_slice());
     }
 }

@@ -25,13 +25,17 @@ pub mod conv;
 pub mod im2col;
 pub mod shape;
 pub mod tensor;
+pub mod tile;
 
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::conv::{
         conv2d_backward_input, conv2d_backward_weight, conv2d_forward, ConvWeights,
     };
-    pub use crate::im2col::{conv2d_forward_im2col, im2col_pack};
+    pub use crate::im2col::{
+        conv2d_forward_im2col, conv2d_forward_im2col_window, im2col_pack, im2col_pack_window,
+    };
     pub use crate::shape::Shape4;
     pub use crate::tensor::Tensor;
+    pub use crate::tile::{tile_grid, Window};
 }

@@ -27,12 +27,18 @@ pub struct Tensor {
 impl Tensor {
     /// Creates a zero-filled tensor.
     pub fn zeros(shape: Shape4) -> Self {
-        Self { shape, data: vec![0.0; shape.len()] }
+        Self {
+            shape,
+            data: vec![0.0; shape.len()],
+        }
     }
 
     /// Creates a tensor filled with a constant.
     pub fn full(shape: Shape4, value: f32) -> Self {
-        Self { shape, data: vec![value; shape.len()] }
+        Self {
+            shape,
+            data: vec![value; shape.len()],
+        }
     }
 
     /// Wraps an existing buffer.
@@ -41,7 +47,11 @@ impl Tensor {
     ///
     /// Panics if `data.len() != shape.len()`.
     pub fn from_vec(shape: Shape4, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), shape.len(), "buffer does not match shape {shape}");
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer does not match shape {shape}"
+        );
         Self { shape, data }
     }
 
@@ -121,7 +131,11 @@ impl Tensor {
     ///
     /// Panics if the new shape has a different element count.
     pub fn reshaped(mut self, shape: Shape4) -> Tensor {
-        assert_eq!(shape.len(), self.shape.len(), "reshape must preserve element count");
+        assert_eq!(
+            shape.len(),
+            self.shape.len(),
+            "reshape must preserve element count"
+        );
         self.shape = shape;
         self
     }
@@ -251,8 +265,12 @@ mod tests {
     fn normal_has_roughly_right_std() {
         let t = Tensor::random_normal(Shape4::new(1, 1, 64, 64), 2.0, 1);
         let mean = t.mean();
-        let var: f32 =
-            t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4096.0;
+        let var: f32 = t
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4096.0;
         assert!(mean.abs() < 0.2, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.2, "std {}", var.sqrt());
     }

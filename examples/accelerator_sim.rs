@@ -34,16 +34,26 @@ fn main() {
 
         let layout = layout_report(&accel, &tech);
         println!("=== {} ({}) ===", accel.name, algebra.label());
-        println!("  layout:       {:.2} mm², {:.2} W, {:.1} equivalent TOPS",
-            layout.area_mm2, layout.power_w, layout.tops_equivalent);
-        println!("  simulation:   {} cycles, {:.1}% utilization, bit-exact: {exact}",
-            report.cycles, report.utilization * 100.0);
-        println!("  quality:      {:.2} dB (noisy was {:.2} dB)",
-            psnr(&output, &clean), psnr(&noisy, &clean));
-        println!("  energy:       {:.2} nJ/pixel | weights {:.1} KB (fit: {})",
+        println!(
+            "  layout:       {:.2} mm², {:.2} W, {:.1} equivalent TOPS",
+            layout.area_mm2, layout.power_w, layout.tops_equivalent
+        );
+        println!(
+            "  simulation:   {} cycles, {:.1}% utilization, bit-exact: {exact}",
+            report.cycles,
+            report.utilization * 100.0
+        );
+        println!(
+            "  quality:      {:.2} dB (noisy was {:.2} dB)",
+            psnr(&output, &clean),
+            psnr(&noisy, &clean)
+        );
+        println!(
+            "  energy:       {:.2} nJ/pixel | weights {:.1} KB (fit: {})",
             report.nj_per_output_pixel,
             report.memory.weight_bytes as f64 / 1024.0,
-            report.weights_fit);
+            report.weights_fit
+        );
         println!();
     }
     println!(

@@ -12,8 +12,11 @@ use ringcnn::prelude::*;
 
 fn main() {
     let standard = std::env::args().any(|a| a == "--standard");
-    let scale =
-        if standard { ExperimentScale::standard() } else { ExperimentScale::quick() };
+    let scale = if standard {
+        ExperimentScale::standard()
+    } else {
+        ExperimentScale::quick()
+    };
     let scenario = Scenario::Denoise { sigma: 25.0 };
     println!("Training denoisers (σ = 25) at {:?} scale…\n", scale.steps);
 

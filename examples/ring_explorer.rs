@@ -24,14 +24,20 @@ fn main() {
             "  grank({:<6}) = {}  (residual sweep: {:?})",
             kind.label(),
             est.rank,
-            est.residuals.iter().map(|(r, e)| format!("r{r}:{e:.1e}")).collect::<Vec<_>>()
+            est.residuals
+                .iter()
+                .map(|(r, e)| format!("r{r}:{e:.1e}"))
+                .collect::<Vec<_>>()
         );
     }
 
     println!("\n== Exhaustive proper-ring search under (C1)-(C3) ==");
     for n in [2usize, 4] {
         let report = search_proper_rings(n, &SearchOptions::default());
-        println!("\n  n = {n}: {} non-isomorphic permutation class(es)", report.classes.len());
+        println!(
+            "\n  n = {n}: {} non-isomorphic permutation class(es)",
+            report.classes.len()
+        );
         for (i, class) in report.classes.iter().enumerate() {
             println!(
                 "    class {i}: P = {:?}\n      {} commutative sign patterns → {} associative variants, min grank {} ({} minimal)",

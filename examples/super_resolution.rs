@@ -10,8 +10,11 @@ use ringcnn::prelude::*;
 
 fn main() {
     let standard = std::env::args().any(|a| a == "--standard");
-    let scale =
-        if standard { ExperimentScale::standard() } else { ExperimentScale::quick() };
+    let scale = if standard {
+        ExperimentScale::standard()
+    } else {
+        ExperimentScale::quick()
+    };
     let scenario = Scenario::Sr4;
 
     let bicubic = classical_baseline(scenario, &scale);
@@ -20,7 +23,11 @@ fn main() {
     let algebra = Algebra::ri_fh(4);
     let mut model = build_model(scenario, ThroughputTarget::Uhd30, &algebra, 42);
     let result = run_quality("(RI4,fH)", &mut model, scenario, &scale, 7);
-    println!("trained {}: {:.2} dB (float)", algebra.label(), result.psnr_db);
+    println!(
+        "trained {}: {:.2} dB (float)",
+        algebra.label(),
+        result.psnr_db
+    );
 
     // Quantize to 8-bit fixed point with the paper's component-wise
     // Q-formats and the on-the-fly directional ReLU.
@@ -33,19 +40,28 @@ fn main() {
         total += psnr(&qm.forward(&pairs.inputs), &pairs.targets);
     }
     let q_psnr = total / profiles.len() as f64;
-    println!("8-bit quantized:     {q_psnr:.2} dB (drop {:.3} dB)", result.psnr_db - q_psnr);
+    println!(
+        "8-bit quantized:     {q_psnr:.2} dB (drop {:.3} dB)",
+        result.psnr_db - q_psnr
+    );
 
     // The same model with the conventional MAC-based directional ReLU
     // (quantize-before-transform) — the paper's ~0.2 dB warning.
     let qm_mac = QuantizedModel::quantize(
         &mut model,
         &calib.inputs,
-        QuantOptions { on_the_fly_drelu: false, ..QuantOptions::default() },
+        QuantOptions {
+            on_the_fly_drelu: false,
+            ..QuantOptions::default()
+        },
     );
     let mut total = 0.0;
     for p in &profiles {
         let pairs = eval_pairs(scenario, *p, &scale);
         total += psnr(&qm_mac.forward(&pairs.inputs), &pairs.targets);
     }
-    println!("MAC-based fH:        {:.2} dB", total / profiles.len() as f64);
+    println!(
+        "MAC-based fH:        {:.2} dB",
+        total / profiles.len() as f64
+    );
 }

@@ -47,7 +47,12 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let report = run_bench(self.warm_up_time, self.measurement_time, self.sample_size, &mut f);
+        let report = run_bench(
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            &mut f,
+        );
         println!("{:<40} {report}", id.into());
         self
     }
@@ -92,7 +97,12 @@ impl<'a> BenchmarkGroup<'a> {
     where
         F: FnMut(&mut Bencher),
     {
-        let report = run_bench(self.warm_up_time, self.measurement_time, self.sample_size, &mut f);
+        let report = run_bench(
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            &mut f,
+        );
         println!("{}/{:<32} {report}", self.name, id.into());
         self
     }
@@ -130,7 +140,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     let warm_start = Instant::now();
     let mut per_iter = Duration::from_nanos(1);
     while warm_start.elapsed() < warm_up {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         per_iter = b.elapsed.max(Duration::from_nanos(1)) / iters as u32;
         iters = iters.saturating_mul(2).min(1 << 20);
@@ -142,14 +155,20 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     let mut best = Duration::MAX;
     let mut total = Duration::ZERO;
     for _ in 0..samples.max(1) {
-        let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         let per = b.elapsed / iters_per_sample as u32;
         best = best.min(per);
         total += b.elapsed;
     }
     let mean = total / (samples.max(1) as u32 * iters_per_sample as u32).max(1);
-    format!("mean {:>12?}  best {:>12?}  ({} iters/sample)", mean, best, iters_per_sample)
+    format!(
+        "mean {:>12?}  best {:>12?}  ({} iters/sample)",
+        mean, best, iters_per_sample
+    )
 }
 
 /// Declares a benchmark group function, mirroring criterion's macro.

@@ -24,7 +24,12 @@ impl<const R: usize> ChaChaCore<R> {
         for (i, k) in key.iter_mut().enumerate() {
             *k = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
         }
-        Self { key, counter: 0, buf: [0; 16], buf_pos: 16 }
+        Self {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            buf_pos: 16,
+        }
     }
 
     #[inline]

@@ -1,43 +1,340 @@
-//! Offline stand-in for `rayon`: the `par_iter`/`into_par_iter` entry
-//! points resolve to plain sequential `std` iterators, so all downstream
-//! adapters (`map`, `collect`, …) are the standard `Iterator` methods.
-//! Semantics are identical to real rayon for the pure map/collect
-//! pipelines this workspace runs — just single-threaded. Replace with
-//! the real crate (same call sites, no code changes) for parallelism.
+//! Offline stand-in for `rayon`, now with real parallelism: a persistent
+//! pool of `std::thread` workers behind the same `par_iter` /
+//! `into_par_iter` / `join` / `scope` entry points, so the workspace's
+//! call sites compile unchanged against either this shim or the real
+//! crate.
+//!
+//! Guarantees the workspace relies on:
+//!
+//! - **Ordered results.** `map(...).collect()` returns items in input
+//!   order regardless of which worker computed them, exactly like rayon.
+//! - **Bit-determinism.** Each index is computed independently and
+//!   written to its own slot; no floating-point reduction order changes
+//!   with the thread count, so parallel output is bit-identical to the
+//!   sequential path.
+//! - **Thread-count control.** The pool is sized once per process from
+//!   `RINGCNN_THREADS` (then `RAYON_NUM_THREADS`, then the machine's
+//!   available parallelism). Size 1 runs every entry point inline.
+//! - **Nesting.** Submitting threads participate in draining their own
+//!   jobs, so parallel sections nest without deadlock (the pool is
+//!   shared, not per-call).
+//!
+//! Differences from real rayon, by design of the offline shim: no
+//! work-stealing deques (a shared chunked cursor balances load instead),
+//! no split/fold adapter zoo — only the adapters the workspace uses
+//! (`map`, `for_each`, `collect`, `sum`), and `scope` drains spawned
+//! tasks in waves rather than interleaving them with the spawning
+//! closure.
 
-/// Sequential re-interpretation of `rayon::prelude`.
+pub mod pool;
+
+/// Runs two closures, potentially in parallel, and returns both results.
+///
+/// Panics from either closure propagate after both slots have settled.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut ra = None;
+    let mut rb = None;
+    {
+        let ta: Box<dyn FnOnce() + Send + '_> = Box::new(|| ra = Some(a()));
+        let tb: Box<dyn FnOnce() + Send + '_> = Box::new(|| rb = Some(b()));
+        pool::run_tasks(vec![ta, tb]);
+    }
+    (
+        ra.expect("join arm executed"),
+        rb.expect("join arm executed"),
+    )
+}
+
+/// The number of threads the global pool runs (1 means sequential).
+pub fn current_num_threads() -> usize {
+    pool::current_num_threads()
+}
+
+type ScopedTask<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+/// A scope for spawning borrowed tasks (`rayon::scope` lookalike).
+///
+/// Tasks spawned with [`Scope::spawn`] run after the scope closure
+/// returns, in parallel waves, and are all complete before [`scope`]
+/// returns — which is what lets them borrow from the caller's stack.
+pub struct Scope<'scope> {
+    tasks: std::sync::Mutex<Vec<ScopedTask<'scope>>>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues a task; it may spawn further tasks through the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.tasks
+            .lock()
+            .expect("scope task list poisoned")
+            .push(Box::new(f));
+    }
+}
+
+/// Runs `op`, then drains every task it spawned (and any tasks those
+/// spawn) across the pool; returns `op`'s result once all are done.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        tasks: std::sync::Mutex::new(Vec::new()),
+    };
+    let result = op(&s);
+    loop {
+        let batch = std::mem::take(&mut *s.tasks.lock().expect("scope task list poisoned"));
+        if batch.is_empty() {
+            break;
+        }
+        let scope_ref = &s;
+        pool::run_tasks(
+            batch
+                .into_iter()
+                .map(|t| Box::new(move || t(scope_ref)) as Box<dyn FnOnce() + Send + '_>)
+                .collect(),
+        );
+    }
+    result
+}
+
+/// Parallel re-interpretation of `rayon::prelude`.
 pub mod prelude {
+    use crate::pool;
+    use std::sync::Mutex;
+
+    pub use crate::{current_num_threads, join, scope};
+
     /// `into_par_iter()` for any owned iterable (ranges, `Vec`, …).
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Returns the sequential iterator standing in for the parallel one.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
+    pub trait IntoParallelIterator: IntoIterator + Sized
+    where
+        Self::Item: Send,
+    {
+        /// Buffers the items and hands back a parallel adapter.
+        fn into_par_iter(self) -> IntoParIter<Self::Item> {
+            IntoParIter {
+                items: self.into_iter().collect(),
+            }
         }
     }
 
-    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T where T::Item: Send {}
+
+    /// Owned-item parallel iterator.
+    pub struct IntoParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> IntoParIter<T> {
+        /// Parallel map over owned items.
+        pub fn map<R, F>(self, f: F) -> ParMapOwned<T, F>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            ParMapOwned {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Runs `f` on every item across the pool.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(T) + Sync,
+        {
+            let _: Vec<()> = self.map(f).collect();
+        }
+    }
+
+    /// Pending owned-item parallel map.
+    pub struct ParMapOwned<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T, R, F> ParMapOwned<T, F>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        /// Executes the map across the pool and collects results in
+        /// input order.
+        pub fn collect<C>(self) -> C
+        where
+            C: FromIterator<R>,
+        {
+            let slots: Vec<Mutex<Option<T>>> = self
+                .items
+                .into_iter()
+                .map(|t| Mutex::new(Some(t)))
+                .collect();
+            let f = &self.f;
+            pool::map_indexed(slots.len(), |i| {
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot poisoned")
+                    .take()
+                    .expect("item taken once");
+                f(item)
+            })
+            .into_iter()
+            .collect()
+        }
+
+        /// Parallel sum of the mapped values.
+        pub fn sum(self) -> R
+        where
+            R: std::iter::Sum<R>,
+        {
+            self.collect::<Vec<R>>().into_iter().sum()
+        }
+    }
 
     /// `par_iter()` / `par_iter_mut()` on slices (and `Vec` via deref).
     pub trait ParallelSlice<T> {
-        /// Sequential stand-in for `par_iter`.
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        /// Sequential stand-in for `par_iter_mut`.
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-        /// Sequential stand-in for `par_chunks_mut`.
-        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+        /// Shared-reference parallel iterator.
+        fn par_iter(&self) -> ParSliceIter<'_, T>;
+        /// Mutable parallel iterator.
+        fn par_iter_mut(&mut self) -> ParSliceIterMut<'_, T>;
+        /// Mutable parallel chunk iterator.
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
     }
 
     impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
+        fn par_iter(&self) -> ParSliceIter<'_, T> {
+            ParSliceIter { slice: self }
         }
 
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
+        fn par_iter_mut(&mut self) -> ParSliceIterMut<'_, T> {
+            ParSliceIterMut { slice: self }
         }
 
-        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(size)
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+            assert!(size > 0, "chunk size must be positive");
+            ParChunksMut { slice: self, size }
+        }
+    }
+
+    /// Borrowed-item parallel iterator over a slice.
+    pub struct ParSliceIter<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParSliceIter<'a, T> {
+        /// Parallel map over `&T`.
+        pub fn map<R, F>(self, f: F) -> ParMapSlice<'a, T, F>
+        where
+            R: Send,
+            F: Fn(&'a T) -> R + Sync,
+        {
+            ParMapSlice {
+                slice: self.slice,
+                f,
+            }
+        }
+
+        /// Runs `f` on every item across the pool.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a T) + Sync,
+        {
+            pool::run(self.slice.len(), &|i| f(&self.slice[i]));
+        }
+    }
+
+    /// Pending borrowed-item parallel map.
+    pub struct ParMapSlice<'a, T, F> {
+        slice: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T, R, F> ParMapSlice<'a, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        /// Executes the map across the pool and collects results in
+        /// input order.
+        pub fn collect<C>(self) -> C
+        where
+            C: FromIterator<R>,
+        {
+            let (slice, f) = (self.slice, &self.f);
+            pool::map_indexed(slice.len(), |i| f(&slice[i]))
+                .into_iter()
+                .collect()
+        }
+
+        /// Parallel sum of the mapped values.
+        pub fn sum(self) -> R
+        where
+            R: std::iter::Sum<R>,
+        {
+            self.collect::<Vec<R>>().into_iter().sum()
+        }
+    }
+
+    /// Mutable parallel iterator over a slice.
+    pub struct ParSliceIterMut<'a, T> {
+        slice: &'a mut [T],
+    }
+
+    impl<'a, T: Send> ParSliceIterMut<'a, T> {
+        /// Runs `f` on every element, distributing elements across the
+        /// pool.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&mut T) + Sync,
+        {
+            let slots: Vec<Mutex<Option<&'a mut T>>> =
+                self.slice.iter_mut().map(|r| Mutex::new(Some(r))).collect();
+            pool::run(slots.len(), &|i| {
+                let item = slots[i]
+                    .lock()
+                    .expect("element slot poisoned")
+                    .take()
+                    .expect("element taken once");
+                f(item);
+            });
+        }
+    }
+
+    /// Mutable parallel chunk iterator over a slice.
+    pub struct ParChunksMut<'a, T> {
+        slice: &'a mut [T],
+        size: usize,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Runs `f` on every chunk, distributing chunks across the pool.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&mut [T]) + Sync,
+        {
+            let slots: Vec<Mutex<Option<&'a mut [T]>>> = self
+                .slice
+                .chunks_mut(self.size)
+                .map(|c| Mutex::new(Some(c)))
+                .collect();
+            pool::run(slots.len(), &|i| {
+                let chunk = slots[i]
+                    .lock()
+                    .expect("chunk slot poisoned")
+                    .take()
+                    .expect("chunk taken once");
+                f(chunk);
+            });
         }
     }
 }
@@ -53,5 +350,75 @@ mod tests {
         assert_eq!(doubled, vec![2, 4, 6]);
         let squares: Vec<usize> = (0..4usize).into_par_iter().map(|x| x * x).collect();
         assert_eq!(squares, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn large_collect_preserves_order() {
+        let items: Vec<usize> = (0..10_000).collect();
+        let out: Vec<usize> = items.par_iter().map(|x| x * 3).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_element() {
+        let mut v = vec![0u32; 4096];
+        v.par_iter_mut().for_each(|x| *x += 7);
+        assert!(v.iter().all(|x| *x == 7));
+        v.par_chunks_mut(100).for_each(|c| {
+            for x in c {
+                *x *= 2;
+            }
+        });
+        assert!(v.iter().all(|x| *x == 14));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 6 * 7, || "ok");
+        assert_eq!((a, b), (42, "ok"));
+    }
+
+    #[test]
+    fn scope_spawns_borrowing_tasks() {
+        let results: Vec<std::sync::Mutex<usize>> =
+            (0..8).map(|_| std::sync::Mutex::new(0)).collect();
+        super::scope(|s| {
+            for (i, slot) in results.iter().enumerate() {
+                s.spawn(move |_| *slot.lock().unwrap() = i + 1);
+            }
+        });
+        let got: Vec<usize> = results.iter().map(|m| *m.lock().unwrap()).collect();
+        assert_eq!(got, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scope_spawn_runs() {
+        let flag = std::sync::atomic::AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    flag.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(flag.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_reports_thread_count() {
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_map_is_bit_deterministic() {
+        // Same computation twice — identical f32 bits (no reduction
+        // reordering anywhere in the pipeline).
+        let xs: Vec<f32> = (0..5000).map(|i| i as f32 * 0.001).collect();
+        let run = || -> Vec<f32> { xs.par_iter().map(|x| (x.sin() * 1.7).exp()).collect() };
+        let (a, b) = (run(), run());
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 }

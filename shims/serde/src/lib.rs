@@ -66,7 +66,9 @@ impl Value {
                 .find(|(k, _)| k == name)
                 .map(|(_, v)| v)
                 .ok_or_else(|| Error::custom(format!("missing field `{name}`"))),
-            _ => Err(Error::custom(format!("expected object with field `{name}`"))),
+            _ => Err(Error::custom(format!(
+                "expected object with field `{name}`"
+            ))),
         }
     }
 
@@ -234,8 +236,10 @@ impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
 
 impl<V: Serialize> Serialize for HashMap<String, V> {
     fn to_json_value(&self) -> Value {
-        let mut pairs: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (k.clone(), v.to_json_value())).collect();
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_json_value()))
+            .collect();
         pairs.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(pairs)
     }
@@ -243,7 +247,11 @@ impl<V: Serialize> Serialize for HashMap<String, V> {
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_json_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_json_value()))
+                .collect(),
+        )
     }
 }
 
@@ -352,7 +360,10 @@ impl<T: Deserialize> Deserialize for Box<T> {
 
 impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     fn from_json_value(v: &Value) -> Result<Self, Error> {
-        Ok((A::from_json_value(v.index(0)?)?, B::from_json_value(v.index(1)?)?))
+        Ok((
+            A::from_json_value(v.index(0)?)?,
+            B::from_json_value(v.index(1)?)?,
+        ))
     }
 }
 

@@ -9,10 +9,21 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Parsed shape of the deriving type.
 enum TypeDef {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<(String, VariantShape)> },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantShape)>,
+    },
 }
 
 enum VariantShape {
@@ -25,14 +36,18 @@ enum VariantShape {
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let def = parse_type_def(input);
-    gen_serialize(&def).parse().expect("serde_derive shim: generated Serialize impl must parse")
+    gen_serialize(&def)
+        .parse()
+        .expect("serde_derive shim: generated Serialize impl must parse")
 }
 
 /// Derives `serde::Deserialize` (shim data model: `from_json_value`).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let def = parse_type_def(input);
-    gen_deserialize(&def).parse().expect("serde_derive shim: generated Deserialize impl must parse")
+    gen_deserialize(&def)
+        .parse()
+        .expect("serde_derive shim: generated Deserialize impl must parse")
 }
 
 // ---------------------------------------------------------------------------
@@ -52,17 +67,24 @@ fn parse_type_def(input: TokenStream) -> TypeDef {
     match keyword.as_str() {
         "struct" => match tokens.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                TypeDef::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+                TypeDef::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream()),
+                }
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                TypeDef::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+                TypeDef::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
             }
             _ => TypeDef::UnitStruct { name },
         },
         "enum" => match tokens.get(i) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                TypeDef::Enum { name, variants: parse_variants(g.stream()) }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => TypeDef::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
             _ => panic!("serde shim derive: malformed enum {name}"),
         },
         other => panic!("serde shim derive: cannot derive for `{other}` items"),
@@ -205,12 +227,13 @@ fn gen_serialize(def: &TypeDef) -> String {
             let pairs: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "(\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f}))"
-                    )
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f}))")
                 })
                 .collect();
-            (name, format!("::serde::Value::Object(vec![{}])", pairs.join(", ")))
+            (
+                name,
+                format!("::serde::Value::Object(vec![{}])", pairs.join(", ")),
+            )
         }
         TypeDef::TupleStruct { name, arity } => {
             let items: Vec<String> = (0..*arity)
@@ -219,7 +242,10 @@ fn gen_serialize(def: &TypeDef) -> String {
             if *arity == 1 {
                 (name, items.into_iter().next().unwrap())
             } else {
-                (name, format!("::serde::Value::Array(vec![{}])", items.join(", ")))
+                (
+                    name,
+                    format!("::serde::Value::Array(vec![{}])", items.join(", ")),
+                )
             }
         }
         TypeDef::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
@@ -278,7 +304,9 @@ fn gen_deserialize(def: &TypeDef) -> String {
         TypeDef::NamedStruct { name, fields } => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::Deserialize::from_json_value(__v.field(\"{f}\")?)?"))
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_json_value(__v.field(\"{f}\")?)?")
+                })
                 .collect();
             (name, format!("Ok({name} {{ {} }})", inits.join(", ")))
         }

@@ -22,12 +22,18 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 
 /// Parses JSON text into any `Deserialize` type.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::custom(format!("trailing characters at byte {}", p.pos)));
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
     }
     T::from_json_value(&v)
 }
@@ -168,7 +174,10 @@ impl<'a> Parser<'a> {
             self.pos += kw.len();
             Ok(v)
         } else {
-            Err(Error::custom(format!("invalid literal at byte {}", self.pos)))
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
         }
     }
 
@@ -286,7 +295,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                _ => return Err(Error::custom(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -315,7 +329,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Object(pairs));
                 }
-                _ => return Err(Error::custom(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -330,7 +349,10 @@ mod tests {
         let v = Value::Object(vec![
             ("a".into(), Value::I64(-3)),
             ("b".into(), Value::F64(1.5)),
-            ("c".into(), Value::Array(vec![Value::Bool(true), Value::Null])),
+            (
+                "c".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
             ("d".into(), Value::Str("hi \"there\"\n".into())),
         ]);
         let text = to_string(&v).unwrap();
@@ -344,6 +366,9 @@ mod tests {
     #[test]
     fn parses_nested_json() {
         let v: Value = from_str(r#"{"x": [1, 2.5, "s"], "y": {"z": null}}"#).unwrap();
-        assert_eq!(v.field("x").unwrap().index(1).unwrap().as_f64().unwrap(), 2.5);
+        assert_eq!(
+            v.field("x").unwrap().index(1).unwrap().as_f64().unwrap(),
+            2.5
+        );
     }
 }

@@ -187,11 +187,20 @@ fn zoo(backend: ConvBackend) -> Vec<(&'static str, Sequential, Shape4)> {
     let alg = Algebra::with_fcw(RingKind::Rh(4)).with_backend(backend);
     vec![
         ("vdsr", vdsr(&alg, 3, 8, 1, 41), Shape4::new(1, 1, 8, 8)),
-        ("ernet", dn_ernet_pu(&alg, ErNetConfig::tiny(), 1, 42), Shape4::new(1, 1, 8, 8)),
+        (
+            "ernet",
+            dn_ernet_pu(&alg, ErNetConfig::tiny(), 1, 42),
+            Shape4::new(1, 1, 8, 8),
+        ),
         ("ffdnet", ffdnet(&alg, 3, 8, 1, 43), Shape4::new(1, 1, 8, 8)),
         (
             "srresnet",
-            srresnet(&alg, SrResNetConfig::tiny().with_blocks(1).with_channels(8), 1, 44),
+            srresnet(
+                &alg,
+                SrResNetConfig::tiny().with_blocks(1).with_channels(8),
+                1,
+                44,
+            ),
             Shape4::new(1, 1, 4, 4),
         ),
     ]
@@ -216,7 +225,11 @@ fn golden_model_outputs_across_backends() {
     for (name, mut model, shape) in zoo(ConvBackend::Naive) {
         let x = Tensor::random_uniform(shape, 0.0, 1.0, 99);
         let y = model.forward(&x, false);
-        let expected = golden.iter().find(|(n, _)| *n == name).expect("golden entry").1;
+        let expected = golden
+            .iter()
+            .find(|(n, _)| *n == name)
+            .expect("golden entry")
+            .1;
         for (i, want) in expected.iter().enumerate() {
             let got = y.as_slice()[i];
             assert!(
@@ -227,9 +240,7 @@ fn golden_model_outputs_across_backends() {
         naive_outputs.push((name, x, y));
     }
     for backend in [ConvBackend::Im2col, ConvBackend::Transform] {
-        for ((name, x, naive), (name2, mut model, _)) in
-            naive_outputs.iter().zip(zoo(backend))
-        {
+        for ((name, x, naive), (name2, mut model, _)) in naive_outputs.iter().zip(zoo(backend)) {
             assert_eq!(*name, name2);
             let y = model.forward(x, false);
             let p = psnr(naive, &y);

@@ -22,7 +22,10 @@ fn full_pipeline_ri4_fh() {
         let pairs = eval_pairs(scenario, DatasetProfile::Set5, &scale);
         psnr(&pairs.inputs, &pairs.targets)
     };
-    assert!(float_psnr > noisy_psnr, "training must denoise: {float_psnr} vs {noisy_psnr}");
+    assert!(
+        float_psnr > noisy_psnr,
+        "training must denoise: {float_psnr} vs {noisy_psnr}"
+    );
 
     // Quantize.
     let calib = training_pairs(scenario, &scale);
@@ -39,7 +42,11 @@ fn full_pipeline_ri4_fh() {
     let input = pairs.inputs.batch_item(0);
     let (out, report) = simulate(&qm, &input, &accel, &TechParams::tsmc40());
     assert_eq!(out.as_slice(), qm.forward(&input).as_slice(), "bit-exact");
-    assert_eq!(report.equivalent_mults, report.physical_mults * 4, "4x sparsity");
+    assert_eq!(
+        report.equivalent_mults,
+        report.physical_mults * 4,
+        "4x sparsity"
+    );
     assert!(report.weights_fit);
 }
 
@@ -65,7 +72,10 @@ fn weight_compression_scales_with_n() {
 /// (the quality ordering experiments depend on this).
 #[test]
 fn all_rings_train_stably() {
-    let scale = ExperimentScale { steps: 60, ..ExperimentScale::quick() };
+    let scale = ExperimentScale {
+        steps: 60,
+        ..ExperimentScale::quick()
+    };
     let scenario = Scenario::Denoise { sigma: 25.0 };
     for kind in [
         RingKind::Ri(2),
@@ -102,7 +112,13 @@ fn directional_relu_recovers_mixing_capacity() {
         y.plane_mut(b, 0).copy_from_slice(&a1);
         y.plane_mut(b, 1).copy_from_slice(&a0);
     }
-    let cfg = TrainConfig { steps: 250, batch: 4, lr: 5e-3, decay_after: 0.8, seed: 2 };
+    let cfg = TrainConfig {
+        steps: 250,
+        batch: 4,
+        lr: 5e-3,
+        decay_after: 0.8,
+        seed: 2,
+    };
     let build = |alg: &Algebra| -> Sequential {
         Sequential::new()
             .with(alg.conv(2, 8, 3, 5))

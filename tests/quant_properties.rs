@@ -77,7 +77,11 @@ fn quantized_model_tracks_float_on_random_weights() {
         let qm = QuantizedModel::quantize(&mut model, &x, QuantOptions::default());
         let q_out = qm.forward(&x);
         let p = psnr(&float_out, &q_out);
-        assert!(p > floor, "{}: quantized deviates too much ({p:.1} dB, floor {floor})", alg.label());
+        assert!(
+            p > floor,
+            "{}: quantized deviates too much ({p:.1} dB, floor {floor})",
+            alg.label()
+        );
     }
 }
 
@@ -107,7 +111,10 @@ fn component_formats_handle_asymmetric_scales() {
     let single = QuantizedModel::quantize(
         &mut model,
         &x,
-        QuantOptions { component_wise: false, ..QuantOptions::default() },
+        QuantOptions {
+            component_wise: false,
+            ..QuantOptions::default()
+        },
     );
     let p_cw = psnr(&float_out, &cw.forward(&x));
     let p_single = psnr(&float_out, &single.forward(&x));

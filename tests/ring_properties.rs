@@ -126,7 +126,9 @@ proptest! {
 const KNOWN_NON_ASSOCIATIVE: &[RingKind] = &[];
 
 fn tuple_from_seed(n: usize, seed: u64, salt: u64) -> Vec<f64> {
-    (0..n).map(|i| ((seed * 31 + salt * 7 + i as u64) as f64 * 0.631).sin() * 2.0).collect()
+    (0..n)
+        .map(|i| ((seed * 31 + salt * 7 + i as u64) as f64 * 0.631).sin() * 2.0)
+        .collect()
 }
 
 /// Associativity `(a·b)·c = a·(b·c)` over every Table I variant — or, for
@@ -153,11 +155,17 @@ fn table_one_rings_are_associative() {
             if KNOWN_NON_ASSOCIATIVE.contains(&kind) {
                 witness |= err > 1e-6;
             } else {
-                assert!(err < 1e-6, "{kind:?}: associativity violated by {err:.2e} (seed {seed})");
+                assert!(
+                    err < 1e-6,
+                    "{kind:?}: associativity violated by {err:.2e} (seed {seed})"
+                );
             }
         }
         if KNOWN_NON_ASSOCIATIVE.contains(&kind) {
-            assert!(witness, "{kind:?} is documented non-associative but no witness was found");
+            assert!(
+                witness,
+                "{kind:?} is documented non-associative but no witness was found"
+            );
         }
     }
 }
@@ -236,9 +244,6 @@ fn isomorphic_matrices_multiply() {
         let ma = ring.isomorphic_matrix(&a);
         let mb = ring.isomorphic_matrix(&b);
         let mc = ring.isomorphic_matrix(&c);
-        assert!(
-            ma.matmul(&mb).approx_eq(&mc, 1e-9),
-            "{kind:?}: C != A·B"
-        );
+        assert!(ma.matmul(&mb).approx_eq(&mc, 1e-9), "{kind:?}: C != A·B");
     }
 }
