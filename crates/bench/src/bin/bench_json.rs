@@ -147,6 +147,95 @@ fn measure_all(iters: usize) -> Vec<BenchEntry> {
         ms,
     ));
 
+    entries.extend(measure_serve(threads));
+    entries
+}
+
+/// The serve-path hot paths: closed-loop loadgen over an in-process TCP
+/// server with the two smoke models. `ms` is wall-clock per completed
+/// request (throughput⁻¹) — the quantity micro-batching improves, so a
+/// scheduler regression (or a batching win that rots) moves these
+/// entries and trips the gate. Aggregating over a few hundred requests
+/// replaces the best-of-N loop of `measure_ms`.
+fn measure_serve(threads: usize) -> Vec<BenchEntry> {
+    use ringcnn_serve::prelude::*;
+    use std::time::Duration;
+
+    let mut reg = ModelRegistry::new();
+    let real = Algebra::real();
+    let ffd = ModelSpec::Ffdnet {
+        depth: 3,
+        width: 8,
+        channels_io: 1,
+    };
+    reg.register(
+        "ffdnet_real",
+        ffd,
+        AlgebraSpec::of(&real),
+        ffd.build(&real, 31),
+    )
+    .expect("register ffdnet");
+    let rh4 = Algebra::with_fcw(RingKind::Rh(4));
+    let vdsr = ModelSpec::Vdsr {
+        depth: 3,
+        width: 8,
+        channels_io: 1,
+    };
+    reg.register(
+        "vdsr_rh4",
+        vdsr,
+        AlgebraSpec::of(&rh4),
+        vdsr.build(&rh4, 32),
+    )
+    .expect("register vdsr");
+    let server = Server::start(
+        std::sync::Arc::new(reg),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            scheduler: SchedulerConfig {
+                workers: 2,
+                max_batch: 8,
+                max_wait: Duration::from_millis(1),
+                queue_cap: 256,
+            },
+        },
+    )
+    .expect("bind loopback for serve bench");
+    let addr = server.addr().to_string();
+
+    let mut entries = Vec::new();
+    for (workload, ring, models, connections, requests) in [
+        ("serve_vdsr8_16px", "rh4", vec!["vdsr_rh4"], 1, 60),
+        ("serve_vdsr8_16px", "rh4", vec!["vdsr_rh4"], 8, 240),
+        (
+            "serve_mix2_16px",
+            "mixed",
+            vec!["ffdnet_real", "vdsr_rh4"],
+            8,
+            240,
+        ),
+    ] {
+        let report = ringcnn_serve::loadgen::run(&ringcnn_serve::loadgen::LoadgenConfig {
+            addr: addr.clone(),
+            connections,
+            requests,
+            models: models.iter().map(|m| m.to_string()).collect(),
+            hw: (16, 16),
+            seed: 3,
+            warmup: connections.max(2),
+        })
+        .expect("serve bench loadgen");
+        assert_eq!(report.errors, 0, "serve bench must complete cleanly");
+        entries.push(entry(
+            workload,
+            "serve",
+            ring,
+            &format!("conn{connections}"),
+            threads,
+            report.ms_per_request,
+        ));
+    }
+    server.shutdown();
     entries
 }
 

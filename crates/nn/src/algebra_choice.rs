@@ -40,6 +40,14 @@ impl Algebra {
         self
     }
 
+    /// The explicitly pinned backend, if any (`None` = automatic
+    /// per-ring selection). Serialization records this rather than the
+    /// effective choice so a saved model keeps following `auto_for`
+    /// improvements.
+    pub fn pinned_backend(&self) -> Option<ConvBackend> {
+        self.backend
+    }
+
     /// The effective convolution backend for this algebra's ring convs:
     /// the pinned one, or the automatic per-ring choice.
     pub fn conv_backend(&self) -> ConvBackend {

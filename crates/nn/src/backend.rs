@@ -47,7 +47,9 @@ use ringcnn_algebra::ring::Ring;
 /// let x = Tensor::zeros(Shape4::new(1, 8, 6, 6));
 /// assert_eq!(model.forward(&x, false).shape().c, 8);
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum ConvBackend {
     /// Reference six-deep loop nest (`conv2d_forward`).
     #[default]

@@ -55,7 +55,10 @@ pub mod prelude {
     pub use crate::loss::{cross_entropy_loss, l1_loss, mse_loss};
     pub use crate::optim::{Adam, Sgd};
     pub use crate::runtime::{model_topology, tiled_forward, BatchRunner, ModelTopo, TileConfig};
-    pub use crate::serialize::{load_params, save_params, ModelParams};
+    pub use crate::serialize::{
+        export_model, instantiate, load_params, model_from_json, model_to_json, save_params,
+        AlgebraSpec, ModelFile, ModelLoadError, ModelParams, ModelSpec,
+    };
     pub use crate::train::{
         accuracy, predict, train_classifier, train_regression, TrainConfig, TrainReport,
     };

@@ -233,6 +233,27 @@ impl<'m> BatchRunner<'m> {
         self.model.forward_infer(input)
     }
 
+    /// The tile grid [`Self::run`] would use for an `h × w` image, or
+    /// `None` when the whole-image path is taken instead.
+    ///
+    /// Degenerate grids are rejected here rather than executed: an image
+    /// that fits one tile (both dimensions ≤ the effective tile size)
+    /// and 1-pixel-wide/-tall strips both go whole-image. Strip inputs
+    /// would otherwise shatter into tiles whose halo re-computation
+    /// dwarfs their core (overhead `(1 + 2h/t)² − 1` with a 1-pixel
+    /// core), all to parallelize an image that is already tiny along the
+    /// other axis.
+    pub fn plan_grid(&self, h: usize, w: usize) -> Option<Vec<Window>> {
+        let g = self.topo.granularity;
+        let tile = self.tile.tile.next_multiple_of(g).max(g);
+        if (h <= tile && w <= tile) || h.min(w) <= 1 {
+            return None;
+        }
+        let grid = tile_grid(h, w, tile);
+        debug_assert!(grid.len() > 1);
+        Some(grid)
+    }
+
     /// Tile-parallel inference: splits every batch item into
     /// halo-extended tiles, runs all tiles across the thread pool, and
     /// stitches the cores. Falls back to [`Self::run_whole`] when the
@@ -249,16 +270,14 @@ impl<'m> BatchRunner<'m> {
             s.h % g == 0 && s.w % g == 0,
             "input {s} not aligned to the model granularity {g}"
         );
-        let tile = self.tile.tile.next_multiple_of(g).max(g);
         let halo = self.halo();
         assert!(
             halo % g == 0,
             "halo {halo} not aligned to the model granularity {g}"
         );
-        let grid = tile_grid(s.h, s.w, tile);
-        if grid.len() == 1 {
+        let Some(grid) = self.plan_grid(s.h, s.w) else {
             return self.run_whole(input);
-        }
+        };
         let (sn, sd) = self.topo.scale;
         let out_c = self.model.out_channels(s.c);
         let mut out = Tensor::zeros(Shape4::new(s.n, out_c, s.h * sn / sd, s.w * sn / sd));
@@ -454,6 +473,43 @@ mod tests {
         let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 12);
         let runner = BatchRunner::new(&mut m); // default 64-px tiles
         assert_eq!(runner.run(&x).as_slice(), runner.run_whole(&x).as_slice());
+    }
+
+    #[test]
+    fn degenerate_shapes_take_the_whole_image_path() {
+        let mut m = vdsr(&Algebra::real(), 3, 8, 1, 5);
+        let runner = BatchRunner::new(&mut m).with_tile(TileConfig::with_tile(8));
+        // One-tile images and 1-pixel strips plan no grid…
+        for (h, w) in [(8, 8), (8, 1), (1, 8), (128, 1), (1, 128), (1, 1), (40, 1)] {
+            assert!(
+                runner.plan_grid(h, w).is_none(),
+                "{h}×{w} must go whole-image"
+            );
+        }
+        // …while genuinely tileable images do.
+        for (h, w) in [(16, 16), (9, 16), (2, 40)] {
+            assert!(runner.plan_grid(h, w).is_some(), "{h}×{w} must tile");
+        }
+    }
+
+    #[test]
+    fn strip_inputs_are_bit_exact_for_every_backend() {
+        // Regression: 1-pixel-wide/-tall inputs and sub-tile images used
+        // to shatter into degenerate tile grids; they must now match the
+        // whole-image pass bit for bit (they *are* the whole-image pass).
+        for backend in crate::backend::ConvBackend::all() {
+            let alg = Algebra::with_fcw(RingKind::Rh(4)).with_backend(backend);
+            let mut m = vdsr(&alg, 3, 8, 1, 5);
+            let runner = BatchRunner::new(&mut m).with_tile(TileConfig::with_tile(8));
+            for (h, w) in [(40usize, 1usize), (1, 40), (1, 1), (7, 7)] {
+                let x = Tensor::random_uniform(Shape4::new(1, 1, h, w), 0.0, 1.0, 21);
+                assert_eq!(
+                    runner.run(&x).as_slice(),
+                    runner.run_whole(&x).as_slice(),
+                    "{h}×{w} via {backend}"
+                );
+            }
+        }
     }
 
     #[test]

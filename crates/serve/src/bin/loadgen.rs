@@ -1,0 +1,228 @@
+//! Closed-loop load-test client for `ringcnn-serve`.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7841 [--connections 4] [--requests 200]
+//!         [--models a,b] [--hw 32x32] [--warmup 2] [--seed 1]
+//!         [--shutdown] [--bench-out PATH] [--pr N]
+//! ```
+//!
+//! Prints p50/p95/p99 latency, throughput, and mean batch size; exits
+//! non-zero if **any** request failed (the smoke job's zero-error
+//! assertion). `--models` defaults to every model the server lists.
+//! `--shutdown` sends the `shutdown` verb at the end so a scripted
+//! server run can `wait` on a clean exit. `--bench-out` writes a
+//! `ringcnn-bench-json/v1` section so serve-path numbers join the perf
+//! trajectory (the *gated* serve entries are produced by `bench_json`,
+//! which measures through this same harness).
+
+use ringcnn_serve::client::Client;
+use ringcnn_serve::loadgen::{run, LoadgenConfig};
+use serde::Value;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_or<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    arg_value(args, flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The serial scalar-FMA calibration sweep — kept textually identical to
+/// `ringcnn_bench::perf::calibration_workload` (not imported: the bench
+/// crate depends on this one) so normalized comparisons line up.
+fn calibration_workload() -> f32 {
+    let mut buf = vec![0.0f32; 1 << 16];
+    for (i, v) in buf.iter_mut().enumerate() {
+        *v = (i as f32).sin();
+    }
+    let mut acc = 1.0f32;
+    for _ in 0..64 {
+        for v in &buf {
+            acc = acc.mul_add(0.999_9, *v);
+        }
+    }
+    std::hint::black_box(acc)
+}
+
+fn bench_entry(id: &str, group: &str, ring: &str, backend: &str, threads: usize, ms: f64) -> Value {
+    Value::Object(vec![
+        ("id".into(), Value::Str(id.into())),
+        ("group".into(), Value::Str(group.into())),
+        ("ring".into(), Value::Str(ring.into())),
+        ("backend".into(), Value::Str(backend.into())),
+        ("threads".into(), Value::U64(threads as u64)),
+        ("ms".into(), Value::F64(ms)),
+    ])
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(addr) = arg_value(&args, "--addr") else {
+        eprintln!(
+            "usage: loadgen --addr HOST:PORT [--connections N] [--requests N] \
+             [--models a,b] [--hw HxW] [--warmup N] [--seed N] [--shutdown] \
+             [--bench-out PATH] [--pr N]"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let hw = {
+        let s = arg_value(&args, "--hw").unwrap_or_else(|| "32x32".into());
+        let mut it = s.split('x').filter_map(|v| v.parse::<usize>().ok());
+        match (it.next(), it.next()) {
+            (Some(h), Some(w)) => (h, w),
+            _ => {
+                eprintln!("loadgen: --hw must look like 32x32");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let models: Vec<String> = match arg_value(&args, "--models") {
+        Some(list) => list.split(',').map(|s| s.trim().to_string()).collect(),
+        None => {
+            // Default to everything the server serves.
+            match Client::connect_retry(&addr, Duration::from_secs(5))
+                .and_then(|mut c| c.list_models())
+            {
+                Ok(infos) => infos.into_iter().map(|i| i.name).collect(),
+                Err(e) => {
+                    eprintln!("loadgen: cannot list models: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let cfg = LoadgenConfig {
+        addr: addr.clone(),
+        connections: parse_or(&args, "--connections", 4),
+        requests: parse_or(&args, "--requests", 200),
+        models,
+        hw,
+        seed: parse_or(&args, "--seed", 1),
+        warmup: parse_or(&args, "--warmup", 2),
+    };
+
+    println!(
+        "loadgen: {} connection(s), {} request(s), models {:?}, input {}x{}",
+        cfg.connections, cfg.requests, cfg.models, cfg.hw.0, cfg.hw.1
+    );
+    let report = match run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "completed {} requests in {:.1} ms  ({:.1} req/s, {:.3} ms/req, mean batch {:.2})",
+        report.completed,
+        report.elapsed_ms,
+        report.throughput_rps,
+        report.ms_per_request,
+        report.mean_batch
+    );
+    println!(
+        "latency ms: p50 {:.3}  p95 {:.3}  p99 {:.3}  mean {:.3}  max {:.3}",
+        report.latency_ms.p50,
+        report.latency_ms.p95,
+        report.latency_ms.p99,
+        report.latency_ms.mean,
+        report.latency_ms.max
+    );
+    for (model, n) in &report.per_model {
+        println!("  {model}: {n} completed");
+    }
+    if report.errors > 0 {
+        eprintln!("loadgen: {} request(s) FAILED", report.errors);
+    }
+
+    if let Some(out) = arg_value(&args, "--bench-out") {
+        let threads = cfg.connections;
+        let cal_ms = {
+            // Best-of-3 like `perf::measure_ms`, inline to stay dep-free.
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t0 = std::time::Instant::now();
+                std::hint::black_box(calibration_workload());
+                best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            best
+        };
+        let report_json = Value::Object(vec![
+            ("schema".into(), Value::Str("ringcnn-bench-json/v1".into())),
+            ("pr".into(), Value::U64(parse_or(&args, "--pr", 4u64))),
+            (
+                "threads_available".into(),
+                Value::U64(
+                    std::thread::available_parallelism()
+                        .map(|n| n.get() as u64)
+                        .unwrap_or(1),
+                ),
+            ),
+            (
+                "calibration_id".into(),
+                Value::Str("calibration/serial/scalar".into()),
+            ),
+            (
+                "entries".into(),
+                Value::Array(vec![
+                    bench_entry(
+                        &format!("calibration/serial/scalar/t{threads}"),
+                        "calibration",
+                        "serial",
+                        "scalar",
+                        threads,
+                        cal_ms,
+                    ),
+                    bench_entry(
+                        &format!(
+                            "serve_loadgen_{}x{}/mixed/conn{}/t{threads}",
+                            cfg.hw.0, cfg.hw.1, cfg.connections
+                        ),
+                        "serve",
+                        "mixed",
+                        &format!("conn{}", cfg.connections),
+                        threads,
+                        report.ms_per_request,
+                    ),
+                ]),
+            ),
+        ]);
+        let text = serde_json::to_string_pretty(&report_json).expect("report serializes");
+        if let Some(dir) = std::path::Path::new(&out).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&out, text) {
+            eprintln!("loadgen: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {out}");
+    }
+
+    if args.iter().any(|a| a == "--shutdown") {
+        match Client::connect_retry(&addr, Duration::from_secs(5))
+            .and_then(|mut c| c.shutdown_server())
+        {
+            Ok(()) => println!("sent shutdown"),
+            Err(e) => {
+                eprintln!("loadgen: shutdown failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if report.errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

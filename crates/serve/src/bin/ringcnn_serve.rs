@@ -1,0 +1,155 @@
+//! The `ringcnn-serve` daemon: loads a directory of `ringcnn-model/v1`
+//! files and serves them over the line-JSON protocol.
+//!
+//! ```text
+//! ringcnn-serve --models <dir> [--addr 127.0.0.1:7841] [--workers 2]
+//!               [--max-batch 8] [--max-wait-ms 2] [--queue-cap 256]
+//! ringcnn-serve --export-demo <dir>   # write two demo models and exit
+//! ```
+//!
+//! The process runs until a client sends the `shutdown` verb, then
+//! drains every admitted request and exits 0 — which is what the CI
+//! smoke job asserts with `wait $PID`.
+
+use ringcnn_nn::prelude::*;
+use ringcnn_serve::prelude::*;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_or<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    arg_value(args, flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The two demo models the smoke path serves: an FFDNet denoiser over
+/// the real field and a VDSR restorer over `RH4` (transform backend) —
+/// two architectures, two algebras, two backends.
+fn demo_models() -> Vec<(String, ModelSpec, Algebra)> {
+    vec![
+        (
+            "ffdnet_real".into(),
+            ModelSpec::Ffdnet {
+                depth: 3,
+                width: 8,
+                channels_io: 1,
+            },
+            Algebra::real(),
+        ),
+        (
+            "vdsr_rh4".into(),
+            ModelSpec::Vdsr {
+                depth: 3,
+                width: 8,
+                channels_io: 1,
+            },
+            Algebra::with_fcw(ringcnn_algebra::ring::RingKind::Rh(4)),
+        ),
+    ]
+}
+
+fn export_demo(dir: &str) -> Result<(), ServeError> {
+    std::fs::create_dir_all(dir).map_err(|e| ServeError::Io(e.to_string()))?;
+    for (i, (name, spec, alg)) in demo_models().into_iter().enumerate() {
+        let mut model = spec.build(&alg, 100 + i as u64);
+        let file =
+            ringcnn_nn::serialize::export_model(&name, spec, AlgebraSpec::of(&alg), &mut model)
+                .map_err(|e| ServeError::Load(e.to_string()))?;
+        let path = std::path::Path::new(dir).join(format!("{name}.json"));
+        std::fs::write(&path, ringcnn_nn::serialize::model_to_json(&file))
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+
+    if let Some(dir) = arg_value(&args, "--export-demo") {
+        return match export_demo(&dir) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("ringcnn-serve: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let Some(model_dir) = arg_value(&args, "--models") else {
+        eprintln!(
+            "usage: ringcnn-serve --models <dir> [--addr A] [--workers N] \
+             [--max-batch N] [--max-wait-ms F] [--queue-cap N]\n\
+             \x20      ringcnn-serve --export-demo <dir>"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let cfg = ServerConfig {
+        addr: arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7841".into()),
+        scheduler: SchedulerConfig {
+            workers: parse_or(&args, "--workers", 2),
+            max_batch: parse_or(&args, "--max-batch", 8),
+            max_wait: Duration::from_secs_f64(
+                parse_or(&args, "--max-wait-ms", 2.0f64).max(0.0) / 1e3,
+            ),
+            queue_cap: parse_or(&args, "--queue-cap", 256),
+        },
+    };
+
+    let mut registry = ModelRegistry::new();
+    match registry.load_dir(std::path::Path::new(&model_dir)) {
+        Ok(names) if !names.is_empty() => {
+            for e in registry.entries() {
+                let t = e.topo();
+                println!(
+                    "loaded {:16} {:16} {:18} backend={:9} radius={} granularity={} params={}",
+                    e.name(),
+                    e.spec().label(),
+                    e.algebra().label(),
+                    e.algebra().algebra().conv_backend().label(),
+                    t.radius,
+                    t.granularity,
+                    e.num_params(),
+                );
+            }
+        }
+        Ok(_) => {
+            eprintln!("ringcnn-serve: no *.json model files under {model_dir}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("ringcnn-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let server = match Server::start(Arc::new(registry), cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ringcnn-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "listening on {} (workers={} max_batch={} max_wait={:?} queue_cap={}, pool threads={})",
+        server.addr(),
+        cfg.scheduler.workers,
+        cfg.scheduler.max_batch,
+        cfg.scheduler.max_wait,
+        cfg.scheduler.queue_cap,
+        ringcnn_nn::runtime::num_threads(),
+    );
+
+    // Runs until a client sends `shutdown`; then drains and exits.
+    server.wait();
+    println!("ringcnn-serve: drained and stopped");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,182 @@
+//! A blocking line-protocol client (used by `loadgen`, the tests, and
+//! the examples; any language that can write JSON lines to a TCP socket
+//! can do what this module does).
+
+use crate::error::ServeError;
+use crate::protocol::{ModelInfo, Request, Response};
+use crate::stats::StatsSnapshot;
+use ringcnn_tensor::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A successful `infer` round trip.
+pub struct InferReply {
+    /// The model output.
+    pub output: Tensor,
+    /// Server-side admission → dispatch wait.
+    pub queue_ms: f64,
+    /// Server-side admission → completion latency.
+    pub total_ms: f64,
+    /// Batch size the request rode in.
+    pub batch_size: usize,
+}
+
+/// `health` verb payload.
+pub struct HealthReply {
+    /// Whether the service admits work.
+    pub healthy: bool,
+    /// Registered model count.
+    pub models: usize,
+    /// Current queue depth.
+    pub queue_depth: usize,
+}
+
+/// One connection to a `ringcnn-serve` instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects (TCP no-delay: requests are single small-to-medium
+    /// lines and latency is the product).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the connection fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Connects, retrying for up to `timeout` (startup races in scripts
+    /// and CI: the server may still be binding).
+    ///
+    /// # Errors
+    ///
+    /// The last connection error once the deadline passes.
+    pub fn connect_retry(addr: &str, timeout: Duration) -> Result<Client, ServeError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let mut line = req.to_json();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ServeError::Io("server closed the connection".into()));
+        }
+        match Response::parse(&reply)? {
+            Response::Error(e) => Err(e),
+            r => Ok(r),
+        }
+    }
+
+    /// Runs one input through a named model.
+    ///
+    /// # Errors
+    ///
+    /// Service-side rejections ([`ServeError::Overloaded`],
+    /// [`ServeError::UnknownModel`], …) or transport failures.
+    pub fn infer(&mut self, model: &str, input: &Tensor) -> Result<InferReply, ServeError> {
+        let req = Request::Infer {
+            model: model.into(),
+            shape: input.shape(),
+            data: input.as_slice().to_vec(),
+        };
+        match self.roundtrip(&req)? {
+            Response::Infer {
+                shape,
+                data,
+                queue_ms,
+                total_ms,
+                batch_size,
+            } => Ok(InferReply {
+                output: Tensor::from_vec(shape, data),
+                queue_ms,
+                total_ms,
+                batch_size,
+            }),
+            other => Err(unexpected("infer", &other)),
+        }
+    }
+
+    /// Lists the registered models.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn list_models(&mut self) -> Result<Vec<ModelInfo>, ServeError> {
+        match self.roundtrip(&Request::ListModels)? {
+            Response::ListModels(m) => Ok(m),
+            other => Err(unexpected("list_models", &other)),
+        }
+    }
+
+    /// Fetches service statistics.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ServeError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Probes service health.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn health(&mut self) -> Result<HealthReply, ServeError> {
+        match self.roundtrip(&Request::Health)? {
+            Response::Health {
+                healthy,
+                models,
+                queue_depth,
+            } => Ok(HealthReply {
+                healthy,
+                models,
+                queue_depth,
+            }),
+            other => Err(unexpected("health", &other)),
+        }
+    }
+
+    /// Asks the server to drain and exit (acknowledged before the drain
+    /// starts).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn shutdown_server(&mut self) -> Result<(), ServeError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Shutdown => Ok(()),
+            other => Err(unexpected("shutdown", &other)),
+        }
+    }
+}
+
+fn unexpected(verb: &str, got: &Response) -> ServeError {
+    ServeError::Io(format!(
+        "unexpected response to `{verb}`: {}",
+        got.to_json()
+    ))
+}

@@ -1,0 +1,104 @@
+//! The service error type: every way a request can fail, each with a
+//! stable wire code so clients can branch without parsing messages.
+
+/// Why the service refused or failed a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The submission queue is full — admission control rejected the
+    /// request instead of letting latency grow without bound. Back off
+    /// and retry.
+    Overloaded {
+        /// Queue depth at rejection time.
+        depth: usize,
+        /// Queue capacity.
+        cap: usize,
+    },
+    /// No registered model has this name.
+    UnknownModel(String),
+    /// The service is draining and no longer admits work.
+    ShuttingDown,
+    /// The request is malformed (bad JSON, wrong shape, …).
+    BadRequest(String),
+    /// A model file failed to load into the registry.
+    Load(String),
+    /// Transport failure (connection dropped, bind failed, …).
+    Io(String),
+    /// The inference itself failed (worker panic) — a server bug, kept
+    /// from poisoning the whole service.
+    Internal(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable code used on the wire.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::UnknownModel(_) => "unknown_model",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::Load(_) => "load_error",
+            ServeError::Io(_) => "io_error",
+            ServeError::Internal(_) => "internal",
+        }
+    }
+
+    /// Rebuilds the error from a wire `(code, message)` pair (unknown
+    /// codes map to [`ServeError::Io`] so old clients survive new codes).
+    pub fn from_wire(code: &str, message: &str) -> ServeError {
+        match code {
+            "overloaded" => ServeError::Overloaded { depth: 0, cap: 0 },
+            "unknown_model" => ServeError::UnknownModel(message.into()),
+            "shutting_down" => ServeError::ShuttingDown,
+            "bad_request" => ServeError::BadRequest(message.into()),
+            "load_error" => ServeError::Load(message.into()),
+            "internal" => ServeError::Internal(message.into()),
+            _ => ServeError::Io(format!("{code}: {message}")),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { depth, cap } => {
+                write!(f, "queue full ({depth}/{cap} requests)")
+            }
+            ServeError::UnknownModel(m) => write!(f, "unknown model `{m}`"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::Load(m) => write!(f, "model load failed: {m}"),
+            ServeError::Io(m) => write!(f, "transport error: {m}"),
+            ServeError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        let errors = [
+            ServeError::Overloaded { depth: 4, cap: 4 },
+            ServeError::UnknownModel("x".into()),
+            ServeError::ShuttingDown,
+            ServeError::BadRequest("shape".into()),
+            ServeError::Load("truncated".into()),
+            ServeError::Internal("panic".into()),
+        ];
+        for e in errors {
+            let back = ServeError::from_wire(e.code(), &e.to_string());
+            assert_eq!(back.code(), e.code());
+        }
+        assert_eq!(ServeError::from_wire("??", "m").code(), "io_error");
+    }
+}

@@ -1,0 +1,62 @@
+//! # ringcnn-serve
+//!
+//! A dependency-free (std-only) inference *service* over the shared-state
+//! runtime that PRs 2–3 built: prepared models behind a [`ModelRegistry`],
+//! a dynamic micro-batching [`Scheduler`] with admission control, and a
+//! line-delimited-JSON-over-TCP [`server`] with a closed-loop
+//! [`loadgen`] harness.
+//!
+//! The software analogue of the paper's always-on imaging pipeline: the
+//! accelerator wins by keeping a prepared engine saturated with batched
+//! blocks, and the serving layer wins the same way — requests from many
+//! connections coalesce into per-model batches that fan out across the
+//! thread pool through [`Layer::forward_infer`], so every frame of a
+//! batch reuses the same cached transform plans.
+//!
+//! ```
+//! use ringcnn_nn::prelude::*;
+//! use ringcnn_serve::prelude::*;
+//! use ringcnn_tensor::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Register a model (normally loaded from a `ringcnn-model/v1` file).
+//! let alg = Algebra::real();
+//! let spec = ModelSpec::Vdsr { depth: 2, width: 8, channels_io: 1 };
+//! let mut registry = ModelRegistry::new();
+//! registry
+//!     .register("vdsr_real", spec, AlgebraSpec::of(&alg), spec.build(&alg, 1))
+//!     .unwrap();
+//!
+//! // Schedule inference through the micro-batching queue.
+//! let sched = Scheduler::start(Arc::new(registry), SchedulerConfig::default());
+//! let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 2);
+//! let out = sched.infer("vdsr_real", x.clone()).unwrap();
+//! assert_eq!(out.output.shape(), x.shape());
+//! sched.shutdown();
+//! ```
+//!
+//! [`Layer::forward_infer`]: ringcnn_nn::layer::Layer::forward_infer
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod loadgen;
+pub mod protocol;
+pub mod registry;
+pub mod scheduler;
+pub mod server;
+pub mod stats;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::client::Client;
+    pub use crate::error::ServeError;
+    pub use crate::loadgen::{LoadgenConfig, LoadgenReport};
+    pub use crate::protocol::{ModelInfo, Request, Response};
+    pub use crate::registry::{ModelEntry, ModelRegistry};
+    pub use crate::scheduler::{InferOutput, Scheduler, SchedulerConfig};
+    pub use crate::server::{Server, ServerConfig};
+    pub use crate::stats::{Metrics, StatsSnapshot};
+    pub use ringcnn_nn::serialize::{AlgebraSpec, ModelSpec};
+}

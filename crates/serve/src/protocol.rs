@@ -1,0 +1,411 @@
+//! The wire protocol: one JSON object per `\n`-terminated line, in both
+//! directions, over a plain TCP stream.
+//!
+//! # Requests
+//!
+//! ```json
+//! {"verb":"infer","model":"ffdnet_real","shape":[1,1,32,32],"data":[0.5,…]}
+//! {"verb":"list_models"}
+//! {"verb":"stats"}
+//! {"verb":"health"}
+//! {"verb":"shutdown"}
+//! ```
+//!
+//! # Responses
+//!
+//! Every response carries `"ok"`. Successes echo the verb; failures
+//! carry a stable `error` code (see [`ServeError::code`]) and a
+//! human-readable `message`:
+//!
+//! ```json
+//! {"ok":true,"verb":"infer","shape":[1,1,32,32],"data":[…],
+//!  "queue_ms":0.4,"total_ms":2.1,"batch_size":4}
+//! {"ok":false,"error":"overloaded","message":"queue full (256/256 requests)"}
+//! ```
+//!
+//! Decoding is hand-rolled over the JSON [`Value`] tree (rather than
+//! derived) so that missing or mistyped fields in *untrusted* input
+//! surface as [`ServeError::BadRequest`] with a field name, never as a
+//! panic, and unknown extra fields are ignored for forward
+//! compatibility.
+
+use crate::error::ServeError;
+use crate::stats::StatsSnapshot;
+use ringcnn_tensor::prelude::*;
+use serde::{Deserialize, Serialize, Value};
+
+/// A client → server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Run one input through a named model.
+    Infer {
+        /// Registry key.
+        model: String,
+        /// Input shape `[n, c, h, w]`.
+        shape: Shape4,
+        /// Row-major samples (`n·c·h·w` values).
+        data: Vec<f32>,
+    },
+    /// List the registered models.
+    ListModels,
+    /// Service statistics.
+    Stats,
+    /// Liveness/readiness probe.
+    Health,
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
+/// One registered model, as reported by `list_models`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// Registry key.
+    pub name: String,
+    /// Architecture label, e.g. `vdsr-d3c8`.
+    pub arch: String,
+    /// Algebra label, e.g. `(RH4, fcw)`.
+    pub algebra: String,
+    /// Effective convolution backend label.
+    pub backend: String,
+    /// Receptive-field radius (input pixels).
+    pub radius: usize,
+    /// Input H/W must be divisible by this.
+    pub granularity: usize,
+    /// Output pixels per input pixel, `[num, den]`.
+    pub scale: (usize, usize),
+    /// Stored real-valued parameter count.
+    pub params: usize,
+    /// I/O channel count an `infer` request must supply.
+    pub channels_io: usize,
+}
+
+/// A server → client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Inference result.
+    Infer {
+        /// Output shape.
+        shape: Shape4,
+        /// Row-major output samples.
+        data: Vec<f32>,
+        /// Admission → dispatch wait, milliseconds.
+        queue_ms: f64,
+        /// Admission → completion latency, milliseconds.
+        total_ms: f64,
+        /// Batch size this request rode in.
+        batch_size: usize,
+    },
+    /// Registered models.
+    ListModels(Vec<ModelInfo>),
+    /// Service statistics.
+    Stats(StatsSnapshot),
+    /// Probe result.
+    Health {
+        /// Whether the service admits work.
+        healthy: bool,
+        /// Registered model count.
+        models: usize,
+        /// Current queue depth.
+        queue_depth: usize,
+    },
+    /// Shutdown acknowledged; the server drains and exits.
+    Shutdown,
+    /// The request failed.
+    Error(ServeError),
+}
+
+// --- Value helpers ---------------------------------------------------------
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn get<'v>(v: &'v Value, key: &str) -> Result<&'v Value, ServeError> {
+    v.field(key)
+        .map_err(|_| ServeError::BadRequest(format!("missing field `{key}`")))
+}
+
+fn get_str(v: &Value, key: &str) -> Result<String, ServeError> {
+    match get(v, key)? {
+        Value::Str(s) => Ok(s.clone()),
+        _ => Err(ServeError::BadRequest(format!(
+            "field `{key}` must be a string"
+        ))),
+    }
+}
+
+fn decode<T: Deserialize>(v: &Value, key: &str) -> Result<T, ServeError> {
+    T::from_json_value(get(v, key)?)
+        .map_err(|e| ServeError::BadRequest(format!("field `{key}`: {e}")))
+}
+
+fn shape_value(s: Shape4) -> Value {
+    [s.n, s.c, s.h, s.w].to_json_value()
+}
+
+fn decode_shape(v: &Value, key: &str) -> Result<Shape4, ServeError> {
+    let dims: [usize; 4] = decode(v, key)?;
+    // `Shape4::len` multiplies unchecked; reject overflowing products
+    // here so a hostile shape like [2^32, 1, 2^32, 1] cannot wrap to a
+    // small element count and slip past the data-length check.
+    dims.iter()
+        .try_fold(1usize, |acc, d| acc.checked_mul(*d))
+        .ok_or_else(|| {
+            ServeError::BadRequest(format!(
+                "field `{key}`: shape {dims:?} element count overflows"
+            ))
+        })?;
+    Ok(Shape4::new(dims[0], dims[1], dims[2], dims[3]))
+}
+
+fn parse_line(line: &str) -> Result<Value, ServeError> {
+    serde_json::from_str(line.trim())
+        .map_err(|e| ServeError::BadRequest(format!("malformed JSON: {e}")))
+}
+
+// --- Request codec ---------------------------------------------------------
+
+impl Request {
+    /// Renders the request as one wire line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let v = match self {
+            Request::Infer { model, shape, data } => obj(vec![
+                ("verb", Value::Str("infer".into())),
+                ("model", Value::Str(model.clone())),
+                ("shape", shape_value(*shape)),
+                ("data", data.to_json_value()),
+            ]),
+            Request::ListModels => obj(vec![("verb", Value::Str("list_models".into()))]),
+            Request::Stats => obj(vec![("verb", Value::Str("stats".into()))]),
+            Request::Health => obj(vec![("verb", Value::Str("health".into()))]),
+            Request::Shutdown => obj(vec![("verb", Value::Str("shutdown".into()))]),
+        };
+        serde_json::to_string(&v).expect("request serializes")
+    }
+
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] naming the malformed part.
+    pub fn parse(line: &str) -> Result<Request, ServeError> {
+        let v = parse_line(line)?;
+        let verb = get_str(&v, "verb")?;
+        match verb.as_str() {
+            "infer" => {
+                let model = get_str(&v, "model")?;
+                let shape = decode_shape(&v, "shape")?;
+                let data: Vec<f32> = decode(&v, "data")?;
+                if data.len() != shape.len() {
+                    return Err(ServeError::BadRequest(format!(
+                        "shape {shape} wants {} samples, got {}",
+                        shape.len(),
+                        data.len()
+                    )));
+                }
+                Ok(Request::Infer { model, shape, data })
+            }
+            "list_models" => Ok(Request::ListModels),
+            "stats" => Ok(Request::Stats),
+            "health" => Ok(Request::Health),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ServeError::BadRequest(format!("unknown verb `{other}`"))),
+        }
+    }
+}
+
+// --- Response codec --------------------------------------------------------
+
+impl Response {
+    /// Renders the response as one wire line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let ok = |verb: &str, mut rest: Vec<(&str, Value)>| {
+            let mut pairs = vec![("ok", Value::Bool(true)), ("verb", Value::Str(verb.into()))];
+            pairs.append(&mut rest);
+            obj(pairs)
+        };
+        let v = match self {
+            Response::Infer {
+                shape,
+                data,
+                queue_ms,
+                total_ms,
+                batch_size,
+            } => ok(
+                "infer",
+                vec![
+                    ("shape", shape_value(*shape)),
+                    ("data", data.to_json_value()),
+                    ("queue_ms", Value::F64(*queue_ms)),
+                    ("total_ms", Value::F64(*total_ms)),
+                    ("batch_size", Value::U64(*batch_size as u64)),
+                ],
+            ),
+            Response::ListModels(models) => {
+                ok("list_models", vec![("models", models.to_json_value())])
+            }
+            Response::Stats(s) => ok("stats", vec![("stats", s.to_json_value())]),
+            Response::Health {
+                healthy,
+                models,
+                queue_depth,
+            } => ok(
+                "health",
+                vec![
+                    ("healthy", Value::Bool(*healthy)),
+                    ("models", Value::U64(*models as u64)),
+                    ("queue_depth", Value::U64(*queue_depth as u64)),
+                ],
+            ),
+            Response::Shutdown => ok("shutdown", vec![]),
+            Response::Error(e) => obj(vec![
+                ("ok", Value::Bool(false)),
+                ("error", Value::Str(e.code().into())),
+                ("message", Value::Str(e.to_string())),
+            ]),
+        };
+        serde_json::to_string(&v).expect("response serializes")
+    }
+
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when the line is not a valid response
+    /// (the transport gave us something else entirely).
+    pub fn parse(line: &str) -> Result<Response, ServeError> {
+        let v = parse_line(line)?;
+        let ok = matches!(get(&v, "ok")?, Value::Bool(true));
+        if !ok {
+            let code = get_str(&v, "error")?;
+            let message = get_str(&v, "message").unwrap_or_default();
+            return Ok(Response::Error(ServeError::from_wire(&code, &message)));
+        }
+        let verb = get_str(&v, "verb")?;
+        match verb.as_str() {
+            "infer" => Ok(Response::Infer {
+                shape: decode_shape(&v, "shape")?,
+                data: decode(&v, "data")?,
+                queue_ms: decode(&v, "queue_ms")?,
+                total_ms: decode(&v, "total_ms")?,
+                batch_size: decode(&v, "batch_size")?,
+            }),
+            "list_models" => Ok(Response::ListModels(decode(&v, "models")?)),
+            "stats" => Ok(Response::Stats(decode(&v, "stats")?)),
+            "health" => Ok(Response::Health {
+                healthy: decode(&v, "healthy")?,
+                models: decode(&v, "models")?,
+                queue_depth: decode(&v, "queue_depth")?,
+            }),
+            "shutdown" => Ok(Response::Shutdown),
+            other => Err(ServeError::BadRequest(format!(
+                "unknown response verb `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Metrics;
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            Request::Infer {
+                model: "ffdnet_real".into(),
+                shape: Shape4::new(1, 1, 2, 2),
+                data: vec![0.25, -1.0, 3.5, 0.0],
+            },
+            Request::ListModels,
+            Request::Stats,
+            Request::Health,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            assert_eq!(Request::parse(&r.to_json()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn infer_data_survives_the_wire_bit_exactly() {
+        // f32 → JSON f64 text → f32 must be the identity (bit-exact
+        // responses are part of the service contract).
+        let data: Vec<f32> = (0..256)
+            .map(|i| ((i as f32) * 0.137).sin() * 1e3 + 1.0e-7)
+            .collect();
+        let r = Request::Infer {
+            model: "m".into(),
+            shape: Shape4::new(1, 1, 16, 16),
+            data: data.clone(),
+        };
+        match Request::parse(&r.to_json()).unwrap() {
+            Request::Infer { data: back, .. } => assert_eq!(back, data),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = [
+            Response::Infer {
+                shape: Shape4::new(1, 1, 1, 2),
+                data: vec![1.5, -2.0],
+                queue_ms: 0.5,
+                total_ms: 1.5,
+                batch_size: 4,
+            },
+            Response::ListModels(vec![ModelInfo {
+                name: "m".into(),
+                arch: "vdsr-d3c8".into(),
+                algebra: "(RH4, fcw)".into(),
+                backend: "transform".into(),
+                radius: 3,
+                granularity: 1,
+                scale: (1, 1),
+                params: 1234,
+                channels_io: 1,
+            }]),
+            Response::Stats(Metrics::new().snapshot()),
+            Response::Health {
+                healthy: true,
+                models: 2,
+                queue_depth: 0,
+            },
+            Response::Shutdown,
+            Response::Error(ServeError::Overloaded { depth: 8, cap: 8 }),
+        ];
+        for r in resps {
+            let line = r.to_json();
+            let back = Response::parse(&line).unwrap();
+            match (&r, &back) {
+                // Error payloads only promise code stability.
+                (Response::Error(a), Response::Error(b)) => assert_eq!(a.code(), b.code()),
+                _ => assert_eq!(back, r, "{line}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_bad_requests_not_panics() {
+        for line in [
+            "",
+            "not json",
+            "{}",
+            r#"{"verb":"nope"}"#,
+            r#"{"verb":"infer"}"#,
+            r#"{"verb":"infer","model":"m","shape":[1,1,2,2],"data":[1.0]}"#,
+            r#"{"verb":"infer","model":"m","shape":[1,1],"data":[]}"#,
+            r#"{"verb":"infer","model":3,"shape":[1,1,1,1],"data":[1.0]}"#,
+            r#"{"verb":5}"#,
+            "[1,2,3]",
+            // Shape whose element product wraps usize: must be refused,
+            // not wrapped to a small count that matches `data`.
+            r#"{"verb":"infer","model":"m","shape":[4294967296,1,4294967296,1],"data":[]}"#,
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert_eq!(err.code(), "bad_request", "{line:?} → {err}");
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! The model registry: loads `ringcnn-model/v1` files, prepares them for
+//! shared inference, and hands out `Arc` handles keyed by name.
+//!
+//! Registration is the exclusive-access moment: the model's cached
+//! inference kernels are pre-built ([`prepare_inference`]) and its tiling
+//! topology derived exactly once, after which the entry is immutable and
+//! any number of scheduler workers can run [`ModelEntry::infer`]
+//! concurrently (`Layer: Send + Sync`, PR 3).
+//!
+//! [`prepare_inference`]: ringcnn_nn::layer::Layer::prepare_inference
+
+use crate::error::ServeError;
+use ringcnn_nn::layer::Layer;
+use ringcnn_nn::layers::structure::Sequential;
+use ringcnn_nn::runtime::{model_topology, ModelTopo};
+use ringcnn_nn::serialize::{instantiate, model_from_json, AlgebraSpec, ModelFile, ModelSpec};
+use ringcnn_tensor::prelude::*;
+use std::path::Path;
+use std::sync::Arc;
+
+/// One registered, inference-ready model.
+pub struct ModelEntry {
+    name: String,
+    spec: ModelSpec,
+    algebra: AlgebraSpec,
+    topo: ModelTopo,
+    num_params: usize,
+    model: Sequential,
+}
+
+impl std::fmt::Debug for ModelEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelEntry")
+            .field("name", &self.name)
+            .field("spec", &self.spec)
+            .field("algebra", &self.algebra)
+            .field("topo", &self.topo)
+            .field("num_params", &self.num_params)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ModelEntry {
+    /// Registry key.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Architecture + hyper-parameters.
+    pub fn spec(&self) -> ModelSpec {
+        self.spec
+    }
+
+    /// Ring / non-linearity / backend.
+    pub fn algebra(&self) -> AlgebraSpec {
+        self.algebra
+    }
+
+    /// Receptive radius, granularity, and output scale.
+    pub fn topo(&self) -> ModelTopo {
+        self.topo
+    }
+
+    /// Stored real-valued parameter count.
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// Shared-state inference forward (many threads may call this on one
+    /// entry concurrently; every cached kernel was built at registration).
+    pub fn infer(&self, input: &Tensor) -> Tensor {
+        self.model.forward_infer(input)
+    }
+
+    /// The output shape an input of shape `s` produces.
+    pub fn output_shape(&self, s: Shape4) -> Shape4 {
+        let (sn, sd) = self.topo.scale;
+        Shape4::new(
+            s.n,
+            self.model.out_channels(s.c),
+            s.h * sn / sd,
+            s.w * sn / sd,
+        )
+    }
+
+    /// Checks that a request input is one this model can run: the
+    /// spec's I/O channel count and spatial sizes aligned to the model
+    /// granularity (pixel-unshuffle parity).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] describing the violated constraint.
+    pub fn validate_input(&self, s: Shape4) -> Result<(), ServeError> {
+        if s.n == 0 || s.c == 0 || s.h == 0 || s.w == 0 {
+            return Err(ServeError::BadRequest(format!(
+                "empty input shape {s} for model `{}`",
+                self.name
+            )));
+        }
+        let want_c = self.spec.channels_io();
+        if s.c != want_c {
+            return Err(ServeError::BadRequest(format!(
+                "model `{}` takes {want_c} channel(s), got {}",
+                self.name, s.c
+            )));
+        }
+        let g = self.topo.granularity;
+        if s.h % g != 0 || s.w % g != 0 {
+            return Err(ServeError::BadRequest(format!(
+                "model `{}` needs H and W divisible by {g}, got {}x{}",
+                self.name, s.h, s.w
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A frozen set of named, prepared models. Built once at startup, then
+/// shared immutably with the scheduler and server.
+#[derive(Default)]
+pub struct ModelRegistry {
+    entries: Vec<Arc<ModelEntry>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a built model under `name`: prepares its inference
+    /// kernels, derives its topology, and freezes it behind an `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Load`] when the name is already taken.
+    pub fn register(
+        &mut self,
+        name: &str,
+        spec: ModelSpec,
+        algebra: AlgebraSpec,
+        mut model: Sequential,
+    ) -> Result<Arc<ModelEntry>, ServeError> {
+        if self.get(name).is_some() {
+            return Err(ServeError::Load(format!(
+                "model name `{name}` is already registered"
+            )));
+        }
+        model.prepare_inference();
+        let topo = model_topology(&mut model);
+        let num_params = model.num_params();
+        let entry = Arc::new(ModelEntry {
+            name: name.into(),
+            spec,
+            algebra,
+            topo,
+            num_params,
+            model,
+        });
+        self.entries.push(entry.clone());
+        Ok(entry)
+    }
+
+    /// Registers a parsed model file (the `instantiate` + `register`
+    /// composition).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Load`] when the weights don't fit the declared
+    /// architecture or the name collides.
+    pub fn register_file(&mut self, file: &ModelFile) -> Result<Arc<ModelEntry>, ServeError> {
+        let (_, model) = instantiate(file).map_err(|e| ServeError::Load(e.to_string()))?;
+        self.register(&file.name, file.spec, file.algebra, model)
+    }
+
+    /// Loads one `ringcnn-model/v1` JSON file.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the file can't be read, [`ServeError::Load`]
+    /// when it is corrupt (truncated JSON, wrong version, weight
+    /// mismatch) — never a panic.
+    pub fn load_path(&mut self, path: &Path) -> Result<Arc<ModelEntry>, ServeError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ServeError::Io(format!("{}: {e}", path.display())))?;
+        let file = model_from_json(&text)
+            .map_err(|e| ServeError::Load(format!("{}: {e}", path.display())))?;
+        self.register_file(&file)
+    }
+
+    /// Loads every `*.json` model file in a directory (sorted by file
+    /// name so registration order is stable).
+    ///
+    /// # Errors
+    ///
+    /// The first file that fails to read or parse aborts the load.
+    pub fn load_dir(&mut self, dir: &Path) -> Result<Vec<String>, ServeError> {
+        let mut paths: Vec<_> = std::fs::read_dir(dir)
+            .map_err(|e| ServeError::Io(format!("{}: {e}", dir.display())))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        paths.sort();
+        let mut names = Vec::new();
+        for p in paths {
+            names.push(self.load_path(&p)?.name().to_string());
+        }
+        Ok(names)
+    }
+
+    /// Looks up a model by name.
+    pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
+        self.entries.iter().find(|e| e.name == name).cloned()
+    }
+
+    /// All entries in registration order.
+    pub fn entries(&self) -> &[Arc<ModelEntry>] {
+        &self.entries
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringcnn_nn::prelude::*;
+    use ringcnn_nn::serialize::{export_model, model_to_json};
+
+    fn demo_spec() -> ModelSpec {
+        ModelSpec::Vdsr {
+            depth: 2,
+            width: 8,
+            channels_io: 1,
+        }
+    }
+
+    #[test]
+    fn register_prepares_and_serves_identical_outputs() {
+        let alg = Algebra::ri_fh(2);
+        let spec = demo_spec();
+        let mut reference = spec.build(&alg, 9);
+        let mut reg = ModelRegistry::new();
+        let entry = reg
+            .register("m", spec, AlgebraSpec::of(&alg), spec.build(&alg, 9))
+            .unwrap();
+        let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 4);
+        assert_eq!(
+            entry.infer(&x).as_slice(),
+            reference.forward(&x, false).as_slice()
+        );
+        assert_eq!(entry.output_shape(x.shape()), x.shape());
+        assert!(entry.num_params() > 0);
+        // Duplicate names are rejected.
+        let err = reg
+            .register("m", spec, AlgebraSpec::of(&alg), spec.build(&alg, 9))
+            .unwrap_err();
+        assert_eq!(err.code(), "load_error");
+    }
+
+    #[test]
+    fn validate_input_checks_channels_and_granularity() {
+        let alg = Algebra::real();
+        let spec = ModelSpec::Ffdnet {
+            depth: 2,
+            width: 8,
+            channels_io: 1,
+        };
+        let mut reg = ModelRegistry::new();
+        let entry = reg
+            .register("ffd", spec, AlgebraSpec::of(&alg), spec.build(&alg, 1))
+            .unwrap();
+        assert!(entry.validate_input(Shape4::new(1, 1, 8, 8)).is_ok());
+        // FFDNet unshuffles by 2: odd sizes are rejected up front.
+        assert_eq!(
+            entry
+                .validate_input(Shape4::new(1, 1, 7, 8))
+                .unwrap_err()
+                .code(),
+            "bad_request"
+        );
+        assert_eq!(
+            entry
+                .validate_input(Shape4::new(1, 3, 8, 8))
+                .unwrap_err()
+                .code(),
+            "bad_request"
+        );
+        assert_eq!(
+            entry
+                .validate_input(Shape4::new(0, 1, 8, 8))
+                .unwrap_err()
+                .code(),
+            "bad_request"
+        );
+    }
+
+    #[test]
+    fn load_dir_roundtrips_and_rejects_corrupt_files() {
+        let dir = std::env::temp_dir().join(format!("ringcnn_reg_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let alg = Algebra::with_fcw(ringcnn_algebra::ring::RingKind::Rh(4));
+        let spec = demo_spec();
+        let mut m = spec.build(&alg, 3);
+        let file = export_model("vdsr_rh4", spec, AlgebraSpec::of(&alg), &mut m).unwrap();
+        let json = model_to_json(&file);
+        std::fs::write(dir.join("vdsr_rh4.json"), &json).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+
+        let mut reg = ModelRegistry::new();
+        let names = reg.load_dir(&dir).unwrap();
+        assert_eq!(names, vec!["vdsr_rh4".to_string()]);
+        let entry = reg.get("vdsr_rh4").unwrap();
+        let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 4);
+        assert_eq!(
+            entry.infer(&x).as_slice(),
+            m.forward(&x, false).as_slice(),
+            "loaded model must match the exported one exactly"
+        );
+
+        // A truncated file errors cleanly and aborts the directory load.
+        std::fs::write(dir.join("corrupt.json"), &json[..json.len() / 2]).unwrap();
+        let mut reg2 = ModelRegistry::new();
+        let err = reg2.load_dir(&dir).unwrap_err();
+        assert_eq!(err.code(), "load_error", "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

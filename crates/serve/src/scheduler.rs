@@ -1,0 +1,462 @@
+//! The dynamic micro-batching scheduler: a bounded submission queue,
+//! per-model batch formation, and worker threads that fan each batch out
+//! across the shared thread pool.
+//!
+//! # Batching policy
+//!
+//! Requests join one FIFO queue. A worker dispatches the first model
+//! group (in arrival order of its oldest request) that is *flush-ready*:
+//! either [`SchedulerConfig::max_batch`] requests for that model are
+//! waiting, or its oldest request has waited
+//! [`SchedulerConfig::max_wait`]. Until a group is ready, workers sleep
+//! on the queue's condition variable with a deadline at the oldest
+//! request's flush time — so a lone request never waits longer than
+//! `max_wait`, and a burst coalesces into one batch that amortizes
+//! per-dispatch overhead and keeps every pool thread busy
+//! (`forward_infer` over a prepared model, exactly the
+//! `BatchRunner::run_batch` execution shape).
+//!
+//! # Admission control
+//!
+//! The queue is bounded ([`SchedulerConfig::queue_cap`]): when it is
+//! full, [`Scheduler::submit`] returns [`ServeError::Overloaded`]
+//! *immediately* instead of queueing unbounded latency. On
+//! [`Scheduler::shutdown`] new work is refused
+//! ([`ServeError::ShuttingDown`]) and every already-admitted request is
+//! drained before the workers exit.
+
+use crate::error::ServeError;
+use crate::registry::{ModelEntry, ModelRegistry};
+use crate::stats::Metrics;
+use rayon::prelude::*;
+use ringcnn_tensor::prelude::*;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Scheduler knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Worker threads forming and dispatching batches. Each dispatch
+    /// itself parallelizes across the shared rayon pool, so a small
+    /// worker count (2) already keeps the pool saturated; more workers
+    /// mainly help when many distinct models are hot at once.
+    pub workers: usize,
+    /// Flush a model group once this many requests are waiting.
+    pub max_batch: usize,
+    /// Flush a model group once its oldest request has waited this long.
+    pub max_wait: Duration,
+    /// Bounded queue capacity (admission control).
+    pub queue_cap: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_cap: 256,
+        }
+    }
+}
+
+/// A completed inference with its service-side timing.
+#[derive(Debug)]
+pub struct InferOutput {
+    /// The model output.
+    pub output: Tensor,
+    /// Admission → batch-dispatch wait.
+    pub queue_ms: f64,
+    /// Admission → completion latency.
+    pub total_ms: f64,
+    /// Size of the batch this request rode in.
+    pub batch_size: usize,
+}
+
+struct Job {
+    entry: Arc<ModelEntry>,
+    input: Tensor,
+    enqueued: Instant,
+    tx: mpsc::Sender<Result<InferOutput, ServeError>>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    cfg: SchedulerConfig,
+    state: Mutex<QueueState>,
+    work_cv: Condvar,
+    metrics: Arc<Metrics>,
+}
+
+/// Unwraps a mutex even if a panicking worker poisoned it: one failed
+/// batch must not take the whole service down.
+fn lock_unpoisoned<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A pending inference: resolve with [`Pending::wait`].
+#[derive(Debug)]
+pub struct Pending {
+    rx: mpsc::Receiver<Result<InferOutput, ServeError>>,
+}
+
+impl Pending {
+    /// Blocks until the batch containing this request completes.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the service decided ([`ServeError::Internal`] if the
+    /// worker vanished).
+    pub fn wait(self) -> Result<InferOutput, ServeError> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(ServeError::Internal("worker dropped the request".into())))
+    }
+}
+
+/// The running scheduler (share via `Arc`; [`Scheduler::shutdown`]
+/// drains and joins).
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    registry: Arc<ModelRegistry>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Spawns the worker threads and returns the running scheduler.
+    pub fn start(registry: Arc<ModelRegistry>, cfg: SchedulerConfig) -> Scheduler {
+        let cfg = SchedulerConfig {
+            workers: cfg.workers.max(1),
+            max_batch: cfg.max_batch.max(1),
+            queue_cap: cfg.queue_cap.max(1),
+            ..cfg
+        };
+        let shared = Arc::new(Shared {
+            cfg,
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutting_down: false,
+            }),
+            work_cv: Condvar::new(),
+            metrics: Arc::new(Metrics::new()),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
+        Scheduler {
+            shared,
+            registry,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The model registry this scheduler serves.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Service metrics.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.shared.metrics
+    }
+
+    /// The effective configuration.
+    pub fn config(&self) -> SchedulerConfig {
+        self.shared.cfg
+    }
+
+    /// Submits a request (non-blocking). The returned [`Pending`]
+    /// resolves when the request's batch completes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`], [`ServeError::BadRequest`] (shape),
+    /// [`ServeError::Overloaded`] (queue full), or
+    /// [`ServeError::ShuttingDown`].
+    pub fn submit(&self, model: &str, input: Tensor) -> Result<Pending, ServeError> {
+        let entry = self
+            .registry
+            .get(model)
+            .ok_or_else(|| ServeError::UnknownModel(model.into()))?;
+        entry.validate_input(input.shape())?;
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = lock_unpoisoned(&self.shared.state);
+            if st.shutting_down {
+                return Err(ServeError::ShuttingDown);
+            }
+            if st.jobs.len() >= self.shared.cfg.queue_cap {
+                self.shared.metrics.record_rejected();
+                return Err(ServeError::Overloaded {
+                    depth: st.jobs.len(),
+                    cap: self.shared.cfg.queue_cap,
+                });
+            }
+            st.jobs.push_back(Job {
+                entry,
+                input,
+                enqueued: Instant::now(),
+                tx,
+            });
+            self.shared.metrics.record_submit(st.jobs.len());
+        }
+        self.shared.work_cv.notify_one();
+        Ok(Pending { rx })
+    }
+
+    /// Blocking submit-and-wait convenience.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::submit`] and [`Pending::wait`].
+    pub fn infer(&self, model: &str, input: Tensor) -> Result<InferOutput, ServeError> {
+        self.submit(model, input)?.wait()
+    }
+
+    /// Stops admitting work, drains every already-queued request, and
+    /// joins the workers. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut st = lock_unpoisoned(&self.shared.state);
+            st.shutting_down = true;
+        }
+        self.shared.work_cv.notify_all();
+        let handles: Vec<_> = lock_unpoisoned(&self.workers).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A flush-ready batch: jobs of one model, removed from the queue.
+fn try_take_batch(st: &mut QueueState, cfg: &SchedulerConfig) -> Option<Vec<Job>> {
+    if st.jobs.is_empty() {
+        return None;
+    }
+    // Scan model groups in arrival order of their oldest job (the queue
+    // is FIFO, so first occurrence = oldest). Shutdown flushes
+    // unconditionally — that is the drain.
+    let mut ready: Option<*const ModelEntry> = None;
+    if st.shutting_down {
+        ready = Some(Arc::as_ptr(&st.jobs[0].entry));
+    } else {
+        let now = Instant::now();
+        let mut seen: Vec<(*const ModelEntry, usize)> = Vec::new();
+        for job in &st.jobs {
+            let key = Arc::as_ptr(&job.entry);
+            match seen.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, count)) => {
+                    *count += 1;
+                    if *count >= cfg.max_batch {
+                        ready = Some(key);
+                        break;
+                    }
+                }
+                None => {
+                    // First occurrence = the group's oldest job.
+                    if now.duration_since(job.enqueued) >= cfg.max_wait || cfg.max_batch == 1 {
+                        ready = Some(key);
+                        break;
+                    }
+                    seen.push((key, 1));
+                }
+            }
+        }
+    }
+    let key = ready?;
+    let mut batch = Vec::new();
+    let mut rest = VecDeque::with_capacity(st.jobs.len());
+    for job in st.jobs.drain(..) {
+        if batch.len() < cfg.max_batch && Arc::as_ptr(&job.entry) == key {
+            batch.push(job);
+        } else {
+            rest.push_back(job);
+        }
+    }
+    st.jobs = rest;
+    Some(batch)
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut st = lock_unpoisoned(&shared.state);
+            loop {
+                if let Some(batch) = try_take_batch(&mut st, &shared.cfg) {
+                    shared.metrics.record_batch(batch.len(), st.jobs.len());
+                    break batch;
+                }
+                if st.jobs.is_empty() {
+                    if st.shutting_down {
+                        return;
+                    }
+                    st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                } else {
+                    // Sleep until the oldest request's flush deadline;
+                    // new submissions notify and re-run the scan.
+                    let deadline = st.jobs[0].enqueued + shared.cfg.max_wait;
+                    let wait = deadline
+                        .saturating_duration_since(Instant::now())
+                        .max(Duration::from_micros(50));
+                    st = shared
+                        .work_cv
+                        .wait_timeout(st, wait)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                }
+            }
+        };
+        execute_batch(shared, batch);
+        // A batch may have left flush-ready work behind (group larger
+        // than max_batch, or other models): let a sibling pick it up
+        // without waiting for the next submission.
+        shared.work_cv.notify_one();
+    }
+}
+
+fn execute_batch(shared: &Shared, batch: Vec<Job>) {
+    let size = batch.len();
+    let dispatched = Instant::now();
+    // One task per frame across the shared pool — the plan-reuse
+    // execution shape of `BatchRunner::run_batch`: every frame reads the
+    // same prepared model, so cached transform plans are built zero
+    // times on this path.
+    let outputs: Vec<std::thread::Result<Tensor>> = batch
+        .par_iter()
+        .map(|job| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.entry.infer(&job.input)))
+        })
+        .collect();
+    for (job, out) in batch.into_iter().zip(outputs) {
+        let queue_ms = dispatched.duration_since(job.enqueued).as_secs_f64() * 1e3;
+        let total_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+        let result = match out {
+            Ok(output) => {
+                shared
+                    .metrics
+                    .record_completion(job.entry.name(), queue_ms, total_ms);
+                Ok(InferOutput {
+                    output,
+                    queue_ms,
+                    total_ms,
+                    batch_size: size,
+                })
+            }
+            Err(_) => {
+                shared.metrics.record_failure();
+                Err(ServeError::Internal(format!(
+                    "inference panicked for model `{}`",
+                    job.entry.name()
+                )))
+            }
+        };
+        // The submitter may have gone away (disconnected client) —
+        // dropping the result is correct then.
+        let _ = job.tx.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringcnn_nn::prelude::*;
+    use ringcnn_nn::serialize::{AlgebraSpec, ModelSpec};
+
+    fn registry_with(names: &[&str]) -> Arc<ModelRegistry> {
+        let alg = Algebra::real();
+        let spec = ModelSpec::Vdsr {
+            depth: 2,
+            width: 8,
+            channels_io: 1,
+        };
+        let mut reg = ModelRegistry::new();
+        for (i, n) in names.iter().enumerate() {
+            reg.register(n, spec, AlgebraSpec::of(&alg), spec.build(&alg, i as u64))
+                .unwrap();
+        }
+        Arc::new(reg)
+    }
+
+    #[test]
+    fn unknown_model_and_bad_shape_are_rejected_up_front() {
+        let sched = Scheduler::start(registry_with(&["m"]), SchedulerConfig::default());
+        let x = Tensor::zeros(Shape4::new(1, 1, 4, 4));
+        assert_eq!(
+            sched.infer("nope", x.clone()).unwrap_err().code(),
+            "unknown_model"
+        );
+        let bad = Tensor::zeros(Shape4::new(1, 3, 4, 4));
+        assert_eq!(sched.infer("m", bad).unwrap_err().code(), "bad_request");
+        assert_eq!(
+            sched.infer("m", x.clone()).unwrap().output.shape(),
+            x.shape()
+        );
+        sched.shutdown();
+        assert_eq!(sched.infer("m", x).unwrap_err().code(), "shutting_down");
+    }
+
+    #[test]
+    fn batch_takes_only_one_model_group_in_fifo_order() {
+        let reg = registry_with(&["a", "b"]);
+        let (tx, _rx) = mpsc::channel();
+        let mk = |name: &str| Job {
+            entry: reg.get(name).unwrap(),
+            input: Tensor::zeros(Shape4::new(1, 1, 4, 4)),
+            enqueued: Instant::now() - Duration::from_secs(1), // already past max_wait
+            tx: tx.clone(),
+        };
+        let mut st = QueueState {
+            jobs: VecDeque::from([mk("a"), mk("b"), mk("a"), mk("a"), mk("b")]),
+            shutting_down: false,
+        };
+        let cfg = SchedulerConfig {
+            max_batch: 2,
+            ..SchedulerConfig::default()
+        };
+        let batch = try_take_batch(&mut st, &cfg).unwrap();
+        assert_eq!(batch.len(), 2, "capped at max_batch");
+        assert!(batch.iter().all(|j| j.entry.name() == "a"));
+        // Remaining queue preserves order: b, a, b.
+        let names: Vec<_> = st.jobs.iter().map(|j| j.entry.name().to_string()).collect();
+        assert_eq!(names, ["b", "a", "b"]);
+    }
+
+    #[test]
+    fn not_ready_group_is_not_taken() {
+        let reg = registry_with(&["a"]);
+        let (tx, _rx) = mpsc::channel();
+        let mut st = QueueState {
+            jobs: VecDeque::from([Job {
+                entry: reg.get("a").unwrap(),
+                input: Tensor::zeros(Shape4::new(1, 1, 4, 4)),
+                enqueued: Instant::now(),
+                tx,
+            }]),
+            shutting_down: false,
+        };
+        let cfg = SchedulerConfig {
+            max_batch: 4,
+            max_wait: Duration::from_secs(10),
+            ..SchedulerConfig::default()
+        };
+        assert!(
+            try_take_batch(&mut st, &cfg).is_none(),
+            "must wait for the batch to fill"
+        );
+        // …until shutdown, which flushes unconditionally.
+        st.shutting_down = true;
+        assert_eq!(try_take_batch(&mut st, &cfg).unwrap().len(), 1);
+    }
+}

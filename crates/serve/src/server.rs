@@ -1,0 +1,284 @@
+//! The TCP front end: accepts connections, speaks the line protocol,
+//! and forwards `infer` requests into the [`Scheduler`].
+//!
+//! One thread per connection (requests on a connection are handled in
+//! order; concurrency comes from many connections, which is exactly
+//! what lets the scheduler form batches). Shutdown is graceful: the
+//! `shutdown` verb (or [`Server::trigger_shutdown`]) stops admissions,
+//! lets every in-flight request finish, drains the scheduler queue, and
+//! joins all threads.
+
+use crate::error::ServeError;
+use crate::protocol::{ModelInfo, Request, Response};
+use crate::registry::ModelRegistry;
+use crate::scheduler::{Scheduler, SchedulerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Longest accepted request line (16 MiB ≈ a 2-megapixel float frame
+/// in JSON); longer lines are refused as `bad_request` and the
+/// connection closed, so a garbage client cannot balloon server memory.
+pub const MAX_LINE_BYTES: usize = 16 << 20;
+
+/// How often a blocked connection read wakes up to check for shutdown.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Server knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7841` (`:0` = ephemeral port).
+    pub addr: String,
+    /// Scheduler knobs.
+    pub scheduler: SchedulerConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+}
+
+struct ServerShared {
+    scheduler: Scheduler,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl ServerShared {
+    fn model_infos(&self) -> Vec<ModelInfo> {
+        self.scheduler
+            .registry()
+            .entries()
+            .iter()
+            .map(|e| {
+                let topo = e.topo();
+                ModelInfo {
+                    name: e.name().into(),
+                    arch: e.spec().label(),
+                    algebra: e.algebra().label(),
+                    backend: e.algebra().algebra().conv_backend().label().into(),
+                    radius: topo.radius,
+                    granularity: topo.granularity,
+                    scale: topo.scale,
+                    params: e.num_params(),
+                    channels_io: e.spec().channels_io(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// A running server. Dropping the handle does NOT stop it — call
+/// [`Server::shutdown`] (or let a client send the `shutdown` verb and
+/// then [`Server::wait`]).
+pub struct Server {
+    shared: Arc<ServerShared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds and starts serving `registry` with `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the address cannot be bound.
+    pub fn start(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            scheduler: Scheduler::start(registry, cfg.scheduler),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
+        let accept_thread = {
+            let shared = shared.clone();
+            let conns = conns.clone();
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &conns))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            shared,
+            accept_thread: Some(accept_thread),
+            conns,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral `:0` port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The scheduler (for in-process submission alongside TCP clients).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.shared.scheduler
+    }
+
+    /// Flips the shutdown flag and unblocks the acceptor. Returns
+    /// immediately; pair with [`Server::wait`].
+    pub fn trigger_shutdown(&self) {
+        trigger_shutdown(&self.shared);
+    }
+
+    /// Blocks until the server has fully stopped: acceptor joined, every
+    /// connection closed (in-flight requests answered), scheduler
+    /// drained and joined.
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = {
+            let mut conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+            conns.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        self.shared.scheduler.shutdown();
+    }
+
+    /// [`Server::trigger_shutdown`] + [`Server::wait`].
+    pub fn shutdown(self) {
+        self.trigger_shutdown();
+        self.wait();
+    }
+}
+
+fn trigger_shutdown(shared: &ServerShared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return; // Already triggered.
+    }
+    // Unblock the acceptor with a no-op connection to our own port.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<ServerShared>,
+    conns: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept errors (EMFILE under fd exhaustion)
+                // must not busy-spin the acceptor at 100% CPU.
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // The wake-up poke (or a late client) during shutdown.
+        }
+        let shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("serve-conn".into())
+            .spawn(move || handle_connection(stream, &shared))
+            .expect("spawn connection thread");
+        let mut conns = conns.lock().unwrap_or_else(|e| e.into_inner());
+        // Prune finished connections so a long-lived daemon serving
+        // many short connections doesn't grow this list without bound
+        // (dropping a finished handle just detaches the dead thread).
+        conns.retain(|h| !h.is_finished());
+        conns.push(handle);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
+    let _ = stream.set_nodelay(true);
+    // Reads tick so a idle-blocked connection notices shutdown.
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let mut stream = stream;
+    let mut acc: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // Graceful close: the previous response was flushed.
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return, // Client closed.
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // Shutdown-check tick.
+            }
+            Err(_) => return,
+        };
+        acc.extend_from_slice(&chunk[..n]);
+        if acc.len() > MAX_LINE_BYTES {
+            let resp = Response::Error(ServeError::BadRequest(format!(
+                "request line exceeds {MAX_LINE_BYTES} bytes"
+            )));
+            let _ = write_line(&mut stream, &resp);
+            return;
+        }
+        // Handle every complete line in the buffer.
+        while let Some(pos) = acc.iter().position(|b| *b == b'\n') {
+            let line: Vec<u8> = acc.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            if line.trim().is_empty() {
+                continue;
+            }
+            let resp = handle_line(&line, shared);
+            let is_shutdown_ack = matches!(resp, Response::Shutdown);
+            if write_line(&mut stream, &resp).is_err() {
+                return;
+            }
+            if is_shutdown_ack {
+                trigger_shutdown(shared);
+                return;
+            }
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut line = resp.to_json();
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()
+}
+
+fn handle_line(line: &str, shared: &ServerShared) -> Response {
+    let req = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => return Response::Error(e),
+    };
+    match req {
+        Request::Infer { model, shape, data } => {
+            let input = ringcnn_tensor::tensor::Tensor::from_vec(shape, data);
+            match shared.scheduler.infer(&model, input) {
+                Ok(out) => Response::Infer {
+                    shape: out.output.shape(),
+                    data: out.output.as_slice().to_vec(),
+                    queue_ms: out.queue_ms,
+                    total_ms: out.total_ms,
+                    batch_size: out.batch_size,
+                },
+                Err(e) => Response::Error(e),
+            }
+        }
+        Request::ListModels => Response::ListModels(shared.model_infos()),
+        Request::Stats => Response::Stats(shared.scheduler.metrics().snapshot()),
+        Request::Health => Response::Health {
+            healthy: !shared.shutdown.load(Ordering::SeqCst),
+            models: shared.scheduler.registry().len(),
+            queue_depth: shared.scheduler.metrics().queue_depth(),
+        },
+        Request::Shutdown => Response::Shutdown,
+    }
+}

@@ -1,0 +1,288 @@
+//! Service metrics: lock-light counters updated on the hot path and a
+//! serializable [`StatsSnapshot`] for the `stats` verb.
+//!
+//! Latency percentiles come from a fixed-capacity ring of the most
+//! recent completions (a sliding window, not an all-time histogram), so
+//! `stats` reflects current behavior even on a long-lived server.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Completions kept for the latency window.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Shared, interior-mutable service counters.
+pub struct Metrics {
+    started: Instant,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_jobs: AtomicU64,
+    max_batch: AtomicU64,
+    queue_depth: AtomicUsize,
+    window: Mutex<Window>,
+    per_model: Mutex<Vec<(String, u64)>>,
+}
+
+struct Window {
+    /// `(queue_ms, total_ms)` of recent completions, ring-ordered.
+    samples: Vec<(f32, f32)>,
+    next: usize,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_jobs: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            window: Mutex::new(Window {
+                samples: Vec::new(),
+                next: 0,
+            }),
+            per_model: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// Unwraps a mutex even when a panicking thread poisoned it: metrics
+/// must keep flowing while the scheduler contains the failure.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One request admitted into the queue (depth after the push).
+    pub fn record_submit(&self, depth: usize) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// One request refused by admission control.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One batch dispatched to the pool (queue depth after the take).
+    pub fn record_batch(&self, size: usize, depth: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_jobs.fetch_add(size as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// One request completed successfully.
+    pub fn record_completion(&self, model: &str, queue_ms: f64, total_ms: f64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut w = lock_unpoisoned(&self.window);
+            let sample = (queue_ms as f32, total_ms as f32);
+            if w.samples.len() < LATENCY_WINDOW {
+                w.samples.push(sample);
+            } else {
+                let i = w.next;
+                w.samples[i] = sample;
+            }
+            w.next = (w.next + 1) % LATENCY_WINDOW;
+        }
+        let mut pm = lock_unpoisoned(&self.per_model);
+        match pm.iter_mut().find(|(n, _)| n == model) {
+            Some((_, c)) => *c += 1,
+            None => pm.push((model.into(), 1)),
+        }
+    }
+
+    /// One request that failed inside the service (not a rejection).
+    pub fn record_failure(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current queue depth as last observed by the scheduler.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let (queue_wait_ms, latency_ms) = {
+            let w = lock_unpoisoned(&self.window);
+            (
+                LatencyStats::of(w.samples.iter().map(|s| f64::from(s.0))),
+                LatencyStats::of(w.samples.iter().map(|s| f64::from(s.1))),
+            )
+        };
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_jobs = self.batched_jobs.load(Ordering::Relaxed);
+        StatsSnapshot {
+            uptime_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches,
+            mean_batch: if batches > 0 {
+                batched_jobs as f64 / batches as f64
+            } else {
+                0.0
+            },
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_wait_ms,
+            latency_ms,
+            per_model: lock_unpoisoned(&self.per_model)
+                .iter()
+                .map(|(name, completed)| ModelCount {
+                    name: name.clone(),
+                    completed: *completed,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Latency distribution over the sliding window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Computes the stats of a sample set (zeros when empty).
+    pub fn of(samples: impl Iterator<Item = f64>) -> LatencyStats {
+        let mut v: Vec<f64> = samples.collect();
+        if v.is_empty() {
+            return LatencyStats::default();
+        }
+        v.sort_by(f64::total_cmp);
+        let pct = |p: f64| v[(((v.len() - 1) as f64) * p).round() as usize];
+        LatencyStats {
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            mean: v.iter().sum::<f64>() / v.len() as f64,
+            max: *v.last().unwrap(),
+        }
+    }
+}
+
+/// Per-model completion count.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelCount {
+    /// Model name.
+    pub name: String,
+    /// Requests completed.
+    pub completed: u64,
+}
+
+/// Point-in-time service statistics (the `stats` verb payload).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Milliseconds since the metrics were created.
+    pub uptime_ms: f64,
+    /// Requests admitted.
+    pub submitted: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests refused by admission control.
+    pub rejected: u64,
+    /// Requests failed inside the service.
+    pub failed: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Mean jobs per batch.
+    pub mean_batch: f64,
+    /// Largest batch dispatched.
+    pub max_batch: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Queue-wait distribution (admission → batch dispatch).
+    pub queue_wait_ms: LatencyStats,
+    /// Total-latency distribution (admission → completion).
+    pub latency_ms: LatencyStats,
+    /// Per-model completion counts.
+    pub per_model: Vec<ModelCount>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_means() {
+        let s = LatencyStats::of((1..=100).map(|i| i as f64));
+        assert_eq!(s.p50, 51.0); // nearest-rank on 0-indexed 99 elements
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(
+            LatencyStats::of(std::iter::empty()),
+            LatencyStats::default()
+        );
+    }
+
+    #[test]
+    fn snapshot_aggregates_counters() {
+        let m = Metrics::new();
+        m.record_submit(1);
+        m.record_submit(2);
+        m.record_rejected();
+        m.record_batch(2, 0);
+        m.record_completion("a", 0.5, 2.0);
+        m.record_completion("a", 1.5, 4.0);
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.mean_batch, 2.0);
+        assert_eq!(s.max_batch, 2);
+        assert_eq!(
+            s.per_model,
+            vec![ModelCount {
+                name: "a".into(),
+                completed: 2
+            }]
+        );
+        assert_eq!(s.latency_ms.max, 4.0);
+        assert_eq!(s.queue_wait_ms.max, 1.5);
+        // Snapshot serializes for the wire.
+        let json = serde_json::to_string(&s).unwrap();
+        let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.submitted, 2);
+    }
+
+    #[test]
+    fn window_wraps_without_growing() {
+        let m = Metrics::new();
+        for i in 0..(LATENCY_WINDOW + 10) {
+            m.record_completion("m", 0.0, i as f64);
+        }
+        let w = m.window.lock().unwrap();
+        assert_eq!(w.samples.len(), LATENCY_WINDOW);
+    }
+}

@@ -1,0 +1,386 @@
+//! Integration suite for the `ringcnn-serve` layer: scheduler batching
+//! semantics, admission control, graceful drain, and end-to-end TCP
+//! correctness against direct `forward_infer`.
+
+use ringcnn_nn::prelude::*;
+use ringcnn_serve::prelude::*;
+use ringcnn_tensor::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn vdsr_spec() -> ModelSpec {
+    ModelSpec::Vdsr {
+        depth: 3,
+        width: 8,
+        channels_io: 1,
+    }
+}
+
+fn ffdnet_spec() -> ModelSpec {
+    ModelSpec::Ffdnet {
+        depth: 3,
+        width: 8,
+        channels_io: 1,
+    }
+}
+
+/// A registry with the two smoke models: FFDNet over the real field
+/// (im2col) and VDSR over RH4 (transform).
+fn smoke_registry() -> Arc<ModelRegistry> {
+    let mut reg = ModelRegistry::new();
+    let real = Algebra::real();
+    reg.register(
+        "ffdnet_real",
+        ffdnet_spec(),
+        AlgebraSpec::of(&real),
+        ffdnet_spec().build(&real, 1),
+    )
+    .unwrap();
+    let rh4 = Algebra::with_fcw(ringcnn_algebra::ring::RingKind::Rh(4));
+    reg.register(
+        "vdsr_rh4",
+        vdsr_spec(),
+        AlgebraSpec::of(&rh4),
+        vdsr_spec().build(&rh4, 2),
+    )
+    .unwrap();
+    Arc::new(reg)
+}
+
+/// Reference models built with the same seeds as [`smoke_registry`].
+fn reference_models() -> (Sequential, Sequential) {
+    let mut ffd = ffdnet_spec().build(&Algebra::real(), 1);
+    ffd.prepare_inference();
+    let mut vdsr = vdsr_spec().build(
+        &Algebra::with_fcw(ringcnn_algebra::ring::RingKind::Rh(4)),
+        2,
+    );
+    vdsr.prepare_inference();
+    (ffd, vdsr)
+}
+
+// --- Scheduler semantics ---------------------------------------------------
+
+#[test]
+fn max_batch_flushes_before_max_wait() {
+    // max_wait is far away (10 s); submitting max_batch requests must
+    // flush promptly as one batch.
+    let sched = Scheduler::start(
+        smoke_registry(),
+        SchedulerConfig {
+            workers: 1,
+            max_batch: 4,
+            max_wait: Duration::from_secs(10),
+            queue_cap: 64,
+        },
+    );
+    let started = Instant::now();
+    let pendings: Vec<_> = (0..4)
+        .map(|i| {
+            let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 10 + i);
+            sched.submit("vdsr_rh4", x).unwrap()
+        })
+        .collect();
+    for p in pendings {
+        let out = p.wait().unwrap();
+        assert_eq!(out.batch_size, 4, "all four must ride one batch");
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "batch-full flush must not wait for max_wait"
+    );
+    let stats = sched.metrics().snapshot();
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.max_batch, 4);
+    sched.shutdown();
+}
+
+#[test]
+fn max_wait_flushes_a_lone_request() {
+    // The batch never fills; the lone request must still complete right
+    // after max_wait.
+    let sched = Scheduler::start(
+        smoke_registry(),
+        SchedulerConfig {
+            workers: 1,
+            max_batch: 64,
+            max_wait: Duration::from_millis(30),
+            queue_cap: 64,
+        },
+    );
+    let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 3);
+    let started = Instant::now();
+    let out = sched.infer("vdsr_rh4", x).unwrap();
+    let waited = started.elapsed();
+    assert_eq!(out.batch_size, 1);
+    assert!(
+        waited >= Duration::from_millis(25),
+        "flush must honor max_wait, waited {waited:?}"
+    );
+    assert!(
+        waited < Duration::from_secs(5),
+        "flush must happen promptly after max_wait, waited {waited:?}"
+    );
+    sched.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_overloaded_and_drains_on_shutdown() {
+    // One worker, batches that only flush at max_batch=8 or after 10 s:
+    // with queue_cap=4 the fifth submission must be rejected
+    // *immediately* (admission control), and shutdown must still answer
+    // the four queued requests (graceful drain).
+    let sched = Scheduler::start(
+        smoke_registry(),
+        SchedulerConfig {
+            workers: 1,
+            max_batch: 8,
+            max_wait: Duration::from_secs(10),
+            queue_cap: 4,
+        },
+    );
+    let x = |i: u64| Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, i);
+    let pendings: Vec<_> = (0..4)
+        .map(|i| sched.submit("vdsr_rh4", x(i as u64)).unwrap())
+        .collect();
+    let started = Instant::now();
+    match sched.submit("vdsr_rh4", x(99)) {
+        Err(ServeError::Overloaded { depth, cap }) => {
+            assert_eq!((depth, cap), (4, 4));
+        }
+        other => panic!("expected Overloaded, got {:?}", other.err()),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "rejection must be immediate, not queued"
+    );
+    assert_eq!(sched.metrics().snapshot().rejected, 1);
+
+    // Graceful drain: every admitted request completes with the right
+    // answer even though the batch never filled.
+    let (_, vdsr) = reference_models();
+    sched.shutdown();
+    for (i, p) in pendings.into_iter().enumerate() {
+        let out = p.wait().unwrap();
+        assert_eq!(
+            out.output.as_slice(),
+            vdsr.forward_infer(&x(i as u64)).as_slice(),
+            "drained request {i} must still be answered correctly"
+        );
+    }
+    let stats = sched.metrics().snapshot();
+    assert_eq!(stats.completed, 4);
+    // Submissions after shutdown are refused with the right code.
+    assert_eq!(
+        sched.submit("vdsr_rh4", x(0)).unwrap_err().code(),
+        "shutting_down"
+    );
+}
+
+#[test]
+fn mixed_model_stream_batches_per_model_with_exact_results() {
+    // Interleaved submissions for two models: batches must never mix
+    // models, and every result must equal the direct forward.
+    let sched = Scheduler::start(
+        smoke_registry(),
+        SchedulerConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait: Duration::from_millis(2),
+            queue_cap: 256,
+        },
+    );
+    let (ffd, vdsr) = reference_models();
+    let mut pendings = Vec::new();
+    for i in 0..24u64 {
+        let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 1000 + i);
+        let model = if i % 2 == 0 {
+            "ffdnet_real"
+        } else {
+            "vdsr_rh4"
+        };
+        pendings.push((model, x.clone(), sched.submit(model, x).unwrap()));
+    }
+    for (model, x, p) in pendings {
+        let out = p.wait().unwrap();
+        let reference = if model == "ffdnet_real" { &ffd } else { &vdsr };
+        assert_eq!(
+            out.output.as_slice(),
+            reference.forward_infer(&x).as_slice(),
+            "batched result must be bit-identical for {model}"
+        );
+    }
+    sched.shutdown();
+}
+
+// --- End-to-end over TCP ---------------------------------------------------
+
+#[test]
+fn concurrent_tcp_clients_get_bit_identical_results() {
+    let server = Server::start(
+        smoke_registry(),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            scheduler: SchedulerConfig {
+                workers: 2,
+                max_batch: 8,
+                max_wait: Duration::from_millis(2),
+                queue_cap: 256,
+            },
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.addr().to_string();
+    let (ffd, vdsr) = reference_models();
+    let ffd = Arc::new(ffd);
+    let vdsr = Arc::new(vdsr);
+
+    std::thread::scope(|scope| {
+        for client_id in 0..6u64 {
+            let addr = addr.clone();
+            let ffd = ffd.clone();
+            let vdsr = vdsr.clone();
+            scope.spawn(move || {
+                let mut client =
+                    Client::connect_retry(&addr, Duration::from_secs(5)).expect("connect");
+                for i in 0..8u64 {
+                    let seed = client_id * 100 + i;
+                    let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, seed);
+                    let (model, reference): (&str, &Sequential) = if (client_id + i) % 2 == 0 {
+                        ("ffdnet_real", &ffd)
+                    } else {
+                        ("vdsr_rh4", &vdsr)
+                    };
+                    let reply = client.infer(model, &x).expect("infer");
+                    assert_eq!(
+                        reply.output.as_slice(),
+                        reference.forward_infer(&x).as_slice(),
+                        "client {client_id} request {i} ({model}) must be bit-identical \
+                         to direct forward_infer"
+                    );
+                    assert!(reply.batch_size >= 1);
+                }
+            });
+        }
+    });
+
+    // The service observed batching (48 requests, 6-way concurrency,
+    // max_batch 8): at least one multi-request batch must have formed.
+    let mut client = Client::connect(&addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.completed, 48);
+    assert_eq!(stats.failed, 0);
+    // Batching accounting must be consistent (whether or not batches
+    // actually formed is timing-dependent on a loaded 1-CPU runner).
+    assert!(stats.batches >= 1 && stats.batches <= 48);
+    assert!(stats.mean_batch >= 1.0 && stats.max_batch as f64 >= stats.mean_batch);
+    let health = client.health().unwrap();
+    assert!(health.healthy);
+    assert_eq!(health.models, 2);
+    server.shutdown();
+}
+
+#[test]
+fn protocol_errors_do_not_kill_the_connection() {
+    let server = Server::start(smoke_registry(), ServerConfig::default()).expect("bind");
+    let addr = server.addr().to_string();
+
+    // Raw socket: send garbage, then a bad verb, then a good request.
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let write = |line: &str| {
+        let mut s = line.to_string();
+        s.push('\n');
+        (&stream).write_all(s.as_bytes()).unwrap();
+    };
+    let mut read = || {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line
+    };
+    write("this is not json");
+    assert!(read().contains("bad_request"));
+    write(r#"{"verb":"frobnicate"}"#);
+    assert!(read().contains("bad_request"));
+    write(r#"{"verb":"infer","model":"nope","shape":[1,1,2,2],"data":[0,0,0,0]}"#);
+    assert!(read().contains("unknown_model"));
+    // FFDNet needs even sizes: shape validation happens before queueing.
+    write(
+        r#"{"verb":"infer","model":"ffdnet_real","shape":[1,1,3,4],"data":[0,0,0,0,0,0,0,0,0,0,0,0]}"#,
+    );
+    assert!(read().contains("bad_request"));
+    // The connection still works after all those errors.
+    write(r#"{"verb":"health"}"#);
+    let line = read();
+    assert!(
+        line.contains("\"ok\":true") && line.contains("health"),
+        "{line}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_verb_drains_and_stops_the_server() {
+    let server = Server::start(
+        smoke_registry(),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            scheduler: SchedulerConfig::default(),
+        },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 7);
+    client.infer("vdsr_rh4", &x).unwrap();
+    client.shutdown_server().unwrap();
+    // wait() must return (bounded by the test harness timeout) and new
+    // connections must fail afterwards.
+    server.wait();
+    assert!(
+        Client::connect(&addr).is_err() || {
+            // The OS may accept briefly on a reused port; a request must
+            // fail either way.
+            let mut c = Client::connect(&addr).unwrap();
+            c.health().is_err()
+        }
+    );
+}
+
+// --- Loadgen harness -------------------------------------------------------
+
+#[test]
+fn loadgen_round_trips_with_zero_errors() {
+    let server = Server::start(
+        smoke_registry(),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            scheduler: SchedulerConfig {
+                workers: 2,
+                max_batch: 8,
+                max_wait: Duration::from_millis(2),
+                queue_cap: 256,
+            },
+        },
+    )
+    .expect("bind");
+    let report = ringcnn_serve::loadgen::run(&LoadgenConfig {
+        addr: server.addr().to_string(),
+        connections: 4,
+        requests: 40,
+        models: vec!["ffdnet_real".into(), "vdsr_rh4".into()],
+        hw: (8, 8),
+        seed: 5,
+        warmup: 1,
+    })
+    .expect("loadgen runs");
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.completed, 40);
+    assert!(report.throughput_rps > 0.0);
+    assert!(report.latency_ms.p50 > 0.0 && report.latency_ms.p99 >= report.latency_ms.p50);
+    let counts: usize = report.per_model.iter().map(|(_, n)| n).sum();
+    assert_eq!(counts, 40);
+    server.shutdown();
+}
