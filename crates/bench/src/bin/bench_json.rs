@@ -147,6 +147,39 @@ fn measure_all(iters: usize) -> Vec<BenchEntry> {
         ms,
     ));
 
+    // Quantized backend: the integer im2col pipeline vs the float
+    // forward of the same calibrated FFDNet — the fp64-vs-quant
+    // comparison the quantized serving story rests on.
+    {
+        let alg = Algebra::real();
+        let mut model = ringcnn_nn::models::ffdnet::ffdnet(&alg, 3, 32, 1, 17);
+        let frame = Tensor::random_uniform(Shape4::new(1, 1, 64, 64), 0.0, 1.0, 19);
+        let qm = QuantizedModel::quantize(&mut model, &frame, QuantOptions::default());
+        model.prepare_inference();
+        let ms = ringcnn_bench::perf::measure_ms(iters, || {
+            std::hint::black_box(model.forward_infer(&frame));
+        });
+        entries.push(entry(
+            "quant_ffdnet32_64px",
+            "quant_backend",
+            "real",
+            "fp64",
+            threads,
+            ms,
+        ));
+        let ms = ringcnn_bench::perf::measure_ms(iters, || {
+            std::hint::black_box(qm.forward(&frame));
+        });
+        entries.push(entry(
+            "quant_ffdnet32_64px",
+            "quant_backend",
+            "real",
+            "quant",
+            threads,
+            ms,
+        ));
+    }
+
     entries.extend(measure_serve(threads));
     entries
 }
@@ -188,6 +221,22 @@ fn measure_serve(threads: usize) -> Vec<BenchEntry> {
         vdsr.build(&rh4, 32),
     )
     .expect("register vdsr");
+    // Attach a quantized pipeline to the FFDNet so the serve bench can
+    // drive `precision: "quant"` through the full scheduler path.
+    {
+        let mut model = ffd.build(&real, 31);
+        let batch = Tensor::random_uniform(Shape4::new(4, 1, 16, 16), 0.0, 1.0, 33);
+        let qfile = ringcnn::quant::calibrate::calibrate_to_qmodel(
+            "ffdnet_real",
+            &ffd.label(),
+            &real.label(),
+            &mut model,
+            &batch,
+            QuantOptions::default(),
+        )
+        .expect("calibrate ffdnet");
+        reg.register_qmodel(&qfile).expect("attach qmodel");
+    }
     let server = Server::start(
         std::sync::Arc::new(reg),
         ServerConfig {
@@ -204,15 +253,48 @@ fn measure_serve(threads: usize) -> Vec<BenchEntry> {
     let addr = server.addr().to_string();
 
     let mut entries = Vec::new();
-    for (workload, ring, models, connections, requests) in [
-        ("serve_vdsr8_16px", "rh4", vec!["vdsr_rh4"], 1, 60),
-        ("serve_vdsr8_16px", "rh4", vec!["vdsr_rh4"], 8, 240),
+    for (workload, ring, models, connections, requests, precision) in [
+        (
+            "serve_vdsr8_16px",
+            "rh4",
+            vec!["vdsr_rh4"],
+            1,
+            60,
+            Precision::Fp64,
+        ),
+        (
+            "serve_vdsr8_16px",
+            "rh4",
+            vec!["vdsr_rh4"],
+            8,
+            240,
+            Precision::Fp64,
+        ),
         (
             "serve_mix2_16px",
             "mixed",
             vec!["ffdnet_real", "vdsr_rh4"],
             8,
             240,
+            Precision::Fp64,
+        ),
+        // The gated fp64-vs-quant serving comparison: same model, same
+        // offered load, integer pipeline.
+        (
+            "serve_ffdnet8_16px_fp64",
+            "real",
+            vec!["ffdnet_real"],
+            8,
+            240,
+            Precision::Fp64,
+        ),
+        (
+            "serve_ffdnet8_16px_quant",
+            "real",
+            vec!["ffdnet_real"],
+            8,
+            240,
+            Precision::Quant,
         ),
     ] {
         let report = ringcnn_serve::loadgen::run(&ringcnn_serve::loadgen::LoadgenConfig {
@@ -223,6 +305,7 @@ fn measure_serve(threads: usize) -> Vec<BenchEntry> {
             hw: (16, 16),
             seed: 3,
             warmup: connections.max(2),
+            precision,
         })
         .expect("serve bench loadgen");
         assert_eq!(report.errors, 0, "serve bench must complete cleanly");

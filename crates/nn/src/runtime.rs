@@ -55,21 +55,54 @@ pub struct ModelTopo {
     pub scale: (usize, usize),
 }
 
-/// Walk state: input pixels per current-resolution pixel, as a reduced
-/// fraction `num/den`.
-struct TopoWalk {
+/// Incremental [`ModelTopo`] accumulator: visit the model's leaf layers
+/// in execution order, reporting each one's kernel radius and spatial
+/// scale, and [`TopoBuilder::finish`] folds them into the whole-model
+/// receptive radius / granularity / output scale.
+///
+/// This is the walk state behind [`model_topology`], exposed so other
+/// model representations — notably the integer pipeline of
+/// `ringcnn-quant`, whose layers are not [`Layer`] trait objects — can
+/// derive the identical topology and run on the same tiled runtime.
+pub struct TopoBuilder {
+    /// Input pixels per current-resolution pixel, as a reduced fraction.
     ipp_num: usize,
     ipp_den: usize,
     radius: f64,
     granularity: usize,
 }
 
-impl TopoWalk {
+impl Default for TopoBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TopoBuilder {
+    /// Starts a walk at the model input (full resolution, zero radius).
+    pub fn new() -> Self {
+        Self {
+            ipp_num: 1,
+            ipp_den: 1,
+            radius: 0.0,
+            granularity: 1,
+        }
+    }
+
     fn ipp(&self) -> f64 {
         self.ipp_num as f64 / self.ipp_den as f64
     }
 
-    fn apply_scale(&mut self, (num, den): (usize, usize)) {
+    /// Adds a receptive radius measured in *current-resolution* pixels
+    /// (converted to input pixels at the walk's current scale). Use for
+    /// non-kernel neighborhoods such as a bicubic skip's 2-pixel reach.
+    pub fn add_radius_here(&mut self, radius: f64) {
+        self.radius += radius * self.ipp();
+    }
+
+    /// Applies a layer's spatial scale `num/den` (2/1 for ×2 pixel
+    /// shuffle, 1/2 for unshuffle).
+    pub fn apply_scale(&mut self, (num, den): (usize, usize)) {
         // A layer scaling resolution by num/den divides input-pixels-per-
         // feature-pixel by num/den.
         self.ipp_num *= den;
@@ -82,51 +115,101 @@ impl TopoWalk {
         self.granularity = lcm(self.granularity, self.ipp_num);
     }
 
-    fn visit(&mut self, layer: &mut dyn Layer) {
-        if let Some(seq) = layer.as_any_mut().downcast_mut::<Sequential>() {
-            for l in seq.layers_mut() {
-                self.visit(l.as_mut());
-            }
-            return;
-        }
-        if let Some(res) = layer.as_any_mut().downcast_mut::<Residual>() {
-            // The skip path is pointwise; only the body reads neighbors.
-            for l in res.body_mut().layers_mut() {
-                self.visit(l.as_mut());
-            }
-            return;
-        }
-        if let Some(ur) = layer.as_any_mut().downcast_mut::<UpsampleResidual>() {
-            // The bicubic skip reaches 2 source pixels (cf. the esim
-            // receptive_halo walk); the body carries the scale change.
-            self.radius += 2.0 * self.ipp();
-            for l in ur.body_mut().layers_mut() {
-                self.visit(l.as_mut());
-            }
-            return;
-        }
-        self.radius += layer.kernel_radius() as f64 * self.ipp();
-        self.apply_scale(layer.spatial_scale());
+    /// Visits one leaf layer: its kernel radius (own-input pixels) and
+    /// its spatial scale.
+    pub fn leaf(&mut self, kernel_radius: usize, scale: (usize, usize)) {
+        self.add_radius_here(kernel_radius as f64);
+        self.apply_scale(scale);
     }
+
+    /// Folds the walk into the model topology.
+    pub fn finish(&self) -> ModelTopo {
+        ModelTopo {
+            radius: self.radius.ceil() as usize,
+            granularity: self.granularity,
+            // Output pixels per input pixel = 1 / ipp.
+            scale: (self.ipp_den, self.ipp_num),
+        }
+    }
+}
+
+fn topo_visit(walk: &mut TopoBuilder, layer: &mut dyn Layer) {
+    if let Some(seq) = layer.as_any_mut().downcast_mut::<Sequential>() {
+        for l in seq.layers_mut() {
+            topo_visit(walk, l.as_mut());
+        }
+        return;
+    }
+    if let Some(res) = layer.as_any_mut().downcast_mut::<Residual>() {
+        // The skip path is pointwise; only the body reads neighbors.
+        for l in res.body_mut().layers_mut() {
+            topo_visit(walk, l.as_mut());
+        }
+        return;
+    }
+    if let Some(ur) = layer.as_any_mut().downcast_mut::<UpsampleResidual>() {
+        // The bicubic skip reaches 2 source pixels (cf. the esim
+        // receptive_halo walk); the body carries the scale change.
+        walk.add_radius_here(2.0);
+        for l in ur.body_mut().layers_mut() {
+            topo_visit(walk, l.as_mut());
+        }
+        return;
+    }
+    walk.leaf(layer.kernel_radius(), layer.spatial_scale());
 }
 
 /// Derives the [`ModelTopo`] of a model by walking its layer tree
 /// (mutable access is needed only for downcasting; nothing is changed).
 pub fn model_topology(model: &mut Sequential) -> ModelTopo {
-    let mut walk = TopoWalk {
-        ipp_num: 1,
-        ipp_den: 1,
-        radius: 0.0,
-        granularity: 1,
-    };
+    let mut walk = TopoBuilder::new();
     for l in model.layers_mut() {
-        walk.visit(l.as_mut());
+        topo_visit(&mut walk, l.as_mut());
     }
-    ModelTopo {
-        radius: walk.radius.ceil() as usize,
-        granularity: walk.granularity,
-        // Output pixels per input pixel = 1 / ipp.
-        scale: (walk.ipp_den, walk.ipp_num),
+    walk.finish()
+}
+
+/// The shared-state inference contract the tiled runtime executes: a
+/// model that can be prepared once (exclusive access), then run
+/// concurrently through `&self` from many pool threads, and that knows
+/// its own spatial topology.
+///
+/// [`Sequential`] implements it by delegating to the [`Layer`] API;
+/// `ringcnn_quant::QuantizedModel` implements it over the integer
+/// pipeline, which is what lets [`BatchRunner`] run quantized inference
+/// tile-parallel with bit-exact stitching.
+pub trait InferenceModel: Send + Sync {
+    /// Pre-builds every cached inference kernel so subsequent
+    /// [`InferenceModel::forward_infer`] calls never rebuild state.
+    fn prepare_inference(&mut self);
+
+    /// Shared-state inference forward (no mutation; many threads may
+    /// call this concurrently).
+    fn forward_infer(&self, input: &Tensor) -> Tensor;
+
+    /// Output channel count given the input channel count.
+    fn out_channels(&self, in_channels: usize) -> usize;
+
+    /// The model's spatial topology (receptive radius, granularity,
+    /// output scale). Mutable access is for downcasting walks only.
+    fn topology(&mut self) -> ModelTopo;
+}
+
+impl InferenceModel for Sequential {
+    fn prepare_inference(&mut self) {
+        Layer::prepare_inference(self);
+    }
+
+    fn forward_infer(&self, input: &Tensor) -> Tensor {
+        Layer::forward_infer(self, input)
+    }
+
+    fn out_channels(&self, in_channels: usize) -> usize {
+        Layer::out_channels(self, in_channels)
+    }
+
+    fn topology(&mut self) -> ModelTopo {
+        model_topology(self)
     }
 }
 
@@ -189,7 +272,7 @@ impl TileConfig {
 /// assert_eq!(tiled.shape(), x.shape());
 /// ```
 pub struct BatchRunner<'m> {
-    model: &'m Sequential,
+    model: &'m dyn InferenceModel,
     topo: ModelTopo,
     tile: TileConfig,
 }
@@ -198,9 +281,11 @@ impl<'m> BatchRunner<'m> {
     /// Prepares the model for shared inference: pre-builds cached
     /// kernels and derives the tiling topology. The exclusive borrow
     /// happens here, once; everything after runs through `&self`.
-    pub fn new(model: &'m mut Sequential) -> Self {
+    /// Accepts any [`InferenceModel`] — float [`Sequential`]s and the
+    /// quantized integer pipeline alike.
+    pub fn new<M: InferenceModel>(model: &'m mut M) -> Self {
         model.prepare_inference();
-        let topo = model_topology(model);
+        let topo = model.topology();
         Self {
             model,
             topo,
@@ -361,7 +446,7 @@ impl<'m> BatchRunner<'m> {
 
 /// One-shot convenience: prepares `model`, then runs a tile-parallel
 /// forward with `cfg`.
-pub fn tiled_forward(model: &mut Sequential, input: &Tensor, cfg: TileConfig) -> Tensor {
+pub fn tiled_forward<M: InferenceModel>(model: &mut M, input: &Tensor, cfg: TileConfig) -> Tensor {
     BatchRunner::new(model).with_tile(cfg).run(input)
 }
 

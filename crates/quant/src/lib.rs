@@ -11,13 +11,20 @@
 
 #![warn(missing_docs)]
 
+pub mod calibrate;
 pub mod qformat;
 pub mod qtensor;
 pub mod quantized;
+pub mod serialize;
 
 /// Convenient re-exports.
 pub mod prelude {
-    pub use crate::qformat::{requant_shift, QFormat};
+    pub use crate::calibrate::{calibrate, calibrate_to_qmodel, CalibrateError, Calibration};
+    pub use crate::qformat::{requant_shift, QFormat, QFormatError};
     pub use crate::qtensor::{expand_formats, group_max_abs, QTensor};
-    pub use crate::quantized::{DReluMode, QLayer, QuantOptions, QuantizedModel};
+    pub use crate::quantized::{CalibrationError, DReluMode, QLayer, QuantOptions, QuantizedModel};
+    pub use crate::serialize::{
+        export_qmodel, peek_format_tag, qmodel_from_json, qmodel_to_json, QModelFile,
+        QModelLoadError, QMODEL_FORMAT,
+    };
 }

@@ -2,8 +2,56 @@
 //! convention [1]): a signed `bits`-bit integer with `frac` fractional
 //! bits, chosen per layer (and per tuple component for the directional
 //! ReLU) from observed dynamic ranges.
+//!
+//! # Rounding mode
+//!
+//! Every rounding site in the fixed-point pipeline uses **round half
+//! away from zero** (the mode of Rust's `f64::round`): `2.5 → 3`,
+//! `−2.5 → −3`. [`QFormat::quantize`] inherits it from `.round()` and
+//! [`requant_shift`] implements it explicitly on right shifts, so a
+//! value quantized fine and then requantized coarse lands on the same
+//! integer as quantizing coarse directly (up to the documented ±1 step
+//! of stacked rounding). This symmetry also keeps the pipeline free of
+//! the systematic positive bias that round-half-up (`(q + h) >> s` on
+//! two's-complement) injects into negative activations.
 
 use serde::{Deserialize, Serialize};
+
+/// Largest `|frac|` a fitted format may carry. Bounding the exponent
+/// keeps [`QFormat::scale`] a normal, non-zero `f64` (`2^±512` is finite)
+/// even for absurd-but-finite calibration ranges, so no downstream
+/// arithmetic can see a 0 or ∞ step size.
+pub const MAX_FRAC_MAGNITUDE: i32 = 512;
+
+/// Why a Q-format could not be fitted.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QFormatError {
+    /// The observed range is NaN or ±∞ (e.g. a divergent calibration
+    /// pass); no finite format can represent it.
+    NonFiniteRange(f64),
+    /// Fewer than 2 storage bits (sign + at least one magnitude bit).
+    TooFewBits(u32),
+    /// More than 63 storage bits (the pipeline stores samples in `i64`).
+    TooManyBits(u32),
+}
+
+impl std::fmt::Display for QFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QFormatError::NonFiniteRange(v) => {
+                write!(f, "cannot fit a Q-format to non-finite max_abs {v}")
+            }
+            QFormatError::TooFewBits(b) => {
+                write!(f, "need at least sign + one magnitude bit, got {b}")
+            }
+            QFormatError::TooManyBits(b) => {
+                write!(f, "at most 63 storage bits fit the i64 pipeline, got {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QFormatError {}
 
 /// A signed fixed-point format: value = `q · 2^(−frac)` with `q` stored in
 /// `bits` bits (two's complement).
@@ -19,18 +67,40 @@ impl QFormat {
     /// Chooses the format with the most fractional bits that still
     /// represents `max_abs` without saturation.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bits < 2`.
-    pub fn fit(max_abs: f64, bits: u32) -> Self {
-        assert!(bits >= 2, "need at least sign + one magnitude bit");
-        let max_abs = max_abs.max(1e-12);
+    /// [`QFormatError::NonFiniteRange`] when `max_abs` is NaN or ±∞ (a
+    /// divergent calibration pass must surface as an error, not as a
+    /// nonsense format), [`QFormatError::TooFewBits`] /
+    /// [`QFormatError::TooManyBits`] for unusable bit widths. `frac` is
+    /// clamped to ±[`MAX_FRAC_MAGNITUDE`] so [`QFormat::scale`] is
+    /// always finite and non-zero.
+    pub fn try_fit(max_abs: f64, bits: u32) -> Result<Self, QFormatError> {
+        if bits < 2 {
+            return Err(QFormatError::TooFewBits(bits));
+        }
+        if bits > 63 {
+            return Err(QFormatError::TooManyBits(bits));
+        }
+        if !max_abs.is_finite() {
+            return Err(QFormatError::NonFiniteRange(max_abs));
+        }
+        let max_abs = max_abs.abs().max(1e-12);
         // Integer bits needed so that max_abs < 2^int_bits.
         let int_bits = max_abs.log2().floor() as i32 + 1;
-        QFormat {
-            bits,
-            frac: bits as i32 - 1 - int_bits,
-        }
+        let frac = (bits as i32 - 1 - int_bits).clamp(-MAX_FRAC_MAGNITUDE, MAX_FRAC_MAGNITUDE);
+        Ok(QFormat { bits, frac })
+    }
+
+    /// [`QFormat::try_fit`] for trusted in-process ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite `max_abs` or an unusable bit width; use
+    /// [`QFormat::try_fit`] when the range comes from data that may
+    /// diverge (the calibration pipeline does).
+    pub fn fit(max_abs: f64, bits: u32) -> Self {
+        Self::try_fit(max_abs, bits).unwrap_or_else(|e| panic!("QFormat::fit: {e}"))
     }
 
     /// Largest representable magnitude.
@@ -44,8 +114,8 @@ impl QFormat {
         2.0f64.powi(-self.frac)
     }
 
-    /// Quantizes a real value to the stored integer (round-to-nearest,
-    /// saturating).
+    /// Quantizes a real value to the stored integer (round half away
+    /// from zero — see the module docs — then saturate).
     pub fn quantize(&self, v: f64) -> i64 {
         let qmax = (1i64 << (self.bits - 1)) - 1;
         let qmin = -(1i64 << (self.bits - 1));
@@ -67,17 +137,52 @@ impl QFormat {
 }
 
 /// Shifts a fixed-point integer from `from_frac` to `to_frac` fractional
-/// bits with round-to-nearest on right shifts (the hardware requantizer).
+/// bits — the hardware requantizer.
+///
+/// Right shifts (to a coarser format) round **half away from zero**,
+/// matching [`QFormat::quantize`]; left shifts (to a finer format)
+/// **saturate** at the `i64` range instead of wrapping. Both directions
+/// are total: any `(q, from_frac, to_frac)` input produces the exact
+/// rational rescale `q · 2^(to_frac − from_frac)` rounded/saturated into
+/// `i64`, never shift-overflow garbage or a panic.
 #[inline]
 pub fn requant_shift(q: i64, from_frac: i32, to_frac: i32) -> i64 {
-    let s = from_frac - to_frac;
-    if s > 0 {
-        // Right shift with rounding (round half up).
-        (q + (1i64 << (s - 1))) >> s
-    } else if s < 0 {
-        q << (-s)
-    } else {
+    let s = i64::from(from_frac) - i64::from(to_frac);
+    if s == 0 {
         q
+    } else if s > 0 {
+        // Right shift with round half away from zero: round the
+        // magnitude (u128 so the bias add cannot wrap even for
+        // i64::MIN), then restore the sign. Shifts past 127 bits are
+        // identically zero.
+        if s > 127 {
+            return 0;
+        }
+        let sh = s as u32;
+        let mag = ((q.unsigned_abs() as u128 + (1u128 << (sh - 1))) >> sh) as i64;
+        if q < 0 {
+            -mag
+        } else {
+            mag
+        }
+    } else {
+        // Left shift, saturating. Any shift of ≥ 64 bits overflows every
+        // non-zero i64; below that, widen to i128 and clamp.
+        if q == 0 {
+            return 0;
+        }
+        let sh = -s;
+        if sh >= 64 {
+            return if q > 0 { i64::MAX } else { i64::MIN };
+        }
+        let wide = (q as i128) << sh;
+        if wide > i64::MAX as i128 {
+            i64::MAX
+        } else if wide < i64::MIN as i128 {
+            i64::MIN
+        } else {
+            wide as i64
+        }
     }
 }
 
@@ -104,6 +209,43 @@ mod tests {
     }
 
     #[test]
+    fn try_fit_rejects_non_finite_ranges() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                matches!(
+                    QFormat::try_fit(bad, 8),
+                    Err(QFormatError::NonFiniteRange(_))
+                ),
+                "{bad} must not fit"
+            );
+        }
+        assert_eq!(QFormat::try_fit(1.0, 1), Err(QFormatError::TooFewBits(1)));
+        assert_eq!(
+            QFormat::try_fit(1.0, 64),
+            Err(QFormatError::TooManyBits(64))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn fit_panics_loudly_on_nan() {
+        let _ = QFormat::fit(f64::NAN, 8);
+    }
+
+    #[test]
+    fn fit_bounds_frac_so_scale_stays_finite() {
+        // Absurd-but-finite ranges: frac clamps, scale stays a normal
+        // non-zero float in both directions.
+        let tiny = QFormat::fit(1e-300, 8);
+        assert!(tiny.frac <= MAX_FRAC_MAGNITUDE);
+        assert!(tiny.scale() > 0.0 && tiny.scale().is_finite());
+        let huge = QFormat::fit(1e300, 8);
+        assert_eq!(huge.frac, -MAX_FRAC_MAGNITUDE);
+        assert!(huge.scale() > 0.0 && huge.scale().is_finite());
+        assert!(huge.max_value().is_finite());
+    }
+
+    #[test]
     fn quantize_roundtrip_error_within_half_step() {
         let f = QFormat::fit(1.5, 8);
         for v in [-1.49, -0.7, 0.0, 0.31, 1.49] {
@@ -124,12 +266,65 @@ mod tests {
     }
 
     #[test]
-    fn requant_shift_rounds() {
-        // 5 with 2 frac bits (1.25) → 1 frac bit: 1.5 → q=3 (round half up).
+    fn quantize_rounds_half_away_from_zero() {
+        let f = QFormat { bits: 8, frac: 1 };
+        assert_eq!(f.quantize(1.25), 3); // 2.5 → 3
+        assert_eq!(f.quantize(-1.25), -3); // −2.5 → −3
+    }
+
+    #[test]
+    fn requant_shift_rounds_half_away_from_zero() {
+        // 5 with 2 frac bits (1.25) → 1 frac bit: 2.5 → q=3.
         assert_eq!(requant_shift(5, 2, 1), 3);
         assert_eq!(requant_shift(4, 2, 1), 2);
-        assert_eq!(requant_shift(-5, 2, 1), -2); // −1.25 → −1.0 (half up)
+        // −1.25 → −2.5 → −3: symmetric with the positive case (the old
+        // round-half-up requantizer gave −2 here, disagreeing with
+        // `QFormat::quantize`).
+        assert_eq!(requant_shift(-5, 2, 1), -3);
+        assert_eq!(requant_shift(-4, 2, 1), -2);
         assert_eq!(requant_shift(3, 1, 3), 12); // left shift exact
         assert_eq!(requant_shift(7, 2, 2), 7);
+    }
+
+    #[test]
+    fn requant_shift_agrees_with_quantize() {
+        // Fine → coarse via the requantizer lands on the same integer as
+        // quantizing the real value coarse directly (both round half
+        // away from zero, and these values hit exact halves).
+        let fine = QFormat { bits: 16, frac: 4 };
+        let coarse = QFormat { bits: 16, frac: 1 };
+        for v in [0.75, -0.75, 2.25, -2.25, 0.25, -0.25] {
+            let q = fine.quantize(v);
+            assert_eq!(
+                requant_shift(q, fine.frac, coarse.frac),
+                coarse.quantize(v),
+                "v={v}"
+            );
+        }
+    }
+
+    #[test]
+    fn requant_shift_extreme_right_shifts_round_to_zero_or_one() {
+        assert_eq!(requant_shift(i64::MAX, 200, 0), 0);
+        assert_eq!(requant_shift(i64::MIN, 200, 0), 0);
+        // |MIN| / 2^63 = 1.0 exactly.
+        assert_eq!(requant_shift(i64::MIN, 63, 0), -1);
+        // MAX / 2^63 = 1 − ε → rounds to 1 (half away from zero).
+        assert_eq!(requant_shift(i64::MAX, 63, 0), 1);
+        assert_eq!(requant_shift(i64::MAX, 64, 0), 0);
+    }
+
+    #[test]
+    fn requant_shift_left_shifts_saturate_instead_of_wrapping() {
+        assert_eq!(requant_shift(1, 0, 63), i64::MAX);
+        assert_eq!(requant_shift(-1, 0, 63), i64::MIN);
+        assert_eq!(requant_shift(1, 0, 200), i64::MAX);
+        assert_eq!(requant_shift(-1, 0, 200), i64::MIN);
+        assert_eq!(requant_shift(0, 0, 200), 0);
+        assert_eq!(requant_shift(1, 0, 62), 1i64 << 62);
+        assert_eq!(requant_shift(i64::MAX / 2, 0, 2), i64::MAX);
+        // Extreme frac distance must not overflow the i32 subtraction.
+        assert_eq!(requant_shift(5, i32::MAX, i32::MIN), 0); // right shift
+        assert_eq!(requant_shift(5, i32::MIN, i32::MAX), i64::MAX); // left shift
     }
 }

@@ -183,6 +183,11 @@ impl QTensor {
 /// Computes per-channel-group max-abs statistics of a float tensor:
 /// channels are grouped by `c % groups` (component-wise Q-formats group
 /// by tuple component; `groups = 1` gives a single per-layer format).
+///
+/// Non-finite samples **poison their group**: a NaN anywhere makes the
+/// group's max NaN (plain `f64::max` would silently discard it, hiding a
+/// divergent calibration pass), and ±∞ propagates through `max`
+/// naturally — either way `QFormat::try_fit` then refuses the range.
 pub fn group_max_abs(t: &Tensor, groups: usize) -> Vec<f64> {
     let s = t.shape();
     let mut maxes = vec![0.0f64; groups];
@@ -190,7 +195,12 @@ pub fn group_max_abs(t: &Tensor, groups: usize) -> Vec<f64> {
         for c in 0..s.c {
             let g = c % groups;
             for v in t.plane(b, c) {
-                maxes[g] = maxes[g].max(f64::from(v.abs()));
+                let a = f64::from(v.abs());
+                if a.is_nan() || maxes[g].is_nan() {
+                    maxes[g] = f64::NAN;
+                } else {
+                    maxes[g] = maxes[g].max(a);
+                }
             }
         }
     }

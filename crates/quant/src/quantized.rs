@@ -15,7 +15,7 @@
 //!   [`DReluMode::MacBased`] reproduces the conventional pipeline and its
 //!   PSNR penalty.
 
-use crate::qformat::{requant_shift, QFormat};
+use crate::qformat::{requant_shift, QFormat, QFormatError};
 use crate::qtensor::{expand_formats, group_max_abs, QTensor};
 use ringcnn_algebra::transforms::fwht_i64;
 use ringcnn_nn::layer::Layer;
@@ -25,10 +25,54 @@ use ringcnn_nn::layers::ring_conv::RingConv2d;
 use ringcnn_nn::layers::shuffle::{PixelShuffle, PixelUnshuffle};
 use ringcnn_nn::layers::structure::{Residual, Sequential};
 use ringcnn_nn::layers::upsample::UpsampleResidual;
+use ringcnn_nn::runtime::{InferenceModel, ModelTopo, TopoBuilder};
 use ringcnn_tensor::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Why a calibration pass failed to produce a quantized model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CalibrationError {
+    /// An observed dynamic range was NaN/∞ (divergent activations or
+    /// weights); `context` names the offending stage.
+    NonFinite {
+        /// Which range fit failed (input, weights, layer output, …).
+        context: String,
+        /// The underlying format error.
+        source: QFormatError,
+    },
+    /// The model contains a layer type outside the supported imaging set
+    /// (conv / ring conv / ReLU / directional ReLU / shuffle / residual).
+    UnsupportedLayer(String),
+    /// The calibration batch is empty.
+    EmptyCalibration,
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrationError::NonFinite { context, source } => {
+                write!(f, "non-finite dynamic range at {context}: {source}")
+            }
+            CalibrationError::UnsupportedLayer(name) => {
+                write!(f, "unsupported layer in quantized pipeline: {name}")
+            }
+            CalibrationError::EmptyCalibration => write!(f, "calibration batch is empty"),
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+/// [`QFormat::try_fit`] with calibration-error context.
+fn fit_ctx(max_abs: f64, bits: u32, context: &str) -> Result<QFormat, CalibrationError> {
+    QFormat::try_fit(max_abs, bits).map_err(|source| CalibrationError::NonFinite {
+        context: context.into(),
+        source,
+    })
+}
 
 /// Quantization options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QuantOptions {
     /// Weight bits (paper: 8).
     pub weight_bits: u32,
@@ -55,7 +99,7 @@ impl Default for QuantOptions {
 }
 
 /// Directional-ReLU execution mode in the integer pipeline.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum DReluMode {
     /// Fig. 8: align accumulator components (left shifts), butterfly
     /// Hadamard, ReLU, butterfly Hadamard, requantize once to the output
@@ -71,7 +115,7 @@ pub enum DReluMode {
 }
 
 /// One quantized layer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum QLayer {
     /// Integer convolution (possibly the expansion of a ring conv).
     Conv(QConv),
@@ -92,7 +136,7 @@ pub enum QLayer {
 }
 
 /// Quantized bicubic-skip wrapper.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct QUpsampleResidual {
     body: Vec<QLayer>,
     factor: usize,
@@ -101,7 +145,7 @@ pub struct QUpsampleResidual {
 
 /// Quantized convolution: expanded real weights in 8-bit, wide
 /// accumulator, optional output requantization.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct QConv {
     co: usize,
     ci: usize,
@@ -121,7 +165,7 @@ pub struct QConv {
 }
 
 /// Quantized directional ReLU.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct QDRelu {
     n: usize,
     mode: DReluMode,
@@ -130,7 +174,7 @@ pub struct QDRelu {
 }
 
 /// Quantized residual block.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct QResidual {
     body: Vec<QLayer>,
     out_formats: Vec<QFormat>,
@@ -232,7 +276,7 @@ pub fn execute_layer(layer: &QLayer, q: QTensor) -> QTensor {
 }
 
 /// A fully quantized model: integer layers plus the input image format.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct QuantizedModel {
     input_format: QFormat,
     layers: Vec<QLayer>,
@@ -245,18 +289,42 @@ impl QuantizedModel {
     ///
     /// # Panics
     ///
-    /// Panics if the model contains layer types outside the supported
-    /// imaging set (conv / ring conv / ReLU / directional ReLU / shuffle /
-    /// residual).
+    /// Panics on any [`CalibrationError`] — unsupported layer types or
+    /// non-finite dynamic ranges. Use [`QuantizedModel::try_quantize`]
+    /// (or `ringcnn_quant::calibrate`) when the calibration data is not
+    /// known-good.
     pub fn quantize(model: &mut Sequential, calibration: &Tensor, opts: QuantOptions) -> Self {
-        let input_format = QFormat::fit(group_max_abs(calibration, 1)[0], opts.feature_bits);
+        Self::try_quantize(model, calibration, opts)
+            .unwrap_or_else(|e| panic!("quantization failed: {e}"))
+    }
+
+    /// Fallible calibration: every way the pass can fail — a divergent
+    /// activation range (NaN/∞), an unsupported layer, an empty batch —
+    /// surfaces as a [`CalibrationError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// See [`CalibrationError`].
+    pub fn try_quantize(
+        model: &mut Sequential,
+        calibration: &Tensor,
+        opts: QuantOptions,
+    ) -> Result<Self, CalibrationError> {
+        if calibration.shape().is_empty() {
+            return Err(CalibrationError::EmptyCalibration);
+        }
+        let input_format = fit_ctx(
+            group_max_abs(calibration, 1)[0],
+            opts.feature_bits,
+            "calibration input",
+        )?;
         let x = calibration.clone();
-        let (layers, _out) = build_chain(model.layers_mut(), x, &opts);
-        Self {
+        let (layers, _out) = build_chain(model.layers_mut(), x, &opts)?;
+        Ok(Self {
             input_format,
             layers,
             opts,
-        }
+        })
     }
 
     /// Bit-accurate integer inference; input is quantized with the
@@ -287,6 +355,263 @@ impl QuantizedModel {
     pub fn options(&self) -> QuantOptions {
         self.opts
     }
+
+    /// Output channel count given the input channel count.
+    pub fn out_channels(&self, in_channels: usize) -> usize {
+        qlayers_out_channels(&self.layers, in_channels)
+    }
+
+    /// Spatial topology of the integer pipeline — the same walk as the
+    /// float runtime's `model_topology`, so a quantized model tiles on
+    /// the same `BatchRunner` with the same halo/granularity math.
+    pub fn topology(&self) -> ModelTopo {
+        let mut walk = TopoBuilder::new();
+        qlayers_topo(&mut walk, &self.layers);
+        walk.finish()
+    }
+
+    /// Structural validation for untrusted pipelines (deserialized model
+    /// files): channel chains must be consistent, shuffles divisible,
+    /// tuple sizes powers of two, stored Q-formats within the serving
+    /// bounds (2–16 bits, |frac| ≤ 64 — everything the ≤16-bit
+    /// calibration flow produces), weights within their declared
+    /// format's range, biases finite and bounded, per-channel tap counts
+    /// bounded, and every accumulator-keeping conv immediately followed
+    /// by its directional ReLU. Together with the saturating
+    /// requantizers, the bias rail in `bias_at`, and the pre-butterfly
+    /// clamp in the directional ReLU, these bounds keep every `i64`
+    /// addition in the pipeline below overflow: a pipeline that passes
+    /// cannot panic or wrap at inference time on a shape-valid input.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated invariant.
+    pub fn validate(&self, channels_io: usize) -> Result<(), String> {
+        if channels_io == 0 {
+            return Err("channels_io must be at least 1".into());
+        }
+        validate_format(self.input_format, "input format")?;
+        validate_chain(&self.layers, channels_io)?;
+        Ok(())
+    }
+}
+
+impl InferenceModel for QuantizedModel {
+    /// Nothing to pre-build: the integer pipeline's kernels *are* its
+    /// weight tables, resolved at calibration time. (`QuantizedModel` is
+    /// plain owned data, hence `Send + Sync`, and `forward` never
+    /// mutates — the contract's concurrency requirements hold trivially.)
+    fn prepare_inference(&mut self) {}
+
+    fn forward_infer(&self, input: &Tensor) -> Tensor {
+        self.forward(input)
+    }
+
+    fn out_channels(&self, in_channels: usize) -> usize {
+        QuantizedModel::out_channels(self, in_channels)
+    }
+
+    fn topology(&mut self) -> ModelTopo {
+        QuantizedModel::topology(self)
+    }
+}
+
+fn qlayers_out_channels(layers: &[QLayer], mut c: usize) -> usize {
+    for l in layers {
+        c = match l {
+            QLayer::Conv(conv) => conv.co,
+            QLayer::Relu | QLayer::DRelu(_) => c,
+            QLayer::Shuffle(r) => c / (r * r),
+            QLayer::Unshuffle(r) => c * r * r,
+            QLayer::Residual(res) => qlayers_out_channels(&res.body, c),
+            QLayer::UpsampleResidual(ur) => qlayers_out_channels(&ur.body, c),
+        };
+    }
+    c
+}
+
+fn qlayers_topo(walk: &mut TopoBuilder, layers: &[QLayer]) {
+    for l in layers {
+        match l {
+            QLayer::Conv(c) => walk.leaf(c.k / 2, (1, 1)),
+            QLayer::Relu | QLayer::DRelu(_) => {}
+            QLayer::Shuffle(r) => walk.apply_scale((*r, 1)),
+            QLayer::Unshuffle(r) => walk.apply_scale((1, *r)),
+            // The skip path is pointwise; only the body reads neighbors.
+            QLayer::Residual(res) => qlayers_topo(walk, &res.body),
+            QLayer::UpsampleResidual(ur) => {
+                // Bicubic skip reaches 2 source pixels (same accounting
+                // as the float walk); the body carries the scale change.
+                walk.add_radius_here(2.0);
+                qlayers_topo(walk, &ur.body);
+            }
+        }
+    }
+}
+
+/// Serving bound on stored format widths: the calibration flow emits
+/// ≤16-bit weight/feature formats (paper: 8), and 16-bit operands keep
+/// the widest possible conv accumulator (`2^15·2^15·2^20` taps plus the
+/// bias rail) comfortably inside `i64`.
+const MAX_STORED_BITS: u32 = 16;
+/// Serving bound on stored fracs: a 16-bit fit of the tiniest clamped
+/// range (`1e-12`) lands at frac 54; 64 covers every reachable format
+/// while keeping alignment-shift spreads far from the rails.
+const MAX_STORED_FRAC: i32 = 64;
+/// Per-output-channel tap bound (`ci·k²`): a million taps per pixel is
+/// beyond any imaging model and still overflow-safe.
+const MAX_TAPS: usize = 1 << 20;
+
+fn validate_format(f: QFormat, what: &str) -> Result<(), String> {
+    if !(2..=MAX_STORED_BITS).contains(&f.bits) {
+        return Err(format!(
+            "{what}: bits {} outside 2..={MAX_STORED_BITS}",
+            f.bits
+        ));
+    }
+    if f.frac.abs() > MAX_STORED_FRAC {
+        return Err(format!(
+            "{what}: frac {} outside ±{MAX_STORED_FRAC}",
+            f.frac
+        ));
+    }
+    Ok(())
+}
+
+fn validate_formats(fs: &[QFormat], what: &str) -> Result<(), String> {
+    if fs.is_empty() {
+        return Err(format!("{what}: empty format list"));
+    }
+    for f in fs {
+        validate_format(*f, what)?;
+    }
+    Ok(())
+}
+
+/// Walks the chain with a running channel count, returning the output
+/// channel count or the first inconsistency.
+fn validate_chain(layers: &[QLayer], mut c: usize) -> Result<usize, String> {
+    for (i, l) in layers.iter().enumerate() {
+        match l {
+            QLayer::Conv(conv) => {
+                if conv.ci != c {
+                    return Err(format!(
+                        "layer {i}: conv expects {} channels, chain carries {c}",
+                        conv.ci
+                    ));
+                }
+                if conv.co == 0 || conv.k == 0 {
+                    return Err(format!("layer {i}: conv with zero co/k"));
+                }
+                if conv.ci * conv.k * conv.k > MAX_TAPS {
+                    return Err(format!(
+                        "layer {i}: {} taps per output channel exceeds {MAX_TAPS}",
+                        conv.ci * conv.k * conv.k
+                    ));
+                }
+                if conv.weights.len() != conv.co * conv.ci * conv.k * conv.k {
+                    return Err(format!(
+                        "layer {i}: conv weight table has {} entries, wants {}",
+                        conv.weights.len(),
+                        conv.co * conv.ci * conv.k * conv.k
+                    ));
+                }
+                if conv.bias.len() != conv.co {
+                    return Err(format!("layer {i}: conv bias length mismatch"));
+                }
+                validate_format(conv.w_format, "conv weight format")?;
+                // Weight *values* must fit the declared format — lengths
+                // alone would let a hand-edited table smuggle in 2^40
+                // entries that overflow the accumulator.
+                let wmax = 1i64 << (conv.w_format.bits - 1);
+                if let Some(w) = conv.weights.iter().find(|w| w.abs() > wmax) {
+                    return Err(format!(
+                        "layer {i}: weight {w} outside the declared {}-bit format",
+                        conv.w_format.bits
+                    ));
+                }
+                // Biases are f64-bit-encoded reals; they must decode to
+                // something finite and model-sized (the runtime rail in
+                // `bias_at` is the backstop, this is the up-front check).
+                for b in &conv.bias {
+                    let raw = f64::from_bits(*b as u64);
+                    if !raw.is_finite() || raw.abs() > 1e9 {
+                        return Err(format!("layer {i}: bias decodes to {raw}"));
+                    }
+                }
+                if let Some(r) = &conv.requant {
+                    if r.len() != conv.co {
+                        return Err(format!("layer {i}: requant table length mismatch"));
+                    }
+                    validate_formats(r, "conv requant format")?;
+                } else {
+                    // An accumulator-keeping conv must hand its wide
+                    // accumulator straight to a directional ReLU (the
+                    // only consumer calibrated for it); anything else
+                    // would feed unbounded integers into 8-bit stages.
+                    match layers.get(i + 1) {
+                        Some(QLayer::DRelu(_)) => {}
+                        _ => {
+                            return Err(format!(
+                                "layer {i}: accumulator-keeping conv is not \
+                                 followed by a directional ReLU"
+                            ))
+                        }
+                    }
+                }
+                if let Some(a) = conv.align_input {
+                    validate_format(a, "conv align format")?;
+                }
+                c = conv.co;
+            }
+            QLayer::Relu => {}
+            QLayer::DRelu(d) => {
+                if d.n == 0 || !d.n.is_power_of_two() {
+                    return Err(format!(
+                        "layer {i}: directional ReLU tuple size {} is not a power of two",
+                        d.n
+                    ));
+                }
+                if c % d.n != 0 {
+                    return Err(format!(
+                        "layer {i}: {c} channels not a multiple of tuple size {}",
+                        d.n
+                    ));
+                }
+                if let DReluMode::MacBased { mid } = &d.mode {
+                    validate_format(*mid, "directional ReLU mid format")?;
+                }
+                validate_formats(&d.out_formats, "directional ReLU output format")?;
+            }
+            QLayer::Shuffle(r) => {
+                if *r == 0 || c % (r * r) != 0 {
+                    return Err(format!("layer {i}: cannot shuffle {c} channels by {r}"));
+                }
+                c /= r * r;
+            }
+            QLayer::Unshuffle(r) => {
+                if *r == 0 {
+                    return Err(format!("layer {i}: unshuffle factor 0"));
+                }
+                c *= r * r;
+            }
+            QLayer::Residual(res) => {
+                let co = validate_chain(&res.body, c)?;
+                if co != c {
+                    return Err(format!("layer {i}: residual body maps {c} → {co} channels"));
+                }
+                validate_formats(&res.out_formats, "residual output format")?;
+            }
+            QLayer::UpsampleResidual(ur) => {
+                if ur.factor == 0 {
+                    return Err(format!("layer {i}: upsample factor 0"));
+                }
+                c = validate_chain(&ur.body, c)?;
+                validate_formats(&ur.out_formats, "upsample-residual output format")?;
+            }
+        }
+    }
+    Ok(c)
 }
 
 // ---------------------------------------------------------------------
@@ -297,9 +622,9 @@ fn build_chain(
     layers: &mut [Box<dyn Layer>],
     x: Tensor,
     opts: &QuantOptions,
-) -> (Vec<QLayer>, Tensor) {
-    let (chain, out, _groups) = build_chain_grouped(layers, x, opts, 1);
-    (chain, out)
+) -> Result<(Vec<QLayer>, Tensor), CalibrationError> {
+    let (chain, out, _groups) = build_chain_grouped(layers, x, opts, 1)?;
+    Ok((chain, out))
 }
 
 /// Sentinel for "per-channel formats with no tuple grouping" (after a
@@ -311,7 +636,7 @@ fn build_chain_grouped(
     mut x: Tensor,
     opts: &QuantOptions,
     mut cur_groups: usize,
-) -> (Vec<QLayer>, Tensor, usize) {
+) -> Result<(Vec<QLayer>, Tensor, usize), CalibrationError> {
     let mut out = Vec::new();
     let mut i = 0usize;
     while i < layers.len() {
@@ -332,7 +657,11 @@ fn build_chain_grouped(
             // A dense real conv combines all input channels: mixed
             // per-channel formats must be aligned first.
             let align = if cur_groups != 1 {
-                Some(QFormat::fit(group_max_abs(&x, 1)[0], opts.feature_bits))
+                Some(fit_ctx(
+                    group_max_abs(&x, 1)[0],
+                    opts.feature_bits,
+                    "dense conv input alignment",
+                )?)
             } else {
                 None
             };
@@ -348,7 +677,7 @@ fn build_chain_grouped(
                 keep_acc,
                 align,
                 opts,
-            );
+            )?;
             out.push(QLayer::Conv(q));
             x = y;
             // A real conv mixes all components; its output is one group
@@ -365,7 +694,11 @@ fn build_chain_grouped(
             let align = if compatible {
                 None
             } else {
-                Some(QFormat::fit(group_max_abs(&x, 1)[0], opts.feature_bits))
+                Some(fit_ctx(
+                    group_max_abs(&x, 1)[0],
+                    opts.feature_bits,
+                    "ring conv input alignment",
+                )?)
             };
             let y = rconv.forward(&x, false);
             let q = lower_conv(
@@ -379,7 +712,7 @@ fn build_chain_grouped(
                 keep_acc,
                 align,
                 opts,
-            );
+            )?;
             out.push(QLayer::Conv(q));
             x = y;
             cur_groups = if keep_acc { 1 } else { groups };
@@ -392,15 +725,15 @@ fn build_chain_grouped(
             let groups = if opts.component_wise { n } else { 1 };
             let out_formats: Vec<QFormat> = group_max_abs(&y, groups)
                 .iter()
-                .map(|m| QFormat::fit(*m, opts.feature_bits))
-                .collect();
+                .map(|m| fit_ctx(*m, opts.feature_bits, "directional ReLU output"))
+                .collect::<Result<_, _>>()?;
             let mode = if opts.on_the_fly_drelu {
                 DReluMode::OnTheFly
             } else {
                 // Calibrate the post-first-transform range.
                 let mid_max = hadamard_intermediate_max(&x, n);
                 DReluMode::MacBased {
-                    mid: QFormat::fit(mid_max, opts.feature_bits),
+                    mid: fit_ctx(mid_max, opts.feature_bits, "Hadamard intermediate")?,
                 }
             };
             out.push(QLayer::DRelu(QDRelu {
@@ -423,10 +756,14 @@ fn build_chain_grouped(
         } else if let Some(ur) = layer.as_any_mut().downcast_mut::<UpsampleResidual>() {
             let factor = ur.factor();
             let (body, body_out, _g) =
-                build_chain_grouped(ur.body_mut().layers_mut(), x.clone(), opts, cur_groups);
+                build_chain_grouped(ur.body_mut().layers_mut(), x.clone(), opts, cur_groups)?;
             let mut sum = body_out;
             sum.add_assign(&ringcnn_imaging::degrade::upsample(&x, factor));
-            let f = QFormat::fit(group_max_abs(&sum, 1)[0], opts.feature_bits);
+            let f = fit_ctx(
+                group_max_abs(&sum, 1)[0],
+                opts.feature_bits,
+                "upsample-residual output",
+            )?;
             out.push(QLayer::UpsampleResidual(Box::new(QUpsampleResidual {
                 body,
                 factor,
@@ -436,10 +773,14 @@ fn build_chain_grouped(
             cur_groups = 1;
         } else if let Some(res) = layer.as_any_mut().downcast_mut::<Residual>() {
             let (body, body_out, _g) =
-                build_chain_grouped(res.body_mut().layers_mut(), x.clone(), opts, cur_groups);
+                build_chain_grouped(res.body_mut().layers_mut(), x.clone(), opts, cur_groups)?;
             let mut sum = body_out;
             sum.add_assign(&x);
-            let f = QFormat::fit(group_max_abs(&sum, 1)[0], opts.feature_bits);
+            let f = fit_ctx(
+                group_max_abs(&sum, 1)[0],
+                opts.feature_bits,
+                "residual output",
+            )?;
             out.push(QLayer::Residual(Box::new(QResidual {
                 body,
                 out_formats: vec![f],
@@ -447,11 +788,11 @@ fn build_chain_grouped(
             x = sum;
             cur_groups = 1;
         } else {
-            panic!("unsupported layer in quantized pipeline: {}", layer.name());
+            return Err(CalibrationError::UnsupportedLayer(layer.name()));
         }
         i += 1;
     }
-    (out, x, cur_groups)
+    Ok((out, x, cur_groups))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -466,11 +807,11 @@ fn lower_conv(
     keep_acc: bool,
     align_input: Option<QFormat>,
     opts: &QuantOptions,
-) -> QConv {
+) -> Result<QConv, CalibrationError> {
     let wmax = float_weights
         .iter()
         .fold(0.0f64, |m, v| m.max(f64::from(v.abs())));
-    let w_format = QFormat::fit(wmax, opts.weight_bits);
+    let w_format = fit_ctx(wmax, opts.weight_bits, "conv weights")?;
     let weights: Vec<i64> = float_weights
         .iter()
         .map(|v| w_format.quantize(f64::from(*v)))
@@ -482,11 +823,11 @@ fn lower_conv(
     } else {
         let formats: Vec<QFormat> = group_max_abs(float_out, groups)
             .iter()
-            .map(|m| QFormat::fit(*m, opts.feature_bits))
-            .collect();
+            .map(|m| fit_ctx(*m, opts.feature_bits, "conv output"))
+            .collect::<Result<_, _>>()?;
         Some(expand_formats(&formats, co))
     };
-    QConv {
+    Ok(QConv {
         co,
         ci,
         k,
@@ -500,7 +841,7 @@ fn lower_conv(
             .collect(),
         requant,
         align_input,
-    }
+    })
 }
 
 fn hadamard_intermediate_max(x: &Tensor, n: usize) -> f64 {
@@ -571,18 +912,10 @@ fn run_layer(layer: &QLayer, q: QTensor) -> QTensor {
     }
 }
 
-fn run_conv(c: &QConv, q: &QTensor) -> QTensor {
-    let aligned;
-    let q = if let Some(f) = c.align_input {
-        aligned = q.requantized(vec![f; q.shape().c]);
-        &aligned
-    } else {
-        q
-    };
-    let s = q.shape();
-    assert_eq!(s.c, c.ci, "quantized conv channel mismatch");
-    // Resolve accumulator fracs from the input formats and validate that
-    // every output channel accumulates a consistent scale.
+/// Resolves the accumulator frac of every output channel from the input
+/// formats and validates that each channel accumulates a consistent
+/// scale (component-wise formats require component-aligned rings).
+fn resolve_acc_fracs(c: &QConv, q: &QTensor) -> Vec<i32> {
     let mut acc_frac = vec![i32::MIN; c.co];
     for co in 0..c.co {
         for ci in 0..c.ci {
@@ -607,6 +940,51 @@ fn run_conv(c: &QConv, q: &QTensor) -> QTensor {
             acc_frac[co] = c.w_format.frac + q.format_of(0).frac;
         }
     }
+    acc_frac
+}
+
+/// Aligns mixed per-channel input formats when the conv demands it.
+fn align_conv_input(c: &QConv, q: &QTensor) -> Option<QTensor> {
+    c.align_input.map(|f| q.requantized(vec![f; q.shape().c]))
+}
+
+/// The production integer convolution: per-batch-item im2col packing
+/// (`ringcnn_tensor::im2col::im2col_pack_i64`) and a rayon-parallel
+/// integer row product. Integer accumulation is order-independent, so
+/// this is **bit-identical** to [`run_conv_reference`] at any thread
+/// count — the equivalence suite in `tests/quant_backend.rs` asserts it.
+fn run_conv(c: &QConv, q: &QTensor) -> QTensor {
+    let aligned = align_conv_input(c, q);
+    let q = aligned.as_ref().unwrap_or(q);
+    let s = q.shape();
+    assert_eq!(s.c, c.ci, "quantized conv channel mismatch");
+    let acc_frac = resolve_acc_fracs(c, q);
+    let bias: Vec<i64> = (0..c.co).map(|co| bias_at(c, co, acc_frac[co])).collect();
+    let out_shape = s.with_channels(c.co);
+    let rows = c.ci * c.k * c.k;
+    let mut data = vec![0i64; out_shape.len()];
+    for b in 0..s.n {
+        let col = ringcnn_tensor::im2col::im2col_pack_i64(q.data(), s, b, c.k);
+        let planes =
+            ringcnn_tensor::im2col::conv_rows_i64(&col, s.plane(), rows, c.co, &c.weights, &bias);
+        for (co, plane) in planes.into_iter().enumerate() {
+            let base = out_shape.index(b, co, 0, 0);
+            data[base..base + out_shape.plane()].copy_from_slice(&plane);
+        }
+    }
+    finish_conv(c, out_shape, data, &acc_frac)
+}
+
+/// The scalar quadruple-loop reference datapath (§IV-C), kept as the
+/// bit-exactness oracle for the im2col production kernel and for the
+/// accelerator simulator's MAC-order cross-checks. Public so the
+/// equivalence suite and `ringcnn-esim` can call it directly.
+pub fn run_conv_reference(c: &QConv, q: &QTensor) -> QTensor {
+    let aligned = align_conv_input(c, q);
+    let q = aligned.as_ref().unwrap_or(q);
+    let s = q.shape();
+    assert_eq!(s.c, c.ci, "quantized conv channel mismatch");
+    let acc_frac = resolve_acc_fracs(c, q);
     let pad = (c.k / 2) as isize;
     let (h, w) = (s.h as isize, s.w as isize);
     let out_shape = s.with_channels(c.co);
@@ -644,6 +1022,12 @@ fn run_conv(c: &QConv, q: &QTensor) -> QTensor {
             }
         }
     }
+    finish_conv(c, out_shape, data, &acc_frac)
+}
+
+/// Shared conv epilogue: wrap the wide accumulator in its formats and
+/// apply the output requantization, if any.
+fn finish_conv(c: &QConv, out_shape: Shape4, data: Vec<i64>, acc_frac: &[i32]) -> QTensor {
     let formats: Vec<QFormat> = acc_frac
         .iter()
         .map(|f| QFormat { bits: 32, frac: *f })
@@ -656,10 +1040,30 @@ fn run_conv(c: &QConv, q: &QTensor) -> QTensor {
 }
 
 /// Bias values are stored as f64 bits (scale depends on the run-time
-/// accumulator frac); decode and quantize here.
+/// accumulator frac); decode and quantize here. The result is railed at
+/// ±2^55 — far beyond any calibrated model (validated biases are ≤ 1e9
+/// at fracs ≤ 128), but it keeps the subsequent tap accumulation (at
+/// most `MAX_TAPS` products of ≤16-bit operands, < 2^51) inside `i64`
+/// even for an adversarially extreme format combination.
 fn bias_at(c: &QConv, co: usize, acc_frac: i32) -> i64 {
+    const BIAS_RAIL: i64 = 1 << 55;
     let raw = f64::from_bits(c.bias[co] as u64);
-    (raw * 2.0f64.powi(acc_frac)).round() as i64
+    // `as i64` saturates the float; the clamp tightens it to the rail.
+    ((raw * 2.0f64.powi(acc_frac)).round() as i64).clamp(-BIAS_RAIL, BIAS_RAIL)
+}
+
+/// Clamps aligned tuple values so an unnormalized `n`-point Hadamard
+/// butterfly (±1 entries: magnitude growth ≤ n) cannot overflow `i64`.
+/// The rail is `i64::MAX >> (log2 n + 1)` — ≥ 2^58 for every Table-I
+/// tuple size, far above the ≤ 2^56 any validated conv accumulator can
+/// reach, so calibrated models are bit-exactly unaffected; only
+/// adversarially extreme format spreads (whose shifts already saturated
+/// at the `i64` rails) get pulled down instead of wrapping the butterfly.
+fn clamp_for_fwht(y: &mut [i64], n: usize) {
+    let rail = i64::MAX >> (n.trailing_zeros() + 1);
+    for v in y.iter_mut() {
+        *v = (*v).clamp(-rail, rail);
+    }
 }
 
 fn run_drelu(d: &QDRelu, q: &QTensor) -> QTensor {
@@ -679,13 +1083,17 @@ fn run_drelu(d: &QDRelu, q: &QTensor) -> QTensor {
                     let max_frac = (0..n).map(|l| q.format_of(t * n + l).frac).max().unwrap();
                     for p in 0..s.plane() {
                         for l in 0..n {
+                            // Fig. 8's left-shifters, saturating instead
+                            // of wrapping on pathological format spreads.
                             let f = q.format_of(t * n + l).frac;
-                            y[l] = q.plane(b, t * n + l)[p] << (max_frac - f);
+                            y[l] = requant_shift(q.plane(b, t * n + l)[p], f, max_frac);
                         }
+                        clamp_for_fwht(&mut y, n);
                         fwht_i64(&mut y);
                         for v in y.iter_mut() {
                             *v = (*v).max(0);
                         }
+                        clamp_for_fwht(&mut y, n);
                         fwht_i64(&mut y);
                         for l in 0..n {
                             let fo = out_formats[t * n + l];
@@ -705,9 +1113,12 @@ fn run_drelu(d: &QDRelu, q: &QTensor) -> QTensor {
                     let max_frac = (0..n).map(|l| q.format_of(t * n + l).frac).max().unwrap();
                     for p in 0..s.plane() {
                         for l in 0..n {
+                            // Fig. 8's left-shifters, saturating instead
+                            // of wrapping on pathological format spreads.
                             let f = q.format_of(t * n + l).frac;
-                            y[l] = q.plane(b, t * n + l)[p] << (max_frac - f);
+                            y[l] = requant_shift(q.plane(b, t * n + l)[p], f, max_frac);
                         }
+                        clamp_for_fwht(&mut y, n);
                         fwht_i64(&mut y);
                         for v in y.iter_mut() {
                             // Extra quantization point #1.
@@ -906,6 +1317,26 @@ mod tests {
         let a = qm.forward(&inputs);
         let b = qm.forward(&inputs);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn im2col_conv_matches_scalar_reference_bit_for_bit() {
+        // Every conv the builder emits (dense, ring-expanded, aligned,
+        // accumulator-keeping) must agree with the scalar datapath on
+        // every integer.
+        for alg in [Algebra::real(), Algebra::ri_fh(4), Algebra::ri_fh(2)] {
+            let (mut model, inputs, _t) = trained_tiny_denoiser(&alg);
+            let qm = QuantizedModel::quantize(&mut model, &inputs, QuantOptions::default());
+            let mut q = QTensor::quantize(&inputs, vec![qm.input_format(); inputs.shape().c]);
+            for layer in qm.layers() {
+                if let QLayer::Conv(c) = layer {
+                    let fast = run_conv(c, &q);
+                    let reference = run_conv_reference(c, &q);
+                    assert_eq!(fast, reference, "{}", alg.label());
+                }
+                q = run_layer(layer, q);
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! loadgen --addr 127.0.0.1:7841 [--connections 4] [--requests 200]
 //!         [--models a,b] [--hw 32x32] [--warmup 2] [--seed 1]
-//!         [--shutdown] [--bench-out PATH] [--pr N]
+//!         [--precision fp64|quant] [--shutdown] [--bench-out PATH] [--pr N]
 //! ```
 //!
 //! Prints p50/p95/p99 latency, throughput, and mean batch size; exits
@@ -17,6 +17,7 @@
 
 use ringcnn_serve::client::Client;
 use ringcnn_serve::loadgen::{run, LoadgenConfig};
+use ringcnn_serve::registry::Precision;
 use serde::Value;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -66,10 +67,20 @@ fn main() -> ExitCode {
     let Some(addr) = arg_value(&args, "--addr") else {
         eprintln!(
             "usage: loadgen --addr HOST:PORT [--connections N] [--requests N] \
-             [--models a,b] [--hw HxW] [--warmup N] [--seed N] [--shutdown] \
-             [--bench-out PATH] [--pr N]"
+             [--models a,b] [--hw HxW] [--warmup N] [--seed N] \
+             [--precision fp64|quant] [--shutdown] [--bench-out PATH] [--pr N]"
         );
         return ExitCode::FAILURE;
+    };
+    let precision = match arg_value(&args, "--precision").as_deref() {
+        None => Precision::Fp64,
+        Some(p) => match Precision::parse(p) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
 
     let hw = {
@@ -108,11 +119,17 @@ fn main() -> ExitCode {
         hw,
         seed: parse_or(&args, "--seed", 1),
         warmup: parse_or(&args, "--warmup", 2),
+        precision,
     };
 
     println!(
-        "loadgen: {} connection(s), {} request(s), models {:?}, input {}x{}",
-        cfg.connections, cfg.requests, cfg.models, cfg.hw.0, cfg.hw.1
+        "loadgen: {} connection(s), {} request(s), models {:?}, input {}x{}, precision {}",
+        cfg.connections,
+        cfg.requests,
+        cfg.models,
+        cfg.hw.0,
+        cfg.hw.1,
+        cfg.precision.label()
     );
     let report = match run(&cfg) {
         Ok(r) => r,
@@ -185,8 +202,11 @@ fn main() -> ExitCode {
                     ),
                     bench_entry(
                         &format!(
-                            "serve_loadgen_{}x{}/mixed/conn{}/t{threads}",
-                            cfg.hw.0, cfg.hw.1, cfg.connections
+                            "serve_loadgen_{}x{}_{}/mixed/conn{}/t{threads}",
+                            cfg.hw.0,
+                            cfg.hw.1,
+                            cfg.precision.label(),
+                            cfg.connections
                         ),
                         "serve",
                         "mixed",

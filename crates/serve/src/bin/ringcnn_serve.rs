@@ -4,7 +4,9 @@
 //! ```text
 //! ringcnn-serve --models <dir> [--addr 127.0.0.1:7841] [--workers 2]
 //!               [--max-batch 8] [--max-wait-ms 2] [--queue-cap 256]
-//! ringcnn-serve --export-demo <dir>   # write two demo models and exit
+//! ringcnn-serve --export-demo <dir>   # write two demo models (float
+//!                                     # ringcnn-model/v1 + calibrated
+//!                                     # ringcnn-qmodel/v1 each) and exit
 //! ```
 //!
 //! The process runs until a client sends the `shutdown` verb, then
@@ -56,6 +58,8 @@ fn demo_models() -> Vec<(String, ModelSpec, Algebra)> {
 }
 
 fn export_demo(dir: &str) -> Result<(), ServeError> {
+    use ringcnn_quant::prelude::*;
+    use ringcnn_tensor::prelude::*;
     std::fs::create_dir_all(dir).map_err(|e| ServeError::Io(e.to_string()))?;
     for (i, (name, spec, alg)) in demo_models().into_iter().enumerate() {
         let mut model = spec.build(&alg, 100 + i as u64);
@@ -66,6 +70,33 @@ fn export_demo(dir: &str) -> Result<(), ServeError> {
         std::fs::write(&path, ringcnn_nn::serialize::model_to_json(&file))
             .map_err(|e| ServeError::Io(e.to_string()))?;
         println!("wrote {}", path.display());
+
+        // Calibrate the same model on a synthetic batch and export the
+        // quantized pipeline beside it, so the demo directory serves
+        // both precisions out of the box.
+        let batch = Tensor::random_uniform(
+            Shape4::new(4, spec.channels_io(), 32, 32),
+            0.0,
+            1.0,
+            300 + i as u64,
+        );
+        let qfile = calibrate_to_qmodel(
+            &name,
+            &spec.label(),
+            &alg.label(),
+            &mut model,
+            &batch,
+            QuantOptions::default(),
+        )
+        .map_err(|e| ServeError::Load(e.to_string()))?;
+        let qpath = std::path::Path::new(dir).join(format!("{name}.q.json"));
+        std::fs::write(&qpath, qmodel_to_json(&qfile))
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        println!(
+            "wrote {} (calibration fp-vs-quant {:.1} dB)",
+            qpath.display(),
+            qfile.calibration_psnr
+        );
     }
     Ok(())
 }
@@ -110,7 +141,7 @@ fn main() -> ExitCode {
             for e in registry.entries() {
                 let t = e.topo();
                 println!(
-                    "loaded {:16} {:16} {:18} backend={:9} radius={} granularity={} params={}",
+                    "loaded {:16} {:16} {:18} backend={:9} radius={} granularity={} params={}{}",
                     e.name(),
                     e.spec().label(),
                     e.algebra().label(),
@@ -118,6 +149,10 @@ fn main() -> ExitCode {
                     t.radius,
                     t.granularity,
                     e.num_params(),
+                    match e.quant_psnr() {
+                        Some(p) => format!(" +quant({p:.1} dB)"),
+                        None => String::new(),
+                    },
                 );
             }
         }

@@ -4,6 +4,7 @@
 
 use crate::error::ServeError;
 use crate::protocol::{ModelInfo, Request, Response};
+use crate::registry::Precision;
 use crate::stats::StatsSnapshot;
 use ringcnn_tensor::prelude::*;
 use std::io::{BufRead, BufReader, Write};
@@ -11,6 +12,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// A successful `infer` round trip.
+#[derive(Debug)]
 pub struct InferReply {
     /// The model output.
     pub output: Tensor,
@@ -87,15 +89,33 @@ impl Client {
         }
     }
 
-    /// Runs one input through a named model.
+    /// Runs one input through a named model on the float pipeline.
     ///
     /// # Errors
     ///
     /// Service-side rejections ([`ServeError::Overloaded`],
     /// [`ServeError::UnknownModel`], …) or transport failures.
     pub fn infer(&mut self, model: &str, input: &Tensor) -> Result<InferReply, ServeError> {
+        self.infer_with(model, input, Precision::Fp64)
+    }
+
+    /// Runs one input through a named model at an explicit
+    /// [`Precision`] (`quant` needs a loaded `ringcnn-qmodel/v1`).
+    ///
+    /// # Errors
+    ///
+    /// Service-side rejections ([`ServeError::Overloaded`],
+    /// [`ServeError::UnknownModel`], a `bad_request` for `quant` on a
+    /// model without a quantized pipeline, …) or transport failures.
+    pub fn infer_with(
+        &mut self,
+        model: &str,
+        input: &Tensor,
+        precision: Precision,
+    ) -> Result<InferReply, ServeError> {
         let req = Request::Infer {
             model: model.into(),
+            precision,
             shape: input.shape(),
             data: input.as_slice().to_vec(),
         };

@@ -30,7 +30,7 @@
 //! // Schedule inference through the micro-batching queue.
 //! let sched = Scheduler::start(Arc::new(registry), SchedulerConfig::default());
 //! let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 2);
-//! let out = sched.infer("vdsr_real", x.clone()).unwrap();
+//! let out = sched.infer("vdsr_real", x.clone(), Precision::Fp64).unwrap();
 //! assert_eq!(out.output.shape(), x.shape());
 //! sched.shutdown();
 //! ```
@@ -54,7 +54,7 @@ pub mod prelude {
     pub use crate::error::ServeError;
     pub use crate::loadgen::{LoadgenConfig, LoadgenReport};
     pub use crate::protocol::{ModelInfo, Request, Response};
-    pub use crate::registry::{ModelEntry, ModelRegistry};
+    pub use crate::registry::{ModelEntry, ModelRegistry, Precision};
     pub use crate::scheduler::{InferOutput, Scheduler, SchedulerConfig};
     pub use crate::server::{Server, ServerConfig};
     pub use crate::stats::{Metrics, StatsSnapshot};

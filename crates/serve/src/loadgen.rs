@@ -10,6 +10,7 @@
 
 use crate::client::Client;
 use crate::error::ServeError;
+use crate::registry::Precision;
 use crate::stats::LatencyStats;
 use ringcnn_tensor::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -34,6 +35,9 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Per-connection warm-up requests excluded from the measurement.
     pub warmup: usize,
+    /// Execution precision every request asks for ([`Precision::Fp64`]
+    /// by default; `Quant` measures the integer pipeline).
+    pub precision: Precision,
 }
 
 impl Default for LoadgenConfig {
@@ -46,6 +50,7 @@ impl Default for LoadgenConfig {
             hw: (32, 32),
             seed: 1,
             warmup: 2,
+            precision: Precision::Fp64,
         }
     }
 }
@@ -136,7 +141,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
                     );
                     let t0 = Instant::now();
                     let measured = i >= cfg.warmup;
-                    match client.infer(model, &x) {
+                    match client.infer_with(model, &x, cfg.precision) {
                         Ok(reply) => {
                             if measured {
                                 r.latencies.push(t0.elapsed().as_secs_f64() * 1e3);

@@ -5,6 +5,7 @@
 //!
 //! ```json
 //! {"verb":"infer","model":"ffdnet_real","shape":[1,1,32,32],"data":[0.5,…]}
+//! {"verb":"infer","model":"ffdnet_real","precision":"quant","shape":[1,1,32,32],"data":[0.5,…]}
 //! {"verb":"list_models"}
 //! {"verb":"stats"}
 //! {"verb":"health"}
@@ -30,6 +31,7 @@
 //! compatibility.
 
 use crate::error::ServeError;
+use crate::registry::Precision;
 use crate::stats::StatsSnapshot;
 use ringcnn_tensor::prelude::*;
 use serde::{Deserialize, Serialize, Value};
@@ -41,6 +43,9 @@ pub enum Request {
     Infer {
         /// Registry key.
         model: String,
+        /// Which pipeline executes: `"fp64"` (default when the field is
+        /// absent) or `"quant"` (needs a loaded `ringcnn-qmodel/v1`).
+        precision: Precision,
         /// Input shape `[n, c, h, w]`.
         shape: Shape4,
         /// Row-major samples (`n·c·h·w` values).
@@ -77,6 +82,12 @@ pub struct ModelInfo {
     pub params: usize,
     /// I/O channel count an `infer` request must supply.
     pub channels_io: usize,
+    /// Available precisions (`["fp64"]`, plus `"quant"` when a
+    /// quantized pipeline is attached).
+    pub precisions: Vec<String>,
+    /// Calibration-time fp-vs-quant PSNR (dB) of the quantized pipeline,
+    /// `None` without one.
+    pub quant_psnr: Option<f64>,
 }
 
 /// A server → client message.
@@ -169,9 +180,15 @@ impl Request {
     /// Renders the request as one wire line (no trailing newline).
     pub fn to_json(&self) -> String {
         let v = match self {
-            Request::Infer { model, shape, data } => obj(vec![
+            Request::Infer {
+                model,
+                precision,
+                shape,
+                data,
+            } => obj(vec![
                 ("verb", Value::Str("infer".into())),
                 ("model", Value::Str(model.clone())),
+                ("precision", Value::Str(precision.label().into())),
                 ("shape", shape_value(*shape)),
                 ("data", data.to_json_value()),
             ]),
@@ -194,6 +211,17 @@ impl Request {
         match verb.as_str() {
             "infer" => {
                 let model = get_str(&v, "model")?;
+                // Absent field = fp64 (wire compatibility with pre-quant
+                // clients); present but malformed = bad_request.
+                let precision = match v.field("precision") {
+                    Ok(Value::Str(s)) => Precision::parse(s)?,
+                    Ok(_) => {
+                        return Err(ServeError::BadRequest(
+                            "field `precision` must be a string".into(),
+                        ))
+                    }
+                    Err(_) => Precision::Fp64,
+                };
                 let shape = decode_shape(&v, "shape")?;
                 let data: Vec<f32> = decode(&v, "data")?;
                 if data.len() != shape.len() {
@@ -203,7 +231,12 @@ impl Request {
                         data.len()
                     )));
                 }
-                Ok(Request::Infer { model, shape, data })
+                Ok(Request::Infer {
+                    model,
+                    precision,
+                    shape,
+                    data,
+                })
             }
             "list_models" => Ok(Request::ListModels),
             "stats" => Ok(Request::Stats),
@@ -315,6 +348,13 @@ mod tests {
         let reqs = [
             Request::Infer {
                 model: "ffdnet_real".into(),
+                precision: Precision::Fp64,
+                shape: Shape4::new(1, 1, 2, 2),
+                data: vec![0.25, -1.0, 3.5, 0.0],
+            },
+            Request::Infer {
+                model: "ffdnet_real".into(),
+                precision: Precision::Quant,
                 shape: Shape4::new(1, 1, 2, 2),
                 data: vec![0.25, -1.0, 3.5, 0.0],
             },
@@ -337,6 +377,7 @@ mod tests {
             .collect();
         let r = Request::Infer {
             model: "m".into(),
+            precision: Precision::Fp64,
             shape: Shape4::new(1, 1, 16, 16),
             data: data.clone(),
         };
@@ -366,6 +407,8 @@ mod tests {
                 scale: (1, 1),
                 params: 1234,
                 channels_io: 1,
+                precisions: vec!["fp64".into(), "quant".into()],
+                quant_psnr: Some(31.5),
             }]),
             Response::Stats(Metrics::new().snapshot()),
             Response::Health {
@@ -388,6 +431,16 @@ mod tests {
     }
 
     #[test]
+    fn absent_precision_defaults_to_fp64() {
+        // Wire compatibility: pre-quant clients never send the field.
+        let line = r#"{"verb":"infer","model":"m","shape":[1,1,1,1],"data":[0.5]}"#;
+        match Request::parse(line).unwrap() {
+            Request::Infer { precision, .. } => assert_eq!(precision, Precision::Fp64),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn malformed_lines_are_bad_requests_not_panics() {
         for line in [
             "",
@@ -399,6 +452,8 @@ mod tests {
             r#"{"verb":"infer","model":"m","shape":[1,1],"data":[]}"#,
             r#"{"verb":"infer","model":3,"shape":[1,1,1,1],"data":[1.0]}"#,
             r#"{"verb":5}"#,
+            r#"{"verb":"infer","model":"m","precision":"int3","shape":[1,1,1,1],"data":[1.0]}"#,
+            r#"{"verb":"infer","model":"m","precision":7,"shape":[1,1,1,1],"data":[1.0]}"#,
             "[1,2,3]",
             // Shape whose element product wraps usize: must be refused,
             // not wrapped to a small count that matches `data`.

@@ -1,11 +1,19 @@
-//! The model registry: loads `ringcnn-model/v1` files, prepares them for
-//! shared inference, and hands out `Arc` handles keyed by name.
+//! The model registry: loads `ringcnn-model/v1` (float) and
+//! `ringcnn-qmodel/v1` (quantized) files, prepares them for shared
+//! inference, and hands out `Arc` handles keyed by name.
 //!
 //! Registration is the exclusive-access moment: the model's cached
 //! inference kernels are pre-built ([`prepare_inference`]) and its tiling
 //! topology derived exactly once, after which the entry is immutable and
 //! any number of scheduler workers can run [`ModelEntry::infer`]
 //! concurrently (`Layer: Send + Sync`, PR 3).
+//!
+//! A quantized pipeline is not its own entry: it **attaches** to the
+//! float entry of the same name (write-once `OnceLock`, so attachment
+//! also works on already-shared entries), and the request's
+//! [`Precision`] selects which pipeline executes. `load_dir` therefore
+//! loads all float files before all qmodel files, regardless of file
+//! name order.
 //!
 //! [`prepare_inference`]: ringcnn_nn::layer::Layer::prepare_inference
 
@@ -14,9 +22,54 @@ use ringcnn_nn::layer::Layer;
 use ringcnn_nn::layers::structure::Sequential;
 use ringcnn_nn::runtime::{model_topology, ModelTopo};
 use ringcnn_nn::serialize::{instantiate, model_from_json, AlgebraSpec, ModelFile, ModelSpec};
+use ringcnn_quant::quantized::QuantizedModel;
+use ringcnn_quant::serialize::{peek_format_tag, qmodel_from_json, QModelFile, QMODEL_FORMAT};
 use ringcnn_tensor::prelude::*;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Which execution pipeline of a model an inference request runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Precision {
+    /// The float reference pipeline (wire value `"fp64"`, the default).
+    #[default]
+    Fp64,
+    /// The dynamic fixed-point integer pipeline (wire value `"quant"`);
+    /// requires a `ringcnn-qmodel/v1` attachment.
+    Quant,
+}
+
+impl Precision {
+    /// Stable wire string.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Precision::Fp64 => "fp64",
+            Precision::Quant => "quant",
+        }
+    }
+
+    /// Parses the wire string.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] naming the unknown value.
+    pub fn parse(s: &str) -> Result<Precision, ServeError> {
+        match s {
+            "fp64" => Ok(Precision::Fp64),
+            "quant" => Ok(Precision::Quant),
+            other => Err(ServeError::BadRequest(format!(
+                "unknown precision `{other}` (want \"fp64\" or \"quant\")"
+            ))),
+        }
+    }
+}
+
+/// The attached quantized pipeline of an entry.
+struct QuantAttachment {
+    qmodel: QuantizedModel,
+    /// Calibration-time float-vs-quant PSNR (dB), from the model file.
+    calibration_psnr: f64,
+}
 
 /// One registered, inference-ready model.
 pub struct ModelEntry {
@@ -26,6 +79,8 @@ pub struct ModelEntry {
     topo: ModelTopo,
     num_params: usize,
     model: Sequential,
+    /// Write-once quantized attachment (`None` until a qmodel loads).
+    quant: OnceLock<QuantAttachment>,
 }
 
 impl std::fmt::Debug for ModelEntry {
@@ -70,6 +125,71 @@ impl ModelEntry {
     /// entry concurrently; every cached kernel was built at registration).
     pub fn infer(&self, input: &Tensor) -> Tensor {
         self.model.forward_infer(input)
+    }
+
+    /// Whether a quantized pipeline is attached.
+    pub fn has_quant(&self) -> bool {
+        self.quant.get().is_some()
+    }
+
+    /// Calibration-time float-vs-quant PSNR of the attached pipeline.
+    pub fn quant_psnr(&self) -> Option<f64> {
+        self.quant.get().map(|q| q.calibration_psnr)
+    }
+
+    /// Shared-state inference at a requested [`Precision`]. The
+    /// quantized pipeline is plain immutable data (`QuantizedModel:
+    /// Send + Sync`), so this is as fan-out-safe as [`ModelEntry::infer`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when `precision` is `quant` but no
+    /// quantized pipeline is attached.
+    pub fn infer_precision(
+        &self,
+        input: &Tensor,
+        precision: Precision,
+    ) -> Result<Tensor, ServeError> {
+        match precision {
+            Precision::Fp64 => Ok(self.infer(input)),
+            Precision::Quant => match self.quant.get() {
+                Some(q) => Ok(q.qmodel.forward(input)),
+                None => Err(ServeError::BadRequest(format!(
+                    "model `{}` has no quantized pipeline (load a ringcnn-qmodel/v1 file)",
+                    self.name
+                ))),
+            },
+        }
+    }
+
+    /// Attaches a quantized pipeline (write-once). The pipeline must
+    /// agree with the float entry on I/O channels and spatial topology —
+    /// a request valid for one precision must be valid for the other.
+    fn attach_quant(&self, file: &QModelFile) -> Result<(), ServeError> {
+        let want_c = self.spec.channels_io();
+        if file.channels_io != want_c {
+            return Err(ServeError::Load(format!(
+                "qmodel `{}` takes {} channel(s), float model takes {want_c}",
+                file.name, file.channels_io
+            )));
+        }
+        let qtopo = file.model.topology();
+        if qtopo.granularity != self.topo.granularity || qtopo.scale != self.topo.scale {
+            return Err(ServeError::Load(format!(
+                "qmodel `{}` topology {qtopo:?} disagrees with float topology {:?}",
+                file.name, self.topo
+            )));
+        }
+        let attachment = QuantAttachment {
+            qmodel: file.model.clone(),
+            calibration_psnr: file.calibration_psnr,
+        };
+        self.quant.set(attachment).map_err(|_| {
+            ServeError::Load(format!(
+                "model `{}` already has a quantized pipeline",
+                self.name
+            ))
+        })
     }
 
     /// The output shape an input of shape `s` produces.
@@ -156,8 +276,28 @@ impl ModelRegistry {
             topo,
             num_params,
             model,
+            quant: OnceLock::new(),
         });
         self.entries.push(entry.clone());
+        Ok(entry)
+    }
+
+    /// Attaches a parsed `ringcnn-qmodel/v1` file to the float entry of
+    /// the same name.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Load`] when no float entry has this name, the
+    /// pipeline disagrees with it (channels/topology), or a quantized
+    /// pipeline is already attached.
+    pub fn register_qmodel(&mut self, file: &QModelFile) -> Result<Arc<ModelEntry>, ServeError> {
+        let entry = self.get(&file.name).ok_or_else(|| {
+            ServeError::Load(format!(
+                "qmodel `{}` has no float model to attach to (load its ringcnn-model/v1 first)",
+                file.name
+            ))
+        })?;
+        entry.attach_quant(file)?;
         Ok(entry)
     }
 
@@ -173,23 +313,45 @@ impl ModelRegistry {
         self.register(&file.name, file.spec, file.algebra, model)
     }
 
-    /// Loads one `ringcnn-model/v1` JSON file.
+    /// Loads one model JSON file, dispatching on its `format` tag:
+    /// `ringcnn-model/v1` registers a float entry, `ringcnn-qmodel/v1`
+    /// attaches a quantized pipeline to the float entry of the same name
+    /// (which must already be loaded).
     ///
     /// # Errors
     ///
     /// [`ServeError::Io`] when the file can't be read, [`ServeError::Load`]
-    /// when it is corrupt (truncated JSON, wrong version, weight
-    /// mismatch) — never a panic.
+    /// when it is corrupt (truncated JSON, wrong/unknown version, weight
+    /// or structure mismatch) — never a panic.
     pub fn load_path(&mut self, path: &Path) -> Result<Arc<ModelEntry>, ServeError> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| ServeError::Io(format!("{}: {e}", path.display())))?;
-        let file = model_from_json(&text)
-            .map_err(|e| ServeError::Load(format!("{}: {e}", path.display())))?;
-        self.register_file(&file)
+        self.load_text(&text, path)
     }
 
-    /// Loads every `*.json` model file in a directory (sorted by file
-    /// name so registration order is stable).
+    /// Registers already-read model-file text (the dispatch half of
+    /// [`ModelRegistry::load_path`]; `origin` labels errors).
+    fn load_text(&mut self, text: &str, origin: &Path) -> Result<Arc<ModelEntry>, ServeError> {
+        let ctx =
+            |e: &dyn std::fmt::Display| ServeError::Load(format!("{}: {e}", origin.display()));
+        match peek_format_tag(text).as_str() {
+            QMODEL_FORMAT => {
+                let file = qmodel_from_json(text).map_err(|e| ctx(&e))?;
+                self.register_qmodel(&file)
+            }
+            // Anything else (including a missing tag) goes through the
+            // float loader, whose errors name the expected format.
+            _ => {
+                let file = model_from_json(text).map_err(|e| ctx(&e))?;
+                self.register_file(&file)
+            }
+        }
+    }
+
+    /// Loads every `*.json` model file in a directory: all
+    /// `ringcnn-model/v1` files first (sorted by file name so
+    /// registration order is stable), then all `ringcnn-qmodel/v1`
+    /// attachments — a qmodel may sort before its float model.
     ///
     /// # Errors
     ///
@@ -201,9 +363,26 @@ impl ModelRegistry {
             .filter(|p| p.extension().is_some_and(|x| x == "json"))
             .collect();
         paths.sort();
-        let mut names = Vec::new();
+        // Read each file once, classify by its format tag, and load all
+        // floats before all attachments.
+        let mut floats = Vec::new();
+        let mut qmodels = Vec::new();
         for p in paths {
-            names.push(self.load_path(&p)?.name().to_string());
+            let text = std::fs::read_to_string(&p)
+                .map_err(|e| ServeError::Io(format!("{}: {e}", p.display())))?;
+            if peek_format_tag(&text) == QMODEL_FORMAT {
+                qmodels.push((p, text));
+            } else {
+                floats.push((p, text));
+            }
+        }
+        let mut names = Vec::new();
+        for (p, text) in floats {
+            names.push(self.load_text(&text, &p)?.name().to_string());
+        }
+        for (p, text) in qmodels {
+            // Attachment mutates an existing entry; don't double-list it.
+            self.load_text(&text, &p)?;
         }
         Ok(names)
     }
@@ -297,6 +476,93 @@ mod tests {
         assert_eq!(
             entry
                 .validate_input(Shape4::new(0, 1, 8, 8))
+                .unwrap_err()
+                .code(),
+            "bad_request"
+        );
+    }
+
+    #[test]
+    fn quant_attachment_loads_and_serves_both_precisions() {
+        use ringcnn_quant::calibrate::calibrate_to_qmodel;
+        use ringcnn_quant::quantized::QuantOptions;
+        let dir = std::env::temp_dir().join(format!("ringcnn_qreg_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let alg = Algebra::real();
+        let spec = demo_spec();
+        let mut m = spec.build(&alg, 4);
+        let file = export_model("vdsr_q", spec, AlgebraSpec::of(&alg), &mut m).unwrap();
+        std::fs::write(dir.join("vdsr_q.json"), model_to_json(&file)).unwrap();
+        let batch = Tensor::random_uniform(Shape4::new(2, 1, 12, 12), 0.0, 1.0, 6);
+        let qfile = calibrate_to_qmodel(
+            "vdsr_q",
+            &spec.label(),
+            &alg.label(),
+            &mut m,
+            &batch,
+            QuantOptions::default(),
+        )
+        .unwrap();
+        // Sorts *before* the float file: load_dir must still attach it.
+        std::fs::write(
+            dir.join("a_vdsr_q.q.json"),
+            ringcnn_quant::serialize::qmodel_to_json(&qfile),
+        )
+        .unwrap();
+
+        let mut reg = ModelRegistry::new();
+        let names = reg.load_dir(&dir).unwrap();
+        assert_eq!(
+            names,
+            vec!["vdsr_q".to_string()],
+            "attachment is not an entry"
+        );
+        let entry = reg.get("vdsr_q").unwrap();
+        assert!(entry.has_quant());
+        assert!(entry.quant_psnr().unwrap() > 10.0);
+        let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 9);
+        // Quant execution matches the calibrated pipeline bit for bit.
+        assert_eq!(
+            entry
+                .infer_precision(&x, Precision::Quant)
+                .unwrap()
+                .as_slice(),
+            qfile.model.forward(&x).as_slice()
+        );
+        // Fp64 execution is untouched.
+        assert_eq!(
+            entry
+                .infer_precision(&x, Precision::Fp64)
+                .unwrap()
+                .as_slice(),
+            entry.infer(&x).as_slice()
+        );
+        // Double attachment is refused.
+        assert_eq!(
+            reg.register_qmodel(&qfile).unwrap_err().code(),
+            "load_error"
+        );
+        // Attachment without a float model is refused.
+        let mut lone = ModelRegistry::new();
+        assert_eq!(
+            lone.register_qmodel(&qfile).unwrap_err().code(),
+            "load_error"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quant_without_attachment_is_a_bad_request() {
+        let alg = Algebra::real();
+        let spec = demo_spec();
+        let mut reg = ModelRegistry::new();
+        let entry = reg
+            .register("plain", spec, AlgebraSpec::of(&alg), spec.build(&alg, 2))
+            .unwrap();
+        let x = Tensor::zeros(Shape4::new(1, 1, 8, 8));
+        assert_eq!(
+            entry
+                .infer_precision(&x, Precision::Quant)
                 .unwrap_err()
                 .code(),
             "bad_request"

@@ -26,7 +26,7 @@
 //! drained before the workers exit.
 
 use crate::error::ServeError;
-use crate::registry::{ModelEntry, ModelRegistry};
+use crate::registry::{ModelEntry, ModelRegistry, Precision};
 use crate::stats::Metrics;
 use rayon::prelude::*;
 use ringcnn_tensor::prelude::*;
@@ -77,6 +77,7 @@ pub struct InferOutput {
 
 struct Job {
     entry: Arc<ModelEntry>,
+    precision: Precision,
     input: Tensor,
     enqueued: Instant,
     tx: mpsc::Sender<Result<InferOutput, ServeError>>,
@@ -182,15 +183,26 @@ impl Scheduler {
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownModel`], [`ServeError::BadRequest`] (shape),
+    /// [`ServeError::UnknownModel`], [`ServeError::BadRequest`] (shape,
+    /// or `quant` precision without an attached quantized pipeline),
     /// [`ServeError::Overloaded`] (queue full), or
     /// [`ServeError::ShuttingDown`].
-    pub fn submit(&self, model: &str, input: Tensor) -> Result<Pending, ServeError> {
+    pub fn submit(
+        &self,
+        model: &str,
+        input: Tensor,
+        precision: Precision,
+    ) -> Result<Pending, ServeError> {
         let entry = self
             .registry
             .get(model)
             .ok_or_else(|| ServeError::UnknownModel(model.into()))?;
         entry.validate_input(input.shape())?;
+        if precision == Precision::Quant && !entry.has_quant() {
+            return Err(ServeError::BadRequest(format!(
+                "model `{model}` has no quantized pipeline (load a ringcnn-qmodel/v1 file)"
+            )));
+        }
         let (tx, rx) = mpsc::channel();
         {
             let mut st = lock_unpoisoned(&self.shared.state);
@@ -206,6 +218,7 @@ impl Scheduler {
             }
             st.jobs.push_back(Job {
                 entry,
+                precision,
                 input,
                 enqueued: Instant::now(),
                 tx,
@@ -221,8 +234,13 @@ impl Scheduler {
     /// # Errors
     ///
     /// See [`Scheduler::submit`] and [`Pending::wait`].
-    pub fn infer(&self, model: &str, input: Tensor) -> Result<InferOutput, ServeError> {
-        self.submit(model, input)?.wait()
+    pub fn infer(
+        &self,
+        model: &str,
+        input: Tensor,
+        precision: Precision,
+    ) -> Result<InferOutput, ServeError> {
+        self.submit(model, input, precision)?.wait()
     }
 
     /// Stops admitting work, drains every already-queued request, and
@@ -333,17 +351,22 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
     // execution shape of `BatchRunner::run_batch`: every frame reads the
     // same prepared model, so cached transform plans are built zero
     // times on this path.
-    let outputs: Vec<std::thread::Result<Tensor>> = batch
+    // A batch may mix precisions of one model: each job runs its own
+    // pipeline (both are shared immutable state), and admission already
+    // guaranteed the quantized pipeline exists where requested.
+    let outputs: Vec<std::thread::Result<Result<Tensor, ServeError>>> = batch
         .par_iter()
         .map(|job| {
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.entry.infer(&job.input)))
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                job.entry.infer_precision(&job.input, job.precision)
+            }))
         })
         .collect();
     for (job, out) in batch.into_iter().zip(outputs) {
         let queue_ms = dispatched.duration_since(job.enqueued).as_secs_f64() * 1e3;
         let total_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
         let result = match out {
-            Ok(output) => {
+            Ok(Ok(output)) => {
                 shared
                     .metrics
                     .record_completion(job.entry.name(), queue_ms, total_ms);
@@ -353,6 +376,10 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
                     total_ms,
                     batch_size: size,
                 })
+            }
+            Ok(Err(e)) => {
+                shared.metrics.record_failure();
+                Err(e)
             }
             Err(_) => {
                 shared.metrics.record_failure();
@@ -394,17 +421,30 @@ mod tests {
         let sched = Scheduler::start(registry_with(&["m"]), SchedulerConfig::default());
         let x = Tensor::zeros(Shape4::new(1, 1, 4, 4));
         assert_eq!(
-            sched.infer("nope", x.clone()).unwrap_err().code(),
+            sched
+                .infer("nope", x.clone(), Precision::Fp64)
+                .unwrap_err()
+                .code(),
             "unknown_model"
         );
         let bad = Tensor::zeros(Shape4::new(1, 3, 4, 4));
-        assert_eq!(sched.infer("m", bad).unwrap_err().code(), "bad_request");
         assert_eq!(
-            sched.infer("m", x.clone()).unwrap().output.shape(),
+            sched.infer("m", bad, Precision::Fp64).unwrap_err().code(),
+            "bad_request"
+        );
+        assert_eq!(
+            sched
+                .infer("m", x.clone(), Precision::Fp64)
+                .unwrap()
+                .output
+                .shape(),
             x.shape()
         );
         sched.shutdown();
-        assert_eq!(sched.infer("m", x).unwrap_err().code(), "shutting_down");
+        assert_eq!(
+            sched.infer("m", x, Precision::Fp64).unwrap_err().code(),
+            "shutting_down"
+        );
     }
 
     #[test]
@@ -413,6 +453,7 @@ mod tests {
         let (tx, _rx) = mpsc::channel();
         let mk = |name: &str| Job {
             entry: reg.get(name).unwrap(),
+            precision: Precision::Fp64,
             input: Tensor::zeros(Shape4::new(1, 1, 4, 4)),
             enqueued: Instant::now() - Duration::from_secs(1), // already past max_wait
             tx: tx.clone(),
@@ -440,6 +481,7 @@ mod tests {
         let mut st = QueueState {
             jobs: VecDeque::from([Job {
                 entry: reg.get("a").unwrap(),
+                precision: Precision::Fp64,
                 input: Tensor::zeros(Shape4::new(1, 1, 4, 4)),
                 enqueued: Instant::now(),
                 tx,

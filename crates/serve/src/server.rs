@@ -58,6 +58,10 @@ impl ServerShared {
             .iter()
             .map(|e| {
                 let topo = e.topo();
+                let mut precisions = vec!["fp64".to_string()];
+                if e.has_quant() {
+                    precisions.push("quant".into());
+                }
                 ModelInfo {
                     name: e.name().into(),
                     arch: e.spec().label(),
@@ -68,6 +72,8 @@ impl ServerShared {
                     scale: topo.scale,
                     params: e.num_params(),
                     channels_io: e.spec().channels_io(),
+                    precisions,
+                    quant_psnr: e.quant_psnr(),
                 }
             })
             .collect()
@@ -183,10 +189,27 @@ fn accept_loop(
             return; // The wake-up poke (or a late client) during shutdown.
         }
         let shared = shared.clone();
-        let handle = std::thread::Builder::new()
+        // Keep a dup of the stream so a failed spawn can still answer.
+        // Under fd/thread pressure `spawn` returns an error; killing the
+        // whole accept loop over one connection (the old `.expect`)
+        // turned a transient resource spike into a dead service. Reject
+        // that one connection and keep serving instead.
+        let reject_stream = stream.try_clone().ok();
+        let handle = match std::thread::Builder::new()
             .name("serve-conn".into())
             .spawn(move || handle_connection(stream, &shared))
-            .expect("spawn connection thread");
+        {
+            Ok(h) => h,
+            Err(e) => {
+                if let Some(mut s) = reject_stream {
+                    let resp = Response::Error(ServeError::Internal(format!(
+                        "cannot spawn connection thread: {e}; retry later"
+                    )));
+                    let _ = write_line(&mut s, &resp);
+                }
+                continue;
+            }
+        };
         let mut conns = conns.lock().unwrap_or_else(|e| e.into_inner());
         // Prune finished connections so a long-lived daemon serving
         // many short connections doesn't grow this list without bound
@@ -259,9 +282,14 @@ fn handle_line(line: &str, shared: &ServerShared) -> Response {
         Err(e) => return Response::Error(e),
     };
     match req {
-        Request::Infer { model, shape, data } => {
+        Request::Infer {
+            model,
+            precision,
+            shape,
+            data,
+        } => {
             let input = ringcnn_tensor::tensor::Tensor::from_vec(shape, data);
-            match shared.scheduler.infer(&model, input) {
+            match shared.scheduler.infer(&model, input, precision) {
                 Ok(out) => Response::Infer {
                     shape: out.output.shape(),
                     data: out.output.as_slice().to_vec(),

@@ -162,6 +162,93 @@ pub fn conv2d_forward_im2col_window(
     out
 }
 
+/// Packs one batch item of an **integer** NCHW buffer into a patch
+/// matrix of shape `(c·k²) × (H·W)` — the fixed-point twin of
+/// [`im2col_pack`], used by the quantized inference backend
+/// (`ringcnn-quant`). Row `r = (ci·k + ky)·k + kx` holds the input plane
+/// shifted by the tap offset, zero-padded at the image border, exactly
+/// like the float kernel.
+///
+/// # Panics
+///
+/// Panics if `data.len() != shape.len()` or `n` is out of range.
+pub fn im2col_pack_i64(data: &[i64], shape: crate::shape::Shape4, n: usize, k: usize) -> Vec<i64> {
+    let s = shape;
+    assert_eq!(data.len(), s.len(), "data does not match shape");
+    assert!(n < s.n, "batch index out of range");
+    let plane = s.plane();
+    let pad = (k / 2) as isize;
+    let (h, w) = (s.h as isize, s.w as isize);
+    let mut col = vec![0i64; s.c * k * k * plane];
+    for ci in 0..s.c {
+        let base = s.index(n, ci, 0, 0);
+        let src = &data[base..base + plane];
+        for ky in 0..k {
+            for kx in 0..k {
+                let r = (ci * k + ky) * k + kx;
+                let dst = &mut col[r * plane..(r + 1) * plane];
+                let dy = ky as isize - pad;
+                let dx = kx as isize - pad;
+                let y0 = 0.max(-dy);
+                let y1 = h.min(h - dy);
+                let x0 = 0.max(-dx);
+                let x1 = w.min(w - dx);
+                if y0 >= y1 || x0 >= x1 {
+                    continue; // tap entirely out of frame on this axis
+                }
+                for y in y0..y1 {
+                    let row_out = (y * w) as usize;
+                    let row_in = (y + dy) * w + dx;
+                    dst[row_out + x0 as usize..row_out + x1 as usize]
+                        .copy_from_slice(&src[(row_in + x0) as usize..(row_in + x1) as usize]);
+                }
+            }
+        }
+    }
+    col
+}
+
+/// Integer row-times-matrix product over an [`im2col_pack_i64`] patch
+/// matrix: output plane `co` is `bias(co) + Σ_r w[co·rows + r] · col[r]`
+/// with zero taps skipped, accumulated in `i64`. Output planes run
+/// rayon-parallel into independent slots, and integer addition is
+/// order-independent, so the result is **bit-identical** at any pool
+/// size and to the scalar reference loop
+/// (`ringcnn_quant::quantized::run_conv_reference`).
+///
+/// # Panics
+///
+/// Panics if `weights.len() != co · rows` or `col.len() != rows · plane`.
+pub fn conv_rows_i64(
+    col: &[i64],
+    plane: usize,
+    rows: usize,
+    co: usize,
+    weights: &[i64],
+    bias: &[i64],
+) -> Vec<Vec<i64>> {
+    assert_eq!(weights.len(), co * rows, "weight length mismatch");
+    assert_eq!(col.len(), rows * plane, "patch matrix length mismatch");
+    assert_eq!(bias.len(), co, "bias length mismatch");
+    (0..co)
+        .into_par_iter()
+        .map(|c| {
+            let mut acc = vec![bias[c]; plane];
+            let wrow = &weights[c * rows..(c + 1) * rows];
+            for (r, &wv) in wrow.iter().enumerate() {
+                if wv == 0 {
+                    continue;
+                }
+                let src = &col[r * plane..(r + 1) * plane];
+                for (a, v) in acc.iter_mut().zip(src) {
+                    *a += wv * *v;
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
 /// The row-times-matrix product over a packed patch matrix: one output
 /// plane per `co`, parallel across output rows.
 fn product_rows(col: &[f32], plane: usize, w: &ConvWeights, bias: &[f32]) -> Vec<Vec<f32>> {
@@ -287,6 +374,29 @@ mod tests {
         let direct = conv2d_forward_im2col_window(&input, 0, win, &w, &bias);
         let via_tile = conv2d_forward_im2col(&input.extract_window(0, win), &w, &bias);
         assert_eq!(direct.as_slice(), via_tile.as_slice());
+    }
+
+    #[test]
+    fn integer_pack_mirrors_float_pack() {
+        // The i64 pack must place exactly the same samples as the float
+        // pack (same tap rows, same zero padding).
+        let input = Tensor::random_uniform(Shape4::new(2, 3, 5, 4), -8.0, 8.0, 31);
+        let data: Vec<i64> = input.as_slice().iter().map(|v| *v as i64).collect();
+        for k in [1usize, 3, 5] {
+            let fcol = im2col_pack(&input, 1, k);
+            let icol = im2col_pack_i64(&data, input.shape(), 1, k);
+            let via_float: Vec<i64> = fcol.iter().map(|v| *v as i64).collect();
+            assert_eq!(icol, via_float, "k={k}");
+        }
+    }
+
+    #[test]
+    fn integer_rows_accumulate_bias_and_skip_zero_taps() {
+        // 1 channel, k=1: output = bias + w·x per pixel.
+        let col = vec![1i64, -2, 3, 4];
+        let out = conv_rows_i64(&col, 4, 1, 2, &[3, 0], &[10, 7]);
+        assert_eq!(out[0], vec![13, 4, 19, 22]);
+        assert_eq!(out[1], vec![7, 7, 7, 7]); // zero weight: bias only
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! The quantized serving walkthrough: calibrate a model per algebra,
+//! export `ringcnn-qmodel/v1` beside `ringcnn-model/v1`, load both
+//! through the registry, and serve the two precisions over TCP —
+//! printing the fp64-vs-quant PSNR table the README documents.
+//!
+//! ```sh
+//! cargo run --release -p ringcnn-serve --example quantized_backend
+//! ```
+
+use ringcnn_imaging::metrics::psnr;
+use ringcnn_nn::prelude::*;
+use ringcnn_quant::prelude::*;
+use ringcnn_serve::prelude::*;
+use ringcnn_tensor::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 1. The per-algebra fidelity table: one VDSR body per Table-I
+    //    acceptance ring, calibrated on a synthetic batch. Untrained
+    //    weights are the worst case for dynamic-range fitting — trained
+    //    models sit several dB higher.
+    let algebras = [
+        Algebra::real(),
+        Algebra::ri_fh(2),
+        Algebra::ri_fh(4),
+        Algebra::with_fcw(ringcnn_algebra::ring::RingKind::Rh(4)),
+        Algebra::with_fcw(ringcnn_algebra::ring::RingKind::Rh4I),
+    ];
+    println!("fp-vs-quant fidelity, VDSR d3c8, untrained weights, 8-bit:");
+    for alg in &algebras {
+        let mut model = ringcnn_nn::models::vdsr::vdsr(alg, 3, 8, 1, 21);
+        let batch = Tensor::random_uniform(Shape4::new(4, 1, 16, 16), 0.0, 1.0, 23);
+        let cal = calibrate(&mut model, &batch, QuantOptions::default()).unwrap();
+        println!("  {:18} {:6.1} dB", alg.label(), cal.psnr_vs_float);
+    }
+
+    // 2. Calibrate + export an FFDNet pair and serve both precisions.
+    let dir = std::env::temp_dir().join(format!("ringcnn_quant_demo_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let alg = Algebra::real();
+    let spec = ModelSpec::Ffdnet {
+        depth: 3,
+        width: 8,
+        channels_io: 1,
+    };
+    let mut model = spec.build(&alg, 41);
+    let file =
+        ringcnn_nn::serialize::export_model("ffdnet_real", spec, AlgebraSpec::of(&alg), &mut model)
+            .unwrap();
+    std::fs::write(
+        dir.join("ffdnet_real.json"),
+        ringcnn_nn::serialize::model_to_json(&file),
+    )
+    .unwrap();
+    let batch = Tensor::random_uniform(Shape4::new(4, 1, 32, 32), 0.0, 1.0, 43);
+    let qfile = calibrate_to_qmodel(
+        "ffdnet_real",
+        &spec.label(),
+        &alg.label(),
+        &mut model,
+        &batch,
+        QuantOptions::default(),
+    )
+    .unwrap();
+    std::fs::write(dir.join("ffdnet_real.q.json"), qmodel_to_json(&qfile)).unwrap();
+    println!(
+        "\nexported {} (+ quantized pipeline, calibration {:.1} dB) to {}",
+        file.name,
+        qfile.calibration_psnr,
+        dir.display()
+    );
+
+    let mut reg = ModelRegistry::new();
+    reg.load_dir(&dir).unwrap();
+    let server = Server::start(Arc::new(reg), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr().to_string()).unwrap();
+    let x = Tensor::random_uniform(Shape4::new(1, 1, 32, 32), 0.0, 1.0, 47);
+    let fp = client.infer("ffdnet_real", &x).unwrap();
+    let quant = client
+        .infer_with("ffdnet_real", &x, Precision::Quant)
+        .unwrap();
+    println!(
+        "served fp64 vs quant over TCP: {:.1} dB (batch sizes {} / {})",
+        psnr(&fp.output, &quant.output),
+        fp.batch_size,
+        quant.batch_size
+    );
+    assert_eq!(
+        quant.output.as_slice(),
+        qfile.model.forward(&x).as_slice(),
+        "served quant output must equal the local integer pipeline"
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    println!("done");
+}

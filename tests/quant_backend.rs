@@ -1,0 +1,269 @@
+//! The quantized-backend equivalence suite: fixed-point primitive
+//! properties (exact-rational requantization, roundtrip bounds,
+//! saturation edges), integer-im2col-vs-scalar bit-exactness, tiled
+//! quantized inference, and the calibrate → export → load pipeline.
+
+use proptest::prelude::*;
+use ringcnn::prelude::*;
+use ringcnn::quant::quantized::{execute_layer, run_conv_reference};
+use ringcnn_nn::runtime::{BatchRunner, InferenceModel, TileConfig};
+
+/// The exact rational rescale `q · 2^(to − from)` rounded half away from
+/// zero / saturated into `i64`, computed in `i128` — the semantic model
+/// `requant_shift` must match everywhere.
+fn exact_rescale(q: i64, from_frac: i32, to_frac: i32) -> i64 {
+    let s = i64::from(from_frac) - i64::from(to_frac);
+    if s == 0 {
+        return q;
+    }
+    if s > 0 {
+        // round(|q| / 2^s) with half away from zero, in exact arithmetic.
+        if s >= 127 {
+            return 0;
+        }
+        let div = 1i128 << s.min(126);
+        let mag = (q as i128).unsigned_abs();
+        let rounded = (mag + (div as u128) / 2) / div as u128;
+        let signed = if q < 0 {
+            -(rounded as i128)
+        } else {
+            rounded as i128
+        };
+        signed as i64 // |result| ≤ 2^62: always fits
+    } else {
+        if q == 0 {
+            return 0;
+        }
+        let sh = -s;
+        if sh >= 64 {
+            return if q > 0 { i64::MAX } else { i64::MIN };
+        }
+        ((q as i128) << sh).clamp(i64::MIN as i128, i64::MAX as i128) as i64
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `requant_shift` equals the exact rational rescale over the FULL
+    /// `i64` range and a wide frac spread — no wrap, no panic, no bias.
+    #[test]
+    fn requant_shift_is_the_exact_rational_rescale(
+        q in i64::MIN..=i64::MAX,
+        from in -80i32..80,
+        to in -80i32..80,
+    ) {
+        prop_assert_eq!(requant_shift(q, from, to), exact_rescale(q, from, to));
+    }
+
+    /// Right shifts round half away from zero, symmetrically: shifting
+    /// `−q` is exactly `−(shift q)` (impossible under the old
+    /// round-half-up requantizer).
+    #[test]
+    fn requant_shift_is_odd_symmetric(q in -(1i64 << 40)..(1i64 << 40), s in 1i32..20) {
+        prop_assert_eq!(requant_shift(-q, s, 0), -requant_shift(q, s, 0));
+    }
+
+    /// Quantize→dequantize error is at most half a step inside the
+    /// fitted range, for every bit width the pipeline uses.
+    #[test]
+    fn quantize_dequantize_error_bounded(v in -50.0f64..50.0, bits in 2u32..20) {
+        let f = QFormat::fit(50.0, bits);
+        let back = f.dequantize(f.quantize(v));
+        prop_assert!((back - v).abs() <= f.scale() / 2.0 + 1e-12,
+            "v={v} back={back} {f:?}");
+    }
+
+    /// `QTensor::requantized` saturates at exactly the target format's
+    /// rails, never beyond, never wrapping.
+    #[test]
+    fn requantized_saturates_at_the_rails(
+        v in i64::MIN / 4..i64::MAX / 4,
+        dfrac in 0i32..30,
+    ) {
+        let from = QFormat { bits: 63, frac: 20 };
+        let to = QFormat { bits: 8, frac: 20 + dfrac }; // finer: left shifts
+        let q = QTensor::from_raw(Shape4::new(1, 1, 1, 1), vec![v], vec![from]);
+        let r = q.requantized(vec![to]);
+        prop_assert!((-128..=127).contains(&r.data()[0]), "{}", r.data()[0]);
+        // Saturation engages exactly when the exact rescale leaves range.
+        let exact = exact_rescale(v, from.frac, to.frac);
+        prop_assert_eq!(r.data()[0], exact.clamp(-128, 127));
+    }
+
+    /// `add_saturating` clamps the aligned sum at the output rails.
+    #[test]
+    fn add_saturating_clamps_at_the_rails(a in -200i64..200, b in -200i64..200) {
+        let f = QFormat { bits: 8, frac: 0 };
+        let shape = Shape4::new(1, 1, 1, 1);
+        let qa = QTensor::from_raw(shape, vec![a], vec![f]);
+        let qb = QTensor::from_raw(shape, vec![b], vec![f]);
+        let sum = qa.add_saturating(&qb, vec![f]);
+        prop_assert_eq!(sum.data()[0], (a + b).clamp(-128, 127));
+    }
+}
+
+/// The integer im2col production kernel matches the scalar quadruple-loop
+/// reference bit for bit, for every conv the builder emits across the
+/// acceptance algebras (dense, ring-expanded, format-aligned, and
+/// accumulator-keeping convs in front of directional ReLUs).
+#[test]
+fn integer_im2col_matches_scalar_reference_across_algebras() {
+    for alg in [
+        Algebra::real(),
+        Algebra::ri_fh(2),
+        Algebra::ri_fh(4),
+        Algebra::with_fcw(ringcnn_algebra::ring::RingKind::Rh(4)),
+        Algebra::with_fcw(ringcnn_algebra::ring::RingKind::Rh4I),
+    ] {
+        let mut model = Sequential::new()
+            .with(alg.conv(1, 8, 3, 3))
+            .with_opt(alg.activation())
+            .with(alg.conv(8, 8, 3, 4))
+            .with_opt(alg.activation())
+            .with(alg.conv(8, 1, 3, 5));
+        let x = Tensor::random_uniform(Shape4::new(2, 1, 11, 9), 0.0, 1.0, 7);
+        let qm = QuantizedModel::quantize(&mut model, &x, QuantOptions::default());
+        let mut q = QTensor::quantize(&x, vec![qm.input_format(); 1]);
+        let mut convs = 0;
+        for layer in qm.layers() {
+            if let QLayer::Conv(c) = layer {
+                let fast = execute_layer(layer, q.clone());
+                let reference = run_conv_reference(c, &q);
+                assert_eq!(fast, reference, "conv {convs} over {}", alg.label());
+                convs += 1;
+            }
+            q = execute_layer(layer, q);
+        }
+        assert!(convs >= 3, "{}: expected every conv checked", alg.label());
+    }
+}
+
+/// Tile-parallel quantized inference is bit-identical to the whole-image
+/// integer pass for every tile configuration — the acceptance property
+/// that lets the serving layer tile quantized models freely.
+#[test]
+fn tiled_quantized_inference_is_bit_exact() {
+    for (label, mut model, granularity) in [
+        (
+            "vdsr/ri4",
+            ringcnn_nn::models::vdsr::vdsr(&Algebra::ri_fh(4), 3, 8, 1, 5),
+            1usize,
+        ),
+        (
+            "vdsr/real",
+            ringcnn_nn::models::vdsr::vdsr(&Algebra::real(), 3, 8, 1, 6),
+            1,
+        ),
+        (
+            "ffdnet/real",
+            ringcnn_nn::models::ffdnet::ffdnet(&Algebra::real(), 3, 8, 1, 7),
+            2,
+        ),
+        (
+            "ffdnet/rh4",
+            ringcnn_nn::models::ffdnet::ffdnet(
+                &Algebra::with_fcw(ringcnn_algebra::ring::RingKind::Rh(4)),
+                3,
+                8,
+                1,
+                8,
+            ),
+            2,
+        ),
+    ] {
+        let calib = Tensor::random_uniform(Shape4::new(2, 1, 16, 16), 0.0, 1.0, 11);
+        let mut qm = QuantizedModel::quantize(&mut model, &calib, QuantOptions::default());
+        assert_eq!(qm.topology().granularity, granularity, "{label}");
+        let x = Tensor::random_uniform(Shape4::new(2, 1, 24, 20), 0.0, 1.0, 13);
+        let whole = qm.forward(&x);
+        for tile in [4usize, 8, 12] {
+            let runner = BatchRunner::new(&mut qm).with_tile(TileConfig::with_tile(tile));
+            let tiled = runner.run(&x);
+            assert_eq!(
+                tiled.as_slice(),
+                whole.as_slice(),
+                "{label} tile={tile}: stitched integers must equal the whole-image pass"
+            );
+        }
+    }
+}
+
+/// The quantized pipeline satisfies the shared-state contract: identical
+/// outputs through `forward_infer`, and the float/quant topologies of
+/// one architecture agree (same granularity/scale, same radius).
+#[test]
+fn quant_topology_agrees_with_float_topology() {
+    let alg = Algebra::real();
+    for (mut model, name) in [
+        (ringcnn_nn::models::vdsr::vdsr(&alg, 3, 8, 1, 1), "vdsr"),
+        (
+            ringcnn_nn::models::ffdnet::ffdnet(&alg, 3, 8, 1, 2),
+            "ffdnet",
+        ),
+    ] {
+        let calib = Tensor::random_uniform(Shape4::new(1, 1, 16, 16), 0.0, 1.0, 3);
+        let qm = QuantizedModel::quantize(&mut model, &calib, QuantOptions::default());
+        let ftopo = ringcnn_nn::runtime::model_topology(&mut model);
+        assert_eq!(qm.topology(), ftopo, "{name}");
+        let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 4);
+        assert_eq!(
+            InferenceModel::forward_infer(&qm, &x).as_slice(),
+            qm.forward(&x).as_slice(),
+            "{name}"
+        );
+        assert_eq!(InferenceModel::out_channels(&qm, 1), 1, "{name}");
+    }
+}
+
+/// Calibrate → export → JSON → load reproduces the integer pipeline bit
+/// for bit, and the measured fp-vs-quant fidelity clears the documented
+/// per-algebra floors (see README: real 25 dB / RI2 18 dB / RI4 12 dB on
+/// untrained weights).
+#[test]
+fn calibrate_export_load_roundtrip_with_fidelity_floors() {
+    for (alg, floor) in [
+        (Algebra::real(), 25.0),
+        (Algebra::ri_fh(2), 18.0),
+        (Algebra::ri_fh(4), 12.0),
+    ] {
+        let mut model = ringcnn_nn::models::vdsr::vdsr(&alg, 3, 8, 1, 21);
+        let batch = Tensor::random_uniform(Shape4::new(2, 1, 16, 16), 0.0, 1.0, 23);
+        let file = calibrate_to_qmodel(
+            "m",
+            "vdsr-d3c8",
+            &alg.label(),
+            &mut model,
+            &batch,
+            QuantOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            file.calibration_psnr > floor,
+            "{}: {:.1} dB below the documented floor {floor}",
+            alg.label(),
+            file.calibration_psnr
+        );
+        let back = qmodel_from_json(&qmodel_to_json(&file)).unwrap();
+        let x = Tensor::random_uniform(Shape4::new(1, 1, 12, 12), 0.0, 1.0, 29);
+        assert_eq!(
+            back.model.forward(&x).as_slice(),
+            file.model.forward(&x).as_slice(),
+            "{}",
+            alg.label()
+        );
+    }
+}
+
+/// NaN-poisoned calibration surfaces a `CalibrationError`, end to end.
+#[test]
+fn divergent_calibration_is_an_error_not_a_panic() {
+    let alg = Algebra::ri_fh(2);
+    let mut model = ringcnn_nn::models::vdsr::vdsr(&alg, 2, 4, 1, 31);
+    let mut batch = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 33);
+    batch.as_mut_slice()[17] = f32::NAN;
+    match QuantizedModel::try_quantize(&mut model, &batch, QuantOptions::default()) {
+        Err(CalibrationError::NonFinite { .. }) => {}
+        other => panic!("expected NonFinite, got {other:?}"),
+    }
+}

@@ -78,7 +78,7 @@ fn max_batch_flushes_before_max_wait() {
     let pendings: Vec<_> = (0..4)
         .map(|i| {
             let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 10 + i);
-            sched.submit("vdsr_rh4", x).unwrap()
+            sched.submit("vdsr_rh4", x, Precision::Fp64).unwrap()
         })
         .collect();
     for p in pendings {
@@ -111,7 +111,7 @@ fn max_wait_flushes_a_lone_request() {
     );
     let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 3);
     let started = Instant::now();
-    let out = sched.infer("vdsr_rh4", x).unwrap();
+    let out = sched.infer("vdsr_rh4", x, Precision::Fp64).unwrap();
     let waited = started.elapsed();
     assert_eq!(out.batch_size, 1);
     assert!(
@@ -142,10 +142,14 @@ fn full_queue_rejects_with_overloaded_and_drains_on_shutdown() {
     );
     let x = |i: u64| Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, i);
     let pendings: Vec<_> = (0..4)
-        .map(|i| sched.submit("vdsr_rh4", x(i as u64)).unwrap())
+        .map(|i| {
+            sched
+                .submit("vdsr_rh4", x(i as u64), Precision::Fp64)
+                .unwrap()
+        })
         .collect();
     let started = Instant::now();
-    match sched.submit("vdsr_rh4", x(99)) {
+    match sched.submit("vdsr_rh4", x(99), Precision::Fp64) {
         Err(ServeError::Overloaded { depth, cap }) => {
             assert_eq!((depth, cap), (4, 4));
         }
@@ -173,7 +177,10 @@ fn full_queue_rejects_with_overloaded_and_drains_on_shutdown() {
     assert_eq!(stats.completed, 4);
     // Submissions after shutdown are refused with the right code.
     assert_eq!(
-        sched.submit("vdsr_rh4", x(0)).unwrap_err().code(),
+        sched
+            .submit("vdsr_rh4", x(0), Precision::Fp64)
+            .unwrap_err()
+            .code(),
         "shutting_down"
     );
 }
@@ -200,7 +207,11 @@ fn mixed_model_stream_batches_per_model_with_exact_results() {
         } else {
             "vdsr_rh4"
         };
-        pendings.push((model, x.clone(), sched.submit(model, x).unwrap()));
+        pendings.push((
+            model,
+            x.clone(),
+            sched.submit(model, x, Precision::Fp64).unwrap(),
+        ));
     }
     for (model, x, p) in pendings {
         let out = p.wait().unwrap();
@@ -374,6 +385,7 @@ fn loadgen_round_trips_with_zero_errors() {
         hw: (8, 8),
         seed: 5,
         warmup: 1,
+        precision: Precision::Fp64,
     })
     .expect("loadgen runs");
     assert_eq!(report.errors, 0);
