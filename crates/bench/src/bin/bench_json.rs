@@ -247,13 +247,14 @@ fn measure_serve(threads: usize) -> Vec<BenchEntry> {
                 max_wait: Duration::from_millis(1),
                 queue_cap: 256,
             },
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback for serve bench");
     let addr = server.addr().to_string();
 
     let mut entries = Vec::new();
-    for (workload, ring, models, connections, requests, precision) in [
+    for (workload, ring, models, connections, requests, precision, wire) in [
         (
             "serve_vdsr8_16px",
             "rh4",
@@ -261,6 +262,7 @@ fn measure_serve(threads: usize) -> Vec<BenchEntry> {
             1,
             60,
             Precision::Fp64,
+            Wire::Json,
         ),
         (
             "serve_vdsr8_16px",
@@ -269,6 +271,7 @@ fn measure_serve(threads: usize) -> Vec<BenchEntry> {
             8,
             240,
             Precision::Fp64,
+            Wire::Json,
         ),
         (
             "serve_mix2_16px",
@@ -277,6 +280,7 @@ fn measure_serve(threads: usize) -> Vec<BenchEntry> {
             8,
             240,
             Precision::Fp64,
+            Wire::Json,
         ),
         // The gated fp64-vs-quant serving comparison: same model, same
         // offered load, integer pipeline.
@@ -287,6 +291,7 @@ fn measure_serve(threads: usize) -> Vec<BenchEntry> {
             8,
             240,
             Precision::Fp64,
+            Wire::Json,
         ),
         (
             "serve_ffdnet8_16px_quant",
@@ -295,6 +300,27 @@ fn measure_serve(threads: usize) -> Vec<BenchEntry> {
             8,
             240,
             Precision::Quant,
+            Wire::Json,
+        ),
+        // The gated JSON-vs-binary wire comparison: same model, same
+        // offered load, framed f32 payloads instead of ASCII floats.
+        (
+            "serve_vdsr8_16px_binary",
+            "rh4",
+            vec!["vdsr_rh4"],
+            8,
+            240,
+            Precision::Fp64,
+            Wire::Binary,
+        ),
+        (
+            "serve_ffdnet8_16px_binary",
+            "real",
+            vec!["ffdnet_real"],
+            8,
+            240,
+            Precision::Fp64,
+            Wire::Binary,
         ),
     ] {
         let report = ringcnn_serve::loadgen::run(&ringcnn_serve::loadgen::LoadgenConfig {
@@ -306,6 +332,7 @@ fn measure_serve(threads: usize) -> Vec<BenchEntry> {
             seed: 3,
             warmup: connections.max(2),
             precision,
+            wire,
         })
         .expect("serve bench loadgen");
         assert_eq!(report.errors, 0, "serve bench must complete cleanly");

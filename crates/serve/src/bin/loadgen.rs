@@ -3,7 +3,8 @@
 //! ```text
 //! loadgen --addr 127.0.0.1:7841 [--connections 4] [--requests 200]
 //!         [--models a,b] [--hw 32x32] [--warmup 2] [--seed 1]
-//!         [--precision fp64|quant] [--shutdown] [--bench-out PATH] [--pr N]
+//!         [--precision fp64|quant] [--protocol json|binary]
+//!         [--shutdown] [--bench-out PATH] [--pr N]
 //! ```
 //!
 //! Prints p50/p95/p99 latency, throughput, and mean batch size; exits
@@ -17,6 +18,7 @@
 
 use ringcnn_serve::client::Client;
 use ringcnn_serve::loadgen::{run, LoadgenConfig};
+use ringcnn_serve::protocol::Wire;
 use ringcnn_serve::registry::Precision;
 use serde::Value;
 use std::process::ExitCode;
@@ -68,7 +70,8 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: loadgen --addr HOST:PORT [--connections N] [--requests N] \
              [--models a,b] [--hw HxW] [--warmup N] [--seed N] \
-             [--precision fp64|quant] [--shutdown] [--bench-out PATH] [--pr N]"
+             [--precision fp64|quant] [--protocol json|binary] \
+             [--shutdown] [--bench-out PATH] [--pr N]"
         );
         return ExitCode::FAILURE;
     };
@@ -76,6 +79,16 @@ fn main() -> ExitCode {
         None => Precision::Fp64,
         Some(p) => match Precision::parse(p) {
             Ok(p) => p,
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let wire = match arg_value(&args, "--protocol").as_deref() {
+        None => Wire::Json,
+        Some(w) => match Wire::parse(w) {
+            Ok(w) => w,
             Err(e) => {
                 eprintln!("loadgen: {e}");
                 return ExitCode::FAILURE;
@@ -120,16 +133,18 @@ fn main() -> ExitCode {
         seed: parse_or(&args, "--seed", 1),
         warmup: parse_or(&args, "--warmup", 2),
         precision,
+        wire,
     };
 
     println!(
-        "loadgen: {} connection(s), {} request(s), models {:?}, input {}x{}, precision {}",
+        "loadgen: {} connection(s), {} request(s), models {:?}, input {}x{}, precision {}, protocol {}",
         cfg.connections,
         cfg.requests,
         cfg.models,
         cfg.hw.0,
         cfg.hw.1,
-        cfg.precision.label()
+        cfg.precision.label(),
+        cfg.wire.label()
     );
     let report = match run(&cfg) {
         Ok(r) => r,
@@ -202,10 +217,11 @@ fn main() -> ExitCode {
                     ),
                     bench_entry(
                         &format!(
-                            "serve_loadgen_{}x{}_{}/mixed/conn{}/t{threads}",
+                            "serve_loadgen_{}x{}_{}_{}/mixed/conn{}/t{threads}",
                             cfg.hw.0,
                             cfg.hw.1,
                             cfg.precision.label(),
+                            cfg.wire.label(),
                             cfg.connections
                         ),
                         "serve",

@@ -1,9 +1,11 @@
 //! The `ringcnn-serve` daemon: loads a directory of `ringcnn-model/v1`
-//! files and serves them over the line-JSON protocol.
+//! files and serves them over TCP — line-JSON or the binary frame
+//! protocol, negotiated per connection on its first bytes.
 //!
 //! ```text
 //! ringcnn-serve --models <dir> [--addr 127.0.0.1:7841] [--workers 2]
 //!               [--max-batch 8] [--max-wait-ms 2] [--queue-cap 256]
+//!               [--max-frame-mb 16]
 //! ringcnn-serve --export-demo <dir>   # write two demo models (float
 //!                                     # ringcnn-model/v1 + calibrated
 //!                                     # ringcnn-qmodel/v1 each) and exit
@@ -117,7 +119,7 @@ fn main() -> ExitCode {
     let Some(model_dir) = arg_value(&args, "--models") else {
         eprintln!(
             "usage: ringcnn-serve --models <dir> [--addr A] [--workers N] \
-             [--max-batch N] [--max-wait-ms F] [--queue-cap N]\n\
+             [--max-batch N] [--max-wait-ms F] [--queue-cap N] [--max-frame-mb N]\n\
              \x20      ringcnn-serve --export-demo <dir>"
         );
         return ExitCode::FAILURE;
@@ -133,6 +135,7 @@ fn main() -> ExitCode {
             ),
             queue_cap: parse_or(&args, "--queue-cap", 256),
         },
+        max_frame_bytes: parse_or(&args, "--max-frame-mb", 16usize).max(1) << 20,
     };
 
     let mut registry = ModelRegistry::new();

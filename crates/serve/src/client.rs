@@ -1,13 +1,22 @@
-//! A blocking line-protocol client (used by `loadgen`, the tests, and
-//! the examples; any language that can write JSON lines to a TCP socket
-//! can do what this module does).
+//! A blocking client speaking either wire protocol (used by `loadgen`,
+//! the tests, and the examples; any language that can write JSON lines
+//! — or length-prefixed frames — to a TCP socket can do what this
+//! module does).
+//!
+//! [`Client::connect`] keeps the original line-JSON behavior;
+//! [`Client::connect_wire`] with [`Wire::Binary`] sends the `RCNB`
+//! preamble and switches both directions to binary frames, which skips
+//! ASCII float formatting entirely and lets [`Client::infer_streaming`]
+//! surface output tiles as they arrive.
 
 use crate::error::ServeError;
-use crate::protocol::{ModelInfo, Request, Response};
+use crate::frame::{self, Tile};
+use crate::protocol::{ModelInfo, Request, Response, Wire};
 use crate::registry::Precision;
+use crate::server::MAX_LINE_BYTES;
 use crate::stats::StatsSnapshot;
 use ringcnn_tensor::prelude::*;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -36,36 +45,68 @@ pub struct HealthReply {
 
 /// One connection to a `ringcnn-serve` instance.
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    stream: TcpStream,
+    wire: Wire,
+    inbuf: Vec<u8>,
+    asm: frame::ResponseAssembler,
 }
 
 impl Client {
-    /// Connects (TCP no-delay: requests are single small-to-medium
-    /// lines and latency is the product).
+    /// Connects speaking line-JSON (TCP no-delay: requests are single
+    /// small-to-medium messages and latency is the product).
     ///
     /// # Errors
     ///
     /// [`ServeError::Io`] when the connection fails.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_wire(addr, Wire::Json)
+    }
+
+    /// Connects speaking the given protocol (a [`Wire::Binary`] client
+    /// sends the `RCNB` preamble immediately).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the connection fails.
+    pub fn connect_wire(addr: impl ToSocketAddrs, wire: Wire) -> Result<Client, ServeError> {
+        let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        if wire == Wire::Binary {
+            let mut preamble = Vec::with_capacity(frame::MAGIC.len() + 1);
+            frame::encode_preamble(&mut preamble);
+            stream.write_all(&preamble)?;
+        }
         Ok(Client {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: stream,
+            stream,
+            wire,
+            inbuf: Vec::new(),
+            asm: frame::ResponseAssembler::new(),
         })
     }
 
-    /// Connects, retrying for up to `timeout` (startup races in scripts
-    /// and CI: the server may still be binding).
+    /// Connects (line-JSON), retrying for up to `timeout` (startup races
+    /// in scripts and CI: the server may still be binding).
     ///
     /// # Errors
     ///
     /// The last connection error once the deadline passes.
     pub fn connect_retry(addr: &str, timeout: Duration) -> Result<Client, ServeError> {
+        Client::connect_retry_wire(addr, timeout, Wire::Json)
+    }
+
+    /// [`Client::connect_retry`] with an explicit protocol.
+    ///
+    /// # Errors
+    ///
+    /// The last connection error once the deadline passes.
+    pub fn connect_retry_wire(
+        addr: &str,
+        timeout: Duration,
+        wire: Wire,
+    ) -> Result<Client, ServeError> {
         let deadline = std::time::Instant::now() + timeout;
         loop {
-            match Client::connect(addr) {
+            match Client::connect_wire(addr, wire) {
                 Ok(c) => return Ok(c),
                 Err(e) if std::time::Instant::now() >= deadline => return Err(e),
                 Err(_) => std::thread::sleep(Duration::from_millis(50)),
@@ -73,17 +114,65 @@ impl Client {
         }
     }
 
-    fn roundtrip(&mut self, req: &Request) -> Result<Response, ServeError> {
-        let mut line = req.to_json();
-        line.push('\n');
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.flush()?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
-            return Err(ServeError::Io("server closed the connection".into()));
+    /// The protocol this connection speaks.
+    pub fn wire(&self) -> Wire {
+        self.wire
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ServeError> {
+        match self.wire {
+            Wire::Json => {
+                let mut line = req.to_json();
+                line.push('\n');
+                self.stream.write_all(line.as_bytes())?;
+            }
+            Wire::Binary => {
+                let mut bytes = Vec::new();
+                frame::encode_request(req, &mut bytes);
+                self.stream.write_all(&bytes)?;
+            }
         }
-        match Response::parse(&reply)? {
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Reads one complete response, surfacing binary `infer` tiles
+    /// through `on_tile` as they arrive.
+    fn receive(&mut self, mut on_tile: impl FnMut(Tile<'_>)) -> Result<Response, ServeError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.wire {
+                Wire::Json => {
+                    if let Some(pos) = self.inbuf.iter().position(|b| *b == b'\n') {
+                        let line: Vec<u8> = self.inbuf.drain(..=pos).collect();
+                        let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        return Response::parse(&line);
+                    }
+                }
+                Wire::Binary => {
+                    let (consumed, resp) =
+                        self.asm.feed(&self.inbuf, MAX_LINE_BYTES, &mut on_tile)?;
+                    self.inbuf.drain(..consumed);
+                    if let Some(resp) = resp {
+                        return Ok(resp);
+                    }
+                }
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(ServeError::Io("server closed the connection".into())),
+                Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ServeError> {
+        self.send(req)?;
+        match self.receive(|_| {})? {
             Response::Error(e) => Err(e),
             r => Ok(r),
         }
@@ -113,25 +202,54 @@ impl Client {
         input: &Tensor,
         precision: Precision,
     ) -> Result<InferReply, ServeError> {
+        self.infer_streaming(model, input, precision, |_, _| {})
+    }
+
+    /// [`Client::infer_with`], invoking `on_tile(sample_offset, tile)`
+    /// for each output tile *as it arrives* on the binary wire — first
+    /// pixels land before the full response finishes transferring. On
+    /// the JSON wire (no framing) the callback fires once with the
+    /// whole output.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::infer_with`].
+    pub fn infer_streaming(
+        &mut self,
+        model: &str,
+        input: &Tensor,
+        precision: Precision,
+        mut on_tile: impl FnMut(usize, &[f32]),
+    ) -> Result<InferReply, ServeError> {
         let req = Request::Infer {
             model: model.into(),
             precision,
             shape: input.shape(),
             data: input.as_slice().to_vec(),
         };
-        match self.roundtrip(&req)? {
+        self.send(&req)?;
+        let resp = match self.receive(|t: Tile<'_>| on_tile(t.offset, t.data))? {
+            Response::Error(e) => return Err(e),
+            r => r,
+        };
+        match resp {
             Response::Infer {
                 shape,
                 data,
                 queue_ms,
                 total_ms,
                 batch_size,
-            } => Ok(InferReply {
-                output: Tensor::from_vec(shape, data),
-                queue_ms,
-                total_ms,
-                batch_size,
-            }),
+            } => {
+                if self.wire == Wire::Json {
+                    on_tile(0, &data); // One "tile": the whole payload.
+                }
+                Ok(InferReply {
+                    output: Tensor::from_vec(shape, data),
+                    queue_ms,
+                    total_ms,
+                    batch_size,
+                })
+            }
             other => Err(unexpected("infer", &other)),
         }
     }

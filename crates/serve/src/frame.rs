@@ -1,0 +1,863 @@
+//! The binary wire protocol: length-prefixed frames with little-endian
+//! `f32` payloads, negotiated on the first bytes of a connection.
+//!
+//! # Negotiation
+//!
+//! A binary client opens with a 5-byte preamble — the magic `RCNB`
+//! followed by the protocol version (currently [`VERSION`]). Anything
+//! else (a `{`, whitespace, …) selects the line-JSON protocol, so old
+//! clients keep working unchanged against the same port.
+//!
+//! # Frames
+//!
+//! ```text
+//! ┌───────────────┬────────┬──────────────────────────────┐
+//! │ len: u32 LE   │ verb:  │ payload (len − 1 bytes)      │
+//! │ (verb+payload)│ u8     │                              │
+//! └───────────────┴────────┴──────────────────────────────┘
+//! ```
+//!
+//! Request verbs: `0x01` infer, `0x02` list_models, `0x03` stats,
+//! `0x04` health, `0x05` shutdown. Response verbs: `0x81` infer-begin,
+//! `0x82` infer-tile, `0x83` infer-end, `0x84` list_models, `0x85`
+//! stats, `0x86` health, `0x87` shutdown, `0xFE` error.
+//!
+//! An `infer` request payload is `precision:u8, name_len:u16 LE, name,
+//! shape:4×u32 LE, data:f32 LE × (n·c·h·w)` — pixels cross the wire as
+//! raw IEEE-754 bits, so the round trip is bit-exact by construction
+//! and costs a `memcpy` instead of ASCII float formatting.
+//!
+//! # Streaming tile responses
+//!
+//! An `infer` response is `infer-begin` (shape, timings, batch size,
+//! tile count), then one `infer-tile` frame per up-to-
+//! [`TILE_SAMPLES`]-sample slice (`offset:u32, count:u32, data`), then
+//! `infer-end`. The server flushes tiles as they are serialized, so a
+//! client sees the first pixels of a large frame without waiting for
+//! the full payload to be encoded — first-tile latency is decoupled
+//! from image size.
+//!
+//! The `list_models` and `stats` payloads are the line protocol's JSON
+//! rendered into one frame: they are control-plane verbs where schema
+//! evolution matters more than serialization cost.
+
+use crate::error::ServeError;
+use crate::protocol::{ModelInfo, Request, Response};
+use crate::registry::Precision;
+use crate::stats::StatsSnapshot;
+use ringcnn_tensor::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Connection-preamble magic ("RingCNN Binary").
+pub const MAGIC: [u8; 4] = *b"RCNB";
+/// Wire protocol version carried in the preamble.
+pub const VERSION: u8 = 1;
+/// Samples per `infer-tile` frame (16 KiB of payload): small enough
+/// that the first tile of a megapixel response leaves the server
+/// immediately, large enough that framing overhead stays ≪ 1%.
+pub const TILE_SAMPLES: usize = 4096;
+
+/// Frame header size (the `u32` length prefix).
+pub const HEADER_BYTES: usize = 4;
+
+// Request verbs.
+const V_INFER: u8 = 0x01;
+const V_LIST_MODELS: u8 = 0x02;
+const V_STATS: u8 = 0x03;
+const V_HEALTH: u8 = 0x04;
+const V_SHUTDOWN: u8 = 0x05;
+// Response verbs.
+const V_R_INFER_BEGIN: u8 = 0x81;
+const V_R_INFER_TILE: u8 = 0x82;
+const V_R_INFER_END: u8 = 0x83;
+const V_R_LIST_MODELS: u8 = 0x84;
+const V_R_STATS: u8 = 0x85;
+const V_R_HEALTH: u8 = 0x86;
+const V_R_SHUTDOWN: u8 = 0x87;
+const V_R_ERROR: u8 = 0xFE;
+
+/// Result of an incremental decode over a byte buffer.
+#[derive(Debug)]
+pub enum DecodeStep<T> {
+    /// More bytes are needed; nothing consumed.
+    Incomplete,
+    /// One item decoded, consuming this many buffer bytes.
+    Item(T, usize),
+    /// The stream is unrecoverable (bad length, bad payload); the
+    /// connection should answer the error and close.
+    Fail(ServeError),
+}
+
+/// What the first bytes of a connection selected.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Negotiation {
+    /// Too few bytes to decide.
+    NeedMore,
+    /// Not the binary magic: line-JSON protocol (nothing consumed).
+    Json,
+    /// Binary preamble accepted; 5 bytes consumed.
+    Binary,
+    /// Binary magic with an unsupported version.
+    BadVersion(u8),
+}
+
+/// Inspects the first bytes of a connection.
+pub fn negotiate(buf: &[u8]) -> Negotiation {
+    if buf.is_empty() {
+        return Negotiation::NeedMore;
+    }
+    // The JSON protocol's first byte is `{` or whitespace; the magic's
+    // first byte is unambiguous.
+    let probe = buf.len().min(MAGIC.len());
+    if buf[..probe] != MAGIC[..probe] {
+        return Negotiation::Json;
+    }
+    if buf.len() < MAGIC.len() + 1 {
+        return Negotiation::NeedMore;
+    }
+    let version = buf[MAGIC.len()];
+    if version != VERSION {
+        return Negotiation::BadVersion(version);
+    }
+    Negotiation::Binary
+}
+
+/// Appends the client preamble.
+pub fn encode_preamble(out: &mut Vec<u8>) {
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+}
+
+// --- Little-endian cursor helpers ------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ServeError> {
+        if self.buf.len() < n {
+            return Err(ServeError::BadRequest(format!(
+                "frame truncated reading {what} ({} of {n} bytes left)",
+                self.buf.len()
+            )));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, ServeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, ServeError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, ServeError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, ServeError> {
+        let b = self.take(8, what)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f32s(&mut self, count: usize, what: &str) -> Result<Vec<f32>, ServeError> {
+        let bytes = count.checked_mul(4).ok_or_else(|| {
+            ServeError::BadRequest(format!("{what}: sample count {count} overflows"))
+        })?;
+        let raw = self.take(bytes, what)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    fn str(&mut self, len: usize, what: &str) -> Result<String, ServeError> {
+        let raw = self.take(len, what)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| ServeError::BadRequest(format!("{what} is not UTF-8")))
+    }
+
+    fn finish(&self, what: &str) -> Result<(), ServeError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(ServeError::BadRequest(format!(
+                "{what}: {} trailing bytes after payload",
+                self.buf.len()
+            )))
+        }
+    }
+}
+
+fn push_f32s(out: &mut Vec<u8>, data: &[f32]) {
+    out.reserve(data.len() * 4);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn push_shape(out: &mut Vec<u8>, s: Shape4) {
+    for d in [s.n, s.c, s.h, s.w] {
+        out.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+}
+
+fn read_shape(r: &mut Reader<'_>) -> Result<Shape4, ServeError> {
+    let n = r.u32("shape.n")? as usize;
+    let c = r.u32("shape.c")? as usize;
+    let h = r.u32("shape.h")? as usize;
+    let w = r.u32("shape.w")? as usize;
+    // Reject overflowing products before `Shape4::len` multiplies
+    // unchecked (same guard as the JSON codec).
+    [n, c, h, w]
+        .iter()
+        .try_fold(1usize, |acc, d| acc.checked_mul(*d))
+        .ok_or_else(|| {
+            ServeError::BadRequest(format!("shape [{n},{c},{h},{w}] element count overflows"))
+        })?;
+    Ok(Shape4::new(n, c, h, w))
+}
+
+/// Appends one frame: header, verb, payload built by `fill`.
+fn frame(out: &mut Vec<u8>, verb: u8, fill: impl FnOnce(&mut Vec<u8>)) {
+    let header_at = out.len();
+    out.extend_from_slice(&[0; HEADER_BYTES]);
+    out.push(verb);
+    fill(out);
+    let body_len = (out.len() - header_at - HEADER_BYTES) as u32;
+    out[header_at..header_at + HEADER_BYTES].copy_from_slice(&body_len.to_le_bytes());
+}
+
+/// Splits off the next raw frame: `(verb, payload_start, consumed)`.
+fn decode_raw(buf: &[u8], max_frame: usize) -> DecodeStep<(u8, usize, usize)> {
+    if buf.len() < HEADER_BYTES {
+        return DecodeStep::Incomplete;
+    }
+    let body_len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if body_len == 0 {
+        return DecodeStep::Fail(ServeError::BadRequest(
+            "frame length 0 (a frame is at least a verb byte)".into(),
+        ));
+    }
+    if body_len > max_frame {
+        return DecodeStep::Fail(ServeError::BadRequest(format!(
+            "frame of {body_len} bytes exceeds the {max_frame}-byte limit"
+        )));
+    }
+    if buf.len() < HEADER_BYTES + body_len {
+        return DecodeStep::Incomplete;
+    }
+    DecodeStep::Item(
+        (buf[HEADER_BYTES], HEADER_BYTES + 1, HEADER_BYTES + body_len),
+        HEADER_BYTES + body_len,
+    )
+}
+
+// --- Requests --------------------------------------------------------------
+
+/// Appends `req` as one binary frame.
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    match req {
+        Request::Infer {
+            model,
+            precision,
+            shape,
+            data,
+        } => frame(out, V_INFER, |out| {
+            out.push(match precision {
+                Precision::Fp64 => 0,
+                Precision::Quant => 1,
+            });
+            let name = model.as_bytes();
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name);
+            push_shape(out, *shape);
+            push_f32s(out, data);
+        }),
+        Request::ListModels => frame(out, V_LIST_MODELS, |_| {}),
+        Request::Stats => frame(out, V_STATS, |_| {}),
+        Request::Health => frame(out, V_HEALTH, |_| {}),
+        Request::Shutdown => frame(out, V_SHUTDOWN, |_| {}),
+    }
+}
+
+/// Incrementally decodes the next request frame from `buf`.
+pub fn decode_request(buf: &[u8], max_frame: usize) -> DecodeStep<Request> {
+    let ((verb, payload_at, end), consumed) = match decode_raw(buf, max_frame) {
+        DecodeStep::Item(item, consumed) => (item, consumed),
+        DecodeStep::Incomplete => return DecodeStep::Incomplete,
+        DecodeStep::Fail(e) => return DecodeStep::Fail(e),
+    };
+    let mut r = Reader::new(&buf[payload_at..end]);
+    let req = match verb {
+        V_INFER => (|| {
+            let precision = match r.u8("precision")? {
+                0 => Precision::Fp64,
+                1 => Precision::Quant,
+                other => {
+                    return Err(ServeError::BadRequest(format!(
+                        "unknown precision byte 0x{other:02x}"
+                    )))
+                }
+            };
+            let name_len = r.u16("model name length")? as usize;
+            let model = r.str(name_len, "model name")?;
+            let shape = read_shape(&mut r)?;
+            let data = r.f32s(shape.len(), "sample data")?;
+            r.finish("infer request")?;
+            Ok(Request::Infer {
+                model,
+                precision,
+                shape,
+                data,
+            })
+        })(),
+        V_LIST_MODELS => r
+            .finish("list_models request")
+            .map(|()| Request::ListModels),
+        V_STATS => r.finish("stats request").map(|()| Request::Stats),
+        V_HEALTH => r.finish("health request").map(|()| Request::Health),
+        V_SHUTDOWN => r.finish("shutdown request").map(|()| Request::Shutdown),
+        other => Err(ServeError::BadRequest(format!(
+            "unknown request verb byte 0x{other:02x}"
+        ))),
+    };
+    match req {
+        Ok(req) => DecodeStep::Item(req, consumed),
+        // A structurally-intact frame with a bad payload is recoverable:
+        // report the error but let the connection continue at the next
+        // frame boundary.
+        Err(e) => DecodeStep::Fail(e),
+    }
+}
+
+// --- Responses -------------------------------------------------------------
+
+/// Appends `resp` as binary frames (an `infer` success becomes
+/// begin + tiles + end; everything else is a single frame).
+pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
+    match resp {
+        Response::Infer {
+            shape,
+            data,
+            queue_ms,
+            total_ms,
+            batch_size,
+        } => {
+            let tiles = data.len().div_ceil(TILE_SAMPLES);
+            frame(out, V_R_INFER_BEGIN, |out| {
+                push_shape(out, *shape);
+                out.extend_from_slice(&queue_ms.to_le_bytes());
+                out.extend_from_slice(&total_ms.to_le_bytes());
+                out.extend_from_slice(&(*batch_size as u32).to_le_bytes());
+                out.extend_from_slice(&(tiles as u32).to_le_bytes());
+            });
+            for (i, tile) in data.chunks(TILE_SAMPLES).enumerate() {
+                frame(out, V_R_INFER_TILE, |out| {
+                    out.extend_from_slice(&((i * TILE_SAMPLES) as u32).to_le_bytes());
+                    out.extend_from_slice(&(tile.len() as u32).to_le_bytes());
+                    push_f32s(out, tile);
+                });
+            }
+            frame(out, V_R_INFER_END, |_| {});
+        }
+        Response::ListModels(models) => frame(out, V_R_LIST_MODELS, |out| {
+            let json = serde_json::to_string(&models.to_json_value()).expect("models serialize");
+            out.extend_from_slice(json.as_bytes());
+        }),
+        Response::Stats(stats) => frame(out, V_R_STATS, |out| {
+            let json = serde_json::to_string(&stats.to_json_value()).expect("stats serialize");
+            out.extend_from_slice(json.as_bytes());
+        }),
+        Response::Health {
+            healthy,
+            models,
+            queue_depth,
+        } => frame(out, V_R_HEALTH, |out| {
+            out.push(u8::from(*healthy));
+            out.extend_from_slice(&(*models as u32).to_le_bytes());
+            out.extend_from_slice(&(*queue_depth as u32).to_le_bytes());
+        }),
+        Response::Shutdown => frame(out, V_R_SHUTDOWN, |_| {}),
+        Response::Error(e) => frame(out, V_R_ERROR, |out| {
+            let code = e.code().as_bytes();
+            out.extend_from_slice(&(code.len() as u16).to_le_bytes());
+            out.extend_from_slice(code);
+            out.extend_from_slice(e.to_string().as_bytes());
+        }),
+    }
+}
+
+/// A partially-received streamed `infer` response.
+struct PartialInfer {
+    shape: Shape4,
+    data: Vec<f32>,
+    filled: usize,
+    queue_ms: f64,
+    total_ms: f64,
+    batch_size: usize,
+    tiles_left: usize,
+}
+
+/// One decoded tile of a streamed `infer` response, surfaced to
+/// streaming consumers before the full response assembles.
+#[derive(Debug)]
+pub struct Tile<'a> {
+    /// Sample offset of this tile in the row-major output.
+    pub offset: usize,
+    /// The tile's samples.
+    pub data: &'a [f32],
+}
+
+/// Client-side incremental response decoder: feed bytes, collect
+/// responses (reassembling streamed `infer` tiles in between).
+#[derive(Default)]
+pub struct ResponseAssembler {
+    partial: Option<PartialInfer>,
+}
+
+impl ResponseAssembler {
+    /// Fresh assembler (one per connection; it carries cross-frame
+    /// `infer` state).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds bytes forward: processes every complete frame in `buf` (in
+    /// order, invoking `on_tile` for each `infer` tile as it arrives),
+    /// stopping at the first completed response or at incomplete input.
+    /// Returns `(bytes_consumed, response_if_completed)` — the caller
+    /// must drain exactly `bytes_consumed` from its buffer, because
+    /// processed frames are *not* re-examined on the next call (tile
+    /// state lives in the assembler).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] / [`ServeError::Io`] when the stream
+    /// is unrecoverable; the connection should be closed.
+    pub fn feed(
+        &mut self,
+        buf: &[u8],
+        max_frame: usize,
+        mut on_tile: impl FnMut(Tile<'_>),
+    ) -> Result<(usize, Option<Response>), ServeError> {
+        let mut at = 0usize;
+        loop {
+            let ((verb, payload_at, end), consumed) = match decode_raw(&buf[at..], max_frame) {
+                DecodeStep::Item(item, consumed) => (item, consumed),
+                DecodeStep::Incomplete => return Ok((at, None)),
+                DecodeStep::Fail(e) => return Err(e),
+            };
+            let payload = &buf[at + payload_at..at + end];
+            at += consumed;
+            if let Some(resp) = self.frame(verb, payload, &mut on_tile)? {
+                return Ok((at, Some(resp)));
+            }
+        }
+    }
+
+    fn frame(
+        &mut self,
+        verb: u8,
+        payload: &[u8],
+        on_tile: &mut impl FnMut(Tile<'_>),
+    ) -> Result<Option<Response>, ServeError> {
+        let mut r = Reader::new(payload);
+        if self.partial.is_some() && !matches!(verb, V_R_INFER_TILE | V_R_INFER_END) {
+            self.partial = None;
+            return Err(ServeError::Io(format!(
+                "verb byte 0x{verb:02x} interleaved into a streamed infer response"
+            )));
+        }
+        match verb {
+            V_R_INFER_BEGIN => {
+                let shape = read_shape(&mut r)?;
+                let queue_ms = r.f64("queue_ms")?;
+                let total_ms = r.f64("total_ms")?;
+                let batch_size = r.u32("batch_size")? as usize;
+                let tiles_left = r.u32("tile count")? as usize;
+                r.finish("infer-begin")?;
+                let partial = PartialInfer {
+                    shape,
+                    data: vec![0.0; shape.len()],
+                    filled: 0,
+                    queue_ms,
+                    total_ms,
+                    batch_size,
+                    tiles_left,
+                };
+                if partial.tiles_left == 0 && shape.is_empty() {
+                    // Degenerate empty output: it ends immediately.
+                    self.partial = Some(partial);
+                    return Ok(None);
+                }
+                if partial.tiles_left == 0 {
+                    return Err(ServeError::Io(
+                        "infer-begin with samples but zero tiles".into(),
+                    ));
+                }
+                self.partial = Some(partial);
+                Ok(None)
+            }
+            V_R_INFER_TILE => {
+                let Some(partial) = self.partial.as_mut() else {
+                    return Err(ServeError::Io("infer-tile without infer-begin".into()));
+                };
+                let offset = r.u32("tile offset")? as usize;
+                let count = r.u32("tile sample count")? as usize;
+                let data = r.f32s(count, "tile data")?;
+                r.finish("infer-tile")?;
+                let end = offset
+                    .checked_add(count)
+                    .filter(|e| *e <= partial.data.len());
+                let Some(end) = end else {
+                    self.partial = None;
+                    return Err(ServeError::Io(format!(
+                        "tile [{offset}, {offset}+{count}) outside the announced output"
+                    )));
+                };
+                partial.data[offset..end].copy_from_slice(&data);
+                partial.filled += count;
+                partial.tiles_left = partial.tiles_left.saturating_sub(1);
+                on_tile(Tile {
+                    offset,
+                    data: &data,
+                });
+                Ok(None)
+            }
+            V_R_INFER_END => {
+                r.finish("infer-end")?;
+                let Some(partial) = self.partial.take() else {
+                    return Err(ServeError::Io("infer-end without infer-begin".into()));
+                };
+                if partial.tiles_left != 0 || partial.filled != partial.data.len() {
+                    return Err(ServeError::Io(format!(
+                        "streamed infer ended early: {} of {} samples received",
+                        partial.filled,
+                        partial.data.len()
+                    )));
+                }
+                Ok(Some(Response::Infer {
+                    shape: partial.shape,
+                    data: partial.data,
+                    queue_ms: partial.queue_ms,
+                    total_ms: partial.total_ms,
+                    batch_size: partial.batch_size,
+                }))
+            }
+            V_R_LIST_MODELS => {
+                let json = r.str(payload.len(), "list_models payload")?;
+                let value = serde_json::from_str(&json)
+                    .map_err(|e| ServeError::Io(format!("malformed list_models payload: {e}")))?;
+                let models = Vec::<ModelInfo>::from_json_value(&value)
+                    .map_err(|e| ServeError::Io(format!("malformed list_models payload: {e}")))?;
+                Ok(Some(Response::ListModels(models)))
+            }
+            V_R_STATS => {
+                let json = r.str(payload.len(), "stats payload")?;
+                let value = serde_json::from_str(&json)
+                    .map_err(|e| ServeError::Io(format!("malformed stats payload: {e}")))?;
+                let stats = StatsSnapshot::from_json_value(&value)
+                    .map_err(|e| ServeError::Io(format!("malformed stats payload: {e}")))?;
+                Ok(Some(Response::Stats(stats)))
+            }
+            V_R_HEALTH => {
+                let healthy = r.u8("healthy")? != 0;
+                let models = r.u32("models")? as usize;
+                let queue_depth = r.u32("queue_depth")? as usize;
+                r.finish("health response")?;
+                Ok(Some(Response::Health {
+                    healthy,
+                    models,
+                    queue_depth,
+                }))
+            }
+            V_R_SHUTDOWN => {
+                r.finish("shutdown response")?;
+                Ok(Some(Response::Shutdown))
+            }
+            V_R_ERROR => {
+                let code_len = r.u16("error code length")? as usize;
+                let code = r.str(code_len, "error code")?;
+                let message = r.str(payload.len() - 2 - code_len, "error message")?;
+                Ok(Some(Response::Error(ServeError::from_wire(
+                    &code, &message,
+                ))))
+            }
+            other => Err(ServeError::Io(format!(
+                "unknown response verb byte 0x{other:02x}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::MAX_LINE_BYTES;
+    use crate::stats::Metrics;
+
+    fn decode_one_request(bytes: &[u8]) -> Request {
+        match decode_request(bytes, MAX_LINE_BYTES) {
+            DecodeStep::Item(req, consumed) => {
+                assert_eq!(consumed, bytes.len(), "must consume the whole frame");
+                req
+            }
+            other => panic!("expected a request, got {other:?}"),
+        }
+    }
+
+    fn decode_one_response(bytes: &[u8]) -> Response {
+        let mut asm = ResponseAssembler::new();
+        let (consumed, resp) = asm.feed(bytes, MAX_LINE_BYTES, |_| {}).expect("decodes");
+        assert_eq!(consumed, bytes.len(), "must consume every frame");
+        resp.expect("a completed response")
+    }
+
+    #[test]
+    fn negotiation_selects_by_first_bytes() {
+        assert_eq!(negotiate(b""), Negotiation::NeedMore);
+        assert_eq!(negotiate(b"R"), Negotiation::NeedMore);
+        assert_eq!(negotiate(b"RCNB"), Negotiation::NeedMore);
+        assert_eq!(negotiate(b"RCNB\x01"), Negotiation::Binary);
+        assert_eq!(negotiate(b"RCNB\x07"), Negotiation::BadVersion(7));
+        assert_eq!(negotiate(b"{\"verb\":"), Negotiation::Json);
+        assert_eq!(negotiate(b"RX"), Negotiation::Json);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            Request::Infer {
+                model: "ffdnet_real".into(),
+                precision: Precision::Fp64,
+                shape: Shape4::new(1, 1, 2, 2),
+                data: vec![0.25, -1.0, 3.5, 0.0],
+            },
+            Request::Infer {
+                model: "m".into(),
+                precision: Precision::Quant,
+                shape: Shape4::new(2, 1, 1, 2),
+                data: vec![f32::MIN_POSITIVE, -0.0, 1e30, -1e-30],
+            },
+            Request::ListModels,
+            Request::Stats,
+            Request::Health,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let mut bytes = Vec::new();
+            encode_request(&req, &mut bytes);
+            assert_eq!(decode_one_request(&bytes), req);
+        }
+    }
+
+    #[test]
+    fn infer_data_survives_the_wire_bit_exactly() {
+        let data: Vec<f32> = (0..4096)
+            .map(|i| ((i as f32) * 0.137).sin() * 1e3 + 1.0e-7)
+            .collect();
+        let req = Request::Infer {
+            model: "m".into(),
+            precision: Precision::Fp64,
+            shape: Shape4::new(1, 1, 64, 64),
+            data: data.clone(),
+        };
+        let mut bytes = Vec::new();
+        encode_request(&req, &mut bytes);
+        match decode_one_request(&bytes) {
+            Request::Infer { data: back, .. } => {
+                let a: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u32> = back.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, b, "raw IEEE-754 bits must survive");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_including_multi_tile_infer() {
+        let resps = [
+            Response::Infer {
+                shape: Shape4::new(1, 1, 96, 96), // 9216 samples → 3 tiles
+                data: (0..9216).map(|i| i as f32 * 0.25).collect(),
+                queue_ms: 0.5,
+                total_ms: 1.5,
+                batch_size: 4,
+            },
+            Response::Infer {
+                shape: Shape4::new(1, 1, 1, 2),
+                data: vec![1.5, -2.0],
+                queue_ms: 0.0,
+                total_ms: 0.1,
+                batch_size: 1,
+            },
+            Response::ListModels(vec![ModelInfo {
+                name: "m".into(),
+                arch: "vdsr-d3c8".into(),
+                algebra: "(RH4, fcw)".into(),
+                backend: "transform".into(),
+                radius: 3,
+                granularity: 1,
+                scale: (1, 1),
+                params: 1234,
+                channels_io: 1,
+                precisions: vec!["fp64".into(), "quant".into()],
+                quant_psnr: Some(31.5),
+            }]),
+            Response::Stats(Metrics::new().snapshot()),
+            Response::Health {
+                healthy: true,
+                models: 2,
+                queue_depth: 7,
+            },
+            Response::Shutdown,
+            Response::Error(ServeError::Overloaded { depth: 8, cap: 8 }),
+        ];
+        for resp in resps {
+            let mut bytes = Vec::new();
+            encode_response(&resp, &mut bytes);
+            let back = decode_one_response(&bytes);
+            match (&resp, &back) {
+                (Response::Error(a), Response::Error(b)) => assert_eq!(a.code(), b.code()),
+                _ => assert_eq!(back, resp),
+            }
+        }
+    }
+
+    #[test]
+    fn tiles_stream_before_the_response_completes() {
+        let data: Vec<f32> = (0..(TILE_SAMPLES * 2 + 100)).map(|i| i as f32).collect();
+        let resp = Response::Infer {
+            shape: Shape4::new(1, 1, 1, data.len()),
+            data: data.clone(),
+            queue_ms: 0.0,
+            total_ms: 0.0,
+            batch_size: 1,
+        };
+        let mut bytes = Vec::new();
+        encode_response(&resp, &mut bytes);
+
+        // Feeding a truncated stream must already surface the complete
+        // tiles via the callback, before the response assembles.
+        let mut seen = Vec::new();
+        let mut asm = ResponseAssembler::new();
+        let (consumed, resp) = asm
+            .feed(&bytes[..bytes.len() - 1], MAX_LINE_BYTES, |t| {
+                seen.push((t.offset, t.data.len()));
+            })
+            .expect("truncated stream is not an error");
+        assert!(resp.is_none(), "the response must not complete early");
+        assert_eq!(seen.first(), Some(&(0, TILE_SAMPLES)));
+        assert_eq!(seen.len(), 3, "all complete tiles surface early");
+
+        // Feeding the remainder to the SAME assembler (processed frames
+        // are never re-fed) completes the response exactly.
+        let (_, resp) = asm
+            .feed(&bytes[consumed..], MAX_LINE_BYTES, |t| {
+                seen.push((t.offset, t.data.len()));
+            })
+            .expect("remainder decodes");
+        match resp.expect("now complete") {
+            Response::Infer { data: back, .. } => assert_eq!(back, data),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(seen.len(), 3, "no tile is surfaced twice");
+    }
+
+    #[test]
+    fn torn_prefixes_never_panic_and_are_incomplete() {
+        let mut bytes = Vec::new();
+        encode_request(
+            &Request::Infer {
+                model: "m".into(),
+                precision: Precision::Fp64,
+                shape: Shape4::new(1, 1, 4, 4),
+                data: vec![0.5; 16],
+            },
+            &mut bytes,
+        );
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(
+                    decode_request(&bytes[..cut], MAX_LINE_BYTES),
+                    DecodeStep::Incomplete
+                ),
+                "prefix of {cut} bytes must be Incomplete"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_and_zero_length_frames_fail_cleanly() {
+        let mut oversized = ((MAX_LINE_BYTES + 1) as u32).to_le_bytes().to_vec();
+        oversized.push(V_HEALTH);
+        match decode_request(&oversized, MAX_LINE_BYTES) {
+            DecodeStep::Fail(e) => assert_eq!(e.code(), "bad_request"),
+            other => panic!("{other:?}"),
+        }
+        let zero = 0u32.to_le_bytes().to_vec();
+        match decode_request(&zero, MAX_LINE_BYTES) {
+            DecodeStep::Fail(e) => assert_eq!(e.code(), "bad_request"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_infer_payloads_are_bad_requests() {
+        // Data shorter than the shape promises.
+        let mut bytes = Vec::new();
+        encode_request(
+            &Request::Infer {
+                model: "m".into(),
+                precision: Precision::Fp64,
+                shape: Shape4::new(1, 1, 2, 2),
+                data: vec![0.5; 4],
+            },
+            &mut bytes,
+        );
+        // Truncate the payload but fix up the length prefix so the
+        // frame is structurally complete.
+        let cut = bytes.len() - 8;
+        let mut torn = bytes[..cut].to_vec();
+        let body_len = (torn.len() - HEADER_BYTES) as u32;
+        torn[..HEADER_BYTES].copy_from_slice(&body_len.to_le_bytes());
+        match decode_request(&torn, MAX_LINE_BYTES) {
+            DecodeStep::Fail(e) => assert_eq!(e.code(), "bad_request"),
+            other => panic!("{other:?}"),
+        }
+
+        // Unknown verb byte.
+        let mut unknown = 1u32.to_le_bytes().to_vec();
+        unknown.push(0x6F);
+        match decode_request(&unknown, MAX_LINE_BYTES) {
+            DecodeStep::Fail(e) => assert_eq!(e.code(), "bad_request"),
+            other => panic!("{other:?}"),
+        }
+
+        // Overflowing shape product.
+        let mut frame_bytes = Vec::new();
+        frame(&mut frame_bytes, V_INFER, |out| {
+            out.push(0);
+            out.extend_from_slice(&1u16.to_le_bytes());
+            out.push(b'm');
+            for d in [u32::MAX, 2, u32::MAX, 2] {
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+        });
+        match decode_request(&frame_bytes, MAX_LINE_BYTES) {
+            DecodeStep::Fail(e) => assert_eq!(e.code(), "bad_request"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

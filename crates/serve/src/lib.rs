@@ -41,8 +41,11 @@
 
 pub mod client;
 pub mod error;
+pub mod frame;
 pub mod loadgen;
+pub mod poll;
 pub mod protocol;
+mod reactor;
 pub mod registry;
 pub mod scheduler;
 pub mod server;
@@ -53,7 +56,7 @@ pub mod prelude {
     pub use crate::client::Client;
     pub use crate::error::ServeError;
     pub use crate::loadgen::{LoadgenConfig, LoadgenReport};
-    pub use crate::protocol::{ModelInfo, Request, Response};
+    pub use crate::protocol::{ModelInfo, Request, Response, Wire};
     pub use crate::registry::{ModelEntry, ModelRegistry, Precision};
     pub use crate::scheduler::{InferOutput, Scheduler, SchedulerConfig};
     pub use crate::server::{Server, ServerConfig};

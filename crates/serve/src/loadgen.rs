@@ -10,6 +10,7 @@
 
 use crate::client::Client;
 use crate::error::ServeError;
+use crate::protocol::Wire;
 use crate::registry::Precision;
 use crate::stats::LatencyStats;
 use ringcnn_tensor::prelude::*;
@@ -38,6 +39,9 @@ pub struct LoadgenConfig {
     /// Execution precision every request asks for ([`Precision::Fp64`]
     /// by default; `Quant` measures the integer pipeline).
     pub precision: Precision,
+    /// Wire protocol every connection speaks ([`Wire::Json`] by
+    /// default; [`Wire::Binary`] measures the framed f32 path).
+    pub wire: Wire,
 }
 
 impl Default for LoadgenConfig {
@@ -51,6 +55,7 @@ impl Default for LoadgenConfig {
             seed: 1,
             warmup: 2,
             precision: Precision::Fp64,
+            wire: Wire::Json,
         }
     }
 }
@@ -118,7 +123,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
             let next_model = next_model.clone();
             let results = results.clone();
             handles.push(scope.spawn(move || -> Result<(), ServeError> {
-                let mut client = Client::connect_retry(&cfg.addr, Duration::from_secs(5))?;
+                let mut client =
+                    Client::connect_retry_wire(&cfg.addr, Duration::from_secs(5), cfg.wire)?;
                 let mut r = ConnResult::new(cfg.models.len());
                 for i in 0..(cfg.warmup + per_conn) {
                     if i == cfg.warmup {

@@ -1,0 +1,219 @@
+//! The Linux backend: `epoll(7)` + `eventfd(2)` through raw syscall
+//! declarations (std links libc, so the symbols are always present).
+
+use super::{Event, Mode};
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::Arc;
+use std::time::Duration;
+
+mod sys {
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLET: u32 = 1 << 31;
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+
+    /// `struct epoll_event`. Packed on x86-64 only, matching glibc's
+    /// `__EPOLL_PACKED` (other ABIs use natural alignment).
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+/// The reserved `epoll_data` value marking the internal wakeup eventfd;
+/// user registrations must stay below it (the reactor hands out small
+/// sequential tokens, so this is not a practical restriction).
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// An owned fd closed on drop (the 2015-edition `OwnedFd` of this
+/// module: `std::os::fd::OwnedFd` would also work, but going through
+/// the same raw `close` keeps every syscall in one place).
+struct OwnedRawFd(RawFd);
+
+impl Drop for OwnedRawFd {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.0) };
+    }
+}
+
+/// The wakeup eventfd, shared between [`Poller`] and every [`Waker`] so
+/// a late `wake` can never write to a recycled fd number.
+struct WakeFd(OwnedRawFd);
+
+impl WakeFd {
+    fn signal(&self) {
+        let one: u64 = 1;
+        // A full eventfd counter (EAGAIN) already guarantees the next
+        // wait wakes; any other failure has no recovery worth taking.
+        unsafe { sys::write(self.0 .0, (&one as *const u64).cast(), 8) };
+    }
+
+    fn drain(&self) {
+        let mut counter: u64 = 0;
+        unsafe { sys::read(self.0 .0, (&mut counter as *mut u64).cast(), 8) };
+    }
+}
+
+/// Wakes a blocked [`Poller::wait`] from any thread. Clonable, cheap,
+/// coalescing (N wakes before a wait produce one wakeup).
+#[derive(Clone)]
+pub struct Waker {
+    wake: Arc<WakeFd>,
+}
+
+impl Waker {
+    /// Interrupts the poller's current (or next) wait.
+    pub fn wake(&self) {
+        self.wake.signal();
+    }
+}
+
+/// The epoll instance.
+pub struct Poller {
+    epfd: OwnedRawFd,
+    wake: Arc<WakeFd>,
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+impl Poller {
+    /// Creates the epoll instance and its wakeup eventfd.
+    ///
+    /// # Errors
+    ///
+    /// The underlying syscall error (fd exhaustion, mostly).
+    pub fn new() -> io::Result<Poller> {
+        let epfd = OwnedRawFd(cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?);
+        let wfd = OwnedRawFd(cvt(unsafe {
+            sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK)
+        })?);
+        let mut ev = sys::EpollEvent {
+            events: sys::EPOLLIN,
+            data: WAKE_TOKEN,
+        };
+        cvt(unsafe { sys::epoll_ctl(epfd.0, sys::EPOLL_CTL_ADD, wfd.0, &mut ev) })?;
+        Ok(Poller {
+            epfd,
+            wake: Arc::new(WakeFd(wfd)),
+        })
+    }
+
+    /// Registers `fd` for read+write readiness under `token`.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` error (`EEXIST` on double registration, …).
+    pub fn register(&self, fd: RawFd, token: u64, mode: Mode) -> io::Result<()> {
+        assert!(token != WAKE_TOKEN, "token {token} is reserved");
+        let mut ev = sys::EpollEvent {
+            events: sys::EPOLLIN
+                | sys::EPOLLOUT
+                | sys::EPOLLRDHUP
+                | match mode {
+                    Mode::Edge => sys::EPOLLET,
+                    Mode::Level => 0,
+                },
+            data: token,
+        };
+        cvt(unsafe { sys::epoll_ctl(self.epfd.0, sys::EPOLL_CTL_ADD, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Removes `fd` from the interest set.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` error (`ENOENT` if never registered).
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        let mut ev = sys::EpollEvent { events: 0, data: 0 };
+        cvt(unsafe { sys::epoll_ctl(self.epfd.0, sys::EPOLL_CTL_DEL, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Blocks until readiness, a wakeup, or `timeout` (`None` = forever),
+    /// then fills `events`. A pure wakeup (or timeout) yields an empty
+    /// list — callers re-check their own state.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_wait` error (`EINTR` is retried internally).
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 100 µs timeout doesn't spin at 0 ms.
+            Some(t) => i32::try_from(t.as_millis().max(1)).unwrap_or(i32::MAX),
+        };
+        let mut raw = [sys::EpollEvent { events: 0, data: 0 }; 128];
+        let n = loop {
+            let r = unsafe {
+                sys::epoll_wait(self.epfd.0, raw.as_mut_ptr(), raw.len() as i32, timeout_ms)
+            };
+            if r >= 0 {
+                break r as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        };
+        for ev in &raw[..n] {
+            // Copy out of the (possibly packed) struct before use.
+            let (bits, data) = (ev.events, ev.data);
+            if data == WAKE_TOKEN {
+                self.wake.drain();
+                continue;
+            }
+            events.push(Event {
+                token: data,
+                // HUP/ERR surface as readable: the next read reports
+                // the close/error and the reactor reaps the connection.
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR)
+                    != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+            });
+        }
+        Ok(())
+    }
+
+    /// A clonable wakeup handle for other threads.
+    pub fn waker(&self) -> Waker {
+        Waker {
+            wake: self.wake.clone(),
+        }
+    }
+}

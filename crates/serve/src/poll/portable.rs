@@ -1,0 +1,137 @@
+//! The portable `std`-only fallback: no OS readiness facility, so
+//! [`Poller::wait`] ticks on a short condvar timeout and reports every
+//! registered token as both readable and writable. Spurious readiness
+//! is fine — the reactor's sockets are nonblocking and it treats
+//! readiness as a hint — at the cost of a few wake-ups per second per
+//! idle server. Wakeups (and registrations) cut the tick short, so
+//! latency under load does not pay the tick.
+
+use super::{Event, Mode};
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// The readiness probe tick.
+const TICK: Duration = Duration::from_millis(5);
+
+#[derive(Default)]
+struct State {
+    /// `(fd, token)` registrations, insertion-ordered.
+    registered: Vec<(RawFd, u64)>,
+    /// A wake (or registration change) arrived since the last wait.
+    woken: bool,
+}
+
+#[derive(Default)]
+struct Inner {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// Wakes a blocked [`Poller::wait`] from any thread.
+#[derive(Clone)]
+pub struct Waker {
+    inner: Arc<Inner>,
+}
+
+impl Waker {
+    /// Interrupts the poller's current (or next) wait.
+    pub fn wake(&self) {
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.woken = true;
+        self.inner.cv.notify_all();
+    }
+}
+
+/// The fallback poller.
+pub struct Poller {
+    inner: Arc<Inner>,
+}
+
+impl Poller {
+    /// Creates the poller (infallible here; `io::Result` matches the
+    /// epoll backend's signature).
+    ///
+    /// # Errors
+    ///
+    /// None in this backend.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            inner: Arc::default(),
+        })
+    }
+
+    /// Registers `token` (the fd itself is only used as the
+    /// deregistration key; `mode` is irrelevant under level-style
+    /// spurious readiness).
+    ///
+    /// # Errors
+    ///
+    /// `AlreadyExists` on double registration, matching epoll's
+    /// `EEXIST`.
+    pub fn register(&self, fd: RawFd, token: u64, _mode: Mode) -> io::Result<()> {
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.registered.iter().any(|(f, _)| *f == fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "fd already registered",
+            ));
+        }
+        st.registered.push((fd, token));
+        st.woken = true; // New fd may already be ready: probe now.
+        self.inner.cv.notify_all();
+        Ok(())
+    }
+
+    /// Removes `fd` from the interest set.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` if the fd was never registered (epoll's `ENOENT`).
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let before = st.registered.len();
+        st.registered.retain(|(f, _)| *f != fd);
+        if st.registered.len() == before {
+            return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+        }
+        Ok(())
+    }
+
+    /// Waits for at most `min(timeout, TICK)`, then reports every
+    /// registered token as ready. A wakeup returns immediately (with
+    /// the same everything-ready report, which callers treat as a
+    /// hint).
+    ///
+    /// # Errors
+    ///
+    /// None in this backend.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let tick = timeout.map_or(TICK, |t| t.min(TICK));
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !st.woken {
+            st = self
+                .inner
+                .cv
+                .wait_timeout(st, tick)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        st.woken = false;
+        events.extend(st.registered.iter().map(|&(_, token)| Event {
+            token,
+            readable: true,
+            writable: true,
+        }));
+        Ok(())
+    }
+
+    /// A clonable wakeup handle for other threads.
+    pub fn waker(&self) -> Waker {
+        Waker {
+            inner: self.inner.clone(),
+        }
+    }
+}

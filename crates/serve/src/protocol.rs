@@ -36,6 +36,45 @@ use crate::stats::StatsSnapshot;
 use ringcnn_tensor::prelude::*;
 use serde::{Deserialize, Serialize, Value};
 
+/// Which wire protocol a connection speaks. The server decides from the
+/// first bytes of the stream (see [`crate::frame::negotiate`]); clients
+/// pick one up front.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Wire {
+    /// One JSON object per newline-terminated line (this module) — the
+    /// original protocol, kept wire-compatible for old clients.
+    #[default]
+    Json,
+    /// Length-prefixed binary frames with raw little-endian `f32`
+    /// payloads (see [`crate::frame`]).
+    Binary,
+}
+
+impl Wire {
+    /// Stable label (CLI flags, bench entry names).
+    pub fn label(self) -> &'static str {
+        match self {
+            Wire::Json => "json",
+            Wire::Binary => "binary",
+        }
+    }
+
+    /// Parses a CLI label.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] naming the unknown label.
+    pub fn parse(s: &str) -> Result<Wire, ServeError> {
+        match s {
+            "json" => Ok(Wire::Json),
+            "binary" => Ok(Wire::Binary),
+            other => Err(ServeError::BadRequest(format!(
+                "unknown protocol `{other}` (expected `json` or `binary`)"
+            ))),
+        }
+    }
+}
+
 /// A client → server message.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {

@@ -75,12 +75,34 @@ pub struct InferOutput {
     pub batch_size: usize,
 }
 
+/// How a completed job hands its result back: the blocking [`Pending`]
+/// channel, or a callback invoked on the scheduler worker (the event
+/// reactor's path — serialization happens on the worker, never on the
+/// reactor thread).
+pub(crate) enum Done {
+    Channel(mpsc::Sender<Result<InferOutput, ServeError>>),
+    Callback(Box<dyn FnOnce(Result<InferOutput, ServeError>) + Send + Sync>),
+}
+
+impl Done {
+    fn complete(self, result: Result<InferOutput, ServeError>) {
+        match self {
+            // The submitter may have gone away (disconnected client) —
+            // dropping the result is correct then.
+            Done::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            Done::Callback(f) => f(result),
+        }
+    }
+}
+
 struct Job {
     entry: Arc<ModelEntry>,
     precision: Precision,
     input: Tensor,
     enqueued: Instant,
-    tx: mpsc::Sender<Result<InferOutput, ServeError>>,
+    done: Done,
 }
 
 struct QueueState {
@@ -193,6 +215,26 @@ impl Scheduler {
         input: Tensor,
         precision: Precision,
     ) -> Result<Pending, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        self.submit_done(model, input, precision, Done::Channel(tx))?;
+        Ok(Pending { rx })
+    }
+
+    /// [`Scheduler::submit`] with an explicit completion carrier — the
+    /// reactor passes [`Done::Callback`] so results are serialized and
+    /// flushed from the worker thread that produced them.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::submit`]. On error, `done` is dropped unused
+    /// (the caller still holds the failure).
+    pub(crate) fn submit_done(
+        &self,
+        model: &str,
+        input: Tensor,
+        precision: Precision,
+        done: Done,
+    ) -> Result<(), ServeError> {
         let entry = self
             .registry
             .get(model)
@@ -203,7 +245,6 @@ impl Scheduler {
                 "model `{model}` has no quantized pipeline (load a ringcnn-qmodel/v1 file)"
             )));
         }
-        let (tx, rx) = mpsc::channel();
         {
             let mut st = lock_unpoisoned(&self.shared.state);
             if st.shutting_down {
@@ -221,12 +262,12 @@ impl Scheduler {
                 precision,
                 input,
                 enqueued: Instant::now(),
-                tx,
+                done,
             });
             self.shared.metrics.record_submit(st.jobs.len());
         }
         self.shared.work_cv.notify_one();
-        Ok(Pending { rx })
+        Ok(())
     }
 
     /// Blocking submit-and-wait convenience.
@@ -389,9 +430,7 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
                 )))
             }
         };
-        // The submitter may have gone away (disconnected client) —
-        // dropping the result is correct then.
-        let _ = job.tx.send(result);
+        job.done.complete(result);
     }
 }
 
@@ -456,7 +495,7 @@ mod tests {
             precision: Precision::Fp64,
             input: Tensor::zeros(Shape4::new(1, 1, 4, 4)),
             enqueued: Instant::now() - Duration::from_secs(1), // already past max_wait
-            tx: tx.clone(),
+            done: Done::Channel(tx.clone()),
         };
         let mut st = QueueState {
             jobs: VecDeque::from([mk("a"), mk("b"), mk("a"), mk("a"), mk("b")]),
@@ -484,7 +523,7 @@ mod tests {
                 precision: Precision::Fp64,
                 input: Tensor::zeros(Shape4::new(1, 1, 4, 4)),
                 enqueued: Instant::now(),
-                tx,
+                done: Done::Channel(tx),
             }]),
             shutting_down: false,
         };

@@ -1,30 +1,31 @@
-//! The TCP front end: accepts connections, speaks the line protocol,
-//! and forwards `infer` requests into the [`Scheduler`].
+//! The TCP front end: binds, spawns the event [`Reactor`], and exposes
+//! the service lifecycle (start / trigger_shutdown / wait).
 //!
-//! One thread per connection (requests on a connection are handled in
-//! order; concurrency comes from many connections, which is exactly
-//! what lets the scheduler form batches). Shutdown is graceful: the
-//! `shutdown` verb (or [`Server::trigger_shutdown`]) stops admissions,
-//! lets every in-flight request finish, drains the scheduler queue, and
-//! joins all threads.
+//! All connection handling lives in [`crate::reactor`]: one nonblocking
+//! event loop serves every connection (idle connections cost zero
+//! wakeups), speaking line-JSON or the binary frame protocol per
+//! connection as negotiated on its first bytes. Shutdown is graceful:
+//! the `shutdown` verb (or [`Server::trigger_shutdown`]) wakes the
+//! reactor through the poller's wakeup fd — not by connecting to the
+//! server's own address, which never worked on `0.0.0.0` binds — stops
+//! accepting, answers and flushes every in-flight request, closes every
+//! connection, then drains and joins the scheduler.
 
 use crate::error::ServeError;
-use crate::protocol::{ModelInfo, Request, Response};
+use crate::protocol::ModelInfo;
+use crate::reactor::{Notify, Reactor};
 use crate::registry::ModelRegistry;
 use crate::scheduler::{Scheduler, SchedulerConfig};
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::Arc;
 
-/// Longest accepted request line (16 MiB ≈ a 2-megapixel float frame
-/// in JSON); longer lines are refused as `bad_request` and the
-/// connection closed, so a garbage client cannot balloon server memory.
+/// Default longest accepted request (16 MiB ≈ a 2-megapixel float frame
+/// in JSON; the same cap applies to one binary frame body). Longer
+/// requests are refused as `bad_request`, so a garbage client cannot
+/// balloon server memory. Override via [`ServerConfig::max_frame_bytes`].
 pub const MAX_LINE_BYTES: usize = 16 << 20;
-
-/// How often a blocked connection read wakes up to check for shutdown.
-const READ_TICK: Duration = Duration::from_millis(100);
 
 /// Server knobs.
 #[derive(Clone, Debug)]
@@ -33,6 +34,9 @@ pub struct ServerConfig {
     pub addr: String,
     /// Scheduler knobs.
     pub scheduler: SchedulerConfig,
+    /// Longest accepted request: one JSON line, or one binary frame
+    /// body. Defaults to [`MAX_LINE_BYTES`].
+    pub max_frame_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -40,18 +44,19 @@ impl Default for ServerConfig {
         Self {
             addr: "127.0.0.1:0".into(),
             scheduler: SchedulerConfig::default(),
+            max_frame_bytes: MAX_LINE_BYTES,
         }
     }
 }
 
-struct ServerShared {
-    scheduler: Scheduler,
-    shutdown: AtomicBool,
-    addr: SocketAddr,
+pub(crate) struct ServerShared {
+    pub(crate) scheduler: Scheduler,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) addr: SocketAddr,
 }
 
 impl ServerShared {
-    fn model_infos(&self) -> Vec<ModelInfo> {
+    pub(crate) fn model_infos(&self) -> Vec<ModelInfo> {
         self.scheduler
             .registry()
             .entries()
@@ -85,8 +90,8 @@ impl ServerShared {
 /// then [`Server::wait`]).
 pub struct Server {
     shared: Arc<ServerShared>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    notify: Arc<Notify>,
+    reactor_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -94,8 +99,25 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// [`ServeError::Io`] when the address cannot be bound.
+    /// [`ServeError::Io`] when the address cannot be bound (or the
+    /// poller cannot be created); [`ServeError::Internal`] when the
+    /// reactor thread cannot be spawned — in that case nothing is left
+    /// running and the address is released.
     pub fn start(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> Result<Server, ServeError> {
+        Self::start_impl(registry, cfg, |reactor| {
+            std::thread::Builder::new()
+                .name("serve-reactor".into())
+                .spawn(move || reactor.run())
+        })
+    }
+
+    /// [`Server::start`] with an injectable reactor-thread spawner, so
+    /// the spawn-failure path (thread exhaustion) is testable.
+    fn start_impl(
+        registry: Arc<ModelRegistry>,
+        cfg: ServerConfig,
+        spawner: impl FnOnce(Reactor) -> io::Result<std::thread::JoinHandle<()>>,
+    ) -> Result<Server, ServeError> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
@@ -103,20 +125,31 @@ impl Server {
             shutdown: AtomicBool::new(false),
             addr,
         });
-        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
-        let accept_thread = {
-            let shared = shared.clone();
-            let conns = conns.clone();
-            std::thread::Builder::new()
-                .name("serve-accept".into())
-                .spawn(move || accept_loop(&listener, &shared, &conns))
-                .expect("spawn accept thread")
+        let reactor = match Reactor::new(listener, shared.clone(), cfg.max_frame_bytes.max(1)) {
+            Ok(r) => r,
+            Err(e) => {
+                shared.scheduler.shutdown();
+                return Err(ServeError::Io(format!("cannot create poller: {e}")));
+            }
         };
-        Ok(Server {
-            shared,
-            accept_thread: Some(accept_thread),
-            conns,
-        })
+        let notify = reactor.notify();
+        match spawner(reactor) {
+            Ok(handle) => Ok(Server {
+                shared,
+                notify,
+                reactor_thread: Some(handle),
+            }),
+            Err(e) => {
+                // The failed spawn dropped the reactor — and with it the
+                // bound listener — so the address is already released.
+                // Stop the scheduler workers too: no half-started server
+                // survives this path.
+                shared.scheduler.shutdown();
+                Err(ServeError::Internal(format!(
+                    "cannot spawn reactor thread for {addr}: {e}"
+                )))
+            }
+        }
     }
 
     /// The bound address (useful with an ephemeral `:0` port).
@@ -129,24 +162,19 @@ impl Server {
         &self.shared.scheduler
     }
 
-    /// Flips the shutdown flag and unblocks the acceptor. Returns
-    /// immediately; pair with [`Server::wait`].
+    /// Flips the shutdown flag and wakes the reactor through the poller
+    /// wakeup fd (works on any bind address, including `0.0.0.0`).
+    /// Returns immediately; pair with [`Server::wait`].
     pub fn trigger_shutdown(&self) {
-        trigger_shutdown(&self.shared);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.notify.wake();
     }
 
-    /// Blocks until the server has fully stopped: acceptor joined, every
-    /// connection closed (in-flight requests answered), scheduler
-    /// drained and joined.
+    /// Blocks until the server has fully stopped: reactor joined (every
+    /// connection answered, flushed, and closed), scheduler drained and
+    /// joined.
     pub fn wait(mut self) {
-        if let Some(h) = self.accept_thread.take() {
-            let _ = h.join();
-        }
-        let handles: Vec<_> = {
-            let mut conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
-            conns.drain(..).collect()
-        };
-        for h in handles {
+        if let Some(h) = self.reactor_thread.take() {
             let _ = h.join();
         }
         self.shared.scheduler.shutdown();
@@ -159,154 +187,52 @@ impl Server {
     }
 }
 
-fn trigger_shutdown(shared: &ServerShared) {
-    if shared.shutdown.swap(true, Ordering::SeqCst) {
-        return; // Already triggered.
-    }
-    // Unblock the acceptor with a no-op connection to our own port.
-    let _ = TcpStream::connect(shared.addr);
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringcnn_nn::prelude::*;
+    use ringcnn_nn::serialize::{AlgebraSpec, ModelSpec};
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<ServerShared>,
-    conns: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
-) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                // Persistent accept errors (EMFILE under fd exhaustion)
-                // must not busy-spin the acceptor at 100% CPU.
-                std::thread::sleep(Duration::from_millis(50));
-                continue;
-            }
+    fn registry() -> Arc<ModelRegistry> {
+        let alg = Algebra::real();
+        let spec = ModelSpec::Vdsr {
+            depth: 2,
+            width: 8,
+            channels_io: 1,
         };
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return; // The wake-up poke (or a late client) during shutdown.
-        }
-        let shared = shared.clone();
-        // Keep a dup of the stream so a failed spawn can still answer.
-        // Under fd/thread pressure `spawn` returns an error; killing the
-        // whole accept loop over one connection (the old `.expect`)
-        // turned a transient resource spike into a dead service. Reject
-        // that one connection and keep serving instead.
-        let reject_stream = stream.try_clone().ok();
-        let handle = match std::thread::Builder::new()
-            .name("serve-conn".into())
-            .spawn(move || handle_connection(stream, &shared))
-        {
-            Ok(h) => h,
-            Err(e) => {
-                if let Some(mut s) = reject_stream {
-                    let resp = Response::Error(ServeError::Internal(format!(
-                        "cannot spawn connection thread: {e}; retry later"
-                    )));
-                    let _ = write_line(&mut s, &resp);
-                }
-                continue;
-            }
-        };
-        let mut conns = conns.lock().unwrap_or_else(|e| e.into_inner());
-        // Prune finished connections so a long-lived daemon serving
-        // many short connections doesn't grow this list without bound
-        // (dropping a finished handle just detaches the dead thread).
-        conns.retain(|h| !h.is_finished());
-        conns.push(handle);
+        let mut reg = ModelRegistry::new();
+        reg.register("m", spec, AlgebraSpec::of(&alg), spec.build(&alg, 7))
+            .unwrap();
+        Arc::new(reg)
     }
-}
 
-fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
-    let _ = stream.set_nodelay(true);
-    // Reads tick so a idle-blocked connection notices shutdown.
-    let _ = stream.set_read_timeout(Some(READ_TICK));
-    let mut stream = stream;
-    let mut acc: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 16 * 1024];
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return; // Graceful close: the previous response was flushed.
-        }
-        let n = match stream.read(&mut chunk) {
-            Ok(0) => return, // Client closed.
-            Ok(n) => n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue; // Shutdown-check tick.
-            }
-            Err(_) => return,
+    #[test]
+    fn spawn_failure_is_internal_error_and_releases_the_listener() {
+        let err = match Server::start_impl(registry(), ServerConfig::default(), |reactor| {
+            drop(reactor); // What a real failed spawn does with the closure.
+            Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "Resource temporarily unavailable",
+            ))
+        }) {
+            Err(e) => e,
+            Ok(_) => panic!("start must fail when the reactor thread cannot spawn"),
         };
-        acc.extend_from_slice(&chunk[..n]);
-        if acc.len() > MAX_LINE_BYTES {
-            let resp = Response::Error(ServeError::BadRequest(format!(
-                "request line exceeds {MAX_LINE_BYTES} bytes"
-            )));
-            let _ = write_line(&mut stream, &resp);
-            return;
-        }
-        // Handle every complete line in the buffer.
-        while let Some(pos) = acc.iter().position(|b| *b == b'\n') {
-            let line: Vec<u8> = acc.drain(..=pos).collect();
-            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
-            if line.trim().is_empty() {
-                continue;
-            }
-            let resp = handle_line(&line, shared);
-            let is_shutdown_ack = matches!(resp, Response::Shutdown);
-            if write_line(&mut stream, &resp).is_err() {
-                return;
-            }
-            if is_shutdown_ack {
-                trigger_shutdown(shared);
-                return;
-            }
-        }
-    }
-}
-
-fn write_line(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
-    let mut line = resp.to_json();
-    line.push('\n');
-    stream.write_all(line.as_bytes())?;
-    stream.flush()
-}
-
-fn handle_line(line: &str, shared: &ServerShared) -> Response {
-    let req = match Request::parse(line) {
-        Ok(r) => r,
-        Err(e) => return Response::Error(e),
-    };
-    match req {
-        Request::Infer {
-            model,
-            precision,
-            shape,
-            data,
-        } => {
-            let input = ringcnn_tensor::tensor::Tensor::from_vec(shape, data);
-            match shared.scheduler.infer(&model, input, precision) {
-                Ok(out) => Response::Infer {
-                    shape: out.output.shape(),
-                    data: out.output.as_slice().to_vec(),
-                    queue_ms: out.queue_ms,
-                    total_ms: out.total_ms,
-                    batch_size: out.batch_size,
-                },
-                Err(e) => Response::Error(e),
-            }
-        }
-        Request::ListModels => Response::ListModels(shared.model_infos()),
-        Request::Stats => Response::Stats(shared.scheduler.metrics().snapshot()),
-        Request::Health => Response::Health {
-            healthy: !shared.shutdown.load(Ordering::SeqCst),
-            models: shared.scheduler.registry().len(),
-            queue_depth: shared.scheduler.metrics().queue_depth(),
-        },
-        Request::Shutdown => Response::Shutdown,
+        assert_eq!(err.code(), "internal", "{err}");
+        // The message names the address that was bound; that address
+        // must be rebindable — no leaked listener, no leaked reactor.
+        // "… for 127.0.0.1:PORT: Resource temporarily unavailable"
+        let msg = err.to_string();
+        let addr: SocketAddr = msg
+            .split("for ")
+            .nth(1)
+            .and_then(|rest| rest.split(": ").next())
+            .and_then(|a| a.parse().ok())
+            .unwrap_or_else(|| panic!("no addr in `{msg}`"));
+        let rebound = TcpListener::bind(addr);
+        assert!(
+            rebound.is_ok(),
+            "address {addr} still bound after failed start: {rebound:?}"
+        );
     }
 }

@@ -172,13 +172,23 @@ pub struct LatencyStats {
 
 impl LatencyStats {
     /// Computes the stats of a sample set (zeros when empty).
+    ///
+    /// Percentiles use the nearest-rank definition: the p-th percentile
+    /// is the smallest sample with at least `p·n` samples at or below
+    /// it, i.e. index `ceil(p·n) - 1` of the sorted vector. (The old
+    /// `((n-1)·p).round()` interpolation-index rounded *up* through the
+    /// `.round()` at every half step, reporting one rank high — p50 of
+    /// `1..=100` came back 51 instead of 50.)
     pub fn of(samples: impl Iterator<Item = f64>) -> LatencyStats {
         let mut v: Vec<f64> = samples.collect();
         if v.is_empty() {
             return LatencyStats::default();
         }
         v.sort_by(f64::total_cmp);
-        let pct = |p: f64| v[(((v.len() - 1) as f64) * p).round() as usize];
+        let pct = |p: f64| {
+            let rank = (p * v.len() as f64).ceil() as usize;
+            v[rank.clamp(1, v.len()) - 1]
+        };
         LatencyStats {
             p50: pct(0.50),
             p95: pct(0.95),
@@ -232,17 +242,47 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_and_means() {
-        let s = LatencyStats::of((1..=100).map(|i| i as f64));
-        assert_eq!(s.p50, 51.0); // nearest-rank on 0-indexed 99 elements
+    fn percentiles_are_nearest_rank_on_even_windows() {
+        // 100 samples: p50 = the 50th smallest = 50, NOT 51 (the old
+        // rounding bias).
+        let s = LatencyStats::of((1..=100).map(f64::from));
+        assert_eq!(s.p50, 50.0);
         assert_eq!(s.p95, 95.0);
         assert_eq!(s.p99, 99.0);
         assert_eq!(s.max, 100.0);
         assert!((s.mean - 50.5).abs() < 1e-12);
+
+        // 4 samples: ceil(0.5·4) = 2nd smallest.
+        let s = LatencyStats::of((1..=4).map(f64::from));
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.p95, 4.0); // ceil(0.95·4) = 4th
+        assert_eq!(s.p99, 4.0);
+
         assert_eq!(
             LatencyStats::of(std::iter::empty()),
             LatencyStats::default()
         );
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank_on_odd_windows() {
+        // 5 samples: ceil(0.5·5) = 3rd smallest — the true median.
+        let s = LatencyStats::of((1..=5).map(f64::from));
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p95, 5.0); // ceil(0.95·5) = ceil(4.75) = 5th
+        assert_eq!(s.p99, 5.0);
+        assert_eq!(s.max, 5.0);
+
+        // 101 samples: p50 = 51st smallest = 51 (both definitions agree
+        // on odd windows; pins that the fix didn't skew these).
+        let s = LatencyStats::of((1..=101).map(f64::from));
+        assert_eq!(s.p50, 51.0);
+        assert_eq!(s.p95, 96.0); // ceil(0.95·101) = ceil(95.95) = 96th
+        assert_eq!(s.p99, 100.0); // ceil(0.99·101) = ceil(99.99) = 100th
+
+        // A single sample is every percentile.
+        let s = LatencyStats::of(std::iter::once(7.0));
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (7.0, 7.0, 7.0, 7.0));
     }
 
     #[test]

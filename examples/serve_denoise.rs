@@ -69,6 +69,7 @@ fn main() {
                 max_wait: Duration::from_millis(2),
                 queue_cap: 64,
             },
+            ..ServerConfig::default()
         },
     )
     .expect("start server");

@@ -171,6 +171,7 @@ fn loadgen_drives_the_quant_path_cleanly() {
         seed: 9,
         warmup: 1,
         precision: Precision::Quant,
+        wire: Wire::Json,
     })
     .unwrap();
     assert_eq!(report.errors, 0, "quant loadgen must complete cleanly");

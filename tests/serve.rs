@@ -239,6 +239,7 @@ fn concurrent_tcp_clients_get_bit_identical_results() {
                 max_wait: Duration::from_millis(2),
                 queue_cap: 256,
             },
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback");
@@ -339,6 +340,7 @@ fn shutdown_verb_drains_and_stops_the_server() {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             scheduler: SchedulerConfig::default(),
+            ..ServerConfig::default()
         },
     )
     .expect("bind");
@@ -360,6 +362,164 @@ fn shutdown_verb_drains_and_stops_the_server() {
     );
 }
 
+// --- Binary wire protocol --------------------------------------------------
+
+#[test]
+fn binary_infer_is_bit_identical_to_json_and_direct_forward() {
+    // The acceptance bar for the framed protocol: for the same model and
+    // input, the f64 pipeline's answer must arrive bit-identical over
+    // both wires (and match the direct forward).
+    let server = Server::start(smoke_registry(), ServerConfig::default()).expect("bind");
+    let addr = server.addr().to_string();
+    let (ffd, vdsr) = reference_models();
+    let mut json = Client::connect(&addr).unwrap();
+    let mut binary = Client::connect_wire(&addr, Wire::Binary).unwrap();
+    assert_eq!(json.wire(), Wire::Json);
+    assert_eq!(binary.wire(), Wire::Binary);
+    let bits = |s: &[f32]| s.iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+    for (model, reference) in [("ffdnet_real", &ffd), ("vdsr_rh4", &vdsr)] {
+        for seed in 0..3u64 {
+            let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 7000 + seed);
+            let j = json.infer(model, &x).expect("json infer");
+            let b = binary.infer(model, &x).expect("binary infer");
+            assert_eq!(j.output.shape(), b.output.shape());
+            assert_eq!(
+                bits(j.output.as_slice()),
+                bits(b.output.as_slice()),
+                "binary and JSON answers must be bit-identical for {model} seed {seed}"
+            );
+            assert_eq!(
+                bits(b.output.as_slice()),
+                bits(reference.forward_infer(&x).as_slice()),
+                "wire answer must match direct forward_infer for {model} seed {seed}"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn binary_wire_serves_every_verb() {
+    let server = Server::start(smoke_registry(), ServerConfig::default()).expect("bind");
+    let addr = server.addr().to_string();
+    let mut c = Client::connect_wire(&addr, Wire::Binary).unwrap();
+    let mut infos = c.list_models().unwrap();
+    infos.sort_by(|a, b| a.name.cmp(&b.name));
+    assert_eq!(infos.len(), 2);
+    assert_eq!(infos[0].name, "ffdnet_real");
+    assert_eq!(infos[1].name, "vdsr_rh4");
+    let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 21);
+    assert!(c.infer("vdsr_rh4", &x).unwrap().batch_size >= 1);
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.failed, 0);
+    let health = c.health().unwrap();
+    assert!(health.healthy);
+    assert_eq!(health.models, 2);
+    // `shutdown` is acknowledged on the same binary connection, then
+    // the server drains and stops.
+    c.shutdown_server().unwrap();
+    server.wait();
+}
+
+#[test]
+fn binary_infer_streams_tiles_in_order_and_reassembles_exactly() {
+    // 96×96 single-channel output = 9216 samples = 3 tiles of 4096:
+    // tiles must arrive in offset order, cover the output exactly once,
+    // and concatenate to the final reply bit-for-bit.
+    let server = Server::start(smoke_registry(), ServerConfig::default()).expect("bind");
+    let addr = server.addr().to_string();
+    let mut c = Client::connect_wire(&addr, Wire::Binary).unwrap();
+    let x = Tensor::random_uniform(Shape4::new(1, 1, 96, 96), 0.0, 1.0, 31);
+    let mut tiles: Vec<(usize, Vec<f32>)> = Vec::new();
+    let reply = c
+        .infer_streaming("vdsr_rh4", &x, Precision::Fp64, |offset, data| {
+            tiles.push((offset, data.to_vec()));
+        })
+        .expect("streaming infer");
+    assert!(
+        tiles.len() > 1,
+        "a {}-sample output must stream as multiple tiles, got {}",
+        reply.output.shape().len(),
+        tiles.len()
+    );
+    let mut reassembled = Vec::new();
+    for (offset, data) in &tiles {
+        assert_eq!(
+            *offset,
+            reassembled.len(),
+            "tiles must arrive contiguous and in order"
+        );
+        reassembled.extend_from_slice(data);
+    }
+    assert_eq!(reassembled, reply.output.as_slice());
+    server.shutdown();
+}
+
+#[test]
+fn loadgen_256_binary_connections_complete_with_zero_errors() {
+    // The reactor must hold 256 concurrent framed connections on one
+    // event loop with zero failed requests, then drain cleanly.
+    let server = Server::start(
+        smoke_registry(),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            scheduler: SchedulerConfig {
+                workers: 2,
+                max_batch: 16,
+                max_wait: Duration::from_millis(2),
+                queue_cap: 1024,
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let report = ringcnn_serve::loadgen::run(&LoadgenConfig {
+        addr: server.addr().to_string(),
+        connections: 256,
+        requests: 512,
+        models: vec!["vdsr_rh4".into()],
+        hw: (8, 8),
+        seed: 11,
+        warmup: 0,
+        precision: Precision::Fp64,
+        wire: Wire::Binary,
+    })
+    .expect("loadgen runs");
+    assert_eq!(report.errors, 0, "no request may fail at 256 connections");
+    assert_eq!(report.completed, 512);
+    server.shutdown();
+}
+
+#[test]
+fn trigger_shutdown_works_on_a_wildcard_bind() {
+    // The old implementation poked the acceptor by connecting to the
+    // server's own address — which is not connectable when bound to
+    // `0.0.0.0`. The wakeup fd must stop the reactor promptly there,
+    // and close out live connections.
+    let server = Server::start(
+        smoke_registry(),
+        ServerConfig {
+            addr: "0.0.0.0:0".into(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind wildcard");
+    let port = server.addr().port();
+    let mut c = Client::connect_wire(("127.0.0.1", port), Wire::Binary).unwrap();
+    let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 13);
+    c.infer("vdsr_rh4", &x).unwrap();
+    let started = Instant::now();
+    server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "wildcard-bound server must stop promptly via the wakeup fd"
+    );
+    // The drained server closed the connection; the next round trip
+    // must fail rather than hang.
+    assert!(c.health().is_err());
+}
+
 // --- Loadgen harness -------------------------------------------------------
 
 #[test]
@@ -374,6 +534,7 @@ fn loadgen_round_trips_with_zero_errors() {
                 max_wait: Duration::from_millis(2),
                 queue_cap: 256,
             },
+            ..ServerConfig::default()
         },
     )
     .expect("bind");
@@ -386,6 +547,7 @@ fn loadgen_round_trips_with_zero_errors() {
         seed: 5,
         warmup: 1,
         precision: Precision::Fp64,
+        wire: Wire::Json,
     })
     .expect("loadgen runs");
     assert_eq!(report.errors, 0);
