@@ -333,6 +333,7 @@ fn measure_serve(threads: usize) -> Vec<BenchEntry> {
             warmup: connections.max(2),
             precision,
             wire,
+            ..ringcnn_serve::loadgen::LoadgenConfig::default()
         })
         .expect("serve bench loadgen");
         assert_eq!(report.errors, 0, "serve bench must complete cleanly");

@@ -949,10 +949,15 @@ fn align_conv_input(c: &QConv, q: &QTensor) -> Option<QTensor> {
 }
 
 /// The production integer convolution: per-batch-item im2col packing
-/// (`ringcnn_tensor::im2col::im2col_pack_i64`) and a rayon-parallel
-/// integer row product. Integer accumulation is order-independent, so
-/// this is **bit-identical** to [`run_conv_reference`] at any thread
-/// count — the equivalence suite in `tests/quant_backend.rs` asserts it.
+/// (`ringcnn_tensor::im2col::im2col_pack_i64`) and the register-blocked
+/// integer GEMM (`ringcnn_tensor::gemm::gemm_i64`) with the per-channel
+/// requantization **fused into the kernel epilogue** — un-rescaled wide
+/// accumulators never reach memory. Integer accumulation is
+/// order-independent, the AVX2 path guards its i32-operand requirement,
+/// and the fused epilogue replicates [`requant_shift`] + saturation bit
+/// for bit, so this is **bit-identical** to [`run_conv_reference`] at
+/// any thread count and on every kernel backend — the equivalence suite
+/// in `tests/quant_backend.rs` asserts it.
 fn run_conv(c: &QConv, q: &QTensor) -> QTensor {
     let aligned = align_conv_input(c, q);
     let q = aligned.as_ref().unwrap_or(q);
@@ -960,19 +965,55 @@ fn run_conv(c: &QConv, q: &QTensor) -> QTensor {
     assert_eq!(s.c, c.ci, "quantized conv channel mismatch");
     let acc_frac = resolve_acc_fracs(c, q);
     let bias: Vec<i64> = (0..c.co).map(|co| bias_at(c, co, acc_frac[co])).collect();
+    let plan = c.requant.as_ref().map(|fmts| requant_plan(fmts, &acc_frac));
     let out_shape = s.with_channels(c.co);
     let rows = c.ci * c.k * c.k;
     let mut data = vec![0i64; out_shape.len()];
     for b in 0..s.n {
         let col = ringcnn_tensor::im2col::im2col_pack_i64(q.data(), s, b, c.k);
-        let planes =
-            ringcnn_tensor::im2col::conv_rows_i64(&col, s.plane(), rows, c.co, &c.weights, &bias);
+        let planes = ringcnn_tensor::gemm::gemm_i64(
+            &col,
+            s.plane(),
+            rows,
+            c.co,
+            &c.weights,
+            &bias,
+            plan.as_ref(),
+        );
         for (co, plane) in planes.into_iter().enumerate() {
             let base = out_shape.index(b, co, 0, 0);
             data[base..base + out_shape.plane()].copy_from_slice(&plane);
         }
     }
-    finish_conv(c, out_shape, data, &acc_frac)
+    let formats: Vec<QFormat> = match &c.requant {
+        Some(fmts) => fmts.clone(),
+        None => acc_frac
+            .iter()
+            .map(|f| QFormat { bits: 32, frac: *f })
+            .collect(),
+    };
+    QTensor::from_raw(out_shape, data, formats)
+}
+
+/// Builds the fused-epilogue requant plan: shift each channel from its
+/// accumulator frac to the output format and clamp at the output
+/// bitwidth rails — exactly what [`QTensor::requantized`] does after
+/// the fact (the unfused path [`run_conv_reference`] still takes; the
+/// bit-for-bit agreement of the replicated shift is asserted in this
+/// module's tests).
+fn requant_plan(fmts: &[QFormat], acc_frac: &[i32]) -> ringcnn_tensor::gemm::RequantPlan {
+    ringcnn_tensor::gemm::RequantPlan {
+        channels: fmts
+            .iter()
+            .zip(acc_frac)
+            .map(|(f, af)| ringcnn_tensor::gemm::RequantChannel {
+                from_frac: *af,
+                to_frac: f.frac,
+                qmin: -(1i64 << (f.bits - 1)),
+                qmax: (1i64 << (f.bits - 1)) - 1,
+            })
+            .collect(),
+    }
 }
 
 /// The scalar quadruple-loop reference datapath (§IV-C), kept as the
@@ -1226,6 +1267,42 @@ mod tests {
         };
         let _ = train_regression(&mut model, &set.inputs, &set.targets, &cfg);
         (model, set.inputs, set.targets)
+    }
+
+    #[test]
+    fn fused_epilogue_shift_replicates_requant_shift_bit_for_bit() {
+        // The tensor crate cannot depend on this crate, so the fused
+        // GEMM epilogue carries its own copy of `requant_shift`. The two
+        // must stay bit-identical over the full rails: round half away
+        // from zero on right shifts, i64 saturation on left shifts.
+        let values = [
+            0i64,
+            1,
+            -1,
+            2,
+            -2,
+            127,
+            -128,
+            255,
+            -255,
+            (1 << 20) + 12345,
+            -(1 << 20) - 12345,
+            i64::MAX,
+            i64::MIN,
+            i64::MAX / 3,
+            i64::MIN / 3,
+        ];
+        for &v in &values {
+            for from in [-140i32, -64, -8, -1, 0, 1, 7, 31, 64, 140] {
+                for to in [-140i32, -64, -8, -1, 0, 1, 7, 31, 64, 140] {
+                    assert_eq!(
+                        requant_shift(v, from, to),
+                        ringcnn_tensor::gemm::requant_shift_i64(v, from, to),
+                        "v={v} from={from} to={to}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! loadgen --addr 127.0.0.1:7841 [--connections 4] [--requests 200]
 //!         [--models a,b] [--hw 32x32] [--warmup 2] [--seed 1]
 //!         [--precision fp64|quant] [--protocol json|binary]
-//!         [--shutdown] [--bench-out PATH] [--pr N]
+//!         [--io-timeout-ms N] [--shutdown] [--bench-out PATH] [--pr N]
 //! ```
 //!
 //! Prints p50/p95/p99 latency, throughput, and mean batch size; exits
@@ -71,7 +71,7 @@ fn main() -> ExitCode {
             "usage: loadgen --addr HOST:PORT [--connections N] [--requests N] \
              [--models a,b] [--hw HxW] [--warmup N] [--seed N] \
              [--precision fp64|quant] [--protocol json|binary] \
-             [--shutdown] [--bench-out PATH] [--pr N]"
+             [--io-timeout-ms N] [--shutdown] [--bench-out PATH] [--pr N]"
         );
         return ExitCode::FAILURE;
     };
@@ -134,6 +134,12 @@ fn main() -> ExitCode {
         warmup: parse_or(&args, "--warmup", 2),
         precision,
         wire,
+        // 0 disables the deadline (debugging); any other value replaces
+        // the 60 s default.
+        io_timeout: match parse_or(&args, "--io-timeout-ms", 60_000u64) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
     };
 
     println!(

@@ -84,6 +84,39 @@ impl Client {
         })
     }
 
+    /// Sets (or clears, with `None`) a deadline on every subsequent
+    /// socket read *and* write. Without one, a wedged server — accepted
+    /// the connection, never answers — hangs [`Client::infer`] (and
+    /// every loadgen connection behind it) forever. With one, a stalled
+    /// round trip surfaces as [`ServeError::Timeout`] instead.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the socket rejects the option (a zero
+    /// duration, or a closed socket).
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServeError> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// [`Client::connect_wire`] + [`Client::set_io_timeout`] in one
+    /// call, so no request can ever run without a deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the connection fails or the timeout
+    /// cannot be applied.
+    pub fn connect_wire_with_timeout(
+        addr: impl ToSocketAddrs,
+        wire: Wire,
+        timeout: Option<Duration>,
+    ) -> Result<Client, ServeError> {
+        let mut c = Client::connect_wire(addr, wire)?;
+        c.set_io_timeout(timeout)?;
+        Ok(c)
+    }
+
     /// Connects (line-JSON), retrying for up to `timeout` (startup races
     /// in scripts and CI: the server may still be binding).
     ///
@@ -124,15 +157,15 @@ impl Client {
             Wire::Json => {
                 let mut line = req.to_json();
                 line.push('\n');
-                self.stream.write_all(line.as_bytes())?;
+                self.stream.write_all(line.as_bytes()).map_err(map_io)?;
             }
             Wire::Binary => {
                 let mut bytes = Vec::new();
                 frame::encode_request(req, &mut bytes);
-                self.stream.write_all(&bytes)?;
+                self.stream.write_all(&bytes).map_err(map_io)?;
             }
         }
-        self.stream.flush()?;
+        self.stream.flush().map_err(map_io)?;
         Ok(())
     }
 
@@ -165,7 +198,7 @@ impl Client {
                 Ok(0) => return Err(ServeError::Io("server closed the connection".into())),
                 Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e.into()),
+                Err(e) => return Err(map_io(e)),
             }
         }
     }
@@ -309,6 +342,19 @@ impl Client {
             Response::Shutdown => Ok(()),
             other => Err(unexpected("shutdown", &other)),
         }
+    }
+}
+
+/// Maps socket errors onto [`ServeError`], turning deadline expiries
+/// ([`std::io::ErrorKind::WouldBlock`] / `TimedOut` — Unix reports a
+/// `SO_RCVTIMEO` expiry as `EAGAIN`, i.e. `WouldBlock`) into
+/// [`ServeError::Timeout`].
+fn map_io(e: std::io::Error) -> ServeError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            ServeError::Timeout(e.to_string())
+        }
+        _ => ServeError::Io(e.to_string()),
     }
 }
 

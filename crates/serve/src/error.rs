@@ -21,6 +21,11 @@ pub enum ServeError {
     BadRequest(String),
     /// A model file failed to load into the registry.
     Load(String),
+    /// An I/O deadline expired (the peer accepted the connection but
+    /// stopped responding within the configured read/write timeout).
+    /// Distinct from [`ServeError::Io`] so callers can retry a wedged
+    /// server without treating it as a dead connection.
+    Timeout(String),
     /// Transport failure (connection dropped, bind failed, …).
     Io(String),
     /// The inference itself failed (worker panic) — a server bug, kept
@@ -37,6 +42,7 @@ impl ServeError {
             ServeError::ShuttingDown => "shutting_down",
             ServeError::BadRequest(_) => "bad_request",
             ServeError::Load(_) => "load_error",
+            ServeError::Timeout(_) => "timeout",
             ServeError::Io(_) => "io_error",
             ServeError::Internal(_) => "internal",
         }
@@ -51,6 +57,7 @@ impl ServeError {
             "shutting_down" => ServeError::ShuttingDown,
             "bad_request" => ServeError::BadRequest(message.into()),
             "load_error" => ServeError::Load(message.into()),
+            "timeout" => ServeError::Timeout(message.into()),
             "internal" => ServeError::Internal(message.into()),
             _ => ServeError::Io(format!("{code}: {message}")),
         }
@@ -67,6 +74,7 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
             ServeError::Load(m) => write!(f, "model load failed: {m}"),
+            ServeError::Timeout(m) => write!(f, "i/o timeout: {m}"),
             ServeError::Io(m) => write!(f, "transport error: {m}"),
             ServeError::Internal(m) => write!(f, "internal error: {m}"),
         }
@@ -93,6 +101,7 @@ mod tests {
             ServeError::ShuttingDown,
             ServeError::BadRequest("shape".into()),
             ServeError::Load("truncated".into()),
+            ServeError::Timeout("no reply in 2s".into()),
             ServeError::Internal("panic".into()),
         ];
         for e in errors {

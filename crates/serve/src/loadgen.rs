@@ -42,6 +42,11 @@ pub struct LoadgenConfig {
     /// Wire protocol every connection speaks ([`Wire::Json`] by
     /// default; [`Wire::Binary`] measures the framed f32 path).
     pub wire: Wire,
+    /// Read/write deadline applied to every connection (probe included).
+    /// `Some` by default: a wedged server fails requests with
+    /// [`ServeError::Timeout`] instead of hanging the whole run forever.
+    /// `None` disables the deadline (not recommended outside debugging).
+    pub io_timeout: Option<Duration>,
 }
 
 impl Default for LoadgenConfig {
@@ -56,6 +61,7 @@ impl Default for LoadgenConfig {
             warmup: 2,
             precision: Precision::Fp64,
             wire: Wire::Json,
+            io_timeout: Some(Duration::from_secs(60)),
         }
     }
 }
@@ -98,6 +104,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
     let channels: Vec<usize> = {
         // One probe connection discovers each model's channel count.
         let mut probe = Client::connect_retry(&cfg.addr, Duration::from_secs(5))?;
+        probe.set_io_timeout(cfg.io_timeout)?;
         let infos = probe.list_models()?;
         cfg.models
             .iter()
@@ -125,6 +132,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
             handles.push(scope.spawn(move || -> Result<(), ServeError> {
                 let mut client =
                     Client::connect_retry_wire(&cfg.addr, Duration::from_secs(5), cfg.wire)?;
+                client.set_io_timeout(cfg.io_timeout)?;
                 let mut r = ConnResult::new(cfg.models.len());
                 for i in 0..(cfg.warmup + per_conn) {
                     if i == cfg.warmup {

@@ -507,11 +507,18 @@ fn dispatch(
             }
         }
         Request::ListModels => Response::ListModels(shared.model_infos()),
-        Request::Stats => Response::Stats(shared.scheduler.metrics().snapshot()),
+        Request::Stats => {
+            // The counter snapshot, with the one point-in-time field
+            // overridden by the live queue length (the atomic only
+            // remembers the depth at the last submit/dispatch).
+            let mut snap = shared.scheduler.metrics().snapshot();
+            snap.queue_depth = shared.scheduler.queue_len();
+            Response::Stats(snap)
+        }
         Request::Health => Response::Health {
             healthy: !shared.shutdown.load(Ordering::SeqCst),
             models: shared.scheduler.registry().len(),
-            queue_depth: shared.scheduler.metrics().queue_depth(),
+            queue_depth: shared.scheduler.queue_len(),
         },
         Request::Shutdown => {
             // Ack, close this connection once flushed, and start the

@@ -193,8 +193,38 @@ impl ModelEntry {
     }
 
     /// The output shape an input of shape `s` produces.
+    ///
+    /// The `h·sn/sd` divisions here are exact for any input that passed
+    /// [`ModelEntry::validate_input`] — granularity *implies*
+    /// divisibility. Proof: `TopoBuilder::apply_scale` reduces the
+    /// input-pixels-per-pixel fraction and then folds its numerator into
+    /// the granularity (`granularity = lcm(granularity, ipp_num)`), and
+    /// `TopoBuilder::finish` reports `scale = (ipp_den, ipp_num)` — so
+    /// the scale denominator `sd` is the final `ipp_num`, which the last
+    /// `apply_scale` lcm'd into the granularity. Hence `sd | granularity`,
+    /// and `granularity | h` (validated) gives `sd | h`. The
+    /// `debug_assert!`s below pin that invariant; [`validate_input`]
+    /// re-checks it defensively in release builds so a topology that ever
+    /// breaks the proof rejects the request instead of silently
+    /// truncating the advertised output shape.
+    ///
+    /// [`validate_input`]: ModelEntry::validate_input
     pub fn output_shape(&self, s: Shape4) -> Shape4 {
         let (sn, sd) = self.topo.scale;
+        debug_assert_eq!(
+            (s.h * sn) % sd,
+            0,
+            "output height {}·{sn}/{sd} must divide exactly (granularity {})",
+            s.h,
+            self.topo.granularity
+        );
+        debug_assert_eq!(
+            (s.w * sn) % sd,
+            0,
+            "output width {}·{sn}/{sd} must divide exactly (granularity {})",
+            s.w,
+            self.topo.granularity
+        );
         Shape4::new(
             s.n,
             self.model.out_channels(s.c),
@@ -231,6 +261,19 @@ impl ModelEntry {
                 self.name, s.h, s.w
             )));
         }
+        // Granularity implies scale divisibility (see the proof on
+        // [`ModelEntry::output_shape`]) — but the advertised output shape
+        // must never silently truncate, so re-check the conclusion here
+        // and reject instead of rounding down if a future topology ever
+        // violates it.
+        let (sn, sd) = self.topo.scale;
+        if (s.h * sn) % sd != 0 || (s.w * sn) % sd != 0 {
+            return Err(ServeError::BadRequest(format!(
+                "model `{}` scales {}x{} by {sn}/{sd}, which is not an \
+                 integer output size",
+                self.name, s.h, s.w
+            )));
+        }
         Ok(())
     }
 }
@@ -239,7 +282,12 @@ impl ModelEntry {
 /// shared immutably with the scheduler and server.
 #[derive(Default)]
 pub struct ModelRegistry {
+    /// Registration order (what `entries()` and `list_models` expose).
     entries: Vec<Arc<ModelEntry>>,
+    /// Name → position in `entries`: [`ModelRegistry::get`] runs on
+    /// every request admission, so the lookup must not linear-scan a
+    /// large registry.
+    index: std::collections::HashMap<String, usize>,
 }
 
 impl ModelRegistry {
@@ -278,6 +326,7 @@ impl ModelRegistry {
             model,
             quant: OnceLock::new(),
         });
+        self.index.insert(name.into(), self.entries.len());
         self.entries.push(entry.clone());
         Ok(entry)
     }
@@ -387,9 +436,9 @@ impl ModelRegistry {
         Ok(names)
     }
 
-    /// Looks up a model by name.
+    /// Looks up a model by name (O(1) — this runs on every admission).
     pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
-        self.entries.iter().find(|e| e.name == name).cloned()
+        self.index.get(name).map(|&i| self.entries[i].clone())
     }
 
     /// All entries in registration order.
@@ -480,6 +529,33 @@ mod tests {
                 .code(),
             "bad_request"
         );
+    }
+
+    #[test]
+    fn sr4_accepts_odd_inputs_with_an_exact_4x_output_shape() {
+        // ×4 super-resolution has granularity 1 (upscale-only trunk), so
+        // odd inputs are legal — and with scale (4, 1) the output shape
+        // arithmetic is exact, never a silent `h·sn/sd` round-down.
+        let alg = Algebra::real();
+        let spec = ModelSpec::Sr4Ernet {
+            b: 1,
+            r: 2,
+            n_extra: 0,
+            width: 8,
+            channels_io: 1,
+        };
+        let mut reg = ModelRegistry::new();
+        let entry = reg
+            .register("sr4", spec, AlgebraSpec::of(&alg), spec.build(&alg, 5))
+            .unwrap();
+        assert_eq!(entry.topo().scale, (4, 1));
+        let odd = Shape4::new(1, 1, 7, 9);
+        entry.validate_input(odd).expect("odd sizes are aligned");
+        let out = entry.output_shape(odd);
+        assert_eq!((out.h, out.w), (28, 36), "exact 4x, no truncation");
+        // The advertised shape matches what inference actually produces.
+        let y = entry.infer(&Tensor::random_uniform(odd, 0.0, 1.0, 3));
+        assert_eq!(y.shape(), out);
     }
 
     #[test]

@@ -200,6 +200,15 @@ impl Scheduler {
         self.shared.cfg
     }
 
+    /// The number of requests queued *right now* (briefly locks the
+    /// queue). [`Metrics::queue_depth`] is only the depth at the last
+    /// submit or dispatch, which reads stale — typically the size of the
+    /// last batch taken — once the queue drains and traffic stops; the
+    /// `health` verb reports this live count instead.
+    pub fn queue_len(&self) -> usize {
+        lock_unpoisoned(&self.shared.state).jobs.len()
+    }
+
     /// Submits a request (non-blocking). The returned [`Pending`]
     /// resolves when the request's batch completes.
     ///
@@ -484,6 +493,18 @@ mod tests {
             sched.infer("m", x, Precision::Fp64).unwrap_err().code(),
             "shutting_down"
         );
+    }
+
+    #[test]
+    fn queue_len_is_live_where_the_metrics_atomic_reads_stale() {
+        // The `queue_depth` atomic only remembers the depth at the last
+        // submit/dispatch: force it stale and check `health`'s source of
+        // truth disagrees correctly.
+        let sched = Scheduler::start(registry_with(&["m"]), SchedulerConfig::default());
+        sched.metrics().record_submit(7); // stale observation, queue empty
+        assert_eq!(sched.metrics().queue_depth(), 7);
+        assert_eq!(sched.queue_len(), 0, "live count must ignore the atomic");
+        sched.shutdown();
     }
 
     #[test]

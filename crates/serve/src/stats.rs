@@ -6,6 +6,7 @@
 //! `stats` reflects current behavior even on a long-lived server.
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -25,7 +26,10 @@ pub struct Metrics {
     max_batch: AtomicU64,
     queue_depth: AtomicUsize,
     window: Mutex<Window>,
-    per_model: Mutex<Vec<(String, u64)>>,
+    /// Completion counts keyed by model name — O(1) on the completion
+    /// hot path regardless of how many models are registered (the old
+    /// `Vec<(String, u64)>` linear-scanned on every completion).
+    per_model: Mutex<HashMap<String, u64>>,
 }
 
 struct Window {
@@ -50,7 +54,7 @@ impl Default for Metrics {
                 samples: Vec::new(),
                 next: 0,
             }),
-            per_model: Mutex::new(Vec::new()),
+            per_model: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -101,9 +105,11 @@ impl Metrics {
             w.next = (w.next + 1) % LATENCY_WINDOW;
         }
         let mut pm = lock_unpoisoned(&self.per_model);
-        match pm.iter_mut().find(|(n, _)| n == model) {
-            Some((_, c)) => *c += 1,
-            None => pm.push((model.into(), 1)),
+        match pm.get_mut(model) {
+            Some(c) => *c += 1,
+            None => {
+                pm.insert(model.into(), 1);
+            }
         }
     }
 
@@ -144,13 +150,19 @@ impl Metrics {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_wait_ms,
             latency_ms,
-            per_model: lock_unpoisoned(&self.per_model)
-                .iter()
-                .map(|(name, completed)| ModelCount {
-                    name: name.clone(),
-                    completed: *completed,
-                })
-                .collect(),
+            per_model: {
+                // Name-sorted so the wire payload is deterministic (a
+                // HashMap iterates in arbitrary order).
+                let mut pm: Vec<ModelCount> = lock_unpoisoned(&self.per_model)
+                    .iter()
+                    .map(|(name, completed)| ModelCount {
+                        name: name.clone(),
+                        completed: *completed,
+                    })
+                    .collect();
+                pm.sort_by(|a, b| a.name.cmp(&b.name));
+                pm
+            },
         }
     }
 }
@@ -314,6 +326,17 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back.submitted, 2);
+    }
+
+    #[test]
+    fn per_model_snapshot_is_name_sorted_regardless_of_arrival_order() {
+        let m = Metrics::new();
+        for model in ["zeta", "alpha", "zeta", "mid"] {
+            m.record_completion(model, 0.0, 1.0);
+        }
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.per_model.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
     }
 
     #[test]

@@ -1,0 +1,1258 @@
+//! Register-blocked GEMM micro-kernels for the im2col convolution path,
+//! shared by the f32 (float inference) and i64 (quantized inference)
+//! pipelines.
+//!
+//! Both precisions lower a convolution to `C = W · col` where `col` is
+//! the packed patch matrix (`rows = ci·k²` by `plane = H·W`) and `W` is
+//! the `co × rows` weight matrix. The kernels here compute that product
+//! with an MR×NR register tile over a panel-major packed copy of `col`:
+//!
+//! * **B is packed once per call** into `[panel][row][NR]` order (the
+//!   last panel zero-padded to NR width) and shared by every output
+//!   channel block — the pack is O(rows·plane) while the product is
+//!   O(co·rows·plane), so packing cost amortizes across all of `co`.
+//! * **MR = 4** output channels per block. Blocks are built from a
+//!   *similarity ordering* of the output channels (sorted by their
+//!   non-zero-row bitmask), so channels with identical sparsity patterns
+//!   share a block and the per-block non-zero row list stays tight: the
+//!   expanded weights of a diagonal ring (`RI_n`) are 1/n dense with the
+//!   same pattern repeating every n channels, and grouping those
+//!   together preserves the reference loop's zero-row skip instead of
+//!   unioning n unrelated patterns into a dense block.
+//! * **NR** columns per micro-panel (16 for f32 AVX2/scalar, 8 for f32
+//!   SSE2 and for i64). Tiles walk the plane in L2-sized column chunks
+//!   ([`NC_COLS`]) so consecutive blocks re-read a resident chunk of the
+//!   packed B instead of streaming the whole matrix per block. The
+//!   per-element accumulation chain (bias first, then rows in increasing
+//!   order) is identical regardless of plane geometry — tiled and
+//!   whole-image runs of the *same* kernel agree bit for bit.
+//!
+//! Backends are selected at run time behind `is_x86_feature_detected!`:
+//! AVX2+FMA, SSE2, and a portable scalar-blocked fallback. The
+//! `RINGCNN_KERNEL` environment variable (`reference` | `scalar` |
+//! `auto`) is the escape hatch; [`forced_kernel_scope`] forces a backend
+//! for the current thread (tests compare kernels in-process with it).
+//!
+//! # Exactness contract
+//!
+//! The **i64** kernels are **bit-identical** to the retained reference
+//! loop ([`crate::im2col::conv_rows_i64`]) on every backend: integer
+//! addition is order-independent, an AVX2 `_mm256_mul_epi32` product is
+//! exact whenever both operands fit in `i32` (checked per call, with a
+//! scalar-blocked fallback otherwise), and the fused requantization
+//! epilogue applies the same round-half-away-from-zero shift and
+//! saturation rails as the unfused path. (A block's zero-weight lanes
+//! contribute exact `+0` terms, so the channel grouping cannot change a
+//! result.) The **f32** kernels are tolerance-equivalent only: FMA
+//! contraction and the blocked summation change ULPs relative to the
+//! reference row-axpy.
+
+use rayon::prelude::*;
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Output channels per register block.
+pub const MR: usize = 4;
+/// f32 micro-panel width for the AVX2 and scalar kernels.
+pub const NR_F32: usize = 16;
+/// f32 micro-panel width for the SSE2 kernel (8 accumulator XMM regs).
+pub const NR_F32_SSE: usize = 8;
+/// i64 micro-panel width (4 lanes per 256-bit vector, 2 vectors).
+pub const NR_I64: usize = 8;
+/// Column-chunk width (elements, a multiple of every NR): a
+/// `rows × NC_COLS` slab of the packed B stays L2-resident while every
+/// channel block streams over it (tasks are ordered chunk-major).
+pub const NC_COLS: usize = 128;
+
+/// Which GEMM implementation executes the im2col product.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// The retained pre-blocking row-axpy loops — the correctness oracle.
+    Reference,
+    /// Portable scalar-blocked kernel (same tiling, no intrinsics).
+    Scalar,
+    /// SSE2 f32 kernel (i64 falls back to scalar-blocked: SSE2 has no
+    /// signed 32→64-bit widening multiply).
+    Sse2,
+    /// AVX2 (+FMA for f32) kernel.
+    Avx2,
+}
+
+impl KernelBackend {
+    /// Stable lower-case label (bench ids, logs).
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelBackend::Reference => "reference",
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Sse2 => "sse2",
+            KernelBackend::Avx2 => "avx2",
+        }
+    }
+}
+
+fn detected() -> KernelBackend {
+    static DETECTED: OnceLock<KernelBackend> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                return KernelBackend::Avx2;
+            }
+            if is_x86_feature_detected!("sse2") {
+                return KernelBackend::Sse2;
+            }
+        }
+        KernelBackend::Scalar
+    })
+}
+
+/// Downgrades a requested backend to what the host actually supports.
+fn available(k: KernelBackend) -> KernelBackend {
+    match k {
+        KernelBackend::Reference | KernelBackend::Scalar => k,
+        KernelBackend::Sse2 | KernelBackend::Avx2 => {
+            let best = detected();
+            if k == KernelBackend::Avx2 && best == KernelBackend::Avx2 {
+                k
+            } else if best == KernelBackend::Scalar {
+                KernelBackend::Scalar
+            } else {
+                // SSE2 requested (or AVX2 unavailable): SSE2 is always
+                // present on x86-64.
+                KernelBackend::Sse2
+            }
+        }
+    }
+}
+
+fn env_choice() -> Option<KernelBackend> {
+    static CHOICE: OnceLock<Option<KernelBackend>> = OnceLock::new();
+    *CHOICE.get_or_init(|| match std::env::var("RINGCNN_KERNEL").as_deref() {
+        Ok("reference") => Some(KernelBackend::Reference),
+        Ok("scalar") => Some(KernelBackend::Scalar),
+        Ok("sse2") => Some(KernelBackend::Sse2),
+        Ok("avx2") => Some(KernelBackend::Avx2),
+        // "auto", unset, or anything unrecognized: runtime detection.
+        _ => None,
+    })
+}
+
+thread_local! {
+    static FORCED: Cell<Option<KernelBackend>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with the kernel backend forced to `k` **on this thread**
+/// (restored on exit, panic-safe). The dispatch in [`gemm_f32`] /
+/// [`gemm_i64`] resolves the backend on the calling thread before
+/// fanning out to the thread pool, so a forced scope covers the whole
+/// parallel product. Unavailable SIMD backends degrade to the best
+/// supported one.
+pub fn forced_kernel_scope<R>(k: KernelBackend, f: impl FnOnce() -> R) -> R {
+    struct Reset(Option<KernelBackend>);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            FORCED.with(|c| c.set(self.0));
+        }
+    }
+    let _reset = Reset(FORCED.with(|c| c.replace(Some(k))));
+    f()
+}
+
+/// The backend the next GEMM call on this thread will use: the
+/// [`forced_kernel_scope`] override if active, else `RINGCNN_KERNEL`,
+/// else runtime feature detection.
+pub fn active_kernel() -> KernelBackend {
+    if let Some(k) = FORCED.with(|c| c.get()) {
+        return available(k);
+    }
+    match env_choice() {
+        Some(k) => available(k),
+        None => detected(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fused requantization epilogue (i64).
+// ---------------------------------------------------------------------
+
+/// Shifts a fixed-point integer from `from_frac` to `to_frac` fractional
+/// bits: round half away from zero on right shifts, saturate at the
+/// `i64` range on left shifts. This replicates
+/// `ringcnn_quant::qformat::requant_shift` **bit for bit** (the tensor
+/// crate cannot depend on the quant crate; the quant test suite asserts
+/// the two stay identical).
+#[inline]
+pub fn requant_shift_i64(q: i64, from_frac: i32, to_frac: i32) -> i64 {
+    let s = i64::from(from_frac) - i64::from(to_frac);
+    if s == 0 {
+        q
+    } else if s > 0 {
+        if s > 127 {
+            return 0;
+        }
+        let sh = s as u32;
+        let mag = ((q.unsigned_abs() as u128 + (1u128 << (sh - 1))) >> sh) as i64;
+        if q < 0 {
+            -mag
+        } else {
+            mag
+        }
+    } else {
+        if q == 0 {
+            return 0;
+        }
+        let sh = -s;
+        if sh >= 64 {
+            return if q > 0 { i64::MAX } else { i64::MIN };
+        }
+        let wide = (q as i128) << sh;
+        if wide > i64::MAX as i128 {
+            i64::MAX
+        } else if wide < i64::MIN as i128 {
+            i64::MIN
+        } else {
+            wide as i64
+        }
+    }
+}
+
+/// Per-output-channel requantization: shift from the accumulator format
+/// to the output format, then clamp to the output bitwidth rails.
+#[derive(Clone, Copy, Debug)]
+pub struct RequantChannel {
+    /// Fractional bits of the wide accumulator.
+    pub from_frac: i32,
+    /// Fractional bits of the output format.
+    pub to_frac: i32,
+    /// Lower saturation rail of the output format.
+    pub qmin: i64,
+    /// Upper saturation rail of the output format.
+    pub qmax: i64,
+}
+
+impl RequantChannel {
+    /// Requantizes one accumulator value.
+    #[inline]
+    pub fn apply(&self, v: i64) -> i64 {
+        requant_shift_i64(v, self.from_frac, self.to_frac).clamp(self.qmin, self.qmax)
+    }
+}
+
+/// A per-channel requantization plan fused into the i64 kernel epilogue,
+/// so quantized conv never materializes un-rescaled accumulators.
+#[derive(Clone, Debug)]
+pub struct RequantPlan {
+    /// One entry per output channel.
+    pub channels: Vec<RequantChannel>,
+}
+
+// ---------------------------------------------------------------------
+// Scratch reuse.
+// ---------------------------------------------------------------------
+
+thread_local! {
+    // Reused packing buffers: a fresh multi-megabyte Vec per conv call
+    // costs more in page faults than the GEMM itself (the allocator
+    // returns large freed blocks to the OS), so the packed-B buffer is
+    // taken from and returned to a per-thread slot instead.
+    static SCRATCH_F32: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+    static SCRATCH_I64: Cell<Vec<i64>> = const { Cell::new(Vec::new()) };
+}
+
+/// Takes the thread's f32 packing scratch, zeroed to `len` elements.
+/// Return it with [`put_scratch_f32`] when done so the allocation is
+/// reused by the next conv on this thread.
+pub fn take_scratch_f32(len: usize) -> Vec<f32> {
+    let mut v = SCRATCH_F32.take();
+    v.clear();
+    v.resize(len, 0.0);
+    v
+}
+
+/// Takes the thread's f32 packing scratch at `len` elements **without
+/// zeroing** — stale contents from the previous conv remain. Only for
+/// packers that overwrite every element (e.g.
+/// `im2col_pack_panels_window`); a 2+ MB memset per conv call is
+/// measurable against the GEMM itself on sparse rings.
+pub fn take_scratch_f32_dirty(len: usize) -> Vec<f32> {
+    let mut v = SCRATCH_F32.take();
+    v.resize(len, 0.0);
+    v
+}
+
+/// Returns a scratch buffer taken with [`take_scratch_f32`].
+pub fn put_scratch_f32(v: Vec<f32>) {
+    SCRATCH_F32.set(v);
+}
+
+/// Takes the thread's i64 packing scratch, zeroed to `len` elements.
+pub fn take_scratch_i64(len: usize) -> Vec<i64> {
+    let mut v = SCRATCH_I64.take();
+    v.clear();
+    v.resize(len, 0);
+    v
+}
+
+/// Returns a scratch buffer taken with [`take_scratch_i64`].
+pub fn put_scratch_i64(v: Vec<i64>) {
+    SCRATCH_I64.set(v);
+}
+
+/// Panel width the f32 kernels expect for `backend` — the `nr` to pack
+/// panel-major B with before calling [`gemm_f32_packed`].
+pub fn f32_panel_width(backend: KernelBackend) -> usize {
+    match backend {
+        KernelBackend::Sse2 => NR_F32_SSE,
+        _ => NR_F32,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared block planning.
+// ---------------------------------------------------------------------
+
+/// Output-channel order that puts channels with identical non-zero-row
+/// bitmasks next to each other (ties broken by channel index, so the
+/// order is deterministic). MR blocks cut from this order keep the
+/// per-block non-zero row list as tight as the per-channel lists: the
+/// expanded weights of a diagonal ring repeat one pattern every n
+/// channels, and naive index-order blocking would union n disjoint
+/// patterns into a dense block.
+fn similarity_order(co: usize, rows: usize, nonzero: impl Fn(usize, usize) -> bool) -> Vec<usize> {
+    let words = rows.div_ceil(64).max(1);
+    let mut pats: Vec<u64> = vec![0; co * words];
+    for c in 0..co {
+        for r in 0..rows {
+            if nonzero(c, r) {
+                pats[c * words + r / 64] |= 1 << (r % 64);
+            }
+        }
+    }
+    let pat = |c: usize| &pats[c * words..(c + 1) * words];
+    let mut order: Vec<usize> = (0..co).collect();
+    order.sort_by(|&a, &b| pat(a).cmp(pat(b)).then(a.cmp(&b)));
+    order
+}
+
+/// One MR-wide block of output channels, packed for the register tile.
+struct BlockPlan<T> {
+    /// Original output-channel index of each tile row.
+    chans: [usize; MR],
+    /// Live tile rows (≤ MR; the tail block of `co` may be partial).
+    mr: usize,
+    /// Rows where at least one of the block's channels is non-zero.
+    nzrows: Vec<u32>,
+    /// `[nz][MR]` broadcast-ready weights (zero for absent channels).
+    wpack: Vec<T>,
+    /// Per-tile-row accumulator init (bias, or zero).
+    binit: [T; MR],
+}
+
+/// Cuts MR blocks from the similarity order and packs their weights.
+fn plan_blocks<T: Copy + Default + PartialEq>(
+    co: usize,
+    rows: usize,
+    weights: &[T],
+    bias: impl Fn(usize) -> T,
+) -> Vec<BlockPlan<T>> {
+    let zero = T::default();
+    let order = similarity_order(co, rows, |c, r| weights[c * rows + r] != zero);
+    order
+        .chunks(MR)
+        .map(|chans_slice| {
+            let mr = chans_slice.len();
+            let mut chans = [0usize; MR];
+            chans[..mr].copy_from_slice(chans_slice);
+            let mut nzrows = Vec::with_capacity(rows);
+            let mut wpack = Vec::with_capacity(rows * MR);
+            for r in 0..rows {
+                let mut ws = [zero; MR];
+                let mut any = false;
+                for (i, &c) in chans_slice.iter().enumerate() {
+                    let w = weights[c * rows + r];
+                    ws[i] = w;
+                    any |= w != zero;
+                }
+                if any {
+                    nzrows.push(r as u32);
+                    wpack.extend_from_slice(&ws);
+                }
+            }
+            let mut binit = [zero; MR];
+            for (i, &c) in chans_slice.iter().enumerate() {
+                binit[i] = bias(c);
+            }
+            BlockPlan {
+                chans,
+                mr,
+                nzrows,
+                wpack,
+                binit,
+            }
+        })
+        .collect()
+}
+
+/// Runs `[start, end)` of consecutive blocks sharing one non-zero-row
+/// pattern. A task processes a whole group panel-by-panel so the ~64
+/// bytes each non-zero row occupies are read once into L1 and reused by
+/// every same-pattern block — on a diagonal ring the blocks of one
+/// residue class touch identical rows, and per-block panel walks would
+/// refetch them from L2 every time. The similarity order already made
+/// equal patterns adjacent, so groups are contiguous runs.
+fn pattern_groups<T>(blocks: &[BlockPlan<T>]) -> Vec<(usize, usize)> {
+    let mut groups = Vec::new();
+    let mut start = 0;
+    for b in 1..=blocks.len() {
+        if b == blocks.len() || blocks[b].nzrows != blocks[start].nzrows {
+            groups.push((start, b));
+            start = b;
+        }
+    }
+    groups
+}
+
+/// Packs `col` (`rows × plane`, row-major) into panel-major
+/// `[panel][row][nr]` order in `bp` (pre-zeroed, so the tail panel stays
+/// zero-padded to `nr`).
+fn pack_b_into<T: Copy>(col: &[T], plane: usize, rows: usize, nr: usize, bp: &mut [T]) {
+    let np = plane.div_ceil(nr);
+    for jp in 0..np {
+        let j = jp * nr;
+        let w = nr.min(plane - j);
+        let dst = &mut bp[jp * rows * nr..(jp + 1) * rows * nr];
+        for r in 0..rows {
+            dst[r * nr..r * nr + w].copy_from_slice(&col[r * plane + j..r * plane + j + w]);
+        }
+    }
+}
+
+/// Glues the chunk-major task outputs back into per-channel planes in
+/// original channel order (no zero-init: every element is written).
+/// `tiles[chunk · ngroups + g]` holds the group's blocks' slabs
+/// concatenated lane-by-lane, `Σ mr × chunk-width`.
+fn assemble<T: Copy + Default>(
+    tiles: &[Vec<T>],
+    blocks: &[BlockPlan<T>],
+    groups: &[(usize, usize)],
+    co: usize,
+    plane: usize,
+    chunk_cols: usize,
+) -> Vec<Vec<T>> {
+    let ngroups = groups.len();
+    let nchunks = tiles.len().checked_div(ngroups).unwrap_or(0);
+    let mut planes: Vec<Vec<T>> = (0..co).map(|_| Vec::with_capacity(plane)).collect();
+    for (g, &(b0, b1)) in groups.iter().enumerate() {
+        let mut base = 0;
+        for block in &blocks[b0..b1] {
+            for i in 0..block.mr {
+                let dst = &mut planes[block.chans[i]];
+                for chunk in 0..nchunks {
+                    let j0 = chunk * chunk_cols;
+                    let cw = (plane - j0).min(chunk_cols);
+                    let tile = &tiles[chunk * ngroups + g];
+                    dst.extend_from_slice(&tile[(base + i) * cw..(base + i + 1) * cw]);
+                }
+            }
+            base += block.mr;
+        }
+    }
+    planes
+}
+
+// ---------------------------------------------------------------------
+// f32 kernels.
+// ---------------------------------------------------------------------
+
+/// Blocked f32 GEMM over a packed patch matrix: returns one output
+/// plane per `co`, `bias[c] + Σ_r weights[c·rows + r] · col[r]` (an
+/// empty `bias` means no bias). Chunk×block tasks run in parallel.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != co·rows`, `col.len() != rows·plane`, or
+/// `bias` is neither empty nor `co` long.
+pub fn gemm_f32(
+    col: &[f32],
+    plane: usize,
+    rows: usize,
+    co: usize,
+    weights: &[f32],
+    bias: &[f32],
+) -> Vec<Vec<f32>> {
+    assert_eq!(weights.len(), co * rows, "weight length mismatch");
+    assert_eq!(col.len(), rows * plane, "patch matrix length mismatch");
+    assert!(bias.is_empty() || bias.len() == co, "bias length mismatch");
+    let backend = active_kernel();
+    if backend == KernelBackend::Reference {
+        return reference_f32(col, plane, rows, co, weights, bias);
+    }
+    let nr = f32_panel_width(backend);
+    let np = plane.div_ceil(nr);
+    let mut bp = take_scratch_f32(np * rows * nr);
+    pack_b_into(col, plane, rows, nr, &mut bp);
+    let planes = f32_packed(backend, &bp, plane, rows, co, weights, bias);
+    put_scratch_f32(bp);
+    planes
+}
+
+/// [`gemm_f32`] over a pre-packed panel-major B (`[panel][row][nr]`
+/// with `nr = f32_panel_width(active_kernel())`, tail panel
+/// zero-padded) — the zero-copy entry for callers that build B directly
+/// in panel order, e.g. the fused im2col pack.
+///
+/// # Panics
+///
+/// Panics if the active backend is [`KernelBackend::Reference`] (which
+/// has no packed layout) or any length disagrees.
+pub fn gemm_f32_packed(
+    bp: &[f32],
+    plane: usize,
+    rows: usize,
+    co: usize,
+    weights: &[f32],
+    bias: &[f32],
+) -> Vec<Vec<f32>> {
+    assert_eq!(weights.len(), co * rows, "weight length mismatch");
+    assert!(bias.is_empty() || bias.len() == co, "bias length mismatch");
+    let backend = active_kernel();
+    assert_ne!(
+        backend,
+        KernelBackend::Reference,
+        "packed entry requires a blocked backend"
+    );
+    let nr = f32_panel_width(backend);
+    assert_eq!(
+        bp.len(),
+        plane.div_ceil(nr) * rows * nr,
+        "packed matrix length mismatch"
+    );
+    f32_packed(backend, bp, plane, rows, co, weights, bias)
+}
+
+fn f32_packed(
+    backend: KernelBackend,
+    bp: &[f32],
+    plane: usize,
+    rows: usize,
+    co: usize,
+    weights: &[f32],
+    bias: &[f32],
+) -> Vec<Vec<f32>> {
+    let nr = f32_panel_width(backend);
+    let blocks = plan_blocks(co, rows, weights, |c| {
+        if bias.is_empty() {
+            0.0
+        } else {
+            bias[c]
+        }
+    });
+    let panels_per_chunk = NC_COLS / nr;
+    let np = plane.div_ceil(nr);
+    let nchunks = np.div_ceil(panels_per_chunk).max(1);
+    if blocks.is_empty() || plane == 0 {
+        return (0..co).map(|_| vec![0.0f32; plane]).collect();
+    }
+    let groups = pattern_groups(&blocks);
+    let ngroups = groups.len();
+    // Chunk-major task order: consecutive tasks hit the same L2-resident
+    // slab of the packed B with a different channel-block group.
+    let tiles: Vec<Vec<f32>> = (0..nchunks * ngroups)
+        .into_par_iter()
+        .map(|t| {
+            let (chunk, g) = (t / ngroups, t % ngroups);
+            let jp0 = chunk * panels_per_chunk;
+            let jp1 = np.min(jp0 + panels_per_chunk);
+            let grp = &blocks[groups[g].0..groups[g].1];
+            match backend {
+                #[cfg(target_arch = "x86_64")]
+                KernelBackend::Avx2 => {
+                    f32_chunk::<NR_F32>(bp, rows, plane, jp0, jp1, grp, |p, nz, w, bi, o| {
+                        // SAFETY: backend == Avx2 only after runtime
+                        // detection of avx2+fma; `p` spans a full
+                        // rows×NR panel and nzrows index into it.
+                        unsafe { x86::f32_tile_avx2(p, nz, w, bi, o) }
+                    })
+                }
+                #[cfg(target_arch = "x86_64")]
+                KernelBackend::Sse2 => {
+                    f32_chunk::<NR_F32_SSE>(bp, rows, plane, jp0, jp1, grp, |p, nz, w, bi, o| {
+                        // SAFETY: SSE2 is a baseline x86-64 feature.
+                        unsafe { x86::f32_tile_sse2(p, nz, w, bi, o) }
+                    })
+                }
+                _ => f32_chunk::<NR_F32>(bp, rows, plane, jp0, jp1, grp, f32_tile_scalar),
+            }
+        })
+        .collect();
+    assemble(&tiles, &blocks, &groups, co, plane, panels_per_chunk * nr)
+}
+
+/// The retained pre-blocking row-axpy loop (`RINGCNN_KERNEL=reference`).
+fn reference_f32(
+    col: &[f32],
+    plane: usize,
+    rows: usize,
+    co: usize,
+    weights: &[f32],
+    bias: &[f32],
+) -> Vec<Vec<f32>> {
+    (0..co)
+        .into_par_iter()
+        .map(|c| {
+            let mut acc = vec![if bias.is_empty() { 0.0 } else { bias[c] }; plane];
+            let wrow = &weights[c * rows..(c + 1) * rows];
+            for (r, &wv) in wrow.iter().enumerate() {
+                if wv == 0.0 {
+                    continue;
+                }
+                let src = &col[r * plane..(r + 1) * plane];
+                for (a, v) in acc.iter_mut().zip(src) {
+                    *a += wv * *v;
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Runs one same-pattern block group over one column chunk of the
+/// packed B, returning the blocks' `Σ mr × chunk-width` output slabs
+/// concatenated. Panels are the outer loop so every block of the group
+/// reads the panel's non-zero rows while they are L1-hot.
+fn f32_chunk<const NR: usize>(
+    bp: &[f32],
+    rows: usize,
+    plane: usize,
+    jp0: usize,
+    jp1: usize,
+    grp: &[BlockPlan<f32>],
+    tile: impl Fn(&[f32], &[u32], &[f32], &[f32; MR], &mut [[f32; NR]; MR]),
+) -> Vec<f32> {
+    let j0 = jp0 * NR;
+    let cw = (plane - j0).min((jp1 - jp0) * NR);
+    let total_mr: usize = grp.iter().map(|b| b.mr).sum();
+    let mut out = vec![0.0f32; total_mr * cw];
+    let mut acc = [[0.0f32; NR]; MR];
+    for jp in jp0..jp1 {
+        let panel = &bp[jp * rows * NR..(jp + 1) * rows * NR];
+        let j = jp * NR - j0;
+        let w = NR.min(cw - j);
+        let mut base = 0;
+        for block in grp {
+            tile(panel, &block.nzrows, &block.wpack, &block.binit, &mut acc);
+            for (i, lane) in acc.iter().enumerate().take(block.mr) {
+                let o = (base + i) * cw + j;
+                out[o..o + w].copy_from_slice(&lane[..w]);
+            }
+            base += block.mr;
+        }
+    }
+    out
+}
+
+/// Portable scalar register tile (the compiler autovectorizes the fixed
+/// NR-wide inner loops where it can).
+fn f32_tile_scalar<const NR: usize>(
+    bpanel: &[f32],
+    nzrows: &[u32],
+    wpack: &[f32],
+    binit: &[f32; MR],
+    out: &mut [[f32; NR]; MR],
+) {
+    for (c, acc) in out.iter_mut().enumerate() {
+        *acc = [binit[c]; NR];
+    }
+    for (i, &r) in nzrows.iter().enumerate() {
+        let b = &bpanel[r as usize * NR..(r as usize + 1) * NR];
+        for (c, acc) in out.iter_mut().enumerate() {
+            let w = wpack[i * MR + c];
+            if w == 0.0 {
+                continue;
+            }
+            for l in 0..NR {
+                acc[l] += w * b[l];
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// i64 kernels.
+// ---------------------------------------------------------------------
+
+/// Blocked i64 GEMM over an integer patch matrix, bit-identical to
+/// [`crate::im2col::conv_rows_i64`] followed by per-channel
+/// requantization (when `requant` is given the epilogue is fused: the
+/// un-rescaled wide accumulators never reach memory).
+///
+/// The AVX2 path multiplies with `_mm256_mul_epi32`, which is exact only
+/// when both operands fit in `i32`; the call scans `weights` and `col`
+/// once and falls back to the scalar-blocked kernel (still bit-exact)
+/// when they do not.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != co·rows`, `col.len() != rows·plane`,
+/// `bias.len() != co`, or a requant plan does not have `co` channels.
+pub fn gemm_i64(
+    col: &[i64],
+    plane: usize,
+    rows: usize,
+    co: usize,
+    weights: &[i64],
+    bias: &[i64],
+    requant: Option<&RequantPlan>,
+) -> Vec<Vec<i64>> {
+    assert_eq!(weights.len(), co * rows, "weight length mismatch");
+    assert_eq!(col.len(), rows * plane, "patch matrix length mismatch");
+    assert_eq!(bias.len(), co, "bias length mismatch");
+    if let Some(plan) = requant {
+        assert_eq!(plan.channels.len(), co, "requant plan length mismatch");
+    }
+    let mut backend = active_kernel();
+    if backend == KernelBackend::Reference {
+        let mut planes = crate::im2col::conv_rows_i64(col, plane, rows, co, weights, bias);
+        if let Some(plan) = requant {
+            for (c, p) in planes.iter_mut().enumerate() {
+                let ch = plan.channels[c];
+                for v in p.iter_mut() {
+                    *v = ch.apply(*v);
+                }
+            }
+        }
+        return planes;
+    }
+    // SSE2 has no signed 32→64-bit widening multiply (that is SSE4.1's
+    // `_mm_mul_epi32`), and AVX2's is only exact for i32-range operands.
+    if backend == KernelBackend::Sse2 {
+        backend = KernelBackend::Scalar;
+    }
+    if backend == KernelBackend::Avx2 && !all_fit_i32(col) {
+        backend = KernelBackend::Scalar;
+    }
+    let np = plane.div_ceil(NR_I64);
+    let mut bp = take_scratch_i64(np * rows * NR_I64);
+    pack_b_into(col, plane, rows, NR_I64, &mut bp);
+    let planes = i64_packed(backend, &bp, plane, rows, co, weights, bias, requant);
+    put_scratch_i64(bp);
+    planes
+}
+
+/// [`gemm_i64`] over a pre-packed panel-major B (`[panel][row][NR_I64]`,
+/// tail panel zero-padded) — the zero-copy entry for callers that build
+/// B directly in panel order. The caller certifies with `col_fits_i32`
+/// whether every packed value fits in `i32` (the AVX2 exactness gate;
+/// pass `false` when unsure and the scalar-blocked kernel runs).
+///
+/// # Panics
+///
+/// Panics if the active backend is [`KernelBackend::Reference`] or any
+/// length disagrees.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_i64_packed(
+    bp: &[i64],
+    plane: usize,
+    rows: usize,
+    co: usize,
+    weights: &[i64],
+    bias: &[i64],
+    requant: Option<&RequantPlan>,
+    col_fits_i32: bool,
+) -> Vec<Vec<i64>> {
+    assert_eq!(weights.len(), co * rows, "weight length mismatch");
+    assert_eq!(bias.len(), co, "bias length mismatch");
+    if let Some(plan) = requant {
+        assert_eq!(plan.channels.len(), co, "requant plan length mismatch");
+    }
+    assert_eq!(
+        bp.len(),
+        plane.div_ceil(NR_I64) * rows * NR_I64,
+        "packed matrix length mismatch"
+    );
+    let mut backend = active_kernel();
+    assert_ne!(
+        backend,
+        KernelBackend::Reference,
+        "packed entry requires a blocked backend"
+    );
+    if backend == KernelBackend::Sse2 {
+        backend = KernelBackend::Scalar;
+    }
+    if backend == KernelBackend::Avx2 && !(col_fits_i32 && all_fit_i32(weights)) {
+        backend = KernelBackend::Scalar;
+    }
+    i64_packed(backend, bp, plane, rows, co, weights, bias, requant)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn i64_packed(
+    backend: KernelBackend,
+    bp: &[i64],
+    plane: usize,
+    rows: usize,
+    co: usize,
+    weights: &[i64],
+    bias: &[i64],
+    requant: Option<&RequantPlan>,
+) -> Vec<Vec<i64>> {
+    let backend = if backend == KernelBackend::Avx2 && !all_fit_i32(weights) {
+        KernelBackend::Scalar
+    } else {
+        backend
+    };
+    let blocks = plan_blocks(co, rows, weights, |c| bias[c]);
+    let panels_per_chunk = NC_COLS / NR_I64;
+    let np = plane.div_ceil(NR_I64);
+    let nchunks = np.div_ceil(panels_per_chunk).max(1);
+    if blocks.is_empty() || plane == 0 {
+        return (0..co).map(|_| vec![0i64; plane]).collect();
+    }
+    let groups = pattern_groups(&blocks);
+    let ngroups = groups.len();
+    let tiles: Vec<Vec<i64>> = (0..nchunks * ngroups)
+        .into_par_iter()
+        .map(|t| {
+            let (chunk, g) = (t / ngroups, t % ngroups);
+            let jp0 = chunk * panels_per_chunk;
+            let jp1 = np.min(jp0 + panels_per_chunk);
+            let grp = &blocks[groups[g].0..groups[g].1];
+            i64_chunk(backend, bp, rows, plane, jp0, jp1, grp, requant)
+        })
+        .collect();
+    assemble(
+        &tiles,
+        &blocks,
+        &groups,
+        co,
+        plane,
+        panels_per_chunk * NR_I64,
+    )
+}
+
+fn all_fit_i32(v: &[i64]) -> bool {
+    v.iter()
+        .all(|&x| (i64::from(i32::MIN)..=i64::from(i32::MAX)).contains(&x))
+}
+
+/// Runs one same-pattern block group over one column chunk of the
+/// packed B (with the fused requant epilogue), returning the blocks'
+/// `Σ mr × chunk-width` slabs concatenated. Panels are the outer loop
+/// so every block of the group reads the panel's non-zero rows while
+/// they are L1-hot.
+#[allow(clippy::too_many_arguments)]
+fn i64_chunk(
+    backend: KernelBackend,
+    bp: &[i64],
+    rows: usize,
+    plane: usize,
+    jp0: usize,
+    jp1: usize,
+    grp: &[BlockPlan<i64>],
+    requant: Option<&RequantPlan>,
+) -> Vec<i64> {
+    let j0 = jp0 * NR_I64;
+    let cw = (plane - j0).min((jp1 - jp0) * NR_I64);
+    let total_mr: usize = grp.iter().map(|b| b.mr).sum();
+    let mut out = vec![0i64; total_mr * cw];
+    let mut acc = [[0i64; NR_I64]; MR];
+    for jp in jp0..jp1 {
+        let bpanel = &bp[jp * rows * NR_I64..(jp + 1) * rows * NR_I64];
+        let j = jp * NR_I64 - j0;
+        let w = NR_I64.min(cw - j);
+        let mut base = 0;
+        for block in grp {
+            match backend {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: Avx2 is only selected after runtime detection
+                // and the caller's i32-range scan; `bpanel` spans a
+                // full rows×NR panel and nzrows index into it.
+                KernelBackend::Avx2 => unsafe {
+                    x86::i64_tile_avx2(bpanel, &block.nzrows, &block.wpack, &block.binit, &mut acc)
+                },
+                _ => i64_tile_scalar(bpanel, &block.nzrows, &block.wpack, &block.binit, &mut acc),
+            }
+            if let Some(plan) = requant {
+                for (i, lane) in acc.iter_mut().enumerate().take(block.mr) {
+                    let ch = plan.channels[block.chans[i]];
+                    for v in lane[..w].iter_mut() {
+                        *v = ch.apply(*v);
+                    }
+                }
+            }
+            for (i, lane) in acc.iter().enumerate().take(block.mr) {
+                let o = (base + i) * cw + j;
+                out[o..o + w].copy_from_slice(&lane[..w]);
+            }
+            base += block.mr;
+        }
+    }
+    out
+}
+
+fn i64_tile_scalar(
+    bpanel: &[i64],
+    nzrows: &[u32],
+    wpack: &[i64],
+    binit: &[i64; MR],
+    out: &mut [[i64; NR_I64]; MR],
+) {
+    for (c, acc) in out.iter_mut().enumerate() {
+        *acc = [binit[c]; NR_I64];
+    }
+    for (i, &r) in nzrows.iter().enumerate() {
+        let b = &bpanel[r as usize * NR_I64..(r as usize + 1) * NR_I64];
+        for (c, acc) in out.iter_mut().enumerate() {
+            let w = wpack[i * MR + c];
+            if w == 0 {
+                continue;
+            }
+            for l in 0..NR_I64 {
+                acc[l] += w * b[l];
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// x86-64 intrinsic tiles.
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{MR, NR_F32, NR_F32_SSE, NR_I64};
+    use core::arch::x86_64::*;
+
+    /// AVX2+FMA f32 register tile: 4 output rows × 16 columns in 8 YMM
+    /// accumulators, reading the block's non-zero rows out of one
+    /// panel-major B panel.
+    ///
+    /// # Safety
+    ///
+    /// `avx2` and `fma` must be available; `bpanel.len() ≥ (r+1)·16` for
+    /// every `r` in `nzrows` and `wpack.len() ≥ nzrows.len()·MR`.
+    #[target_feature(enable = "avx2")]
+    #[target_feature(enable = "fma")]
+    pub unsafe fn f32_tile_avx2(
+        bpanel: &[f32],
+        nzrows: &[u32],
+        wpack: &[f32],
+        binit: &[f32; MR],
+        out: &mut [[f32; NR_F32]; MR],
+    ) {
+        let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+        for c in 0..MR {
+            acc[c][0] = _mm256_set1_ps(binit[c]);
+            acc[c][1] = acc[c][0];
+        }
+        for (i, &r) in nzrows.iter().enumerate() {
+            let p = bpanel.as_ptr().add(r as usize * NR_F32);
+            let b0 = _mm256_loadu_ps(p);
+            let b1 = _mm256_loadu_ps(p.add(8));
+            for c in 0..MR {
+                let w = _mm256_set1_ps(*wpack.get_unchecked(i * MR + c));
+                acc[c][0] = _mm256_fmadd_ps(w, b0, acc[c][0]);
+                acc[c][1] = _mm256_fmadd_ps(w, b1, acc[c][1]);
+            }
+        }
+        for c in 0..MR {
+            _mm256_storeu_ps(out[c].as_mut_ptr(), acc[c][0]);
+            _mm256_storeu_ps(out[c].as_mut_ptr().add(8), acc[c][1]);
+        }
+    }
+
+    /// SSE2 f32 register tile: 4 output rows × 8 columns (mul + add; no
+    /// FMA below AVX2 on x86-64 in practice).
+    ///
+    /// # Safety
+    ///
+    /// `bpanel.len() ≥ (r+1)·8` for every `r` in `nzrows` and
+    /// `wpack.len() ≥ nzrows.len()·MR` (SSE2 itself is a baseline
+    /// x86-64 feature).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn f32_tile_sse2(
+        bpanel: &[f32],
+        nzrows: &[u32],
+        wpack: &[f32],
+        binit: &[f32; MR],
+        out: &mut [[f32; NR_F32_SSE]; MR],
+    ) {
+        let mut acc = [[_mm_setzero_ps(); 2]; MR];
+        for c in 0..MR {
+            acc[c][0] = _mm_set1_ps(binit[c]);
+            acc[c][1] = acc[c][0];
+        }
+        for (i, &r) in nzrows.iter().enumerate() {
+            let p = bpanel.as_ptr().add(r as usize * NR_F32_SSE);
+            let b0 = _mm_loadu_ps(p);
+            let b1 = _mm_loadu_ps(p.add(4));
+            for c in 0..MR {
+                let w = _mm_set1_ps(*wpack.get_unchecked(i * MR + c));
+                acc[c][0] = _mm_add_ps(acc[c][0], _mm_mul_ps(w, b0));
+                acc[c][1] = _mm_add_ps(acc[c][1], _mm_mul_ps(w, b1));
+            }
+        }
+        for c in 0..MR {
+            _mm_storeu_ps(out[c].as_mut_ptr(), acc[c][0]);
+            _mm_storeu_ps(out[c].as_mut_ptr().add(4), acc[c][1]);
+        }
+    }
+
+    /// AVX2 i64 register tile: 4 output rows × 8 columns. Multiplies via
+    /// `_mm256_mul_epi32` (signed 32×32→64 of each lane's low half) —
+    /// exact because the caller guarantees all weights and column values
+    /// fit in `i32`; additions wrap exactly like release-mode scalar.
+    ///
+    /// # Safety
+    ///
+    /// `avx2` must be available; `bpanel.len() ≥ (r+1)·8` for every `r`
+    /// in `nzrows`, `wpack.len() ≥ nzrows.len()·MR`, and every operand
+    /// must fit in `i32`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn i64_tile_avx2(
+        bpanel: &[i64],
+        nzrows: &[u32],
+        wpack: &[i64],
+        binit: &[i64; MR],
+        out: &mut [[i64; NR_I64]; MR],
+    ) {
+        let mut acc = [[_mm256_setzero_si256(); 2]; MR];
+        for c in 0..MR {
+            acc[c][0] = _mm256_set1_epi64x(binit[c]);
+            acc[c][1] = acc[c][0];
+        }
+        for (i, &r) in nzrows.iter().enumerate() {
+            let p = bpanel.as_ptr().add(r as usize * NR_I64);
+            let b0 = _mm256_loadu_si256(p as *const __m256i);
+            let b1 = _mm256_loadu_si256(p.add(4) as *const __m256i);
+            for c in 0..MR {
+                let w = _mm256_set1_epi64x(*wpack.get_unchecked(i * MR + c));
+                acc[c][0] = _mm256_add_epi64(acc[c][0], _mm256_mul_epi32(w, b0));
+                acc[c][1] = _mm256_add_epi64(acc[c][1], _mm256_mul_epi32(w, b1));
+            }
+        }
+        for c in 0..MR {
+            _mm256_storeu_si256(out[c].as_mut_ptr() as *mut __m256i, acc[c][0]);
+            _mm256_storeu_si256(out[c].as_mut_ptr().add(4) as *mut __m256i, acc[c][1]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_f32(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as i32 % 1000) as f32 / 250.0 - 2.0
+            })
+            .collect()
+    }
+
+    fn pseudo_i64(n: usize, seed: u64, modv: i64) -> Vec<i64> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as i64 % modv
+            })
+            .collect()
+    }
+
+    fn backends_under_test() -> Vec<KernelBackend> {
+        vec![
+            KernelBackend::Scalar,
+            KernelBackend::Sse2,
+            KernelBackend::Avx2,
+        ]
+    }
+
+    #[test]
+    fn f32_blocked_matches_reference_within_tolerance() {
+        for (co, rows, plane) in [
+            (1, 1, 1),
+            (3, 9, 17),
+            (4, 27, 16),
+            (7, 18, 33),
+            (8, 75, 40),
+            (6, 12, 200), // more than one column chunk
+        ] {
+            let weights = {
+                let mut w = pseudo_f32(co * rows, 3);
+                // Exact zeros exercise the panel-granularity skip.
+                for v in w.iter_mut().step_by(5) {
+                    *v = 0.0;
+                }
+                w
+            };
+            let col = pseudo_f32(rows * plane, 7);
+            let bias = pseudo_f32(co, 11);
+            let want = forced_kernel_scope(KernelBackend::Reference, || {
+                gemm_f32(&col, plane, rows, co, &weights, &bias)
+            });
+            for k in backends_under_test() {
+                let got =
+                    forced_kernel_scope(k, || gemm_f32(&col, plane, rows, co, &weights, &bias));
+                for (a, b) in want.iter().flatten().zip(got.iter().flatten()) {
+                    assert!(
+                        (a - b).abs() <= 1e-4,
+                        "{k:?} co={co} rows={rows} plane={plane}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_empty_bias_and_all_zero_rows() {
+        let weights = vec![0.0f32; 2 * 9];
+        let col = pseudo_f32(9 * 10, 5);
+        for k in backends_under_test() {
+            let got = forced_kernel_scope(k, || gemm_f32(&col, 10, 9, 2, &weights, &[]));
+            assert!(got.iter().flatten().all(|v| *v == 0.0), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn diagonal_pattern_grouping_keeps_channel_order_in_the_output() {
+        // An RI4-style expansion: channel c reads only rows ≡ c (mod 4).
+        // The similarity grouping reorders channels internally; outputs
+        // must still come back in original channel order.
+        let (co, rows, plane) = (8, 16, 37);
+        let mut weights = vec![0.0f32; co * rows];
+        for c in 0..co {
+            for r in 0..rows {
+                if r % 4 == c % 4 {
+                    weights[c * rows + r] = pseudo_f32(1, (c * rows + r) as u64)[0];
+                }
+            }
+        }
+        let col = pseudo_f32(rows * plane, 9);
+        let bias = pseudo_f32(co, 13);
+        let want = forced_kernel_scope(KernelBackend::Reference, || {
+            gemm_f32(&col, plane, rows, co, &weights, &bias)
+        });
+        for k in backends_under_test() {
+            let got = forced_kernel_scope(k, || gemm_f32(&col, plane, rows, co, &weights, &bias));
+            for (c, (a, b)) in want.iter().zip(got.iter()).enumerate() {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert!((x - y).abs() <= 1e-4, "{k:?} channel {c}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i64_blocked_is_bit_identical_to_reference() {
+        for (co, rows, plane) in [
+            (1, 1, 1),
+            (3, 9, 17),
+            (4, 27, 16),
+            (7, 18, 33),
+            (8, 75, 40),
+            (5, 10, 300), // more than one column chunk
+        ] {
+            let weights = {
+                let mut w = pseudo_i64(co * rows, 3, 1 << 15);
+                for v in w.iter_mut().step_by(4) {
+                    *v = 0;
+                }
+                w
+            };
+            let col = pseudo_i64(rows * plane, 7, 1 << 15);
+            let bias = pseudo_i64(co, 11, 1 << 30);
+            let plan = RequantPlan {
+                channels: (0..co)
+                    .map(|c| RequantChannel {
+                        from_frac: 20,
+                        to_frac: 7 - (c as i32 % 3),
+                        qmin: -128,
+                        qmax: 127,
+                    })
+                    .collect(),
+            };
+            for requant in [None, Some(&plan)] {
+                let want = forced_kernel_scope(KernelBackend::Reference, || {
+                    gemm_i64(&col, plane, rows, co, &weights, &bias, requant)
+                });
+                for k in backends_under_test() {
+                    let got = forced_kernel_scope(k, || {
+                        gemm_i64(&col, plane, rows, co, &weights, &bias, requant)
+                    });
+                    assert_eq!(want, got, "{k:?} co={co} rows={rows} plane={plane}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i64_wide_operands_fall_back_exactly() {
+        // Values beyond i32: the AVX2 gate must reject them and the
+        // scalar-blocked fallback must still match the reference.
+        let weights = vec![1i64 << 40, 3, 0, -5];
+        let col = pseudo_i64(2 * 9, 13, 1 << 20);
+        let bias = vec![7i64, -9];
+        let want = forced_kernel_scope(KernelBackend::Reference, || {
+            gemm_i64(&col, 9, 2, 2, &weights, &bias, None)
+        });
+        for k in backends_under_test() {
+            let got = forced_kernel_scope(k, || gemm_i64(&col, 9, 2, 2, &weights, &bias, None));
+            assert_eq!(want, got, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn requant_epilogue_saturates_at_the_rails() {
+        // One row, huge accumulators: left shifts must saturate at the
+        // i64 rails and the clamp must land exactly on qmin/qmax.
+        let weights = vec![1i64, 1];
+        let col = vec![i64::MAX / 2, i64::MIN / 2, 100, -100];
+        let plan = RequantPlan {
+            channels: (0..2)
+                .map(|_| RequantChannel {
+                    from_frac: 0,
+                    to_frac: 8, // left shift by 8: saturates the big values
+                    qmin: -(1 << 15),
+                    qmax: (1 << 15) - 1,
+                })
+                .collect(),
+        };
+        let want = forced_kernel_scope(KernelBackend::Reference, || {
+            gemm_i64(&col, 4, 1, 2, &weights, &[0, 0], Some(&plan))
+        });
+        assert_eq!(want[0], vec![(1 << 15) - 1, -(1 << 15), 25600, -25600]);
+        assert_eq!(want[1], want[0]);
+        for k in backends_under_test() {
+            let got = forced_kernel_scope(k, || {
+                gemm_i64(&col, 4, 1, 2, &weights, &[0, 0], Some(&plan))
+            });
+            assert_eq!(want, got, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn forced_scope_restores_on_exit() {
+        let outer = active_kernel();
+        forced_kernel_scope(KernelBackend::Reference, || {
+            assert_eq!(active_kernel(), KernelBackend::Reference);
+            forced_kernel_scope(KernelBackend::Scalar, || {
+                assert_eq!(active_kernel(), KernelBackend::Scalar);
+            });
+            assert_eq!(active_kernel(), KernelBackend::Reference);
+        });
+        assert_eq!(active_kernel(), outer);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(KernelBackend::Avx2.label(), "avx2");
+        assert_eq!(KernelBackend::Reference.label(), "reference");
+    }
+}

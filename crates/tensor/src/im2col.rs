@@ -3,11 +3,11 @@
 //! [`crate::conv::conv2d_forward`] walks the six-deep loop nest directly,
 //! streaming one shifted input plane per weight tap. This module instead
 //! packs all `ci·k²` shifted planes of a batch item into one contiguous
-//! *patch matrix* (`im2col`), then computes every output plane as a
-//! row-times-matrix product over that packed buffer. The inner loop is a
-//! branch-free axpy over two contiguous slices — the layout the hardware
-//! prefetcher wants — and output rows (`(batch, co)` planes) run
-//! rayon-parallel.
+//! *patch matrix* (`im2col`), then computes every output plane with the
+//! register-blocked GEMM micro-kernels of [`crate::gemm`] (AVX2/SSE2
+//! behind runtime feature detection, scalar-blocked fallback,
+//! `RINGCNN_KERNEL=reference` escape hatch back to the row-axpy oracle).
+//! Output channel blocks run rayon-parallel.
 //!
 //! The packing kernel is *window-aware*: [`im2col_pack_window`] packs an
 //! arbitrary [`Window`] of the source plane (the tile views of the
@@ -17,11 +17,15 @@
 //! case of the same code path, so the tile kernel is exercised by every
 //! dense convolution in the workspace.
 //!
-//! The accumulation order per output element is identical to the naive
-//! kernel (taps in `(ci, ky, kx)` order, zero taps skipped, bias first),
-//! so the two kernels agree **bit for bit**, not just within a tolerance.
-//! The equivalence suite in `tests/conv_backends.rs` asserts exact
-//! equality.
+//! The **integer** product ([`conv_rows_i64`] and the blocked
+//! [`crate::gemm::gemm_i64`] that replaced it on the quant hot path)
+//! agrees with the naive kernel **bit for bit**: integer accumulation is
+//! order-independent. The **float** SIMD kernels are
+//! tolerance-equivalent to the naive loop (FMA and blocked summation
+//! change ULPs); under `RINGCNN_KERNEL=reference` the float path too is
+//! bit-identical to the naive kernel (taps in `(ci, ky, kx)` order,
+//! zero taps skipped, bias first). The equivalence suite in
+//! `tests/conv_backends.rs` asserts both contracts.
 
 use crate::conv::ConvWeights;
 use crate::tensor::Tensor;
@@ -92,13 +96,128 @@ pub fn im2col_pack_window(input: &Tensor, n: usize, k: usize, window: Window) ->
     col
 }
 
+/// Zero-fills the plane-index range `[j0, j1)` of patch row `r` in a
+/// panel-major buffer (`[panel][row][nr]`), splitting at micro-panel
+/// boundaries.
+#[inline]
+fn zero_panel_range(bp: &mut [f32], rows: usize, nr: usize, r: usize, j0: usize, j1: usize) {
+    let mut j = j0;
+    while j < j1 {
+        let (jp, off) = (j / nr, j % nr);
+        let len = (nr - off).min(j1 - j);
+        let dst = jp * rows * nr + r * nr + off;
+        bp[dst..dst + len].fill(0.0);
+        j += len;
+    }
+}
+
+/// Constant-length copy: the compiler lowers this to a couple of vector
+/// moves instead of a `memcpy` call — the pack issues tens of thousands
+/// of panel-width fragments per conv, so per-copy call overhead is the
+/// dominant pack cost.
+#[inline(always)]
+fn copy_const<const N: usize>(dst: &mut [f32], src: &[f32]) {
+    let d: &mut [f32; N] = (&mut dst[..N]).try_into().unwrap();
+    let s: &[f32; N] = (&src[..N]).try_into().unwrap();
+    *d = *s;
+}
+
+/// Copies `run` into patch row `r` of a panel-major buffer starting at
+/// plane index `j0`, splitting at micro-panel boundaries.
+#[inline]
+fn copy_panel_range(bp: &mut [f32], rows: usize, nr: usize, r: usize, j0: usize, run: &[f32]) {
+    let mut j = j0;
+    let mut taken = 0;
+    while taken < run.len() {
+        let (jp, off) = (j / nr, j % nr);
+        let len = (nr - off).min(run.len() - taken);
+        let dst = jp * rows * nr + r * nr + off;
+        match len {
+            16 => copy_const::<16>(&mut bp[dst..], &run[taken..]),
+            8 => copy_const::<8>(&mut bp[dst..], &run[taken..]),
+            _ => bp[dst..dst + len].copy_from_slice(&run[taken..taken + len]),
+        }
+        j += len;
+        taken += len;
+    }
+}
+
+/// Packs a `window` of one batch item **directly into panel-major GEMM
+/// order** `[panel][row][nr]` — the fused twin of
+/// [`im2col_pack_window`] that skips the row-major intermediate (one
+/// multi-megabyte buffer and one full copy pass less per conv call).
+/// `bp` must be `plane.div_ceil(nr) · rows · nr` long and **every
+/// element is overwritten** — zero padding (image border, window
+/// border, tail-panel pad) is written explicitly, so the buffer may be
+/// taken dirty from [`crate::gemm::take_scratch_f32_dirty`] (a 2+ MB
+/// memset per conv call is measurable against the GEMM on sparse
+/// rings).
+///
+/// # Panics
+///
+/// Panics if `n` is out of range or `bp` has the wrong length.
+pub fn im2col_pack_panels_window(
+    input: &Tensor,
+    n: usize,
+    k: usize,
+    window: Window,
+    nr: usize,
+    bp: &mut [f32],
+) {
+    let s = input.shape();
+    let plane = window.h * window.w;
+    let rows = s.c * k * k;
+    let jend = plane.div_ceil(nr) * nr; // plane + tail-panel pad
+    assert_eq!(bp.len(), jend * rows, "packed buffer length mismatch");
+    let pad = (k / 2) as isize;
+    let (ph, pw) = (s.h as isize, s.w as isize);
+    let (wh, ww) = (window.h as isize, window.w as isize);
+    for ci in 0..s.c {
+        let src = input.plane(n, ci);
+        for ky in 0..k {
+            for kx in 0..k {
+                let r = (ci * k + ky) * k + kx;
+                let dy = ky as isize - pad;
+                let dx = kx as isize - pad;
+                let y0 = 0.max(-dy).max(-(window.y0 + dy));
+                let y1 = wh.min(wh - dy).min(ph - window.y0 - dy);
+                let x0 = 0.max(-dx).max(-(window.x0 + dx));
+                let x1 = ww.min(ww - dx).min(pw - window.x0 - dx);
+                if y0 >= y1 || x0 >= x1 {
+                    // Tap entirely out of frame on this axis.
+                    zero_panel_range(bp, rows, nr, r, 0, jend);
+                    continue;
+                }
+                // Everything before the first in-frame sample, the
+                // inter-run gaps (right pad of row y−1 + left pad of
+                // row y), and everything after the last sample is zero.
+                zero_panel_range(bp, rows, nr, r, 0, (y0 * ww + x0) as usize);
+                for y in y0..y1 {
+                    if y > y0 {
+                        let gap0 = ((y - 1) * ww + x1) as usize;
+                        zero_panel_range(bp, rows, nr, r, gap0, (y * ww + x0) as usize);
+                    }
+                    let row_in = (window.y0 + y + dy) * pw + window.x0 + dx;
+                    let run = &src[(row_in + x0) as usize..(row_in + x1) as usize];
+                    copy_panel_range(bp, rows, nr, r, (y * ww + x0) as usize, run);
+                }
+                zero_panel_range(bp, rows, nr, r, ((y1 - 1) * ww + x1) as usize, jend);
+            }
+        }
+    }
+}
+
 /// Forward convolution over a packed patch matrix; drop-in replacement
-/// for [`crate::conv::conv2d_forward`] with bit-identical results.
+/// for [`crate::conv::conv2d_forward`] (bit-identical under
+/// `RINGCNN_KERNEL=reference`, tolerance-equivalent under the blocked
+/// SIMD kernels — see [`crate::gemm`]).
 ///
 /// Each output plane is `bias[co] + Σ_r w[co][r] · col[r]` where `col`
-/// is the [`im2col_pack`] matrix — a dense row-times-matrix product with
-/// the same zero-tap skipping as the naive kernel (pruned weights still
-/// cost nothing).
+/// is the [`im2col_pack`] matrix — a register-blocked GEMM with zero-tap
+/// skipping at micro-panel granularity (pruned weights still cost
+/// almost nothing). Under the blocked backends the pack is fused: the
+/// patch matrix is built panel-major in a reused scratch buffer and fed
+/// to the packed GEMM entry, so no row-major intermediate exists.
 ///
 /// # Panics
 ///
@@ -112,15 +231,39 @@ pub fn conv2d_forward_im2col(input: &Tensor, w: &ConvWeights, bias: &[f32]) -> T
         "bias length mismatch"
     );
     let mut out = Tensor::zeros(s.with_channels(w.co));
-    let plane = s.plane();
     for n in 0..s.n {
-        let col = im2col_pack(input, n, w.k);
-        let results = product_rows(&col, plane, w, bias);
+        let results = product_rows_fused(input, n, Window::full(s.h, s.w), w, bias);
         for (co, acc) in results.into_iter().enumerate() {
             out.plane_mut(n, co).copy_from_slice(&acc);
         }
     }
     out
+}
+
+/// The shared conv body: fused panel-major pack + packed GEMM under the
+/// blocked backends, the retained row-major pack + reference loop under
+/// `RINGCNN_KERNEL=reference`.
+fn product_rows_fused(
+    input: &Tensor,
+    n: usize,
+    window: Window,
+    w: &ConvWeights,
+    bias: &[f32],
+) -> Vec<Vec<f32>> {
+    use crate::gemm::{self, KernelBackend};
+    let backend = gemm::active_kernel();
+    let plane = window.h * window.w;
+    let rows = w.ci * w.k * w.k;
+    if backend == KernelBackend::Reference {
+        let col = im2col_pack_window(input, n, w.k, window);
+        return product_rows(&col, plane, w, bias);
+    }
+    let nr = gemm::f32_panel_width(backend);
+    let mut bp = gemm::take_scratch_f32_dirty(plane.div_ceil(nr) * rows * nr);
+    im2col_pack_panels_window(input, n, w.k, window, nr, &mut bp);
+    let results = gemm::gemm_f32_packed(&bp, plane, rows, w.co, &w.data, bias);
+    gemm::put_scratch_f32(bp);
+    results
 }
 
 /// Forward convolution of a tile view: convolves `window` of batch item
@@ -152,10 +295,8 @@ pub fn conv2d_forward_im2col_window(
         bias.is_empty() || bias.len() == w.co,
         "bias length mismatch"
     );
-    let plane = window.h * window.w;
     let mut out = Tensor::zeros(crate::shape::Shape4::new(1, w.co, window.h, window.w));
-    let col = im2col_pack_window(input, n, w.k, window);
-    let results = product_rows(&col, plane, w, bias);
+    let results = product_rows_fused(input, n, window, w, bias);
     for (co, acc) in results.into_iter().enumerate() {
         out.plane_mut(0, co).copy_from_slice(&acc);
     }
@@ -216,6 +357,12 @@ pub fn im2col_pack_i64(data: &[i64], shape: crate::shape::Shape4, n: usize, k: u
 /// size and to the scalar reference loop
 /// (`ringcnn_quant::quantized::run_conv_reference`).
 ///
+/// This is the **retained reference oracle** for the blocked
+/// [`crate::gemm::gemm_i64`] kernel that now runs the quantized hot
+/// path (and the body behind its `RINGCNN_KERNEL=reference` escape
+/// hatch); the blocked kernel is bit-identical to this loop on every
+/// backend.
+///
 /// # Panics
 ///
 /// Panics if `weights.len() != co · rows` or `col.len() != rows · plane`.
@@ -250,26 +397,10 @@ pub fn conv_rows_i64(
 }
 
 /// The row-times-matrix product over a packed patch matrix: one output
-/// plane per `co`, parallel across output rows.
+/// plane per `co`, computed by the register-blocked GEMM micro-kernels
+/// (backend resolved per [`crate::gemm::active_kernel`]).
 fn product_rows(col: &[f32], plane: usize, w: &ConvWeights, bias: &[f32]) -> Vec<Vec<f32>> {
-    let ckk = w.ci * w.k * w.k;
-    (0..w.co)
-        .into_par_iter()
-        .map(|co| {
-            let mut acc = vec![if bias.is_empty() { 0.0 } else { bias[co] }; plane];
-            let wrow = &w.data[co * ckk..(co + 1) * ckk];
-            for (r, &wv) in wrow.iter().enumerate() {
-                if wv == 0.0 {
-                    continue;
-                }
-                let src = &col[r * plane..(r + 1) * plane];
-                for (a, v) in acc.iter_mut().zip(src) {
-                    *a += wv * *v;
-                }
-            }
-            acc
-        })
-        .collect()
+    crate::gemm::gemm_f32(col, plane, w.ci * w.k * w.k, w.co, &w.data, bias)
 }
 
 #[cfg(test)]
@@ -291,7 +422,7 @@ mod tests {
     }
 
     #[test]
-    fn matches_naive_bit_for_bit() {
+    fn matches_naive_bit_for_bit_under_reference_kernel() {
         for (co, ci, k, h, wd) in [
             (4, 3, 3, 6, 5),
             (2, 2, 1, 4, 7),
@@ -302,12 +433,20 @@ mod tests {
             let w = pseudo_weights(co, ci, k);
             let bias: Vec<f32> = (0..co).map(|i| 0.1 * i as f32 - 0.2).collect();
             let naive = conv2d_forward(&input, &w, &bias);
-            let fast = conv2d_forward_im2col(&input, &w, &bias);
+            let exact =
+                crate::gemm::forced_kernel_scope(crate::gemm::KernelBackend::Reference, || {
+                    conv2d_forward_im2col(&input, &w, &bias)
+                });
             assert_eq!(
                 naive.as_slice(),
-                fast.as_slice(),
+                exact.as_slice(),
                 "co={co} ci={ci} k={k} {h}x{wd}"
             );
+            // The blocked SIMD kernels reassociate float adds: tolerance.
+            let fast = conv2d_forward_im2col(&input, &w, &bias);
+            for (a, b) in naive.as_slice().iter().zip(fast.as_slice()) {
+                assert!((a - b).abs() <= 1e-4, "co={co} ci={ci} k={k}: {a} vs {b}");
+            }
         }
     }
 
@@ -331,8 +470,15 @@ mod tests {
             let input = Tensor::random_uniform(Shape4::new(1, ci, h, wd), -1.0, 1.0, 11);
             let w = pseudo_weights(co, ci, k);
             let naive = conv2d_forward(&input, &w, &[]);
+            let exact =
+                crate::gemm::forced_kernel_scope(crate::gemm::KernelBackend::Reference, || {
+                    conv2d_forward_im2col(&input, &w, &[])
+                });
+            assert_eq!(naive.as_slice(), exact.as_slice(), "k={k} {h}x{wd}");
             let fast = conv2d_forward_im2col(&input, &w, &[]);
-            assert_eq!(naive.as_slice(), fast.as_slice(), "k={k} {h}x{wd}");
+            for (a, b) in naive.as_slice().iter().zip(fast.as_slice()) {
+                assert!((a - b).abs() <= 1e-4, "k={k} {h}x{wd}: {a} vs {b}");
+            }
         }
     }
 
@@ -361,6 +507,46 @@ mod tests {
                 let direct = im2col_pack_window(&input, 1, k, win);
                 let via_tile = im2col_pack(&input.extract_window(1, win), 0, k);
                 assert_eq!(direct, via_tile, "k={k} win={win:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_panel_pack_matches_row_major_pack() {
+        // The fused panel-major pack must hold exactly the row-major
+        // patch matrix, permuted into `[panel][row][nr]` with a
+        // zero-padded tail panel — starting from a dirty buffer (the
+        // NaN sentinel catches any element the pack fails to write).
+        let input = Tensor::random_uniform(Shape4::new(2, 3, 9, 7), -1.0, 1.0, 29);
+        for k in [1usize, 3] {
+            for win in [
+                Window::new(2, 1, 4, 5),
+                Window::new(-2, -1, 6, 5),
+                Window::new(5, 3, 6, 6),
+                Window::new(9, 7, 3, 3), // entirely out of frame
+                Window::full(9, 7),
+            ] {
+                for nr in [4usize, 8, 16] {
+                    let rows = 3 * k * k;
+                    let plane = win.h * win.w;
+                    let col = im2col_pack_window(&input, 1, k, win);
+                    let mut bp = vec![f32::NAN; plane.div_ceil(nr) * rows * nr];
+                    im2col_pack_panels_window(&input, 1, k, win, nr, &mut bp);
+                    for r in 0..rows {
+                        for jp in 0..plane.div_ceil(nr) {
+                            for off in 0..nr {
+                                let j = jp * nr + off;
+                                let want = if j < plane { col[r * plane + j] } else { 0.0 };
+                                let got = bp[jp * rows * nr + r * nr + off];
+                                assert_eq!(
+                                    got.to_bits(),
+                                    want.to_bits(),
+                                    "k={k} win={win:?} nr={nr} r={r} j={j}"
+                                );
+                            }
+                        }
+                    }
+                }
             }
         }
     }

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod conv;
+pub mod gemm;
 pub mod im2col;
 pub mod shape;
 pub mod tensor;
@@ -31,6 +32,10 @@ pub mod tile;
 pub mod prelude {
     pub use crate::conv::{
         conv2d_backward_input, conv2d_backward_weight, conv2d_forward, ConvWeights,
+    };
+    pub use crate::gemm::{
+        active_kernel, forced_kernel_scope, gemm_f32, gemm_i64, KernelBackend, RequantChannel,
+        RequantPlan,
     };
     pub use crate::im2col::{
         conv2d_forward_im2col, conv2d_forward_im2col_window, im2col_pack, im2col_pack_window,

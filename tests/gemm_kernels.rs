@@ -1,0 +1,305 @@
+//! Acceptance suite for the cache-blocked GEMM micro-kernel behind both
+//! conv precisions (PR 7): every selectable backend — reference row-axpy,
+//! scalar-blocked, SSE2, AVX2 — must agree with the naive oracle within
+//! the documented contract: the f32 kernels within `1e-4` (and > 100 dB
+//! PSNR on whole model-zoo forwards), the i64 kernels **bit-exactly**,
+//! including the fused requant epilogue's saturation rails and
+//! pruned/zero-weight rows.
+//!
+//! Thread-pool sizes 1 and 4 are exercised by the CI `thread-sanity`
+//! matrix (`RINGCNN_THREADS`); the forced-scalar CI leg re-runs this
+//! whole suite with `RINGCNN_KERNEL=scalar` so the portable fallback
+//! gets the same coverage as the SIMD paths.
+
+use proptest::prelude::*;
+use ringcnn::prelude::*;
+use ringcnn::quant::quantized::{execute_layer, run_conv_reference};
+use ringcnn_nn::models::ffdnet::ffdnet;
+use ringcnn_nn::models::srresnet::{srresnet, SrResNetConfig};
+use ringcnn_nn::models::vdsr::vdsr;
+use ringcnn_tensor::prelude::{
+    conv2d_forward, conv2d_forward_im2col, forced_kernel_scope, gemm_i64, ConvWeights,
+    KernelBackend, RequantChannel, RequantPlan,
+};
+
+/// Every non-reference backend (unavailable ISA levels silently
+/// downgrade inside `active_kernel`, so forcing them is always safe).
+const BACKENDS: [KernelBackend; 3] = [
+    KernelBackend::Scalar,
+    KernelBackend::Sse2,
+    KernelBackend::Avx2,
+];
+
+/// Weights with exact zeros sprinkled in and output channel 0 fully
+/// pruned — both zero-skip granularities (single tap, whole row of a
+/// register block) must stay equivalent in every kernel.
+fn pruned_weights(co: usize, ci: usize, k: usize, seed: u64) -> ConvWeights {
+    let mut w = ConvWeights::zeros(co, ci, k);
+    let rnd = Tensor::random_uniform(Shape4::new(1, 1, 1, w.len()), -1.0, 1.0, seed);
+    w.data.copy_from_slice(rnd.as_slice());
+    for i in (0..w.data.len()).step_by(5) {
+        w.data[i] = 0.0;
+    }
+    for v in &mut w.data[..ci * k * k] {
+        *v = 0.0; // channel 0: an all-zero weight row
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Satellite 5a: the blocked f32 GEMM matches the naive quadruple
+    /// loop within 1e-4 under *every* forced backend (k = 1/3/5,
+    /// non-square maps, pruned rows), and the reference kernel matches
+    /// it bit for bit.
+    #[test]
+    fn f32_gemm_matches_naive_under_every_forced_backend(
+        seed in 0u64..1_000_000,
+        co in 1usize..6,
+        ci in 1usize..4,
+        h in 1usize..9,
+        w in 1usize..9,
+        kidx in 0usize..3,
+        batch in 1usize..3,
+    ) {
+        let k = [1usize, 3, 5][kidx];
+        let x = Tensor::random_uniform(Shape4::new(batch, ci, h, w), -2.0, 2.0, seed);
+        let wts = pruned_weights(co, ci, k, seed ^ 0x9e37);
+        let bias: Vec<f32> = (0..co).map(|i| 0.05 * i as f32 - 0.1).collect();
+        for b in [bias.as_slice(), &[]] {
+            let naive = conv2d_forward(&x, &wts, b);
+            let exact = forced_kernel_scope(KernelBackend::Reference, || {
+                conv2d_forward_im2col(&x, &wts, b)
+            });
+            prop_assert_eq!(
+                naive.as_slice(), exact.as_slice(),
+                "reference kernel must be bit-exact (co={} ci={} k={} {}x{})",
+                co, ci, k, h, w
+            );
+            for backend in BACKENDS {
+                let y = forced_kernel_scope(backend, || conv2d_forward_im2col(&x, &wts, b));
+                for (i, (p, q)) in naive.as_slice().iter().zip(y.as_slice()).enumerate() {
+                    prop_assert!(
+                        (p - q).abs() <= 1e-4,
+                        "{} kernel deviates at {}: {} vs {} (co={} ci={} k={} {}x{} batch={})",
+                        backend.label(), i, p, q, co, ci, k, h, w, batch
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Satellite 5b: every Table-I ring through the im2col lowering, under
+/// every forced backend, stays within 1e-4 of the naive ring conv — the
+/// structural zeros of the ring-expanded weight matrix are the densest
+/// real source of skippable rows.
+#[test]
+fn table_one_rings_agree_under_every_forced_backend() {
+    for kind in RingKind::table_one() {
+        let ring = Ring::from_kind(kind);
+        let n = ring.n();
+        let mut layer = RingConv2d::new(ring, 2 * n, 2 * n, 3, 0xbeef);
+        for (i, b) in layer.bias_mut().iter_mut().enumerate() {
+            *b = (i % 5) as f32 * 0.07 - 0.14;
+        }
+        let x = Tensor::random_uniform(Shape4::new(1, 2 * n, 5, 7), -1.0, 1.0, 0xfeed);
+        let naive = layer.forward(&x, false);
+        layer.set_backend(ConvBackend::Im2col);
+        for backend in BACKENDS {
+            let y = forced_kernel_scope(backend, || layer.forward(&x, false));
+            for (i, (a, b)) in naive.as_slice().iter().zip(y.as_slice()).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "{kind:?} under {} deviates at {i}: {a} vs {b}",
+                    backend.label()
+                );
+            }
+        }
+    }
+}
+
+/// Satellite 5c: whole model-zoo forwards under each SIMD kernel sit
+/// above 100 dB PSNR of the reference-kernel forward — layer-to-layer
+/// error accumulation through deep stacks must stay at ULP scale.
+#[test]
+fn model_zoo_psnr_above_100_db_for_every_kernel() {
+    let alg = Algebra::with_fcw(RingKind::Rh(4)).with_backend(ConvBackend::Im2col);
+    let zoo: Vec<(&str, Sequential, Shape4)> = vec![
+        ("vdsr", vdsr(&alg, 3, 8, 1, 51), Shape4::new(1, 1, 8, 8)),
+        ("ffdnet", ffdnet(&alg, 3, 8, 1, 52), Shape4::new(1, 1, 8, 8)),
+        (
+            "srresnet",
+            srresnet(
+                &alg,
+                SrResNetConfig::tiny().with_blocks(1).with_channels(8),
+                1,
+                53,
+            ),
+            Shape4::new(1, 1, 4, 4),
+        ),
+    ];
+    for (name, mut model, shape) in zoo {
+        let x = Tensor::random_uniform(shape, 0.0, 1.0, 17);
+        let reference = forced_kernel_scope(KernelBackend::Reference, || model.forward(&x, false));
+        for backend in BACKENDS {
+            let y = forced_kernel_scope(backend, || model.forward(&x, false));
+            let p = psnr(&reference, &y);
+            assert!(
+                p > 100.0,
+                "{name} under {}: PSNR vs reference kernel only {p:.1} dB",
+                backend.label()
+            );
+        }
+    }
+}
+
+/// Satellite 5d: the quantized conv pipeline — blocked i64 GEMM with the
+/// requant epilogue fused in — is **bit-identical** to the unfused
+/// scalar `run_conv_reference` under every forced backend, for every
+/// conv the quantizer emits across the acceptance algebras (dense,
+/// ring-expanded, format-aligned), with zeroed float channels carrying
+/// through as pruned integer rows.
+#[test]
+fn quantized_convs_bit_exact_under_every_forced_backend() {
+    for alg in [
+        Algebra::real(),
+        Algebra::ri_fh(4),
+        Algebra::with_fcw(RingKind::Rh(4)),
+        Algebra::with_fcw(RingKind::Rh4I),
+    ] {
+        let mut model = Sequential::new()
+            .with(alg.conv(1, 8, 3, 31))
+            .with_opt(alg.activation())
+            .with(alg.conv(8, 8, 3, 32))
+            .with_opt(alg.activation())
+            .with(alg.conv(8, 1, 3, 33));
+        // Prune the middle conv: scattered taps plus a leading quarter
+        // of the (co-major) ring weights, so the quantized integer
+        // weight matrix carries exact zeros — whole output channels for
+        // the real field (n = 1), dense tap pruning for the rings.
+        let mut seen = 0;
+        model.for_each_layer_mut(&mut |l| {
+            if let Some(rc) = l.as_any_mut().downcast_mut::<RingConv2d>() {
+                seen += 1;
+                if seen == 2 {
+                    let w = rc.ring_weights_mut();
+                    let quarter = w.len() / 4;
+                    for v in &mut w[..quarter] {
+                        *v = 0.0;
+                    }
+                    for i in (0..w.len()).step_by(7) {
+                        w[i] = 0.0;
+                    }
+                }
+            }
+        });
+        let x = Tensor::random_uniform(Shape4::new(2, 1, 11, 9), 0.0, 1.0, 27);
+        let qm = QuantizedModel::quantize(&mut model, &x, QuantOptions::default());
+        let mut q = QTensor::quantize(&x, vec![qm.input_format(); 1]);
+        let mut convs = 0;
+        for layer in qm.layers() {
+            if let QLayer::Conv(c) = layer {
+                let reference = run_conv_reference(c, &q);
+                for backend in BACKENDS {
+                    let fused = forced_kernel_scope(backend, || execute_layer(layer, q.clone()));
+                    assert_eq!(
+                        fused,
+                        reference,
+                        "conv {convs} over {} under {}: fused epilogue must be bit-identical",
+                        alg.label(),
+                        backend.label()
+                    );
+                }
+                convs += 1;
+            }
+            q = execute_layer(layer, q);
+        }
+        assert!(convs >= 3, "{}: expected every conv checked", alg.label());
+    }
+}
+
+/// Satellite 5e: the fused requant epilogue saturates at exactly the
+/// output rails under every backend — accumulators driven past ±2^62
+/// through a left shift land on `qmax`/`qmin`, never wrap — and zero
+/// rows plus i32-overflowing operands (the AVX2 exactness gate) agree
+/// with the reference bit for bit.
+#[test]
+fn i64_gemm_rails_and_wide_operands_are_bit_exact() {
+    let (rows, plane, co) = (6usize, 19usize, 5usize);
+    // Row 2 is all-zero across every channel; channel 3 is an all-zero
+    // weight row; weights near i32::MAX push the AVX2 gate.
+    let mut weights = vec![0i64; co * rows];
+    for (i, w) in weights.iter_mut().enumerate() {
+        let r = i % rows;
+        let c = i / rows;
+        if r == 2 || c == 3 {
+            continue;
+        }
+        *w = ((i as i64 * 2_654_435_761) % 40_000) - 20_000;
+    }
+    weights[0] = i64::from(i32::MAX); // still fits: AVX2 path allowed
+    let col: Vec<i64> = (0..rows * plane)
+        .map(|i| ((i as i64 * 40_503) % 60_000) - 30_000)
+        .collect();
+    let bias = vec![7i64, -3, 0, 11, -9];
+    // Channel 1 left-shifts by 30 (blows past 16-bit rails), the rest
+    // right-shift by 4 — mixed per-channel plans in one call.
+    let plan = RequantPlan {
+        channels: (0..co)
+            .map(|c| RequantChannel {
+                from_frac: 10,
+                to_frac: if c == 1 { 40 } else { 6 },
+                qmin: -(1 << 15),
+                qmax: (1 << 15) - 1,
+            })
+            .collect(),
+    };
+    for requant in [None, Some(&plan)] {
+        let reference = forced_kernel_scope(KernelBackend::Reference, || {
+            gemm_i64(&col, plane, rows, co, &weights, &bias, requant)
+        });
+        for backend in BACKENDS {
+            let got = forced_kernel_scope(backend, || {
+                gemm_i64(&col, plane, rows, co, &weights, &bias, requant)
+            });
+            assert_eq!(
+                got,
+                reference,
+                "{} requant={}",
+                backend.label(),
+                requant.is_some()
+            );
+        }
+    }
+    // The saturating plan actually saturated: channel 1 must pin at the
+    // rails (not wrap), and the pruned channel 3 is pure bias.
+    let out = gemm_i64(&col, plane, rows, co, &weights, &bias, Some(&plan));
+    assert!(
+        out[1]
+            .iter()
+            .all(|&v| v == -(1 << 15) || v == (1 << 15) - 1),
+        "left-shift channel must sit on the rails: {:?}",
+        &out[1][..4]
+    );
+    let bias3 = plan.channels[3].apply(bias[3]);
+    assert!(
+        out[3].iter().all(|&v| v == bias3),
+        "pruned row is bias-only"
+    );
+
+    // Wide operands (beyond i32) must route off AVX2 and stay exact.
+    let mut wide = weights.clone();
+    wide[1] = 1 << 40;
+    let small_col: Vec<i64> = col.iter().map(|v| v % (1 << 20)).collect();
+    let reference = forced_kernel_scope(KernelBackend::Reference, || {
+        gemm_i64(&small_col, plane, rows, co, &wide, &bias, Some(&plan))
+    });
+    for backend in BACKENDS {
+        let got = forced_kernel_scope(backend, || {
+            gemm_i64(&small_col, plane, rows, co, &wide, &bias, Some(&plan))
+        });
+        assert_eq!(got, reference, "wide operands under {}", backend.label());
+    }
+}

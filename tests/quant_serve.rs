@@ -172,6 +172,7 @@ fn loadgen_drives_the_quant_path_cleanly() {
         warmup: 1,
         precision: Precision::Quant,
         wire: Wire::Json,
+        ..LoadgenConfig::default()
     })
     .unwrap();
     assert_eq!(report.errors, 0, "quant loadgen must complete cleanly");

@@ -290,6 +290,10 @@ fn concurrent_tcp_clients_get_bit_identical_results() {
     let health = client.health().unwrap();
     assert!(health.healthy);
     assert_eq!(health.models, 2);
+    // Everything completed: `health` must report the *live* (empty)
+    // queue, not the stale depth the metrics atomic last observed.
+    assert_eq!(health.queue_depth, 0);
+    assert_eq!(stats.queue_depth, 0);
     server.shutdown();
 }
 
@@ -360,6 +364,40 @@ fn shutdown_verb_drains_and_stops_the_server() {
             c.health().is_err()
         }
     );
+}
+
+#[test]
+fn io_timeout_turns_a_wedged_server_into_a_timeout_error() {
+    // A listener that never calls accept(): the kernel completes the TCP
+    // handshake from the backlog, the client's small request lands in
+    // the socket buffer, and then nothing ever answers — exactly the
+    // wedged-server shape that used to hang `infer()` (and every
+    // loadgen connection behind it) forever. With an I/O deadline the
+    // round trip must fail fast with the `timeout` code.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind wedge");
+    let addr = listener.local_addr().unwrap();
+    let mut client =
+        Client::connect_wire_with_timeout(addr, Wire::Json, Some(Duration::from_millis(200)))
+            .expect("handshake completes from the backlog");
+    let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 17);
+    let started = Instant::now();
+    match client.infer("vdsr_rh4", &x) {
+        Err(ServeError::Timeout(_)) => {}
+        other => panic!(
+            "expected ServeError::Timeout from a wedged server, got {:?}",
+            other.map(|r| r.batch_size)
+        ),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the deadline must fire promptly, waited {:?}",
+        started.elapsed()
+    );
+    // The same client with the deadline cleared would block forever —
+    // prove the knob is the thing that saved us by checking a second
+    // request also times out rather than, say, erroring on a dead
+    // socket.
+    assert_eq!(client.infer("vdsr_rh4", &x).unwrap_err().code(), "timeout");
 }
 
 // --- Binary wire protocol --------------------------------------------------
@@ -484,6 +522,7 @@ fn loadgen_256_binary_connections_complete_with_zero_errors() {
         warmup: 0,
         precision: Precision::Fp64,
         wire: Wire::Binary,
+        ..LoadgenConfig::default()
     })
     .expect("loadgen runs");
     assert_eq!(report.errors, 0, "no request may fail at 256 connections");
@@ -548,6 +587,7 @@ fn loadgen_round_trips_with_zero_errors() {
         warmup: 1,
         precision: Precision::Fp64,
         wire: Wire::Json,
+        ..LoadgenConfig::default()
     })
     .expect("loadgen runs");
     assert_eq!(report.errors, 0);
