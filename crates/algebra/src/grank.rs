@@ -1,12 +1,12 @@
 //! Generic-rank estimation for indexing tensors via CP alternating least
 //! squares.
 //!
-//! The paper uses the randomized CP-ARLS algorithm [6] in MATLAB to
+//! The paper uses the randomized CP-ARLS algorithm \[6\] in MATLAB to
 //! evaluate `grank(M(S'; P))` during the ring search (§III-C, condition
 //! (C3)). We reproduce the methodology with a deterministic-seeded CP-ALS
 //! with random restarts: the smallest rank at which the relative residual
 //! collapses is the estimated tensor rank, which equals the minimum number
-//! of real multiplications of any bilinear algorithm (Appendix A and [46]).
+//! of real multiplications of any bilinear algorithm (Appendix A and \[46\]).
 
 use crate::mat::Mat;
 use crate::tensor3::Tensor3;

@@ -256,7 +256,7 @@ impl SignPerm {
     ///
     /// # Panics
     ///
-    /// Panics if `pi` is not a permutation of `0..n` that fixes 0 or `d[0]`
+    /// Panics if `pi` is not a permutation of `0..n` that fixes 0 or `d\[0\]`
     /// is not `+1` (the unity must map to the unity).
     pub fn relabeled(&self, pi: &[usize], d: &[i8]) -> SignPerm {
         let n = self.n;

@@ -123,7 +123,7 @@ pub fn ro4() -> Ring {
 }
 
 /// A cyclic-class (circulant permutation) ring twisted by the coboundary
-/// of `d ∈ {±1}⁴` (with `d[0] = 1`): `S_ij = d_i·d_j·d_{(i−j) mod 4}`.
+/// of `d ∈ {±1}⁴` (with `d\[0\] = 1`): `S_ij = d_i·d_j·d_{(i−j) mod 4}`.
 ///
 /// `d = (1,1,1,1)` is the plain circulant ring `RH4-I` (CirCNN-alike).
 /// All coboundary twists share the minimum grank 5 and inherit the CRT

@@ -181,6 +181,7 @@ fn measure_all(iters: usize) -> Vec<BenchEntry> {
     }
 
     entries.extend(measure_serve(threads));
+    entries.extend(measure_serve_fleet(threads));
     entries
 }
 
@@ -194,7 +195,7 @@ fn measure_serve(threads: usize) -> Vec<BenchEntry> {
     use ringcnn_serve::prelude::*;
     use std::time::Duration;
 
-    let mut reg = ModelRegistry::new();
+    let reg = ModelRegistry::new();
     let real = Algebra::real();
     let ffd = ModelSpec::Ffdnet {
         depth: 3,
@@ -246,6 +247,7 @@ fn measure_serve(threads: usize) -> Vec<BenchEntry> {
                 max_batch: 8,
                 max_wait: Duration::from_millis(1),
                 queue_cap: 256,
+                ..SchedulerConfig::default()
             },
             ..ServerConfig::default()
         },
@@ -347,6 +349,119 @@ fn measure_serve(threads: usize) -> Vec<BenchEntry> {
         ));
     }
     server.shutdown();
+    entries
+}
+
+/// The fleet-scheduling canary: two models behind ONE worker, a hot
+/// model hammering six closed-loop connections while a cold model sends
+/// a single-connection trickle. The tracked quantity is the cold
+/// model's mean ms/request — what the per-model weighted-fair queues
+/// exist to protect (the mean over 100 closed-loop samples, not a
+/// percentile: tail ranks of a small sample gate too noisily, and
+/// head-of-line blocking inflates the mean just as surely).
+/// Measured under both scheduling policies, so
+/// the committed baseline pins the fair policy's protection and keeps
+/// the FIFO-scan baseline honest next to it.
+fn measure_serve_fleet(threads: usize) -> Vec<BenchEntry> {
+    use ringcnn_serve::prelude::*;
+    use std::time::Duration;
+
+    let mut entries = Vec::new();
+    for (workload, policy) in [
+        ("serve_fleet_2model_fair", SchedPolicy::WeightedFair),
+        ("serve_fleet_2model_fifo", SchedPolicy::FifoScan),
+    ] {
+        let reg = ModelRegistry::new();
+        let real = Algebra::real();
+        let ffd = ModelSpec::Ffdnet {
+            depth: 3,
+            width: 8,
+            channels_io: 1,
+        };
+        reg.register(
+            "ffdnet_real",
+            ffd,
+            AlgebraSpec::of(&real),
+            ffd.build(&real, 31),
+        )
+        .expect("register ffdnet");
+        let rh4 = Algebra::with_fcw(RingKind::Rh(4));
+        let vdsr = ModelSpec::Vdsr {
+            depth: 3,
+            width: 8,
+            channels_io: 1,
+        };
+        reg.register(
+            "vdsr_rh4",
+            vdsr,
+            AlgebraSpec::of(&rh4),
+            vdsr.build(&rh4, 32),
+        )
+        .expect("register vdsr");
+        let server = Server::start(
+            std::sync::Arc::new(reg),
+            ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                scheduler: SchedulerConfig {
+                    workers: 1,
+                    max_batch: 4,
+                    max_wait: Duration::from_millis(1),
+                    queue_cap: 256,
+                    policy,
+                    ..SchedulerConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback for fleet bench");
+        let addr = server.addr().to_string();
+
+        let cold = std::thread::scope(|scope| {
+            let hot_addr = addr.clone();
+            let hot = scope.spawn(move || {
+                ringcnn_serve::loadgen::run(&ringcnn_serve::loadgen::LoadgenConfig {
+                    addr: hot_addr,
+                    connections: 6,
+                    requests: 240,
+                    models: vec!["vdsr_rh4".into()],
+                    hw: (16, 16),
+                    seed: 5,
+                    warmup: 6,
+                    ..ringcnn_serve::loadgen::LoadgenConfig::default()
+                })
+            });
+            let cold = ringcnn_serve::loadgen::run(&ringcnn_serve::loadgen::LoadgenConfig {
+                addr: addr.clone(),
+                connections: 1,
+                requests: 100,
+                models: vec!["ffdnet_real".into()],
+                hw: (16, 16),
+                seed: 6,
+                warmup: 2,
+                ..ringcnn_serve::loadgen::LoadgenConfig::default()
+            })
+            .expect("fleet bench cold loadgen");
+            let hot = hot
+                .join()
+                .expect("hot loadgen thread")
+                .expect("fleet bench hot loadgen");
+            assert_eq!(
+                hot.errors + cold.errors,
+                0,
+                "fleet bench must complete cleanly"
+            );
+            cold
+        });
+        server.shutdown();
+        entries.push(entry(
+            workload,
+            "serve",
+            "mixed",
+            "cold",
+            threads,
+            cold.ms_per_request,
+        ));
+    }
     entries
 }
 

@@ -26,7 +26,7 @@ pub struct AcceleratorConfig {
 }
 
 impl AcceleratorConfig {
-    /// The eCNN backbone (real-valued, MICRO'19 [21]).
+    /// The eCNN backbone (real-valued, MICRO'19 \[21\]).
     pub fn ecnn() -> Self {
         Self {
             name: "eCNN".into(),

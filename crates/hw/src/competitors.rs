@@ -30,11 +30,11 @@ pub struct SparsityAcceleratorRow {
 /// Published constants (from the RingCNN paper text and the cited
 /// publications).
 pub mod published {
-    /// SparTen [16] physical efficiency on 45 nm (paper §I).
+    /// SparTen \[16\] physical efficiency on 45 nm (paper §I).
     pub const SPARTEN_PHYSICAL_TOPS_W: f64 = 0.43;
     /// SparTen equivalent efficiency after sparsity (paper §VI-C).
     pub const SPARTEN_EQUIVALENT_TOPS_W: f64 = 2.7;
-    /// CirCNN [13] equivalent efficiency at 66× compression (§VI-C).
+    /// CirCNN \[13\] equivalent efficiency at 66× compression (§VI-C).
     pub const CIRCNN_EQUIVALENT_TOPS_W: f64 = 10.0;
     /// CirCNN compression ratio (AlexNet, §I).
     pub const CIRCNN_COMPRESSION: f64 = 66.0;

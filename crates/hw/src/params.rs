@@ -4,7 +4,7 @@
 //! area/power bottom-up from gate counts (the paper's own Table-I
 //! methodology: multiplier circuit complexity ∝ `wx·wg`) with per-unit
 //! constants calibrated once against the *published eCNN backbone
-//! numbers* (MICRO'19 [21]: 55.23 mm², 6.94 W, 72.8%/94.0% of area/power
+//! numbers* (MICRO'19 \[21\]: 55.23 mm², 6.94 W, 72.8%/94.0% of area/power
 //! in convolutions, 81920 8-bit MACs at 250 MHz). Everything reported for
 //! eRingCNN is then a model *prediction*, compared against the paper in
 //! EXPERIMENTS.md.

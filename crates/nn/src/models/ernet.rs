@@ -1,5 +1,5 @@
 //! ERNet-style models: the compact residual CNNs of the eCNN backbone
-//! [21], used as the real-valued base structures of the paper's quality
+//! \[21\], used as the real-valued base structures of the paper's quality
 //! evaluations (Fig. 9, Table IV).
 //!
 //! Configuration follows the paper's notation: ERModule count `B`, base

@@ -1,4 +1,4 @@
-//! FFDNet [50] miniature: pixel-unshuffled denoising with a plain conv
+//! FFDNet \[50\] miniature: pixel-unshuffled denoising with a plain conv
 //! stack and a tunable noise-level input map. The advanced denoising
 //! baseline of Table IV.
 

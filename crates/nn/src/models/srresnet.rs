@@ -1,4 +1,4 @@
-//! SRResNet [31] miniature and its complexity-reduction variants, the
+//! SRResNet \[31\] miniature and its complexity-reduction variants, the
 //! workload of the paper's motivating Fig. 1 (weight pruning vs DWC vs
 //! depth/channel shrinking vs RingCNN).
 

@@ -1,4 +1,4 @@
-//! VDSR [26] miniature: a plain conv–ReLU stack with a global residual,
+//! VDSR \[26\] miniature: a plain conv–ReLU stack with a global residual,
 //! operating on a pre-upscaled input. The "old-fashioned" SR baseline of
 //! Fig. 1 and Table IV.
 

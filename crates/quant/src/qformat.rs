@@ -1,5 +1,5 @@
 //! Dynamic fixed-point Q-formats (§IV-C, after the ARM Q-format
-//! convention [1]): a signed `bits`-bit integer with `frac` fractional
+//! convention \[1\]): a signed `bits`-bit integer with `frac` fractional
 //! bits, chosen per layer (and per tuple component for the directional
 //! ReLU) from observed dynamic ranges.
 //!

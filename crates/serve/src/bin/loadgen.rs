@@ -4,17 +4,24 @@
 //! loadgen --addr 127.0.0.1:7841 [--connections 4] [--requests 200]
 //!         [--models a,b] [--hw 32x32] [--warmup 2] [--seed 1]
 //!         [--precision fp64|quant] [--protocol json|binary]
-//!         [--io-timeout-ms N] [--shutdown] [--bench-out PATH] [--pr N]
+//!         [--deadline-ms F] [--reload] [--io-timeout-ms N]
+//!         [--shutdown] [--bench-out PATH] [--pr N]
 //! ```
 //!
 //! Prints p50/p95/p99 latency, throughput, and mean batch size; exits
 //! non-zero if **any** request failed (the smoke job's zero-error
 //! assertion). `--models` defaults to every model the server lists.
+//! `--deadline-ms F` attaches a latency budget to every request;
+//! admission sheds (`deadline` code) are reported separately and do NOT
+//! fail the run — that is the SLO machinery working. `--reload` forces
+//! a registry hot-reload pass before the run and prints the report.
 //! `--shutdown` sends the `shutdown` verb at the end so a scripted
 //! server run can `wait` on a clean exit. `--bench-out` writes a
 //! `ringcnn-bench-json/v1` section so serve-path numbers join the perf
 //! trajectory (the *gated* serve entries are produced by `bench_json`,
-//! which measures through this same harness).
+//! which measures through this same harness). After every run the
+//! harness asserts `stats` v2 invariants against the server (histogram
+//! totals vs completion counters, published bucket edges).
 
 use ringcnn_serve::client::Client;
 use ringcnn_serve::loadgen::{run, LoadgenConfig};
@@ -71,7 +78,8 @@ fn main() -> ExitCode {
             "usage: loadgen --addr HOST:PORT [--connections N] [--requests N] \
              [--models a,b] [--hw HxW] [--warmup N] [--seed N] \
              [--precision fp64|quant] [--protocol json|binary] \
-             [--io-timeout-ms N] [--shutdown] [--bench-out PATH] [--pr N]"
+             [--deadline-ms F] [--reload] [--io-timeout-ms N] \
+             [--shutdown] [--bench-out PATH] [--pr N]"
         );
         return ExitCode::FAILURE;
     };
@@ -140,7 +148,22 @@ fn main() -> ExitCode {
             0 => None,
             ms => Some(Duration::from_millis(ms)),
         },
+        deadline_ms: arg_value(&args, "--deadline-ms").and_then(|v| v.parse().ok()),
+        check_stats: true,
     };
+
+    if args.iter().any(|a| a == "--reload") {
+        match Client::connect_retry(&addr, Duration::from_secs(5)).and_then(|mut c| c.reload()) {
+            Ok(report) => println!(
+                "reload: reloaded {:?}, added {:?}, {} unchanged",
+                report.reloaded, report.added, report.unchanged
+            ),
+            Err(e) => {
+                eprintln!("loadgen: reload failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     println!(
         "loadgen: {} connection(s), {} request(s), models {:?}, input {}x{}, precision {}, protocol {}",
@@ -178,6 +201,12 @@ fn main() -> ExitCode {
     );
     for (model, n) in &report.per_model {
         println!("  {model}: {n} completed");
+    }
+    if report.deadline_rejected > 0 {
+        println!(
+            "deadline admission shed {} request(s) (not failures)",
+            report.deadline_rejected
+        );
     }
     if report.errors > 0 {
         eprintln!("loadgen: {} request(s) FAILED", report.errors);

@@ -5,11 +5,21 @@
 //! ```text
 //! ringcnn-serve --models <dir> [--addr 127.0.0.1:7841] [--workers 2]
 //!               [--max-batch 8] [--max-wait-ms 2] [--queue-cap 256]
+//!               [--model-queue-cap 0] [--policy fair|fifo]
+//!               [--weight model=N,...] [--reload-poll-ms 0]
 //!               [--max-frame-mb 16]
-//! ringcnn-serve --export-demo <dir>   # write two demo models (float
+//! ringcnn-serve --export-demo <dir> [--demo-seed N]
+//!                                     # write two demo models (float
 //!                                     # ringcnn-model/v1 + calibrated
 //!                                     # ringcnn-qmodel/v1 each) and exit
 //! ```
+//!
+//! `--reload-poll-ms N` (N > 0) starts the hot-reload watcher: changed
+//! or added model files under `--models` are swapped in atomically
+//! without dropping a request. A client can also force a pass with the
+//! `reload` verb. `--demo-seed` varies the exported demo weights, which
+//! is how the CI reload-under-load phase produces a *different* version
+//! of the same models to reload into.
 //!
 //! The process runs until a client sends the `shutdown` verb, then
 //! drains every admitted request and exits 0 — which is what the CI
@@ -59,12 +69,12 @@ fn demo_models() -> Vec<(String, ModelSpec, Algebra)> {
     ]
 }
 
-fn export_demo(dir: &str) -> Result<(), ServeError> {
+fn export_demo(dir: &str, seed: u64) -> Result<(), ServeError> {
     use ringcnn_quant::prelude::*;
     use ringcnn_tensor::prelude::*;
     std::fs::create_dir_all(dir).map_err(|e| ServeError::Io(e.to_string()))?;
     for (i, (name, spec, alg)) in demo_models().into_iter().enumerate() {
-        let mut model = spec.build(&alg, 100 + i as u64);
+        let mut model = spec.build(&alg, seed + i as u64);
         let file =
             ringcnn_nn::serialize::export_model(&name, spec, AlgebraSpec::of(&alg), &mut model)
                 .map_err(|e| ServeError::Load(e.to_string()))?;
@@ -107,7 +117,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
 
     if let Some(dir) = arg_value(&args, "--export-demo") {
-        return match export_demo(&dir) {
+        let seed = parse_or(&args, "--demo-seed", 100u64);
+        return match export_demo(&dir, seed) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("ringcnn-serve: {e}");
@@ -119,12 +130,24 @@ fn main() -> ExitCode {
     let Some(model_dir) = arg_value(&args, "--models") else {
         eprintln!(
             "usage: ringcnn-serve --models <dir> [--addr A] [--workers N] \
-             [--max-batch N] [--max-wait-ms F] [--queue-cap N] [--max-frame-mb N]\n\
-             \x20      ringcnn-serve --export-demo <dir>"
+             [--max-batch N] [--max-wait-ms F] [--queue-cap N] [--model-queue-cap N] \
+             [--policy fair|fifo] [--weight model=N,...] [--reload-poll-ms N] \
+             [--max-frame-mb N]\n\
+             \x20      ringcnn-serve --export-demo <dir> [--demo-seed N]"
         );
         return ExitCode::FAILURE;
     };
 
+    let policy = match arg_value(&args, "--policy").as_deref() {
+        None => SchedPolicy::WeightedFair,
+        Some(p) => match SchedPolicy::parse(p) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("ringcnn-serve: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     let cfg = ServerConfig {
         addr: arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7841".into()),
         scheduler: SchedulerConfig {
@@ -134,11 +157,18 @@ fn main() -> ExitCode {
                 parse_or(&args, "--max-wait-ms", 2.0f64).max(0.0) / 1e3,
             ),
             queue_cap: parse_or(&args, "--queue-cap", 256),
+            model_queue_cap: parse_or(&args, "--model-queue-cap", 0),
+            policy,
+            ..SchedulerConfig::default()
         },
         max_frame_bytes: parse_or(&args, "--max-frame-mb", 16usize).max(1) << 20,
+        reload_poll: match parse_or(&args, "--reload-poll-ms", 0u64) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
     };
 
-    let mut registry = ModelRegistry::new();
+    let registry = ModelRegistry::new();
     match registry.load_dir(std::path::Path::new(&model_dir)) {
         Ok(names) if !names.is_empty() => {
             for e in registry.entries() {
@@ -176,13 +206,31 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `--weight m=4,other=1`: fair-scheduling weights by model name.
+    if let Some(list) = arg_value(&args, "--weight") {
+        for spec in list.split(',').filter(|s| !s.trim().is_empty()) {
+            match spec
+                .split_once('=')
+                .and_then(|(name, w)| w.trim().parse::<u32>().ok().map(|w| (name.trim(), w)))
+            {
+                Some((name, w)) => server.scheduler().set_model_weight(name, w),
+                None => {
+                    eprintln!("ringcnn-serve: --weight wants model=N, got `{spec}`");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
     println!(
-        "listening on {} (workers={} max_batch={} max_wait={:?} queue_cap={}, pool threads={})",
+        "listening on {} (workers={} max_batch={} max_wait={:?} queue_cap={} policy={} \
+         reload_poll={:?}, pool threads={})",
         server.addr(),
         cfg.scheduler.workers,
         cfg.scheduler.max_batch,
         cfg.scheduler.max_wait,
         cfg.scheduler.queue_cap,
+        cfg.scheduler.policy.label(),
+        cfg.reload_poll,
         ringcnn_nn::runtime::num_threads(),
     );
 

@@ -12,7 +12,7 @@
 use crate::error::ServeError;
 use crate::frame::{self, Tile};
 use crate::protocol::{ModelInfo, Request, Response, Wire};
-use crate::registry::Precision;
+use crate::registry::{Precision, ReloadReport};
 use crate::server::MAX_LINE_BYTES;
 use crate::stats::StatsSnapshot;
 use ringcnn_tensor::prelude::*;
@@ -44,6 +44,29 @@ pub struct HealthReply {
 }
 
 /// One connection to a `ringcnn-serve` instance.
+///
+/// # Example
+///
+/// ```no_run
+/// use ringcnn_serve::prelude::*;
+/// use ringcnn_tensor::prelude::*;
+///
+/// # fn main() -> Result<(), ServeError> {
+/// let mut client = Client::connect("127.0.0.1:7841")?;
+/// let input = Tensor::zeros(Shape4::new(1, 1, 32, 32));
+/// // Plain inference…
+/// let reply = client.infer("ffdnet_real", &input)?;
+/// // …or with a 25 ms latency budget the server may reject on arrival:
+/// match client.infer_deadline("ffdnet_real", &input, Precision::Fp64, 25.0) {
+///     Ok(reply) => println!("served in {:.2} ms", reply.total_ms),
+///     Err(e) if e.code() == "deadline" => println!("shed: {e}"),
+///     Err(e) => return Err(e),
+/// }
+/// // Admin verbs: force a registry hot-reload pass.
+/// let report = client.reload()?;
+/// println!("reloaded {:?}, added {:?}", report.reloaded, report.added);
+/// # Ok(()) }
+/// ```
 pub struct Client {
     stream: TcpStream,
     wire: Wire,
@@ -238,6 +261,24 @@ impl Client {
         self.infer_streaming(model, input, precision, |_, _| {})
     }
 
+    /// [`Client::infer_with`] carrying a `deadline_ms` latency budget:
+    /// the server's admission control rejects on arrival (the
+    /// `deadline` error code) when its per-model latency EWMA predicts
+    /// the budget is already blown, instead of queueing doomed work.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::infer_with`], plus [`ServeError::Deadline`].
+    pub fn infer_deadline(
+        &mut self,
+        model: &str,
+        input: &Tensor,
+        precision: Precision,
+        deadline_ms: f64,
+    ) -> Result<InferReply, ServeError> {
+        self.infer_inner(model, input, precision, Some(deadline_ms), |_, _| {})
+    }
+
     /// [`Client::infer_with`], invoking `on_tile(sample_offset, tile)`
     /// for each output tile *as it arrives* on the binary wire — first
     /// pixels land before the full response finishes transferring. On
@@ -252,6 +293,17 @@ impl Client {
         model: &str,
         input: &Tensor,
         precision: Precision,
+        on_tile: impl FnMut(usize, &[f32]),
+    ) -> Result<InferReply, ServeError> {
+        self.infer_inner(model, input, precision, None, on_tile)
+    }
+
+    fn infer_inner(
+        &mut self,
+        model: &str,
+        input: &Tensor,
+        precision: Precision,
+        deadline_ms: Option<f64>,
         mut on_tile: impl FnMut(usize, &[f32]),
     ) -> Result<InferReply, ServeError> {
         let req = Request::Infer {
@@ -259,6 +311,7 @@ impl Client {
             precision,
             shape: input.shape(),
             data: input.as_slice().to_vec(),
+            deadline_ms,
         };
         self.send(&req)?;
         let resp = match self.receive(|t: Tile<'_>| on_tile(t.offset, t.data))? {
@@ -328,6 +381,22 @@ impl Client {
                 queue_depth,
             }),
             other => Err(unexpected("health", &other)),
+        }
+    }
+
+    /// Forces a registry hot-reload pass on the server and returns what
+    /// changed. In-flight requests finish on the versions that admitted
+    /// them; the pass is transactional (a torn or corrupt model file
+    /// aborts the whole pass with `load_error`, changing nothing).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Load`] when the pass aborted, or transport
+    /// failures.
+    pub fn reload(&mut self) -> Result<ReloadReport, ServeError> {
+        match self.roundtrip(&Request::Reload)? {
+            Response::Reload(r) => Ok(r),
+            other => Err(unexpected("reload", &other)),
         }
     }
 

@@ -17,6 +17,16 @@ pub enum ServeError {
     UnknownModel(String),
     /// The service is draining and no longer admits work.
     ShuttingDown,
+    /// The request carried a `deadline_ms` the scheduler predicts it
+    /// cannot meet (per-model latency EWMA × queue pressure), so it was
+    /// rejected on arrival instead of queueing doomed work. Lower the
+    /// deadline expectation, shed load, or retry later.
+    Deadline {
+        /// The budget the request asked for, milliseconds (rounded).
+        budget_ms: u64,
+        /// What the scheduler predicted completion would take.
+        estimate_ms: u64,
+    },
     /// The request is malformed (bad JSON, wrong shape, …).
     BadRequest(String),
     /// A model file failed to load into the registry.
@@ -40,6 +50,7 @@ impl ServeError {
             ServeError::Overloaded { .. } => "overloaded",
             ServeError::UnknownModel(_) => "unknown_model",
             ServeError::ShuttingDown => "shutting_down",
+            ServeError::Deadline { .. } => "deadline",
             ServeError::BadRequest(_) => "bad_request",
             ServeError::Load(_) => "load_error",
             ServeError::Timeout(_) => "timeout",
@@ -55,6 +66,10 @@ impl ServeError {
             "overloaded" => ServeError::Overloaded { depth: 0, cap: 0 },
             "unknown_model" => ServeError::UnknownModel(message.into()),
             "shutting_down" => ServeError::ShuttingDown,
+            "deadline" => ServeError::Deadline {
+                budget_ms: 0,
+                estimate_ms: 0,
+            },
             "bad_request" => ServeError::BadRequest(message.into()),
             "load_error" => ServeError::Load(message.into()),
             "timeout" => ServeError::Timeout(message.into()),
@@ -72,6 +87,13 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::UnknownModel(m) => write!(f, "unknown model `{m}`"),
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Deadline {
+                budget_ms,
+                estimate_ms,
+            } => write!(
+                f,
+                "deadline {budget_ms}ms cannot be met (estimated {estimate_ms}ms)"
+            ),
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
             ServeError::Load(m) => write!(f, "model load failed: {m}"),
             ServeError::Timeout(m) => write!(f, "i/o timeout: {m}"),
@@ -99,6 +121,10 @@ mod tests {
             ServeError::Overloaded { depth: 4, cap: 4 },
             ServeError::UnknownModel("x".into()),
             ServeError::ShuttingDown,
+            ServeError::Deadline {
+                budget_ms: 5,
+                estimate_ms: 40,
+            },
             ServeError::BadRequest("shape".into()),
             ServeError::Load("truncated".into()),
             ServeError::Timeout("no reply in 2s".into()),

@@ -18,14 +18,19 @@
 //! ```
 //!
 //! Request verbs: `0x01` infer, `0x02` list_models, `0x03` stats,
-//! `0x04` health, `0x05` shutdown. Response verbs: `0x81` infer-begin,
-//! `0x82` infer-tile, `0x83` infer-end, `0x84` list_models, `0x85`
-//! stats, `0x86` health, `0x87` shutdown, `0xFE` error.
+//! `0x04` health, `0x05` shutdown, `0x06` reload. Response verbs:
+//! `0x81` infer-begin, `0x82` infer-tile, `0x83` infer-end, `0x84`
+//! list_models, `0x85` stats, `0x86` health, `0x87` shutdown, `0x88`
+//! reload, `0xFE` error.
 //!
 //! An `infer` request payload is `precision:u8, name_len:u16 LE, name,
 //! shape:4×u32 LE, data:f32 LE × (n·c·h·w)` — pixels cross the wire as
 //! raw IEEE-754 bits, so the round trip is bit-exact by construction
-//! and costs a `memcpy` instead of ASCII float formatting.
+//! and costs a `memcpy` instead of ASCII float formatting. Bit `0x80`
+//! of the precision byte ([`DEADLINE_FLAG`]) marks a request that
+//! carries a latency budget: the payload then ends with a trailing
+//! `deadline_ms: f64 LE` after the sample data. Requests without the
+//! flag are byte-identical to the pre-deadline protocol.
 //!
 //! # Streaming tile responses
 //!
@@ -43,7 +48,7 @@
 
 use crate::error::ServeError;
 use crate::protocol::{ModelInfo, Request, Response};
-use crate::registry::Precision;
+use crate::registry::{Precision, ReloadReport};
 use crate::stats::StatsSnapshot;
 use ringcnn_tensor::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -60,12 +65,17 @@ pub const TILE_SAMPLES: usize = 4096;
 /// Frame header size (the `u32` length prefix).
 pub const HEADER_BYTES: usize = 4;
 
+/// Bit set on an `infer` request's precision byte when the payload
+/// carries a trailing `deadline_ms: f64 LE` after the sample data.
+pub const DEADLINE_FLAG: u8 = 0x80;
+
 // Request verbs.
 const V_INFER: u8 = 0x01;
 const V_LIST_MODELS: u8 = 0x02;
 const V_STATS: u8 = 0x03;
 const V_HEALTH: u8 = 0x04;
 const V_SHUTDOWN: u8 = 0x05;
+const V_RELOAD: u8 = 0x06;
 // Response verbs.
 const V_R_INFER_BEGIN: u8 = 0x81;
 const V_R_INFER_TILE: u8 = 0x82;
@@ -74,6 +84,7 @@ const V_R_LIST_MODELS: u8 = 0x84;
 const V_R_STATS: u8 = 0x85;
 const V_R_HEALTH: u8 = 0x86;
 const V_R_SHUTDOWN: u8 = 0x87;
+const V_R_RELOAD: u8 = 0x88;
 const V_R_ERROR: u8 = 0xFE;
 
 /// Result of an incremental decode over a byte buffer.
@@ -273,20 +284,29 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
             precision,
             shape,
             data,
+            deadline_ms,
         } => frame(out, V_INFER, |out| {
-            out.push(match precision {
+            let mut pbyte = match precision {
                 Precision::Fp64 => 0,
                 Precision::Quant => 1,
-            });
+            };
+            if deadline_ms.is_some() {
+                pbyte |= DEADLINE_FLAG;
+            }
+            out.push(pbyte);
             let name = model.as_bytes();
             out.extend_from_slice(&(name.len() as u16).to_le_bytes());
             out.extend_from_slice(name);
             push_shape(out, *shape);
             push_f32s(out, data);
+            if let Some(d) = deadline_ms {
+                out.extend_from_slice(&d.to_le_bytes());
+            }
         }),
         Request::ListModels => frame(out, V_LIST_MODELS, |_| {}),
         Request::Stats => frame(out, V_STATS, |_| {}),
         Request::Health => frame(out, V_HEALTH, |_| {}),
+        Request::Reload => frame(out, V_RELOAD, |_| {}),
         Request::Shutdown => frame(out, V_SHUTDOWN, |_| {}),
     }
 }
@@ -301,7 +321,9 @@ pub fn decode_request(buf: &[u8], max_frame: usize) -> DecodeStep<Request> {
     let mut r = Reader::new(&buf[payload_at..end]);
     let req = match verb {
         V_INFER => (|| {
-            let precision = match r.u8("precision")? {
+            let pbyte = r.u8("precision")?;
+            let has_deadline = pbyte & DEADLINE_FLAG != 0;
+            let precision = match pbyte & !DEADLINE_FLAG {
                 0 => Precision::Fp64,
                 1 => Precision::Quant,
                 other => {
@@ -314,12 +336,18 @@ pub fn decode_request(buf: &[u8], max_frame: usize) -> DecodeStep<Request> {
             let model = r.str(name_len, "model name")?;
             let shape = read_shape(&mut r)?;
             let data = r.f32s(shape.len(), "sample data")?;
+            let deadline_ms = if has_deadline {
+                Some(r.f64("deadline_ms")?)
+            } else {
+                None
+            };
             r.finish("infer request")?;
             Ok(Request::Infer {
                 model,
                 precision,
                 shape,
                 data,
+                deadline_ms,
             })
         })(),
         V_LIST_MODELS => r
@@ -327,6 +355,7 @@ pub fn decode_request(buf: &[u8], max_frame: usize) -> DecodeStep<Request> {
             .map(|()| Request::ListModels),
         V_STATS => r.finish("stats request").map(|()| Request::Stats),
         V_HEALTH => r.finish("health request").map(|()| Request::Health),
+        V_RELOAD => r.finish("reload request").map(|()| Request::Reload),
         V_SHUTDOWN => r.finish("shutdown request").map(|()| Request::Shutdown),
         other => Err(ServeError::BadRequest(format!(
             "unknown request verb byte 0x{other:02x}"
@@ -387,6 +416,10 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             out.push(u8::from(*healthy));
             out.extend_from_slice(&(*models as u32).to_le_bytes());
             out.extend_from_slice(&(*queue_depth as u32).to_le_bytes());
+        }),
+        Response::Reload(report) => frame(out, V_R_RELOAD, |out| {
+            let json = serde_json::to_string(&report.to_json_value()).expect("report serializes");
+            out.extend_from_slice(json.as_bytes());
         }),
         Response::Shutdown => frame(out, V_R_SHUTDOWN, |_| {}),
         Response::Error(e) => frame(out, V_R_ERROR, |out| {
@@ -582,6 +615,14 @@ impl ResponseAssembler {
                     queue_depth,
                 }))
             }
+            V_R_RELOAD => {
+                let json = r.str(payload.len(), "reload payload")?;
+                let value = serde_json::from_str(&json)
+                    .map_err(|e| ServeError::Io(format!("malformed reload payload: {e}")))?;
+                let report = ReloadReport::from_json_value(&value)
+                    .map_err(|e| ServeError::Io(format!("malformed reload payload: {e}")))?;
+                Ok(Some(Response::Reload(report)))
+            }
             V_R_SHUTDOWN => {
                 r.finish("shutdown response")?;
                 Ok(Some(Response::Shutdown))
@@ -643,16 +684,26 @@ mod tests {
                 precision: Precision::Fp64,
                 shape: Shape4::new(1, 1, 2, 2),
                 data: vec![0.25, -1.0, 3.5, 0.0],
+                deadline_ms: None,
             },
             Request::Infer {
                 model: "m".into(),
                 precision: Precision::Quant,
                 shape: Shape4::new(2, 1, 1, 2),
                 data: vec![f32::MIN_POSITIVE, -0.0, 1e30, -1e-30],
+                deadline_ms: None,
+            },
+            Request::Infer {
+                model: "m".into(),
+                precision: Precision::Quant,
+                shape: Shape4::new(1, 1, 1, 2),
+                data: vec![0.5, 1.5],
+                deadline_ms: Some(12.25),
             },
             Request::ListModels,
             Request::Stats,
             Request::Health,
+            Request::Reload,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -672,6 +723,7 @@ mod tests {
             precision: Precision::Fp64,
             shape: Shape4::new(1, 1, 64, 64),
             data: data.clone(),
+            deadline_ms: None,
         };
         let mut bytes = Vec::new();
         encode_request(&req, &mut bytes);
@@ -714,6 +766,7 @@ mod tests {
                 channels_io: 1,
                 precisions: vec!["fp64".into(), "quant".into()],
                 quant_psnr: Some(31.5),
+                version: 2,
             }]),
             Response::Stats(Metrics::new().snapshot()),
             Response::Health {
@@ -721,6 +774,11 @@ mod tests {
                 models: 2,
                 queue_depth: 7,
             },
+            Response::Reload(ReloadReport {
+                added: vec![],
+                reloaded: vec!["m".into()],
+                unchanged: 1,
+            }),
             Response::Shutdown,
             Response::Error(ServeError::Overloaded { depth: 8, cap: 8 }),
         ];
@@ -776,6 +834,42 @@ mod tests {
     }
 
     #[test]
+    fn deadline_flag_is_a_trailing_f64_and_absent_by_default() {
+        // With a budget: precision byte carries DEADLINE_FLAG and the
+        // payload ends with the f64 LE budget (the documented layout).
+        let mut with = Vec::new();
+        encode_request(
+            &Request::Infer {
+                model: "m".into(),
+                precision: Precision::Fp64,
+                shape: Shape4::new(1, 1, 1, 1),
+                data: vec![0.5],
+                deadline_ms: Some(12.25),
+            },
+            &mut with,
+        );
+        assert_eq!(with[HEADER_BYTES], V_INFER);
+        assert_eq!(with[HEADER_BYTES + 1], DEADLINE_FLAG);
+        assert_eq!(with[with.len() - 8..], 12.25f64.to_le_bytes());
+
+        // Without one: byte-identical to the pre-deadline protocol,
+        // exactly 8 bytes shorter.
+        let mut without = Vec::new();
+        encode_request(
+            &Request::Infer {
+                model: "m".into(),
+                precision: Precision::Fp64,
+                shape: Shape4::new(1, 1, 1, 1),
+                data: vec![0.5],
+                deadline_ms: None,
+            },
+            &mut without,
+        );
+        assert_eq!(without[HEADER_BYTES + 1], 0x00);
+        assert_eq!(with.len(), without.len() + 8);
+    }
+
+    #[test]
     fn torn_prefixes_never_panic_and_are_incomplete() {
         let mut bytes = Vec::new();
         encode_request(
@@ -784,6 +878,7 @@ mod tests {
                 precision: Precision::Fp64,
                 shape: Shape4::new(1, 1, 4, 4),
                 data: vec![0.5; 16],
+                deadline_ms: None,
             },
             &mut bytes,
         );
@@ -823,6 +918,7 @@ mod tests {
                 precision: Precision::Fp64,
                 shape: Shape4::new(1, 1, 2, 2),
                 data: vec![0.5; 4],
+                deadline_ms: None,
             },
             &mut bytes,
         );

@@ -1,10 +1,12 @@
 //! # ringcnn-serve
 //!
 //! A dependency-free (std-only) inference *service* over the shared-state
-//! runtime that PRs 2–3 built: prepared models behind a [`ModelRegistry`],
-//! a dynamic micro-batching [`Scheduler`] with admission control, and a
-//! line-delimited-JSON-over-TCP [`server`] with a closed-loop
-//! [`loadgen`] harness.
+//! runtime that PRs 2–3 built: prepared models behind a hot-reloadable
+//! [`ModelRegistry`](registry::ModelRegistry), a dynamic micro-batching
+//! [`Scheduler`](scheduler::Scheduler) with weighted fair scheduling
+//! and deadline-aware admission control, and an
+//! event-driven TCP [`server`] speaking line-JSON or binary frames, with
+//! a closed-loop [`loadgen`] harness.
 //!
 //! The software analogue of the paper's always-on imaging pipeline: the
 //! accelerator wins by keeping a prepared engine saturated with batched
@@ -12,6 +14,16 @@
 //! connections coalesce into per-model batches that fan out across the
 //! thread pool through [`Layer::forward_infer`], so every frame of a
 //! batch reuses the same cached transform plans.
+//!
+//! Fleet management (PR 8): models hot-reload in place (content-hashed
+//! files, atomic `Arc` swap, per-model version counters — see
+//! [`registry`]), per-model queues share service by weight so one hot
+//! model cannot starve the rest (see [`scheduler`]), requests may carry
+//! a `deadline_ms` budget that admission rejects-on-arrival when
+//! already blown, and `stats` v2 reports per-model QPS, log-spaced
+//! latency histograms, and reload counters (see [`stats`]). The
+//! architecture, protocol, and operations documentation lives under
+//! `docs/` at the repository root.
 //!
 //! ```
 //! use ringcnn_nn::prelude::*;
@@ -22,7 +34,7 @@
 //! // Register a model (normally loaded from a `ringcnn-model/v1` file).
 //! let alg = Algebra::real();
 //! let spec = ModelSpec::Vdsr { depth: 2, width: 8, channels_io: 1 };
-//! let mut registry = ModelRegistry::new();
+//! let registry = ModelRegistry::new();
 //! registry
 //!     .register("vdsr_real", spec, AlgebraSpec::of(&alg), spec.build(&alg, 1))
 //!     .unwrap();
@@ -57,9 +69,9 @@ pub mod prelude {
     pub use crate::error::ServeError;
     pub use crate::loadgen::{LoadgenConfig, LoadgenReport};
     pub use crate::protocol::{ModelInfo, Request, Response, Wire};
-    pub use crate::registry::{ModelEntry, ModelRegistry, Precision};
-    pub use crate::scheduler::{InferOutput, Scheduler, SchedulerConfig};
+    pub use crate::registry::{ModelEntry, ModelRegistry, Precision, ReloadReport};
+    pub use crate::scheduler::{InferOutput, SchedPolicy, Scheduler, SchedulerConfig};
     pub use crate::server::{Server, ServerConfig};
-    pub use crate::stats::{Metrics, StatsSnapshot};
+    pub use crate::stats::{Metrics, ModelStats, StatsSnapshot};
     pub use ringcnn_nn::serialize::{AlgebraSpec, ModelSpec};
 }

@@ -47,6 +47,17 @@ pub struct LoadgenConfig {
     /// [`ServeError::Timeout`] instead of hanging the whole run forever.
     /// `None` disables the deadline (not recommended outside debugging).
     pub io_timeout: Option<Duration>,
+    /// When set, every request carries this `deadline_ms` budget, and
+    /// admission rejections with the `deadline` code are counted in
+    /// [`LoadgenReport::deadline_rejected`] instead of
+    /// [`LoadgenReport::errors`] — shed load is the feature working,
+    /// not a failure.
+    pub deadline_ms: Option<f64>,
+    /// Assert `stats` v2 invariants against the server after the run
+    /// (per-model histogram totals, bucket layout). On by default;
+    /// panics on violation, so CI catches a server whose accounting
+    /// drifts from its responses.
+    pub check_stats: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -62,6 +73,8 @@ impl Default for LoadgenConfig {
             precision: Precision::Fp64,
             wire: Wire::Json,
             io_timeout: Some(Duration::from_secs(60)),
+            deadline_ms: None,
+            check_stats: true,
         }
     }
 }
@@ -73,6 +86,10 @@ pub struct LoadgenReport {
     pub completed: usize,
     /// Requests that failed (any error, including `overloaded`).
     pub errors: usize,
+    /// Requests shed by deadline-aware admission (the `deadline` wire
+    /// code) — counted separately from `errors` because rejecting work
+    /// that cannot meet its budget is the intended behavior.
+    pub deadline_rejected: usize,
     /// Wall-clock of the measured phase, milliseconds.
     pub elapsed_ms: f64,
     /// Completed requests per second.
@@ -155,7 +172,11 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
                     );
                     let t0 = Instant::now();
                     let measured = i >= cfg.warmup;
-                    match client.infer_with(model, &x, cfg.precision) {
+                    let reply = match cfg.deadline_ms {
+                        Some(d) => client.infer_deadline(model, &x, cfg.precision, d),
+                        None => client.infer_with(model, &x, cfg.precision),
+                    };
+                    match reply {
                         Ok(reply) => {
                             if measured {
                                 r.latencies.push(t0.elapsed().as_secs_f64() * 1e3);
@@ -163,7 +184,13 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
                                 r.per_model[midx] += 1;
                             }
                         }
-                        Err(_) if measured => r.errors += 1,
+                        Err(e) if measured => {
+                            if e.code() == "deadline" {
+                                r.deadline_rejected += 1;
+                            } else {
+                                r.errors += 1;
+                            }
+                        }
                         Err(_) => {}
                     }
                 }
@@ -182,12 +209,14 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
     let results = results.lock().unwrap_or_else(|e| e.into_inner());
     let mut latencies = Vec::new();
     let mut errors = 0;
+    let mut deadline_rejected = 0;
     let mut batch_sum = 0.0;
     let mut per_model = vec![0usize; cfg.models.len()];
     let mut window: Option<(Instant, Instant)> = None;
     for r in results.iter() {
         latencies.extend_from_slice(&r.latencies);
         errors += r.errors;
+        deadline_rejected += r.deadline_rejected;
         batch_sum += r.batch_sum;
         for (acc, n) in per_model.iter_mut().zip(&r.per_model) {
             *acc += n;
@@ -203,9 +232,13 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
         .map(|(s, e)| e.duration_since(s).as_secs_f64() * 1e3)
         .unwrap_or(0.0);
     let completed = latencies.len();
+    if cfg.check_stats {
+        check_stats_v2(cfg)?;
+    }
     Ok(LoadgenReport {
         completed,
         errors,
+        deadline_rejected,
         elapsed_ms,
         throughput_rps: completed as f64 / (elapsed_ms / 1e3).max(1e-9),
         ms_per_request: if completed > 0 {
@@ -223,9 +256,53 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
     })
 }
 
+/// Post-run `stats` v2 sanity: the server's own accounting must be
+/// internally consistent with what this run (and any prior traffic)
+/// observed. Asserted, not returned: a violation is a server bug.
+///
+/// # Errors
+///
+/// Transport failures fetching the snapshot.
+fn check_stats_v2(cfg: &LoadgenConfig) -> Result<(), ServeError> {
+    let mut probe = Client::connect_retry_wire(&cfg.addr, Duration::from_secs(5), cfg.wire)?;
+    probe.set_io_timeout(cfg.io_timeout)?;
+    let snap = probe.stats()?;
+    assert_eq!(
+        snap.bucket_edges_ms.len(),
+        crate::stats::HIST_BUCKETS - 1,
+        "stats v2 must publish the histogram bucket edges"
+    );
+    for m in &snap.per_model {
+        assert_eq!(
+            m.histogram.len(),
+            crate::stats::HIST_BUCKETS,
+            "model {}: histogram bucket count",
+            m.name
+        );
+        let hist_total: u64 = m.histogram.iter().sum();
+        assert_eq!(
+            hist_total, m.completed,
+            "model {}: histogram totals must equal completed requests",
+            m.name
+        );
+        assert!(
+            m.version >= 1,
+            "model {}: registered models have version >= 1",
+            m.name
+        );
+    }
+    let per_model_completed: u64 = snap.per_model.iter().map(|m| m.completed).sum();
+    assert_eq!(
+        per_model_completed, snap.completed,
+        "per-model completed counts must sum to the global counter"
+    );
+    Ok(())
+}
+
 struct ConnResult {
     latencies: Vec<f64>,
     errors: usize,
+    deadline_rejected: usize,
     batch_sum: f64,
     per_model: Vec<usize>,
     /// When this connection entered its measured phase (post-warm-up).
@@ -239,6 +316,7 @@ impl ConnResult {
         Self {
             latencies: Vec::new(),
             errors: 0,
+            deadline_rejected: 0,
             batch_sum: 0.0,
             per_model: vec![0; models],
             measure_start: None,

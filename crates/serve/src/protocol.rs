@@ -6,11 +6,20 @@
 //! ```json
 //! {"verb":"infer","model":"ffdnet_real","shape":[1,1,32,32],"data":[0.5,…]}
 //! {"verb":"infer","model":"ffdnet_real","precision":"quant","shape":[1,1,32,32],"data":[0.5,…]}
+//! {"verb":"infer","model":"ffdnet_real","deadline_ms":25.0,"shape":[1,1,32,32],"data":[0.5,…]}
 //! {"verb":"list_models"}
 //! {"verb":"stats"}
 //! {"verb":"health"}
+//! {"verb":"reload"}
 //! {"verb":"shutdown"}
 //! ```
+//!
+//! `deadline_ms` is optional: when present, admission may reject the
+//! request on arrival with the `deadline` error code (see
+//! [`crate::scheduler::Scheduler::submit_with`]). `reload` forces a
+//! registry reload pass and answers with the [`ReloadReport`]. The full
+//! normative spec, including the binary framing of every verb, lives in
+//! `docs/PROTOCOL.md`.
 //!
 //! # Responses
 //!
@@ -31,7 +40,7 @@
 //! compatibility.
 
 use crate::error::ServeError;
-use crate::registry::Precision;
+use crate::registry::{Precision, ReloadReport};
 use crate::stats::StatsSnapshot;
 use ringcnn_tensor::prelude::*;
 use serde::{Deserialize, Serialize, Value};
@@ -89,6 +98,11 @@ pub enum Request {
         shape: Shape4,
         /// Row-major samples (`n·c·h·w` values).
         data: Vec<f32>,
+        /// Optional latency budget: admission rejects on arrival with
+        /// the `deadline` code when the scheduler predicts it is
+        /// already blown. Absent on the wire when `None` (old clients
+        /// never send it, old servers ignore it).
+        deadline_ms: Option<f64>,
     },
     /// List the registered models.
     ListModels,
@@ -96,6 +110,8 @@ pub enum Request {
     Stats,
     /// Liveness/readiness probe.
     Health,
+    /// Force a registry hot-reload pass (admin verb).
+    Reload,
     /// Ask the server to drain and exit.
     Shutdown,
 }
@@ -127,6 +143,9 @@ pub struct ModelInfo {
     /// Calibration-time fp-vs-quant PSNR (dB) of the quantized pipeline,
     /// `None` without one.
     pub quant_psnr: Option<f64>,
+    /// Hot-reload version counter: `1` at first registration, bumped on
+    /// every successful reload of this model.
+    pub version: u64,
 }
 
 /// A server → client message.
@@ -158,6 +177,8 @@ pub enum Response {
         /// Current queue depth.
         queue_depth: usize,
     },
+    /// Reload pass completed; what changed.
+    Reload(ReloadReport),
     /// Shutdown acknowledged; the server drains and exits.
     Shutdown,
     /// The request failed.
@@ -224,16 +245,25 @@ impl Request {
                 precision,
                 shape,
                 data,
-            } => obj(vec![
-                ("verb", Value::Str("infer".into())),
-                ("model", Value::Str(model.clone())),
-                ("precision", Value::Str(precision.label().into())),
-                ("shape", shape_value(*shape)),
-                ("data", data.to_json_value()),
-            ]),
+                deadline_ms,
+            } => {
+                let mut pairs = vec![
+                    ("verb", Value::Str("infer".into())),
+                    ("model", Value::Str(model.clone())),
+                    ("precision", Value::Str(precision.label().into())),
+                ];
+                // Emitted only when set: old servers never see the field.
+                if let Some(d) = deadline_ms {
+                    pairs.push(("deadline_ms", Value::F64(*d)));
+                }
+                pairs.push(("shape", shape_value(*shape)));
+                pairs.push(("data", data.to_json_value()));
+                obj(pairs)
+            }
             Request::ListModels => obj(vec![("verb", Value::Str("list_models".into()))]),
             Request::Stats => obj(vec![("verb", Value::Str("stats".into()))]),
             Request::Health => obj(vec![("verb", Value::Str("health".into()))]),
+            Request::Reload => obj(vec![("verb", Value::Str("reload".into()))]),
             Request::Shutdown => obj(vec![("verb", Value::Str("shutdown".into()))]),
         };
         serde_json::to_string(&v).expect("request serializes")
@@ -261,6 +291,18 @@ impl Request {
                     }
                     Err(_) => Precision::Fp64,
                 };
+                // Absent field = no budget; present but mistyped =
+                // bad_request (never silently dropped).
+                let deadline_ms = match v.field("deadline_ms") {
+                    Ok(Value::F64(d)) => Some(*d),
+                    Ok(Value::U64(d)) => Some(*d as f64),
+                    Ok(_) => {
+                        return Err(ServeError::BadRequest(
+                            "field `deadline_ms` must be a number".into(),
+                        ))
+                    }
+                    Err(_) => None,
+                };
                 let shape = decode_shape(&v, "shape")?;
                 let data: Vec<f32> = decode(&v, "data")?;
                 if data.len() != shape.len() {
@@ -275,11 +317,13 @@ impl Request {
                     precision,
                     shape,
                     data,
+                    deadline_ms,
                 })
             }
             "list_models" => Ok(Request::ListModels),
             "stats" => Ok(Request::Stats),
             "health" => Ok(Request::Health),
+            "reload" => Ok(Request::Reload),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ServeError::BadRequest(format!("unknown verb `{other}`"))),
         }
@@ -329,6 +373,7 @@ impl Response {
                     ("queue_depth", Value::U64(*queue_depth as u64)),
                 ],
             ),
+            Response::Reload(report) => ok("reload", vec![("report", report.to_json_value())]),
             Response::Shutdown => ok("shutdown", vec![]),
             Response::Error(e) => obj(vec![
                 ("ok", Value::Bool(false)),
@@ -369,6 +414,7 @@ impl Response {
                 models: decode(&v, "models")?,
                 queue_depth: decode(&v, "queue_depth")?,
             }),
+            "reload" => Ok(Response::Reload(decode(&v, "report")?)),
             "shutdown" => Ok(Response::Shutdown),
             other => Err(ServeError::BadRequest(format!(
                 "unknown response verb `{other}`"
@@ -390,16 +436,26 @@ mod tests {
                 precision: Precision::Fp64,
                 shape: Shape4::new(1, 1, 2, 2),
                 data: vec![0.25, -1.0, 3.5, 0.0],
+                deadline_ms: None,
             },
             Request::Infer {
                 model: "ffdnet_real".into(),
                 precision: Precision::Quant,
                 shape: Shape4::new(1, 1, 2, 2),
                 data: vec![0.25, -1.0, 3.5, 0.0],
+                deadline_ms: None,
+            },
+            Request::Infer {
+                model: "ffdnet_real".into(),
+                precision: Precision::Fp64,
+                shape: Shape4::new(1, 1, 2, 2),
+                data: vec![0.25, -1.0, 3.5, 0.0],
+                deadline_ms: Some(25.5),
             },
             Request::ListModels,
             Request::Stats,
             Request::Health,
+            Request::Reload,
             Request::Shutdown,
         ];
         for r in reqs {
@@ -419,6 +475,7 @@ mod tests {
             precision: Precision::Fp64,
             shape: Shape4::new(1, 1, 16, 16),
             data: data.clone(),
+            deadline_ms: None,
         };
         match Request::parse(&r.to_json()).unwrap() {
             Request::Infer { data: back, .. } => assert_eq!(back, data),
@@ -448,6 +505,7 @@ mod tests {
                 channels_io: 1,
                 precisions: vec!["fp64".into(), "quant".into()],
                 quant_psnr: Some(31.5),
+                version: 3,
             }]),
             Response::Stats(Metrics::new().snapshot()),
             Response::Health {
@@ -455,6 +513,11 @@ mod tests {
                 models: 2,
                 queue_depth: 0,
             },
+            Response::Reload(ReloadReport {
+                added: vec!["b".into()],
+                reloaded: vec!["a".into()],
+                unchanged: 2,
+            }),
             Response::Shutdown,
             Response::Error(ServeError::Overloaded { depth: 8, cap: 8 }),
         ];
@@ -493,6 +556,7 @@ mod tests {
             r#"{"verb":5}"#,
             r#"{"verb":"infer","model":"m","precision":"int3","shape":[1,1,1,1],"data":[1.0]}"#,
             r#"{"verb":"infer","model":"m","precision":7,"shape":[1,1,1,1],"data":[1.0]}"#,
+            r#"{"verb":"infer","model":"m","deadline_ms":"soon","shape":[1,1,1,1],"data":[1.0]}"#,
             "[1,2,3]",
             // Shape whose element product wraps usize: must be refused,
             // not wrapped to a small count that matches `data`.

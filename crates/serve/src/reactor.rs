@@ -473,6 +473,7 @@ fn dispatch(
             precision,
             shape,
             data,
+            deadline_ms,
         } => {
             let input = ringcnn_tensor::tensor::Tensor::from_vec(shape, data);
             lock_unpoisoned(&conn.out).busy = true;
@@ -498,7 +499,10 @@ fn dispatch(
                 drop(out);
                 notify.completed(token);
             }));
-            match shared.scheduler.submit_done(&model, input, precision, done) {
+            match shared
+                .scheduler
+                .submit_done(&model, input, precision, deadline_ms, done)
+            {
                 Ok(()) => return, // Answered asynchronously.
                 Err(e) => {
                     lock_unpoisoned(&conn.out).busy = false;
@@ -508,12 +512,44 @@ fn dispatch(
         }
         Request::ListModels => Response::ListModels(shared.model_infos()),
         Request::Stats => {
-            // The counter snapshot, with the one point-in-time field
-            // overridden by the live queue length (the atomic only
-            // remembers the depth at the last submit/dispatch).
-            let mut snap = shared.scheduler.metrics().snapshot();
-            snap.queue_depth = shared.scheduler.queue_len();
-            Response::Stats(snap)
+            // Assembled from per-source snapshots (each lock held only
+            // to copy); serialization below touches no lock at all, so a
+            // slow stats consumer cannot stall admission.
+            Response::Stats(shared.scheduler.stats_snapshot())
+        }
+        Request::Reload => {
+            // A reload pass reads and parses model files — far too slow
+            // for the reactor thread. Run it on a short-lived thread,
+            // reusing the in-flight (`busy`) machinery so this
+            // connection's responses stay ordered; other connections
+            // keep being serviced meanwhile.
+            lock_unpoisoned(&conn.out).busy = true;
+            let out = conn.out.clone();
+            let notify = notify.clone();
+            let token = conn.token;
+            let shared = shared.clone();
+            let spawned = std::thread::Builder::new()
+                .name("serve-reload".into())
+                .spawn(move || {
+                    let resp = match shared.scheduler.registry().reload_pass() {
+                        Ok(report) => Response::Reload(report),
+                        Err(e) => Response::Error(e),
+                    };
+                    let mut out = lock_unpoisoned(&out);
+                    encode_into(&resp, wire, &mut out.buf);
+                    out.busy = false;
+                    drop(out);
+                    notify.completed(token);
+                });
+            match spawned {
+                Ok(_) => return, // Answered asynchronously.
+                Err(e) => {
+                    lock_unpoisoned(&conn.out).busy = false;
+                    Response::Error(ServeError::Internal(format!(
+                        "cannot spawn reload thread: {e}"
+                    )))
+                }
+            }
         }
         Request::Health => Response::Health {
             healthy: !shared.shutdown.load(Ordering::SeqCst),

@@ -15,6 +15,21 @@
 //! loads all float files before all qmodel files, regardless of file
 //! name order.
 //!
+//! # Hot reload (PR 8)
+//!
+//! The registry is interior-mutable behind an `RwLock`: the scheduler
+//! holds an `Arc<ModelRegistry>` and [`ModelRegistry::get`] takes a
+//! brief read lock on every admission, while [`ModelRegistry::reload_pass`]
+//! rescans the directory remembered by [`ModelRegistry::load_dir`],
+//! rebuilds any model whose file content changed (FNV-64 fingerprint),
+//! and atomically swaps the `Arc<ModelEntry>` under a write lock. Each
+//! swap bumps the entry's [`ModelEntry::version`]; requests admitted
+//! before the swap keep their old `Arc` and finish bit-exact on the
+//! version that admitted them. Model *removal* is deliberately not
+//! supported by the pass: deleting a file keeps the last published
+//! version serving (an operator who wants a model gone restarts the
+//! server), which keeps the pass idempotent and crash-safe.
+//!
 //! [`prepare_inference`]: ringcnn_nn::layer::Layer::prepare_inference
 
 use crate::error::ServeError;
@@ -25,8 +40,11 @@ use ringcnn_nn::serialize::{instantiate, model_from_json, AlgebraSpec, ModelFile
 use ringcnn_quant::quantized::QuantizedModel;
 use ringcnn_quant::serialize::{peek_format_tag, qmodel_from_json, QModelFile, QMODEL_FORMAT};
 use ringcnn_tensor::prelude::*;
-use std::path::Path;
-use std::sync::{Arc, OnceLock};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// Which execution pipeline of a model an inference request runs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -69,6 +87,9 @@ struct QuantAttachment {
     qmodel: QuantizedModel,
     /// Calibration-time float-vs-quant PSNR (dB), from the model file.
     calibration_psnr: f64,
+    /// Declared I/O channels, kept so a hot-reload pass can re-validate
+    /// a carried-over attachment against a freshly rebuilt float entry.
+    channels_io: usize,
 }
 
 /// One registered, inference-ready model.
@@ -78,6 +99,10 @@ pub struct ModelEntry {
     algebra: AlgebraSpec,
     topo: ModelTopo,
     num_params: usize,
+    /// Monotonic per-name publish counter: 1 at first registration,
+    /// bumped by every hot-reload swap. Surfaced in `list_models` and
+    /// `stats` so operators can confirm a reload took effect.
+    version: u64,
     model: Sequential,
     /// Write-once quantized attachment (`None` until a qmodel loads).
     quant: OnceLock<QuantAttachment>,
@@ -91,6 +116,7 @@ impl std::fmt::Debug for ModelEntry {
             .field("algebra", &self.algebra)
             .field("topo", &self.topo)
             .field("num_params", &self.num_params)
+            .field("version", &self.version)
             .finish_non_exhaustive()
     }
 }
@@ -119,6 +145,12 @@ impl ModelEntry {
     /// Stored real-valued parameter count.
     pub fn num_params(&self) -> usize {
         self.num_params
+    }
+
+    /// Publish version of this entry (1 = initial registration; each
+    /// hot-reload swap of the same name publishes `version + 1`).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Shared-state inference forward (many threads may call this on one
@@ -166,23 +198,36 @@ impl ModelEntry {
     /// agree with the float entry on I/O channels and spatial topology —
     /// a request valid for one precision must be valid for the other.
     fn attach_quant(&self, file: &QModelFile) -> Result<(), ServeError> {
+        self.attach_quant_raw(file.model.clone(), file.calibration_psnr, file.channels_io)
+    }
+
+    /// The validation + set half of [`ModelEntry::attach_quant`], also
+    /// used by the reload pass to carry an existing attachment onto a
+    /// freshly rebuilt entry.
+    fn attach_quant_raw(
+        &self,
+        qmodel: QuantizedModel,
+        calibration_psnr: f64,
+        channels_io: usize,
+    ) -> Result<(), ServeError> {
         let want_c = self.spec.channels_io();
-        if file.channels_io != want_c {
+        if channels_io != want_c {
             return Err(ServeError::Load(format!(
-                "qmodel `{}` takes {} channel(s), float model takes {want_c}",
-                file.name, file.channels_io
+                "qmodel `{}` takes {channels_io} channel(s), float model takes {want_c}",
+                self.name
             )));
         }
-        let qtopo = file.model.topology();
+        let qtopo = qmodel.topology();
         if qtopo.granularity != self.topo.granularity || qtopo.scale != self.topo.scale {
             return Err(ServeError::Load(format!(
                 "qmodel `{}` topology {qtopo:?} disagrees with float topology {:?}",
-                file.name, self.topo
+                self.name, self.topo
             )));
         }
         let attachment = QuantAttachment {
-            qmodel: file.model.clone(),
-            calibration_psnr: file.calibration_psnr,
+            qmodel,
+            calibration_psnr,
+            channels_io,
         };
         self.quant.set(attachment).map_err(|_| {
             ServeError::Load(format!(
@@ -278,16 +323,123 @@ impl ModelEntry {
     }
 }
 
-/// A frozen set of named, prepared models. Built once at startup, then
-/// shared immutably with the scheduler and server.
+/// Outcome of one [`ModelRegistry::reload_pass`] — also the payload of
+/// the `reload` wire verb on both protocols.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReloadReport {
+    /// Names registered for the first time by this pass, sorted.
+    pub added: Vec<String>,
+    /// Names whose entry was atomically swapped for a new version, sorted.
+    pub reloaded: Vec<String>,
+    /// Model files scanned whose content fingerprint was unchanged.
+    pub unchanged: u64,
+}
+
+impl ReloadReport {
+    /// Whether the pass published nothing.
+    pub fn is_noop(&self) -> bool {
+        self.added.is_empty() && self.reloaded.is_empty()
+    }
+}
+
+/// FNV-1a 64-bit content fingerprint. Unlike an mtime stamp it is
+/// immune to filesystem timestamp granularity when a model is
+/// re-exported twice in the same tick, and the model files are small
+/// enough that hashing every poll is cheap.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn read_unpoisoned<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_unpoisoned<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One `*.json` file read during a directory scan.
+struct ScannedFile {
+    path: PathBuf,
+    text: String,
+    hash: u64,
+    is_qmodel: bool,
+}
+
+/// Reads every `*.json` file in `dir`, sorted by path, fingerprinted
+/// and classified by format tag.
+fn scan_model_dir(dir: &Path) -> Result<Vec<ScannedFile>, ServeError> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| ServeError::Io(format!("{}: {e}", dir.display())))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(&p)
+                .map_err(|e| ServeError::Io(format!("{}: {e}", p.display())))?;
+            let hash = fnv64(text.as_bytes());
+            let is_qmodel = peek_format_tag(&text) == QMODEL_FORMAT;
+            Ok(ScannedFile {
+                path: p,
+                text,
+                hash,
+                is_qmodel,
+            })
+        })
+        .collect()
+}
+
+/// Mutable registry internals, guarded by one `RwLock`.
 #[derive(Default)]
-pub struct ModelRegistry {
+struct Inner {
     /// Registration order (what `entries()` and `list_models` expose).
     entries: Vec<Arc<ModelEntry>>,
     /// Name → position in `entries`: [`ModelRegistry::get`] runs on
     /// every request admission, so the lookup must not linear-scan a
     /// large registry.
-    index: std::collections::HashMap<String, usize>,
+    index: HashMap<String, usize>,
+    /// Hot-reload source, set by [`ModelRegistry::load_dir`].
+    watch: Option<WatchState>,
+}
+
+/// What [`ModelRegistry::reload_pass`] compares a fresh scan against.
+struct WatchState {
+    dir: PathBuf,
+    /// Path → FNV-64 content hash at the last successful (re)load.
+    /// Advanced only when a pass commits, so a failed pass retries.
+    stamps: HashMap<PathBuf, u64>,
+    /// Model name → its float-model file: a qmodel-only change must
+    /// rebuild the float entry it attaches to (the attachment is
+    /// write-once), so the pass needs to find that file again.
+    float_paths: HashMap<String, PathBuf>,
+}
+
+/// The named, prepared model fleet shared by scheduler and server.
+///
+/// Interior-mutable: lookups take a brief read lock; registration and
+/// [`ModelRegistry::reload_pass`] commits take the write lock only for
+/// the pointer swap (model preparation happens outside any lock). A
+/// request that already holds an entry `Arc` is never affected by a
+/// concurrent swap — it finishes on the version that admitted it.
+#[derive(Default)]
+pub struct ModelRegistry {
+    inner: RwLock<Inner>,
+    /// Serializes reload passes end to end (scan → rebuild → commit) so
+    /// concurrent `reload` verbs can't interleave half-built fleets and
+    /// per-name versions stay strictly monotonic.
+    reload_gate: Mutex<()>,
+    reload_passes: AtomicU64,
+    models_reloaded: AtomicU64,
 }
 
 impl ModelRegistry {
@@ -296,38 +448,59 @@ impl ModelRegistry {
         Self::default()
     }
 
-    /// Registers a built model under `name`: prepares its inference
-    /// kernels, derives its topology, and freezes it behind an `Arc`.
-    ///
-    /// # Errors
-    ///
-    /// [`ServeError::Load`] when the name is already taken.
-    pub fn register(
-        &mut self,
+    /// Prepares a built model for serving — kernel caches, topology,
+    /// parameter count. Expensive, so callers run it outside any
+    /// registry lock.
+    fn prepare_entry(
         name: &str,
         spec: ModelSpec,
         algebra: AlgebraSpec,
         mut model: Sequential,
-    ) -> Result<Arc<ModelEntry>, ServeError> {
-        if self.get(name).is_some() {
-            return Err(ServeError::Load(format!(
-                "model name `{name}` is already registered"
-            )));
-        }
+        version: u64,
+    ) -> ModelEntry {
         model.prepare_inference();
         let topo = model_topology(&mut model);
         let num_params = model.num_params();
-        let entry = Arc::new(ModelEntry {
+        ModelEntry {
             name: name.into(),
             spec,
             algebra,
             topo,
             num_params,
+            version,
             model,
             quant: OnceLock::new(),
-        });
-        self.index.insert(name.into(), self.entries.len());
-        self.entries.push(entry.clone());
+        }
+    }
+
+    /// Registers a built model under `name`: prepares its inference
+    /// kernels, derives its topology, and freezes it behind an `Arc`
+    /// at version 1.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Load`] when the name is already taken.
+    pub fn register(
+        &self,
+        name: &str,
+        spec: ModelSpec,
+        algebra: AlgebraSpec,
+        model: Sequential,
+    ) -> Result<Arc<ModelEntry>, ServeError> {
+        let taken = || ServeError::Load(format!("model name `{name}` is already registered"));
+        // Cheap pre-check so a duplicate fails before the expensive
+        // kernel preparation; re-checked under the write lock below.
+        if self.get(name).is_some() {
+            return Err(taken());
+        }
+        let entry = Arc::new(Self::prepare_entry(name, spec, algebra, model, 1));
+        let mut inner = write_unpoisoned(&self.inner);
+        if inner.index.contains_key(name) {
+            return Err(taken());
+        }
+        let at = inner.entries.len();
+        inner.index.insert(name.into(), at);
+        inner.entries.push(entry.clone());
         Ok(entry)
     }
 
@@ -339,7 +512,7 @@ impl ModelRegistry {
     /// [`ServeError::Load`] when no float entry has this name, the
     /// pipeline disagrees with it (channels/topology), or a quantized
     /// pipeline is already attached.
-    pub fn register_qmodel(&mut self, file: &QModelFile) -> Result<Arc<ModelEntry>, ServeError> {
+    pub fn register_qmodel(&self, file: &QModelFile) -> Result<Arc<ModelEntry>, ServeError> {
         let entry = self.get(&file.name).ok_or_else(|| {
             ServeError::Load(format!(
                 "qmodel `{}` has no float model to attach to (load its ringcnn-model/v1 first)",
@@ -357,7 +530,7 @@ impl ModelRegistry {
     ///
     /// [`ServeError::Load`] when the weights don't fit the declared
     /// architecture or the name collides.
-    pub fn register_file(&mut self, file: &ModelFile) -> Result<Arc<ModelEntry>, ServeError> {
+    pub fn register_file(&self, file: &ModelFile) -> Result<Arc<ModelEntry>, ServeError> {
         let (_, model) = instantiate(file).map_err(|e| ServeError::Load(e.to_string()))?;
         self.register(&file.name, file.spec, file.algebra, model)
     }
@@ -372,7 +545,7 @@ impl ModelRegistry {
     /// [`ServeError::Io`] when the file can't be read, [`ServeError::Load`]
     /// when it is corrupt (truncated JSON, wrong/unknown version, weight
     /// or structure mismatch) — never a panic.
-    pub fn load_path(&mut self, path: &Path) -> Result<Arc<ModelEntry>, ServeError> {
+    pub fn load_path(&self, path: &Path) -> Result<Arc<ModelEntry>, ServeError> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| ServeError::Io(format!("{}: {e}", path.display())))?;
         self.load_text(&text, path)
@@ -380,7 +553,7 @@ impl ModelRegistry {
 
     /// Registers already-read model-file text (the dispatch half of
     /// [`ModelRegistry::load_path`]; `origin` labels errors).
-    fn load_text(&mut self, text: &str, origin: &Path) -> Result<Arc<ModelEntry>, ServeError> {
+    fn load_text(&self, text: &str, origin: &Path) -> Result<Arc<ModelEntry>, ServeError> {
         let ctx =
             |e: &dyn std::fmt::Display| ServeError::Load(format!("{}: {e}", origin.display()));
         match peek_format_tag(text).as_str() {
@@ -400,60 +573,224 @@ impl ModelRegistry {
     /// Loads every `*.json` model file in a directory: all
     /// `ringcnn-model/v1` files first (sorted by file name so
     /// registration order is stable), then all `ringcnn-qmodel/v1`
-    /// attachments — a qmodel may sort before its float model.
+    /// attachments — a qmodel may sort before its float model. The
+    /// directory and per-file content fingerprints are remembered so
+    /// [`ModelRegistry::reload_pass`] can detect changes later.
     ///
     /// # Errors
     ///
     /// The first file that fails to read or parse aborts the load.
-    pub fn load_dir(&mut self, dir: &Path) -> Result<Vec<String>, ServeError> {
-        let mut paths: Vec<_> = std::fs::read_dir(dir)
-            .map_err(|e| ServeError::Io(format!("{}: {e}", dir.display())))?
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| p.extension().is_some_and(|x| x == "json"))
-            .collect();
-        paths.sort();
-        // Read each file once, classify by its format tag, and load all
-        // floats before all attachments.
-        let mut floats = Vec::new();
-        let mut qmodels = Vec::new();
-        for p in paths {
-            let text = std::fs::read_to_string(&p)
-                .map_err(|e| ServeError::Io(format!("{}: {e}", p.display())))?;
-            if peek_format_tag(&text) == QMODEL_FORMAT {
-                qmodels.push((p, text));
-            } else {
-                floats.push((p, text));
-            }
-        }
+    pub fn load_dir(&self, dir: &Path) -> Result<Vec<String>, ServeError> {
+        let files = scan_model_dir(dir)?;
         let mut names = Vec::new();
-        for (p, text) in floats {
-            names.push(self.load_text(&text, &p)?.name().to_string());
+        let mut float_paths = HashMap::new();
+        for f in files.iter().filter(|f| !f.is_qmodel) {
+            let name = self.load_text(&f.text, &f.path)?.name().to_string();
+            float_paths.insert(name.clone(), f.path.clone());
+            names.push(name);
         }
-        for (p, text) in qmodels {
+        for f in files.iter().filter(|f| f.is_qmodel) {
             // Attachment mutates an existing entry; don't double-list it.
-            self.load_text(&text, &p)?;
+            self.load_text(&f.text, &f.path)?;
         }
+        let stamps = files.iter().map(|f| (f.path.clone(), f.hash)).collect();
+        write_unpoisoned(&self.inner).watch = Some(WatchState {
+            dir: dir.to_path_buf(),
+            stamps,
+            float_paths,
+        });
         Ok(names)
     }
 
-    /// Looks up a model by name (O(1) — this runs on every admission).
-    pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
-        self.index.get(name).map(|&i| self.entries[i].clone())
+    /// One hot-reload pass over the directory remembered by
+    /// [`ModelRegistry::load_dir`] (a no-op `Ok` when the registry was
+    /// built programmatically and watches nothing).
+    ///
+    /// A model is rebuilt when its float file's content changed, its
+    /// qmodel file's content changed (the write-once attachment forces
+    /// a fresh float entry to ride on), or either file is new. Rebuilds
+    /// happen outside the registry lock; the commit is a single write
+    /// lock that swaps `Arc`s and bumps versions, so a concurrent
+    /// `infer` either sees the complete old fleet or the complete new
+    /// one — never a torn mix. In-flight requests keep the `Arc` they
+    /// were admitted with.
+    ///
+    /// Transactional: the first unreadable or corrupt file aborts the
+    /// pass before anything is published, and fingerprints advance only
+    /// on success so the next pass retries.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the directory or a file can't be read,
+    /// [`ServeError::Load`] when a changed file is corrupt or a changed
+    /// qmodel has no float model file to attach to.
+    pub fn reload_pass(&self) -> Result<ReloadReport, ServeError> {
+        let _gate = self
+            .reload_gate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.reload_passes.fetch_add(1, Ordering::Relaxed);
+        let (dir, stamps, float_paths) = {
+            let inner = read_unpoisoned(&self.inner);
+            match &inner.watch {
+                Some(w) => (w.dir.clone(), w.stamps.clone(), w.float_paths.clone()),
+                None => return Ok(ReloadReport::default()),
+            }
+        };
+        let files = scan_model_dir(&dir)?;
+        let changed: Vec<&ScannedFile> = files
+            .iter()
+            .filter(|f| stamps.get(&f.path) != Some(&f.hash))
+            .collect();
+        let unchanged = (files.len() - changed.len()) as u64;
+        if changed.is_empty() {
+            return Ok(ReloadReport {
+                unchanged,
+                ..ReloadReport::default()
+            });
+        }
+        let ctx =
+            |p: &Path, e: &dyn std::fmt::Display| ServeError::Load(format!("{}: {e}", p.display()));
+        // Parse every changed file up front (name discovery doubles as
+        // validation, before anything is rebuilt).
+        let mut new_floats: HashMap<String, (ModelFile, PathBuf)> = HashMap::new();
+        let mut new_qmodels: HashMap<String, QModelFile> = HashMap::new();
+        for f in &changed {
+            if f.is_qmodel {
+                let qf = qmodel_from_json(&f.text).map_err(|e| ctx(&f.path, &e))?;
+                new_qmodels.insert(qf.name.clone(), qf);
+            } else {
+                let mf = model_from_json(&f.text).map_err(|e| ctx(&f.path, &e))?;
+                new_floats.insert(mf.name.clone(), (mf, f.path.clone()));
+            }
+        }
+        let mut affected: Vec<String> = new_floats
+            .keys()
+            .chain(new_qmodels.keys())
+            .cloned()
+            .collect();
+        affected.sort();
+        affected.dedup();
+        // Rebuild each affected model outside the lock. Version 0 is a
+        // placeholder fixed at commit time under the write lock.
+        let mut prepared: Vec<(String, ModelEntry, PathBuf)> = Vec::new();
+        for name in &affected {
+            let (file, fpath) = match new_floats.remove(name) {
+                Some(v) => v,
+                None => {
+                    // qmodel-only change: re-read its float partner.
+                    let p = float_paths.get(name).ok_or_else(|| {
+                        ServeError::Load(format!(
+                            "qmodel `{name}` has no float model to attach to \
+                             (load its ringcnn-model/v1 first)"
+                        ))
+                    })?;
+                    let scanned = files.iter().find(|f| &f.path == p).ok_or_else(|| {
+                        ServeError::Load(format!(
+                            "qmodel `{name}` changed but float file {} is gone",
+                            p.display()
+                        ))
+                    })?;
+                    let mf = model_from_json(&scanned.text).map_err(|e| ctx(p, &e))?;
+                    (mf, p.clone())
+                }
+            };
+            let (_, model) = instantiate(&file).map_err(|e| ServeError::Load(e.to_string()))?;
+            let entry = Self::prepare_entry(&file.name, file.spec, file.algebra, model, 0);
+            // Resolve the quantized attachment for the fresh entry: a
+            // changed qmodel wins; otherwise the existing attachment is
+            // carried over (re-validated against the new topology).
+            let qsrc = match new_qmodels.remove(name) {
+                Some(qf) => Some((qf.model.clone(), qf.calibration_psnr, qf.channels_io)),
+                None => self.get(name).and_then(|old| {
+                    old.quant
+                        .get()
+                        .map(|q| (q.qmodel.clone(), q.calibration_psnr, q.channels_io))
+                }),
+            };
+            if let Some((qmodel, psnr, channels_io)) = qsrc {
+                entry.attach_quant_raw(qmodel, psnr, channels_io)?;
+            }
+            prepared.push((name.clone(), entry, fpath));
+        }
+        // Commit: one write lock, pointer swaps only.
+        let mut report = ReloadReport {
+            unchanged,
+            ..ReloadReport::default()
+        };
+        let mut inner = write_unpoisoned(&self.inner);
+        for (name, mut entry, fpath) in prepared {
+            match inner.index.get(&name).copied() {
+                Some(i) => {
+                    entry.version = inner.entries[i].version + 1;
+                    inner.entries[i] = Arc::new(entry);
+                    report.reloaded.push(name.clone());
+                }
+                None => {
+                    entry.version = 1;
+                    let at = inner.entries.len();
+                    inner.index.insert(name.clone(), at);
+                    inner.entries.push(Arc::new(entry));
+                    report.added.push(name.clone());
+                }
+            }
+            if let Some(w) = inner.watch.as_mut() {
+                w.float_paths.insert(name, fpath);
+            }
+        }
+        if let Some(w) = inner.watch.as_mut() {
+            for f in &files {
+                w.stamps.insert(f.path.clone(), f.hash);
+            }
+        }
+        drop(inner);
+        self.models_reloaded.fetch_add(
+            (report.added.len() + report.reloaded.len()) as u64,
+            Ordering::Relaxed,
+        );
+        Ok(report)
     }
 
-    /// All entries in registration order.
-    pub fn entries(&self) -> &[Arc<ModelEntry>] {
-        &self.entries
+    /// Looks up a model by name (O(1) under a brief read lock — this
+    /// runs on every admission).
+    pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
+        let inner = read_unpoisoned(&self.inner);
+        inner.index.get(name).map(|&i| inner.entries[i].clone())
+    }
+
+    /// Snapshot of all entries in registration order — owned `Arc`s, so
+    /// callers iterate and serialize without holding the registry lock.
+    pub fn entries(&self) -> Vec<Arc<ModelEntry>> {
+        read_unpoisoned(&self.inner).entries.clone()
     }
 
     /// Number of registered models.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        read_unpoisoned(&self.inner).entries.len()
     }
 
     /// Whether no model is registered.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
+    }
+
+    /// The directory watched for hot reload, if [`ModelRegistry::load_dir`]
+    /// set one.
+    pub fn watch_dir(&self) -> Option<PathBuf> {
+        read_unpoisoned(&self.inner)
+            .watch
+            .as_ref()
+            .map(|w| w.dir.clone())
+    }
+
+    /// Total [`ModelRegistry::reload_pass`] invocations (forced or polled).
+    pub fn reload_passes(&self) -> u64 {
+        self.reload_passes.load(Ordering::Relaxed)
+    }
+
+    /// Total model versions published by reload passes (added + reloaded).
+    pub fn models_reloaded(&self) -> u64 {
+        self.models_reloaded.load(Ordering::Relaxed)
     }
 }
 
@@ -476,7 +813,7 @@ mod tests {
         let alg = Algebra::ri_fh(2);
         let spec = demo_spec();
         let mut reference = spec.build(&alg, 9);
-        let mut reg = ModelRegistry::new();
+        let reg = ModelRegistry::new();
         let entry = reg
             .register("m", spec, AlgebraSpec::of(&alg), spec.build(&alg, 9))
             .unwrap();
@@ -502,7 +839,7 @@ mod tests {
             width: 8,
             channels_io: 1,
         };
-        let mut reg = ModelRegistry::new();
+        let reg = ModelRegistry::new();
         let entry = reg
             .register("ffd", spec, AlgebraSpec::of(&alg), spec.build(&alg, 1))
             .unwrap();
@@ -544,7 +881,7 @@ mod tests {
             width: 8,
             channels_io: 1,
         };
-        let mut reg = ModelRegistry::new();
+        let reg = ModelRegistry::new();
         let entry = reg
             .register("sr4", spec, AlgebraSpec::of(&alg), spec.build(&alg, 5))
             .unwrap();
@@ -586,7 +923,7 @@ mod tests {
         )
         .unwrap();
 
-        let mut reg = ModelRegistry::new();
+        let reg = ModelRegistry::new();
         let names = reg.load_dir(&dir).unwrap();
         assert_eq!(
             names,
@@ -619,7 +956,7 @@ mod tests {
             "load_error"
         );
         // Attachment without a float model is refused.
-        let mut lone = ModelRegistry::new();
+        let lone = ModelRegistry::new();
         assert_eq!(
             lone.register_qmodel(&qfile).unwrap_err().code(),
             "load_error"
@@ -631,7 +968,7 @@ mod tests {
     fn quant_without_attachment_is_a_bad_request() {
         let alg = Algebra::real();
         let spec = demo_spec();
-        let mut reg = ModelRegistry::new();
+        let reg = ModelRegistry::new();
         let entry = reg
             .register("plain", spec, AlgebraSpec::of(&alg), spec.build(&alg, 2))
             .unwrap();
@@ -657,7 +994,7 @@ mod tests {
         std::fs::write(dir.join("vdsr_rh4.json"), &json).unwrap();
         std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
 
-        let mut reg = ModelRegistry::new();
+        let reg = ModelRegistry::new();
         let names = reg.load_dir(&dir).unwrap();
         assert_eq!(names, vec!["vdsr_rh4".to_string()]);
         let entry = reg.get("vdsr_rh4").unwrap();
@@ -670,9 +1007,157 @@ mod tests {
 
         // A truncated file errors cleanly and aborts the directory load.
         std::fs::write(dir.join("corrupt.json"), &json[..json.len() / 2]).unwrap();
-        let mut reg2 = ModelRegistry::new();
+        let reg2 = ModelRegistry::new();
         let err = reg2.load_dir(&dir).unwrap_err();
         assert_eq!(err.code(), "load_error", "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_pass_swaps_changed_models_and_adds_new_ones() {
+        let dir = std::env::temp_dir().join(format!("ringcnn_reload_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let alg = Algebra::real();
+        let spec = demo_spec();
+        let mut m1 = spec.build(&alg, 11);
+        let f1 = export_model("a", spec, AlgebraSpec::of(&alg), &mut m1).unwrap();
+        std::fs::write(dir.join("a.json"), model_to_json(&f1)).unwrap();
+
+        let reg = ModelRegistry::new();
+        reg.load_dir(&dir).unwrap();
+        let old = reg.get("a").unwrap();
+        assert_eq!(old.version(), 1);
+        let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 7);
+        let y_old = old.infer(&x);
+
+        // Unchanged files are a no-op pass.
+        let rep = reg.reload_pass().unwrap();
+        assert!(rep.is_noop());
+        assert_eq!(rep.unchanged, 1);
+        assert_eq!(reg.get("a").unwrap().version(), 1);
+
+        // Re-export `a` with different weights and add a new model `b`.
+        let mut m2 = spec.build(&alg, 12);
+        let f2 = export_model("a", spec, AlgebraSpec::of(&alg), &mut m2).unwrap();
+        std::fs::write(dir.join("a.json"), model_to_json(&f2)).unwrap();
+        let mut mb = spec.build(&alg, 13);
+        let fb = export_model("b", spec, AlgebraSpec::of(&alg), &mut mb).unwrap();
+        std::fs::write(dir.join("b.json"), model_to_json(&fb)).unwrap();
+
+        let rep = reg.reload_pass().unwrap();
+        assert_eq!(rep.reloaded, vec!["a".to_string()]);
+        assert_eq!(rep.added, vec!["b".to_string()]);
+        let new = reg.get("a").unwrap();
+        assert_eq!(new.version(), 2);
+        assert_eq!(reg.get("b").unwrap().version(), 1);
+        assert_eq!(new.infer(&x).as_slice(), m2.forward(&x, false).as_slice());
+        // The pre-reload handle still serves the old weights bit-exact.
+        assert_eq!(old.infer(&x).as_slice(), y_old.as_slice());
+        assert_eq!(reg.models_reloaded(), 2);
+        assert_eq!(reg.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_pass_rebuilds_on_qmodel_only_change() {
+        use ringcnn_quant::calibrate::calibrate_to_qmodel;
+        use ringcnn_quant::quantized::QuantOptions;
+        let dir =
+            std::env::temp_dir().join(format!("ringcnn_reload_q_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let alg = Algebra::real();
+        let spec = demo_spec();
+        let mut m = spec.build(&alg, 21);
+        let file = export_model("q", spec, AlgebraSpec::of(&alg), &mut m).unwrap();
+        std::fs::write(dir.join("q.json"), model_to_json(&file)).unwrap();
+        let batch1 = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 31);
+        let q1 = calibrate_to_qmodel(
+            "q",
+            &spec.label(),
+            &alg.label(),
+            &mut m,
+            &batch1,
+            QuantOptions::default(),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("q.q.json"),
+            ringcnn_quant::serialize::qmodel_to_json(&q1),
+        )
+        .unwrap();
+
+        let reg = ModelRegistry::new();
+        reg.load_dir(&dir).unwrap();
+        assert!(reg.get("q").unwrap().has_quant());
+
+        // Re-calibrate on a different batch: only the qmodel file
+        // changes, but the write-once attachment forces a fresh
+        // versioned entry carrying the new pipeline.
+        let batch2 = Tensor::random_uniform(Shape4::new(2, 1, 12, 12), 0.0, 1.0, 32);
+        let q2 = calibrate_to_qmodel(
+            "q",
+            &spec.label(),
+            &alg.label(),
+            &mut m,
+            &batch2,
+            QuantOptions::default(),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("q.q.json"),
+            ringcnn_quant::serialize::qmodel_to_json(&q2),
+        )
+        .unwrap();
+        let rep = reg.reload_pass().unwrap();
+        assert_eq!(rep.reloaded, vec!["q".to_string()]);
+        let entry = reg.get("q").unwrap();
+        assert_eq!(entry.version(), 2);
+        assert!(entry.has_quant());
+        let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 33);
+        assert_eq!(
+            entry
+                .infer_precision(&x, Precision::Quant)
+                .unwrap()
+                .as_slice(),
+            q2.model.forward(&x).as_slice()
+        );
+        // A programmatic registry (no watch dir) reloads as a clean no-op.
+        let lone = ModelRegistry::new();
+        lone.register("p", spec, AlgebraSpec::of(&alg), spec.build(&alg, 2))
+            .unwrap();
+        assert!(lone.reload_pass().unwrap().is_noop());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_pass_aborts_on_corrupt_file_and_retries_next_pass() {
+        let dir =
+            std::env::temp_dir().join(format!("ringcnn_reload_bad_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let alg = Algebra::real();
+        let spec = demo_spec();
+        let mut ma = spec.build(&alg, 41);
+        let fa = export_model("a", spec, AlgebraSpec::of(&alg), &mut ma).unwrap();
+        std::fs::write(dir.join("a.json"), model_to_json(&fa)).unwrap();
+        let reg = ModelRegistry::new();
+        reg.load_dir(&dir).unwrap();
+
+        // A torn write aborts the pass; nothing is published.
+        let mut mb = spec.build(&alg, 42);
+        let fb = export_model("b", spec, AlgebraSpec::of(&alg), &mut mb).unwrap();
+        let json = model_to_json(&fb);
+        std::fs::write(dir.join("b.json"), &json[..json.len() / 2]).unwrap();
+        let err = reg.reload_pass().unwrap_err();
+        assert_eq!(err.code(), "load_error", "{err}");
+        assert!(reg.get("b").is_none());
+        assert_eq!(reg.get("a").unwrap().version(), 1);
+
+        // Fingerprints were not advanced: fixing the file lands it on
+        // the very next pass.
+        std::fs::write(dir.join("b.json"), &json).unwrap();
+        let rep = reg.reload_pass().unwrap();
+        assert_eq!(rep.added, vec!["b".to_string()]);
+        assert_eq!(reg.models_reloaded(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,41 +1,116 @@
-//! The dynamic micro-batching scheduler: a bounded submission queue,
-//! per-model batch formation, and worker threads that fan each batch out
-//! across the shared thread pool.
+//! The dynamic micro-batching scheduler: bounded per-model queues,
+//! weighted fair batch selection, deadline-aware admission, and worker
+//! threads that fan each batch out across the shared thread pool.
 //!
 //! # Batching policy
 //!
-//! Requests join one FIFO queue. A worker dispatches the first model
-//! group (in arrival order of its oldest request) that is *flush-ready*:
-//! either [`SchedulerConfig::max_batch`] requests for that model are
-//! waiting, or its oldest request has waited
-//! [`SchedulerConfig::max_wait`]. Until a group is ready, workers sleep
-//! on the queue's condition variable with a deadline at the oldest
-//! request's flush time — so a lone request never waits longer than
+//! Requests join the queue of their model. A model group is
+//! *flush-ready* once [`SchedulerConfig::max_batch`] requests are
+//! waiting or its oldest request has waited
+//! [`SchedulerConfig::max_wait`]. Until some group is ready, workers
+//! sleep on the queue's condition variable with a deadline at the
+//! earliest flush time — so a lone request never waits longer than
 //! `max_wait`, and a burst coalesces into one batch that amortizes
 //! per-dispatch overhead and keeps every pool thread busy
 //! (`forward_infer` over a prepared model, exactly the
 //! `BatchRunner::run_batch` execution shape).
 //!
+//! # Fair scheduling ([`SchedPolicy`])
+//!
+//! Among flush-ready groups, [`SchedPolicy::WeightedFair`] (the
+//! default) picks the group with the smallest *virtual time*: each
+//! dispatch advances the group's clock by `batch_len / weight`, so over
+//! time every model receives service proportional to its weight
+//! ([`Scheduler::set_model_weight`]) and a single hot model cannot
+//! starve a cold one — the cold model's clock lags, so its next ready
+//! batch preempts the hot queue. A group that was idle is capped to the
+//! global virtual clock when it becomes busy again (no banking
+//! "credit" while idle). [`SchedPolicy::FifoScan`] preserves the
+//! pre-fleet behavior — ready groups dispatch in arrival order of their
+//! oldest request — and exists as the measurable single-queue baseline.
+//!
 //! # Admission control
 //!
-//! The queue is bounded ([`SchedulerConfig::queue_cap`]): when it is
-//! full, [`Scheduler::submit`] returns [`ServeError::Overloaded`]
-//! *immediately* instead of queueing unbounded latency. On
+//! The queue is bounded globally ([`SchedulerConfig::queue_cap`]) and
+//! optionally per model ([`SchedulerConfig::model_queue_cap`]): when
+//! either bound is hit, [`Scheduler::submit`] returns
+//! [`ServeError::Overloaded`] *immediately* instead of queueing
+//! unbounded latency. A request may carry a `deadline_ms` budget
+//! ([`Scheduler::submit_with`]): admission consults the model's
+//! total-latency EWMA and rejects on arrival
+//! ([`ServeError::Deadline`]) when the predicted completion time
+//! already exceeds the budget — queueing doomed work would only steal
+//! service from requests that can still make their deadlines. On
 //! [`Scheduler::shutdown`] new work is refused
 //! ([`ServeError::ShuttingDown`]) and every already-admitted request is
 //! drained before the workers exit.
 
 use crate::error::ServeError;
 use crate::registry::{ModelEntry, ModelRegistry, Precision};
-use crate::stats::Metrics;
+use crate::stats::{Metrics, ModelStats, StatsSnapshot, HIST_BUCKETS};
 use rayon::prelude::*;
 use ringcnn_tensor::prelude::*;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+/// Which flush-ready model group a worker dispatches first.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Weighted fair queueing over per-model virtual time (default):
+    /// service is shared proportionally to model weights, so one hot
+    /// model cannot starve the rest.
+    #[default]
+    WeightedFair,
+    /// The pre-fleet single-queue behavior: ready groups dispatch in
+    /// arrival order of their oldest request. Kept as the measurable
+    /// baseline that `serve_fleet_2model_fair` benches against.
+    FifoScan,
+}
+
+impl SchedPolicy {
+    /// Stable CLI/wire string.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedPolicy::WeightedFair => "fair",
+            SchedPolicy::FifoScan => "fifo",
+        }
+    }
+
+    /// Parses the CLI string.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] naming the unknown value.
+    pub fn parse(s: &str) -> Result<SchedPolicy, ServeError> {
+        match s {
+            "fair" => Ok(SchedPolicy::WeightedFair),
+            "fifo" => Ok(SchedPolicy::FifoScan),
+            other => Err(ServeError::BadRequest(format!(
+                "unknown policy `{other}` (want \"fair\" or \"fifo\")"
+            ))),
+        }
+    }
+}
+
 /// Scheduler knobs.
+///
+/// # Example
+///
+/// ```
+/// use ringcnn_serve::prelude::*;
+///
+/// // Bound each model to 64 queued requests on top of the global cap,
+/// // keeping the default weighted-fair policy.
+/// let cfg = SchedulerConfig {
+///     workers: 2,
+///     model_queue_cap: 64,
+///     ..SchedulerConfig::default()
+/// };
+/// assert_eq!(cfg.policy, SchedPolicy::WeightedFair);
+/// assert_eq!(cfg.queue_cap, 256);
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SchedulerConfig {
     /// Worker threads forming and dispatching batches. Each dispatch
@@ -47,8 +122,18 @@ pub struct SchedulerConfig {
     pub max_batch: usize,
     /// Flush a model group once its oldest request has waited this long.
     pub max_wait: Duration,
-    /// Bounded queue capacity (admission control).
+    /// Bounded global queue capacity (admission control).
     pub queue_cap: usize,
+    /// Per-model queue bound on top of `queue_cap`; `0` disables it
+    /// (the default — a single-model deployment keeps the old
+    /// semantics). With it set, one model's backlog saturates its own
+    /// bound and starts rejecting while other models keep admitting.
+    pub model_queue_cap: usize,
+    /// Fair-scheduling weight given to models that were never assigned
+    /// one explicitly via [`Scheduler::set_model_weight`]. Clamped ≥ 1.
+    pub default_weight: u32,
+    /// How flush-ready groups are ordered for dispatch.
+    pub policy: SchedPolicy,
 }
 
 impl Default for SchedulerConfig {
@@ -58,6 +143,9 @@ impl Default for SchedulerConfig {
             max_batch: 8,
             max_wait: Duration::from_millis(2),
             queue_cap: 256,
+            model_queue_cap: 0,
+            default_weight: 1,
+            policy: SchedPolicy::WeightedFair,
         }
     }
 }
@@ -98,16 +186,51 @@ impl Done {
 }
 
 struct Job {
+    /// The entry `Arc` captured at admission: a concurrent hot-reload
+    /// swap does not retarget queued work, so every response is
+    /// bit-exact against the version that admitted it.
     entry: Arc<ModelEntry>,
     precision: Precision,
     input: Tensor,
     enqueued: Instant,
+    /// Global arrival number — FIFO order within a group, tie-break
+    /// across groups.
+    seq: u64,
     done: Done,
 }
 
-struct QueueState {
+/// One model's queue plus its fair-queueing state.
+struct ModelQueue {
     jobs: VecDeque<Job>,
+    weight: u32,
+    /// Virtual time already served to this model (jobs / weight).
+    vtime: f64,
+}
+
+struct QueueState {
+    /// Per-model queues keyed by model name. Entries persist when a
+    /// queue drains so weights and virtual clocks survive idleness.
+    groups: HashMap<String, ModelQueue>,
+    /// Total queued jobs across all groups (the global bound).
+    total: usize,
+    /// Next arrival number.
+    next_seq: u64,
+    /// max over groups of served virtual time; newly-busy groups are
+    /// capped to this so idling never banks credit.
+    vclock: f64,
     shutting_down: bool,
+}
+
+impl QueueState {
+    fn new() -> Self {
+        Self {
+            groups: HashMap::new(),
+            total: 0,
+            next_seq: 0,
+            vclock: 0.0,
+            shutting_down: false,
+        }
+    }
 }
 
 struct Shared {
@@ -158,14 +281,12 @@ impl Scheduler {
             workers: cfg.workers.max(1),
             max_batch: cfg.max_batch.max(1),
             queue_cap: cfg.queue_cap.max(1),
+            default_weight: cfg.default_weight.max(1),
             ..cfg
         };
         let shared = Arc::new(Shared {
             cfg,
-            state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                shutting_down: false,
-            }),
+            state: Mutex::new(QueueState::new()),
             work_cv: Condvar::new(),
             metrics: Arc::new(Metrics::new()),
         });
@@ -206,7 +327,25 @@ impl Scheduler {
     /// last batch taken — once the queue drains and traffic stops; the
     /// `health` verb reports this live count instead.
     pub fn queue_len(&self) -> usize {
-        lock_unpoisoned(&self.shared.state).jobs.len()
+        lock_unpoisoned(&self.shared.state).total
+    }
+
+    /// Sets a model's fair-scheduling weight (clamped ≥ 1): a model
+    /// with weight `w` receives `w×` the service share of a weight-1
+    /// model under contention. May be called before the model has any
+    /// traffic, and takes effect on the next dispatch.
+    pub fn set_model_weight(&self, model: &str, weight: u32) {
+        let weight = weight.max(1);
+        let mut st = lock_unpoisoned(&self.shared.state);
+        let vclock = st.vclock;
+        st.groups
+            .entry(model.to_string())
+            .and_modify(|q| q.weight = weight)
+            .or_insert_with(|| ModelQueue {
+                jobs: VecDeque::new(),
+                weight,
+                vtime: vclock,
+            });
     }
 
     /// Submits a request (non-blocking). The returned [`Pending`]
@@ -216,7 +355,7 @@ impl Scheduler {
     ///
     /// [`ServeError::UnknownModel`], [`ServeError::BadRequest`] (shape,
     /// or `quant` precision without an attached quantized pipeline),
-    /// [`ServeError::Overloaded`] (queue full), or
+    /// [`ServeError::Overloaded`] (global or per-model queue full), or
     /// [`ServeError::ShuttingDown`].
     pub fn submit(
         &self,
@@ -224,24 +363,46 @@ impl Scheduler {
         input: Tensor,
         precision: Precision,
     ) -> Result<Pending, ServeError> {
-        let (tx, rx) = mpsc::channel();
-        self.submit_done(model, input, precision, Done::Channel(tx))?;
-        Ok(Pending { rx })
+        self.submit_with(model, input, precision, None)
     }
 
-    /// [`Scheduler::submit`] with an explicit completion carrier — the
-    /// reactor passes [`Done::Callback`] so results are serialized and
-    /// flushed from the worker thread that produced them.
+    /// [`Scheduler::submit`] with an optional `deadline_ms` budget:
+    /// when the model's latency EWMA predicts the budget is already
+    /// blown at arrival, the request is rejected with
+    /// [`ServeError::Deadline`] instead of queueing doomed work. A
+    /// model with no completions yet always admits (no evidence to
+    /// reject on).
     ///
     /// # Errors
     ///
-    /// See [`Scheduler::submit`]. On error, `done` is dropped unused
-    /// (the caller still holds the failure).
+    /// See [`Scheduler::submit`], plus [`ServeError::Deadline`] and
+    /// [`ServeError::BadRequest`] for a non-finite or negative budget.
+    pub fn submit_with(
+        &self,
+        model: &str,
+        input: Tensor,
+        precision: Precision,
+        deadline_ms: Option<f64>,
+    ) -> Result<Pending, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        self.submit_done(model, input, precision, deadline_ms, Done::Channel(tx))?;
+        Ok(Pending { rx })
+    }
+
+    /// [`Scheduler::submit_with`] with an explicit completion carrier —
+    /// the reactor passes [`Done::Callback`] so results are serialized
+    /// and flushed from the worker thread that produced them.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::submit_with`]. On error, `done` is dropped
+    /// unused (the caller still holds the failure).
     pub(crate) fn submit_done(
         &self,
         model: &str,
         input: Tensor,
         precision: Precision,
+        deadline_ms: Option<f64>,
         done: Done,
     ) -> Result<(), ServeError> {
         let entry = self
@@ -254,26 +415,87 @@ impl Scheduler {
                 "model `{model}` has no quantized pipeline (load a ringcnn-qmodel/v1 file)"
             )));
         }
+        if let Some(budget) = deadline_ms {
+            if !budget.is_finite() || budget < 0.0 {
+                return Err(ServeError::BadRequest(format!(
+                    "deadline_ms must be a non-negative finite number, got {budget}"
+                )));
+            }
+        }
+        // Read the EWMA before taking the queue lock (the metrics map
+        // has its own lock; never nest the two).
+        let ewma = match deadline_ms {
+            Some(_) => self.shared.metrics.ewma_ms(model),
+            None => None,
+        };
+        let cfg = &self.shared.cfg;
         {
             let mut st = lock_unpoisoned(&self.shared.state);
             if st.shutting_down {
                 return Err(ServeError::ShuttingDown);
             }
-            if st.jobs.len() >= self.shared.cfg.queue_cap {
-                self.shared.metrics.record_rejected();
+            if st.total >= cfg.queue_cap {
+                let depth = st.total;
+                drop(st);
+                self.shared.metrics.record_rejected(Some(model));
                 return Err(ServeError::Overloaded {
-                    depth: st.jobs.len(),
-                    cap: self.shared.cfg.queue_cap,
+                    depth,
+                    cap: cfg.queue_cap,
                 });
             }
-            st.jobs.push_back(Job {
+            let group_len = st.groups.get(model).map_or(0, |q| q.jobs.len());
+            if cfg.model_queue_cap > 0 && group_len >= cfg.model_queue_cap {
+                drop(st);
+                self.shared.metrics.record_rejected(Some(model));
+                return Err(ServeError::Overloaded {
+                    depth: group_len,
+                    cap: cfg.model_queue_cap,
+                });
+            }
+            if let (Some(budget), Some(ewma)) = (deadline_ms, ewma) {
+                // Estimated completion: one EWMA of service time per
+                // full batch already queued ahead, plus this request's
+                // own. Coarse but monotone in backlog, which is what
+                // reject-on-arrival needs.
+                let batches_ahead = (group_len / cfg.max_batch) as f64;
+                let estimate = ewma * (1.0 + batches_ahead);
+                if estimate > budget {
+                    drop(st);
+                    self.shared.metrics.record_deadline_rejected(model);
+                    return Err(ServeError::Deadline {
+                        budget_ms: budget.round() as u64,
+                        estimate_ms: estimate.round() as u64,
+                    });
+                }
+            }
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            let vclock = st.vclock;
+            let default_weight = cfg.default_weight.max(1);
+            let q = st
+                .groups
+                .entry(model.to_string())
+                .or_insert_with(|| ModelQueue {
+                    jobs: VecDeque::new(),
+                    weight: default_weight,
+                    vtime: vclock,
+                });
+            if q.jobs.is_empty() && q.vtime < vclock {
+                // Re-busy after idling: no banked credit.
+                q.vtime = vclock;
+            }
+            q.jobs.push_back(Job {
                 entry,
                 precision,
                 input,
                 enqueued: Instant::now(),
+                seq,
                 done,
             });
-            self.shared.metrics.record_submit(st.jobs.len());
+            st.total += 1;
+            let depth = st.total;
+            drop(st);
+            self.shared.metrics.record_submit(depth);
         }
         self.shared.work_cv.notify_one();
         Ok(())
@@ -293,6 +515,63 @@ impl Scheduler {
         self.submit(model, input, precision)?.wait()
     }
 
+    /// The full `stats` v2 snapshot: [`Metrics::snapshot`] enriched
+    /// with what only the scheduler knows — live global and per-model
+    /// queue depths, fair weights, registry versions, and reload
+    /// counters. Registered models with no traffic yet are included
+    /// with zeroed counters so the fleet inventory is always complete.
+    ///
+    /// Lock discipline: every source is copied out under its own brief
+    /// lock; assembly and (caller-side) serialization run lock-free.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let mut snap = self.shared.metrics.snapshot();
+        snap.reload_passes = self.registry.reload_passes();
+        snap.models_reloaded = self.registry.models_reloaded();
+        let (live, total): (HashMap<String, (usize, u32)>, usize) = {
+            let st = lock_unpoisoned(&self.shared.state);
+            (
+                st.groups
+                    .iter()
+                    .map(|(k, q)| (k.clone(), (q.jobs.len(), q.weight)))
+                    .collect(),
+                st.total,
+            )
+        };
+        snap.queue_depth = total;
+        let entries = self.registry.entries();
+        for e in &entries {
+            if snap.model(e.name()).is_none() {
+                snap.per_model.push(ModelStats {
+                    name: e.name().to_string(),
+                    completed: 0,
+                    rejected: 0,
+                    deadline_rejected: 0,
+                    qps: 0.0,
+                    ewma_ms: 0.0,
+                    queue_depth: 0,
+                    weight: 0,
+                    version: 0,
+                    histogram: vec![0; HIST_BUCKETS],
+                });
+            }
+        }
+        let default_weight = u64::from(self.shared.cfg.default_weight.max(1));
+        for m in &mut snap.per_model {
+            match live.get(&m.name) {
+                Some(&(depth, weight)) => {
+                    m.queue_depth = depth;
+                    m.weight = u64::from(weight);
+                }
+                None => m.weight = default_weight,
+            }
+            if let Some(e) = entries.iter().find(|e| e.name() == m.name) {
+                m.version = e.version();
+            }
+        }
+        snap.per_model.sort_by(|a, b| a.name.cmp(&b.name));
+        snap
+    }
+
     /// Stops admitting work, drains every already-queued request, and
     /// joins the workers. Idempotent.
     pub fn shutdown(&self) {
@@ -308,53 +587,60 @@ impl Scheduler {
     }
 }
 
-/// A flush-ready batch: jobs of one model, removed from the queue.
+/// A flush-ready batch: jobs of one model, removed from that model's
+/// queue. Selection among ready groups follows `cfg.policy`; shutdown
+/// makes every non-empty group ready — that is the drain.
 fn try_take_batch(st: &mut QueueState, cfg: &SchedulerConfig) -> Option<Vec<Job>> {
-    if st.jobs.is_empty() {
+    if st.total == 0 {
         return None;
     }
-    // Scan model groups in arrival order of their oldest job (the queue
-    // is FIFO, so first occurrence = oldest). Shutdown flushes
-    // unconditionally — that is the drain.
-    let mut ready: Option<*const ModelEntry> = None;
-    if st.shutting_down {
-        ready = Some(Arc::as_ptr(&st.jobs[0].entry));
-    } else {
-        let now = Instant::now();
-        let mut seen: Vec<(*const ModelEntry, usize)> = Vec::new();
-        for job in &st.jobs {
-            let key = Arc::as_ptr(&job.entry);
-            match seen.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, count)) => {
-                    *count += 1;
-                    if *count >= cfg.max_batch {
-                        ready = Some(key);
-                        break;
-                    }
-                }
-                None => {
-                    // First occurrence = the group's oldest job.
-                    if now.duration_since(job.enqueued) >= cfg.max_wait || cfg.max_batch == 1 {
-                        ready = Some(key);
-                        break;
-                    }
-                    seen.push((key, 1));
-                }
-            }
+    let now = Instant::now();
+    // (vtime, oldest seq) of the best ready group so far; FifoScan
+    // zeroes the vtime component so arrival order alone decides.
+    let mut best: Option<(f64, u64, String)> = None;
+    for (name, q) in &st.groups {
+        let Some(oldest) = q.jobs.front() else {
+            continue;
+        };
+        let ready = st.shutting_down
+            || q.jobs.len() >= cfg.max_batch
+            || cfg.max_batch == 1
+            || now.duration_since(oldest.enqueued) >= cfg.max_wait;
+        if !ready {
+            continue;
+        }
+        let vkey = match cfg.policy {
+            SchedPolicy::WeightedFair => q.vtime,
+            SchedPolicy::FifoScan => 0.0,
+        };
+        let better = match &best {
+            None => true,
+            Some((bv, bs, _)) => vkey < *bv || (vkey == *bv && oldest.seq < *bs),
+        };
+        if better {
+            best = Some((vkey, oldest.seq, name.clone()));
         }
     }
-    let key = ready?;
-    let mut batch = Vec::new();
-    let mut rest = VecDeque::with_capacity(st.jobs.len());
-    for job in st.jobs.drain(..) {
-        if batch.len() < cfg.max_batch && Arc::as_ptr(&job.entry) == key {
-            batch.push(job);
-        } else {
-            rest.push_back(job);
-        }
+    let (_, _, name) = best?;
+    let q = st.groups.get_mut(&name).expect("selected group exists");
+    let take = q.jobs.len().min(cfg.max_batch);
+    let batch: Vec<Job> = q.jobs.drain(..take).collect();
+    st.total -= take;
+    q.vtime += take as f64 / f64::from(q.weight.max(1));
+    if q.vtime > st.vclock {
+        st.vclock = q.vtime;
     }
-    st.jobs = rest;
     Some(batch)
+}
+
+/// The earliest `max_wait` flush deadline across queued work, for the
+/// worker's timed condvar wait.
+fn next_flush_deadline(st: &QueueState, cfg: &SchedulerConfig) -> Option<Instant> {
+    st.groups
+        .values()
+        .filter_map(|q| q.jobs.front())
+        .map(|j| j.enqueued + cfg.max_wait)
+        .min()
 }
 
 fn worker_loop(shared: &Shared) {
@@ -363,18 +649,19 @@ fn worker_loop(shared: &Shared) {
             let mut st = lock_unpoisoned(&shared.state);
             loop {
                 if let Some(batch) = try_take_batch(&mut st, &shared.cfg) {
-                    shared.metrics.record_batch(batch.len(), st.jobs.len());
+                    shared.metrics.record_batch(batch.len(), st.total);
                     break batch;
                 }
-                if st.jobs.is_empty() {
+                if st.total == 0 {
                     if st.shutting_down {
                         return;
                     }
                     st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
                 } else {
-                    // Sleep until the oldest request's flush deadline;
-                    // new submissions notify and re-run the scan.
-                    let deadline = st.jobs[0].enqueued + shared.cfg.max_wait;
+                    // Sleep until the earliest flush deadline; new
+                    // submissions notify and re-run the scan.
+                    let deadline = next_flush_deadline(&st, &shared.cfg)
+                        .expect("total > 0 implies a queued job");
                     let wait = deadline
                         .saturating_duration_since(Instant::now())
                         .max(Duration::from_micros(50));
@@ -456,12 +743,39 @@ mod tests {
             width: 8,
             channels_io: 1,
         };
-        let mut reg = ModelRegistry::new();
+        let reg = ModelRegistry::new();
         for (i, n) in names.iter().enumerate() {
             reg.register(n, spec, AlgebraSpec::of(&alg), spec.build(&alg, i as u64))
                 .unwrap();
         }
         Arc::new(reg)
+    }
+
+    /// Pushes a ready (already past `max_wait`) job the way `submit_done`
+    /// would, without a live scheduler.
+    fn push_ready(st: &mut QueueState, reg: &ModelRegistry, name: &str, weight: u32) {
+        let (tx, _rx) = mpsc::channel();
+        std::mem::forget(_rx); // keep the channel alive for the test
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let vclock = st.vclock;
+        let q = st
+            .groups
+            .entry(name.to_string())
+            .or_insert_with(|| ModelQueue {
+                jobs: VecDeque::new(),
+                weight,
+                vtime: vclock,
+            });
+        q.jobs.push_back(Job {
+            entry: reg.get(name).unwrap(),
+            precision: Precision::Fp64,
+            input: Tensor::zeros(Shape4::new(1, 1, 4, 4)),
+            enqueued: Instant::now() - Duration::from_secs(1),
+            seq,
+            done: Done::Channel(tx),
+        });
+        st.total += 1;
     }
 
     #[test]
@@ -508,46 +822,105 @@ mod tests {
     }
 
     #[test]
-    fn batch_takes_only_one_model_group_in_fifo_order() {
+    fn fifo_scan_takes_the_oldest_ready_group_capped_at_max_batch() {
         let reg = registry_with(&["a", "b"]);
-        let (tx, _rx) = mpsc::channel();
-        let mk = |name: &str| Job {
-            entry: reg.get(name).unwrap(),
-            precision: Precision::Fp64,
-            input: Tensor::zeros(Shape4::new(1, 1, 4, 4)),
-            enqueued: Instant::now() - Duration::from_secs(1), // already past max_wait
-            done: Done::Channel(tx.clone()),
-        };
-        let mut st = QueueState {
-            jobs: VecDeque::from([mk("a"), mk("b"), mk("a"), mk("a"), mk("b")]),
-            shutting_down: false,
-        };
+        let mut st = QueueState::new();
+        for name in ["a", "b", "a", "a", "b"] {
+            push_ready(&mut st, &reg, name, 1);
+        }
         let cfg = SchedulerConfig {
             max_batch: 2,
+            policy: SchedPolicy::FifoScan,
             ..SchedulerConfig::default()
         };
         let batch = try_take_batch(&mut st, &cfg).unwrap();
         assert_eq!(batch.len(), 2, "capped at max_batch");
         assert!(batch.iter().all(|j| j.entry.name() == "a"));
-        // Remaining queue preserves order: b, a, b.
-        let names: Vec<_> = st.jobs.iter().map(|j| j.entry.name().to_string()).collect();
-        assert_eq!(names, ["b", "a", "b"]);
+        assert_eq!(batch[0].seq, 0);
+        assert_eq!(batch[1].seq, 2, "FIFO within the group");
+        // Remaining: one a, two b — the next take is b (older oldest).
+        assert_eq!(st.total, 3);
+        let batch = try_take_batch(&mut st, &cfg).unwrap();
+        assert!(batch.iter().all(|j| j.entry.name() == "b"));
+    }
+
+    #[test]
+    fn weighted_fair_interleaves_by_weight() {
+        // a (weight 2) vs b (weight 1), max_batch 1, everything ready:
+        // virtual time advances by 1/2 per a-dispatch and 1/1 per
+        // b-dispatch, giving the exact drain order a b a a b a.
+        // (Power-of-two weights keep the f64 clock arithmetic exact.)
+        let reg = registry_with(&["a", "b"]);
+        let mut st = QueueState::new();
+        for name in ["a", "a", "a", "a", "b", "b"] {
+            push_ready(&mut st, &reg, name, if name == "a" { 2 } else { 1 });
+        }
+        let cfg = SchedulerConfig {
+            max_batch: 1,
+            policy: SchedPolicy::WeightedFair,
+            ..SchedulerConfig::default()
+        };
+        let mut order = Vec::new();
+        while let Some(batch) = try_take_batch(&mut st, &cfg) {
+            assert_eq!(batch.len(), 1);
+            order.push(batch[0].entry.name().to_string());
+        }
+        assert_eq!(order, ["a", "b", "a", "a", "b", "a"]);
+        assert_eq!(st.total, 0);
+    }
+
+    #[test]
+    fn idle_model_does_not_bank_credit() {
+        // Serve a for a while, then let b arrive: b's clock is capped to
+        // the global vclock (not zero), so it gets its fair share going
+        // forward but no retroactive burst.
+        let reg = registry_with(&["a", "b"]);
+        let mut st = QueueState::new();
+        let cfg = SchedulerConfig {
+            max_batch: 1,
+            ..SchedulerConfig::default()
+        };
+        for _ in 0..4 {
+            push_ready(&mut st, &reg, "a", 1);
+        }
+        for _ in 0..4 {
+            try_take_batch(&mut st, &cfg).unwrap();
+        }
+        assert_eq!(st.vclock, 4.0);
+        // b was registered idle via set_model_weight-style insertion at
+        // vclock 0 — simulate the submit path's re-busy cap.
+        push_ready(&mut st, &reg, "b", 1);
+        let q = st.groups.get_mut("b").unwrap();
+        if q.vtime < st.vclock {
+            q.vtime = st.vclock;
+        }
+        push_ready(&mut st, &reg, "a", 1);
+        // Tie on vtime (both 4.0): arrival order breaks it — b first.
+        let batch = try_take_batch(&mut st, &cfg).unwrap();
+        assert_eq!(batch[0].entry.name(), "b");
     }
 
     #[test]
     fn not_ready_group_is_not_taken() {
         let reg = registry_with(&["a"]);
         let (tx, _rx) = mpsc::channel();
-        let mut st = QueueState {
-            jobs: VecDeque::from([Job {
-                entry: reg.get("a").unwrap(),
-                precision: Precision::Fp64,
-                input: Tensor::zeros(Shape4::new(1, 1, 4, 4)),
-                enqueued: Instant::now(),
-                done: Done::Channel(tx),
-            }]),
-            shutting_down: false,
-        };
+        let mut st = QueueState::new();
+        st.groups.insert(
+            "a".to_string(),
+            ModelQueue {
+                jobs: VecDeque::from([Job {
+                    entry: reg.get("a").unwrap(),
+                    precision: Precision::Fp64,
+                    input: Tensor::zeros(Shape4::new(1, 1, 4, 4)),
+                    enqueued: Instant::now(),
+                    seq: 0,
+                    done: Done::Channel(tx),
+                }]),
+                weight: 1,
+                vtime: 0.0,
+            },
+        );
+        st.total = 1;
         let cfg = SchedulerConfig {
             max_batch: 4,
             max_wait: Duration::from_secs(10),
@@ -560,5 +933,108 @@ mod tests {
         // …until shutdown, which flushes unconditionally.
         st.shutting_down = true;
         assert_eq!(try_take_batch(&mut st, &cfg).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn per_model_cap_rejects_without_touching_other_models() {
+        // max_wait long + max_batch large keeps submissions queued, so
+        // the per-model bound is observable deterministically.
+        let sched = Scheduler::start(
+            registry_with(&["hot", "cold"]),
+            SchedulerConfig {
+                workers: 1,
+                max_batch: 64,
+                max_wait: Duration::from_secs(30),
+                queue_cap: 256,
+                model_queue_cap: 2,
+                ..SchedulerConfig::default()
+            },
+        );
+        let x = Tensor::zeros(Shape4::new(1, 1, 4, 4));
+        let p1 = sched.submit("hot", x.clone(), Precision::Fp64).unwrap();
+        let p2 = sched.submit("hot", x.clone(), Precision::Fp64).unwrap();
+        let err = sched.submit("hot", x.clone(), Precision::Fp64).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Overloaded { depth: 2, cap: 2 },
+            "per-model bound, not the global 256"
+        );
+        // The other model still admits.
+        let p3 = sched.submit("cold", x, Precision::Fp64).unwrap();
+        sched.shutdown(); // drains all three
+        assert!(p1.wait().is_ok());
+        assert!(p2.wait().is_ok());
+        assert!(p3.wait().is_ok());
+        let snap = sched.stats_snapshot();
+        assert_eq!(snap.model("hot").unwrap().rejected, 1);
+        assert_eq!(snap.model("cold").unwrap().rejected, 0);
+    }
+
+    #[test]
+    fn deadline_admission_rejects_on_blown_budget() {
+        let sched = Scheduler::start(registry_with(&["m"]), SchedulerConfig::default());
+        let x = Tensor::zeros(Shape4::new(1, 1, 8, 8));
+        // No EWMA yet: even a tiny budget admits (no evidence).
+        sched
+            .submit_with("m", x.clone(), Precision::Fp64, Some(0.001))
+            .unwrap()
+            .wait()
+            .unwrap();
+        // Now the EWMA is seeded; an impossible budget rejects on
+        // arrival with the dedicated wire code.
+        let err = sched
+            .submit_with("m", x.clone(), Precision::Fp64, Some(0.0))
+            .unwrap_err();
+        assert_eq!(err.code(), "deadline", "{err}");
+        // A generous budget still admits.
+        sched
+            .submit_with("m", x.clone(), Precision::Fp64, Some(60_000.0))
+            .unwrap()
+            .wait()
+            .unwrap();
+        // Garbage budgets are bad requests, not rejections.
+        assert_eq!(
+            sched
+                .submit_with("m", x.clone(), Precision::Fp64, Some(-1.0))
+                .unwrap_err()
+                .code(),
+            "bad_request"
+        );
+        assert_eq!(
+            sched
+                .submit_with("m", x, Precision::Fp64, Some(f64::NAN))
+                .unwrap_err()
+                .code(),
+            "bad_request"
+        );
+        let snap = sched.stats_snapshot();
+        assert_eq!(snap.deadline_rejected, 1);
+        assert_eq!(snap.model("m").unwrap().deadline_rejected, 1);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn stats_snapshot_includes_idle_models_with_versions_and_weights() {
+        let sched = Scheduler::start(
+            registry_with(&["served", "idle"]),
+            SchedulerConfig::default(),
+        );
+        sched.set_model_weight("served", 3);
+        let x = Tensor::zeros(Shape4::new(1, 1, 4, 4));
+        sched.infer("served", x, Precision::Fp64).unwrap();
+        let snap = sched.stats_snapshot();
+        let served = snap.model("served").unwrap();
+        assert_eq!(served.completed, 1);
+        assert_eq!(served.weight, 3);
+        assert_eq!(served.version, 1);
+        assert_eq!(served.histogram.iter().sum::<u64>(), 1);
+        let idle = snap.model("idle").expect("idle model is still inventoried");
+        assert_eq!(idle.completed, 0);
+        assert_eq!(idle.version, 1);
+        assert_eq!(idle.weight, 1, "default weight");
+        // Name-sorted output.
+        let names: Vec<&str> = snap.per_model.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["idle", "served"]);
+        sched.shutdown();
     }
 }

@@ -1,7 +1,7 @@
-//! The TCP front end: binds, spawns the event [`Reactor`], and exposes
+//! The TCP front end: binds, spawns the event reactor, and exposes
 //! the service lifecycle (start / trigger_shutdown / wait).
 //!
-//! All connection handling lives in [`crate::reactor`]: one nonblocking
+//! All connection handling lives in the private `reactor` module: one nonblocking
 //! event loop serves every connection (idle connections cost zero
 //! wakeups), speaking line-JSON or the binary frame protocol per
 //! connection as negotiated on its first bytes. Shutdown is graceful:
@@ -19,7 +19,8 @@ use crate::scheduler::{Scheduler, SchedulerConfig};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Default longest accepted request (16 MiB ≈ a 2-megapixel float frame
 /// in JSON; the same cap applies to one binary frame body). Longer
@@ -37,6 +38,12 @@ pub struct ServerConfig {
     /// Longest accepted request: one JSON line, or one binary frame
     /// body. Defaults to [`MAX_LINE_BYTES`].
     pub max_frame_bytes: usize,
+    /// When set, a watcher thread runs a registry
+    /// [`ModelRegistry::reload_pass`] at this interval, hot-reloading
+    /// changed or added model files without a client having to send the
+    /// `reload` verb. `None` (the default) disables polling; `reload`
+    /// still works on demand.
+    pub reload_poll: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +52,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             scheduler: SchedulerConfig::default(),
             max_frame_bytes: MAX_LINE_BYTES,
+            reload_poll: None,
         }
     }
 }
@@ -79,10 +87,18 @@ impl ServerShared {
                     channels_io: e.spec().channels_io(),
                     precisions,
                     quant_psnr: e.quant_psnr(),
+                    version: e.version(),
                 }
             })
             .collect()
     }
+}
+
+/// Stop signal for the reload watcher thread: flag + condvar so
+/// shutdown interrupts the poll sleep immediately.
+struct WatcherStop {
+    stopped: Mutex<bool>,
+    cv: Condvar,
 }
 
 /// A running server. Dropping the handle does NOT stop it — call
@@ -92,6 +108,8 @@ pub struct Server {
     shared: Arc<ServerShared>,
     notify: Arc<Notify>,
     reactor_thread: Option<std::thread::JoinHandle<()>>,
+    watcher_stop: Option<Arc<WatcherStop>>,
+    watcher_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -134,11 +152,26 @@ impl Server {
         };
         let notify = reactor.notify();
         match spawner(reactor) {
-            Ok(handle) => Ok(Server {
-                shared,
-                notify,
-                reactor_thread: Some(handle),
-            }),
+            Ok(handle) => {
+                let (watcher_stop, watcher_thread) = match cfg.reload_poll {
+                    Some(interval) => {
+                        let stop = Arc::new(WatcherStop {
+                            stopped: Mutex::new(false),
+                            cv: Condvar::new(),
+                        });
+                        let thread = spawn_reload_watcher(shared.clone(), stop.clone(), interval);
+                        (Some(stop), thread)
+                    }
+                    None => (None, None),
+                };
+                Ok(Server {
+                    shared,
+                    notify,
+                    reactor_thread: Some(handle),
+                    watcher_stop,
+                    watcher_thread,
+                })
+            }
             Err(e) => {
                 // The failed spawn dropped the reactor — and with it the
                 // bound listener — so the address is already released.
@@ -170,10 +203,17 @@ impl Server {
         self.notify.wake();
     }
 
-    /// Blocks until the server has fully stopped: reactor joined (every
-    /// connection answered, flushed, and closed), scheduler drained and
-    /// joined.
+    /// Blocks until the server has fully stopped: reload watcher (if
+    /// any) and reactor joined (every connection answered, flushed, and
+    /// closed), scheduler drained and joined.
     pub fn wait(mut self) {
+        if let Some(stop) = self.watcher_stop.take() {
+            *stop.stopped.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            stop.cv.notify_all();
+        }
+        if let Some(h) = self.watcher_thread.take() {
+            let _ = h.join();
+        }
         if let Some(h) = self.reactor_thread.take() {
             let _ = h.join();
         }
@@ -185,6 +225,49 @@ impl Server {
         self.trigger_shutdown();
         self.wait();
     }
+}
+
+/// The polling hot-reload watcher: sleep on the stop condvar for one
+/// interval, run a reload pass, repeat. A failed pass (torn write being
+/// raced, transient I/O) is reported to stderr and retried next
+/// interval — the registry's content fingerprints only advance on
+/// success, so nothing is lost.
+fn spawn_reload_watcher(
+    shared: Arc<ServerShared>,
+    stop: Arc<WatcherStop>,
+    interval: Duration,
+) -> Option<std::thread::JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name("serve-reload-watch".into())
+        .spawn(move || loop {
+            {
+                let mut stopped = stop.stopped.lock().unwrap_or_else(|e| e.into_inner());
+                while !*stopped {
+                    let (guard, timeout) = stop
+                        .cv
+                        .wait_timeout(stopped, interval)
+                        .unwrap_or_else(|e| e.into_inner());
+                    stopped = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+                if *stopped {
+                    return;
+                }
+            }
+            match shared.scheduler.registry().reload_pass() {
+                Ok(report) if !report.is_noop() => {
+                    eprintln!(
+                        "[reload-watch] reloaded {:?}, added {:?} ({} unchanged)",
+                        report.reloaded, report.added, report.unchanged
+                    );
+                }
+                Ok(_) => {}
+                Err(e) => eprintln!("[reload-watch] pass failed (will retry): {e}"),
+            }
+        })
+        .ok()
 }
 
 #[cfg(test)]
@@ -200,7 +283,7 @@ mod tests {
             width: 8,
             channels_io: 1,
         };
-        let mut reg = ModelRegistry::new();
+        let reg = ModelRegistry::new();
         reg.register("m", spec, AlgebraSpec::of(&alg), spec.build(&alg, 7))
             .unwrap();
         Arc::new(reg)

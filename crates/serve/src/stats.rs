@@ -1,9 +1,23 @@
 //! Service metrics: lock-light counters updated on the hot path and a
 //! serializable [`StatsSnapshot`] for the `stats` verb.
 //!
-//! Latency percentiles come from a fixed-capacity ring of the most
-//! recent completions (a sliding window, not an all-time histogram), so
-//! `stats` reflects current behavior even on a long-lived server.
+//! Two complementary latency views coexist (`stats` v2):
+//!
+//! * a fixed-capacity ring of the most recent completions (a sliding
+//!   window, not an all-time record) feeding the global percentiles, so
+//!   `stats` reflects *current* behavior even on a long-lived server;
+//! * per-model **log-spaced histograms** ([`latency_bucket_edges_ms`])
+//!   accumulated since startup, so tail shifts survive the window and
+//!   two snapshots can be subtracted to get an interval distribution.
+//!
+//! Per-model state also carries a total-latency EWMA that the scheduler
+//! reads for deadline-aware admission, and rejection counters split by
+//! cause (queue overload vs. blown `deadline_ms` budget).
+//!
+//! Snapshot discipline: [`Metrics::snapshot`] copies raw data out under
+//! each internal lock and does all sorting/percentile math *after*
+//! dropping it, so a caller serializing a large snapshot can never
+//! stall the admission path that shares these locks.
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -14,22 +28,77 @@ use std::time::Instant;
 /// Completions kept for the latency window.
 const LATENCY_WINDOW: usize = 4096;
 
+/// Buckets per latency histogram (the last one is the overflow bucket).
+pub const HIST_BUCKETS: usize = 24;
+
+/// Smoothing factor of the per-model latency EWMA the deadline
+/// admission check consults (≈ the last ~10 completions dominate).
+const EWMA_ALPHA: f64 = 0.2;
+
+/// Upper-inclusive edges (milliseconds) of the log-spaced latency
+/// histogram buckets: `0.0625 · 2^i` for `i = 0..HIST_BUCKETS-1`
+/// (62.5 µs up to ~262 s); a sample above the last edge lands in the
+/// final overflow bucket. Fixed at compile time so histograms from any
+/// two servers (or snapshots) are directly comparable.
+pub fn latency_bucket_edges_ms() -> Vec<f64> {
+    (0..HIST_BUCKETS - 1)
+        .map(|i| 0.0625 * f64::powi(2.0, i as i32))
+        .collect()
+}
+
+/// Histogram bucket index of a total-latency sample.
+fn bucket_of(ms: f64) -> usize {
+    // Equivalent to a log2 search over `latency_bucket_edges_ms`, but
+    // branch-cheap on the completion hot path.
+    let mut edge = 0.0625;
+    for i in 0..HIST_BUCKETS - 1 {
+        if ms <= edge {
+            return i;
+        }
+        edge *= 2.0;
+    }
+    HIST_BUCKETS - 1
+}
+
+/// Per-model counters, all updated under one short-held mutex.
+#[derive(Clone)]
+struct ModelMetrics {
+    completed: u64,
+    rejected: u64,
+    deadline_rejected: u64,
+    /// Total-latency EWMA, `None` until the first completion.
+    ewma_ms: Option<f64>,
+    hist: [u64; HIST_BUCKETS],
+}
+
+impl Default for ModelMetrics {
+    fn default() -> Self {
+        Self {
+            completed: 0,
+            rejected: 0,
+            deadline_rejected: 0,
+            ewma_ms: None,
+            hist: [0; HIST_BUCKETS],
+        }
+    }
+}
+
 /// Shared, interior-mutable service counters.
 pub struct Metrics {
     started: Instant,
     submitted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
+    deadline_rejected: AtomicU64,
     failed: AtomicU64,
     batches: AtomicU64,
     batched_jobs: AtomicU64,
     max_batch: AtomicU64,
     queue_depth: AtomicUsize,
     window: Mutex<Window>,
-    /// Completion counts keyed by model name — O(1) on the completion
-    /// hot path regardless of how many models are registered (the old
-    /// `Vec<(String, u64)>` linear-scanned on every completion).
-    per_model: Mutex<HashMap<String, u64>>,
+    /// Per-model counters keyed by name — O(1) on the completion hot
+    /// path regardless of how many models are registered.
+    per_model: Mutex<HashMap<String, ModelMetrics>>,
 }
 
 struct Window {
@@ -45,6 +114,7 @@ impl Default for Metrics {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            deadline_rejected: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_jobs: AtomicU64::new(0),
@@ -77,9 +147,27 @@ impl Metrics {
         self.queue_depth.store(depth, Ordering::Relaxed);
     }
 
-    /// One request refused by admission control.
-    pub fn record_rejected(&self) {
+    /// One request refused by admission control (queue pressure).
+    /// `model` is `None` when rejection happened before the model was
+    /// resolved (e.g. a global shutting-down refusal).
+    pub fn record_rejected(&self, model: Option<&str>) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+        if let Some(model) = model {
+            lock_unpoisoned(&self.per_model)
+                .entry(model.into())
+                .or_default()
+                .rejected += 1;
+        }
+    }
+
+    /// One request refused because its `deadline_ms` budget was already
+    /// predicted blown at arrival.
+    pub fn record_deadline_rejected(&self, model: &str) {
+        self.deadline_rejected.fetch_add(1, Ordering::Relaxed);
+        lock_unpoisoned(&self.per_model)
+            .entry(model.into())
+            .or_default()
+            .deadline_rejected += 1;
     }
 
     /// One batch dispatched to the pool (queue depth after the take).
@@ -105,12 +193,13 @@ impl Metrics {
             w.next = (w.next + 1) % LATENCY_WINDOW;
         }
         let mut pm = lock_unpoisoned(&self.per_model);
-        match pm.get_mut(model) {
-            Some(c) => *c += 1,
-            None => {
-                pm.insert(model.into(), 1);
-            }
-        }
+        let m = pm.entry(model.into()).or_default();
+        m.completed += 1;
+        m.hist[bucket_of(total_ms)] += 1;
+        m.ewma_ms = Some(match m.ewma_ms {
+            Some(prev) => prev + EWMA_ALPHA * (total_ms - prev),
+            None => total_ms,
+        });
     }
 
     /// One request that failed inside the service (not a rejection).
@@ -123,22 +212,63 @@ impl Metrics {
         self.queue_depth.load(Ordering::Relaxed)
     }
 
+    /// The model's total-latency EWMA, if it has completed anything yet
+    /// (what deadline-aware admission consults).
+    pub fn ewma_ms(&self, model: &str) -> Option<f64> {
+        lock_unpoisoned(&self.per_model)
+            .get(model)
+            .and_then(|m| m.ewma_ms)
+    }
+
     /// A consistent-enough point-in-time snapshot.
+    ///
+    /// Raw samples and per-model maps are *copied out* under their
+    /// locks; sorting, percentiles, and QPS math all run after the
+    /// locks drop, so a slow `stats` consumer cannot stall the
+    /// admission/completion paths that share them. Scheduler-owned
+    /// fields (live per-model queue depth, weight, registry version,
+    /// reload counters) are zero here and filled in by
+    /// `Scheduler::stats_snapshot`.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let (queue_wait_ms, latency_ms) = {
+        // Copy the window out, then compute percentiles lock-free.
+        let samples: Vec<(f32, f32)> = {
             let w = lock_unpoisoned(&self.window);
-            (
-                LatencyStats::of(w.samples.iter().map(|s| f64::from(s.0))),
-                LatencyStats::of(w.samples.iter().map(|s| f64::from(s.1))),
-            )
+            w.samples.clone()
         };
+        let queue_wait_ms = LatencyStats::of(samples.iter().map(|s| f64::from(s.0)));
+        let latency_ms = LatencyStats::of(samples.iter().map(|s| f64::from(s.1)));
+        let per_model_raw: Vec<(String, ModelMetrics)> = {
+            let pm = lock_unpoisoned(&self.per_model);
+            pm.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        };
+        let uptime_ms = self.started.elapsed().as_secs_f64() * 1e3;
+        let uptime_s = (uptime_ms / 1e3).max(1e-9);
+        // Name-sorted so the wire payload is deterministic (a HashMap
+        // iterates in arbitrary order).
+        let mut per_model: Vec<ModelStats> = per_model_raw
+            .into_iter()
+            .map(|(name, m)| ModelStats {
+                name,
+                completed: m.completed,
+                rejected: m.rejected,
+                deadline_rejected: m.deadline_rejected,
+                qps: m.completed as f64 / uptime_s,
+                ewma_ms: m.ewma_ms.unwrap_or(0.0),
+                queue_depth: 0,
+                weight: 0,
+                version: 0,
+                histogram: m.hist.to_vec(),
+            })
+            .collect();
+        per_model.sort_by(|a, b| a.name.cmp(&b.name));
         let batches = self.batches.load(Ordering::Relaxed);
         let batched_jobs = self.batched_jobs.load(Ordering::Relaxed);
         StatsSnapshot {
-            uptime_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            uptime_ms,
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            deadline_rejected: self.deadline_rejected.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             batches,
             mean_batch: if batches > 0 {
@@ -148,21 +278,12 @@ impl Metrics {
             },
             max_batch: self.max_batch.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            reload_passes: 0,
+            models_reloaded: 0,
             queue_wait_ms,
             latency_ms,
-            per_model: {
-                // Name-sorted so the wire payload is deterministic (a
-                // HashMap iterates in arbitrary order).
-                let mut pm: Vec<ModelCount> = lock_unpoisoned(&self.per_model)
-                    .iter()
-                    .map(|(name, completed)| ModelCount {
-                        name: name.clone(),
-                        completed: *completed,
-                    })
-                    .collect();
-                pm.sort_by(|a, b| a.name.cmp(&b.name));
-                pm
-            },
+            bucket_edges_ms: latency_bucket_edges_ms(),
+            per_model,
         }
     }
 }
@@ -211,13 +332,34 @@ impl LatencyStats {
     }
 }
 
-/// Per-model completion count.
+/// Per-model statistics (`stats` v2): rates, rejections, admission
+/// EWMA, live queue depth, published version, and an all-time
+/// log-spaced latency histogram whose bucket edges are
+/// `StatsSnapshot::bucket_edges_ms`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct ModelCount {
+pub struct ModelStats {
     /// Model name.
     pub name: String,
     /// Requests completed.
     pub completed: u64,
+    /// Requests refused by queue-pressure admission control.
+    pub rejected: u64,
+    /// Requests refused because their `deadline_ms` was predicted blown.
+    pub deadline_rejected: u64,
+    /// Completions per second of uptime.
+    pub qps: f64,
+    /// Total-latency EWMA (ms) consulted by deadline admission;
+    /// 0 until the first completion.
+    pub ewma_ms: f64,
+    /// Jobs currently queued for this model (live, scheduler-filled).
+    pub queue_depth: usize,
+    /// Fair-scheduling weight (scheduler-filled).
+    pub weight: u64,
+    /// Registry publish version (bumped by hot reload; scheduler-filled).
+    pub version: u64,
+    /// Completions per latency bucket, `HIST_BUCKETS` long; the last
+    /// bucket is overflow. `sum(histogram) == completed` always.
+    pub histogram: Vec<u64>,
 }
 
 /// Point-in-time service statistics (the `stats` verb payload).
@@ -229,8 +371,10 @@ pub struct StatsSnapshot {
     pub submitted: u64,
     /// Requests completed.
     pub completed: u64,
-    /// Requests refused by admission control.
+    /// Requests refused by queue-pressure admission control.
     pub rejected: u64,
+    /// Requests refused at arrival for a blown `deadline_ms` budget.
+    pub deadline_rejected: u64,
     /// Requests failed inside the service.
     pub failed: u64,
     /// Batches dispatched.
@@ -241,12 +385,26 @@ pub struct StatsSnapshot {
     pub max_batch: u64,
     /// Queue depth at snapshot time.
     pub queue_depth: usize,
+    /// Hot-reload passes run (forced `reload` verb + poll watcher).
+    pub reload_passes: u64,
+    /// Model versions published by reload passes (added + reloaded).
+    pub models_reloaded: u64,
     /// Queue-wait distribution (admission → batch dispatch).
     pub queue_wait_ms: LatencyStats,
     /// Total-latency distribution (admission → completion).
     pub latency_ms: LatencyStats,
-    /// Per-model completion counts.
-    pub per_model: Vec<ModelCount>,
+    /// Upper-inclusive edges (ms) of the per-model histogram buckets;
+    /// `per_model[i].histogram` has one more entry (the overflow bucket).
+    pub bucket_edges_ms: Vec<f64>,
+    /// Per-model statistics, name-sorted.
+    pub per_model: Vec<ModelStats>,
+}
+
+impl StatsSnapshot {
+    /// The stats of one model, if it has any recorded activity.
+    pub fn model(&self, name: &str) -> Option<&ModelStats> {
+        self.per_model.iter().find(|m| m.name == name)
+    }
 }
 
 #[cfg(test)]
@@ -302,7 +460,8 @@ mod tests {
         let m = Metrics::new();
         m.record_submit(1);
         m.record_submit(2);
-        m.record_rejected();
+        m.record_rejected(Some("a"));
+        m.record_deadline_rejected("a");
         m.record_batch(2, 0);
         m.record_completion("a", 0.5, 2.0);
         m.record_completion("a", 1.5, 4.0);
@@ -310,22 +469,55 @@ mod tests {
         assert_eq!(s.submitted, 2);
         assert_eq!(s.completed, 2);
         assert_eq!(s.rejected, 1);
+        assert_eq!(s.deadline_rejected, 1);
         assert_eq!(s.batches, 1);
         assert_eq!(s.mean_batch, 2.0);
         assert_eq!(s.max_batch, 2);
-        assert_eq!(
-            s.per_model,
-            vec![ModelCount {
-                name: "a".into(),
-                completed: 2
-            }]
-        );
+        let a = s.model("a").expect("model a has stats");
+        assert_eq!(a.completed, 2);
+        assert_eq!(a.rejected, 1);
+        assert_eq!(a.deadline_rejected, 1);
+        assert!(a.qps > 0.0);
+        assert_eq!(a.histogram.len(), HIST_BUCKETS);
+        assert_eq!(a.histogram.iter().sum::<u64>(), a.completed);
+        assert_eq!(s.bucket_edges_ms.len(), HIST_BUCKETS - 1);
         assert_eq!(s.latency_ms.max, 4.0);
         assert_eq!(s.queue_wait_ms.max, 1.5);
         // Snapshot serializes for the wire.
         let json = serde_json::to_string(&s).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back.submitted, 2);
+        assert_eq!(back.model("a").unwrap().histogram, a.histogram);
+    }
+
+    #[test]
+    fn ewma_tracks_completions_and_feeds_admission() {
+        let m = Metrics::new();
+        assert_eq!(m.ewma_ms("a"), None);
+        m.record_completion("a", 0.0, 10.0);
+        assert_eq!(m.ewma_ms("a"), Some(10.0), "first sample seeds the EWMA");
+        m.record_completion("a", 0.0, 20.0);
+        let e = m.ewma_ms("a").unwrap();
+        assert!((e - 12.0).abs() < 1e-12, "10 + 0.2·(20-10) = 12, got {e}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_spaced_with_overflow() {
+        let edges = latency_bucket_edges_ms();
+        assert_eq!(edges.len(), HIST_BUCKETS - 1);
+        assert_eq!(edges[0], 0.0625);
+        for w in edges.windows(2) {
+            assert_eq!(w[1], w[0] * 2.0, "log-2 spacing");
+        }
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(0.0625), 0);
+        assert_eq!(bucket_of(0.07), 1);
+        assert_eq!(bucket_of(1.0), 4); // 0.0625·2^4 = 1.0, inclusive edge
+        assert_eq!(bucket_of(f64::MAX), HIST_BUCKETS - 1);
+        // Every edge maps onto its own bucket (inclusive upper bound).
+        for (i, e) in edges.iter().enumerate() {
+            assert_eq!(bucket_of(*e), i);
+        }
     }
 
     #[test]

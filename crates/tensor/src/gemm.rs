@@ -468,6 +468,21 @@ fn assemble<T: Copy + Default>(
 /// plane per `co`, `bias[c] + Σ_r weights[c·rows + r] · col[r]` (an
 /// empty `bias` means no bias). Chunk×block tasks run in parallel.
 ///
+/// # Examples
+///
+/// ```
+/// use ringcnn_tensor::gemm::gemm_f32;
+///
+/// // C = W · col: 2 output channels over rows = 2, plane = 3. Channel
+/// // c's weight row selects patch row c, so the output planes are the
+/// // patch rows themselves (plus the per-channel bias).
+/// let col = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // row-major rows × plane
+/// let w = [1.0, 0.0, 0.0, 1.0];
+/// let planes = gemm_f32(&col, 3, 2, 2, &w, &[0.0, 10.0]);
+/// assert_eq!(planes[0], vec![1.0, 2.0, 3.0]);
+/// assert_eq!(planes[1], vec![14.0, 15.0, 16.0]);
+/// ```
+///
 /// # Panics
 ///
 /// Panics if `weights.len() != co·rows`, `col.len() != rows·plane`, or

@@ -70,7 +70,7 @@ fn main() {
         dir.display()
     );
 
-    let mut reg = ModelRegistry::new();
+    let reg = ModelRegistry::new();
     reg.load_dir(&dir).unwrap();
     let server = Server::start(Arc::new(reg), ServerConfig::default()).unwrap();
     let mut client = Client::connect(server.addr().to_string()).unwrap();

@@ -54,7 +54,7 @@ fn main() {
     let file = export_model("dn_ernet_ri2", spec, AlgebraSpec::of(&alg), &mut model)
         .expect("export trained model");
     std::fs::write(dir.join("dn_ernet_ri2.json"), model_to_json(&file)).expect("write model file");
-    let mut registry = ModelRegistry::new();
+    let registry = ModelRegistry::new();
     let names = registry.load_dir(&dir).expect("load model dir");
     println!("registry loaded {names:?} from {}", dir.display());
 
@@ -68,6 +68,7 @@ fn main() {
                 max_batch: 8,
                 max_wait: Duration::from_millis(2),
                 queue_cap: 64,
+                ..SchedulerConfig::default()
             },
             ..ServerConfig::default()
         },

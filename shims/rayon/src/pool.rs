@@ -16,7 +16,7 @@
 //! - The submitting thread blocks until every item has completed, which
 //!   is what makes lending a non-`'static` closure to the workers sound:
 //!   the borrow outlives every access. That hand-off is the single
-//!   `unsafe` in the crate (see [`JobHandle`]).
+//!   `unsafe` in the crate (see the private `JobHandle`).
 //! - Because submitters participate, a worker that submits a nested job
 //!   drains it itself if no sibling is free — nesting cannot deadlock.
 //! - A panic inside the body is caught, the job is drained to the end,

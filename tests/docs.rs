@@ -1,0 +1,156 @@
+//! Documentation honesty checks: every relative link under `docs/` and
+//! `README.md` must resolve to a real file, and the byte layouts that
+//! `docs/PROTOCOL.md` documents as normative must match what the frame
+//! codec actually emits.
+
+use ringcnn_serve::frame;
+use ringcnn_serve::protocol::Request;
+use ringcnn_serve::registry::Precision;
+use ringcnn_tensor::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/serve; docs live two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Extracts `](target)` markdown link targets from `text`.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(end) = text[i + 2..].find(')') {
+                out.push(text[i + 2..i + 2 + end].to_string());
+                i += 2 + end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[test]
+fn docs_relative_links_all_resolve() {
+    let root = repo_root();
+    let mut files = vec![root.join("README.md")];
+    for entry in std::fs::read_dir(root.join("docs")).expect("docs/ directory exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            files.push(path);
+        }
+    }
+    assert!(
+        files.len() >= 4,
+        "expected README.md plus at least three docs/*.md files, found {files:?}"
+    );
+    let mut checked = 0usize;
+    for file in &files {
+        let text = std::fs::read_to_string(file).expect("read doc");
+        let base = file.parent().expect("doc has a parent dir");
+        for target in link_targets(&text) {
+            // External links and pure intra-page anchors are out of scope.
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with('#')
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let path_part = target.split('#').next().unwrap_or(&target);
+            let resolved = base.join(path_part);
+            assert!(
+                resolved.exists(),
+                "{}: dead relative link `{target}` (resolved {})",
+                file.display(),
+                resolved.display()
+            );
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 10,
+        "the docs tree should be cross-linked; only {checked} relative links found"
+    );
+}
+
+// --- docs/PROTOCOL.md byte layouts, spot-checked against the codec --------
+
+#[test]
+fn documented_preamble_and_simple_verb_frames_match_the_codec() {
+    // PROTOCOL.md: the client preamble is the 5 bytes `RCNB` + 0x01.
+    let mut preamble = Vec::new();
+    frame::encode_preamble(&mut preamble);
+    assert_eq!(preamble, b"RCNB\x01", "documented preamble bytes");
+
+    // PROTOCOL.md: a body-less request frame is `len=1 (u32 LE)` + verb
+    // byte; `list_models` is verb 0x02.
+    let mut buf = Vec::new();
+    frame::encode_request(&Request::ListModels, &mut buf);
+    assert_eq!(buf, [1, 0, 0, 0, 0x02], "documented list_models frame");
+
+    for (req, verb) in [
+        (Request::Stats, 0x03u8),
+        (Request::Health, 0x04),
+        (Request::Shutdown, 0x05),
+        (Request::Reload, 0x06),
+    ] {
+        let mut buf = Vec::new();
+        frame::encode_request(&req, &mut buf);
+        assert_eq!(
+            buf,
+            [1, 0, 0, 0, verb],
+            "documented frame for {req:?} (verb 0x{verb:02x})"
+        );
+    }
+}
+
+#[test]
+fn documented_infer_frame_layout_matches_the_codec() {
+    // PROTOCOL.md documents the infer body as: verb 0x01, precision
+    // byte (bit 0x80 = deadline flag), u16 LE name length + name bytes,
+    // 4×u32 LE shape, f32 LE samples, then (iff the flag is set) one
+    // f64 LE `deadline_ms` trailer.
+    let x = Tensor::random_uniform(Shape4::new(1, 1, 2, 2), 0.0, 1.0, 1);
+    let req = |deadline_ms| Request::Infer {
+        model: "m".into(),
+        precision: Precision::Fp64,
+        shape: x.shape(),
+        data: x.as_slice().to_vec(),
+        deadline_ms,
+    };
+    let mut plain = Vec::new();
+    frame::encode_request(&req(None), &mut plain);
+    let body_len = u32::from_le_bytes(plain[..4].try_into().unwrap()) as usize;
+    assert_eq!(body_len, plain.len() - 4, "length prefix covers the body");
+    assert_eq!(plain[4], 0x01, "infer verb byte");
+    assert_eq!(plain[5], 0x00, "fp64 precision byte, no deadline flag");
+    assert_eq!(&plain[6..8], [1u8, 0], "u16 LE name length");
+    assert_eq!(plain[8], b'm');
+    let shape: Vec<u32> = plain[9..25]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    assert_eq!(shape, [1, 1, 2, 2], "4xu32 LE shape");
+    assert_eq!(plain.len(), 25 + 4 * 4, "4 f32 samples close the body");
+
+    let mut with = Vec::new();
+    frame::encode_request(&req(Some(12.5)), &mut with);
+    assert_eq!(
+        with[5],
+        frame::DEADLINE_FLAG,
+        "deadline flag is bit 0x80 of the precision byte"
+    );
+    assert_eq!(
+        with.len(),
+        plain.len() + 8,
+        "the deadline adds exactly one trailing f64"
+    );
+    assert_eq!(
+        &with[with.len() - 8..],
+        12.5f64.to_le_bytes(),
+        "trailing f64 LE deadline_ms"
+    );
+}

@@ -55,7 +55,7 @@ fn export_pair(tag: &str) -> (std::path::PathBuf, QuantizedModel, Sequential) {
 #[test]
 fn quantized_model_served_over_tcp_is_bit_exact_and_tracks_fp64() {
     let (dir, qmodel, fp_model) = export_pair("tcp");
-    let mut reg = ModelRegistry::new();
+    let reg = ModelRegistry::new();
     reg.load_dir(&dir).unwrap();
     let server = Server::start(Arc::new(reg), ServerConfig::default()).unwrap();
     let addr = server.addr().to_string();
@@ -112,7 +112,7 @@ fn quantized_model_served_over_tcp_is_bit_exact_and_tracks_fp64() {
 #[test]
 fn precision_error_paths_keep_the_connection_alive() {
     // A registry whose model has NO quantized attachment.
-    let mut reg = ModelRegistry::new();
+    let reg = ModelRegistry::new();
     let alg = Algebra::real();
     reg.register(
         "plain",
@@ -159,7 +159,7 @@ fn precision_error_paths_keep_the_connection_alive() {
 #[test]
 fn loadgen_drives_the_quant_path_cleanly() {
     let (dir, _qm, _fp) = export_pair("loadgen");
-    let mut reg = ModelRegistry::new();
+    let reg = ModelRegistry::new();
     reg.load_dir(&dir).unwrap();
     let server = Server::start(Arc::new(reg), ServerConfig::default()).unwrap();
     let report = ringcnn_serve::loadgen::run(&LoadgenConfig {

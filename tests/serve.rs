@@ -27,7 +27,7 @@ fn ffdnet_spec() -> ModelSpec {
 /// A registry with the two smoke models: FFDNet over the real field
 /// (im2col) and VDSR over RH4 (transform).
 fn smoke_registry() -> Arc<ModelRegistry> {
-    let mut reg = ModelRegistry::new();
+    let reg = ModelRegistry::new();
     let real = Algebra::real();
     reg.register(
         "ffdnet_real",
@@ -72,6 +72,7 @@ fn max_batch_flushes_before_max_wait() {
             max_batch: 4,
             max_wait: Duration::from_secs(10),
             queue_cap: 64,
+            ..SchedulerConfig::default()
         },
     );
     let started = Instant::now();
@@ -107,6 +108,7 @@ fn max_wait_flushes_a_lone_request() {
             max_batch: 64,
             max_wait: Duration::from_millis(30),
             queue_cap: 64,
+            ..SchedulerConfig::default()
         },
     );
     let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 3);
@@ -138,6 +140,7 @@ fn full_queue_rejects_with_overloaded_and_drains_on_shutdown() {
             max_batch: 8,
             max_wait: Duration::from_secs(10),
             queue_cap: 4,
+            ..SchedulerConfig::default()
         },
     );
     let x = |i: u64| Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, i);
@@ -196,6 +199,7 @@ fn mixed_model_stream_batches_per_model_with_exact_results() {
             max_batch: 4,
             max_wait: Duration::from_millis(2),
             queue_cap: 256,
+            ..SchedulerConfig::default()
         },
     );
     let (ffd, vdsr) = reference_models();
@@ -238,6 +242,7 @@ fn concurrent_tcp_clients_get_bit_identical_results() {
                 max_batch: 8,
                 max_wait: Duration::from_millis(2),
                 queue_cap: 256,
+                ..SchedulerConfig::default()
             },
             ..ServerConfig::default()
         },
@@ -507,6 +512,7 @@ fn loadgen_256_binary_connections_complete_with_zero_errors() {
                 max_batch: 16,
                 max_wait: Duration::from_millis(2),
                 queue_cap: 1024,
+                ..SchedulerConfig::default()
             },
             ..ServerConfig::default()
         },
@@ -572,6 +578,7 @@ fn loadgen_round_trips_with_zero_errors() {
                 max_batch: 8,
                 max_wait: Duration::from_millis(2),
                 queue_cap: 256,
+                ..SchedulerConfig::default()
             },
             ..ServerConfig::default()
         },
@@ -596,5 +603,149 @@ fn loadgen_round_trips_with_zero_errors() {
     assert!(report.latency_ms.p50 > 0.0 && report.latency_ms.p99 >= report.latency_ms.p50);
     let counts: usize = report.per_model.iter().map(|(_, n)| n).sum();
     assert_eq!(counts, 40);
+    server.shutdown();
+}
+
+// --- Fleet scheduling ------------------------------------------------------
+
+#[test]
+fn weighted_fair_lets_a_weighted_model_jump_a_hot_backlog() {
+    // One worker, one-request batches: while a long "plug" request keeps
+    // the worker busy, enqueue six hot-model requests and then two
+    // requests for a weight-4 model. Weighted fair scheduling must serve
+    // the weighted model ahead of most of the backlog (under FIFO scan
+    // the two late arrivals would drain dead last).
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let sched = Scheduler::start(
+        smoke_registry(),
+        SchedulerConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait: Duration::from_millis(0),
+            queue_cap: 64,
+            ..SchedulerConfig::default()
+        },
+    );
+    sched.set_model_weight("ffdnet_real", 1);
+    sched.set_model_weight("vdsr_rh4", 4);
+    // Plug: large enough that all eight submissions land while the
+    // worker is still chewing on it.
+    let plug = sched
+        .submit(
+            "ffdnet_real",
+            Tensor::random_uniform(Shape4::new(1, 1, 96, 96), 0.0, 1.0, 40),
+            Precision::Fp64,
+        )
+        .unwrap();
+    // Wait until the worker has actually taken the plug off the queue.
+    let t0 = Instant::now();
+    while sched.queue_len() > 0 {
+        assert!(t0.elapsed() < Duration::from_secs(10), "plug never started");
+        std::thread::yield_now();
+    }
+    let hot: Vec<_> = (0..6)
+        .map(|i| {
+            sched
+                .submit(
+                    "ffdnet_real",
+                    Tensor::random_uniform(Shape4::new(1, 1, 32, 32), 0.0, 1.0, 50 + i),
+                    Precision::Fp64,
+                )
+                .unwrap()
+        })
+        .collect();
+    let cold: Vec<_> = (0..2)
+        .map(|i| {
+            sched
+                .submit(
+                    "vdsr_rh4",
+                    Tensor::random_uniform(Shape4::new(1, 1, 32, 32), 0.0, 1.0, 60 + i),
+                    Precision::Fp64,
+                )
+                .unwrap()
+        })
+        .collect();
+
+    let order = AtomicUsize::new(0);
+    let mut cold_orders = Vec::new();
+    std::thread::scope(|scope| {
+        let mut cold_handles = Vec::new();
+        for p in cold {
+            cold_handles.push(scope.spawn(|| {
+                p.wait().unwrap();
+                order.fetch_add(1, Ordering::SeqCst)
+            }));
+        }
+        for p in hot {
+            scope.spawn(|| {
+                p.wait().unwrap();
+                order.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        plug.wait().unwrap();
+        for h in cold_handles {
+            cold_orders.push(h.join().unwrap());
+        }
+    });
+    // Deterministic dequeue order is hot, cold, cold, hot×5 (the weight-4
+    // queue advances its virtual time by 1/4 per take). Allow generous
+    // slack for thread wake-up jitter: both weighted requests must finish
+    // ahead of the backlog's tail, never in the last two slots.
+    for o in &cold_orders {
+        assert!(
+            *o < 6,
+            "weight-4 model finished at position {o} of 8 — weighted \
+             fairness is not jumping the hot backlog (orders {cold_orders:?})"
+        );
+    }
+    sched.shutdown();
+}
+
+#[test]
+fn deadline_rejection_over_both_wires() {
+    let server = Server::start(smoke_registry(), ServerConfig::default()).expect("bind");
+    let addr = server.addr().to_string();
+    let mut json = Client::connect(&addr).unwrap();
+    let mut binary = Client::connect_wire(&addr, Wire::Binary).unwrap();
+    let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 70);
+
+    // No latency history yet: admission has no estimate, so even a tiny
+    // budget is admitted (never reject blind).
+    json.infer_deadline("vdsr_rh4", &x, Precision::Fp64, 0.001)
+        .expect("no-history requests are always admitted");
+    // Seed the EWMA with a couple of completions.
+    for _ in 0..2 {
+        json.infer("vdsr_rh4", &x).unwrap();
+    }
+    // A zero budget can never be met once an estimate exists.
+    assert_eq!(
+        json.infer_deadline("vdsr_rh4", &x, Precision::Fp64, 0.0)
+            .unwrap_err()
+            .code(),
+        "deadline",
+        "JSON wire must reject an unmeetable budget on arrival"
+    );
+    assert_eq!(
+        binary
+            .infer_deadline("vdsr_rh4", &x, Precision::Fp64, 0.0)
+            .unwrap_err()
+            .code(),
+        "deadline",
+        "binary wire must carry the deadline flag and reject too"
+    );
+    // A generous budget sails through on both wires.
+    json.infer_deadline("vdsr_rh4", &x, Precision::Fp64, 60_000.0)
+        .expect("generous budget (json)");
+    binary
+        .infer_deadline("vdsr_rh4", &x, Precision::Fp64, 60_000.0)
+        .expect("generous budget (binary)");
+
+    // stats v2 accounts the sheds per model and globally.
+    let snap = json.stats().unwrap();
+    assert_eq!(snap.deadline_rejected, 2);
+    let m = snap.model("vdsr_rh4").expect("per-model stats");
+    assert_eq!(m.deadline_rejected, 2);
+    assert!(m.ewma_ms > 0.0, "EWMA must be published");
+    assert_eq!(m.version, 1);
     server.shutdown();
 }

@@ -1,0 +1,295 @@
+//! Fleet-management integration suite: versioned hot reload under live
+//! traffic, the reload/infer race (outputs must always be bit-exact
+//! against *some* published version, never a torn mix), and the
+//! snapshot-outside-lock guarantee that a slow stats consumer cannot
+//! stall admission.
+
+use proptest::prelude::*;
+use ringcnn_nn::prelude::*;
+use ringcnn_nn::serialize::{export_model, model_to_json};
+use ringcnn_serve::prelude::*;
+use ringcnn_tensor::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn spec() -> ModelSpec {
+    ModelSpec::Vdsr {
+        depth: 2,
+        width: 8,
+        channels_io: 1,
+    }
+}
+
+/// Writes `m.json` (the [`spec`] model built from `seed`) into `dir`.
+fn write_model(dir: &Path, seed: u64) {
+    let alg = Algebra::real();
+    let mut model = spec().build(&alg, seed);
+    let file = export_model("m", spec(), AlgebraSpec::of(&alg), &mut model).expect("export model");
+    std::fs::write(dir.join("m.json"), model_to_json(&file)).expect("write model file");
+}
+
+/// The prepared reference forward for the [`spec`] model at `seed`.
+fn reference(seed: u64) -> Sequential {
+    let mut m = spec().build(&Algebra::real(), seed);
+    m.prepare_inference();
+    m
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ringcnn_fleet_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp model dir");
+    dir
+}
+
+#[test]
+fn hot_reload_under_load_swaps_versions_with_zero_failures() {
+    // A server with the poll watcher enabled serves version 1 while four
+    // client threads hammer it; mid-run the model file is rewritten with
+    // different weights. Every response must be bit-exact against one of
+    // the two published versions, no request may fail, and traffic after
+    // the reload is observed must come from version 2.
+    let dir = temp_dir("reload_load");
+    write_model(&dir, 1);
+    let registry = ModelRegistry::new();
+    registry.load_dir(&dir).expect("load v1");
+    let server = Server::start(
+        Arc::new(registry),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            reload_poll: Some(Duration::from_millis(10)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+    let (ref_a, ref_b) = (reference(1), reference(2));
+    let reloaded = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for client_id in 0..4u64 {
+            let addr = addr.clone();
+            let (ref_a, ref_b, reloaded) = (&ref_a, &ref_b, &reloaded);
+            scope.spawn(move || {
+                let mut c = Client::connect_retry(&addr, Duration::from_secs(5)).expect("connect");
+                let mut i = 0u64;
+                // Keep inferring until the reload is confirmed, then do a
+                // few more guaranteed-post-reload requests.
+                loop {
+                    let done = reloaded.load(Ordering::SeqCst);
+                    let x = Tensor::random_uniform(
+                        Shape4::new(1, 1, 8, 8),
+                        0.0,
+                        1.0,
+                        client_id * 10_000 + i,
+                    );
+                    let reply = c
+                        .infer("m", &x)
+                        .expect("no request may fail across a reload");
+                    let a = ref_a.forward_infer(&x);
+                    let b = ref_b.forward_infer(&x);
+                    let out = reply.output.as_slice();
+                    assert!(
+                        out == a.as_slice() || out == b.as_slice(),
+                        "client {client_id} request {i}: output matches neither \
+                         published version — torn reload"
+                    );
+                    if done {
+                        // The swap happened strictly before this request
+                        // was admitted: it must be version 2's answer.
+                        assert_eq!(
+                            out,
+                            b.as_slice(),
+                            "post-reload request still served by the old version"
+                        );
+                        if i >= 3 {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            });
+        }
+
+        // Let version-1 traffic flow, then publish version 2.
+        std::thread::sleep(Duration::from_millis(50));
+        write_model(&dir, 2);
+        let mut probe = Client::connect_retry(&addr, Duration::from_secs(5)).expect("probe");
+        let t0 = Instant::now();
+        loop {
+            let snap = probe.stats().expect("stats");
+            if snap.models_reloaded >= 1 {
+                assert!(snap.reload_passes >= 1);
+                break;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(30),
+                "watcher never picked up the rewritten model file"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // The version counter on the wire must have bumped too.
+        let infos = probe.list_models().expect("list");
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].version, 2, "reload must bump the model version");
+        reloaded.store(true, Ordering::SeqCst);
+    });
+
+    let mut probe = Client::connect(&addr).unwrap();
+    let snap = probe.stats().unwrap();
+    assert_eq!(snap.failed, 0, "zero failed requests across the reload");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explicit_reload_verb_reports_and_applies_the_swap() {
+    // No watcher: the `reload` admin verb alone must detect the change,
+    // swap, and report it — and a second call must be a no-op.
+    let dir = temp_dir("reload_verb");
+    write_model(&dir, 7);
+    let registry = ModelRegistry::new();
+    registry.load_dir(&dir).expect("load");
+    let server = Server::start(Arc::new(registry), ServerConfig::default()).expect("bind");
+    let addr = server.addr().to_string();
+    for wire in [Wire::Json, Wire::Binary] {
+        let mut c = Client::connect_wire(&addr, wire).unwrap();
+        let report = c.reload().expect("reload verb");
+        assert!(
+            report.is_noop(),
+            "{wire:?}: nothing changed yet: {report:?}"
+        );
+        write_model(&dir, 8);
+        let report = c.reload().expect("reload verb after rewrite");
+        assert_eq!(report.reloaded, vec!["m".to_string()], "{wire:?}");
+        let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 5);
+        assert_eq!(
+            c.infer("m", &x).unwrap().output.as_slice(),
+            reference(8).forward_infer(&x).as_slice(),
+            "{wire:?}: traffic after an explicit reload must hit the new weights"
+        );
+        // Restore for the next wire's no-op check (content-hash based:
+        // rewriting identical bytes is NOT a change).
+        write_model(&dir, 7);
+        c.reload().expect("restore");
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_stats_consumer_cannot_stall_admission() {
+    // A connection that floods `stats` requests and never reads a byte
+    // of the responses must not block the event loop or the admission
+    // path: serialization happens on a snapshot outside the metrics and
+    // queue locks, and unread bytes only back-pressure that one
+    // connection. A well-behaved client's infers must keep completing
+    // promptly the whole time.
+    let dir = temp_dir("slow_stats");
+    write_model(&dir, 3);
+    let registry = ModelRegistry::new();
+    registry.load_dir(&dir).expect("load");
+    let server = Server::start(Arc::new(registry), ServerConfig::default()).expect("bind");
+    let addr = server.addr().to_string();
+
+    use std::io::Write as _;
+    let slow = std::net::TcpStream::connect(&addr).unwrap();
+    // Push a large burst of stats requests without ever reading. The
+    // responses pile up in the server's per-connection output buffer
+    // (and this socket's kernel buffers), not under any shared lock.
+    let burst: Vec<u8> = std::iter::repeat_with(|| "{\"verb\":\"stats\"}\n".bytes())
+        .take(500)
+        .flatten()
+        .collect();
+    (&slow).write_all(&burst).unwrap();
+
+    let mut c = Client::connect(&addr).unwrap();
+    let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 9);
+    let t0 = Instant::now();
+    for _ in 0..20 {
+        c.infer("m", &x)
+            .expect("infer while a stats consumer stalls");
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "admission stalled behind a slow stats consumer: {:?}",
+        t0.elapsed()
+    );
+    // The slow connection is still alive (not killed, just buffered).
+    (&slow).write_all(b"{\"verb\":\"health\"}\n").unwrap();
+    drop(slow);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The reload/infer race: while worker threads stream inferences
+    /// through the scheduler, the model file is rewritten and
+    /// `reload_pass` swaps it in. Every single output must be bit-exact
+    /// against the seed-A or the seed-B reference — a torn result (half
+    /// old weights, half new) is the bug this guards against.
+    #[test]
+    fn reload_race_outputs_match_some_published_version(
+        seed_a in 0u64..500,
+        delta in 1u64..500,
+    ) {
+        let seed_b = seed_a + delta;
+        let dir = temp_dir(&format!("race_{seed_a}_{seed_b}"));
+        write_model(&dir, seed_a);
+        let registry = ModelRegistry::new();
+        registry.load_dir(&dir).expect("load seed A");
+        let registry = Arc::new(registry);
+        let sched = Scheduler::start(
+            registry.clone(),
+            SchedulerConfig {
+                workers: 2,
+                max_batch: 4,
+                max_wait: Duration::from_micros(200),
+                queue_cap: 256,
+                ..SchedulerConfig::default()
+            },
+        );
+        let (ref_a, ref_b) = (reference(seed_a), reference(seed_b));
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..3u64 {
+                let sched = &sched;
+                let (ref_a, ref_b) = (&ref_a, &ref_b);
+                handles.push(scope.spawn(move || -> Result<(), String> {
+                    for i in 0..12u64 {
+                        let x = Tensor::random_uniform(
+                            Shape4::new(1, 1, 8, 8), 0.0, 1.0, t * 1000 + i,
+                        );
+                        let out = sched
+                            .infer("m", x.clone(), Precision::Fp64)
+                            .map_err(|e| e.to_string())?;
+                        let out = out.output;
+                        if out.as_slice() != ref_a.forward_infer(&x).as_slice()
+                            && out.as_slice() != ref_b.forward_infer(&x).as_slice()
+                        {
+                            return Err(format!("thread {t} request {i}: torn output"));
+                        }
+                    }
+                    Ok(())
+                }));
+            }
+            // Swap to seed B mid-stream.
+            write_model(&dir, seed_b);
+            let report = registry.reload_pass().expect("reload pass");
+            prop_assert_eq!(report.reloaded, vec!["m".to_string()]);
+            for h in handles {
+                if let Err(e) = h.join().expect("infer thread panicked") {
+                    panic!("{e}");
+                }
+            }
+        });
+        sched.shutdown();
+        prop_assert_eq!(registry.get("m").expect("still registered").version(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -25,7 +25,7 @@ fn tiny_registry() -> Arc<ModelRegistry> {
         width: 8,
         channels_io: 1,
     };
-    let mut reg = ModelRegistry::new();
+    let reg = ModelRegistry::new();
     reg.register("m", spec, AlgebraSpec::of(&alg), spec.build(&alg, 5))
         .unwrap();
     Arc::new(reg)
@@ -39,6 +39,7 @@ fn encoded_infer(h: usize, w: usize, seed: u64) -> Vec<u8> {
         precision: Precision::Fp64,
         shape: x.shape(),
         data: x.as_slice().to_vec(),
+        deadline_ms: None,
     };
     let mut bytes = Vec::new();
     frame::encode_request(&req, &mut bytes);
