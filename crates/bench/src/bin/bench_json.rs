@@ -348,6 +348,51 @@ fn measure_serve(threads: usize) -> Vec<BenchEntry> {
             report.ms_per_request,
         ));
     }
+
+    // The tracing-overhead twins: the same FFDNet load measured
+    // back-to-back with request tracing off, then tracing every request
+    // (sampling 1, no slow capture — the always-on recording cost). The
+    // traced entry joins the gated trajectory; the untraced run is the
+    // local reference the ≤5% overhead contract is asserted against.
+    {
+        use ringcnn_trace::span;
+        let twin = |addr: &str| {
+            let report = ringcnn_serve::loadgen::run(&ringcnn_serve::loadgen::LoadgenConfig {
+                addr: addr.to_string(),
+                connections: 8,
+                requests: 240,
+                models: vec!["ffdnet_real".into()],
+                hw: (16, 16),
+                seed: 7,
+                warmup: 8,
+                precision: Precision::Fp64,
+                wire: Wire::Json,
+                ..ringcnn_serve::loadgen::LoadgenConfig::default()
+            })
+            .expect("serve trace-twin loadgen");
+            assert_eq!(report.errors, 0, "trace-twin bench must complete cleanly");
+            report.ms_per_request
+        };
+        let prev = span::sample_every();
+        span::set_sample_every(0);
+        let untraced = twin(&addr);
+        span::set_sample_every(1);
+        let traced = twin(&addr);
+        span::set_sample_every(prev);
+        assert!(
+            traced <= untraced * 1.05 || traced - untraced <= 0.1,
+            "tracing every request must cost ≤5% (untraced {untraced:.3} ms/req, \
+             traced {traced:.3} ms/req)"
+        );
+        entries.push(entry(
+            "serve_ffdnet8_16px_traced",
+            "serve",
+            "real",
+            "conn8",
+            threads,
+            traced,
+        ));
+    }
     server.shutdown();
     entries
 }

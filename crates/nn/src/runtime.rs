@@ -382,6 +382,10 @@ impl<'m> BatchRunner<'m> {
         };
 
         // One task per (batch item, tile); all tasks fan out at once.
+        // The caller's span context is captured *before* the fan-out:
+        // pool threads have no ambient span, so each tile task re-roots
+        // its "tile" span under the request's kernel span explicitly.
+        let parent = ringcnn_trace::span::current();
         let tasks: Vec<(usize, Window)> = (0..s.n)
             .flat_map(|n| grid.iter().map(move |w| (n, *w)))
             .collect();
@@ -389,6 +393,10 @@ impl<'m> BatchRunner<'m> {
             .par_iter()
             .map(|&(n, core)| {
                 let ext = extended(&core);
+                let span = parent.map(|p| ringcnn_trace::span::span_in(p, "tile"));
+                if let Some(sp) = &span {
+                    sp.set_args(ext.h as u64, ext.w as u64);
+                }
                 let tile_out = self.model.forward_infer(&input.extract_window(n, ext));
                 // Guard the topology walk against models that are not
                 // spatially uniform (e.g. global pooling + dense heads):
@@ -437,9 +445,16 @@ impl<'m> BatchRunner<'m> {
     /// frame, whole-image each): the plan-reuse path for streams of
     /// small frames where tiling would not pay off.
     pub fn run_batch(&self, frames: &[Tensor]) -> Vec<Tensor> {
+        let parent = ringcnn_trace::span::current();
         frames
             .par_iter()
-            .map(|f| self.model.forward_infer(f))
+            .map(|f| {
+                let span = parent.map(|p| ringcnn_trace::span::span_in(p, "frame"));
+                if let Some(sp) = &span {
+                    sp.set_args(f.shape().h as u64, f.shape().w as u64);
+                }
+                self.model.forward_infer(f)
+            })
             .collect()
     }
 }

@@ -27,6 +27,7 @@ use ringcnn_serve::client::Client;
 use ringcnn_serve::loadgen::{run, LoadgenConfig};
 use ringcnn_serve::protocol::Wire;
 use ringcnn_serve::registry::Precision;
+use ringcnn_trace::rc_error;
 use serde::Value;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -88,7 +89,7 @@ fn main() -> ExitCode {
         Some(p) => match Precision::parse(p) {
             Ok(p) => p,
             Err(e) => {
-                eprintln!("loadgen: {e}");
+                rc_error!("loadgen", "bad --precision", error = e.to_string());
                 return ExitCode::FAILURE;
             }
         },
@@ -98,7 +99,7 @@ fn main() -> ExitCode {
         Some(w) => match Wire::parse(w) {
             Ok(w) => w,
             Err(e) => {
-                eprintln!("loadgen: {e}");
+                rc_error!("loadgen", "bad --protocol", error = e.to_string());
                 return ExitCode::FAILURE;
             }
         },
@@ -110,7 +111,7 @@ fn main() -> ExitCode {
         match (it.next(), it.next()) {
             (Some(h), Some(w)) => (h, w),
             _ => {
-                eprintln!("loadgen: --hw must look like 32x32");
+                rc_error!("loadgen", "--hw must look like 32x32");
                 return ExitCode::FAILURE;
             }
         }
@@ -125,7 +126,7 @@ fn main() -> ExitCode {
             {
                 Ok(infos) => infos.into_iter().map(|i| i.name).collect(),
                 Err(e) => {
-                    eprintln!("loadgen: cannot list models: {e}");
+                    rc_error!("loadgen", "cannot list models", error = e.to_string());
                     return ExitCode::FAILURE;
                 }
             }
@@ -159,7 +160,7 @@ fn main() -> ExitCode {
                 report.reloaded, report.added, report.unchanged
             ),
             Err(e) => {
-                eprintln!("loadgen: reload failed: {e}");
+                rc_error!("loadgen", "reload failed", error = e.to_string());
                 return ExitCode::FAILURE;
             }
         }
@@ -178,7 +179,7 @@ fn main() -> ExitCode {
     let report = match run(&cfg) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("loadgen: {e}");
+            rc_error!("loadgen", "run failed", error = e.to_string());
             return ExitCode::FAILURE;
         }
     };
@@ -209,7 +210,7 @@ fn main() -> ExitCode {
         );
     }
     if report.errors > 0 {
-        eprintln!("loadgen: {} request(s) FAILED", report.errors);
+        rc_error!("loadgen", "requests failed", errors = report.errors);
     }
 
     if let Some(out) = arg_value(&args, "--bench-out") {
@@ -273,7 +274,12 @@ fn main() -> ExitCode {
             let _ = std::fs::create_dir_all(dir);
         }
         if let Err(e) = std::fs::write(&out, text) {
-            eprintln!("loadgen: cannot write {out}: {e}");
+            rc_error!(
+                "loadgen",
+                "cannot write bench-out",
+                path = out,
+                error = e.to_string()
+            );
             return ExitCode::FAILURE;
         }
         println!("wrote {out}");
@@ -285,7 +291,7 @@ fn main() -> ExitCode {
         {
             Ok(()) => println!("sent shutdown"),
             Err(e) => {
-                eprintln!("loadgen: shutdown failed: {e}");
+                rc_error!("loadgen", "shutdown failed", error = e.to_string());
                 return ExitCode::FAILURE;
             }
         }

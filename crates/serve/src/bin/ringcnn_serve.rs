@@ -7,7 +7,7 @@
 //!               [--max-batch 8] [--max-wait-ms 2] [--queue-cap 256]
 //!               [--model-queue-cap 0] [--policy fair|fifo]
 //!               [--weight model=N,...] [--reload-poll-ms 0]
-//!               [--max-frame-mb 16]
+//!               [--max-frame-mb 16] [--trace-slow-ms F] [--trace-out FILE]
 //! ringcnn-serve --export-demo <dir> [--demo-seed N]
 //!                                     # write two demo models (float
 //!                                     # ringcnn-model/v1 + calibrated
@@ -21,12 +21,22 @@
 //! is how the CI reload-under-load phase produces a *different* version
 //! of the same models to reload into.
 //!
+//! `--trace-slow-ms F` traces every request (sampling forced to 1) and
+//! captures the span tree of any request slower than `F` ms (0 = all),
+//! served back by the `trace` verb and logged at `debug` level.
+//! `--trace-out FILE` writes every recorded span as chrome://tracing
+//! JSON on clean shutdown. Log verbosity comes from `RINGCNN_LOG`
+//! (`error|warn|info|debug`); tracing of unconfigured servers is
+//! sampled per `RINGCNN_TRACE_SAMPLE` (default every 64th request).
+//!
 //! The process runs until a client sends the `shutdown` verb, then
 //! drains every admitted request and exits 0 — which is what the CI
 //! smoke job asserts with `wait $PID`.
 
 use ringcnn_nn::prelude::*;
 use ringcnn_serve::prelude::*;
+use ringcnn_trace::span;
+use ringcnn_trace::{chrome, rc_error, rc_info};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -121,7 +131,7 @@ fn main() -> ExitCode {
         return match export_demo(&dir, seed) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
-                eprintln!("ringcnn-serve: {e}");
+                rc_error!("serve", "export-demo failed", error = e.to_string());
                 ExitCode::FAILURE
             }
         };
@@ -132,18 +142,31 @@ fn main() -> ExitCode {
             "usage: ringcnn-serve --models <dir> [--addr A] [--workers N] \
              [--max-batch N] [--max-wait-ms F] [--queue-cap N] [--model-queue-cap N] \
              [--policy fair|fifo] [--weight model=N,...] [--reload-poll-ms N] \
-             [--max-frame-mb N]\n\
+             [--max-frame-mb N] [--trace-slow-ms F] [--trace-out FILE]\n\
              \x20      ringcnn-serve --export-demo <dir> [--demo-seed N]"
         );
         return ExitCode::FAILURE;
     };
+
+    // Tracing: either flag forces every request to be traced (sampling
+    // 1); the slow threshold decides which trees the ring retains for
+    // the `trace` verb.
+    let trace_slow_ms: Option<f64> =
+        arg_value(&args, "--trace-slow-ms").and_then(|v| v.parse().ok());
+    let trace_out = arg_value(&args, "--trace-out");
+    if trace_slow_ms.is_some() || trace_out.is_some() {
+        span::set_sample_every(1);
+    }
+    if let Some(thr) = trace_slow_ms {
+        span::set_slow_threshold_ms(Some(thr));
+    }
 
     let policy = match arg_value(&args, "--policy").as_deref() {
         None => SchedPolicy::WeightedFair,
         Some(p) => match SchedPolicy::parse(p) {
             Ok(p) => p,
             Err(e) => {
-                eprintln!("ringcnn-serve: {e}");
+                rc_error!("serve", "bad --policy", error = e.to_string());
                 return ExitCode::FAILURE;
             }
         },
@@ -173,28 +196,26 @@ fn main() -> ExitCode {
         Ok(names) if !names.is_empty() => {
             for e in registry.entries() {
                 let t = e.topo();
-                println!(
-                    "loaded {:16} {:16} {:18} backend={:9} radius={} granularity={} params={}{}",
-                    e.name(),
-                    e.spec().label(),
-                    e.algebra().label(),
-                    e.algebra().algebra().conv_backend().label(),
-                    t.radius,
-                    t.granularity,
-                    e.num_params(),
-                    match e.quant_psnr() {
-                        Some(p) => format!(" +quant({p:.1} dB)"),
-                        None => String::new(),
-                    },
+                rc_info!(
+                    "serve",
+                    "loaded model",
+                    name = e.name(),
+                    arch = e.spec().label(),
+                    algebra = e.algebra().label(),
+                    backend = e.algebra().algebra().conv_backend().label(),
+                    radius = t.radius,
+                    granularity = t.granularity,
+                    params = e.num_params(),
+                    quant_psnr = e.quant_psnr(),
                 );
             }
         }
         Ok(_) => {
-            eprintln!("ringcnn-serve: no *.json model files under {model_dir}");
+            rc_error!("serve", "no model files", dir = model_dir);
             return ExitCode::FAILURE;
         }
         Err(e) => {
-            eprintln!("ringcnn-serve: {e}");
+            rc_error!("serve", "model load failed", error = e.to_string());
             return ExitCode::FAILURE;
         }
     }
@@ -202,7 +223,7 @@ fn main() -> ExitCode {
     let server = match Server::start(Arc::new(registry), cfg.clone()) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("ringcnn-serve: {e}");
+            rc_error!("serve", "start failed", error = e.to_string());
             return ExitCode::FAILURE;
         }
     };
@@ -215,27 +236,41 @@ fn main() -> ExitCode {
             {
                 Some((name, w)) => server.scheduler().set_model_weight(name, w),
                 None => {
-                    eprintln!("ringcnn-serve: --weight wants model=N, got `{spec}`");
+                    rc_error!("serve", "--weight wants model=N", got = spec);
                     return ExitCode::FAILURE;
                 }
             }
         }
     }
-    println!(
-        "listening on {} (workers={} max_batch={} max_wait={:?} queue_cap={} policy={} \
-         reload_poll={:?}, pool threads={})",
-        server.addr(),
-        cfg.scheduler.workers,
-        cfg.scheduler.max_batch,
-        cfg.scheduler.max_wait,
-        cfg.scheduler.queue_cap,
-        cfg.scheduler.policy.label(),
-        cfg.reload_poll,
-        ringcnn_nn::runtime::num_threads(),
+    rc_info!(
+        "serve",
+        "listening",
+        addr = server.addr(),
+        workers = cfg.scheduler.workers,
+        max_batch = cfg.scheduler.max_batch,
+        max_wait = cfg.scheduler.max_wait,
+        queue_cap = cfg.scheduler.queue_cap,
+        policy = cfg.scheduler.policy.label(),
+        reload_poll = cfg.reload_poll,
+        pool_threads = ringcnn_nn::runtime::num_threads(),
+        kernel = ringcnn_tensor::gemm::active_kernel().label(),
+        trace_slow_ms = trace_slow_ms,
+        sample_every = span::sample_every(),
     );
 
     // Runs until a client sends `shutdown`; then drains and exits.
     server.wait();
-    println!("ringcnn-serve: drained and stopped");
+    if let Some(path) = &trace_out {
+        match chrome::export(std::path::Path::new(path)) {
+            Ok(()) => rc_info!("serve", "wrote chrome trace", path = path),
+            Err(e) => rc_error!(
+                "serve",
+                "chrome trace export failed",
+                path = path,
+                error = e.to_string(),
+            ),
+        }
+    }
+    rc_info!("serve", "drained and stopped");
     ExitCode::SUCCESS
 }

@@ -16,6 +16,7 @@ use crate::registry::{Precision, ReloadReport};
 use crate::server::MAX_LINE_BYTES;
 use crate::stats::StatsSnapshot;
 use ringcnn_tensor::prelude::*;
+use ringcnn_trace::span::TraceTree;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -41,6 +42,11 @@ pub struct HealthReply {
     pub models: usize,
     /// Current queue depth.
     pub queue_depth: usize,
+    /// The GEMM kernel variant the server selected at startup
+    /// (honoring `RINGCNN_KERNEL`), e.g. `"avx2"` or `"portable"`.
+    pub kernel: String,
+    /// Milliseconds since the server started.
+    pub uptime_ms: f64,
 }
 
 /// One connection to a `ringcnn-serve` instance.
@@ -375,12 +381,31 @@ impl Client {
                 healthy,
                 models,
                 queue_depth,
+                kernel,
+                uptime_ms,
             } => Ok(HealthReply {
                 healthy,
                 models,
                 queue_depth,
+                kernel,
+                uptime_ms,
             }),
             other => Err(unexpected("health", &other)),
+        }
+    }
+
+    /// Fetches the server's recently captured slow-request span trees
+    /// (the `trace` verb): the `n` most recent, newest first, or every
+    /// captured tree when `n` is 0. Trees only accumulate on a server
+    /// running with a slow threshold (`--trace-slow-ms`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn trace(&mut self, n: usize) -> Result<Vec<TraceTree>, ServeError> {
+        match self.roundtrip(&Request::Trace { n })? {
+            Response::Trace(trees) => Ok(trees),
+            other => Err(unexpected("trace", &other)),
         }
     }
 

@@ -18,10 +18,10 @@
 //! ```
 //!
 //! Request verbs: `0x01` infer, `0x02` list_models, `0x03` stats,
-//! `0x04` health, `0x05` shutdown, `0x06` reload. Response verbs:
-//! `0x81` infer-begin, `0x82` infer-tile, `0x83` infer-end, `0x84`
-//! list_models, `0x85` stats, `0x86` health, `0x87` shutdown, `0x88`
-//! reload, `0xFE` error.
+//! `0x04` health, `0x05` shutdown, `0x06` reload, `0x07` trace.
+//! Response verbs: `0x81` infer-begin, `0x82` infer-tile, `0x83`
+//! infer-end, `0x84` list_models, `0x85` stats, `0x86` health, `0x87`
+//! shutdown, `0x88` reload, `0x89` trace, `0xFE` error.
 //!
 //! An `infer` request payload is `precision:u8, name_len:u16 LE, name,
 //! shape:4×u32 LE, data:f32 LE × (n·c·h·w)` — pixels cross the wire as
@@ -42,15 +42,18 @@
 //! the full payload to be encoded — first-tile latency is decoupled
 //! from image size.
 //!
-//! The `list_models` and `stats` payloads are the line protocol's JSON
-//! rendered into one frame: they are control-plane verbs where schema
-//! evolution matters more than serialization cost.
+//! The `list_models`, `stats`, and `trace` payloads are the line
+//! protocol's JSON rendered into one frame: they are control-plane
+//! verbs where schema evolution matters more than serialization cost.
+//! A `trace` request payload is `n: u32 LE` (how many slow-request
+//! trees, `0` = all retained).
 
 use crate::error::ServeError;
 use crate::protocol::{ModelInfo, Request, Response};
 use crate::registry::{Precision, ReloadReport};
 use crate::stats::StatsSnapshot;
 use ringcnn_tensor::prelude::*;
+use ringcnn_trace::span::TraceTree;
 use serde::{Deserialize, Serialize};
 
 /// Connection-preamble magic ("RingCNN Binary").
@@ -76,6 +79,7 @@ const V_STATS: u8 = 0x03;
 const V_HEALTH: u8 = 0x04;
 const V_SHUTDOWN: u8 = 0x05;
 const V_RELOAD: u8 = 0x06;
+const V_TRACE: u8 = 0x07;
 // Response verbs.
 const V_R_INFER_BEGIN: u8 = 0x81;
 const V_R_INFER_TILE: u8 = 0x82;
@@ -85,6 +89,7 @@ const V_R_STATS: u8 = 0x85;
 const V_R_HEALTH: u8 = 0x86;
 const V_R_SHUTDOWN: u8 = 0x87;
 const V_R_RELOAD: u8 = 0x88;
+const V_R_TRACE: u8 = 0x89;
 const V_R_ERROR: u8 = 0xFE;
 
 /// Result of an incremental decode over a byte buffer.
@@ -307,6 +312,9 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
         Request::Stats => frame(out, V_STATS, |_| {}),
         Request::Health => frame(out, V_HEALTH, |_| {}),
         Request::Reload => frame(out, V_RELOAD, |_| {}),
+        Request::Trace { n } => frame(out, V_TRACE, |out| {
+            out.extend_from_slice(&(*n as u32).to_le_bytes());
+        }),
         Request::Shutdown => frame(out, V_SHUTDOWN, |_| {}),
     }
 }
@@ -356,6 +364,11 @@ pub fn decode_request(buf: &[u8], max_frame: usize) -> DecodeStep<Request> {
         V_STATS => r.finish("stats request").map(|()| Request::Stats),
         V_HEALTH => r.finish("health request").map(|()| Request::Health),
         V_RELOAD => r.finish("reload request").map(|()| Request::Reload),
+        V_TRACE => (|| {
+            let n = r.u32("trace count")? as usize;
+            r.finish("trace request")?;
+            Ok(Request::Trace { n })
+        })(),
         V_SHUTDOWN => r.finish("shutdown request").map(|()| Request::Shutdown),
         other => Err(ServeError::BadRequest(format!(
             "unknown request verb byte 0x{other:02x}"
@@ -412,13 +425,23 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             healthy,
             models,
             queue_depth,
+            kernel,
+            uptime_ms,
         } => frame(out, V_R_HEALTH, |out| {
             out.push(u8::from(*healthy));
             out.extend_from_slice(&(*models as u32).to_le_bytes());
             out.extend_from_slice(&(*queue_depth as u32).to_le_bytes());
+            out.extend_from_slice(&uptime_ms.to_le_bytes());
+            let k = kernel.as_bytes();
+            out.push(k.len().min(255) as u8);
+            out.extend_from_slice(&k[..k.len().min(255)]);
         }),
         Response::Reload(report) => frame(out, V_R_RELOAD, |out| {
             let json = serde_json::to_string(&report.to_json_value()).expect("report serializes");
+            out.extend_from_slice(json.as_bytes());
+        }),
+        Response::Trace(trees) => frame(out, V_R_TRACE, |out| {
+            let json = serde_json::to_string(&trees.to_json_value()).expect("trees serialize");
             out.extend_from_slice(json.as_bytes());
         }),
         Response::Shutdown => frame(out, V_R_SHUTDOWN, |_| {}),
@@ -608,11 +631,16 @@ impl ResponseAssembler {
                 let healthy = r.u8("healthy")? != 0;
                 let models = r.u32("models")? as usize;
                 let queue_depth = r.u32("queue_depth")? as usize;
+                let uptime_ms = r.f64("uptime_ms")?;
+                let kernel_len = r.u8("kernel length")? as usize;
+                let kernel = r.str(kernel_len, "kernel label")?;
                 r.finish("health response")?;
                 Ok(Some(Response::Health {
                     healthy,
                     models,
                     queue_depth,
+                    kernel,
+                    uptime_ms,
                 }))
             }
             V_R_RELOAD => {
@@ -622,6 +650,14 @@ impl ResponseAssembler {
                 let report = ReloadReport::from_json_value(&value)
                     .map_err(|e| ServeError::Io(format!("malformed reload payload: {e}")))?;
                 Ok(Some(Response::Reload(report)))
+            }
+            V_R_TRACE => {
+                let json = r.str(payload.len(), "trace payload")?;
+                let value = serde_json::from_str(&json)
+                    .map_err(|e| ServeError::Io(format!("malformed trace payload: {e}")))?;
+                let trees = Vec::<TraceTree>::from_json_value(&value)
+                    .map_err(|e| ServeError::Io(format!("malformed trace payload: {e}")))?;
+                Ok(Some(Response::Trace(trees)))
             }
             V_R_SHUTDOWN => {
                 r.finish("shutdown response")?;
@@ -704,6 +740,8 @@ mod tests {
             Request::Stats,
             Request::Health,
             Request::Reload,
+            Request::Trace { n: 0 },
+            Request::Trace { n: 4 },
             Request::Shutdown,
         ];
         for req in reqs {
@@ -773,12 +811,29 @@ mod tests {
                 healthy: true,
                 models: 2,
                 queue_depth: 7,
+                kernel: "avx2".into(),
+                uptime_ms: 98765.25,
             },
             Response::Reload(ReloadReport {
                 added: vec![],
                 reloaded: vec!["m".into()],
                 unchanged: 1,
             }),
+            Response::Trace(vec![TraceTree {
+                trace_id: 9,
+                total_ms: 12.5,
+                spans: vec![ringcnn_trace::span::SpanRec {
+                    trace: 9,
+                    id: 3,
+                    parent: 0,
+                    name: "request".into(),
+                    start_us: 10,
+                    dur_us: 12500,
+                    tid: 2,
+                    arg0: 0,
+                    arg1: 0,
+                }],
+            }]),
             Response::Shutdown,
             Response::Error(ServeError::Overloaded { depth: 8, cap: 8 }),
         ];

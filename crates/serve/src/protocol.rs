@@ -11,6 +11,7 @@
 //! {"verb":"stats"}
 //! {"verb":"health"}
 //! {"verb":"reload"}
+//! {"verb":"trace","n":4}
 //! {"verb":"shutdown"}
 //! ```
 //!
@@ -43,6 +44,7 @@ use crate::error::ServeError;
 use crate::registry::{Precision, ReloadReport};
 use crate::stats::StatsSnapshot;
 use ringcnn_tensor::prelude::*;
+use ringcnn_trace::span::TraceTree;
 use serde::{Deserialize, Serialize, Value};
 
 /// Which wire protocol a connection speaks. The server decides from the
@@ -112,6 +114,12 @@ pub enum Request {
     Health,
     /// Force a registry hot-reload pass (admin verb).
     Reload,
+    /// The most recent captured slow-request span trees (see
+    /// `--trace-slow-ms`).
+    Trace {
+        /// How many trees, newest first (`0` = all retained).
+        n: usize,
+    },
     /// Ask the server to drain and exit.
     Shutdown,
 }
@@ -176,9 +184,15 @@ pub enum Response {
         models: usize,
         /// Current queue depth.
         queue_depth: usize,
+        /// Runtime-selected GEMM kernel label (`RINGCNN_KERNEL` honored).
+        kernel: String,
+        /// Milliseconds since the server started.
+        uptime_ms: f64,
     },
     /// Reload pass completed; what changed.
     Reload(ReloadReport),
+    /// Captured slow-request span trees, newest first.
+    Trace(Vec<TraceTree>),
     /// Shutdown acknowledged; the server drains and exits.
     Shutdown,
     /// The request failed.
@@ -264,6 +278,10 @@ impl Request {
             Request::Stats => obj(vec![("verb", Value::Str("stats".into()))]),
             Request::Health => obj(vec![("verb", Value::Str("health".into()))]),
             Request::Reload => obj(vec![("verb", Value::Str("reload".into()))]),
+            Request::Trace { n } => obj(vec![
+                ("verb", Value::Str("trace".into())),
+                ("n", Value::U64(*n as u64)),
+            ]),
             Request::Shutdown => obj(vec![("verb", Value::Str("shutdown".into()))]),
         };
         serde_json::to_string(&v).expect("request serializes")
@@ -324,6 +342,20 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "health" => Ok(Request::Health),
             "reload" => Ok(Request::Reload),
+            "trace" => {
+                // Absent field = all retained trees; mistyped = bad_request.
+                let n = match v.field("n") {
+                    Ok(Value::U64(n)) => *n as usize,
+                    Ok(Value::I64(n)) if *n >= 0 => *n as usize,
+                    Ok(_) => {
+                        return Err(ServeError::BadRequest(
+                            "field `n` must be a non-negative integer".into(),
+                        ))
+                    }
+                    Err(_) => 0,
+                };
+                Ok(Request::Trace { n })
+            }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ServeError::BadRequest(format!("unknown verb `{other}`"))),
         }
@@ -365,15 +397,20 @@ impl Response {
                 healthy,
                 models,
                 queue_depth,
+                kernel,
+                uptime_ms,
             } => ok(
                 "health",
                 vec![
                     ("healthy", Value::Bool(*healthy)),
                     ("models", Value::U64(*models as u64)),
                     ("queue_depth", Value::U64(*queue_depth as u64)),
+                    ("kernel", Value::Str(kernel.clone())),
+                    ("uptime_ms", Value::F64(*uptime_ms)),
                 ],
             ),
             Response::Reload(report) => ok("reload", vec![("report", report.to_json_value())]),
+            Response::Trace(trees) => ok("trace", vec![("slow", trees.to_json_value())]),
             Response::Shutdown => ok("shutdown", vec![]),
             Response::Error(e) => obj(vec![
                 ("ok", Value::Bool(false)),
@@ -413,8 +450,11 @@ impl Response {
                 healthy: decode(&v, "healthy")?,
                 models: decode(&v, "models")?,
                 queue_depth: decode(&v, "queue_depth")?,
+                kernel: get_str(&v, "kernel")?,
+                uptime_ms: decode(&v, "uptime_ms")?,
             }),
             "reload" => Ok(Response::Reload(decode(&v, "report")?)),
+            "trace" => Ok(Response::Trace(decode(&v, "slow")?)),
             "shutdown" => Ok(Response::Shutdown),
             other => Err(ServeError::BadRequest(format!(
                 "unknown response verb `{other}`"
@@ -456,6 +496,8 @@ mod tests {
             Request::Stats,
             Request::Health,
             Request::Reload,
+            Request::Trace { n: 0 },
+            Request::Trace { n: 7 },
             Request::Shutdown,
         ];
         for r in reqs {
@@ -512,12 +554,29 @@ mod tests {
                 healthy: true,
                 models: 2,
                 queue_depth: 0,
+                kernel: "avx2".into(),
+                uptime_ms: 1234.5,
             },
             Response::Reload(ReloadReport {
                 added: vec!["b".into()],
                 reloaded: vec!["a".into()],
                 unchanged: 2,
             }),
+            Response::Trace(vec![TraceTree {
+                trace_id: 42,
+                total_ms: 6.5,
+                spans: vec![ringcnn_trace::span::SpanRec {
+                    trace: 42,
+                    id: 1,
+                    parent: 0,
+                    name: "request".into(),
+                    start_us: 100,
+                    dur_us: 6500,
+                    tid: 1,
+                    arg0: 12,
+                    arg1: 3,
+                }],
+            }]),
             Response::Shutdown,
             Response::Error(ServeError::Overloaded { depth: 8, cap: 8 }),
         ];

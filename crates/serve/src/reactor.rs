@@ -39,6 +39,8 @@ use crate::poll::{Event, Mode, Poller, Waker};
 use crate::protocol::{Request, Response, Wire};
 use crate::scheduler::Done;
 use crate::server::ServerShared;
+use ringcnn_trace::span;
+use ringcnn_trace::{clock, rc_debug};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -430,8 +432,9 @@ fn process_inbuf(
                 if line.trim().is_empty() {
                     continue;
                 }
+                let decode_start_us = clock::now_us();
                 match Request::parse(&line) {
-                    Ok(req) => dispatch(req, conn, wire, shared, notify),
+                    Ok(req) => dispatch(req, conn, wire, shared, notify, decode_start_us),
                     // Matches the old server: a malformed line gets an
                     // error response but the connection survives (the
                     // newline resynchronizes the stream).
@@ -441,31 +444,37 @@ fn process_inbuf(
                     }
                 }
             }
-            Wire::Binary => match frame::decode_request(&conn.inbuf, max_frame) {
-                frame::DecodeStep::Incomplete => return,
-                frame::DecodeStep::Item(req, consumed) => {
-                    conn.inbuf.drain(..consumed);
-                    dispatch(req, conn, wire, shared, notify);
+            Wire::Binary => {
+                let decode_start_us = clock::now_us();
+                match frame::decode_request(&conn.inbuf, max_frame) {
+                    frame::DecodeStep::Incomplete => return,
+                    frame::DecodeStep::Item(req, consumed) => {
+                        conn.inbuf.drain(..consumed);
+                        dispatch(req, conn, wire, shared, notify, decode_start_us);
+                    }
+                    // Unlike JSON there is no resynchronization point in
+                    // a corrupt binary stream: answer and close.
+                    frame::DecodeStep::Fail(e) => {
+                        poison(conn, wire, e);
+                        return;
+                    }
                 }
-                // Unlike JSON there is no resynchronization point in a
-                // corrupt binary stream: answer and close.
-                frame::DecodeStep::Fail(e) => {
-                    poison(conn, wire, e);
-                    return;
-                }
-            },
+            }
         }
     }
 }
 
 /// Answers one request: control verbs inline on the reactor thread,
 /// `infer` through the scheduler with a worker-side completion.
+/// `decode_start_us` is the trace-clock stamp taken just before the
+/// request was parsed off the input buffer (the `decode` span's start).
 fn dispatch(
     req: Request,
     conn: &mut Conn,
     wire: Wire,
     shared: &Arc<ServerShared>,
     notify: &Arc<Notify>,
+    decode_start_us: u64,
 ) {
     let resp = match req {
         Request::Infer {
@@ -475,12 +484,33 @@ fn dispatch(
             data,
             deadline_ms,
         } => {
+            // Sampler election happens per infer request; control verbs
+            // are never traced. The root span's ID is reserved here so
+            // every stage can parent onto it, but the root itself is
+            // recorded from the completion callback (covering decode →
+            // response staged) — recording it on this thread would race
+            // the worker-side tree capture and could drop the root.
+            let trace = span::mint();
+            let root_ctx = trace.map(span::reserve_root);
             let input = ringcnn_tensor::tensor::Tensor::from_vec(shape, data);
+            if let Some(ctx) = root_ctx {
+                span::record_manual(
+                    ctx.trace,
+                    ctx.span,
+                    "decode",
+                    decode_start_us,
+                    clock::now_us(),
+                );
+            }
             lock_unpoisoned(&conn.out).busy = true;
             let out = conn.out.clone();
             let notify = notify.clone();
             let token = conn.token;
             let done = Done::Callback(Box::new(move |result| {
+                let traced_total = match &result {
+                    Ok(r) => root_ctx.map(|ctx| (ctx, r.total_ms)),
+                    Err(_) => None,
+                };
                 let resp = match result {
                     Ok(r) => Response::Infer {
                         shape: r.output.shape(),
@@ -493,16 +523,44 @@ fn dispatch(
                 };
                 // Serialize on the worker (the reactor thread never
                 // formats a payload), then hand the bytes over.
-                let mut out = lock_unpoisoned(&out);
-                encode_into(&resp, wire, &mut out.buf);
-                out.busy = false;
-                drop(out);
+                {
+                    let _encode = root_ctx.map(|ctx| span::span_in(ctx, "encode"));
+                    let mut out = lock_unpoisoned(&out);
+                    encode_into(&resp, wire, &mut out.buf);
+                    out.busy = false;
+                }
+                // The request is fully staged for the socket: close the
+                // root span (decode start → now), then capture the tree
+                // if it crossed the slow threshold, and log it.
+                if let Some((ctx, total_ms)) = traced_total {
+                    span::record_manual_id(
+                        ctx.span,
+                        ctx.trace,
+                        0,
+                        "request",
+                        decode_start_us,
+                        clock::now_us(),
+                    );
+                    if let Some(tree) = span::finish_request(ctx.trace, total_ms) {
+                        rc_debug!(
+                            "trace",
+                            "slow request",
+                            trace = ctx.trace,
+                            total_ms = total_ms,
+                            tree = tree.summary(),
+                        );
+                    }
+                }
                 notify.completed(token);
             }));
-            match shared
-                .scheduler
-                .submit_done(&model, input, precision, deadline_ms, done)
-            {
+            match shared.scheduler.submit_done(
+                &model,
+                input,
+                precision,
+                deadline_ms,
+                root_ctx,
+                done,
+            ) {
                 Ok(()) => return, // Answered asynchronously.
                 Err(e) => {
                     lock_unpoisoned(&conn.out).busy = false;
@@ -555,7 +613,10 @@ fn dispatch(
             healthy: !shared.shutdown.load(Ordering::SeqCst),
             models: shared.scheduler.registry().len(),
             queue_depth: shared.scheduler.queue_len(),
+            kernel: ringcnn_tensor::gemm::active_kernel().label().to_string(),
+            uptime_ms: shared.started.elapsed().as_secs_f64() * 1e3,
         },
+        Request::Trace { n } => Response::Trace(span::recent_slow(n)),
         Request::Shutdown => {
             // Ack, close this connection once flushed, and start the
             // global drain (the run loop picks the flag up next pass).

@@ -50,6 +50,8 @@ use crate::registry::{ModelEntry, ModelRegistry, Precision};
 use crate::stats::{Metrics, ModelStats, StatsSnapshot, HIST_BUCKETS};
 use rayon::prelude::*;
 use ringcnn_tensor::prelude::*;
+use ringcnn_trace::clock;
+use ringcnn_trace::span::{self, SpanCtx};
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -185,6 +187,16 @@ impl Done {
     }
 }
 
+/// Trace attribution riding with a sampled job: the request's root
+/// span (to parent the scheduler-side stage spans onto) plus the
+/// admission timestamp on the trace clock, stamped at queue push so
+/// the `queue_wait` span closes exactly at batch dispatch.
+#[derive(Clone, Copy)]
+struct JobTrace {
+    ctx: SpanCtx,
+    enqueued_us: u64,
+}
+
 struct Job {
     /// The entry `Arc` captured at admission: a concurrent hot-reload
     /// swap does not retarget queued work, so every response is
@@ -196,6 +208,8 @@ struct Job {
     /// Global arrival number — FIFO order within a group, tie-break
     /// across groups.
     seq: u64,
+    /// `Some` iff the request was elected by the trace sampler.
+    trace: Option<JobTrace>,
     done: Done,
 }
 
@@ -385,13 +399,27 @@ impl Scheduler {
         deadline_ms: Option<f64>,
     ) -> Result<Pending, ServeError> {
         let (tx, rx) = mpsc::channel();
-        self.submit_done(model, input, precision, deadline_ms, Done::Channel(tx))?;
+        // Ambient propagation: an in-process caller holding an open span
+        // (tests, embedded use) gets the scheduler stages parented onto
+        // it; the reactor path passes its root explicitly instead.
+        let trace = span::current();
+        self.submit_done(
+            model,
+            input,
+            precision,
+            deadline_ms,
+            trace,
+            Done::Channel(tx),
+        )?;
         Ok(Pending { rx })
     }
 
     /// [`Scheduler::submit_with`] with an explicit completion carrier —
     /// the reactor passes [`Done::Callback`] so results are serialized
-    /// and flushed from the worker thread that produced them.
+    /// and flushed from the worker thread that produced them — and an
+    /// optional trace context: when the request was elected by the
+    /// sampler, the scheduler records `queue_wait`, `batch`, and
+    /// `kernel` stage spans parented onto `trace`.
     ///
     /// # Errors
     ///
@@ -403,6 +431,7 @@ impl Scheduler {
         input: Tensor,
         precision: Precision,
         deadline_ms: Option<f64>,
+        trace: Option<SpanCtx>,
         done: Done,
     ) -> Result<(), ServeError> {
         let entry = self
@@ -490,6 +519,10 @@ impl Scheduler {
                 input,
                 enqueued: Instant::now(),
                 seq,
+                trace: trace.map(|ctx| JobTrace {
+                    ctx,
+                    enqueued_us: clock::now_us(),
+                }),
                 done,
             });
             st.total += 1;
@@ -684,6 +717,21 @@ fn worker_loop(shared: &Shared) {
 fn execute_batch(shared: &Shared, batch: Vec<Job>) {
     let size = batch.len();
     let dispatched = Instant::now();
+    let dispatch_us = clock::now_us();
+    // Close every sampled job's queue-wait interval at the dispatch
+    // stamp shared by the whole batch (one manual record per job; the
+    // rings absorb these wait-free).
+    for job in &batch {
+        if let Some(t) = &job.trace {
+            span::record_manual(
+                t.ctx.trace,
+                t.ctx.span,
+                "queue_wait",
+                t.enqueued_us,
+                dispatch_us,
+            );
+        }
+    }
     // One task per frame across the shared pool — the plan-reuse
     // execution shape of `BatchRunner::run_batch`: every frame reads the
     // same prepared model, so cached transform plans are built zero
@@ -695,7 +743,30 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
         .par_iter()
         .map(|job| {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                job.entry.infer_precision(&job.input, job.precision)
+                // `batch` = dispatch → this task actually starting on a
+                // pool thread; `kernel` = the inference itself, with the
+                // process-wide GEMM counter delta over its interval as
+                // attribution args (exact per-request only when one
+                // request runs at a time — see `gemm::profile`).
+                let span = job.trace.as_ref().map(|t| {
+                    span::record_manual(
+                        t.ctx.trace,
+                        t.ctx.span,
+                        "batch",
+                        dispatch_us,
+                        clock::now_us(),
+                    );
+                    span::span_in(t.ctx, "kernel")
+                });
+                let before = span
+                    .as_ref()
+                    .map(|_| ringcnn_tensor::gemm::profile::snapshot());
+                let out = job.entry.infer_precision(&job.input, job.precision);
+                if let (Some(sp), Some(before)) = (&span, &before) {
+                    let d = ringcnn_tensor::gemm::profile::snapshot().delta_since(before);
+                    sp.set_args(d.tiles, d.panel_packs);
+                }
+                out
             }))
         })
         .collect();
@@ -773,6 +844,7 @@ mod tests {
             input: Tensor::zeros(Shape4::new(1, 1, 4, 4)),
             enqueued: Instant::now() - Duration::from_secs(1),
             seq,
+            trace: None,
             done: Done::Channel(tx),
         });
         st.total += 1;
@@ -914,6 +986,7 @@ mod tests {
                     input: Tensor::zeros(Shape4::new(1, 1, 4, 4)),
                     enqueued: Instant::now(),
                     seq: 0,
+                    trace: None,
                     done: Done::Channel(tx),
                 }]),
                 weight: 1,
@@ -1010,6 +1083,31 @@ mod tests {
         let snap = sched.stats_snapshot();
         assert_eq!(snap.deadline_rejected, 1);
         assert_eq!(snap.model("m").unwrap().deadline_rejected, 1);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn sampled_jobs_record_scheduler_stage_spans() {
+        let sched = Scheduler::start(registry_with(&["m"]), SchedulerConfig::default());
+        let trace = span::mint_forced();
+        {
+            // Ambient propagation: the open root on the submitting thread
+            // is what `submit_with` captures.
+            let _root = span::root_span(trace, "request");
+            sched
+                .infer("m", Tensor::zeros(Shape4::new(1, 1, 4, 4)), Precision::Fp64)
+                .unwrap();
+        }
+        let spans = span::spans_of(trace.id());
+        let root = spans.iter().find(|s| s.name == "request").expect("root");
+        for stage in ["queue_wait", "batch", "kernel"] {
+            let s = spans
+                .iter()
+                .find(|s| s.name == stage)
+                .unwrap_or_else(|| panic!("stage `{stage}` recorded"));
+            assert_eq!(s.parent, root.id, "stage `{stage}` parents onto the root");
+            assert_eq!(s.trace, trace.id());
+        }
         sched.shutdown();
     }
 

@@ -16,11 +16,12 @@ use crate::protocol::ModelInfo;
 use crate::reactor::{Notify, Reactor};
 use crate::registry::ModelRegistry;
 use crate::scheduler::{Scheduler, SchedulerConfig};
+use ringcnn_trace::{rc_info, rc_warn};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default longest accepted request (16 MiB ≈ a 2-megapixel float frame
 /// in JSON; the same cap applies to one binary frame body). Longer
@@ -61,6 +62,8 @@ pub(crate) struct ServerShared {
     pub(crate) scheduler: Scheduler,
     pub(crate) shutdown: AtomicBool,
     pub(crate) addr: SocketAddr,
+    /// Process-start-relative anchor for the `health` verb's uptime.
+    pub(crate) started: Instant,
 }
 
 impl ServerShared {
@@ -142,6 +145,7 @@ impl Server {
             scheduler: Scheduler::start(registry, cfg.scheduler),
             shutdown: AtomicBool::new(false),
             addr,
+            started: Instant::now(),
         });
         let reactor = match Reactor::new(listener, shared.clone(), cfg.max_frame_bytes.max(1)) {
             Ok(r) => r,
@@ -229,7 +233,7 @@ impl Server {
 
 /// The polling hot-reload watcher: sleep on the stop condvar for one
 /// interval, run a reload pass, repeat. A failed pass (torn write being
-/// raced, transient I/O) is reported to stderr and retried next
+/// raced, transient I/O) is logged at `warn` and retried next
 /// interval — the registry's content fingerprints only advance on
 /// success, so nothing is lost.
 fn spawn_reload_watcher(
@@ -258,13 +262,20 @@ fn spawn_reload_watcher(
             }
             match shared.scheduler.registry().reload_pass() {
                 Ok(report) if !report.is_noop() => {
-                    eprintln!(
-                        "[reload-watch] reloaded {:?}, added {:?} ({} unchanged)",
-                        report.reloaded, report.added, report.unchanged
+                    rc_info!(
+                        "reload-watch",
+                        "reloaded models",
+                        reloaded = format!("{:?}", report.reloaded),
+                        added = format!("{:?}", report.added),
+                        unchanged = report.unchanged,
                     );
                 }
                 Ok(_) => {}
-                Err(e) => eprintln!("[reload-watch] pass failed (will retry): {e}"),
+                Err(e) => rc_warn!(
+                    "reload-watch",
+                    "pass failed (will retry)",
+                    error = e.to_string()
+                ),
             }
         })
         .ok()

@@ -14,6 +14,12 @@
 //! reads for deadline-aware admission, and rejection counters split by
 //! cause (queue overload vs. blown `deadline_ms` budget).
 //!
+//! `stats` v3 adds the kernel-profiling view: the runtime-selected GEMM
+//! kernel label plus the process-wide [`ringcnn_tensor::gemm::profile`]
+//! counters (panel packs, L1-hot panel reuses, register tiles executed,
+//! blocked-kernel dispatches), so two snapshots subtract to an
+//! interval's worth of kernel work.
+//!
 //! Snapshot discipline: [`Metrics::snapshot`] copies raw data out under
 //! each internal lock and does all sorting/percentile math *after*
 //! dropping it, so a caller serializing a large snapshot can never
@@ -263,7 +269,13 @@ impl Metrics {
         per_model.sort_by(|a, b| a.name.cmp(&b.name));
         let batches = self.batches.load(Ordering::Relaxed);
         let batched_jobs = self.batched_jobs.load(Ordering::Relaxed);
+        let gemm = ringcnn_tensor::gemm::profile::snapshot();
         StatsSnapshot {
+            kernel: ringcnn_tensor::gemm::active_kernel().label().to_string(),
+            gemm_panel_packs: gemm.panel_packs,
+            gemm_panel_reuses: gemm.panel_reuses,
+            gemm_tiles: gemm.tiles,
+            gemm_dispatches: gemm.total_dispatches(),
             uptime_ms,
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -365,6 +377,17 @@ pub struct ModelStats {
 /// Point-in-time service statistics (the `stats` verb payload).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StatsSnapshot {
+    /// Runtime-selected GEMM kernel label (`RINGCNN_KERNEL` honored).
+    pub kernel: String,
+    /// GEMM B-panel packs since process start.
+    pub gemm_panel_packs: u64,
+    /// GEMM L1-hot panel reuses since process start (a packed panel
+    /// revisited by another row-block without repacking).
+    pub gemm_panel_reuses: u64,
+    /// GEMM register tiles executed since process start.
+    pub gemm_tiles: u64,
+    /// GEMM products dispatched to a blocked kernel since process start.
+    pub gemm_dispatches: u64,
     /// Milliseconds since the metrics were created.
     pub uptime_ms: f64,
     /// Requests admitted.
@@ -518,6 +541,19 @@ mod tests {
         for (i, e) in edges.iter().enumerate() {
             assert_eq!(bucket_of(*e), i);
         }
+    }
+
+    #[test]
+    fn snapshot_v3_reports_kernel_and_monotonic_gemm_counters() {
+        let a = Metrics::new().snapshot();
+        assert!(!a.kernel.is_empty(), "kernel label must be published");
+        // The profile counters are process-wide and monotonic: a later
+        // snapshot can never regress, whatever other tests are running.
+        let b = Metrics::new().snapshot();
+        assert!(b.gemm_panel_packs >= a.gemm_panel_packs);
+        assert!(b.gemm_panel_reuses >= a.gemm_panel_reuses);
+        assert!(b.gemm_tiles >= a.gemm_tiles);
+        assert!(b.gemm_dispatches >= a.gemm_dispatches);
     }
 
     #[test]

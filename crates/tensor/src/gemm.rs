@@ -172,6 +172,156 @@ pub fn active_kernel() -> KernelBackend {
 }
 
 // ---------------------------------------------------------------------
+// Profiling counters.
+// ---------------------------------------------------------------------
+
+/// Process-wide GEMM profiling counters (relaxed atomics, one
+/// `fetch_add` per *product* — never per tile — so the hot loops stay
+/// untouched).
+///
+/// The counters are cumulative since process start; callers that want
+/// per-interval or per-request attribution take a [`snapshot`](profile::snapshot) before
+/// and after and diff with [`GemmCounters::delta_since`](profile::GemmCounters::delta_since). Because the
+/// counters are process-wide, deltas taken while other products run
+/// concurrently include those products' work — attribution is exact
+/// only when the interval's GEMM calls are the only ones in flight
+/// (e.g. a single-worker server).
+pub mod profile {
+    use super::KernelBackend;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static PANEL_PACKS: AtomicU64 = AtomicU64::new(0);
+    static PANEL_REUSES: AtomicU64 = AtomicU64::new(0);
+    static TILES: AtomicU64 = AtomicU64::new(0);
+    /// Indexed by [`GemmCounters::dispatch`] order:
+    /// reference, scalar, sse2, avx2.
+    static DISPATCH: [AtomicU64; 4] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ];
+
+    fn idx(k: KernelBackend) -> usize {
+        match k {
+            KernelBackend::Reference => 0,
+            KernelBackend::Scalar => 1,
+            KernelBackend::Sse2 => 2,
+            KernelBackend::Avx2 => 3,
+        }
+    }
+
+    pub(super) fn add_packs(n: u64) {
+        PANEL_PACKS.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(super) fn add_tiles(tiles: u64, reuses: u64) {
+        TILES.fetch_add(tiles, Ordering::Relaxed);
+        PANEL_REUSES.fetch_add(reuses, Ordering::Relaxed);
+    }
+
+    pub(super) fn add_dispatch(k: KernelBackend) {
+        DISPATCH[idx(k)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the GEMM profiling counters.
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    pub struct GemmCounters {
+        /// Micro-panels of B packed (or handed in pre-packed) across
+        /// all products.
+        pub panel_packs: u64,
+        /// L1-hot panel re-reads: for every packed panel, each
+        /// same-pattern block beyond the group's first reuses the
+        /// panel's non-zero rows while they are cache-resident.
+        pub panel_reuses: u64,
+        /// MR×NR register tiles executed.
+        pub tiles: u64,
+        /// Products dispatched per kernel variant, indexed
+        /// `[reference, scalar, sse2, avx2]`.
+        pub dispatch: [u64; 4],
+    }
+
+    impl GemmCounters {
+        /// Products dispatched to `k`.
+        pub fn dispatched(&self, k: KernelBackend) -> u64 {
+            self.dispatch[idx(k)]
+        }
+
+        /// Total products dispatched across every variant.
+        pub fn total_dispatches(&self) -> u64 {
+            self.dispatch.iter().sum()
+        }
+
+        /// Counter growth since `earlier` (saturating, so a stale
+        /// "earlier" snapshot yields zeros rather than wrapping).
+        pub fn delta_since(&self, earlier: &GemmCounters) -> GemmCounters {
+            let mut dispatch = [0u64; 4];
+            for (d, (a, b)) in dispatch
+                .iter_mut()
+                .zip(self.dispatch.iter().zip(earlier.dispatch.iter()))
+            {
+                *d = a.saturating_sub(*b);
+            }
+            GemmCounters {
+                panel_packs: self.panel_packs.saturating_sub(earlier.panel_packs),
+                panel_reuses: self.panel_reuses.saturating_sub(earlier.panel_reuses),
+                tiles: self.tiles.saturating_sub(earlier.tiles),
+                dispatch,
+            }
+        }
+    }
+
+    /// Reads every counter (relaxed; individually atomic, not a
+    /// cross-counter consistent cut).
+    pub fn snapshot() -> GemmCounters {
+        let mut dispatch = [0u64; 4];
+        for (d, c) in dispatch.iter_mut().zip(DISPATCH.iter()) {
+            *d = c.load(Ordering::Relaxed);
+        }
+        GemmCounters {
+            panel_packs: PANEL_PACKS.load(Ordering::Relaxed),
+            panel_reuses: PANEL_REUSES.load(Ordering::Relaxed),
+            tiles: TILES.load(Ordering::Relaxed),
+            dispatch,
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn counters_advance_across_a_blocked_product() {
+            let before = snapshot();
+            let col: Vec<f32> = (0..4 * 40).map(|i| i as f32).collect();
+            let w = vec![1.0f32; 3 * 4];
+            let _ = crate::gemm::forced_kernel_scope(KernelBackend::Scalar, || {
+                crate::gemm::gemm_f32(&col, 40, 4, 3, &w, &[])
+            });
+            // Other tests run gemm concurrently, so assert growth (>=)
+            // rather than exact deltas.
+            let d = snapshot().delta_since(&before);
+            assert!(d.dispatched(KernelBackend::Scalar) >= 1);
+            assert!(d.total_dispatches() >= 1);
+            assert!(d.panel_packs >= 1, "the product packs >=1 panel");
+            assert!(d.tiles >= 1, "the product executes >=1 tile");
+        }
+
+        #[test]
+        fn reference_products_count_dispatch_but_no_tiles() {
+            let before = snapshot();
+            let col = vec![1.0f32; 2 * 8];
+            let w = vec![1.0f32; 2 * 2];
+            let _ = crate::gemm::forced_kernel_scope(KernelBackend::Reference, || {
+                crate::gemm::gemm_f32(&col, 8, 2, 2, &w, &[])
+            });
+            let d = snapshot().delta_since(&before);
+            assert!(d.dispatched(KernelBackend::Reference) >= 1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Fused requantization epilogue (i64).
 // ---------------------------------------------------------------------
 
@@ -417,6 +567,7 @@ fn pattern_groups<T>(blocks: &[BlockPlan<T>]) -> Vec<(usize, usize)> {
 /// zero-padded to `nr`).
 fn pack_b_into<T: Copy>(col: &[T], plane: usize, rows: usize, nr: usize, bp: &mut [T]) {
     let np = plane.div_ceil(nr);
+    profile::add_packs(np as u64);
     for jp in 0..np {
         let j = jp * nr;
         let w = nr.min(plane - j);
@@ -500,6 +651,7 @@ pub fn gemm_f32(
     assert!(bias.is_empty() || bias.len() == co, "bias length mismatch");
     let backend = active_kernel();
     if backend == KernelBackend::Reference {
+        profile::add_dispatch(backend);
         return reference_f32(col, plane, rows, co, weights, bias);
     }
     let nr = f32_panel_width(backend);
@@ -542,6 +694,8 @@ pub fn gemm_f32_packed(
         plane.div_ceil(nr) * rows * nr,
         "packed matrix length mismatch"
     );
+    // The caller packed (possibly fused with im2col); count its panels.
+    profile::add_packs(plane.div_ceil(nr) as u64);
     f32_packed(backend, bp, plane, rows, co, weights, bias)
 }
 
@@ -565,11 +719,20 @@ fn f32_packed(
     let panels_per_chunk = NC_COLS / nr;
     let np = plane.div_ceil(nr);
     let nchunks = np.div_ceil(panels_per_chunk).max(1);
+    profile::add_dispatch(backend);
     if blocks.is_empty() || plane == 0 {
         return (0..co).map(|_| vec![0.0f32; plane]).collect();
     }
     let groups = pattern_groups(&blocks);
     let ngroups = groups.len();
+    // Closed forms over the chunk×group task grid: every panel meets
+    // every block once (tiles), and per panel each block beyond its
+    // group's first re-reads L1-hot rows (reuses). Counted here once so
+    // the parallel tasks stay free of shared-cacheline traffic.
+    profile::add_tiles(
+        (np * blocks.len()) as u64,
+        (np * (blocks.len() - ngroups)) as u64,
+    );
     // Chunk-major task order: consecutive tasks hit the same L2-resident
     // slab of the packed B with a different channel-block group.
     let tiles: Vec<Vec<f32>> = (0..nchunks * ngroups)
@@ -727,6 +890,7 @@ pub fn gemm_i64(
     }
     let mut backend = active_kernel();
     if backend == KernelBackend::Reference {
+        profile::add_dispatch(backend);
         let mut planes = crate::im2col::conv_rows_i64(col, plane, rows, co, weights, bias);
         if let Some(plan) = requant {
             for (c, p) in planes.iter_mut().enumerate() {
@@ -785,6 +949,8 @@ pub fn gemm_i64_packed(
         plane.div_ceil(NR_I64) * rows * NR_I64,
         "packed matrix length mismatch"
     );
+    // The caller packed (possibly fused with im2col); count its panels.
+    profile::add_packs(plane.div_ceil(NR_I64) as u64);
     let mut backend = active_kernel();
     assert_ne!(
         backend,
@@ -820,11 +986,18 @@ fn i64_packed(
     let panels_per_chunk = NC_COLS / NR_I64;
     let np = plane.div_ceil(NR_I64);
     let nchunks = np.div_ceil(panels_per_chunk).max(1);
+    profile::add_dispatch(backend);
     if blocks.is_empty() || plane == 0 {
         return (0..co).map(|_| vec![0i64; plane]).collect();
     }
     let groups = pattern_groups(&blocks);
     let ngroups = groups.len();
+    // Same closed forms as the f32 path: tiles = panels × blocks,
+    // reuses = panels × (blocks beyond each group's first).
+    profile::add_tiles(
+        (np * blocks.len()) as u64,
+        (np * (blocks.len() - ngroups)) as u64,
+    );
     let tiles: Vec<Vec<i64>> = (0..nchunks * ngroups)
         .into_par_iter()
         .map(|t| {

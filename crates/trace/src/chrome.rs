@@ -1,0 +1,95 @@
+//! chrome://tracing export: renders every span currently held in the
+//! rings as trace-event JSON (`ph:"X"` complete events, microsecond
+//! timestamps), loadable by `chrome://tracing`, Perfetto, or Speedscope
+//! for offline flame-chart analysis.
+
+use crate::span::{snapshot, SpanRec};
+use std::io::Write;
+use std::path::Path;
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_event(rec: &SpanRec, out: &mut String) {
+    out.push_str("{\"name\":\"");
+    escape(&rec.name, out);
+    out.push_str(&format!(
+        "\",\"cat\":\"serve\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\
+         \"args\":{{\"trace\":{},\"span\":{},\"parent\":{},\"arg0\":{},\"arg1\":{}}}}}",
+        rec.start_us, rec.dur_us, rec.tid, rec.trace, rec.id, rec.parent, rec.arg0, rec.arg1
+    ));
+}
+
+/// Renders the current span snapshot as a trace-event JSON document.
+pub fn export_string() -> String {
+    let spans = snapshot();
+    let mut out = String::with_capacity(64 + spans.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, rec) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_event(rec, &mut out);
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Writes [`export_string`] to `path` (the `--trace-out` surface).
+///
+/// # Errors
+///
+/// Any I/O error creating or writing the file.
+pub fn export(path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(export_string().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span;
+
+    #[test]
+    fn export_is_valid_trace_event_json_containing_recorded_spans() {
+        let trace = span::mint_forced();
+        {
+            let root = span::root_span(trace, "request");
+            let _d = span::span_in(root.ctx(), "decode");
+        }
+        let doc = export_string();
+        let value: serde::Value = serde_json::from_str(&doc).expect("valid JSON");
+        let serde::Value::Array(events) = value.field("traceEvents").expect("traceEvents") else {
+            panic!("traceEvents must be an array");
+        };
+        let ours: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.field("args")
+                    .and_then(|a| a.field("trace"))
+                    .and_then(|t| t.as_u64())
+                    .ok()
+                    == Some(trace.id())
+            })
+            .collect();
+        assert_eq!(ours.len(), 2);
+        for e in &ours {
+            assert_eq!(
+                e.field("ph").expect("ph"),
+                &serde::Value::Str("X".to_string())
+            );
+            assert!(e.field("ts").is_ok() && e.field("dur").is_ok());
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! The trace clock: monotonic microseconds since the process's first
+//! trace-related call. One shared epoch means timestamps recorded on
+//! different threads are directly comparable, and `u64` microseconds
+//! pack into the seqlock ring without conversion.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The process trace epoch (fixed at the first call).
+pub fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic microseconds since [`epoch`].
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Converts an [`Instant`] (e.g. a queue-admission stamp taken by other
+/// code) to trace-clock microseconds. Instants before the epoch clamp
+/// to zero.
+pub fn instant_us(t: Instant) -> u64 {
+    t.saturating_duration_since(epoch()).as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic_and_instant_roundtrips() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+        let i = Instant::now();
+        let us = instant_us(i);
+        assert!(us >= a, "instants after the epoch map after earlier reads");
+    }
+}

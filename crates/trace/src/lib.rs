@@ -1,0 +1,56 @@
+//! # ringcnn-trace
+//!
+//! Hand-rolled (std-only) request-scoped tracing, structured logging,
+//! and span telemetry for the RingCNN serving stack.
+//!
+//! The paper's energy/performance claims rest on knowing where each
+//! request's time goes; this crate gives the serving path the same
+//! visibility: a per-request trace ID is minted at decode and carried
+//! through admission → queue wait → batch formation → tile fan-out →
+//! GEMM kernel → requant epilogue → encode → socket flush, so one
+//! request yields a complete stage tree.
+//!
+//! Three pieces:
+//!
+//! - [`span`] — the recorder. Every thread that records owns a
+//!   fixed-capacity seqlock ring of completed spans (single producer,
+//!   wait-free writes, no allocation after the ring is built); readers
+//!   snapshot the rings without stopping writers. Spans carry
+//!   hierarchical IDs (`id`/`parent`), monotonic microsecond
+//!   timestamps, and two free `u64` args used for per-span GEMM kernel
+//!   attribution. Sampling is a global 1-in-N counter
+//!   (`RINGCNN_TRACE_SAMPLE`, default 64; `0` disables); a slow-request
+//!   threshold captures the N most recent offending trees for the
+//!   `trace` wire verb.
+//! - [`logger`] — a leveled structured logger (`RINGCNN_LOG`
+//!   `error|warn|info|debug`, default `info`) with `key=value` fields
+//!   and a single-writer stderr sink, replacing scattered `eprintln!`.
+//! - [`chrome`] — exports everything recorded as chrome://tracing
+//!   trace-event JSON for offline flame-chart analysis.
+//!
+//! ```
+//! use ringcnn_trace::span;
+//!
+//! span::set_sample_every(1);
+//! let trace = span::mint().unwrap();
+//! {
+//!     let _root = span::root_span(trace, "request");
+//!     let _child = span::child_span("decode");
+//! } // guards record on drop
+//! let spans = span::spans_of(trace.id());
+//! assert_eq!(spans.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod clock;
+pub mod logger;
+pub mod span;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::logger::Level;
+    pub use crate::span::{SpanCtx, SpanGuard, SpanRec, TraceId, TraceTree};
+    pub use crate::{rc_debug, rc_error, rc_info, rc_warn};
+}

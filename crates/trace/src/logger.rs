@@ -1,0 +1,178 @@
+//! Leveled structured logging: `key=value` lines on a single-writer
+//! stderr sink.
+//!
+//! The level comes from `RINGCNN_LOG` (`error|warn|info|debug`, default
+//! `info`) on first use and can be overridden at runtime with
+//! [`set_level`], so operators silence or raise verbosity without
+//! recompiling. Every line is formatted off-sink and written in one
+//! locked `write_all`, so concurrent threads never interleave
+//! mid-line.
+//!
+//! Use through the [`rc_error!`](crate::rc_error),
+//! [`rc_warn!`](crate::rc_warn), [`rc_info!`](crate::rc_info), and
+//! [`rc_debug!`](crate::rc_debug) macros, which skip all formatting
+//! when the level is filtered out:
+//!
+//! ```
+//! use ringcnn_trace::rc_info;
+//! rc_info!("server", "listening", addr = "127.0.0.1:7841", workers = 2);
+//! // stderr: t=0.042 level=info target=server msg="listening" addr="127.0.0.1:7841" workers=2
+//! ```
+
+use crate::clock;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// A failure the operator must look at.
+    Error = 0,
+    /// Degraded but recovering (a retried reload pass, a shed request).
+    Warn = 1,
+    /// Lifecycle and state changes (the default level).
+    Info = 2,
+    /// Per-request diagnostics (slow-request trees, admission detail).
+    Debug = 3,
+}
+
+impl Level {
+    /// The lowercase wire/env name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses an `RINGCNN_LOG` value (unknown strings keep the default).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+const LEVEL_UNSET: u8 = u8::MAX;
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+/// The active level (env `RINGCNN_LOG` on first use, default `info`).
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        3 => Level::Debug,
+        _ => {
+            let lvl = std::env::var("RINGCNN_LOG")
+                .ok()
+                .and_then(|v| Level::parse(&v))
+                .unwrap_or(Level::Info);
+            LEVEL.store(lvl as u8, Ordering::Relaxed);
+            lvl
+        }
+    }
+}
+
+/// Overrides the active level at runtime.
+pub fn set_level(lvl: Level) {
+    LEVEL.store(lvl as u8, Ordering::Relaxed);
+}
+
+/// Whether a record at `lvl` would be emitted — the macros' cheap
+/// pre-check, so filtered records never format their fields.
+pub fn enabled(lvl: Level) -> bool {
+    lvl <= level()
+}
+
+/// Formats and emits one record. Values arrive pre-rendered (the
+/// macros `Debug`-format each field, so strings are quoted). Prefer
+/// the macros; this is their single choke point and the test seam.
+pub fn write_line(lvl: Level, target: &str, msg: &str, fields: &[(&str, String)]) {
+    let mut line = format!(
+        "t={:.3} level={} target={} msg={:?}",
+        clock::now_us() as f64 / 1000.0,
+        lvl.label(),
+        target,
+        msg
+    );
+    for (k, v) in fields {
+        line.push(' ');
+        line.push_str(k);
+        line.push('=');
+        line.push_str(v);
+    }
+    line.push('\n');
+    // One locked write per line: the sink's single-writer guarantee.
+    let stderr = std::io::stderr();
+    let _ = stderr.lock().write_all(line.as_bytes());
+}
+
+/// Logs at an explicit [`Level`] with `key = value` fields.
+#[macro_export]
+macro_rules! rc_log {
+    ($lvl:expr, $target:expr, $msg:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::logger::enabled($lvl) {
+            $crate::logger::write_line(
+                $lvl,
+                $target,
+                ::std::convert::AsRef::<str>::as_ref(&$msg),
+                &[$((stringify!($k), format!("{:?}", &$v))),*],
+            );
+        }
+    };
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! rc_error {
+    ($($t:tt)*) => { $crate::rc_log!($crate::logger::Level::Error, $($t)*) };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! rc_warn {
+    ($($t:tt)*) => { $crate::rc_log!($crate::logger::Level::Warn, $($t)*) };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! rc_info {
+    ($($t:tt)*) => { $crate::rc_log!($crate::logger::Level::Info, $($t)*) };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! rc_debug {
+    ($($t:tt)*) => { $crate::rc_log!($crate::logger::Level::Debug, $($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_parse_and_gate() {
+        assert!(Level::Error < Level::Debug);
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("nope"), None);
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        // The macros compile with zero, one, and trailing-comma fields.
+        crate::rc_debug!("test", "plain");
+        crate::rc_debug!("test", format!("formatted {}", 1), n = 1, s = "x",);
+        set_level(Level::Info);
+    }
+}

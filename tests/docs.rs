@@ -105,6 +105,23 @@ fn documented_preamble_and_simple_verb_frames_match_the_codec() {
             "documented frame for {req:?} (verb 0x{verb:02x})"
         );
     }
+
+    // PROTOCOL.md: the trace request is verb 0x07 carrying `n: u32 LE`;
+    // `trace n=0` is the 9 bytes `05 00 00 00 07 00 00 00 00`.
+    let mut buf = Vec::new();
+    frame::encode_request(&Request::Trace { n: 0 }, &mut buf);
+    assert_eq!(
+        buf,
+        [5, 0, 0, 0, 0x07, 0, 0, 0, 0],
+        "documented trace n=0 frame"
+    );
+    let mut buf = Vec::new();
+    frame::encode_request(&Request::Trace { n: 5 }, &mut buf);
+    assert_eq!(
+        buf,
+        [5, 0, 0, 0, 0x07, 5, 0, 0, 0],
+        "documented trace n=5 frame (u32 LE count)"
+    );
 }
 
 #[test]

@@ -701,6 +701,95 @@ fn weighted_fair_lets_a_weighted_model_jump_a_hot_backlog() {
     sched.shutdown();
 }
 
+// --- Request tracing -------------------------------------------------------
+
+#[test]
+fn traced_request_yields_complete_stage_tree_and_trace_verb_round_trips() {
+    use ringcnn_trace::span;
+    let server = Server::start(
+        smoke_registry(),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            scheduler: SchedulerConfig {
+                workers: 1,
+                max_batch: 1,
+                max_wait: Duration::from_millis(0),
+                queue_cap: 64,
+                ..SchedulerConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+    let prev_sample = span::sample_every();
+    span::set_sample_every(1);
+    span::set_slow_threshold_ms(Some(0.0));
+    // Binary wire: decode/encode are memcpy-cheap, so the stage sum is
+    // dominated by the same interval `total_ms` measures.
+    let mut client = Client::connect_wire(&addr, Wire::Binary).unwrap();
+    let x = Tensor::random_uniform(Shape4::new(1, 1, 32, 32), 0.0, 1.0, 77);
+    let reply = client.infer("ffdnet_real", &x).expect("traced infer");
+    // Freeze capture before reading, so concurrently running tests in
+    // this binary (sampled at 1 while the overrides were live) cannot
+    // keep appending trees between the reads below.
+    span::set_slow_threshold_ms(None);
+    span::set_sample_every(prev_sample);
+
+    let trees = client.trace(0).expect("trace verb");
+    let tree = trees
+        .iter()
+        .find(|t| (t.total_ms - reply.total_ms).abs() < 1e-6)
+        .unwrap_or_else(|| {
+            panic!(
+                "no captured tree matches total_ms {:.3} ({} trees captured)",
+                reply.total_ms,
+                trees.len()
+            )
+        });
+    let root = tree
+        .spans
+        .iter()
+        .find(|s| s.parent == 0 && s.name == "request")
+        .unwrap_or_else(|| panic!("tree has no request root: {}", tree.summary()));
+    let stage = |name: &str| {
+        tree.spans
+            .iter()
+            .find(|s| s.parent == root.id && s.name == name)
+            .unwrap_or_else(|| panic!("stage `{name}` missing from tree: {}", tree.summary()))
+    };
+    let sum_ms: f64 = ["decode", "queue_wait", "batch", "kernel", "encode"]
+        .iter()
+        .map(|n| stage(n).dur_us as f64 / 1e3)
+        .sum();
+    assert!(
+        (sum_ms - tree.total_ms).abs() <= 0.10 * tree.total_ms.max(0.5),
+        "stage durations ({sum_ms:.3} ms) must sum within 10% of total_ms ({:.3} ms): {}",
+        tree.total_ms,
+        tree.summary()
+    );
+    // The kernel span carries GEMM attribution (tiles executed).
+    assert!(
+        stage("kernel").arg0 > 0,
+        "kernel span must attribute GEMM tiles: {}",
+        tree.summary()
+    );
+
+    // The slow ring is frozen now, so both wires must serve the exact
+    // same trees, and a bounded fetch is the newest-first prefix.
+    let mut json = Client::connect(&addr).unwrap();
+    let json_trees = json.trace(0).expect("json trace");
+    let bin_trees = client.trace(0).expect("binary trace");
+    assert_eq!(
+        json_trees, bin_trees,
+        "trace verb must round-trip identically over both wires"
+    );
+    let one = json.trace(1).unwrap();
+    assert_eq!(one.len(), 1);
+    assert_eq!(one[0], json_trees[0]);
+    server.shutdown();
+}
+
 #[test]
 fn deadline_rejection_over_both_wires() {
     let server = Server::start(smoke_registry(), ServerConfig::default()).expect("bind");
