@@ -42,6 +42,7 @@
 //! fh.forward(&mut z);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod complexity;

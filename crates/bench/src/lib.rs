@@ -11,6 +11,7 @@
 //!   model) instead of the quick default.
 //! - `--json`: write `results/<bin>.json`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod perf;

@@ -32,6 +32,7 @@
 //! assert!(result.psnr_db.is_finite());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;

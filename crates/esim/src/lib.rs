@@ -9,6 +9,7 @@
 //! The simulator's integer arithmetic is cross-checked to be bit-exact
 //! against the `ringcnn-quant` reference pipeline in every test run.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod blocks;

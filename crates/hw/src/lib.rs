@@ -15,6 +15,7 @@
 //! assert!(n4.area_mm2 < 30.0 && n4.power_w < 3.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod accelerator;

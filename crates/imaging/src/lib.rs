@@ -12,6 +12,7 @@
 //! assert!(p > 15.0 && p < 30.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod degrade;

@@ -1,0 +1,469 @@
+//! Wire-conformance: proves `docs/PROTOCOL.md` and the serve crate's
+//! byte-level constants describe the same protocol, in both
+//! directions. Supersedes the old `tests/docs.rs` spot checks.
+//!
+//! Four cross-checks:
+//! 1. every `const …: u8 = 0xNN` verb/flag in `frame.rs` appears as a
+//!    `0xNN` token in PROTOCOL.md (constant ⇒ documented);
+//! 2. every `0xNN` token in PROTOCOL.md is some frame constant's value
+//!    (documented ⇒ exists) — prose hex dumps like `52 43 4E 42 01`
+//!    are unprefixed and thus deliberately out of scope;
+//! 3. each request verb's JSON name (derived from its constant:
+//!    `V_LIST_MODELS` → `list_models`) appears both as a string
+//!    literal in `protocol.rs` and in the PROTOCOL.md Verbs-table row
+//!    carrying that verb's request byte, and every Verbs-table row
+//!    names a known verb;
+//! 4. the stable error codes returned by `ServeError::code()` and the
+//!    PROTOCOL.md Error-codes table are equal as sets.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::scan;
+use crate::Violation;
+
+const FRAME_RS: &str = "crates/serve/src/frame.rs";
+const PROTOCOL_RS: &str = "crates/serve/src/protocol.rs";
+const ERROR_RS: &str = "crates/serve/src/error.rs";
+const PROTOCOL_MD: &str = "docs/PROTOCOL.md";
+
+/// Runs every wire-conformance check against the tree rooted at
+/// `root`. I/O failures surface as violations (a missing source of
+/// truth is itself a conformance break).
+pub fn check(root: &Path) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let read = |rel: &str, out: &mut Vec<Violation>| -> Option<String> {
+        match std::fs::read_to_string(root.join(rel)) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                out.push(Violation::new(
+                    "wire-conformance",
+                    rel,
+                    0,
+                    format!("cannot read conformance input: {e}"),
+                ));
+                None
+            }
+        }
+    };
+    let (Some(frame), Some(protocol), Some(error), Some(doc)) = (
+        read(FRAME_RS, &mut out),
+        read(PROTOCOL_RS, &mut out),
+        read(ERROR_RS, &mut out),
+        read(PROTOCOL_MD, &mut out),
+    ) else {
+        return out;
+    };
+
+    let consts = frame_byte_consts(&frame);
+    if consts.is_empty() {
+        out.push(Violation::new(
+            "wire-conformance",
+            FRAME_RS,
+            0,
+            "no `const …: u8 = 0xNN` verb constants found — extraction is broken",
+        ));
+        return out;
+    }
+    let doc_bytes = hex_byte_tokens(&doc);
+
+    // 1. constant ⇒ documented.
+    for (name, (byte, line)) in &consts {
+        if !doc_bytes.contains(byte) {
+            out.push(Violation::new(
+                "wire-conformance",
+                FRAME_RS,
+                *line,
+                format!("`{name}` = {byte:#04x} is not documented in {PROTOCOL_MD}"),
+            ));
+        }
+    }
+    // 2. documented ⇒ exists.
+    let const_bytes: BTreeSet<u8> = consts.values().map(|(b, _)| *b).collect();
+    for byte in &doc_bytes {
+        if !const_bytes.contains(byte) {
+            out.push(Violation::new(
+                "wire-conformance",
+                PROTOCOL_MD,
+                0,
+                format!("documents byte {byte:#04x} which no {FRAME_RS} constant defines"),
+            ));
+        }
+    }
+
+    // 3. JSON verb linkage, both directions.
+    let verbs: Vec<(String, u8)> = consts
+        .iter()
+        .filter(|(name, _)| name.starts_with("V_") && !name.starts_with("V_R_"))
+        .map(|(name, (byte, _))| (name["V_".len()..].to_lowercase(), *byte))
+        .collect();
+    let protocol_strings = string_literals(&protocol);
+    let table = verbs_table(&doc);
+    for (verb, byte) in &verbs {
+        if !protocol_strings.contains(verb) {
+            out.push(Violation::new(
+                "wire-conformance",
+                PROTOCOL_RS,
+                0,
+                format!("JSON verb `{verb}` (from frame.rs) never appears as a string literal"),
+            ));
+        }
+        match table.get(verb) {
+            None => out.push(Violation::new(
+                "wire-conformance",
+                PROTOCOL_MD,
+                0,
+                format!("Verbs table has no row for `{verb}`"),
+            )),
+            Some(row_bytes) if !row_bytes.contains(byte) => out.push(Violation::new(
+                "wire-conformance",
+                PROTOCOL_MD,
+                0,
+                format!("Verbs-table row `{verb}` does not list its request byte {byte:#04x}"),
+            )),
+            Some(_) => {}
+        }
+    }
+    for name in table.keys() {
+        if !verbs.iter().any(|(v, _)| v == name) {
+            out.push(Violation::new(
+                "wire-conformance",
+                PROTOCOL_MD,
+                0,
+                format!("Verbs table documents `{name}`, which frame.rs does not define"),
+            ));
+        }
+    }
+
+    // 4. error codes, both directions.
+    let code_set = error_codes(&error);
+    if code_set.is_empty() {
+        out.push(Violation::new(
+            "wire-conformance",
+            ERROR_RS,
+            0,
+            "no `=> \"code\"` arms found in ServeError::code() — extraction is broken",
+        ));
+    }
+    let doc_codes = error_table(&doc);
+    for code in &code_set {
+        if !doc_codes.contains(code) {
+            out.push(Violation::new(
+                "wire-conformance",
+                PROTOCOL_MD,
+                0,
+                format!(
+                    "error code `{code}` (ServeError::code) missing from the Error-codes table"
+                ),
+            ));
+        }
+    }
+    for code in &doc_codes {
+        if !code_set.contains(code) {
+            out.push(Violation::new(
+                "wire-conformance",
+                PROTOCOL_MD,
+                0,
+                format!("Error-codes table lists `{code}`, which ServeError::code never returns"),
+            ));
+        }
+    }
+    out
+}
+
+/// `name -> (value, 1-based line)` for every non-test
+/// `const NAME: u8 = 0xNN;` in frame.rs source.
+pub fn frame_byte_consts(frame_src: &str) -> BTreeMap<String, (u8, usize)> {
+    let scanned = scan::scan(frame_src);
+    let mut out = BTreeMap::new();
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.trim().trim_start_matches("pub ");
+        let Some(rest) = code.strip_prefix("const ") else {
+            continue;
+        };
+        let Some((name, tail)) = rest.split_once(':') else {
+            continue;
+        };
+        if !tail.contains("u8") {
+            continue;
+        }
+        let Some((_, value)) = tail.split_once('=') else {
+            continue;
+        };
+        let value = value.trim().trim_end_matches(';').trim();
+        let Some(hex) = value.strip_prefix("0x") else {
+            continue;
+        };
+        if let Ok(byte) = u8::from_str_radix(hex, 16) {
+            out.insert(name.trim().to_string(), (byte, idx + 1));
+        }
+    }
+    out
+}
+
+/// Every `0xNN` (exactly two hex digits, word-bounded) in a document.
+pub fn hex_byte_tokens(text: &str) -> BTreeSet<u8> {
+    let bytes = text.as_bytes();
+    let mut out = BTreeSet::new();
+    let mut i = 0usize;
+    while i + 3 < bytes.len() {
+        if bytes[i] == b'0'
+            && bytes[i + 1] == b'x'
+            && bytes[i + 2].is_ascii_hexdigit()
+            && bytes[i + 3].is_ascii_hexdigit()
+            && bytes.get(i + 4).is_none_or(|b| !b.is_ascii_hexdigit())
+            && (i == 0 || !bytes[i - 1].is_ascii_alphanumeric())
+        {
+            let tok = std::str::from_utf8(&bytes[i + 2..i + 4]).unwrap_or("00");
+            if let Ok(v) = u8::from_str_radix(tok, 16) {
+                out.insert(v);
+            }
+            i += 4;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// All string-literal contents in non-test code of a Rust source.
+fn string_literals(src: &str) -> BTreeSet<String> {
+    let scanned = scan::scan(src);
+    scanned
+        .lines
+        .iter()
+        .filter(|l| !l.in_test)
+        .flat_map(|l| l.strings.iter().cloned())
+        .collect()
+}
+
+/// The Verbs table: JSON verb name -> the `0xNN` bytes on its row.
+pub fn verbs_table(doc: &str) -> BTreeMap<String, BTreeSet<u8>> {
+    let mut out = BTreeMap::new();
+    for row in section_rows(doc, "## Verbs") {
+        let cells: Vec<&str> = row.split('|').collect();
+        // | verb | `json` | `0xNN` | … — the JSON name is cell 2.
+        let Some(json_cell) = cells.get(2) else {
+            continue;
+        };
+        let name = json_cell.trim().trim_matches('`').trim();
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_lowercase() || c == '_') {
+            continue;
+        }
+        out.insert(name.to_string(), hex_byte_tokens(&row));
+    }
+    out
+}
+
+/// The Error-codes table: the backticked code in each row's first cell.
+pub fn error_table(doc: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for row in section_rows(doc, "## Error codes") {
+        let cells: Vec<&str> = row.split('|').collect();
+        let Some(first) = cells.get(1) else { continue };
+        let cell = first.trim();
+        if let Some(code) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) {
+            if !code.is_empty() && code.chars().all(|c| c.is_ascii_lowercase() || c == '_') {
+                out.insert(code.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Table body rows (`| …`, excluding header/separator) between a `##`
+/// heading and the next `##` heading.
+fn section_rows(doc: &str, heading: &str) -> Vec<String> {
+    let mut rows = Vec::new();
+    let mut in_section = false;
+    for line in doc.lines() {
+        if line.starts_with("## ") || line.starts_with("# ") {
+            in_section = line.trim() == heading;
+            continue;
+        }
+        if in_section && line.starts_with('|') {
+            let sep = line.chars().all(|c| matches!(c, '|' | '-' | ' ' | ':'));
+            if !sep {
+                rows.push(line.to_string());
+            }
+        }
+    }
+    rows
+}
+
+/// `=> "code"` arms inside ServeError::code(): identifier-shaped
+/// string literals on `=>` lines. Display strings contain spaces or
+/// punctuation and are filtered out by shape.
+pub fn error_codes(error_src: &str) -> BTreeSet<String> {
+    let scanned = scan::scan(error_src);
+    let mut out = BTreeSet::new();
+    for line in scanned.lines.iter().filter(|l| !l.in_test) {
+        if !line.code.contains("=>") {
+            continue;
+        }
+        for s in &line.strings {
+            if !s.is_empty() && s.chars().all(|c| c.is_ascii_lowercase() || c == '_') {
+                out.insert(s.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_consts_capture_value_and_line_and_skip_tests() {
+        let src = "\
+pub const V_INFER: u8 = 0x01;
+const DEADLINE_FLAG: u8 = 0x80;
+const NOT_A_BYTE: u16 = 0x0102;
+const NOT_HEX: u8 = 7;
+#[cfg(test)]
+mod tests {
+    const V_FAKE: u8 = 0x7f;
+}
+";
+        let consts = frame_byte_consts(src);
+        assert_eq!(consts.get("V_INFER"), Some(&(0x01, 1)));
+        assert_eq!(consts.get("DEADLINE_FLAG"), Some(&(0x80, 2)));
+        assert!(!consts.contains_key("NOT_A_BYTE"));
+        assert!(!consts.contains_key("NOT_HEX"));
+        assert!(
+            !consts.contains_key("V_FAKE"),
+            "test-only consts are out of scope"
+        );
+    }
+
+    #[test]
+    fn hex_tokens_want_exactly_two_bounded_digits() {
+        let doc = "bytes `0x01` and 0xFE; not 0x012 (three digits), \
+                   not x0x33, not the dump `52 43 4E 42`.";
+        let got = hex_byte_tokens(doc);
+        assert_eq!(got, BTreeSet::from([0x01, 0xFE]));
+    }
+
+    #[test]
+    fn verbs_table_maps_json_name_to_row_bytes() {
+        let doc = "\
+## Verbs
+
+| Verb | JSON | Request | Response |
+|------|------|---------|----------|
+| Infer | `infer` | `0x01` | `0x81` |
+| List | `list_models` | `0x02` | `0x82` |
+
+## Error codes
+
+| Code | Meaning |
+|------|---------|
+| `bad_request` | malformed |
+| not_backticked | skipped |
+";
+        let table = verbs_table(doc);
+        assert_eq!(table.len(), 2, "{table:?}");
+        assert_eq!(table["infer"], BTreeSet::from([0x01, 0x81]));
+        assert!(table["list_models"].contains(&0x02));
+        let errs = error_table(doc);
+        assert_eq!(errs, BTreeSet::from(["bad_request".to_string()]));
+    }
+
+    #[test]
+    fn error_codes_take_identifier_strings_on_match_arms_only() {
+        let src = "\
+impl ServeError {
+    pub fn code(&self) -> &'static str {
+        match self {
+            Self::BadRequest(_) => \"bad_request\",
+            Self::Io(_) => \"io\",
+        }
+    }
+}
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        write!(f, \"not a code: {}\", \"free text here\")
+    }
+}
+";
+        let got = error_codes(src);
+        assert_eq!(
+            got,
+            BTreeSet::from(["bad_request".to_string(), "io".to_string()])
+        );
+    }
+
+    /// End-to-end: a fixture tree whose doc and code disagree must
+    /// produce `wire-conformance` violations with usable locations.
+    #[test]
+    fn broken_fixture_tree_yields_located_diagnostics() {
+        let root =
+            std::env::temp_dir().join(format!("ringcnn-lint-wire-fixture-{}", std::process::id()));
+        let serve = root.join("crates/serve/src");
+        std::fs::create_dir_all(&serve).unwrap();
+        std::fs::create_dir_all(root.join("docs")).unwrap();
+        // V_PING (0x03) is undocumented; the doc's 0x44 is undefined;
+        // the doc's `ghost` verb does not exist; error sets diverge.
+        std::fs::write(
+            serve.join("frame.rs"),
+            "pub const V_INFER: u8 = 0x01;\npub const V_R_OK: u8 = 0x81;\npub const V_PING: u8 = 0x03;\n",
+        )
+        .unwrap();
+        std::fs::write(
+            serve.join("protocol.rs"),
+            "fn v() -> &'static str { \"infer\" }\n",
+        )
+        .unwrap();
+        std::fs::write(
+            serve.join("error.rs"),
+            "fn code() -> &'static str { match 0 { _ => \"bad_request\" } }\n",
+        )
+        .unwrap();
+        std::fs::write(
+            root.join("docs/PROTOCOL.md"),
+            "\
+## Verbs
+
+| Verb | JSON | Request | Response |
+|------|------|---------|----------|
+| Infer | `infer` | `0x01` | `0x81` |
+| Ghost | `ghost` | `0x44` | `0x81` |
+
+## Error codes
+
+| Code | Meaning |
+|------|---------|
+| `phantom_code` | never emitted |
+",
+        )
+        .unwrap();
+
+        let vs = check(&root);
+        std::fs::remove_dir_all(&root).unwrap();
+
+        assert!(vs.iter().all(|v| v.rule == "wire-conformance"));
+        let messages: Vec<&str> = vs.iter().map(|v| v.message.as_str()).collect();
+        // `ping` is additionally missing from protocol.rs strings and the
+        // Verbs table; the checks below pin the four headline breaks.
+        let has = |needle: &str| messages.iter().any(|m| m.contains(needle));
+        assert!(has("`V_PING`"), "undocumented constant: {messages:?}");
+        assert!(has("0x44"), "doc byte with no constant: {messages:?}");
+        assert!(has("`ghost`"), "doc-only verb: {messages:?}");
+        assert!(
+            has("`bad_request`") && has("`phantom_code`"),
+            "{messages:?}"
+        );
+        // The undocumented-constant diagnostic carries file + real line.
+        let ping = vs
+            .iter()
+            .find(|v| v.message.contains("`V_PING`"))
+            .expect("V_PING violation");
+        assert_eq!(ping.path, FRAME_RS);
+        assert_eq!(ping.line, 3);
+    }
+}

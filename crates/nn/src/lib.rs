@@ -23,6 +23,7 @@
 //! assert_eq!(model.forward(&x, false).shape(), x.shape());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algebra_choice;

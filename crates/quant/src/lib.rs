@@ -9,6 +9,7 @@
 //! The [`quantized::QuantizedModel`] produced here is also the reference
 //! the `ringcnn-esim` accelerator simulator must match bit-exactly.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calibrate;

@@ -75,6 +75,8 @@ fn bench_entry(id: &str, group: &str, ring: &str, backend: &str, threads: usize,
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let Some(addr) = arg_value(&args, "--addr") else {
+        // lint:allow(no-print): CLI usage text belongs on stderr, not
+        // in the structured log stream.
         eprintln!(
             "usage: loadgen --addr HOST:PORT [--connections N] [--requests N] \
              [--models a,b] [--hw HxW] [--warmup N] [--seed N] \

@@ -126,6 +126,14 @@ fn export_demo(dir: &str, seed: u64) -> Result<(), ServeError> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
 
+    // Refuse a typo'd RINGCNN_KERNEL before any work: the operator
+    // asked for a specific GEMM backend, and silently serving with a
+    // different one invalidates whatever they were measuring.
+    if let Err(e) = ringcnn_tensor::gemm::validate_env_kernel() {
+        rc_error!("serve", "invalid kernel selection", error = e);
+        return ExitCode::FAILURE;
+    }
+
     if let Some(dir) = arg_value(&args, "--export-demo") {
         let seed = parse_or(&args, "--demo-seed", 100u64);
         return match export_demo(&dir, seed) {
@@ -138,6 +146,8 @@ fn main() -> ExitCode {
     }
 
     let Some(model_dir) = arg_value(&args, "--models") else {
+        // lint:allow(no-print): CLI usage text belongs on stderr, not
+        // in the structured log stream.
         eprintln!(
             "usage: ringcnn-serve --models <dir> [--addr A] [--workers N] \
              [--max-batch N] [--max-wait-ms F] [--queue-cap N] [--model-queue-cap N] \

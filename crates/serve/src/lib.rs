@@ -40,7 +40,7 @@
 //!     .unwrap();
 //!
 //! // Schedule inference through the micro-batching queue.
-//! let sched = Scheduler::start(Arc::new(registry), SchedulerConfig::default());
+//! let sched = Scheduler::start(Arc::new(registry), SchedulerConfig::default()).unwrap();
 //! let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 2);
 //! let out = sched.infer("vdsr_real", x.clone(), Precision::Fp64).unwrap();
 //! assert_eq!(out.output.shape(), x.shape());
@@ -49,6 +49,9 @@
 //!
 //! [`Layer::forward_infer`]: ringcnn_nn::layer::Layer::forward_infer
 
+// Deny rather than forbid: the epoll backend is the one sanctioned
+// unsafe island (raw syscalls) and opts back in module-locally.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;

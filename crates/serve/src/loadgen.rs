@@ -160,6 +160,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
                         // `ms_per_request` (the gated bench quantity).
                         r.measure_start = Some(Instant::now());
                     }
+                    // ordering: round-robin pick — only the modulo
+                    // distribution across connections matters.
                     let midx = next_model.fetch_add(1, Ordering::Relaxed) % cfg.models.len();
                     let model = &cfg.models[midx];
                     let x = Tensor::random_uniform(

@@ -60,6 +60,10 @@ struct OwnedRawFd(RawFd);
 
 impl Drop for OwnedRawFd {
     fn drop(&mut self) {
+        // SAFETY: `self.0` came from a successful `epoll_create1` or
+        // `eventfd` and this wrapper is the fd's sole owner (never
+        // cloned, never exposed raw), so this is the one close and the
+        // number cannot have been recycled under us.
         unsafe { sys::close(self.0) };
     }
 }
@@ -73,11 +77,17 @@ impl WakeFd {
         let one: u64 = 1;
         // A full eventfd counter (EAGAIN) already guarantees the next
         // wait wakes; any other failure has no recovery worth taking.
+        // SAFETY: the fd is a live eventfd (kept alive by the shared
+        // `Arc<WakeFd>`), and the buffer is a valid 8-byte `u64` on
+        // this stack frame — exactly what eventfd writes require.
         unsafe { sys::write(self.0 .0, (&one as *const u64).cast(), 8) };
     }
 
     fn drain(&self) {
         let mut counter: u64 = 0;
+        // SAFETY: same fd lifetime argument as `signal`; the
+        // destination is a valid, exclusively borrowed 8-byte `u64`,
+        // and an eventfd read writes at most 8 bytes.
         unsafe { sys::read(self.0 .0, (&mut counter as *mut u64).cast(), 8) };
     }
 }
@@ -117,7 +127,11 @@ impl Poller {
     ///
     /// The underlying syscall error (fd exhaustion, mostly).
     pub fn new() -> io::Result<Poller> {
+        // SAFETY: `epoll_create1` takes no pointers; the flag is the
+        // kernel-defined CLOEXEC bit and the return is error-checked.
         let epfd = OwnedRawFd(cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?);
+        // SAFETY: `eventfd` takes no pointers either — an initial
+        // counter and kernel-defined flags; the return is error-checked.
         let wfd = OwnedRawFd(cvt(unsafe {
             sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK)
         })?);
@@ -125,6 +139,9 @@ impl Poller {
             events: sys::EPOLLIN,
             data: WAKE_TOKEN,
         };
+        // SAFETY: both fds were just created above; `ev` is a live
+        // `&mut` to a properly laid out `EpollEvent` (repr(C), packed
+        // to match glibc on x86-64) that the kernel only reads.
         cvt(unsafe { sys::epoll_ctl(epfd.0, sys::EPOLL_CTL_ADD, wfd.0, &mut ev) })?;
         Ok(Poller {
             epfd,
@@ -149,6 +166,9 @@ impl Poller {
                 },
             data: token,
         };
+        // SAFETY: `self.epfd` is the live epoll fd we own; `ev` is a
+        // valid `&mut EpollEvent` the kernel only reads. A stale or
+        // bogus caller `fd` yields EBADF through `cvt`, not UB.
         cvt(unsafe { sys::epoll_ctl(self.epfd.0, sys::EPOLL_CTL_ADD, fd, &mut ev) })?;
         Ok(())
     }
@@ -160,6 +180,8 @@ impl Poller {
     /// The `epoll_ctl` error (`ENOENT` if never registered).
     pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
         let mut ev = sys::EpollEvent { events: 0, data: 0 };
+        // SAFETY: as in `register` — owned epoll fd, valid event
+        // pointer (required pre-2.6.9 even for DEL), errors via `cvt`.
         cvt(unsafe { sys::epoll_ctl(self.epfd.0, sys::EPOLL_CTL_DEL, fd, &mut ev) })?;
         Ok(())
     }
@@ -180,6 +202,10 @@ impl Poller {
         };
         let mut raw = [sys::EpollEvent { events: 0, data: 0 }; 128];
         let n = loop {
+            // SAFETY: `raw` is a stack array of 128 `EpollEvent`s and
+            // `maxevents` is exactly its length, so the kernel writes
+            // only within bounds; `EpollEvent` is plain-old-data, so
+            // even a partial fill leaves the array fully initialized.
             let r = unsafe {
                 sys::epoll_wait(self.epfd.0, raw.as_mut_ptr(), raw.len() as i32, timeout_ms)
             };

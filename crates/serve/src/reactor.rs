@@ -252,6 +252,10 @@ impl Reactor {
                     // EMFILE and friends: the listener stays readable
                     // (level-triggered), so back off briefly instead of
                     // spinning the wait loop at 100% CPU.
+                    // lint:allow(no-sleep): deliberate fd-exhaustion
+                    // backoff — 10 ms of accept latency beats a
+                    // busy-spinning reactor when the process is out of
+                    // fds anyway.
                     std::thread::sleep(Duration::from_millis(10));
                     return;
                 }

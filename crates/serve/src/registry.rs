@@ -629,6 +629,8 @@ impl ModelRegistry {
             .reload_gate
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // ordering: monotonic stat counter; the reload gate serializes
+        // the pass itself.
         self.reload_passes.fetch_add(1, Ordering::Relaxed);
         let (dir, stamps, float_paths) = {
             let inner = read_unpoisoned(&self.inner);
@@ -744,6 +746,8 @@ impl ModelRegistry {
             }
         }
         drop(inner);
+        // ordering: monotonic stat counter; the registry swap above
+        // already published the models through the RwLock.
         self.models_reloaded.fetch_add(
             (report.added.len() + report.reloaded.len()) as u64,
             Ordering::Relaxed,
@@ -785,11 +789,13 @@ impl ModelRegistry {
 
     /// Total [`ModelRegistry::reload_pass`] invocations (forced or polled).
     pub fn reload_passes(&self) -> u64 {
+        // ordering: stat counter read; staleness is fine.
         self.reload_passes.load(Ordering::Relaxed)
     }
 
     /// Total model versions published by reload passes (added + reloaded).
     pub fn models_reloaded(&self) -> u64 {
+        // ordering: stat counter read; staleness is fine.
         self.models_reloaded.load(Ordering::Relaxed)
     }
 }

@@ -290,7 +290,16 @@ pub struct Scheduler {
 
 impl Scheduler {
     /// Spawns the worker threads and returns the running scheduler.
-    pub fn start(registry: Arc<ModelRegistry>, cfg: SchedulerConfig) -> Scheduler {
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Internal`] when a worker thread cannot be spawned
+    /// (thread exhaustion); any workers already started are drained
+    /// and joined before returning, so nothing is left running.
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        cfg: SchedulerConfig,
+    ) -> Result<Scheduler, ServeError> {
         let cfg = SchedulerConfig {
             workers: cfg.workers.max(1),
             max_batch: cfg.max_batch.max(1),
@@ -304,20 +313,36 @@ impl Scheduler {
             work_cv: Condvar::new(),
             metrics: Arc::new(Metrics::new()),
         });
-        let workers = (0..cfg.workers)
-            .map(|i| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn scheduler worker")
-            })
-            .collect();
-        Scheduler {
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for i in 0..cfg.workers {
+            let worker_shared = shared.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&worker_shared));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Unwind the partial pool: wake every worker that
+                    // did start and let it observe the shutdown flag.
+                    {
+                        let mut st = lock_unpoisoned(&shared.state);
+                        st.shutting_down = true;
+                    }
+                    shared.work_cv.notify_all();
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(ServeError::Internal(format!(
+                        "cannot spawn scheduler worker {i}: {e}"
+                    )));
+                }
+            }
+        }
+        Ok(Scheduler {
             shared,
             registry,
             workers: Mutex::new(workers),
-        }
+        })
     }
 
     /// The model registry this scheduler serves.
@@ -655,7 +680,10 @@ fn try_take_batch(st: &mut QueueState, cfg: &SchedulerConfig) -> Option<Vec<Job>
         }
     }
     let (_, _, name) = best?;
-    let q = st.groups.get_mut(&name).expect("selected group exists");
+    // The group must exist — `best` was chosen from `st.groups` under
+    // the same lock — but `?` keeps the invariant panic-free: a bug
+    // here would skip one batch scan, not kill a worker thread.
+    let q = st.groups.get_mut(&name)?;
     let take = q.jobs.len().min(cfg.max_batch);
     let batch: Vec<Job> = q.jobs.drain(..take).collect();
     st.total -= take;
@@ -692,9 +720,12 @@ fn worker_loop(shared: &Shared) {
                     st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
                 } else {
                     // Sleep until the earliest flush deadline; new
-                    // submissions notify and re-run the scan.
+                    // submissions notify and re-run the scan. `total >
+                    // 0` implies a queued job, so the fallback arm is
+                    // unreachable — but if that invariant ever broke,
+                    // a spurious `max_wait` sleep beats a dead worker.
                     let deadline = next_flush_deadline(&st, &shared.cfg)
-                        .expect("total > 0 implies a queued job");
+                        .unwrap_or_else(|| Instant::now() + shared.cfg.max_wait);
                     let wait = deadline
                         .saturating_duration_since(Instant::now())
                         .max(Duration::from_micros(50));
@@ -852,7 +883,8 @@ mod tests {
 
     #[test]
     fn unknown_model_and_bad_shape_are_rejected_up_front() {
-        let sched = Scheduler::start(registry_with(&["m"]), SchedulerConfig::default());
+        let sched = Scheduler::start(registry_with(&["m"]), SchedulerConfig::default())
+            .expect("scheduler starts");
         let x = Tensor::zeros(Shape4::new(1, 1, 4, 4));
         assert_eq!(
             sched
@@ -886,7 +918,8 @@ mod tests {
         // The `queue_depth` atomic only remembers the depth at the last
         // submit/dispatch: force it stale and check `health`'s source of
         // truth disagrees correctly.
-        let sched = Scheduler::start(registry_with(&["m"]), SchedulerConfig::default());
+        let sched = Scheduler::start(registry_with(&["m"]), SchedulerConfig::default())
+            .expect("scheduler starts");
         sched.metrics().record_submit(7); // stale observation, queue empty
         assert_eq!(sched.metrics().queue_depth(), 7);
         assert_eq!(sched.queue_len(), 0, "live count must ignore the atomic");
@@ -1022,7 +1055,8 @@ mod tests {
                 model_queue_cap: 2,
                 ..SchedulerConfig::default()
             },
-        );
+        )
+        .expect("scheduler starts");
         let x = Tensor::zeros(Shape4::new(1, 1, 4, 4));
         let p1 = sched.submit("hot", x.clone(), Precision::Fp64).unwrap();
         let p2 = sched.submit("hot", x.clone(), Precision::Fp64).unwrap();
@@ -1045,7 +1079,8 @@ mod tests {
 
     #[test]
     fn deadline_admission_rejects_on_blown_budget() {
-        let sched = Scheduler::start(registry_with(&["m"]), SchedulerConfig::default());
+        let sched = Scheduler::start(registry_with(&["m"]), SchedulerConfig::default())
+            .expect("scheduler starts");
         let x = Tensor::zeros(Shape4::new(1, 1, 8, 8));
         // No EWMA yet: even a tiny budget admits (no evidence).
         sched
@@ -1088,7 +1123,8 @@ mod tests {
 
     #[test]
     fn sampled_jobs_record_scheduler_stage_spans() {
-        let sched = Scheduler::start(registry_with(&["m"]), SchedulerConfig::default());
+        let sched = Scheduler::start(registry_with(&["m"]), SchedulerConfig::default())
+            .expect("scheduler starts");
         let trace = span::mint_forced();
         {
             // Ambient propagation: the open root on the submitting thread
@@ -1116,7 +1152,8 @@ mod tests {
         let sched = Scheduler::start(
             registry_with(&["served", "idle"]),
             SchedulerConfig::default(),
-        );
+        )
+        .expect("scheduler starts");
         sched.set_model_weight("served", 3);
         let x = Tensor::zeros(Shape4::new(1, 1, 4, 4));
         sched.infer("served", x, Precision::Fp64).unwrap();

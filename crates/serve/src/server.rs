@@ -142,7 +142,7 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
-            scheduler: Scheduler::start(registry, cfg.scheduler),
+            scheduler: Scheduler::start(registry, cfg.scheduler)?,
             shutdown: AtomicBool::new(false),
             addr,
             started: Instant::now(),

@@ -127,14 +127,40 @@ fn available(k: KernelBackend) -> KernelBackend {
 
 fn env_choice() -> Option<KernelBackend> {
     static CHOICE: OnceLock<Option<KernelBackend>> = OnceLock::new();
-    *CHOICE.get_or_init(|| match std::env::var("RINGCNN_KERNEL").as_deref() {
-        Ok("reference") => Some(KernelBackend::Reference),
-        Ok("scalar") => Some(KernelBackend::Scalar),
-        Ok("sse2") => Some(KernelBackend::Sse2),
-        Ok("avx2") => Some(KernelBackend::Avx2),
-        // "auto", unset, or anything unrecognized: runtime detection.
-        _ => None,
-    })
+    // Lenient by design at dispatch time (a library deep in a GEMM
+    // call has no good way to refuse); front ends that can exit —
+    // the serve bin — validate up front with [`validate_env_kernel`].
+    *CHOICE.get_or_init(|| validate_env_kernel().unwrap_or(None))
+}
+
+/// Strict parse of the `RINGCNN_KERNEL` environment variable.
+///
+/// `Ok(None)` when unset, empty, or `auto` (runtime detection);
+/// `Ok(Some(_))` for a recognized backend name. Unlike the lenient
+/// dispatch-time cache (which falls back to detection), an unknown
+/// value is an `Err` naming it — binaries call this at startup and
+/// refuse to run on a typo'd kernel request, because a user asking for
+/// `reference` and silently getting `avx2` invalidates whatever
+/// comparison they were making.
+///
+/// # Errors
+///
+/// The unrecognized value, with the accepted spellings.
+pub fn validate_env_kernel() -> Result<Option<KernelBackend>, String> {
+    match std::env::var("RINGCNN_KERNEL") {
+        Err(_) => Ok(None),
+        Ok(v) => match v.as_str() {
+            "" | "auto" => Ok(None),
+            "reference" => Ok(Some(KernelBackend::Reference)),
+            "scalar" => Ok(Some(KernelBackend::Scalar)),
+            "sse2" => Ok(Some(KernelBackend::Sse2)),
+            "avx2" => Ok(Some(KernelBackend::Avx2)),
+            other => Err(format!(
+                "unrecognized RINGCNN_KERNEL value `{other}` \
+                 (expected auto, reference, scalar, sse2, or avx2)"
+            )),
+        },
+    }
 }
 
 thread_local! {

@@ -41,6 +41,7 @@
 //! assert_eq!(spans.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chrome;

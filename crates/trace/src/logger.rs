@@ -64,6 +64,8 @@ static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
 
 /// The active level (env `RINGCNN_LOG` on first use, default `info`).
 pub fn level() -> Level {
+    // ordering: isolated config cell — the level is one byte of state
+    // with no data published alongside it.
     match LEVEL.load(Ordering::Relaxed) {
         0 => Level::Error,
         1 => Level::Warn,
@@ -74,6 +76,8 @@ pub fn level() -> Level {
                 .ok()
                 .and_then(|v| Level::parse(&v))
                 .unwrap_or(Level::Info);
+            // ordering: idempotent cache fill — racing first uses all
+            // parse the same env var to the same byte.
             LEVEL.store(lvl as u8, Ordering::Relaxed);
             lvl
         }
@@ -82,6 +86,7 @@ pub fn level() -> Level {
 
 /// Overrides the active level at runtime.
 pub fn set_level(lvl: Level) {
+    // ordering: config-cell store; readers only need some recent value.
     LEVEL.store(lvl as u8, Ordering::Relaxed);
 }
 

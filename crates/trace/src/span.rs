@@ -69,6 +69,10 @@ fn name_of(idx: u32) -> String {
 
 // ---------------------------------------------------------------------------
 // The seqlock ring.
+//
+// lint:seqlock — ringcnn-lint checks that this file's relaxed
+// operations are each justified and that the protocol still pairs
+// Acquire with Release (the fences and seq stores below).
 // ---------------------------------------------------------------------------
 
 struct Slot {
@@ -106,12 +110,25 @@ impl ThreadRing {
     /// Single-producer push (owner thread only): seqlock write of one
     /// packed record into the next slot, overwriting the oldest.
     fn push(&self, words: [u64; WORDS]) {
+        // ordering: single-writer — only the owner thread ever stores
+        // to `head` or `seq`, so these two loads read values this same
+        // thread wrote and need no synchronization.
         let i = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[(i as usize) % RING_CAP];
+        // ordering: same single-writer argument as the `head` load.
         let s = slot.seq.load(Ordering::Relaxed);
+        // ordering: the odd-seq store may be relaxed because the
+        // Release *fence* below orders it (and nothing else needs to
+        // order against it from the writer side); a reader that misses
+        // it at worst admits a record the seq recheck then rejects.
         slot.seq.store(s.wrapping_add(1), Ordering::Relaxed);
         fence(Ordering::Release);
+        // ordering: payload stores are relaxed by seqlock design — the
+        // trailing Release store of the even seq publishes them, and
+        // the reader's Acquire fence + seq recheck discards any torn
+        // read it could still observe.
         for (w, v) in slot.w.iter().zip(words) {
+            // ordering: seqlock payload (see above).
             w.store(v, Ordering::Relaxed);
         }
         slot.seq.store(s.wrapping_add(2), Ordering::Release);
@@ -125,8 +142,13 @@ impl ThreadRing {
         if s1 % 2 != 0 {
             return None;
         }
+        // ordering: relaxed payload loads are the seqlock read side —
+        // validity comes from the seq recheck below, not from these
+        // loads themselves; a torn read is detected and discarded.
         let words: [u64; WORDS] = std::array::from_fn(|k| slot.w[k].load(Ordering::Relaxed));
         fence(Ordering::Acquire);
+        // ordering: the Acquire fence above orders this recheck after
+        // the payload loads; the load itself can therefore be relaxed.
         let s2 = slot.seq.load(Ordering::Relaxed);
         if s1 != s2 || words[0] == 0 {
             return None;
@@ -199,12 +221,16 @@ pub struct SpanCtx {
 /// Sets the request sampling rate: record spans for 1 in `n` requests
 /// (`0` disables tracing, `1` records every request).
 pub fn set_sample_every(n: u64) {
+    // ordering: an isolated config cell — readers only need to see
+    // *some* recent value, and no other data is published with it.
     SAMPLE_EVERY.store(n, Ordering::Relaxed);
 }
 
 /// The effective sampling rate (env `RINGCNN_TRACE_SAMPLE` on first
 /// use, default [`DEFAULT_SAMPLE_EVERY`]).
 pub fn sample_every() -> u64 {
+    // ordering: config-cell read; a racing first-use just re-parses
+    // the env var to the same value.
     let n = SAMPLE_EVERY.load(Ordering::Relaxed);
     if n != u64::MAX {
         return n;
@@ -213,6 +239,8 @@ pub fn sample_every() -> u64 {
         .ok()
         .and_then(|v| v.trim().parse().ok())
         .unwrap_or(DEFAULT_SAMPLE_EVERY);
+    // ordering: idempotent cache fill — every racer stores the same
+    // parsed value, so publication order is irrelevant.
     SAMPLE_EVERY.store(n, Ordering::Relaxed);
     n
 }
@@ -223,6 +251,8 @@ pub fn mint() -> Option<TraceId> {
     if n == 0 {
         return None;
     }
+    // ordering: a statistical round-robin counter — only the modulo
+    // distribution matters, not any cross-thread ordering.
     if SAMPLE_TICK.fetch_add(1, Ordering::Relaxed) % n != 0 {
         return None;
     }
@@ -231,6 +261,8 @@ pub fn mint() -> Option<TraceId> {
 
 /// Mints a trace ID unconditionally (tests, forced triage).
 pub fn mint_forced() -> TraceId {
+    // ordering: ID mints only need uniqueness, which the atomic RMW
+    // gives at any ordering.
     TraceId(NEXT_TRACE.fetch_add(1, Ordering::Relaxed))
 }
 
@@ -239,11 +271,13 @@ pub fn mint_forced() -> TraceId {
 /// (and returned to the caller for logging). `None` disables capture.
 pub fn set_slow_threshold_ms(thr: Option<f64>) {
     let bits = thr.map_or(u64::MAX, f64::to_bits);
+    // ordering: isolated config cell, same argument as the sampler.
     SLOW_BITS.store(bits, Ordering::Relaxed);
 }
 
 /// The current slow-request threshold, if capture is enabled.
 pub fn slow_threshold_ms() -> Option<f64> {
+    // ordering: config-cell read; the whole threshold fits one word.
     let bits = SLOW_BITS.load(Ordering::Relaxed);
     (bits != u64::MAX).then(|| f64::from_bits(bits))
 }
@@ -268,6 +302,7 @@ pub struct SpanGuard {
 }
 
 fn open(trace: u64, parent: u32, name: &'static str) -> SpanGuard {
+    // ordering: ID mint — uniqueness comes from the RMW itself.
     let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
     let prev = CURRENT.with(|c| c.replace(Some(SpanCtx { trace, span: id })));
     SpanGuard {
@@ -348,6 +383,7 @@ impl Drop for SpanGuard {
 pub fn reserve_root(trace: TraceId) -> SpanCtx {
     SpanCtx {
         trace: trace.0,
+        // ordering: ID mint — uniqueness comes from the RMW itself.
         span: NEXT_SPAN.fetch_add(1, Ordering::Relaxed),
     }
 }
@@ -362,6 +398,7 @@ pub fn record_manual(
     start_us: u64,
     end_us: u64,
 ) -> u32 {
+    // ordering: ID mint — uniqueness comes from the RMW itself.
     let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
     record_manual_id(id, trace, parent, name, start_us, end_us);
     id
@@ -516,6 +553,7 @@ pub fn finish_request(trace: u64, total_ms: f64) -> Option<TraceTree> {
         slow.pop_front();
     }
     slow.push_back(tree.clone());
+    // ordering: monotonic stat counter; readers tolerate lag.
     SLOW_COUNT.fetch_add(1, Ordering::Relaxed);
     Some(tree)
 }
@@ -534,6 +572,7 @@ pub fn recent_slow(n: usize) -> Vec<TraceTree> {
 
 /// Total slow-request trees ever captured (not bounded by [`SLOW_CAP`]).
 pub fn slow_captured() -> u64 {
+    // ordering: monotonic stat counter read; staleness is fine.
     SLOW_COUNT.load(Ordering::Relaxed)
 }
 

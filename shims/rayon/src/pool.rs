@@ -48,17 +48,24 @@ struct Job {
     done_cv: Condvar,
 }
 
-/// SAFETY: `Job` is shared across threads by design. The raw `body`
-/// pointer is only dereferenced by `execute_chunks`, and `run` keeps the
-/// pointee alive (and the submitting thread blocked) until `remaining`
-/// reaches zero, so no access can dangle.
+// SAFETY: `Job` crosses threads by design. The raw `body` pointer is
+// only dereferenced by `execute_chunks`, and `run` keeps the pointee
+// alive (and the submitting thread blocked) until `remaining` reaches
+// zero, so a moved-to thread can never observe a dangling body.
 unsafe impl Send for Job {}
+// SAFETY: shared access is as safe as moved access here — `body` is a
+// `Fn` (immutably called), and every mutable field is an atomic or a
+// lock, so concurrent `&Job` use from many workers is data-race free.
 unsafe impl Sync for Job {}
 
 impl Job {
     /// Claims and executes chunks until the cursor is exhausted.
     fn execute_chunks(&self) {
         loop {
+            // ordering: the claim only needs atomicity — each index is
+            // handed to exactly one worker by the RMW itself, and the
+            // happens-before edge for the data is the AcqRel on
+            // `remaining` below, not the cursor.
             let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
             if start >= self.n {
                 return;
@@ -90,6 +97,8 @@ impl Job {
 
     /// Whether every item has been claimed (the job can leave the queue).
     fn exhausted(&self) -> bool {
+        // ordering: advisory read for queue housekeeping only; a stale
+        // value just requeues the job once more, it guards no data.
         self.cursor.load(Ordering::Relaxed) >= self.n
     }
 }

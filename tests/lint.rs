@@ -1,0 +1,74 @@
+//! Tier-1 gate: the workspace tree is lint-clean.
+//!
+//! Attached to the `ringcnn-lint` crate (`[[test]] path` in its
+//! Cargo.toml), same convention as the facade and serve suites. This
+//! is the enforcement arm of `cargo run -p ringcnn-lint`: any
+//! violation — an undocumented `unsafe`, an unjustified
+//! `Ordering::Relaxed`, a stray `eprintln!` in the serve layer, a
+//! PROTOCOL.md byte drifting from `frame.rs` — fails tier-1 with the
+//! full `path:line: [rule] message` diagnostics in the assert output.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_tree_is_lint_clean() {
+    let violations = ringcnn_lint::lint_workspace(&repo_root()).expect("lint walk reads the tree");
+    assert!(
+        violations.is_empty(),
+        "ringcnn-lint found {} violation(s):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_rule_is_documented_in_analysis_md() {
+    let doc = std::fs::read_to_string(repo_root().join("docs/ANALYSIS.md"))
+        .expect("docs/ANALYSIS.md exists");
+    let missing: Vec<&str> = ringcnn_lint::RULES
+        .iter()
+        .map(|r| r.name)
+        .filter(|name| !doc.contains(&format!("`{name}`")))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "docs/ANALYSIS.md does not document rule(s): {missing:?}"
+    );
+}
+
+#[test]
+fn wire_extractors_see_the_real_constants() {
+    // Guards the conformance pass against silent extraction rot: if a
+    // refactor renames the constants or reshapes the tables, the
+    // cross-check could pass vacuously. Pin the known protocol facts.
+    let root = repo_root();
+    let frame = std::fs::read_to_string(root.join("crates/serve/src/frame.rs")).unwrap();
+    let consts = ringcnn_lint::wire::frame_byte_consts(&frame);
+    assert!(
+        consts.len() >= 17,
+        "expected ≥17 byte constants (7 request + 10 response/flag), got {}: {:?}",
+        consts.len(),
+        consts.keys().collect::<Vec<_>>()
+    );
+    assert_eq!(consts.get("V_INFER").map(|&(b, _)| b), Some(0x01));
+    assert_eq!(consts.get("V_R_ERROR").map(|&(b, _)| b), Some(0xFE));
+    assert_eq!(consts.get("DEADLINE_FLAG").map(|&(b, _)| b), Some(0x80));
+
+    let doc = std::fs::read_to_string(root.join("docs/PROTOCOL.md")).unwrap();
+    let verbs = ringcnn_lint::wire::verbs_table(&doc);
+    assert_eq!(verbs.len(), 7, "verbs table rows: {verbs:?}");
+    let errors = ringcnn_lint::wire::error_table(&doc);
+    assert_eq!(errors.len(), 9, "error-code table rows: {errors:?}");
+
+    let error_rs = std::fs::read_to_string(root.join("crates/serve/src/error.rs")).unwrap();
+    let codes = ringcnn_lint::wire::error_codes(&error_rs);
+    assert_eq!(codes, errors, "ServeError::code vs PROTOCOL.md table");
+}

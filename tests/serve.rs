@@ -74,7 +74,8 @@ fn max_batch_flushes_before_max_wait() {
             queue_cap: 64,
             ..SchedulerConfig::default()
         },
-    );
+    )
+    .expect("scheduler starts");
     let started = Instant::now();
     let pendings: Vec<_> = (0..4)
         .map(|i| {
@@ -110,7 +111,8 @@ fn max_wait_flushes_a_lone_request() {
             queue_cap: 64,
             ..SchedulerConfig::default()
         },
-    );
+    )
+    .expect("scheduler starts");
     let x = Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, 3);
     let started = Instant::now();
     let out = sched.infer("vdsr_rh4", x, Precision::Fp64).unwrap();
@@ -142,7 +144,8 @@ fn full_queue_rejects_with_overloaded_and_drains_on_shutdown() {
             queue_cap: 4,
             ..SchedulerConfig::default()
         },
-    );
+    )
+    .expect("scheduler starts");
     let x = |i: u64| Tensor::random_uniform(Shape4::new(1, 1, 8, 8), 0.0, 1.0, i);
     let pendings: Vec<_> = (0..4)
         .map(|i| {
@@ -201,7 +204,8 @@ fn mixed_model_stream_batches_per_model_with_exact_results() {
             queue_cap: 256,
             ..SchedulerConfig::default()
         },
-    );
+    )
+    .expect("scheduler starts");
     let (ffd, vdsr) = reference_models();
     let mut pendings = Vec::new();
     for i in 0..24u64 {
@@ -625,7 +629,8 @@ fn weighted_fair_lets_a_weighted_model_jump_a_hot_backlog() {
             queue_cap: 64,
             ..SchedulerConfig::default()
         },
-    );
+    )
+    .expect("scheduler starts");
     sched.set_model_weight("ffdnet_real", 1);
     sched.set_model_weight("vdsr_rh4", 4);
     // Plug: large enough that all eight submissions land while the

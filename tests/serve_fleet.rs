@@ -252,7 +252,7 @@ proptest! {
                 queue_cap: 256,
                 ..SchedulerConfig::default()
             },
-        );
+        ).expect("scheduler starts");
         let (ref_a, ref_b) = (reference(seed_a), reference(seed_b));
 
         std::thread::scope(|scope| {
